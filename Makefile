@@ -1,0 +1,31 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: test bench study calibration examples cover fmt
+
+test:
+	go build ./... && go vet ./... && go test ./...
+
+# All tables/figures + ablations. HLFI_N controls injections per cell.
+bench:
+	go test -bench=. -benchmem -benchtime=1x
+
+# Paper-scale reproduction (the committed study_n1000.txt).
+study:
+	go run ./cmd/ficompare -experiment all -n 1000 > study_n1000.txt
+
+# The §VII future-work experiment (the committed calibration_n500.txt).
+calibration:
+	go run ./cmd/ficompare -experiment calibration -n 500 > calibration_n500.txt
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/resilience
+	go run ./examples/tracing
+	go run ./examples/customir
+	go run ./examples/srcmap
+
+cover:
+	go test -cover ./internal/...
+
+fmt:
+	gofmt -w .

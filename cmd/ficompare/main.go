@@ -1,0 +1,147 @@
+// Command ficompare reproduces the paper's full LLFI-vs-PINFI study: it
+// compiles the six benchmark workloads for both execution levels, runs
+// seeded fault-injection campaigns for every (benchmark, level, category)
+// cell, and regenerates the evaluation artifacts:
+//
+//	-experiment fig3    aggregate crash/SDC/benign breakdown (Figure 3)
+//	-experiment table4  dynamic candidate-instruction counts (Table IV)
+//	-experiment fig4    SDC rates with 95% CIs per category (Figure 4)
+//	-experiment table5  crash rates per category (Table V)
+//	-experiment table2  benchmark characteristics (Table II)
+//	-experiment calibration  the §VII future-work heuristics, three-way
+//	-experiment all     everything plus the headline summary
+//
+// The paper uses N=1000 injections per cell; that is the default here and
+// takes a few minutes. Use -n to trade precision for speed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hlfi/internal/bench"
+	"hlfi/internal/core"
+	"hlfi/internal/fault"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ficompare:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ficompare", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "all", "fig3|table4|fig4|table5|table2|all")
+		n          = fs.Int("n", 1000, "activated injections per cell")
+		seed       = fs.Int64("seed", 1, "study seed")
+		benches    = fs.String("benchmarks", "", "comma-separated subset (default: all six)")
+		quiet      = fs.Bool("q", false, "suppress per-cell progress")
+		workers    = fs.Int("parallel", 1, "worker goroutines per campaign cell (>1 uses per-attempt seeding)")
+		jsonOut    = fs.Bool("json", false, "emit machine-readable JSON instead of tables (fig3/fig4/table5/all)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *experiment == "table2" {
+		printTable2()
+		return nil
+	}
+
+	progs, err := buildPrograms(*benches)
+	if err != nil {
+		return err
+	}
+
+	if *experiment == "calibration" {
+		var progress func(string)
+		if !*quiet {
+			progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+		}
+		st, err := core.RunCalibrationStudy(progs, *n, *seed, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Print(st.Render())
+		return nil
+	}
+
+	// Table IV needs only profiling runs; skip the campaigns.
+	if *experiment == "table4" {
+		st, err := core.RunStudy(core.StudyConfig{Programs: progs, N: 1, Seed: *seed,
+			Categories: []fault.Category{fault.CatAll}})
+		if err != nil {
+			return err
+		}
+		fmt.Print(st.RenderTableIV())
+		return nil
+	}
+
+	start := time.Now()
+	cfg := core.StudyConfig{Programs: progs, N: *n, Seed: *seed, Workers: *workers}
+	if !*quiet {
+		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	st, err := core.RunStudy(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "study completed in %v\n\n", time.Since(start).Round(time.Second))
+
+	if *jsonOut {
+		return st.WriteJSON(os.Stdout)
+	}
+
+	switch *experiment {
+	case "fig3":
+		fmt.Print(st.RenderFigure3())
+	case "fig4":
+		fmt.Print(st.RenderFigure4())
+	case "table5":
+		fmt.Print(st.RenderTableV())
+	case "all":
+		fmt.Println(st.RenderFigure3())
+		fmt.Println(st.RenderTableIV())
+		fmt.Println(st.RenderFigure4())
+		fmt.Println(st.RenderTableV())
+		fmt.Println(st.RenderSummary())
+	default:
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+	return nil
+}
+
+func buildPrograms(subset string) ([]*core.Program, error) {
+	var names []string
+	if subset == "" {
+		for _, b := range bench.All() {
+			names = append(names, b.Name)
+		}
+	} else {
+		names = strings.Split(subset, ",")
+	}
+	var progs []*core.Program
+	for _, name := range names {
+		fmt.Fprintf(os.Stderr, "building %s...\n", name)
+		p, err := bench.Build(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		progs = append(progs, p)
+	}
+	return progs, nil
+}
+
+func printTable2() {
+	fmt.Println("Table II: characteristics of benchmark programs")
+	fmt.Printf("%-12s %-22s %6s  %s\n", "benchmark", "stands in for", "LoC", "description")
+	for _, b := range bench.All() {
+		fmt.Printf("%-12s %-22s %6d  %s\n", b.Name, b.Suite, b.LoC(), b.Description)
+	}
+}

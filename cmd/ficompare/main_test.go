@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+// TestRunExperiments smoke-tests the CLI surface in-process with tiny
+// sample sizes.
+func TestRunExperiments(t *testing.T) {
+	cases := [][]string{
+		{"-experiment", "table2"},
+		{"-experiment", "table4", "-benchmarks", "quantumm", "-q"},
+		{"-experiment", "fig3", "-benchmarks", "quantumm", "-n", "10", "-q"},
+		{"-experiment", "fig3", "-benchmarks", "quantumm", "-n", "10", "-q", "-json"},
+		{"-experiment", "fig3", "-benchmarks", "quantumm", "-n", "10", "-q", "-parallel", "3"},
+		{"-experiment", "calibration", "-benchmarks", "quantumm", "-n", "10", "-q"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+	if err := run([]string{"-experiment", "nope", "-benchmarks", "quantumm", "-n", "5", "-q"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-experiment", "fig3", "-benchmarks", "nosuch", "-n", "5", "-q"}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}

@@ -1,0 +1,55 @@
+// Command llfi-run performs an LLFI-style fault-injection campaign at the
+// IR level against one benchmark (or a minic source file), mirroring the
+// paper's §III workflow: select candidates, profile, inject at runtime,
+// classify outcomes against the golden run.
+//
+// Usage:
+//
+//	llfi-run -bench bzip2m -category arithmetic -n 1000 -seed 1
+//	llfi-run -src prog.c -category all -n 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hlfi/internal/cli"
+	"hlfi/internal/fault"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "llfi-run:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("llfi-run", flag.ContinueOnError)
+	var (
+		benchName = fs.String("bench", "", "benchmark name (bzip2m|mcfm|hmmerm|quantumm|oceanm|raytracem)")
+		srcPath   = fs.String("src", "", "minic source file to inject into (alternative to -bench)")
+		catName   = fs.String("category", "all", "instruction category: all|arithmetic|cast|cmp|load")
+		n         = fs.Int("n", 1000, "activated injections to collect")
+		seed      = fs.Int64("seed", 1, "campaign seed")
+		verbose   = fs.Bool("v", false, "print activation accounting")
+		dumpIR    = fs.Bool("ir", false, "print the optimized IR and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prog, err := cli.LoadProgram(*benchName, *srcPath)
+	if err != nil {
+		return err
+	}
+	if *dumpIR {
+		fmt.Print(prog.Prep.Mod.String())
+		return nil
+	}
+	cat, err := fault.ParseCategory(*catName)
+	if err != nil {
+		return err
+	}
+	return cli.RunCampaign(os.Stdout, prog, fault.LevelIR, cat, *n, *seed, *verbose)
+}

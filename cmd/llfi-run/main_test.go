@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunFlags(t *testing.T) {
+	if err := run([]string{"-bench", "quantumm", "-category", "cmp", "-n", "15", "-seed", "2"}); err != nil {
+		t.Fatalf("basic campaign: %v", err)
+	}
+	if err := run([]string{"-bench", "quantumm", "-ir"}); err != nil {
+		t.Fatalf("-ir dump: %v", err)
+	}
+	if err := run([]string{"-category", "cmp"}); err == nil {
+		t.Error("missing -bench/-src accepted")
+	}
+	if err := run([]string{"-bench", "quantumm", "-category", "bogus"}); err == nil {
+		t.Error("bad category accepted")
+	}
+}

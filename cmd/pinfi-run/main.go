@@ -1,0 +1,69 @@
+// Command pinfi-run performs a PINFI-style fault-injection campaign at
+// the assembly level against one benchmark (or a minic source file),
+// mirroring the paper's §IV workflow, including the flag-dependent-bit
+// and XMM-pruning activation heuristics.
+//
+// Usage:
+//
+//	pinfi-run -bench bzip2m -category arithmetic -n 1000 -seed 1
+//	pinfi-run -src prog.c -category load -n 200 -disasm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hlfi/internal/cli"
+	"hlfi/internal/fault"
+	"hlfi/internal/pinfi"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pinfi-run:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pinfi-run", flag.ContinueOnError)
+	var (
+		benchName = fs.String("bench", "", "benchmark name (bzip2m|mcfm|hmmerm|quantumm|oceanm|raytracem)")
+		srcPath   = fs.String("src", "", "minic source file to inject into (alternative to -bench)")
+		catName   = fs.String("category", "all", "instruction category: all|arithmetic|cast|cmp|load")
+		n         = fs.Int("n", 1000, "activated injections to collect")
+		seed      = fs.Int64("seed", 1, "campaign seed")
+		verbose   = fs.Bool("v", false, "print activation accounting")
+		disasm    = fs.Bool("disasm", false, "print the lowered assembly, marking the category's injection candidates, and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	prog, err := cli.LoadProgram(*benchName, *srcPath)
+	if err != nil {
+		return err
+	}
+	cat, err := fault.ParseCategory(*catName)
+	if err != nil {
+		return err
+	}
+	if *disasm {
+		// Annotate each instruction with a '*' when it is an injection
+		// candidate for the selected category.
+		cands := pinfi.Candidates(prog.Asm, cat)
+		for i := range prog.Asm.Instrs {
+			in := &prog.Asm.Instrs[i]
+			if in.Fn != "" {
+				fmt.Printf("\n%s:\n", in.Fn)
+			}
+			mark := " "
+			if cands[i] {
+				mark = "*"
+			}
+			fmt.Printf("%s %4d: %s\n", mark, i, in.String())
+		}
+		return nil
+	}
+	return cli.RunCampaign(os.Stdout, prog, fault.LevelASM, cat, *n, *seed, *verbose)
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunFlags(t *testing.T) {
+	if err := run([]string{"-bench", "quantumm", "-category", "cmp", "-n", "15", "-seed", "2"}); err != nil {
+		t.Fatalf("basic campaign: %v", err)
+	}
+	if err := run([]string{"-bench", "quantumm", "-category", "load", "-disasm"}); err != nil {
+		t.Fatalf("-disasm: %v", err)
+	}
+	if err := run([]string{"-bench", "quantumm", "-category", "bogus"}); err == nil {
+		t.Error("bad category accepted")
+	}
+}

@@ -1,0 +1,97 @@
+// Custom IR: drive the injector from hand-written IR instead of C source.
+// The textual IR parser accepts the same format the printer emits, so you
+// can craft precise instruction streams — here, a multiply-accumulate
+// kernel — and measure how each instruction category responds to faults.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hlfi/internal/fault"
+	"hlfi/internal/interp"
+	"hlfi/internal/ir"
+	"hlfi/internal/llfi"
+)
+
+const src = `
+@weights = global [16 x i32] init "0100000002000000030000000400000005000000060000000700000008000000"
+@inputs  = global [16 x i32]
+
+define i32 @main() {
+entry:
+  br label %initcond
+initcond:
+  %0 = phi i32 [ 0, %entry ], [ %3, %initbody ]
+  %1 = icmp slt i32 %0, 16
+  br i1 %1, label %initbody, label %maccond
+initbody:
+  %2 = sext i32 %0 to i64
+  %4 = getelementptr [16 x i32]* @inputs, i64 0, i64 %2
+  %5 = mul i32 %0, 7
+  store i32 %5, i32* %4
+  %3 = add i32 %0, 1
+  br label %initcond
+maccond:
+  %6 = phi i32 [ 0, %initcond ], [ %13, %macbody ]
+  %7 = phi i32 [ 0, %initcond ], [ %12, %macbody ]
+  %8 = icmp slt i32 %6, 16
+  br i1 %8, label %macbody, label %done
+macbody:
+  %9 = sext i32 %6 to i64
+  %14 = getelementptr [16 x i32]* @weights, i64 0, i64 %9
+  %15 = getelementptr [16 x i32]* @inputs, i64 0, i64 %9
+  %10 = load i32, i32* %14
+  %16 = load i32, i32* %15
+  %11 = mul i32 %10, %16
+  %12 = add i32 %7, %11
+  %13 = add i32 %6, 1
+  br label %maccond
+done:
+  call void @print_int(i32 %7)
+  ret i32 0
+}
+`
+
+func main() {
+	mod, err := ir.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prep, err := interp.Prepare(mod)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("hand-written MAC kernel, per-category LLFI campaign (n=200):")
+	fmt.Printf("%-12s %10s %8s %8s %8s\n", "category", "dyn.sites", "crash", "sdc", "benign")
+	rng := rand.New(rand.NewSource(1))
+	for _, cat := range fault.Categories {
+		inj, err := llfi.New(prep, cat)
+		if err != nil {
+			fmt.Printf("%-12s %10s\n", cat, "(none)")
+			continue
+		}
+		counts := map[fault.Outcome]int{}
+		activated := 0
+		for activated < 200 {
+			res := inj.InjectOne(rng)
+			if res.Outcome == fault.OutcomeNotActivated {
+				continue
+			}
+			counts[res.Outcome]++
+			activated++
+		}
+		fmt.Printf("%-12s %10d %7.1f%% %7.1f%% %7.1f%%\n",
+			cat, inj.DynTotal,
+			pct(counts[fault.OutcomeCrash], activated),
+			pct(counts[fault.OutcomeSDC], activated),
+			pct(counts[fault.OutcomeBenign], activated))
+	}
+	fmt.Println("\nthe accumulator chain (mul/add) is SDC-prone; the address")
+	fmt.Println("chain (sext/getelementptr) is crash-prone — the paper's")
+	fmt.Println("category-level story in one synthetic kernel.")
+}
+
+func pct(n, total int) float64 { return 100 * float64(n) / float64(total) }

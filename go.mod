@@ -1,0 +1,3 @@
+module hlfi
+
+go 1.22

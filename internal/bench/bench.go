@@ -1,0 +1,99 @@
+// Package bench holds the six benchmark workloads of the study. Each is
+// a mini program written in minic that preserves the instruction-mix
+// character of the paper's corresponding SPEC CPU2006 / SPLASH-2
+// benchmark (Table II) at a scale the simulators can run thousands of
+// times per campaign.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hlfi/internal/core"
+)
+
+// Benchmark describes one workload.
+type Benchmark struct {
+	Name string
+	// Suite is the paper benchmark this one stands in for.
+	Suite       string
+	Description string
+	Source      string
+}
+
+// LoC counts the non-blank source lines (for the Table II analogue).
+func (b Benchmark) LoC() int {
+	n := 0
+	for _, line := range strings.Split(b.Source, "\n") {
+		if strings.TrimSpace(line) != "" {
+			n++
+		}
+	}
+	return n
+}
+
+var registry = map[string]Benchmark{}
+
+func register(b Benchmark) { registry[b.Name] = b }
+
+// All returns every benchmark in the paper's presentation order.
+func All() []Benchmark {
+	order := []string{"bzip2m", "mcfm", "hmmerm", "quantumm", "oceanm", "raytracem"}
+	out := make([]Benchmark, 0, len(order))
+	for _, name := range order {
+		if b, ok := registry[name]; ok {
+			out = append(out, b)
+		}
+	}
+	// Include any extras deterministically.
+	var extra []string
+	for name := range registry {
+		found := false
+		for _, o := range order {
+			if o == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		out = append(out, registry[name])
+	}
+	return out
+}
+
+// ByName looks up one benchmark.
+func ByName(name string) (Benchmark, error) {
+	b, ok := registry[name]
+	if !ok {
+		return Benchmark{}, fmt.Errorf("unknown benchmark %q", name)
+	}
+	return b, nil
+}
+
+// Build compiles one benchmark for both execution levels.
+func Build(name string) (*core.Program, error) {
+	b, err := ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return core.BuildProgram(b.Name, b.Source)
+}
+
+// BuildAll compiles every benchmark.
+func BuildAll() ([]*core.Program, error) {
+	var out []*core.Program
+	for _, b := range All() {
+		p, err := core.BuildProgram(b.Name, b.Source)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBuildAll compiles every benchmark for both levels; BuildProgram
+// itself verifies that the fault-free runs agree between the IR
+// interpreter and the machine simulator.
+func TestBuildAll(t *testing.T) {
+	progs, err := BuildAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progs) != 6 {
+		t.Fatalf("expected 6 benchmarks, got %d", len(progs))
+	}
+	for _, p := range progs {
+		out := string(p.GoldenOutput)
+		if !strings.HasPrefix(out, p.Name) {
+			t.Errorf("%s: output does not start with the benchmark name: %q", p.Name, out)
+		}
+		if p.GoldenExit != 0 {
+			t.Errorf("%s: golden exit %d", p.Name, p.GoldenExit)
+		}
+		t.Logf("%-10s IR=%8d instrs  ASM=%8d instrs  out=%s",
+			p.Name, p.IRInstrs, p.AsmInstrs, strings.TrimSpace(out))
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 6 {
+		t.Fatalf("registry has %d benchmarks", len(all))
+	}
+	for _, b := range all {
+		if b.LoC() < 50 {
+			t.Errorf("%s suspiciously small: %d LoC", b.Name, b.LoC())
+		}
+		if b.Suite == "" || b.Description == "" {
+			t.Errorf("%s missing metadata", b.Name)
+		}
+		if _, err := ByName(b.Name); err != nil {
+			t.Errorf("ByName(%s): %v", b.Name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName(nope) should fail")
+	}
+}

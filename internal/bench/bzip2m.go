@@ -1,0 +1,207 @@
+package bench
+
+func init() {
+	register(Benchmark{
+		Name:        "bzip2m",
+		Suite:       "SPEC (bzip2)",
+		Description: "Block compression: run-length encoding + move-to-front + run coding, with decompression and verification. Byte- and address-computation heavy, like bzip2.",
+		Source:      bzip2mSrc,
+	})
+}
+
+const bzip2mSrc = `
+/* bzip2m: block compressor (RLE1 + move-to-front + zero-run coding). */
+
+int INSIZE = 700;
+
+char input[2048];
+char rle[4096];
+char mtf[4096];
+char packed[4096];
+char unpacked[4096];
+char unmtf[4096];
+char unrle[4096];
+
+long rngState = 12345;
+
+int nextRand(int m) {
+    rngState = rngState * 6364136223846793005L + 1442695040888963407L;
+    long x = rngState >> 33;
+    if (x < 0) x = -x;
+    return (int)(x % m);
+}
+
+/* Generate compressible input: runs of a small alphabet. */
+void genInput(int n) {
+    int i = 0;
+    while (i < n) {
+        char c = (char)('a' + nextRand(6));
+        int run = 1 + nextRand(9);
+        for (int k = 0; k < run && i < n; k++) {
+            input[i] = c;
+            i++;
+        }
+    }
+}
+
+/* RLE1: runs of 4+ identical bytes become 4 bytes + count byte. */
+int rleEncode(char *src, int n, char *dst) {
+    int o = 0;
+    int i = 0;
+    while (i < n) {
+        char c = src[i];
+        int run = 1;
+        while (i + run < n && src[i + run] == c && run < 255) run++;
+        if (run >= 4) {
+            dst[o] = c; dst[o+1] = c; dst[o+2] = c; dst[o+3] = c;
+            dst[o+4] = (char)(run - 4);
+            o += 5;
+        } else {
+            for (int k = 0; k < run; k++) {
+                dst[o] = c;
+                o++;
+            }
+        }
+        i += run;
+    }
+    return o;
+}
+
+int rleDecode(char *src, int n, char *dst) {
+    int o = 0;
+    int i = 0;
+    while (i < n) {
+        char c = src[i];
+        if (i + 3 < n && src[i+1] == c && src[i+2] == c && src[i+3] == c) {
+            int run = 4 + (src[i+4] & 255);
+            for (int k = 0; k < run; k++) {
+                dst[o] = c;
+                o++;
+            }
+            i += 5;
+        } else {
+            dst[o] = c;
+            o++;
+            i++;
+        }
+    }
+    return o;
+}
+
+int mtfTable[256];
+
+void mtfInit() {
+    for (int i = 0; i < 256; i++) mtfTable[i] = i;
+}
+
+/* Move-to-front transform: emit each byte's current rank. */
+void mtfEncode(char *src, int n, char *dst) {
+    mtfInit();
+    for (int i = 0; i < n; i++) {
+        int v = src[i] & 255;
+        int j = 0;
+        while (mtfTable[j] != v) j++;
+        dst[i] = (char)j;
+        while (j > 0) {
+            mtfTable[j] = mtfTable[j-1];
+            j--;
+        }
+        mtfTable[0] = v;
+    }
+}
+
+void mtfDecode(char *src, int n, char *dst) {
+    mtfInit();
+    for (int i = 0; i < n; i++) {
+        int j = src[i] & 255;
+        int v = mtfTable[j];
+        dst[i] = (char)v;
+        while (j > 0) {
+            mtfTable[j] = mtfTable[j-1];
+            j--;
+        }
+        mtfTable[0] = v;
+    }
+}
+
+/* Zero-run coder: MTF output is zero-heavy; code zero runs compactly. */
+int packZeros(char *src, int n, char *dst) {
+    int o = 0;
+    int i = 0;
+    while (i < n) {
+        if (src[i] == 0) {
+            int run = 1;
+            while (i + run < n && src[i + run] == 0 && run < 200) run++;
+            dst[o] = (char)255;
+            dst[o+1] = (char)run;
+            o += 2;
+            i += run;
+        } else {
+            dst[o] = src[i];
+            o++;
+            i++;
+        }
+    }
+    return o;
+}
+
+int unpackZeros(char *src, int n, char *dst) {
+    int o = 0;
+    int i = 0;
+    while (i < n) {
+        if ((src[i] & 255) == 255) {
+            int run = src[i+1] & 255;
+            for (int k = 0; k < run; k++) {
+                dst[o] = 0;
+                o++;
+            }
+            i += 2;
+        } else {
+            dst[o] = src[i];
+            o++;
+            i++;
+        }
+    }
+    return o;
+}
+
+long checksum(char *buf, int n) {
+    long h = 5381;
+    for (int i = 0; i < n; i++) {
+        h = h * 33 + (buf[i] & 255);
+        h = h & 0xFFFFFFFFFFFFL;
+    }
+    return h;
+}
+
+int main() {
+    genInput(INSIZE);
+    long inSum = checksum(input, INSIZE);
+
+    int rleLen = rleEncode(input, INSIZE, rle);
+    mtfEncode(rle, rleLen, mtf);
+    int packedLen = packZeros(mtf, rleLen, packed);
+
+    int unpackedLen = unpackZeros(packed, packedLen, unpacked);
+    mtfDecode(unpacked, unpackedLen, unmtf);
+    int outLen = rleDecode(unmtf, unpackedLen, unrle);
+
+    int ok = 1;
+    if (outLen != INSIZE) ok = 0;
+    for (int i = 0; i < INSIZE && ok; i++) {
+        if (unrle[i] != input[i]) ok = 0;
+    }
+
+    print_str("bzip2m in="); print_long(inSum);
+    print_str(" rle="); print_int(rleLen);
+    print_str(" packed="); print_int(packedLen);
+    print_str(" packsum="); print_long(checksum(packed, packedLen));
+    print_str(" roundtrip="); print_int(ok);
+    /* compression ratio: the benchmark's only floating-point code, like
+     * bzip2's handful of fp conversion instructions */
+    double ratio = (double)packedLen / (double)INSIZE;
+    print_str(" ratio="); print_double(ratio);
+    print_str("\n");
+    return ok == 1 ? 0 : 1;
+}
+`

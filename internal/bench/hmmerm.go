@@ -1,0 +1,150 @@
+package bench
+
+func init() {
+	register(Benchmark{
+		Name:        "hmmerm",
+		Suite:       "SPEC (hmmer)",
+		Description: "Profile-HMM Viterbi search of a database of sequences against a consensus model, integer log-odds scores. Load + integer-arithmetic heavy, like hmmer.",
+		Source:      hmmermSrc,
+	})
+}
+
+const hmmermSrc = `
+/* hmmerm: Viterbi alignment of sequences against a profile HMM with
+ * match/insert/delete states and integer log-odds scores. */
+
+int M = 14;        /* model length (match states) */
+int NSEQ = 3;      /* database size */
+int SEQLEN = 44;   /* sequence length */
+int NALPHA = 4;    /* alphabet (DNA) */
+
+int matchScore[24][4];   /* match emission scores */
+int insertScore[4];      /* insert emission scores */
+int trMM[24];            /* transition scores */
+int trMI[24];
+int trMD[24];
+int trIM[24];
+int trII[24];
+int trDM[24];
+int trDD[24];
+
+int seq[8][80];
+
+/* rolling DP rows: [state-kind][model position] */
+int vm[2][24];
+int vi[2][24];
+int vd[2][24];
+
+int NEGINF = -100000000;
+
+long rngState = 555555;
+
+int nextRand(int m) {
+    rngState = rngState * 6364136223846793005L + 1442695040888963407L;
+    long x = rngState >> 33;
+    if (x < 0) x = -x;
+    return (int)(x % m);
+}
+
+void buildModel() {
+    for (int k = 0; k <= M; k++) {
+        for (int a = 0; a < NALPHA; a++) {
+            matchScore[k][a] = nextRand(40) - 10;
+        }
+        trMM[k] = -1 - nextRand(3);
+        trMI[k] = -8 - nextRand(6);
+        trMD[k] = -9 - nextRand(6);
+        trIM[k] = -3 - nextRand(4);
+        trII[k] = -4 - nextRand(4);
+        trDM[k] = -3 - nextRand(4);
+        trDD[k] = -7 - nextRand(5);
+    }
+    for (int a = 0; a < NALPHA; a++) insertScore[a] = -2;
+}
+
+void buildSeqs() {
+    for (int s = 0; s < NSEQ; s++) {
+        for (int i = 0; i < SEQLEN; i++) {
+            seq[s][i] = nextRand(NALPHA);
+        }
+    }
+}
+
+int max2(int a, int b) {
+    return a > b ? a : b;
+}
+
+int max3(int a, int b, int c) {
+    int m = a;
+    if (b > m) m = b;
+    if (c > m) m = c;
+    return m;
+}
+
+/* Viterbi score of one sequence against the model. */
+int viterbi(int s) {
+    int cur = 0;
+    int prev = 1;
+    for (int k = 0; k <= M; k++) {
+        vm[prev][k] = NEGINF;
+        vi[prev][k] = NEGINF;
+        vd[prev][k] = NEGINF;
+    }
+    vm[prev][0] = 0;
+    int best = NEGINF;
+    for (int i = 0; i < SEQLEN; i++) {
+        int c = seq[s][i];
+        vm[cur][0] = 0;    /* local alignment: free restart */
+        vi[cur][0] = NEGINF;
+        vd[cur][0] = NEGINF;
+        for (int k = 1; k <= M; k++) {
+            int mm = vm[prev][k-1] + trMM[k-1];
+            int im = vi[prev][k-1] + trIM[k-1];
+            int dm = vd[prev][k-1] + trDM[k-1];
+            vm[cur][k] = max3(mm, im, dm) + matchScore[k][c];
+
+            int mi = vm[prev][k] + trMI[k];
+            int ii = vi[prev][k] + trII[k];
+            vi[cur][k] = max2(mi, ii) + insertScore[c];
+
+            int md = vm[cur][k-1] + trMD[k-1];
+            int dd = vd[cur][k-1] + trDD[k-1];
+            vd[cur][k] = max2(md, dd);
+
+            if (vm[cur][k] > best) best = vm[cur][k];
+        }
+        int t = cur;
+        cur = prev;
+        prev = t;
+    }
+    return best;
+}
+
+int main() {
+    buildModel();
+    buildSeqs();
+
+    long total = 0;
+    int hits = 0;
+    int bestScore = NEGINF;
+    int bestSeq = -1;
+    for (int s = 0; s < NSEQ; s++) {
+        int sc = viterbi(s);
+        total += sc;
+        if (sc > 60) hits++;
+        if (sc > bestScore) {
+            bestScore = sc;
+            bestSeq = s;
+        }
+    }
+
+    print_str("hmmerm total="); print_long(total);
+    print_str(" best="); print_int(bestScore);
+    print_str(" bestseq="); print_int(bestSeq);
+    print_str(" hits="); print_int(hits);
+    double meanScore = (double)total / (double)NSEQ;
+    print_str(" mean="); print_double(meanScore);
+    print_str("\n");
+    return 0;
+}
+`

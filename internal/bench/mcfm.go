@@ -1,0 +1,172 @@
+package bench
+
+func init() {
+	register(Benchmark{
+		Name:        "mcfm",
+		Suite:       "SPEC (mcf)",
+		Description: "Single-depot vehicle scheduling as min-cost flow via successive shortest paths (Bellman-Ford), with linked adjacency lists. Pointer-chasing heavy, like mcf.",
+		Source:      mcfmSrc,
+	})
+}
+
+const mcfmSrc = `
+/* mcfm: min-cost flow by successive shortest paths on a vehicle
+ * scheduling network: depot -> trips -> depot', with deadhead arcs
+ * between compatible trips. */
+
+int NTRIPS = 14;
+int MAXN = 64;    /* nodes: 0 = source depot, 1..NTRIPS trips, NTRIPS+1 sink */
+int MAXARCS = 1024;
+
+struct arc {
+    int to;
+    int cap;
+    int cost;
+    int flow;
+    int next;    /* next arc index out of the same node, -1 ends */
+    int partner; /* reverse arc index */
+};
+
+struct arc arcs[1024];
+int head[64];
+int narcs = 0;
+
+long rngState = 987654321;
+
+int nextRand(int m) {
+    rngState = rngState * 6364136223846793005L + 1442695040888963407L;
+    long x = rngState >> 33;
+    if (x < 0) x = -x;
+    return (int)(x % m);
+}
+
+void addArcPair(int u, int v, int cap, int cost) {
+    arcs[narcs].to = v;
+    arcs[narcs].cap = cap;
+    arcs[narcs].cost = cost;
+    arcs[narcs].flow = 0;
+    arcs[narcs].next = head[u];
+    arcs[narcs].partner = narcs + 1;
+    head[u] = narcs;
+    narcs++;
+    arcs[narcs].to = u;
+    arcs[narcs].cap = 0;
+    arcs[narcs].cost = -cost;
+    arcs[narcs].flow = 0;
+    arcs[narcs].next = head[v];
+    arcs[narcs].partner = narcs - 1;
+    head[v] = narcs;
+    narcs++;
+}
+
+int tripStart[32];
+int tripEnd[32];
+
+void buildNetwork() {
+    int source = 0;
+    int sink = NTRIPS + 1;
+    for (int i = 0; i < MAXN; i++) head[i] = -1;
+    for (int t = 1; t <= NTRIPS; t++) {
+        tripStart[t] = nextRand(400);
+        tripEnd[t] = tripStart[t] + 20 + nextRand(60);
+        /* pull a vehicle from the depot */
+        addArcPair(source, t, 1, 80 + nextRand(40));
+        /* return the vehicle to the depot */
+        addArcPair(t, sink, 1, 80 + nextRand(40));
+    }
+    /* deadhead arcs between compatible trips */
+    for (int a = 1; a <= NTRIPS; a++) {
+        for (int b = 1; b <= NTRIPS; b++) {
+            if (a != b && tripEnd[a] + 10 <= tripStart[b]) {
+                addArcPair(a, b, 1, 5 + nextRand(20));
+            }
+        }
+    }
+}
+
+int dist[64];
+int parentArc[64];
+int INF = 1000000000;
+
+/* Bellman-Ford over the residual network. */
+int shortestPath(int source, int sink, int n) {
+    for (int i = 0; i < n; i++) {
+        dist[i] = INF;
+        parentArc[i] = -1;
+    }
+    dist[source] = 0;
+    for (int round = 0; round < n; round++) {
+        int changed = 0;
+        for (int u = 0; u < n; u++) {
+            if (dist[u] >= INF) continue;
+            int ai = head[u];
+            while (ai >= 0) {
+                if (arcs[ai].cap - arcs[ai].flow > 0) {
+                    int nd = dist[u] + arcs[ai].cost;
+                    if (nd < dist[arcs[ai].to]) {
+                        dist[arcs[ai].to] = nd;
+                        parentArc[arcs[ai].to] = ai;
+                        changed = 1;
+                    }
+                }
+                ai = arcs[ai].next;
+            }
+        }
+        if (!changed) break;
+    }
+    if (dist[sink] >= INF) return 0;
+    return 1;
+}
+
+int main() {
+    buildNetwork();
+    int source = 0;
+    int sink = NTRIPS + 1;
+    int n = NTRIPS + 2;
+
+    long totalCost = 0;
+    int totalFlow = 0;
+    int paths = 0;
+    while (shortestPath(source, sink, n)) {
+        /* find bottleneck */
+        int bottleneck = INF;
+        int v = sink;
+        while (v != source) {
+            int ai = parentArc[v];
+            int residual = arcs[ai].cap - arcs[ai].flow;
+            if (residual < bottleneck) bottleneck = residual;
+            v = arcs[arcs[ai].partner].to;
+        }
+        /* augment */
+        v = sink;
+        while (v != source) {
+            int ai = parentArc[v];
+            arcs[ai].flow += bottleneck;
+            arcs[arcs[ai].partner].flow -= bottleneck;
+            totalCost += (long)(arcs[ai].cost * bottleneck);
+            v = arcs[arcs[ai].partner].to;
+        }
+        totalFlow += bottleneck;
+        paths++;
+        if (paths > 100) break;
+    }
+
+    /* vehicles used = flow out of the depot */
+    int vehicles = 0;
+    int ai = head[source];
+    while (ai >= 0) {
+        vehicles += arcs[ai].flow;
+        ai = arcs[ai].next;
+    }
+
+    print_str("mcfm flow="); print_int(totalFlow);
+    print_str(" cost="); print_long(totalCost);
+    print_str(" vehicles="); print_int(vehicles);
+    print_str(" arcs="); print_int(narcs);
+    print_str(" paths="); print_int(paths);
+    double avgCost = (double)totalCost / (double)(vehicles > 0 ? vehicles : 1);
+    print_str(" avg="); print_double(avgCost);
+    print_str("\n");
+    return 0;
+}
+`

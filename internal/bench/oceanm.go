@@ -1,0 +1,92 @@
+package bench
+
+func init() {
+	register(Benchmark{
+		Name:        "oceanm",
+		Suite:       "SPLASH-2 (ocean)",
+		Description: "Eddy/boundary-current ocean basin relaxation: red-black Gauss-Seidel over a 2D stream-function grid with wind forcing. Floating-point stencil heavy, like ocean.",
+		Source:      oceanmSrc,
+	})
+}
+
+const oceanmSrc = `
+/* oceanm: red-black Gauss-Seidel relaxation of a wind-driven barotropic
+ * stream function on a square basin. */
+
+int N = 16;          /* grid dimension including boundary */
+int ITERS = 20;
+
+double psi[16][16];     /* stream function */
+double forcing[16][16]; /* wind-stress curl */
+
+double OMEGA = 1.25;    /* over-relaxation factor */
+
+void initGrid() {
+    for (int i = 0; i < N; i++) {
+        for (int j = 0; j < N; j++) {
+            psi[i][j] = 0.0;
+            /* sinusoidal-ish wind forcing built from polynomials to stay
+             * deterministic without tables */
+            double x = (double)i / N;
+            double y = (double)j / N;
+            forcing[i][j] = 16.0 * x * (1.0 - x) * (0.5 - y);
+        }
+    }
+    /* western boundary current: fixed inflow profile */
+    for (int j = 0; j < N; j++) {
+        double y = (double)j / N;
+        psi[0][j] = 4.0 * y * (1.0 - y);
+    }
+}
+
+/* one red-black sweep; returns the max update magnitude */
+double sweep(int color) {
+    double maxDelta = 0.0;
+    for (int i = 1; i < N - 1; i++) {
+        for (int j = 1; j < N - 1; j++) {
+            if (((i + j) & 1) != color) continue;
+            double neigh = psi[i-1][j] + psi[i+1][j] + psi[i][j-1] + psi[i][j+1];
+            double target = 0.25 * (neigh - forcing[i][j]);
+            double delta = target - psi[i][j];
+            psi[i][j] = psi[i][j] + OMEGA * delta;
+            double mag = fabs(delta);
+            if (mag > maxDelta) maxDelta = mag;
+        }
+    }
+    return maxDelta;
+}
+
+/* kinetic-energy-like diagnostic */
+double energy() {
+    double e = 0.0;
+    for (int i = 1; i < N - 1; i++) {
+        for (int j = 1; j < N - 1; j++) {
+            double u = psi[i][j+1] - psi[i][j-1];
+            double v = psi[i+1][j] - psi[i-1][j];
+            e += u * u + v * v;
+        }
+    }
+    return e;
+}
+
+int main() {
+    initGrid();
+    double resid = 0.0;
+    int it = 0;
+    while (it < ITERS) {
+        double r1 = sweep(0);
+        double r2 = sweep(1);
+        resid = r1 > r2 ? r1 : r2;
+        it++;
+        if (resid < 0.0000001) break;
+    }
+
+    print_str("oceanm iters="); print_int(it);
+    print_str(" resid="); print_double(resid);
+    print_str(" energy="); print_double(energy());
+    print_str(" center="); print_double(psi[8][8]);
+    print_str(" west="); print_double(psi[1][8]);
+    print_str("\n");
+    return 0;
+}
+`

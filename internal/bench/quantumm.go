@@ -1,0 +1,141 @@
+package bench
+
+func init() {
+	register(Benchmark{
+		Name:        "quantumm",
+		Suite:       "SPEC (libquantum)",
+		Description: "State-vector quantum computer simulation: Hadamard/CNOT/phase gates and a Grover-style iteration over an 8-qubit register. Data-movement heavy, like libquantum.",
+		Source:      quantummSrc,
+	})
+}
+
+const quantummSrc = `
+/* quantumm: dense state-vector simulation of an 8-qubit register. */
+
+int NQUBITS = 7;
+int DIM = 128;   /* 2^NQUBITS */
+
+double re[128];
+double im[128];
+
+double INVSQRT2 = 0.7071067811865476;
+
+void initState() {
+    for (int i = 0; i < DIM; i++) {
+        re[i] = 0.0;
+        im[i] = 0.0;
+    }
+    re[0] = 1.0;
+}
+
+/* Hadamard on qubit q. */
+void hadamard(int q) {
+    int mask = 1 << q;
+    for (int i = 0; i < DIM; i++) {
+        if ((i & mask) == 0) {
+            int j = i | mask;
+            double ar = re[i];
+            double ai = im[i];
+            double br = re[j];
+            double bi = im[j];
+            re[i] = (ar + br) * INVSQRT2;
+            im[i] = (ai + bi) * INVSQRT2;
+            re[j] = (ar - br) * INVSQRT2;
+            im[j] = (ai - bi) * INVSQRT2;
+        }
+    }
+}
+
+/* Controlled NOT: flips target amplitude pairs when control bit set. */
+void cnot(int control, int target) {
+    int cm = 1 << control;
+    int tm = 1 << target;
+    for (int i = 0; i < DIM; i++) {
+        if ((i & cm) != 0 && (i & tm) == 0) {
+            int j = i | tm;
+            double tr = re[i];
+            double ti = im[i];
+            re[i] = re[j];
+            im[i] = im[j];
+            re[j] = tr;
+            im[j] = ti;
+        }
+    }
+}
+
+/* Phase flip of one basis state (oracle for Grover search). */
+void oracle(int marked) {
+    re[marked] = -re[marked];
+    im[marked] = -im[marked];
+}
+
+/* Inversion about the mean (Grover diffusion). */
+void diffusion() {
+    double meanR = 0.0;
+    double meanI = 0.0;
+    for (int i = 0; i < DIM; i++) {
+        meanR += re[i];
+        meanI += im[i];
+    }
+    meanR = meanR / DIM;
+    meanI = meanI / DIM;
+    for (int i = 0; i < DIM; i++) {
+        re[i] = 2.0 * meanR - re[i];
+        im[i] = 2.0 * meanI - im[i];
+    }
+}
+
+double probability(int state) {
+    return re[state] * re[state] + im[state] * im[state];
+}
+
+double norm() {
+    double s = 0.0;
+    for (int i = 0; i < DIM; i++) s += probability(i);
+    return s;
+}
+
+int main() {
+    int marked = 101;  /* the state Grover should amplify */
+
+    initState();
+    /* uniform superposition */
+    for (int q = 0; q < NQUBITS; q++) hadamard(q);
+
+    /* entangle a few qubits like libquantum's gate batches */
+    for (int q = 0; q + 1 < NQUBITS; q++) cnot(q, q + 1);
+    for (int q = 0; q + 1 < NQUBITS; q++) cnot(q, q + 1);
+
+    /* Grover iterations: about pi/4*sqrt(2^n) ~ 12 for n=8 */
+    for (int it = 0; it < 8; it++) {
+        oracle(marked);
+        diffusion();
+    }
+
+    double pMarked = probability(marked);
+    double n = norm();
+
+    /* histogram of probability mass by leading 2 bits */
+    double q0 = 0.0;
+    double q1 = 0.0;
+    double q2 = 0.0;
+    double q3 = 0.0;
+    for (int i = 0; i < DIM; i++) {
+        double p = probability(i);
+        int top = i >> 5;
+        if (top == 0) q0 += p;
+        if (top == 1) q1 += p;
+        if (top == 2) q2 += p;
+        if (top == 3) q3 += p;
+    }
+
+    print_str("quantumm p(marked)="); print_double(pMarked);
+    print_str(" norm="); print_double(n);
+    print_str(" q=["); print_double(q0);
+    print_str(","); print_double(q1);
+    print_str(","); print_double(q2);
+    print_str(","); print_double(q3);
+    print_str("]\n");
+    return pMarked > 0.5 ? 0 : 1;
+}
+`

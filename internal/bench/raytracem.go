@@ -1,0 +1,173 @@
+package bench
+
+func init() {
+	register(Benchmark{
+		Name:        "raytracem",
+		Suite:       "SPLASH-2 (raytrace)",
+		Description: "Recursive ray tracer: sphere scene with Lambertian shading, shadows and one reflection bounce, rendering to a checksummed framebuffer. FP + sqrt heavy, like raytrace.",
+		Source:      raytracemSrc,
+	})
+}
+
+const raytracemSrc = `
+/* raytracem: renders a three-dimensional sphere scene by ray tracing. */
+
+int W = 18;
+int H = 13;
+int NSPHERES = 5;
+
+struct sphere {
+    double cx; double cy; double cz;
+    double radius;
+    double r; double g; double b;   /* surface color */
+    double refl;                    /* reflectivity 0..1 */
+};
+
+struct sphere scene[5];
+
+double lightX = 5.0;
+double lightY = 8.0;
+double lightZ = -3.0;
+
+int frame[18][13];
+
+void buildScene() {
+    scene[0].cx = 0.0;  scene[0].cy = -1002.0; scene[0].cz = 8.0;
+    scene[0].radius = 1000.0;  /* floor */
+    scene[0].r = 0.8; scene[0].g = 0.8; scene[0].b = 0.6; scene[0].refl = 0.1;
+
+    scene[1].cx = -1.6; scene[1].cy = 0.0; scene[1].cz = 7.0;
+    scene[1].radius = 1.4;
+    scene[1].r = 0.9; scene[1].g = 0.2; scene[1].b = 0.2; scene[1].refl = 0.4;
+
+    scene[2].cx = 1.7; scene[2].cy = -0.4; scene[2].cz = 6.0;
+    scene[2].radius = 1.0;
+    scene[2].r = 0.2; scene[2].g = 0.9; scene[2].b = 0.3; scene[2].refl = 0.3;
+
+    scene[3].cx = 0.2; scene[3].cy = 1.2; scene[3].cz = 9.5;
+    scene[3].radius = 1.2;
+    scene[3].r = 0.3; scene[3].g = 0.3; scene[3].b = 0.95; scene[3].refl = 0.6;
+
+    scene[4].cx = -0.4; scene[4].cy = -1.2; scene[4].cz = 4.5;
+    scene[4].radius = 0.5;
+    scene[4].r = 0.9; scene[4].g = 0.9; scene[4].b = 0.1; scene[4].refl = 0.2;
+}
+
+/* Ray-sphere intersection: returns distance or -1. */
+double intersect(int s, double ox, double oy, double oz,
+                 double dx, double dy, double dz) {
+    double lx = scene[s].cx - ox;
+    double ly = scene[s].cy - oy;
+    double lz = scene[s].cz - oz;
+    double tca = lx * dx + ly * dy + lz * dz;
+    double d2 = lx * lx + ly * ly + lz * lz - tca * tca;
+    double r2 = scene[s].radius * scene[s].radius;
+    if (d2 > r2) return -1.0;
+    double thc = sqrt(r2 - d2);
+    double t0 = tca - thc;
+    double t1 = tca + thc;
+    if (t0 > 0.001) return t0;
+    if (t1 > 0.001) return t1;
+    return -1.0;
+}
+
+int nearestHit(double ox, double oy, double oz,
+               double dx, double dy, double dz, double *tOut) {
+    int hit = -1;
+    double best = 1000000.0;
+    for (int s = 0; s < NSPHERES; s++) {
+        double t = intersect(s, ox, oy, oz, dx, dy, dz);
+        if (t > 0.0 && t < best) {
+            best = t;
+            hit = s;
+        }
+    }
+    *tOut = best;
+    return hit;
+}
+
+double shadePoint(int s, double px, double py, double pz) {
+    /* surface normal */
+    double nx = (px - scene[s].cx) / scene[s].radius;
+    double ny = (py - scene[s].cy) / scene[s].radius;
+    double nz = (pz - scene[s].cz) / scene[s].radius;
+    /* direction to light */
+    double lx = lightX - px;
+    double ly = lightY - py;
+    double lz = lightZ - pz;
+    double llen = sqrt(lx * lx + ly * ly + lz * lz);
+    lx = lx / llen; ly = ly / llen; lz = lz / llen;
+    double lambert = nx * lx + ny * ly + nz * lz;
+    if (lambert < 0.0) lambert = 0.0;
+    /* shadow ray */
+    double tshadow = 0.0;
+    int blocker = nearestHit(px + nx * 0.01, py + ny * 0.01, pz + nz * 0.01,
+                             lx, ly, lz, &tshadow);
+    if (blocker >= 0 && tshadow < llen) lambert = lambert * 0.2;
+    return 0.15 + 0.85 * lambert;
+}
+
+/* Trace one ray with at most one reflection bounce; returns luminance. */
+double trace(double ox, double oy, double oz,
+             double dx, double dy, double dz, int depth) {
+    double t = 0.0;
+    int s = nearestHit(ox, oy, oz, dx, dy, dz, &t);
+    if (s < 0) {
+        /* sky gradient */
+        return 0.25 + 0.25 * (dy > 0.0 ? dy : 0.0);
+    }
+    double px = ox + dx * t;
+    double py = oy + dy * t;
+    double pz = oz + dz * t;
+    double shade = shadePoint(s, px, py, pz);
+    double lum = shade * (0.3 * scene[s].r + 0.5 * scene[s].g + 0.2 * scene[s].b);
+    if (depth > 0 && scene[s].refl > 0.0) {
+        double nx = (px - scene[s].cx) / scene[s].radius;
+        double ny = (py - scene[s].cy) / scene[s].radius;
+        double nz = (pz - scene[s].cz) / scene[s].radius;
+        double dot = dx * nx + dy * ny + dz * nz;
+        double rx = dx - 2.0 * dot * nx;
+        double ry = dy - 2.0 * dot * ny;
+        double rz = dz - 2.0 * dot * nz;
+        double rl = trace(px + nx * 0.01, py + ny * 0.01, pz + nz * 0.01,
+                          rx, ry, rz, depth - 1);
+        lum = lum * (1.0 - scene[s].refl) + rl * scene[s].refl;
+    }
+    return lum;
+}
+
+int main() {
+    buildScene();
+    long sum = 0;
+    for (int x = 0; x < W; x++) {
+        for (int y = 0; y < H; y++) {
+            double sx = ((double)x / W - 0.5) * 2.4;
+            double sy = (0.5 - (double)y / H) * 1.8;
+            double dx = sx;
+            double dy = sy;
+            double dz = 2.0;
+            double len = sqrt(dx * dx + dy * dy + dz * dz);
+            dx = dx / len; dy = dy / len; dz = dz / len;
+            double lum = trace(0.0, 0.5, 0.0, dx, dy, dz, 2);
+            int pixel = (int)(lum * 255.0);
+            if (pixel > 255) pixel = 255;
+            if (pixel < 0) pixel = 0;
+            frame[x][y] = pixel;
+            sum += pixel;
+        }
+    }
+    /* column profile samples + frame checksum */
+    long h = 0;
+    for (int x = 0; x < W; x++) {
+        for (int y = 0; y < H; y++) {
+            h = (h * 131 + frame[x][y]) & 0xFFFFFFFFFFFFL;
+        }
+    }
+    print_str("raytracem sum="); print_long(sum);
+    print_str(" hash="); print_long(h);
+    print_str(" p00="); print_int(frame[0][0]);
+    print_str(" mid="); print_int(frame[9][6]);
+    print_str("\n");
+    return 0;
+}
+`

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hlfi/internal/interp"
+	"hlfi/internal/ir"
+	"hlfi/internal/minic"
+)
+
+// TestIRRoundTrip prints each benchmark's optimized IR, parses it back,
+// and executes the parsed module: output must match the original golden
+// run, and a second print must be byte-stable. This exercises the printer
+// and parser against every IR construct the real workloads produce.
+func TestIRRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs all six benchmarks twice")
+	}
+	for _, b := range All() {
+		mod, err := minic.Compile(b.Name, b.Source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := mod.String()
+		mod2, err := ir.Parse(text)
+		if err != nil {
+			t.Fatalf("%s: parse printed IR: %v", b.Name, err)
+		}
+		text2 := mod2.String()
+		// Skip the "; module NAME" first line, which legitimately differs.
+		if after(text) != after(text2) {
+			t.Fatalf("%s: print->parse->print not stable", b.Name)
+		}
+
+		prep1, err := interp.Prepare(mod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prep2, err := interp.Prepare(mod2)
+		if err != nil {
+			t.Fatalf("%s: prepare parsed: %v", b.Name, err)
+		}
+		var out1, out2 bytes.Buffer
+		rc1, err1 := interp.NewRunner(prep1, &out1).Run()
+		rc2, err2 := interp.NewRunner(prep2, &out2).Run()
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: run: %v / %v", b.Name, err1, err2)
+		}
+		if out1.String() != out2.String() || rc1 != rc2 {
+			t.Fatalf("%s: parsed module behaves differently:\n%q\nvs\n%q",
+				b.Name, out1.String(), out2.String())
+		}
+	}
+}
+
+func after(s string) string {
+	idx := strings.Index(s, "\n")
+	return s[idx:]
+}

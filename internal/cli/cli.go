@@ -1,0 +1,57 @@
+// Package cli holds the shared plumbing of the command-line tools:
+// program loading and campaign reporting.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"hlfi/internal/bench"
+	"hlfi/internal/core"
+	"hlfi/internal/fault"
+)
+
+// LoadProgram builds a Program from a registered benchmark name or a
+// minic source file (exactly one must be given).
+func LoadProgram(benchName, srcPath string) (*core.Program, error) {
+	switch {
+	case benchName != "" && srcPath != "":
+		return nil, fmt.Errorf("use -bench or -src, not both")
+	case benchName != "":
+		return bench.Build(benchName)
+	case srcPath != "":
+		src, err := os.ReadFile(srcPath)
+		if err != nil {
+			return nil, err
+		}
+		return core.BuildProgram(srcPath, string(src))
+	default:
+		return nil, fmt.Errorf("one of -bench or -src is required")
+	}
+}
+
+// RunCampaign executes one campaign cell and prints the paper-style
+// summary to w.
+func RunCampaign(w io.Writer, prog *core.Program, level fault.Level, cat fault.Category, n int, seed int64, verbose bool) error {
+	dyn, err := core.DynCount(prog, level, cat)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%s: %s, category %s: %d dynamic candidate instructions\n",
+		level, prog.Name, cat, dyn)
+	c := &core.Campaign{Prog: prog, Level: level, Category: cat, N: n, Seed: seed}
+	res, err := c.Run()
+	if err != nil {
+		return err
+	}
+	if verbose {
+		fmt.Fprintf(w, "attempts=%d (non-activated redrawn: %d)\n", res.Attempts, res.NotActivated)
+	}
+	fmt.Fprintf(w, "activated faults : %d\n", res.Activated())
+	fmt.Fprintf(w, "  crash  : %4d  (%5.1f%% ±%.1f%%)\n", res.Crash, 100*res.CrashRate().Rate(), 100*res.CrashRate().WaldCI())
+	fmt.Fprintf(w, "  sdc    : %4d  (%5.1f%% ±%.1f%%)\n", res.SDC, 100*res.SDCRate().Rate(), 100*res.SDCRate().WaldCI())
+	fmt.Fprintf(w, "  hang   : %4d  (%5.1f%%)\n", res.Hang, 100*res.HangRate().Rate())
+	fmt.Fprintf(w, "  benign : %4d  (%5.1f%%)\n", res.Benign, 100*res.BenignRate().Rate())
+	return nil
+}

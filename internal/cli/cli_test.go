@@ -1,0 +1,69 @@
+package cli
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hlfi/internal/fault"
+)
+
+func TestLoadProgramValidation(t *testing.T) {
+	if _, err := LoadProgram("", ""); err == nil {
+		t.Error("neither -bench nor -src should error")
+	}
+	if _, err := LoadProgram("bzip2m", "x.c"); err == nil {
+		t.Error("both -bench and -src should error")
+	}
+	if _, err := LoadProgram("nonexistent", ""); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+	if _, err := LoadProgram("", "/does/not/exist.c"); err == nil {
+		t.Error("missing source file should error")
+	}
+}
+
+func TestLoadProgramFromSource(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.c")
+	src := `
+int main() {
+    int s = 0;
+    for (int i = 0; i < 5; i++) s += i * i;
+    print_int(s);
+    print_str("\n");
+    return 0;
+}
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := LoadProgram("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(prog.GoldenOutput) != "30\n" {
+		t.Fatalf("golden output %q", prog.GoldenOutput)
+	}
+
+	var buf bytes.Buffer
+	if err := RunCampaign(&buf, prog, fault.LevelIR, fault.CatAll, 20, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"LLFI", "dynamic candidate", "activated faults : 20", "crash", "sdc", "benign"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("campaign report missing %q:\n%s", want, out)
+		}
+	}
+
+	var buf2 bytes.Buffer
+	if err := RunCampaign(&buf2, prog, fault.LevelASM, fault.CatCmp, 15, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf2.String(), "PINFI") {
+		t.Errorf("asm campaign report:\n%s", buf2.String())
+	}
+}

@@ -1,0 +1,574 @@
+// Package codegen lowers IR modules to the synthetic x86-like ISA. It is
+// the study's stand-in for the LLVM x86 backend, and it deliberately
+// reproduces every IR↔assembly correspondence the paper's Table I calls
+// out:
+//
+//   - getelementptr either folds into a [base+index*scale+disp] addressing
+//     mode of the consuming load/store or lowers to LEA/IMUL/ADD address
+//     arithmetic;
+//   - phi nodes become stack slots with data-movement instructions at the
+//     predecessors (register spilling);
+//   - calls produce push/pop frame setup and argument-register moves that
+//     have no IR counterpart;
+//   - compare-and-branch pairs fuse into CMP+Jcc reading RFLAGS;
+//   - most IR casts become plain data transfers (MOV/MOVZX/MOVSX); only
+//     int<->float conversions survive as convert-category instructions.
+package codegen
+
+import (
+	"sort"
+
+	"hlfi/internal/ir"
+	"hlfi/internal/x86"
+)
+
+// valClass says how a value-producing instruction is realized.
+type valClass int
+
+const (
+	// classLocal values live in a register within their defining block.
+	classLocal valClass = iota + 1
+	// classSlot values live in a stack slot [rbp-off] (cross-block
+	// values, phis, and values live across calls).
+	classSlot
+	// classFolded instructions emit no code; each user rematerializes
+	// them (foldable GEPs, loads folded into ALU memory operands,
+	// compares folded into the terminating branch).
+	classFolded
+	// classAlias instructions are pure renames (bitcast); operand
+	// resolution looks through them.
+	classAlias
+	// classFrame marks allocas: the value is a frame address.
+	classFrame
+	// classGReg values live in a dedicated global (function-lifetime)
+	// register: callee-saved GPRs, or free XMM registers in functions
+	// that make no user calls. This is what keeps hot loop-carried
+	// values (phis, induction variables) out of memory, as a real
+	// register allocator would.
+	classGReg
+)
+
+// classification is the per-function lowering plan.
+type classification struct {
+	class map[*ir.Instr]valClass
+	// uses counts total materialized reads of a value (folded users
+	// charge their operand reads to their own users).
+	useCount map[ir.Value]int
+	// foldedCmp maps a folded icmp/fcmp to the condbr consuming it.
+	foldedCmp map[*ir.Instr]*ir.Instr
+	// globalReg/globalXmm assign function-lifetime registers to the
+	// hottest cross-block values and parameters.
+	globalReg map[ir.Value]x86.Reg
+	globalXmm map[ir.Value]x86.XReg
+	// coalesce maps a block-local value whose only use is a phi living in
+	// a global register to that phi: the backend tries to compute the
+	// value directly into the phi's register, eliding the phi move (the
+	// copy coalescing every real register allocator performs).
+	coalesce map[*ir.Instr]*ir.Instr
+}
+
+// Options control the folding behaviour; the ablation benchmarks toggle
+// them to quantify each discrepancy source from the paper's §VII.
+type Options struct {
+	// FoldGEP folds address computations into addressing modes.
+	FoldGEP bool
+	// FoldLoad folds single-use loads into ALU memory operands.
+	FoldLoad bool
+	// FuseCmpBranch fuses compare+branch into CMP+Jcc.
+	FuseCmpBranch bool
+}
+
+// DefaultOptions is the realistic compiler configuration.
+func DefaultOptions() Options {
+	return Options{FoldGEP: true, FoldLoad: true, FuseCmpBranch: true}
+}
+
+type instrPos struct {
+	block *ir.Block
+	index int
+}
+
+// classify decides slot/local/folded for every value in f. The function
+// must have critical edges split and be renumbered.
+func classify(f *ir.Function, opts Options) *classification {
+	c := &classification{
+		class:     make(map[*ir.Instr]valClass),
+		useCount:  make(map[ir.Value]int),
+		foldedCmp: make(map[*ir.Instr]*ir.Instr),
+		globalReg: make(map[ir.Value]x86.Reg),
+		globalXmm: make(map[ir.Value]x86.XReg),
+		coalesce:  make(map[*ir.Instr]*ir.Instr),
+	}
+	pos := make(map[*ir.Instr]instrPos)
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			pos[in] = instrPos{block: b, index: i}
+		}
+	}
+	uses := ir.ComputeUses(f)
+
+	// usePositions: where a value is read, attributing phi reads to the
+	// end of the incoming block and looking through bitcast aliases
+	// (which emit no code — their users read the underlying value).
+	var usePositions func(v *ir.Instr) []instrPos
+	usePositions = func(v *ir.Instr) []instrPos {
+		var out []instrPos
+		for _, u := range uses.Uses(v) {
+			switch {
+			case u.Op == ir.OpPhi:
+				for i, arg := range u.Args {
+					if arg == ir.Value(v) {
+						pb := u.Blocks[i]
+						out = append(out, instrPos{block: pb, index: len(pb.Instrs)})
+					}
+				}
+			case u.Op == ir.OpBitcast:
+				out = append(out, usePositions(u)...)
+			default:
+				out = append(out, pos[u])
+			}
+		}
+		return out
+	}
+
+	// Pass 1: basic classes.
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if !in.HasResult() {
+				continue
+			}
+			switch {
+			case in.Op == ir.OpAlloca:
+				c.class[in] = classFrame
+				continue
+			case in.Op == ir.OpPhi:
+				c.class[in] = classSlot
+				continue
+			case in.Op == ir.OpBitcast:
+				c.class[in] = classAlias
+				continue
+			}
+			cls := classLocal
+			for _, up := range usePositions(in) {
+				if up.block != b {
+					cls = classSlot
+					break
+				}
+			}
+			c.class[in] = cls
+		}
+	}
+
+	// Pass 2: folding decisions (locals only).
+	for _, b := range f.Blocks {
+		barrier := barrierPositions(b)
+		for i, in := range b.Instrs {
+			if c.class[in] != classLocal {
+				continue
+			}
+			users := uses.Uses(in)
+			switch {
+			case in.Op == ir.OpGEP && opts.FoldGEP && gepFoldable(in, c, users, b):
+				c.class[in] = classFolded
+			case in.Op.IsCmp() && opts.FuseCmpBranch && len(users) == 1 &&
+				users[0].Op == ir.OpCondBr && users[0].Parent == b:
+				c.class[in] = classFolded
+				c.foldedCmp[in] = users[0]
+			case in.Op == ir.OpLoad && opts.FoldLoad && len(users) == 1 && users[0].Parent == b &&
+				loadFoldableInto(users[0]) &&
+				noBarrierBetween(barrier, i, pos[users[0]].index):
+				c.class[in] = classFolded
+			}
+		}
+	}
+	// A compare folded into its branch reads its operands at the
+	// terminator; a load folded into such a compare would be re-read at
+	// the terminator too, past possible stores. Unfold those loads.
+	for _, b := range f.Blocks {
+		barrier := barrierPositions(b)
+		for i, in := range b.Instrs {
+			if in.Op != ir.OpLoad || c.class[in] != classFolded {
+				continue
+			}
+			u := uses.Uses(in)[0]
+			if c.foldedCmp[u] != nil && !noBarrierBetween(barrier, i, len(b.Instrs)-1) {
+				c.class[in] = classLocal
+			}
+		}
+	}
+
+	// Pass 3: effective use positions (folded users extend their
+	// operands' lifetimes) and call-crossing demotion to slots.
+	effLastUse := func(v *ir.Instr) instrPos {
+		last := pos[v]
+		var walk func(in *ir.Instr, seen map[*ir.Instr]bool)
+		walk = func(in *ir.Instr, seen map[*ir.Instr]bool) {
+			if seen[in] {
+				return
+			}
+			seen[in] = true
+			for _, up := range usePositions(in) {
+				if up.block == last.block && up.index > last.index {
+					last.index = up.index
+				}
+			}
+			for _, u := range uses.Uses(in) {
+				if c.class[u] == classFolded || c.class[u] == classAlias {
+					walk(u, seen)
+				}
+				if cb := c.foldedCmp[in]; cb != nil {
+					// handled by usePositions of the cmp's user below
+					_ = cb
+				}
+			}
+			// A folded compare is read at its consuming branch.
+			if cb := c.foldedCmp[in]; cb != nil {
+				if p := pos[cb]; p.block == last.block && p.index > last.index {
+					last.index = p.index
+				}
+			}
+		}
+		walk(v, make(map[*ir.Instr]bool))
+		return last
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range f.Blocks {
+			callPos := callPositions(b)
+			if len(callPos) == 0 {
+				continue
+			}
+			for i, in := range b.Instrs {
+				if c.class[in] != classLocal {
+					continue
+				}
+				last := effLastUse(in)
+				for _, cp := range callPos {
+					if cp > i && cp < last.index {
+						c.class[in] = classSlot
+						changed = true
+						break
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Folded/alias values whose base inputs became slots are fine — the
+	// materializer reloads them. But a folded value cannot itself be a
+	// slot; keep classes consistent (folded wins over slot demotion is
+	// impossible since folded was never classLocal at pass 3).
+
+	// Pass 3.5: promote the hottest slot-class values and parameters into
+	// global registers.
+	c.assignGlobalRegs(f, usePositions)
+
+	// Pass 4: materialized-read counts. A folded or aliased instruction
+	// is rematerialized once per materialization of each of its users, so
+	// multiplicities compose along folded/alias chains.
+	memo := make(map[*ir.Instr]int)
+	var mult func(in *ir.Instr) int
+	mult = func(in *ir.Instr) int {
+		switch c.class[in] {
+		case classFolded, classAlias:
+		default:
+			return 1
+		}
+		if m, ok := memo[in]; ok {
+			return m
+		}
+		memo[in] = 1 // cycle guard; SSA use chains are acyclic anyway
+		m := 0
+		for _, u := range uses.Uses(in) {
+			m += mult(u)
+		}
+		if m == 0 {
+			m = 1
+		}
+		memo[in] = m
+		return m
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			m := mult(in)
+			for _, a := range in.Args {
+				c.useCount[a] += m
+			}
+		}
+	}
+
+	// Pass 5: phi-copy coalescing candidates. A block-local value whose
+	// only use is a global-register phi of the block's single successor
+	// can be computed directly into that register, provided the phi's
+	// previous value is dead by then (checked dynamically at lowering).
+	for _, b := range f.Blocks {
+		t := b.Terminator()
+		if t == nil || len(t.Blocks) != 1 {
+			continue
+		}
+		succ := t.Blocks[0]
+		for _, phi := range succ.Instrs {
+			if phi.Op != ir.OpPhi {
+				break
+			}
+			_, hasG := c.globalReg[ir.Value(phi)]
+			_, hasX := c.globalXmm[ir.Value(phi)]
+			if !hasG && !hasX {
+				continue
+			}
+			for i, pb := range phi.Blocks {
+				if pb != b {
+					continue
+				}
+				in, ok := phi.Args[i].(*ir.Instr)
+				if !ok || in.Parent != b || c.class[in] != classLocal {
+					continue
+				}
+				if len(uses.Uses(in)) == 1 && uses.Uses(in)[0] == phi {
+					c.coalesce[in] = phi
+				}
+			}
+		}
+	}
+	return c
+}
+
+// barrierPositions returns indices of stores and calls in b (instructions
+// that can change memory, invalidating load folding across them).
+func barrierPositions(b *ir.Block) []int {
+	var out []int
+	for i, in := range b.Instrs {
+		if in.Op == ir.OpStore || in.Op == ir.OpCall {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func callPositions(b *ir.Block) []int {
+	var out []int
+	for i, in := range b.Instrs {
+		if in.Op == ir.OpCall {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func noBarrierBetween(barriers []int, from, to int) bool {
+	for _, p := range barriers {
+		if p > from && p < to {
+			return false
+		}
+	}
+	return true
+}
+
+// loadFoldableInto reports whether a single-use load can become the memory
+// operand of u.
+func loadFoldableInto(u *ir.Instr) bool {
+	switch {
+	case u.Op == ir.OpAdd, u.Op == ir.OpSub, u.Op == ir.OpMul,
+		u.Op == ir.OpAnd, u.Op == ir.OpOr, u.Op == ir.OpXor:
+		return true
+	case u.Op == ir.OpICmp:
+		return true
+	case u.Op == ir.OpFAdd, u.Op == ir.OpFSub, u.Op == ir.OpFMul, u.Op == ir.OpFDiv,
+		u.Op == ir.OpFCmp:
+		return true
+	case u.Op == ir.OpSExt, u.Op == ir.OpZExt, u.Op == ir.OpSIToFP:
+		return true
+	default:
+		return false
+	}
+}
+
+// gepFoldable decides whether a GEP can disappear into the addressing
+// modes of its users: every user must be a load or store (with the GEP as
+// the address) in the same block, and the address must fit the
+// [base + index*scale + disp] form.
+func gepFoldable(in *ir.Instr, c *classification, users []*ir.Instr, b *ir.Block) bool {
+	if len(users) == 0 {
+		return false
+	}
+	for _, u := range users {
+		switch u.Op {
+		case ir.OpLoad:
+			if u.Parent != b {
+				return false
+			}
+		case ir.OpStore:
+			// Only as the pointer operand, never as the stored value.
+			if u.Parent != b || u.Args[1] != ir.Value(in) || u.Args[0] == ir.Value(in) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	_, ok := addressPlan(in)
+	return ok
+}
+
+// addrPlan is a GEP flattened to the x86 addressing form.
+type addrPlan struct {
+	base  ir.Value // pointer base (nil means absolute)
+	index ir.Value // nil if no variable index
+	scale uint64
+	disp  int64
+}
+
+// addressPlan flattens a GEP into base+index*scale+disp if possible:
+// constant indices accumulate into disp; at most one variable index with a
+// hardware scale (1, 2, 4, 8) is allowed.
+func addressPlan(in *ir.Instr) (addrPlan, bool) {
+	plan := addrPlan{base: in.Args[0], scale: 1}
+	cur := in.Args[0].Type().Elem
+	for i, idx := range in.Args[1:] {
+		var stride uint64
+		var structOff int64
+		isStruct := false
+		if i == 0 {
+			stride = cur.Size()
+		} else {
+			switch cur.Kind {
+			case ir.KindArray:
+				cur = cur.Elem
+				stride = cur.Size()
+			case ir.KindStruct:
+				cst, ok := idx.(*ir.Const)
+				if !ok {
+					return plan, false
+				}
+				fi := int(cst.Int())
+				structOff = int64(cur.FieldOffset(fi))
+				cur = cur.Fields[fi]
+				isStruct = true
+			default:
+				return plan, false
+			}
+		}
+		if isStruct {
+			plan.disp += structOff
+			continue
+		}
+		if cst, ok := idx.(*ir.Const); ok {
+			plan.disp += cst.Int() * int64(stride)
+			continue
+		}
+		// Variable index.
+		if plan.index != nil {
+			return plan, false
+		}
+		switch stride {
+		case 1, 2, 4, 8:
+			plan.index = idx
+			plan.scale = stride
+		default:
+			return plan, false
+		}
+	}
+	return plan, true
+}
+
+// Global register files available for cross-block values. Callee-saved
+// GPRs survive calls (callees preserve them); XMM registers have no
+// callee-saved subset in the SysV convention, so float values get global
+// registers only in functions that make no user-function calls. Runtime
+// builtins are treated as register-preserving instructions (they model
+// hardware operations like SQRTSD plus a small kernel surface).
+var (
+	globalGPRs = []x86.Reg{x86.RBX, x86.R12, x86.R13, x86.R14, x86.R15}
+	globalXMMs = []x86.XReg{x86.XMM8, x86.XMM9, x86.XMM10, x86.XMM11, x86.XMM12, x86.XMM13}
+)
+
+// assignGlobalRegs ranks slot-class values and parameters by estimated
+// dynamic access frequency (static accesses weighted by loop depth) and
+// assigns the hottest to global registers.
+func (c *classification) assignGlobalRegs(f *ir.Function, usePositions func(*ir.Instr) []instrPos) {
+	depth := ir.LoopDepths(f)
+	hasUserCalls := false
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCall && in.Callee != nil {
+				hasUserCalls = true
+			}
+		}
+	}
+	w := func(b *ir.Block) float64 {
+		d := depth[b]
+		if d > 8 {
+			d = 8
+		}
+		weight := 1.0
+		for i := 0; i < d; i++ {
+			weight *= 4
+		}
+		return weight
+	}
+
+	type cand struct {
+		v       ir.Value
+		isFloat bool
+		weight  float64
+	}
+	var cands []cand
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if c.class[in] != classSlot {
+				continue
+			}
+			k := in.Ty.Kind
+			if k != ir.KindInt && k != ir.KindPtr && k != ir.KindFloat {
+				continue
+			}
+			weight := w(b)
+			for _, up := range usePositions(in) {
+				weight += w(up.block)
+			}
+			cands = append(cands, cand{v: in, isFloat: k == ir.KindFloat, weight: weight})
+		}
+	}
+	uses := ir.ComputeUses(f)
+	for _, p := range f.Params {
+		weight := 0.0
+		for _, u := range uses.Uses(p) {
+			weight += w(u.Parent)
+		}
+		if weight > 0 {
+			cands = append(cands, cand{v: p, isFloat: p.Ty.IsFloat(), weight: weight})
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].weight > cands[j].weight })
+
+	gprFile := globalGPRs
+	if !hasUserCalls {
+		// Call-free functions can claim caller-saved registers too —
+		// nothing will clobber them.
+		gprFile = append(append([]x86.Reg{}, globalGPRs...), x86.R10, x86.R9)
+	}
+	nextG, nextX := 0, 0
+	for _, cd := range cands {
+		if cd.isFloat {
+			if hasUserCalls || nextX >= len(globalXMMs) {
+				continue
+			}
+			c.globalXmm[cd.v] = globalXMMs[nextX]
+			nextX++
+		} else {
+			if nextG >= len(gprFile) {
+				continue
+			}
+			c.globalReg[cd.v] = gprFile[nextG]
+			nextG++
+		}
+		if in, ok := cd.v.(*ir.Instr); ok {
+			c.class[in] = classGReg
+		}
+	}
+}

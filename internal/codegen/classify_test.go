@@ -1,0 +1,292 @@
+package codegen
+
+import (
+	"testing"
+
+	"hlfi/internal/ir"
+	"hlfi/internal/minic"
+	"hlfi/internal/x86"
+)
+
+// classifyFn compiles src and returns the classification of its named
+// function.
+func classifyFn(t *testing.T, src, fn string) (*ir.Function, *classification) {
+	t.Helper()
+	mod, err := minic.Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := mod.Func(fn)
+	if f == nil {
+		t.Fatalf("no function %s", fn)
+	}
+	f.Renumber()
+	return f, classify(f, DefaultOptions())
+}
+
+func findOp(f *ir.Function, op ir.Op) []*ir.Instr {
+	var out []*ir.Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == op {
+				out = append(out, in)
+			}
+		}
+	}
+	return out
+}
+
+func TestClassifyFoldsSingleUseGEP(t *testing.T) {
+	f, cls := classifyFn(t, `
+int arr[8];
+int get(int i) { return arr[i]; }
+int main() { return get(1); }
+`, "get")
+	geps := findOp(f, ir.OpGEP)
+	if len(geps) == 0 {
+		t.Skip("GEP folded earlier")
+	}
+	for _, g := range geps {
+		if cls.class[g] != classFolded {
+			t.Errorf("single-use GEP not folded: class %d", cls.class[g])
+		}
+	}
+}
+
+func TestClassifyEscapingGEPNotFolded(t *testing.T) {
+	f, cls := classifyFn(t, `
+int arr[8];
+int *addr(int i) { return &arr[i]; }
+int main() { return *addr(1); }
+`, "addr")
+	for _, g := range findOp(f, ir.OpGEP) {
+		if cls.class[g] == classFolded {
+			t.Error("escaping GEP must not fold")
+		}
+	}
+}
+
+func TestClassifyLoadAcrossStoreNotFolded(t *testing.T) {
+	// The load's value is used after an intervening store that may
+	// alias; folding would read stale memory.
+	f, cls := classifyFn(t, `
+int a[4];
+int f(int i, int v) {
+    int x = a[i];
+    a[0] = v;       /* potential alias */
+    return x + v;
+}
+int main() { return f(1, 2); }
+`, "f")
+	for _, ld := range findOp(f, ir.OpLoad) {
+		if cls.class[ld] == classFolded {
+			t.Error("load folded across a potentially-aliasing store")
+		}
+	}
+}
+
+func TestClassifyPhiGetsRegisterOrSlot(t *testing.T) {
+	f, cls := classifyFn(t, `
+int f(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i++) s += i;
+    return s;
+}
+int main() { return f(5); }
+`, "f")
+	phis := findOp(f, ir.OpPhi)
+	if len(phis) == 0 {
+		t.Fatal("loop lost its phis")
+	}
+	for _, p := range phis {
+		switch cls.class[p] {
+		case classSlot:
+			// acceptable under pressure
+		case classGReg:
+			if _, ok := cls.globalReg[ir.Value(p)]; !ok {
+				t.Error("classGReg phi without an assigned register")
+			}
+		default:
+			t.Errorf("phi has class %d", cls.class[p])
+		}
+	}
+	// Hot loop phis should win global registers.
+	got := 0
+	for _, p := range phis {
+		if cls.class[p] == classGReg {
+			got++
+		}
+	}
+	if got == 0 {
+		t.Error("no loop phi received a global register")
+	}
+}
+
+func TestClassifyCallCrossingDemotion(t *testing.T) {
+	// v is live across the call to ext(): it cannot stay in a
+	// caller-saved local register.
+	f, cls := classifyFn(t, `
+int acc;
+int ext(int x) {
+    int r = x;
+    for (int i = 0; i < x; i++) { r = r * 3 + i; r ^= r >> 2; r += acc; }
+    return r;
+}
+int f(int n) {
+    int v = n * 17;
+    int w = ext(n);
+    return v + w;
+}
+int main() { return f(3); }
+`, "f")
+	for _, m := range findOp(f, ir.OpMul) {
+		c := cls.class[m]
+		if c != classSlot && c != classGReg {
+			t.Errorf("call-crossing value class %d; must live in a slot or callee-saved register", c)
+		}
+	}
+}
+
+func TestClassifyBitcastIsAlias(t *testing.T) {
+	f, cls := classifyFn(t, `
+int main() {
+    long *p = (long*)malloc(16L);
+    *p = 42;
+    char *c = (char*)p;
+    return (int)*c;
+}
+`, "main")
+	for _, bc := range findOp(f, ir.OpBitcast) {
+		if cls.class[bc] != classAlias {
+			t.Errorf("bitcast class %d, want alias", cls.class[bc])
+		}
+	}
+}
+
+func TestClassifyUseCountsNonNegativeAndConsistent(t *testing.T) {
+	for _, b := range []string{"bzip2m-src", "loop-src"} {
+		_ = b
+	}
+	f, cls := classifyFn(t, `
+int arr[16];
+int main() {
+    long s = 0;
+    for (int i = 0; i < 16; i++) {
+        s += arr[i] * arr[(i + 1) & 15];
+    }
+    print_long(s);
+    return 0;
+}
+`, "main")
+	for v, n := range cls.useCount {
+		if n < 0 {
+			t.Errorf("negative use count for %s", v.Ident())
+		}
+	}
+	// Every folded value must have at least one user charging it.
+	uses := ir.ComputeUses(f)
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if cls.class[in] == classFolded && uses.NumUses(in) == 0 {
+				t.Errorf("folded %s has no users", in.Op)
+			}
+		}
+	}
+}
+
+func TestGlobalRegisterFilesRespectConvention(t *testing.T) {
+	// In a function with calls, only callee-saved GPRs may host global
+	// values, and no XMM registers at all.
+	f, cls := classifyFn(t, `
+int ext(int x) {
+    int r = x;
+    for (int i = 0; i < x; i++) { r = r * 3 + i; r ^= r >> 2; r += i * 7; }
+    return r;
+}
+double f(int n) {
+    double acc = 0.0;
+    for (int i = 0; i < n; i++) {
+        acc = acc + (double)ext(i);
+    }
+    return acc;
+}
+int main() { return (int)f(4); }
+`, "f")
+	_ = f
+	for v, r := range cls.globalReg {
+		if !r.IsCalleeSaved() {
+			t.Errorf("value %s in caller-saved global register %s of a calling function", v.Ident(), r)
+		}
+	}
+	if len(cls.globalXmm) != 0 {
+		t.Error("calling function must not place floats in global XMM registers (no callee-saved XMMs in SysV)")
+	}
+}
+
+func TestLeafFunctionGetsFloatGlobals(t *testing.T) {
+	_, cls := classifyFn(t, `
+double leaf(double x, int n) {
+    double acc = x;
+    for (int i = 0; i < n; i++) {
+        acc = acc * 1.5 + 0.25;
+    }
+    return acc;
+}
+int main() { return (int)leaf(1.0, 6); }
+`, "leaf")
+	if len(cls.globalXmm) == 0 {
+		t.Error("call-free function should keep its hot double in an XMM register")
+	}
+}
+
+func TestAddressPlanForms(t *testing.T) {
+	mod, err := minic.Compile("t", `
+struct s { int a; int b; };
+struct s recs[8];
+int arr[8];
+long larr[8];
+int main() {
+    int i = arr[3];
+    return i;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Synthesize GEPs directly to probe addressPlan.
+	f := mod.NewFunc("probe", ir.FuncType(ir.Void))
+	b := f.NewBlock("entry")
+	bu := ir.NewBuilder(b)
+	g := mod.Global("arr")
+	idx := ir.ConstInt(ir.I64, 2)
+
+	constGEP := bu.GEP(ir.PointerTo(ir.I32), g, ir.ConstInt(ir.I64, 0), idx)
+	plan, ok := addressPlan(constGEP)
+	if !ok || plan.index != nil || plan.disp != 8 {
+		t.Errorf("const GEP plan: %+v ok=%v", plan, ok)
+	}
+
+	varIdx := bu.Cast(ir.OpSExt, ir.ConstInt(ir.I32, 1), ir.I64)
+	varGEP := bu.GEP(ir.PointerTo(ir.I32), g, ir.ConstInt(ir.I64, 0), varIdx)
+	plan, ok = addressPlan(varGEP)
+	if !ok || plan.index == nil || plan.scale != 4 {
+		t.Errorf("var GEP plan: %+v ok=%v", plan, ok)
+	}
+
+	// struct stride 8 with field offset: [base + i*8 + 4]
+	rs := mod.Global("recs")
+	fieldGEP := bu.GEP(ir.PointerTo(ir.I32), rs, ir.ConstInt(ir.I64, 0), varIdx, ir.ConstInt(ir.I32, 1))
+	plan, ok = addressPlan(fieldGEP)
+	if !ok || plan.scale != 8 || plan.disp != 4 {
+		t.Errorf("field GEP plan: %+v ok=%v", plan, ok)
+	}
+
+	// two variable indexes cannot fold
+	m2 := bu.GEP(ir.PointerTo(ir.I32), rs, varIdx, ir.ConstInt(ir.I32, 0))
+	_ = m2
+	twoVar := bu.GEP(ir.PointerTo(ir.I64), mod.Global("larr"), varIdx, varIdx)
+	if _, ok := addressPlan(twoVar); ok {
+		t.Error("GEP with stride-64 first index must not fold")
+	}
+	_ = x86.RAX
+}

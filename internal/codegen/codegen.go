@@ -1,0 +1,671 @@
+package codegen
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"hlfi/internal/ir"
+	"hlfi/internal/rt"
+	"hlfi/internal/x86"
+)
+
+// moduleLowerer holds module-wide lowering state.
+type moduleLowerer struct {
+	mod    *ir.Module
+	layout *ir.Layout
+	opts   Options
+
+	rodata   []byte
+	floatOff map[uint64]uint64
+
+	instrs     []x86.Instr
+	funcAt     map[string]int
+	callFixups []callFixup
+}
+
+type callFixup struct {
+	index int
+	name  string
+}
+
+// Lower compiles an IR module to a linked machine program. The module's
+// optimization pipeline (including critical-edge splitting) must already
+// have run; Lower never mutates the IR.
+func Lower(m *ir.Module, layout *ir.Layout, opts Options) (*x86.Program, error) {
+	ml := &moduleLowerer{
+		mod:      m,
+		layout:   layout,
+		opts:     opts,
+		floatOff: make(map[uint64]uint64),
+		funcAt:   make(map[string]int),
+	}
+	for _, f := range m.Funcs {
+		if len(f.Blocks) == 0 {
+			continue
+		}
+		if err := checkNoCriticalPhiEdges(f); err != nil {
+			return nil, err
+		}
+		if err := ml.lowerFunc(f); err != nil {
+			return nil, fmt.Errorf("lower @%s: %w", f.Name, err)
+		}
+	}
+	// Resolve cross-function calls.
+	for _, fix := range ml.callFixups {
+		target, ok := ml.funcAt[fix.name]
+		if !ok {
+			return nil, fmt.Errorf("codegen: call to unlowered function %s", fix.name)
+		}
+		ml.instrs[fix.index].Dst = x86.Label(target)
+	}
+	entry, ok := ml.funcAt["main"]
+	if !ok {
+		return nil, fmt.Errorf("codegen: module has no main")
+	}
+	return &x86.Program{
+		Instrs: ml.instrs,
+		Entry:  entry,
+		FuncAt: ml.funcAt,
+		Rodata: ml.rodata,
+	}, nil
+}
+
+func checkNoCriticalPhiEdges(f *ir.Function) error {
+	predCount := make(map[*ir.Block]int)
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			predCount[s]++
+		}
+	}
+	for _, b := range f.Blocks {
+		succs := b.Succs()
+		if len(succs) < 2 {
+			continue
+		}
+		for _, s := range succs {
+			if predCount[s] >= 2 && len(s.Instrs) > 0 && s.Instrs[0].Op == ir.OpPhi {
+				return fmt.Errorf("codegen: critical edge %s->%s with phi (run ir.SplitCriticalEdges)", b.Name, s.Name)
+			}
+		}
+	}
+	return nil
+}
+
+func (ml *moduleLowerer) globalAddr(g *ir.Global) uint64 { return ml.layout.Addr[g] }
+
+// floatConst interns a double literal in the constant pool and returns
+// its absolute address.
+func (ml *moduleLowerer) floatConst(f float64) uint64 {
+	bits := math.Float64bits(f)
+	if off, ok := ml.floatOff[bits]; ok {
+		return x86.RodataBase + off
+	}
+	off := uint64(len(ml.rodata))
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], bits)
+	ml.rodata = append(ml.rodata, buf[:]...)
+	ml.floatOff[bits] = off
+	return x86.RodataBase + off
+}
+
+func (ml *moduleLowerer) lowerFunc(f *ir.Function) error {
+	f.Renumber()
+	cls := classify(f, ml.opts)
+	l := &fnLowerer{
+		mod:         ml,
+		fn:          f,
+		cls:         cls,
+		opts:        ml.opts,
+		labelOf:     make(map[*ir.Block]int, len(f.Blocks)),
+		callTargets: make(map[int]string),
+		slotOff:     make(map[ir.Value]int64),
+		allocaOff:   make(map[*ir.Instr]int64),
+		calleeUsed:  make(map[x86.Reg]bool),
+		remaining:   make(map[ir.Value]int, len(cls.useCount)),
+	}
+	for v, n := range cls.useCount {
+		l.remaining[v] = n
+	}
+	// Build allocator pools excluding this function's global registers,
+	// and record callee-saved global registers for the prologue.
+	taken := make(map[x86.Reg]bool)
+	for _, gr := range cls.globalReg {
+		taken[gr] = true
+		if gr.IsCalleeSaved() {
+			l.calleeUsed[gr] = true
+		}
+	}
+	for _, r := range gprPool {
+		if !taken[r] {
+			l.gpool = append(l.gpool, r)
+		}
+	}
+	takenX := make(map[x86.XReg]bool)
+	for _, gx := range cls.globalXmm {
+		takenX[gx] = true
+	}
+	for _, x := range xmmPool {
+		if !takenX[x] {
+			l.xpool = append(l.xpool, x)
+		}
+	}
+	l.resetBlock()
+
+	// Allocas get fixed frame offsets below the spill slots; slots are
+	// assigned lazily, so allocas are planned relative to a moving floor.
+	// To keep both stable, allocas are planned first with a placeholder
+	// region that starts after all slots: we pre-assign slots for every
+	// slot-class value and parameter now.
+	for _, p := range f.Params {
+		l.slotFor(p)
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.HasResult() && cls.class[in] == classSlot {
+				l.slotFor(in)
+			}
+		}
+	}
+	// Reserve alloca space.
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != ir.OpAlloca {
+				continue
+			}
+			size := in.AllocTy.Size()
+			align := in.AllocTy.Align()
+			if align < 8 {
+				align = 8
+			}
+			l.frameBytes = (l.frameBytes + int64(size) + int64(align) - 1) / int64(align) * int64(align)
+			l.allocaOff[in] = l.frameBytes
+		}
+	}
+
+	// Labels for every block plus the shared epilogue.
+	for _, b := range f.Blocks {
+		l.labelOf[b] = l.newLabel()
+	}
+	l.epilogueLbl = l.newLabel()
+
+	for i, b := range f.Blocks {
+		var next *ir.Block
+		if i+1 < len(f.Blocks) {
+			next = f.Blocks[i+1]
+		}
+		if err := l.lowerBlock(b, next); err != nil {
+			return err
+		}
+	}
+
+	// Epilogue.
+	l.defineLabel(l.epilogueLbl)
+	saved := l.savedRegs()
+	for i := len(saved) - 1; i >= 0; i-- {
+		l.emit(x86.Instr{Op: x86.POP, Dst: x86.R(saved[i])})
+	}
+	l.emit(x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RSP), Src: x86.R(x86.RBP), Size: 8})
+	l.emit(x86.Instr{Op: x86.POP, Dst: x86.R(x86.RBP)})
+	l.emit(x86.Instr{Op: x86.RET})
+
+	// Prologue (built last: frame size and callee-saved usage are now
+	// known), then stitch.
+	var pro []x86.Instr
+	pro = append(pro,
+		x86.Instr{Op: x86.PUSH, Dst: x86.R(x86.RBP), Fn: f.Name},
+		x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RBP), Src: x86.R(x86.RSP), Size: 8},
+	)
+	frame := (l.frameBytes + 15) / 16 * 16
+	if frame > 0 {
+		pro = append(pro, x86.Instr{Op: x86.SUB, Dst: x86.R(x86.RSP), Src: x86.Imm(frame), Size: 8})
+	}
+	for _, r := range saved {
+		pro = append(pro, x86.Instr{Op: x86.PUSH, Dst: x86.R(r)})
+	}
+	// Move incoming arguments into their homes: a global register when
+	// assigned, otherwise a stack slot.
+	ii, fi := 0, 0
+	for _, p := range f.Params {
+		if p.Ty.IsFloat() {
+			if fi >= len(fltArgRegs) {
+				return fmt.Errorf("too many float parameters")
+			}
+			dst := l.slotOperand(p)
+			if gx, ok := cls.globalXmm[ir.Value(p)]; ok {
+				dst = x86.X(gx)
+			}
+			pro = append(pro, x86.Instr{Op: x86.MOVSD, Dst: dst, Src: x86.X(fltArgRegs[fi]), Comment: "arg " + p.Name})
+			fi++
+		} else {
+			if ii >= len(intArgRegs) {
+				return fmt.Errorf("too many integer parameters")
+			}
+			dst := l.slotOperand(p)
+			if gr, ok := cls.globalReg[ir.Value(p)]; ok {
+				dst = x86.R(gr)
+			}
+			pro = append(pro, x86.Instr{Op: x86.MOV, Dst: dst, Src: x86.R(intArgRegs[ii]), Size: 8, Comment: "arg " + p.Name})
+			ii++
+		}
+	}
+
+	base := len(ml.instrs)
+	shift := len(pro)
+	ml.funcAt[f.Name] = base
+	ml.instrs = append(ml.instrs, pro...)
+	// Fix label operands and record call fixups with global indices.
+	for bi := range l.body {
+		in := &l.body[bi]
+		if name, isCall := l.callTargets[bi]; isCall {
+			ml.callFixups = append(ml.callFixups, callFixup{index: base + shift + bi, name: name})
+		} else if in.Dst.Kind == x86.OpLabel {
+			in.Dst.Label = base + shift + l.labelPos[in.Dst.Label]
+		}
+		ml.instrs = append(ml.instrs, *in)
+	}
+	return nil
+}
+
+// savedRegs lists the callee-saved registers the function used, in a
+// stable order.
+func (l *fnLowerer) savedRegs() []x86.Reg {
+	var out []x86.Reg
+	for _, r := range []x86.Reg{x86.RBX, x86.R12, x86.R13, x86.R14, x86.R15} {
+		if l.calleeUsed[r] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func (l *fnLowerer) lowerBlock(b *ir.Block, next *ir.Block) error {
+	l.resetBlock()
+	l.defineLabel(l.labelOf[b])
+	for _, in := range b.Instrs {
+		if in.Op.IsTerminator() {
+			if err := l.emitPhiMoves(b, in); err != nil {
+				return err
+			}
+			return l.lowerTerminator(b, in, next)
+		}
+		if err := l.lowerInstr(in); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("block %s has no terminator", b.Name)
+}
+
+// emitPhiMoves stores this block's incoming values into the phi homes
+// (global register or stack slot) of the successor — the value-merge data
+// movement of paper Table I row 2. Sources that are themselves phi
+// targets of the same edge (swap patterns) are staged through temporaries
+// first; everything else moves directly, keeping register pressure flat.
+func (l *fnLowerer) emitPhiMoves(b *ir.Block, term *ir.Instr) error {
+	defer l.endInstr()
+	for _, succ := range term.Blocks {
+		nPhi := 0
+		for nPhi < len(succ.Instrs) && succ.Instrs[nPhi].Op == ir.OpPhi {
+			nPhi++
+		}
+		if nPhi == 0 {
+			continue
+		}
+		if len(term.Blocks) != 1 {
+			return fmt.Errorf("critical edge with phi from %s", b.Name)
+		}
+		targets := make(map[*ir.Instr]bool, nPhi)
+		for _, phi := range succ.Instrs[:nPhi] {
+			targets[phi] = true
+		}
+		type staged struct {
+			dst     x86.Operand
+			gpr     x86.Reg
+			xmm     x86.XReg
+			isFloat bool
+		}
+		var stagedMoves []staged
+		for _, phi := range succ.Instrs[:nPhi] {
+			var incoming ir.Value
+			for i, pb := range phi.Blocks {
+				if pb == b {
+					incoming = phi.Args[i]
+					break
+				}
+			}
+			if incoming == nil {
+				return fmt.Errorf("phi in %s lacks edge from %s", succ.Name, b.Name)
+			}
+			isFloat := phi.Ty.IsFloat()
+			var dst x86.Operand
+			if isFloat {
+				if gx, ok := l.cls.globalXmm[ir.Value(phi)]; ok {
+					dst = x86.X(gx)
+				} else {
+					dst = l.slotOperand(phi)
+				}
+			} else {
+				if gr, ok := l.cls.globalReg[ir.Value(phi)]; ok {
+					dst = x86.R(gr)
+				} else {
+					dst = l.slotOperand(phi)
+				}
+			}
+			res := l.resolve(incoming)
+			if ri, ok := res.(*ir.Instr); ok && l.coalesced[ri] {
+				// Already computed directly into the phi's register.
+				l.consume(ri)
+				continue
+			}
+			if cst, ok := res.(*ir.Const); ok && !isFloat {
+				l.emit(x86.Instr{Op: x86.MOV, Dst: dst, Src: x86.Imm(int64(cst.Val)), Size: 8, Comment: "phi"})
+				continue
+			}
+			hazard := false
+			if ri, ok := res.(*ir.Instr); ok && targets[ri] {
+				hazard = true
+			}
+			if isFloat {
+				tSnap := len(l.tempsX)
+				x, err := l.useXMM(incoming)
+				if err != nil {
+					return err
+				}
+				if hazard {
+					tmp, err := l.allocTempXMM()
+					if err != nil {
+						return err
+					}
+					l.emit(x86.Instr{Op: x86.MOVSD, Dst: x86.X(tmp), Src: x86.X(x), Comment: "phi.stage"})
+					stagedMoves = append(stagedMoves, staged{dst: dst, xmm: tmp, isFloat: true})
+					continue
+				}
+				l.emit(x86.Instr{Op: x86.MOVSD, Dst: dst, Src: x86.X(x), Comment: "phi"})
+				l.releaseTempsXmmSince(tSnap)
+			} else {
+				tSnap := len(l.temps)
+				r, err := l.useGPR(incoming)
+				if err != nil {
+					return err
+				}
+				if hazard {
+					tmp, err := l.allocTempGPR()
+					if err != nil {
+						return err
+					}
+					l.emit(x86.Instr{Op: x86.MOV, Dst: x86.R(tmp), Src: x86.R(r), Size: 8, Comment: "phi.stage"})
+					stagedMoves = append(stagedMoves, staged{dst: dst, gpr: tmp})
+					continue
+				}
+				l.emit(x86.Instr{Op: x86.MOV, Dst: dst, Src: x86.R(r), Size: 8, Comment: "phi"})
+				l.releaseTempsSince(tSnap)
+			}
+		}
+		for _, mv := range stagedMoves {
+			if mv.isFloat {
+				l.emit(x86.Instr{Op: x86.MOVSD, Dst: mv.dst, Src: x86.X(mv.xmm), Comment: "phi"})
+			} else {
+				l.emit(x86.Instr{Op: x86.MOV, Dst: mv.dst, Src: x86.R(mv.gpr), Size: 8, Comment: "phi"})
+			}
+		}
+	}
+	return nil
+}
+
+// releaseTempsSince frees temp GPRs acquired after the snapshot index so
+// long move sequences do not accumulate register pressure.
+func (l *fnLowerer) releaseTempsSince(snap int) {
+	for _, r := range l.temps[snap:] {
+		delete(l.regOwner, r)
+		delete(l.pinned, r)
+	}
+	l.temps = l.temps[:snap]
+}
+
+// releaseTempsXmmSince frees temp XMM registers acquired after snap.
+func (l *fnLowerer) releaseTempsXmmSince(snap int) {
+	for _, x := range l.tempsX[snap:] {
+		delete(l.xmmOwner, x)
+		delete(l.pinnedX, x)
+	}
+	l.tempsX = l.tempsX[:snap]
+}
+
+func (l *fnLowerer) lowerTerminator(b *ir.Block, term *ir.Instr, next *ir.Block) error {
+	defer l.endInstr()
+	switch term.Op {
+	case ir.OpBr:
+		target := term.Blocks[0]
+		if target != next {
+			l.emit(x86.Instr{Op: x86.JMP, Dst: x86.Label(l.labelOf[target])})
+		}
+		return nil
+
+	case ir.OpRet:
+		if len(term.Args) == 1 {
+			if term.Args[0].Type().IsFloat() {
+				src, err := l.floatSrcOperand(term.Args[0])
+				if err != nil {
+					return err
+				}
+				l.emit(x86.Instr{Op: x86.MOVSD, Dst: x86.X(x86.XMM0), Src: src})
+			} else {
+				src, err := l.intSrcOperand(term.Args[0])
+				if err != nil {
+					return err
+				}
+				l.emit(x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RAX), Src: src, Size: 8})
+			}
+		}
+		l.emit(x86.Instr{Op: x86.JMP, Dst: x86.Label(l.epilogueLbl)})
+		return nil
+
+	case ir.OpCondBr:
+		thenBlk, elseBlk := term.Blocks[0], term.Blocks[1]
+		var jcc x86.Opcode
+		cond := l.resolve(term.Args[0])
+		if ci, ok := cond.(*ir.Instr); ok && l.cls.foldedCmp[ci] == term {
+			// Fused compare+branch: CMP/UCOMISD immediately followed by
+			// the Jcc reading its flags.
+			op, err := l.emitCompare(ci)
+			if err != nil {
+				return err
+			}
+			l.consume(ci)
+			jcc = op
+		} else {
+			r, err := l.useGPR(term.Args[0])
+			if err != nil {
+				return err
+			}
+			l.emit(x86.Instr{Op: x86.TEST, Dst: x86.R(r), Src: x86.R(r), Size: 1})
+			jcc = x86.JNE
+		}
+		switch {
+		case elseBlk == next:
+			l.emit(x86.Instr{Op: jcc, Dst: x86.Label(l.labelOf[thenBlk])})
+		case thenBlk == next:
+			l.emit(x86.Instr{Op: invertJcc[jcc], Dst: x86.Label(l.labelOf[elseBlk])})
+		default:
+			l.emit(x86.Instr{Op: jcc, Dst: x86.Label(l.labelOf[thenBlk])})
+			l.emit(x86.Instr{Op: x86.JMP, Dst: x86.Label(l.labelOf[elseBlk])})
+		}
+		return nil
+	}
+	return fmt.Errorf("unhandled terminator %s", term.Op)
+}
+
+// lowerCall marshals arguments per the SysV-style convention (integers in
+// RDI/RSI/RDX/RCX/R8/R9, doubles in XMM0-7), emits the call, and collects
+// the result from RAX/XMM0. No locally-allocated value survives a call
+// (the classifier demotes call-crossing values to stack slots).
+func (l *fnLowerer) lowerCall(in *ir.Instr) error {
+	var isFloatArg func(i int) bool
+	var retFloat bool
+	var argClasses []byte
+	if in.Callee != nil {
+		isFloatArg = func(i int) bool { return in.Callee.Sig.Params[i].IsFloat() }
+		retFloat = in.Callee.Sig.Return.IsFloat()
+	} else {
+		sig, ok := rt.Sigs[in.Builtin]
+		if !ok {
+			return fmt.Errorf("unknown builtin %s", in.Builtin)
+		}
+		isFloatArg = func(i int) bool { return sig.IsFloatParam(i) }
+		retFloat = sig.ReturnsFloat()
+	}
+
+	// Phase 1: materialize arguments into registers.
+	type argLoc struct {
+		gpr     x86.Reg
+		xmm     x86.XReg
+		isFloat bool
+	}
+	locs := make([]argLoc, len(in.Args))
+	nInt, nFlt := 0, 0
+	for i, a := range in.Args {
+		if isFloatArg(i) {
+			x, err := l.useXMM(a)
+			if err != nil {
+				return err
+			}
+			l.pinnedX[x] = true
+			locs[i] = argLoc{xmm: x, isFloat: true}
+			argClasses = append(argClasses, 'd')
+			nFlt++
+		} else {
+			r, err := l.useGPR(a)
+			if err != nil {
+				return err
+			}
+			l.pinned[r] = true
+			locs[i] = argLoc{gpr: r}
+			argClasses = append(argClasses, 'i')
+			nInt++
+		}
+	}
+	if nInt > len(intArgRegs) || nFlt > len(fltArgRegs) {
+		return fmt.Errorf("call has too many arguments (%d int, %d float)", nInt, nFlt)
+	}
+
+	// Phase 2: parallel move into the argument registers.
+	type gmove struct{ src, dst x86.Reg }
+	type xmove struct {
+		src, dst x86.XReg
+	}
+	var gmoves []gmove
+	var xmoves []xmove
+	ii, fi := 0, 0
+	for i := range in.Args {
+		if locs[i].isFloat {
+			if locs[i].xmm != fltArgRegs[fi] {
+				xmoves = append(xmoves, xmove{src: locs[i].xmm, dst: fltArgRegs[fi]})
+			}
+			fi++
+		} else {
+			if locs[i].gpr != intArgRegs[ii] {
+				gmoves = append(gmoves, gmove{src: locs[i].gpr, dst: intArgRegs[ii]})
+			}
+			ii++
+		}
+	}
+	// Resolve GPR moves with cycle breaking through R11.
+	for len(gmoves) > 0 {
+		progress := false
+		for i, mv := range gmoves {
+			conflict := false
+			for j, other := range gmoves {
+				if j != i && other.src == mv.dst {
+					conflict = true
+					break
+				}
+			}
+			if !conflict {
+				l.emit(x86.Instr{Op: x86.MOV, Dst: x86.R(mv.dst), Src: x86.R(mv.src), Size: 8, Comment: "arg"})
+				gmoves = append(gmoves[:i], gmoves[i+1:]...)
+				progress = true
+				break
+			}
+		}
+		if !progress {
+			// Cycle: stash one source in R11.
+			mv := gmoves[0]
+			l.emit(x86.Instr{Op: x86.MOV, Dst: x86.R(x86.R11), Src: x86.R(mv.src), Size: 8, Comment: "arg.cycle"})
+			for i := range gmoves {
+				if gmoves[i].src == mv.src {
+					gmoves[i].src = x86.R11
+				}
+			}
+		}
+	}
+	for len(xmoves) > 0 {
+		progress := false
+		for i, mv := range xmoves {
+			conflict := false
+			for j, other := range xmoves {
+				if j != i && other.src == mv.dst {
+					conflict = true
+					break
+				}
+			}
+			if !conflict {
+				l.emit(x86.Instr{Op: x86.MOVSD, Dst: x86.X(mv.dst), Src: x86.X(mv.src), Comment: "arg"})
+				xmoves = append(xmoves[:i], xmoves[i+1:]...)
+				progress = true
+				break
+			}
+		}
+		if !progress {
+			mv := xmoves[0]
+			l.emit(x86.Instr{Op: x86.MOVSD, Dst: x86.X(x86.XMM15), Src: x86.X(mv.src), Comment: "arg.cycle"})
+			for i := range xmoves {
+				if xmoves[i].src == mv.src {
+					xmoves[i].src = x86.XMM15
+				}
+			}
+		}
+	}
+
+	// Emit the call; registers do not survive it.
+	if in.Callee != nil {
+		idx := l.emit(x86.Instr{Op: x86.CALL, Dst: x86.Label(0), Comment: "call " + in.Callee.Name})
+		l.callTargets[idx] = in.Callee.Name
+	} else {
+		l.emit(x86.Instr{Op: x86.CALL, Builtin: in.Builtin, ArgClasses: string(argClasses), RetFloat: retFloat})
+	}
+	l.resetBlockRegs()
+
+	if !in.HasResult() {
+		return nil
+	}
+	if retFloat {
+		dst, err := l.defXmm(in)
+		if err != nil {
+			return err
+		}
+		l.emit(x86.Instr{Op: x86.MOVSD, Dst: x86.X(dst), Src: x86.X(x86.XMM0), Comment: "ret val"})
+		l.finishXmm(in, dst)
+		return nil
+	}
+	dst, err := l.defInt(in)
+	if err != nil {
+		return err
+	}
+	l.emit(x86.Instr{Op: x86.MOV, Dst: x86.R(dst), Src: x86.R(x86.RAX), Size: 8, Comment: "ret val"})
+	l.finishInt(in, dst)
+	return nil
+}
+
+// resetBlockRegs invalidates register bindings (used after calls, where
+// caller-saved state is dead and, by construction, no local value lives).
+func (l *fnLowerer) resetBlockRegs() {
+	l.regOwner = map[x86.Reg]*ir.Instr{}
+	l.xmmOwner = map[x86.XReg]*ir.Instr{}
+	l.valReg = map[*ir.Instr]x86.Reg{}
+	l.valXmm = map[*ir.Instr]x86.XReg{}
+	l.spilled = map[*ir.Instr]bool{}
+	l.pinned = map[x86.Reg]bool{}
+	l.pinnedX = map[x86.XReg]bool{}
+	l.temps = l.temps[:0]
+	l.tempsX = l.tempsX[:0]
+}

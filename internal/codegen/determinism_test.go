@@ -1,0 +1,43 @@
+package codegen_test
+
+import (
+	"testing"
+
+	"hlfi/internal/bench"
+	"hlfi/internal/codegen"
+	"hlfi/internal/interp"
+	"hlfi/internal/minic"
+)
+
+// TestLoweringDeterministic guards the bit-reproducibility promise: the
+// same source must lower to the identical instruction stream on every
+// compile. Go randomizes map iteration order per range statement, so
+// lowering each benchmark several times in one process catches any pass
+// whose output order leaks from a map walk (the LICM hoist-order bug
+// was exactly this shape).
+func TestLoweringDeterministic(t *testing.T) {
+	for _, b := range bench.All() {
+		name, src := b.Name, b.Source
+		var golden string
+		for trial := 0; trial < 4; trial++ {
+			mod, err := minic.Compile(name, src)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			prep, err := interp.Prepare(mod)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			prog, err := codegen.Lower(mod, prep.Layout, codegen.DefaultOptions())
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			d := prog.Disassemble()
+			if trial == 0 {
+				golden = d
+			} else if d != golden {
+				t.Fatalf("%s: lowering differs between compiles (trial %d)", name, trial)
+			}
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package codegen
+
+import (
+	"bytes"
+	"testing"
+
+	"hlfi/internal/interp"
+	"hlfi/internal/machine"
+	"hlfi/internal/minic"
+)
+
+// runBoth compiles src, runs it at the IR level and at the machine level,
+// and requires identical outputs and exit codes — the precondition for
+// any LLFI-vs-PINFI comparison.
+func runBoth(t *testing.T, src string) (string, int64) {
+	t.Helper()
+	mod, err := minic.Compile("diff", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	prep, err := interp.Prepare(mod)
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	var irOut bytes.Buffer
+	r := interp.NewRunner(prep, &irOut)
+	irRC, err := r.Run()
+	if err != nil {
+		t.Fatalf("IR run: %v\nIR:\n%s", err, mod)
+	}
+
+	prog, err := Lower(mod, prep.Layout, DefaultOptions())
+	if err != nil {
+		t.Fatalf("lower: %v\nIR:\n%s", err, mod)
+	}
+	var asmOut bytes.Buffer
+	m := machine.New(prog, prep.Layout.Image, prep.Layout.Base, &asmOut)
+	asmRC, err := m.Run()
+	if err != nil {
+		t.Fatalf("machine run: %v\nIR:\n%s\nASM:\n%s", err, mod, prog.Disassemble())
+	}
+	if irOut.String() != asmOut.String() {
+		t.Fatalf("output mismatch:\nIR : %q\nASM: %q\nASM listing:\n%s", irOut.String(), asmOut.String(), prog.Disassemble())
+	}
+	if irRC != asmRC {
+		t.Fatalf("exit mismatch: IR %d vs ASM %d", irRC, asmRC)
+	}
+	return irOut.String(), irRC
+}
+
+func TestDiffFib(t *testing.T) {
+	out, rc := runBoth(t, `
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+int main() {
+    print_int(fib(12));
+    print_str("\n");
+    return 0;
+}
+`)
+	if out != "144\n" || rc != 0 {
+		t.Fatalf("got %q rc=%d", out, rc)
+	}
+}
+
+func TestDiffArraysStructsPointers(t *testing.T) {
+	out, _ := runBoth(t, `
+struct point { int x; int y; };
+int grid[4][4];
+struct point pts[3];
+int sumgrid() {
+    int s = 0;
+    for (int i = 0; i < 4; i++)
+        for (int j = 0; j < 4; j++)
+            s += grid[i][j];
+    return s;
+}
+int main() {
+    for (int i = 0; i < 4; i++)
+        for (int j = 0; j < 4; j++)
+            grid[i][j] = i * 4 + j;
+    for (int k = 0; k < 3; k++) {
+        pts[k].x = k;
+        pts[k].y = k * k;
+    }
+    struct point *p = &pts[2];
+    int *cell = &grid[1][2];
+    print_int(sumgrid()); print_str(" ");
+    print_int(p->y); print_str(" ");
+    print_int(*cell); print_str("\n");
+    return 0;
+}
+`)
+	if out != "120 4 6\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestDiffFloatsMallocLogic(t *testing.T) {
+	out, rc := runBoth(t, `
+double avg(double *a, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) s += a[i];
+    return s / n;
+}
+int main() {
+    double *a = (double*)malloc(8L * 10);
+    for (int i = 0; i < 10; i++) a[i] = i * 1.5;
+    print_double(avg(a, 10)); print_str("\n");
+    long big = 1000000000;
+    big = big * 4;
+    print_long(big); print_str("\n");
+    int x = 5;
+    if (x > 3 && x < 10 || x == 0) print_str("yes\n");
+    char buf[8] = "hi";
+    print_str(buf); print_str("\n");
+    print_double(sqrt(2.0)); print_str("\n");
+    free(a);
+    return x > 4 ? 7 : 9;
+}
+`)
+	if out != "6.75\n4000000000\nyes\nhi\n1.41421\n" || rc != 7 {
+		t.Fatalf("got %q rc=%d", out, rc)
+	}
+}
+
+func TestDiffDivisionAndChars(t *testing.T) {
+	out, _ := runBoth(t, `
+int main() {
+    int a = -17;
+    int b = 5;
+    print_int(a / b); print_str(" ");
+    print_int(a % b); print_str(" ");
+    long la = 1234567891234L;
+    print_long(la / 7); print_str(" ");
+    char c = 'A';
+    c = c + 2;
+    print_char(c);
+    print_str("\n");
+    int sh = 3;
+    print_int(1 << sh); print_str(" ");
+    print_int(-16 >> 2); print_str(" ");
+    print_int(~5 & 255); print_str("\n");
+    return 0;
+}
+`)
+	want := "-3 -2 176366841604 C\n8 -4 250\n"
+	if out != want {
+		t.Fatalf("got %q want %q", out, want)
+	}
+}
+
+func TestDiffLinkedList(t *testing.T) {
+	out, _ := runBoth(t, `
+struct node { int val; struct node *next; };
+int main() {
+    struct node *head = 0;
+    for (int i = 0; i < 10; i++) {
+        struct node *n = (struct node*)malloc(sizeof(struct node));
+        n->val = i * i;
+        n->next = head;
+        head = n;
+    }
+    int sum = 0;
+    int count = 0;
+    struct node *p = head;
+    while (p) {
+        sum += p->val;
+        count++;
+        p = p->next;
+    }
+    print_int(sum); print_str(" ");
+    print_int(count); print_str("\n");
+    return 0;
+}
+`)
+	if out != "285 10\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestDiffWhileDoBreakContinue(t *testing.T) {
+	out, _ := runBoth(t, `
+int main() {
+    int i = 0;
+    int s = 0;
+    do {
+        i++;
+        if (i % 3 == 0) continue;
+        if (i > 12) break;
+        s += i;
+    } while (i < 100);
+    print_int(s); print_str(" ");
+    print_int(i); print_str("\n");
+    double d = 1.0;
+    int n = 0;
+    while (d < 100.0) { d = d * 1.5; n++; }
+    print_int(n); print_str(" ");
+    print_double(d); print_str("\n");
+    return 0;
+}
+`)
+	if out != "48 13\n12 129.746\n" {
+		t.Fatalf("got %q", out)
+	}
+}
+
+func TestDiffNestedAggregates(t *testing.T) {
+	out, _ := runBoth(t, `
+struct inner { int a[3]; double w; };
+struct outer { struct inner rows[2]; int tag; };
+struct outer grid[2];
+int main() {
+    for (int g = 0; g < 2; g++) {
+        for (int r = 0; r < 2; r++) {
+            for (int k = 0; k < 3; k++) grid[g].rows[r].a[k] = g * 100 + r * 10 + k;
+            grid[g].rows[r].w = (double)(g + r) * 0.5;
+        }
+        grid[g].tag = g + 1;
+    }
+    long s = 0;
+    double wsum = 0.0;
+    for (int g = 0; g < 2; g++) {
+        struct outer *p = &grid[g];
+        for (int r = 0; r < 2; r++) {
+            for (int k = 0; k < 3; k++) s += p->rows[r].a[k];
+            wsum += p->rows[r].w;
+        }
+        s += p->tag;
+    }
+    print_long(s); print_str(" ");
+    print_double(wsum); print_str("\n");
+    return 0;
+}
+`)
+	if out != "675 2\n" {
+		t.Fatalf("nested aggregates: %q", out)
+	}
+}

@@ -1,0 +1,699 @@
+package codegen
+
+import (
+	"fmt"
+
+	"hlfi/internal/ir"
+	"hlfi/internal/x86"
+)
+
+var intALUOps = map[ir.Op]x86.Opcode{
+	ir.OpAdd: x86.ADD, ir.OpSub: x86.SUB, ir.OpMul: x86.IMUL,
+	ir.OpAnd: x86.AND, ir.OpOr: x86.OR, ir.OpXor: x86.XOR,
+	ir.OpShl: x86.SHL, ir.OpLShr: x86.SHR, ir.OpAShr: x86.SAR,
+}
+
+var sseALUOps = map[ir.Op]x86.Opcode{
+	ir.OpFAdd: x86.ADDSD, ir.OpFSub: x86.SUBSD,
+	ir.OpFMul: x86.MULSD, ir.OpFDiv: x86.DIVSD,
+}
+
+// signedJcc maps predicates to jumps after an integer CMP.
+var signedJcc = map[ir.Pred]x86.Opcode{
+	ir.PredEQ: x86.JE, ir.PredNE: x86.JNE,
+	ir.PredLT: x86.JL, ir.PredLE: x86.JLE, ir.PredGT: x86.JG, ir.PredGE: x86.JGE,
+	ir.PredULT: x86.JB, ir.PredULE: x86.JBE, ir.PredUGT: x86.JA, ir.PredUGE: x86.JAE,
+}
+
+// unsignedJcc maps predicates to jumps after UCOMISD.
+var unsignedJcc = map[ir.Pred]x86.Opcode{
+	ir.PredEQ: x86.JE, ir.PredNE: x86.JNE,
+	ir.PredLT: x86.JB, ir.PredLE: x86.JBE, ir.PredGT: x86.JA, ir.PredGE: x86.JAE,
+}
+
+var jccToSet = map[x86.Opcode]x86.Opcode{
+	x86.JE: x86.SETE, x86.JNE: x86.SETNE,
+	x86.JL: x86.SETL, x86.JLE: x86.SETLE, x86.JG: x86.SETG, x86.JGE: x86.SETGE,
+	x86.JB: x86.SETB, x86.JBE: x86.SETBE, x86.JA: x86.SETA, x86.JAE: x86.SETAE,
+}
+
+var invertJcc = map[x86.Opcode]x86.Opcode{
+	x86.JE: x86.JNE, x86.JNE: x86.JE,
+	x86.JL: x86.JGE, x86.JGE: x86.JL, x86.JLE: x86.JG, x86.JG: x86.JLE,
+	x86.JB: x86.JAE, x86.JAE: x86.JB, x86.JBE: x86.JA, x86.JA: x86.JBE,
+}
+
+// lowerInstr lowers one non-terminator IR instruction.
+func (l *fnLowerer) lowerInstr(in *ir.Instr) error {
+	defer l.endInstr()
+	switch {
+	case in.Op == ir.OpSDiv || in.Op == ir.OpSRem:
+		return l.lowerDiv(in)
+	case in.Op == ir.OpUDiv || in.Op == ir.OpURem:
+		return fmt.Errorf("codegen: unsigned division not supported")
+	case in.Op.IsIntArith():
+		return l.lowerIntALU(in)
+	case in.Op.IsFloatArith():
+		return l.lowerFloatALU(in)
+	case in.Op.IsCmp():
+		return l.lowerCmpValue(in)
+	case in.Op.IsCast():
+		return l.lowerCast(in)
+	}
+	switch in.Op {
+	case ir.OpAlloca, ir.OpPhi:
+		return nil // frame plan / slot stores at predecessors
+	case ir.OpGEP:
+		return l.lowerGEP(in)
+	case ir.OpLoad:
+		return l.lowerLoad(in)
+	case ir.OpStore:
+		return l.lowerStore(in)
+	case ir.OpCall:
+		return l.lowerCall(in)
+	default:
+		return fmt.Errorf("codegen: unhandled op %s", in.Op)
+	}
+}
+
+// commutative reports whether operands of op may swap.
+func commutative(op ir.Op) bool {
+	switch op {
+	case ir.OpAdd, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpFAdd, ir.OpFMul:
+		return true
+	default:
+		return false
+	}
+}
+
+// inRegisterAlready reports whether v already sits in a register (local
+// binding or global register), so using it as the two-address destination
+// side avoids a reload.
+func (l *fnLowerer) inRegisterAlready(v ir.Value) bool {
+	v = l.resolve(v)
+	switch t := v.(type) {
+	case *ir.Param:
+		_, ok := l.cls.globalReg[ir.Value(t)]
+		if !ok {
+			_, ok = l.cls.globalXmm[ir.Value(t)]
+		}
+		return ok
+	case *ir.Instr:
+		switch l.cls.class[t] {
+		case classGReg:
+			return true
+		case classLocal:
+			if _, ok := l.valReg[t]; ok {
+				return true
+			}
+			_, ok := l.valXmm[t]
+			return ok
+		}
+	}
+	return false
+}
+
+func (l *fnLowerer) lowerIntALU(in *ir.Instr) error {
+	if l.cls.class[in] == classFolded {
+		return nil
+	}
+	size := uint8(in.Ty.Size())
+	a0, a1 := in.Args[0], in.Args[1]
+	if commutative(in.Op) && !l.inRegisterAlready(a0) && l.inRegisterAlready(a1) {
+		a0, a1 = a1, a0
+	}
+	lhs, err := l.useGPR(a0)
+	if err != nil {
+		return err
+	}
+	rhs, err := l.intSrcOperand(a1)
+	if err != nil {
+		return err
+	}
+	// Reuse the LHS register when this was its last read (two-address
+	// form); otherwise copy first.
+	var dst x86.Reg
+	if l.regFreeable(lhs) {
+		dst = l.claimFreed(lhs)
+	} else {
+		dst, err = l.defInt(in)
+		if err != nil {
+			return err
+		}
+		if dst != lhs {
+			l.emit(x86.Instr{Op: x86.MOV, Dst: x86.R(dst), Src: x86.R(lhs), Size: 8})
+		}
+	}
+	l.emit(x86.Instr{Op: intALUOps[in.Op], Dst: x86.R(dst), Src: rhs, Size: size, Comment: in.Op.String()})
+	l.finishInt(in, dst)
+	return nil
+}
+
+// regFreeable reports whether r can be claimed as the destination: it is
+// a one-shot temporary of the current instruction, or it belongs to a
+// value whose reads are exhausted (pending free).
+func (l *fnLowerer) regFreeable(r x86.Reg) bool {
+	owner := l.regOwner[r]
+	if owner == nil {
+		for _, tr := range l.temps {
+			if tr == r {
+				return true
+			}
+		}
+		return false
+	}
+	for _, f := range l.frees {
+		if f == owner {
+			return true
+		}
+	}
+	return false
+}
+
+// claimFreed detaches r from its dying owner (or from the temp list) and
+// returns it as the current destination.
+func (l *fnLowerer) claimFreed(r x86.Reg) x86.Reg {
+	if owner := l.regOwner[r]; owner != nil {
+		delete(l.valReg, owner)
+	}
+	for i, tr := range l.temps {
+		if tr == r {
+			l.temps = append(l.temps[:i], l.temps[i+1:]...)
+			break
+		}
+	}
+	delete(l.regOwner, r)
+	l.regOwner[r] = nil
+	l.pinned[r] = true
+	if r.IsCalleeSaved() {
+		l.calleeUsed[r] = true
+	}
+	return r
+}
+
+func (l *fnLowerer) xmmFreeable(x x86.XReg) bool {
+	owner := l.xmmOwner[x]
+	if owner == nil {
+		for _, tx := range l.tempsX {
+			if tx == x {
+				return true
+			}
+		}
+		return false
+	}
+	for _, f := range l.frees {
+		if f == owner {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *fnLowerer) claimFreedXmm(x x86.XReg) x86.XReg {
+	if owner := l.xmmOwner[x]; owner != nil {
+		delete(l.valXmm, owner)
+	}
+	for i, tx := range l.tempsX {
+		if tx == x {
+			l.tempsX = append(l.tempsX[:i], l.tempsX[i+1:]...)
+			break
+		}
+	}
+	delete(l.xmmOwner, x)
+	l.xmmOwner[x] = nil
+	l.pinnedX[x] = true
+	return x
+}
+
+func (l *fnLowerer) lowerFloatALU(in *ir.Instr) error {
+	if l.cls.class[in] == classFolded {
+		return nil
+	}
+	a0, a1 := in.Args[0], in.Args[1]
+	if commutative(in.Op) && !l.inRegisterAlready(a0) && l.inRegisterAlready(a1) {
+		a0, a1 = a1, a0
+	}
+	lhs, err := l.useXMM(a0)
+	if err != nil {
+		return err
+	}
+	rhs, err := l.floatSrcOperand(a1)
+	if err != nil {
+		return err
+	}
+	var dst x86.XReg
+	if l.xmmFreeable(lhs) {
+		dst = l.claimFreedXmm(lhs)
+	} else {
+		dst, err = l.defXmm(in)
+		if err != nil {
+			return err
+		}
+		if dst != lhs {
+			l.emit(x86.Instr{Op: x86.MOVSD, Dst: x86.X(dst), Src: x86.X(lhs)})
+		}
+	}
+	l.emit(x86.Instr{Op: sseALUOps[in.Op], Dst: x86.X(dst), Src: rhs, Comment: in.Op.String()})
+	l.finishXmm(in, dst)
+	return nil
+}
+
+func (l *fnLowerer) lowerDiv(in *ir.Instr) error {
+	size := in.Ty.Size()
+	// Widen both operands into RAX / R11 with sign extension, then use
+	// the 64-bit divide; narrow results are re-canonicalized by the MOV.
+	lhs, err := l.useGPR(in.Args[0])
+	if err != nil {
+		return err
+	}
+	if size < 8 {
+		l.emit(x86.Instr{Op: x86.MOVSX, Dst: x86.R(x86.RAX), Src: x86.R(lhs), Size: uint8(size)})
+	} else {
+		l.emit(x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RAX), Src: x86.R(lhs), Size: 8})
+	}
+	rhs, err := l.useGPR(in.Args[1])
+	if err != nil {
+		return err
+	}
+	if size < 8 {
+		l.emit(x86.Instr{Op: x86.MOVSX, Dst: x86.R(x86.R11), Src: x86.R(rhs), Size: uint8(size)})
+	} else {
+		l.emit(x86.Instr{Op: x86.MOV, Dst: x86.R(x86.R11), Src: x86.R(rhs), Size: 8})
+	}
+	l.emit(x86.Instr{Op: x86.CQO, Dst: x86.R(x86.RDX)})
+	l.emit(x86.Instr{Op: x86.IDIV, Dst: x86.R(x86.RAX), Src: x86.R(x86.R11), Size: 8, Comment: in.Op.String()})
+	resultReg := x86.RAX
+	if in.Op == ir.OpSRem {
+		resultReg = x86.RDX
+	}
+	dst, err := l.defInt(in)
+	if err != nil {
+		return err
+	}
+	l.emit(x86.Instr{Op: x86.MOV, Dst: x86.R(dst), Src: x86.R(resultReg), Size: uint8(size)})
+	l.finishInt(in, dst)
+	return nil
+}
+
+// emitCompare emits CMP/UCOMISD for an icmp/fcmp and returns the Jcc
+// opcode that tests the predicate.
+func (l *fnLowerer) emitCompare(in *ir.Instr) (x86.Opcode, error) {
+	if in.Op == ir.OpFCmp {
+		lhs, err := l.useXMM(in.Args[0])
+		if err != nil {
+			return 0, err
+		}
+		rhs, err := l.floatSrcOperand(in.Args[1])
+		if err != nil {
+			return 0, err
+		}
+		l.emit(x86.Instr{Op: x86.UCOMISD, Dst: x86.X(lhs), Src: rhs})
+		return unsignedJcc[in.Pred], nil
+	}
+	size := uint8(in.Args[0].Type().Size())
+	lhs, err := l.useGPR(in.Args[0])
+	if err != nil {
+		return 0, err
+	}
+	rhs, err := l.intSrcOperand(in.Args[1])
+	if err != nil {
+		return 0, err
+	}
+	pred := in.Pred
+	if in.Args[0].Type().IsPtr() {
+		switch pred {
+		case ir.PredLT:
+			pred = ir.PredULT
+		case ir.PredLE:
+			pred = ir.PredULE
+		case ir.PredGT:
+			pred = ir.PredUGT
+		case ir.PredGE:
+			pred = ir.PredUGE
+		}
+	}
+	l.emit(x86.Instr{Op: x86.CMP, Dst: x86.R(lhs), Src: rhs, Size: size})
+	return signedJcc[pred], nil
+}
+
+// lowerCmpValue lowers an icmp/fcmp used as a value: CMP + SETcc.
+func (l *fnLowerer) lowerCmpValue(in *ir.Instr) error {
+	if l.cls.class[in] == classFolded {
+		return nil // fused into the terminating branch
+	}
+	jcc, err := l.emitCompare(in)
+	if err != nil {
+		return err
+	}
+	dst, err := l.defInt(in)
+	if err != nil {
+		return err
+	}
+	l.emit(x86.Instr{Op: jccToSet[jcc], Dst: x86.R(dst), Size: 1})
+	l.finishInt(in, dst)
+	return nil
+}
+
+func (l *fnLowerer) lowerCast(in *ir.Instr) error {
+	if l.cls.class[in] == classAlias {
+		return nil
+	}
+	srcTy := in.Args[0].Type()
+	switch in.Op {
+	case ir.OpTrunc:
+		src, err := l.useGPR(in.Args[0])
+		if err != nil {
+			return err
+		}
+		dst, err := l.defInt(in)
+		if err != nil {
+			return err
+		}
+		l.emit(x86.Instr{Op: x86.MOV, Dst: x86.R(dst), Src: x86.R(src), Size: uint8(in.Ty.Size()), Comment: "trunc"})
+		l.finishInt(in, dst)
+		return nil
+
+	case ir.OpZExt:
+		// Values are canonical (zero-extended) already; a plain register
+		// move realizes the zext, like mov r32,r32 on real hardware.
+		if src := l.resolve(in.Args[0]); isFoldedLoad(l, src) {
+			fl := src.(*ir.Instr)
+			mop, err := l.memOperand(fl.Args[0])
+			if err != nil {
+				return err
+			}
+			l.consume(fl)
+			dst, err := l.defInt(in)
+			if err != nil {
+				return err
+			}
+			l.emit(x86.Instr{Op: x86.MOVZX, Dst: x86.R(dst), Src: mop, Size: uint8(fl.Ty.Size()), Comment: "zext"})
+			l.finishInt(in, dst)
+			return nil
+		}
+		src, err := l.useGPR(in.Args[0])
+		if err != nil {
+			return err
+		}
+		dst, err := l.defInt(in)
+		if err != nil {
+			return err
+		}
+		l.emit(x86.Instr{Op: x86.MOV, Dst: x86.R(dst), Src: x86.R(src), Size: 8, Comment: "zext"})
+		l.finishInt(in, dst)
+		return nil
+
+	case ir.OpSExt:
+		var dst x86.Reg
+		var err error
+		if src := l.resolve(in.Args[0]); isFoldedLoad(l, src) {
+			fl := src.(*ir.Instr)
+			mop, merr := l.memOperand(fl.Args[0])
+			if merr != nil {
+				return merr
+			}
+			l.consume(fl)
+			dst, err = l.defInt(in)
+			if err != nil {
+				return err
+			}
+			l.emit(x86.Instr{Op: x86.MOVSX, Dst: x86.R(dst), Src: mop, Size: uint8(fl.Ty.Size()), Comment: "sext"})
+		} else {
+			src, serr := l.useGPR(in.Args[0])
+			if serr != nil {
+				return serr
+			}
+			dst, err = l.defInt(in)
+			if err != nil {
+				return err
+			}
+			l.emit(x86.Instr{Op: x86.MOVSX, Dst: x86.R(dst), Src: x86.R(src), Size: uint8(srcTy.Size()), Comment: "sext"})
+		}
+		if in.Ty.Size() < 8 {
+			// Re-canonicalize to the (narrower) destination width.
+			l.emit(x86.Instr{Op: x86.MOV, Dst: x86.R(dst), Src: x86.R(dst), Size: uint8(in.Ty.Size())})
+		}
+		l.finishInt(in, dst)
+		return nil
+
+	case ir.OpFPToSI:
+		src, err := l.floatSrcOperand(in.Args[0])
+		if err != nil {
+			return err
+		}
+		dst, err := l.defInt(in)
+		if err != nil {
+			return err
+		}
+		l.emit(x86.Instr{Op: x86.CVTTSD2SI, Dst: x86.R(dst), Src: src, Size: uint8(in.Ty.Size())})
+		l.finishInt(in, dst)
+		return nil
+
+	case ir.OpSIToFP:
+		var srcOp x86.Operand
+		size := uint8(srcTy.Size())
+		if src := l.resolve(in.Args[0]); isFoldedLoad(l, src) {
+			fl := src.(*ir.Instr)
+			mop, err := l.memOperand(fl.Args[0])
+			if err != nil {
+				return err
+			}
+			l.consume(fl)
+			srcOp = mop
+			size = uint8(fl.Ty.Size())
+		} else {
+			r, err := l.useGPR(in.Args[0])
+			if err != nil {
+				return err
+			}
+			srcOp = x86.R(r)
+		}
+		dst, err := l.defXmm(in)
+		if err != nil {
+			return err
+		}
+		l.emit(x86.Instr{Op: x86.CVTSI2SD, Dst: x86.X(dst), Src: srcOp, Size: size})
+		l.finishXmm(in, dst)
+		return nil
+
+	case ir.OpPtrToInt, ir.OpIntToPtr:
+		src, err := l.useGPR(in.Args[0])
+		if err != nil {
+			return err
+		}
+		dst, err := l.defInt(in)
+		if err != nil {
+			return err
+		}
+		size := uint8(8)
+		if in.Ty.IsInt() && in.Ty.Size() < 8 {
+			size = uint8(in.Ty.Size())
+		}
+		l.emit(x86.Instr{Op: x86.MOV, Dst: x86.R(dst), Src: x86.R(src), Size: size, Comment: in.Op.String()})
+		l.finishInt(in, dst)
+		return nil
+	}
+	return fmt.Errorf("codegen: unhandled cast %s", in.Op)
+}
+
+// leaPair returns m in {3,5,9} such that stride = m * k with k in
+// {2,4,8}, or 0 when no LEA-pair decomposition exists.
+func leaPair(stride uint64) uint64 {
+	for _, m := range []uint64{3, 5, 9} {
+		if stride%m == 0 {
+			k := stride / m
+			if k == 2 || k == 4 || k == 8 {
+				return m
+			}
+		}
+	}
+	return 0
+}
+
+func isFoldedLoad(l *fnLowerer, v ir.Value) bool {
+	in, ok := v.(*ir.Instr)
+	return ok && in.Op == ir.OpLoad && l.cls.class[in] == classFolded
+}
+
+func (l *fnLowerer) lowerGEP(in *ir.Instr) error {
+	if l.cls.class[in] == classFolded {
+		return nil
+	}
+	// Single-LEA form when the address fits base+index*scale+disp.
+	if plan, ok := addressPlan(in); ok {
+		mop, err := l.planOperand(plan)
+		if err != nil {
+			return err
+		}
+		dst, err := l.defInt(in)
+		if err != nil {
+			return err
+		}
+		l.emit(x86.Instr{Op: x86.LEA, Dst: x86.R(dst), Src: mop, Comment: "gep"})
+		l.finishInt(in, dst)
+		return nil
+	}
+	// General form: explicit address arithmetic (the paper's "set of add
+	// and multiply instructions that computes the address").
+	base, err := l.useGPR(in.Args[0])
+	if err != nil {
+		return err
+	}
+	var dst x86.Reg
+	if l.regFreeable(base) {
+		dst = l.claimFreed(base)
+	} else {
+		dst, err = l.defInt(in)
+		if err != nil {
+			return err
+		}
+		l.emit(x86.Instr{Op: x86.MOV, Dst: x86.R(dst), Src: x86.R(base), Size: 8})
+	}
+	cur := in.Args[0].Type().Elem
+	disp := int64(0)
+	for i, idx := range in.Args[1:] {
+		var stride uint64
+		if i == 0 {
+			stride = cur.Size()
+		} else {
+			switch cur.Kind {
+			case ir.KindArray:
+				cur = cur.Elem
+				stride = cur.Size()
+			case ir.KindStruct:
+				cst, ok := idx.(*ir.Const)
+				if !ok {
+					return fmt.Errorf("codegen: dynamic struct index")
+				}
+				fi := int(cst.Int())
+				disp += int64(cur.FieldOffset(fi))
+				cur = cur.Fields[fi]
+				continue
+			default:
+				return fmt.Errorf("codegen: gep into %s", cur)
+			}
+		}
+		if cst, ok := idx.(*ir.Const); ok {
+			disp += cst.Int() * int64(stride)
+			continue
+		}
+		iv, err := l.useGPR(idx)
+		if err != nil {
+			return err
+		}
+		switch {
+		case stride == 1 || stride == 2 || stride == 4 || stride == 8:
+			l.emit(x86.Instr{Op: x86.LEA, Dst: x86.R(dst), Src: x86.Mem(dst, iv, uint8(stride), 0), Comment: "gep.idx"})
+		case stride == 3 || stride == 5 || stride == 9:
+			// lea t, [idx + idx*(stride-1)]; add into the address.
+			l.emit(x86.Instr{Op: x86.LEA, Dst: x86.R(x86.R11), Src: x86.Mem(iv, iv, uint8(stride-1), 0), Comment: "gep.scale"})
+			l.emit(x86.Instr{Op: x86.ADD, Dst: x86.R(dst), Src: x86.R(x86.R11), Size: 8})
+		case leaPair(stride) != 0:
+			// stride = m*k with m in {3,5,9}, k in {2,4,8}:
+			// lea t, [idx + idx*(m-1)]; lea dst, [dst + t*k].
+			m := leaPair(stride)
+			k := stride / m
+			l.emit(x86.Instr{Op: x86.LEA, Dst: x86.R(x86.R11), Src: x86.Mem(iv, iv, uint8(m-1), 0), Comment: "gep.scale"})
+			l.emit(x86.Instr{Op: x86.LEA, Dst: x86.R(dst), Src: x86.Mem(dst, x86.R11, uint8(k), 0), Comment: "gep.idx"})
+		default:
+			l.emit(x86.Instr{Op: x86.MOV, Dst: x86.R(x86.R11), Src: x86.R(iv), Size: 8})
+			l.emit(x86.Instr{Op: x86.IMUL, Dst: x86.R(x86.R11), Src: x86.Imm(int64(stride)), Size: 8, Comment: "gep.scale"})
+			l.emit(x86.Instr{Op: x86.ADD, Dst: x86.R(dst), Src: x86.R(x86.R11), Size: 8})
+		}
+	}
+	if disp != 0 {
+		l.emit(x86.Instr{Op: x86.ADD, Dst: x86.R(dst), Src: x86.Imm(disp), Size: 8, Comment: "gep.disp"})
+	}
+	l.finishInt(in, dst)
+	return nil
+}
+
+// planOperand turns an addrPlan into a memory operand (for LEA or
+// load/store folding).
+func (l *fnLowerer) planOperand(plan addrPlan) (x86.Operand, error) {
+	var op x86.Operand
+	base := l.resolve(plan.base)
+	switch bt := base.(type) {
+	case *ir.Global:
+		op = x86.Abs(int64(l.mod.globalAddr(bt)) + plan.disp)
+	case *ir.Instr:
+		if l.cls.class[bt] == classFrame {
+			l.consume(bt)
+			op = x86.Mem(x86.RBP, x86.RegNone, 1, -l.allocaOff[bt]+plan.disp)
+			break
+		}
+		r, err := l.useGPR(bt)
+		if err != nil {
+			return op, err
+		}
+		op = x86.Mem(r, x86.RegNone, 1, plan.disp)
+	default:
+		r, err := l.useGPR(base)
+		if err != nil {
+			return op, err
+		}
+		op = x86.Mem(r, x86.RegNone, 1, plan.disp)
+	}
+	if plan.index != nil {
+		idxReg, err := l.useGPR(plan.index)
+		if err != nil {
+			return op, err
+		}
+		op.Index = idxReg
+		op.Scale = uint8(plan.scale)
+	}
+	return op, nil
+}
+
+func (l *fnLowerer) lowerLoad(in *ir.Instr) error {
+	if l.cls.class[in] == classFolded {
+		return nil
+	}
+	mop, err := l.memOperand(in.Args[0])
+	if err != nil {
+		return err
+	}
+	if in.Ty.IsFloat() {
+		dst, err := l.defXmm(in)
+		if err != nil {
+			return err
+		}
+		l.emit(x86.Instr{Op: x86.MOVSD, Dst: x86.X(dst), Src: mop, Comment: "load"})
+		l.finishXmm(in, dst)
+		return nil
+	}
+	dst, err := l.defInt(in)
+	if err != nil {
+		return err
+	}
+	l.emitLoadInt(dst, mop, in.Ty.Size())
+	l.finishInt(in, dst)
+	return nil
+}
+
+func (l *fnLowerer) lowerStore(in *ir.Instr) error {
+	valTy := in.Args[0].Type()
+	mop, err := l.memOperand(in.Args[1])
+	if err != nil {
+		return err
+	}
+	if valTy.IsFloat() {
+		src, err := l.useXMM(in.Args[0])
+		if err != nil {
+			return err
+		}
+		l.emit(x86.Instr{Op: x86.MOVSD, Dst: mop, Src: x86.X(src), Comment: "store"})
+		return nil
+	}
+	size := uint8(valTy.Size())
+	if cst, ok := l.resolve(in.Args[0]).(*ir.Const); ok {
+		l.emit(x86.Instr{Op: x86.MOV, Dst: mop, Src: x86.Imm(int64(cst.Val)), Size: size, Comment: "store"})
+		return nil
+	}
+	src, err := l.useGPR(in.Args[0])
+	if err != nil {
+		return err
+	}
+	l.emit(x86.Instr{Op: x86.MOV, Dst: mop, Src: x86.R(src), Size: size, Comment: "store"})
+	return nil
+}

@@ -1,0 +1,278 @@
+package codegen
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hlfi/internal/interp"
+	"hlfi/internal/machine"
+	"hlfi/internal/minic"
+)
+
+// progGen generates random (but always terminating and well-defined)
+// minic programs. Differentially executing them at the IR level and the
+// machine level is the deepest invariant in the repository: the two
+// fault-injection substrates must agree exactly on fault-free semantics.
+type progGen struct {
+	rng *rand.Rand
+	sb  strings.Builder
+}
+
+func (g *progGen) intLit() string {
+	return fmt.Sprintf("%d", g.rng.Intn(2001)-1000)
+}
+
+// intExpr builds an expression over int variables a, b and array cells.
+func (g *progGen) intExpr(depth int) string {
+	if depth <= 0 {
+		switch g.rng.Intn(4) {
+		case 0:
+			return g.intLit()
+		case 1:
+			return "a"
+		case 2:
+			return "b"
+		default:
+			return fmt.Sprintf("arr[%d]", g.rng.Intn(8))
+		}
+	}
+	l := g.intExpr(depth - 1)
+	r := g.intExpr(depth - 1)
+	switch g.rng.Intn(12) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", l, r)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", l, r)
+	case 2:
+		return fmt.Sprintf("(%s * %s)", l, r)
+	case 3:
+		// Division by a nonzero literal only: both levels trap on /0 and
+		// on INT_MIN/-1, but trapping programs are not useful here.
+		return fmt.Sprintf("(%s / %d)", l, g.rng.Intn(9)+1)
+	case 4:
+		return fmt.Sprintf("(%s %% %d)", l, g.rng.Intn(9)+1)
+	case 5:
+		return fmt.Sprintf("(%s & %s)", l, r)
+	case 6:
+		return fmt.Sprintf("(%s | %s)", l, r)
+	case 7:
+		return fmt.Sprintf("(%s ^ %s)", l, r)
+	case 8:
+		return fmt.Sprintf("(%s << %d)", l, g.rng.Intn(12))
+	case 9:
+		return fmt.Sprintf("(%s >> %d)", l, g.rng.Intn(12))
+	case 10:
+		return fmt.Sprintf("(%s < %s ? %s : %s)", l, r, g.intExpr(0), g.intExpr(0))
+	default:
+		return fmt.Sprintf("(%s == %s)", l, r)
+	}
+}
+
+func (g *progGen) boolExpr() string {
+	l, r := g.intExpr(1), g.intExpr(1)
+	ops := []string{"<", "<=", ">", ">=", "==", "!="}
+	cmp := fmt.Sprintf("%s %s %s", l, ops[g.rng.Intn(len(ops))], r)
+	switch g.rng.Intn(3) {
+	case 0:
+		return cmp
+	case 1:
+		return fmt.Sprintf("(%s) && (%s != 0)", cmp, g.intExpr(0))
+	default:
+		return fmt.Sprintf("(%s) || (%s > 2)", cmp, g.intExpr(0))
+	}
+}
+
+func (g *progGen) dblExpr(depth int) string {
+	if depth <= 0 {
+		switch g.rng.Intn(3) {
+		case 0:
+			return fmt.Sprintf("%d.%d", g.rng.Intn(50), g.rng.Intn(100))
+		case 1:
+			return "x"
+		default:
+			return "(double)a"
+		}
+	}
+	l := g.dblExpr(depth - 1)
+	r := g.dblExpr(depth - 1)
+	switch g.rng.Intn(4) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", l, r)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", l, r)
+	case 2:
+		return fmt.Sprintf("(%s * 0.5 + %s)", l, r)
+	default:
+		return fmt.Sprintf("(%s / 4.0)", l)
+	}
+}
+
+func (g *progGen) generate() string {
+	g.sb.Reset()
+	w := func(format string, args ...interface{}) { fmt.Fprintf(&g.sb, format, args...) }
+	w("int arr[8] = {%d, %d, %d, %d, %d};\n",
+		g.rng.Intn(100), g.rng.Intn(100), g.rng.Intn(100), g.rng.Intn(100), g.rng.Intn(100))
+	w("int helper(int v) { return v * %d + %d; }\n", g.rng.Intn(7)+1, g.rng.Intn(20))
+	w("int main() {\n")
+	w("    int a = %s;\n    int b = %s;\n    long acc = 0;\n    double x = %s;\n",
+		g.intLit(), g.intLit(), g.dblExpr(1))
+	iters := g.rng.Intn(8) + 2
+	w("    for (int i = 0; i < %d; i++) {\n", iters)
+	for s := 0; s < g.rng.Intn(4)+1; s++ {
+		switch g.rng.Intn(5) {
+		case 0:
+			w("        a = %s;\n", g.intExpr(2))
+		case 1:
+			w("        b = helper(%s);\n", g.intExpr(1))
+		case 2:
+			w("        if (%s) { b = %s; } else { a = %s; }\n",
+				g.boolExpr(), g.intExpr(1), g.intExpr(1))
+		case 3:
+			w("        arr[i %% 8] = %s;\n", g.intExpr(1))
+		default:
+			w("        x = %s;\n", g.dblExpr(2))
+		}
+	}
+	w("        acc += a + b;\n")
+	w("    }\n")
+	w("    print_int(a); print_str(\" \");\n")
+	w("    print_int(b); print_str(\" \");\n")
+	w("    print_long(acc); print_str(\" \");\n")
+	w("    print_double(x); print_str(\" \");\n")
+	w("    for (int i = 0; i < 8; i++) { print_int(arr[i]); print_str(\",\"); }\n")
+	w("    print_str(\"\\n\");\n")
+	w("    return (int)(acc & 127);\n")
+	w("}\n")
+	return g.sb.String()
+}
+
+// TestDifferentialRandomPrograms is the toolchain's property test: for
+// hundreds of random programs, the IR interpreter and the machine
+// simulator must produce byte-identical output and exit codes.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	count := 300
+	if testing.Short() {
+		count = 40
+	}
+	for seed := 0; seed < count; seed++ {
+		g := &progGen{rng: rand.New(rand.NewSource(int64(seed)))}
+		src := g.generate()
+		mod, err := minic.Compile("rand", src)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v\n%s", seed, err, src)
+		}
+		prep, err := interp.Prepare(mod)
+		if err != nil {
+			t.Fatalf("seed %d: prepare: %v", seed, err)
+		}
+		var irOut bytes.Buffer
+		irRC, err := interp.NewRunner(prep, &irOut).Run()
+		if err != nil {
+			t.Fatalf("seed %d: IR run: %v\n%s", seed, err, src)
+		}
+		prog, err := Lower(mod, prep.Layout, DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: lower: %v\n%s", seed, err, src)
+		}
+		var asmOut bytes.Buffer
+		m := machine.New(prog, prep.Layout.Image, prep.Layout.Base, &asmOut)
+		asmRC, err := m.Run()
+		if err != nil {
+			t.Fatalf("seed %d: machine: %v\nprogram:\n%s\nasm:\n%s",
+				seed, err, src, prog.Disassemble())
+		}
+		if irOut.String() != asmOut.String() || irRC != asmRC {
+			t.Fatalf("seed %d: DIVERGENCE\nIR : %q (rc=%d)\nASM: %q (rc=%d)\nprogram:\n%s",
+				seed, irOut.String(), irRC, asmOut.String(), asmRC, src)
+		}
+	}
+}
+
+// TestDifferentialUnoptimized runs the same property against unoptimized
+// IR (the ablation configuration).
+func TestDifferentialUnoptimized(t *testing.T) {
+	count := 60
+	if testing.Short() {
+		count = 10
+	}
+	for seed := 1000; seed < 1000+count; seed++ {
+		g := &progGen{rng: rand.New(rand.NewSource(int64(seed)))}
+		src := g.generate()
+		mod, err := minic.CompileUnoptimized("rand", src)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		prep, err := interp.Prepare(mod)
+		if err != nil {
+			t.Fatalf("seed %d: prepare: %v", seed, err)
+		}
+		var irOut bytes.Buffer
+		irRC, err := interp.NewRunner(prep, &irOut).Run()
+		if err != nil {
+			t.Fatalf("seed %d: IR run: %v\n%s", seed, err, src)
+		}
+		prog, err := Lower(mod, prep.Layout, DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: lower: %v", seed, err)
+		}
+		var asmOut bytes.Buffer
+		asmRC, err := machine.New(prog, prep.Layout.Image, prep.Layout.Base, &asmOut).Run()
+		if err != nil {
+			t.Fatalf("seed %d: machine: %v\n%s", seed, err, src)
+		}
+		if irOut.String() != asmOut.String() || irRC != asmRC {
+			t.Fatalf("seed %d: DIVERGENCE (unoptimized)\nIR : %q\nASM: %q\n%s",
+				seed, irOut.String(), asmOut.String(), src)
+		}
+	}
+}
+
+// TestDifferentialAblationConfigs runs the random-program property
+// against every folding configuration: correctness must not depend on
+// which optimizations are enabled.
+func TestDifferentialAblationConfigs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow matrix")
+	}
+	configs := []Options{
+		{FoldGEP: false, FoldLoad: false, FuseCmpBranch: false},
+		{FoldGEP: true, FoldLoad: false, FuseCmpBranch: false},
+		{FoldGEP: false, FoldLoad: true, FuseCmpBranch: true},
+		{FoldGEP: true, FoldLoad: true, FuseCmpBranch: false},
+	}
+	for ci, opts := range configs {
+		for seed := 0; seed < 25; seed++ {
+			g := &progGen{rng: rand.New(rand.NewSource(int64(5000 + seed)))}
+			src := g.generate()
+			mod, err := minic.Compile("abl", src)
+			if err != nil {
+				t.Fatalf("cfg %d seed %d: %v", ci, seed, err)
+			}
+			prep, err := interp.Prepare(mod)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var irOut bytes.Buffer
+			irRC, err := interp.NewRunner(prep, &irOut).Run()
+			if err != nil {
+				t.Fatalf("cfg %d seed %d IR: %v", ci, seed, err)
+			}
+			prog, err := Lower(mod, prep.Layout, opts)
+			if err != nil {
+				t.Fatalf("cfg %d seed %d lower: %v", ci, seed, err)
+			}
+			var asmOut bytes.Buffer
+			asmRC, err := machine.New(prog, prep.Layout.Image, prep.Layout.Base, &asmOut).Run()
+			if err != nil {
+				t.Fatalf("cfg %d seed %d machine: %v\n%s", ci, seed, err, src)
+			}
+			if irOut.String() != asmOut.String() || irRC != asmRC {
+				t.Fatalf("cfg %+v seed %d diverges:\nIR %q\nASM %q\n%s",
+					opts, seed, irOut.String(), asmOut.String(), src)
+			}
+		}
+	}
+}

@@ -1,0 +1,699 @@
+package codegen
+
+import (
+	"fmt"
+	"math"
+
+	"hlfi/internal/ir"
+	"hlfi/internal/x86"
+)
+
+// Register pools. RAX and RDX are reserved for division and returns; R11
+// is the assembler temporary; RSP/RBP hold the stack and frame pointers.
+// Callee-saved registers sit at the end of the pool so they are touched
+// (and therefore pushed/popped) only under pressure.
+var gprPool = []x86.Reg{
+	x86.RCX, x86.RSI, x86.RDI, x86.R8, x86.R9, x86.R10,
+	x86.RBX, x86.R12, x86.R13, x86.R14, x86.R15,
+}
+
+// XMM0-7 carry float arguments; the allocator prefers the upper half.
+// XMM15 is the float assembler temporary.
+// intArgRegs and fltArgRegs alias the shared calling-convention order.
+var (
+	intArgRegs = x86.IntArgRegs
+	fltArgRegs = x86.FloatArgRegs
+)
+
+var xmmPool = []x86.XReg{
+	x86.XMM8, x86.XMM9, x86.XMM10, x86.XMM11, x86.XMM12, x86.XMM13, x86.XMM14,
+	x86.XMM1, x86.XMM2, x86.XMM3, x86.XMM4, x86.XMM5, x86.XMM6, x86.XMM7,
+}
+
+// fnLowerer lowers one function.
+type fnLowerer struct {
+	mod  *moduleLowerer
+	fn   *ir.Function
+	cls  *classification
+	opts Options
+
+	body        []x86.Instr
+	labelOf     map[*ir.Block]int
+	labelPos    []int          // label id -> body index
+	callTargets map[int]string // body index -> callee name
+	epilogueLbl int
+
+	slotOff    map[ir.Value]int64 // rbp-relative: addr = rbp - off
+	allocaOff  map[*ir.Instr]int64
+	frameBytes int64
+	calleeUsed map[x86.Reg]bool
+
+	remaining map[ir.Value]int
+
+	regOwner map[x86.Reg]*ir.Instr
+	xmmOwner map[x86.XReg]*ir.Instr
+	valReg   map[*ir.Instr]x86.Reg
+	valXmm   map[*ir.Instr]x86.XReg
+	spilled  map[*ir.Instr]bool
+
+	pinned  map[x86.Reg]bool
+	pinnedX map[x86.XReg]bool
+	temps   []x86.Reg
+	tempsX  []x86.XReg
+	frees   []*ir.Instr
+	// coalesced marks values computed directly into their phi's global
+	// register this block.
+	coalesced map[*ir.Instr]bool
+
+	// Per-function allocator pools (package pools minus the registers
+	// assigned as global registers by the classifier).
+	gpool []x86.Reg
+	xpool []x86.XReg
+}
+
+// isGlobalGPR reports whether r is one of this function's global
+// registers.
+func (l *fnLowerer) isGlobalGPR(r x86.Reg) bool {
+	for _, gr := range l.cls.globalReg {
+		if gr == r {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *fnLowerer) emit(in x86.Instr) int {
+	l.body = append(l.body, in)
+	return len(l.body) - 1
+}
+
+// newLabel creates an unresolved label id.
+func (l *fnLowerer) newLabel() int {
+	l.labelPos = append(l.labelPos, -1)
+	return len(l.labelPos) - 1
+}
+
+func (l *fnLowerer) defineLabel(id int) { l.labelPos[id] = len(l.body) }
+
+// slotFor assigns (or returns) the stack slot of a value.
+func (l *fnLowerer) slotFor(v ir.Value) int64 {
+	if off, ok := l.slotOff[v]; ok {
+		return off
+	}
+	l.frameBytes += 8
+	l.slotOff[v] = l.frameBytes
+	return l.frameBytes
+}
+
+func (l *fnLowerer) slotOperand(v ir.Value) x86.Operand {
+	return x86.Mem(x86.RBP, x86.RegNone, 1, -l.slotFor(v))
+}
+
+// resolve follows value aliases (bitcasts).
+func (l *fnLowerer) resolve(v ir.Value) ir.Value {
+	for {
+		in, ok := v.(*ir.Instr)
+		if !ok || l.cls.class[in] != classAlias {
+			return v
+		}
+		v = in.Args[0]
+	}
+}
+
+// consume decrements a value's remaining-read counter; local registers
+// are freed at end-of-instruction when it reaches zero.
+func (l *fnLowerer) consume(v ir.Value) {
+	in, ok := v.(*ir.Instr)
+	if !ok {
+		return
+	}
+	l.remaining[in]--
+	if l.remaining[in] <= 0 && l.cls.class[in] == classLocal {
+		l.frees = append(l.frees, in)
+	}
+}
+
+// endInstr releases temps and dead bindings after one IR instruction.
+func (l *fnLowerer) endInstr() {
+	for _, in := range l.frees {
+		if r, ok := l.valReg[in]; ok {
+			delete(l.valReg, in)
+			delete(l.regOwner, r)
+		}
+		if x, ok := l.valXmm[in]; ok {
+			delete(l.valXmm, in)
+			delete(l.xmmOwner, x)
+		}
+		delete(l.spilled, in)
+	}
+	l.frees = l.frees[:0]
+	for _, r := range l.temps {
+		delete(l.regOwner, r)
+	}
+	for _, x := range l.tempsX {
+		delete(l.xmmOwner, x)
+		delete(l.pinnedX, x)
+	}
+	l.temps = l.temps[:0]
+	l.tempsX = l.tempsX[:0]
+	l.pinned = map[x86.Reg]bool{}
+	l.pinnedX = map[x86.XReg]bool{}
+}
+
+// resetBlock clears all register state at a block boundary (no local
+// value lives across blocks by construction).
+func (l *fnLowerer) resetBlock() {
+	l.regOwner = map[x86.Reg]*ir.Instr{}
+	l.xmmOwner = map[x86.XReg]*ir.Instr{}
+	l.valReg = map[*ir.Instr]x86.Reg{}
+	l.valXmm = map[*ir.Instr]x86.XReg{}
+	l.spilled = map[*ir.Instr]bool{}
+	l.pinned = map[x86.Reg]bool{}
+	l.pinnedX = map[x86.XReg]bool{}
+	l.temps = l.temps[:0]
+	l.tempsX = l.tempsX[:0]
+	l.frees = l.frees[:0]
+	l.coalesced = map[*ir.Instr]bool{}
+}
+
+// allocGPR grabs a free pool register, spilling an unpinned victim's
+// value to its slot when the pool is exhausted.
+func (l *fnLowerer) allocGPR() (x86.Reg, error) {
+	for _, r := range l.gpool {
+		if _, busy := l.regOwner[r]; !busy && !l.pinned[r] {
+			l.regOwner[r] = nil
+			l.pinned[r] = true
+			if r.IsCalleeSaved() {
+				l.calleeUsed[r] = true
+			}
+			return r, nil
+		}
+	}
+	for _, r := range l.gpool {
+		owner := l.regOwner[r]
+		if owner == nil || l.pinned[r] {
+			continue
+		}
+		// Spill the owner to its slot.
+		l.emit(x86.Instr{Op: x86.MOV, Dst: l.slotOperand(owner), Src: x86.R(r), Size: 8})
+		l.spilled[owner] = true
+		delete(l.valReg, owner)
+		l.regOwner[r] = nil
+		l.pinned[r] = true
+		return r, nil
+	}
+	return 0, fmt.Errorf("codegen: out of integer registers in @%s", l.fn.Name)
+}
+
+func (l *fnLowerer) allocTempGPR() (x86.Reg, error) {
+	r, err := l.allocGPR()
+	if err != nil {
+		return 0, err
+	}
+	l.temps = append(l.temps, r)
+	return r, nil
+}
+
+func (l *fnLowerer) allocXMM() (x86.XReg, error) {
+	for _, x := range l.xpool {
+		if _, busy := l.xmmOwner[x]; !busy && !l.pinnedX[x] {
+			l.xmmOwner[x] = nil
+			l.pinnedX[x] = true
+			return x, nil
+		}
+	}
+	for _, x := range l.xpool {
+		owner := l.xmmOwner[x]
+		if owner == nil || l.pinnedX[x] {
+			continue
+		}
+		l.emit(x86.Instr{Op: x86.MOVSD, Dst: l.slotOperand(owner), Src: x86.X(x)})
+		l.spilled[owner] = true
+		delete(l.valXmm, owner)
+		l.xmmOwner[x] = nil
+		l.pinnedX[x] = true
+		return x, nil
+	}
+	return 0, fmt.Errorf("codegen: out of float registers in @%s", l.fn.Name)
+}
+
+func (l *fnLowerer) allocTempXMM() (x86.XReg, error) {
+	x, err := l.allocXMM()
+	if err != nil {
+		return 0, err
+	}
+	l.tempsX = append(l.tempsX, x)
+	return x, nil
+}
+
+// bindReg records that in's value now lives in r.
+func (l *fnLowerer) bindReg(in *ir.Instr, r x86.Reg) {
+	l.valReg[in] = r
+	l.regOwner[r] = in
+	// Remove from temps if present: the register now belongs to a value.
+	for i, t := range l.temps {
+		if t == r {
+			l.temps = append(l.temps[:i], l.temps[i+1:]...)
+			break
+		}
+	}
+}
+
+func (l *fnLowerer) bindXmm(in *ir.Instr, x x86.XReg) {
+	l.valXmm[in] = x
+	l.xmmOwner[x] = in
+	for i, t := range l.tempsX {
+		if t == x {
+			l.tempsX = append(l.tempsX[:i], l.tempsX[i+1:]...)
+			break
+		}
+	}
+}
+
+// useGPR materializes v into a general-purpose register and pins it for
+// the current IR instruction.
+func (l *fnLowerer) useGPR(v ir.Value) (x86.Reg, error) {
+	v = l.resolve(v)
+	switch t := v.(type) {
+	case *ir.Const:
+		r, err := l.allocTempGPR()
+		if err != nil {
+			return 0, err
+		}
+		l.emit(x86.Instr{Op: x86.MOV, Dst: x86.R(r), Src: x86.Imm(int64(t.Val)), Size: 8})
+		return r, nil
+	case *ir.Global:
+		r, err := l.allocTempGPR()
+		if err != nil {
+			return 0, err
+		}
+		l.emit(x86.Instr{Op: x86.MOV, Dst: x86.R(r), Src: x86.Imm(int64(l.mod.globalAddr(t))), Size: 8})
+		return r, nil
+	case *ir.Param:
+		if gr, ok := l.cls.globalReg[t]; ok {
+			l.pinned[gr] = true
+			return gr, nil
+		}
+		r, err := l.allocTempGPR()
+		if err != nil {
+			return 0, err
+		}
+		l.emit(x86.Instr{Op: x86.MOV, Dst: x86.R(r), Src: l.slotOperand(t), Size: 8})
+		return r, nil
+	case *ir.Instr:
+		switch l.cls.class[t] {
+		case classGReg:
+			gr := l.cls.globalReg[t]
+			l.pinned[gr] = true
+			l.consume(t)
+			return gr, nil
+		case classLocal:
+			if r, ok := l.valReg[t]; ok {
+				l.pinned[r] = true
+				l.consume(t)
+				return r, nil
+			}
+			if l.spilled[t] {
+				r, err := l.allocGPR()
+				if err != nil {
+					return 0, err
+				}
+				l.emit(x86.Instr{Op: x86.MOV, Dst: x86.R(r), Src: l.slotOperand(t), Size: 8})
+				l.bindReg(t, r)
+				delete(l.spilled, t)
+				l.consume(t)
+				return r, nil
+			}
+			return 0, fmt.Errorf("codegen: local %%%d has no location in @%s", t.ID, l.fn.Name)
+		case classSlot:
+			if r, ok := l.valReg[t]; ok { // cached from the defining store
+				l.pinned[r] = true
+				l.consume(t)
+				return r, nil
+			}
+			r, err := l.allocTempGPR()
+			if err != nil {
+				return 0, err
+			}
+			l.emit(x86.Instr{Op: x86.MOV, Dst: x86.R(r), Src: l.slotOperand(t), Size: 8})
+			l.consume(t)
+			return r, nil
+		case classFrame:
+			r, err := l.allocTempGPR()
+			if err != nil {
+				return 0, err
+			}
+			l.emit(x86.Instr{Op: x86.LEA, Dst: x86.R(r), Src: x86.Mem(x86.RBP, x86.RegNone, 1, -l.allocaOff[t])})
+			l.consume(t)
+			return r, nil
+		case classFolded:
+			switch t.Op {
+			case ir.OpGEP:
+				mop, err := l.foldedAddr(t)
+				if err != nil {
+					return 0, err
+				}
+				r, err := l.allocTempGPR()
+				if err != nil {
+					return 0, err
+				}
+				l.emit(x86.Instr{Op: x86.LEA, Dst: x86.R(r), Src: mop})
+				l.consume(t)
+				return r, nil
+			case ir.OpLoad:
+				mop, err := l.memOperand(t.Args[0])
+				if err != nil {
+					return 0, err
+				}
+				r, err := l.allocTempGPR()
+				if err != nil {
+					return 0, err
+				}
+				l.emitLoadInt(r, mop, t.Ty.Size())
+				l.consume(t)
+				return r, nil
+			}
+		}
+		return 0, fmt.Errorf("codegen: cannot materialize %%%d (class %d)", t.ID, l.cls.class[t])
+	}
+	return 0, fmt.Errorf("codegen: cannot materialize operand %T", v)
+}
+
+// emitLoadInt loads an integer of the given size, zero-extending narrow
+// widths to keep the canonical value form.
+func (l *fnLowerer) emitLoadInt(dst x86.Reg, mop x86.Operand, size uint64) {
+	if size < 8 {
+		l.emit(x86.Instr{Op: x86.MOVZX, Dst: x86.R(dst), Src: mop, Size: uint8(size)})
+	} else {
+		l.emit(x86.Instr{Op: x86.MOV, Dst: x86.R(dst), Src: mop, Size: 8})
+	}
+}
+
+// useXMM materializes a double value into an XMM register.
+func (l *fnLowerer) useXMM(v ir.Value) (x86.XReg, error) {
+	v = l.resolve(v)
+	switch t := v.(type) {
+	case *ir.Const:
+		x, err := l.allocTempXMM()
+		if err != nil {
+			return 0, err
+		}
+		addr := l.mod.floatConst(math.Float64frombits(t.Val))
+		l.emit(x86.Instr{Op: x86.MOVSD, Dst: x86.X(x), Src: x86.Abs(int64(addr))})
+		return x, nil
+	case *ir.Param:
+		if gx, ok := l.cls.globalXmm[t]; ok {
+			l.pinnedX[gx] = true
+			return gx, nil
+		}
+		x, err := l.allocTempXMM()
+		if err != nil {
+			return 0, err
+		}
+		l.emit(x86.Instr{Op: x86.MOVSD, Dst: x86.X(x), Src: l.slotOperand(t)})
+		return x, nil
+	case *ir.Instr:
+		switch l.cls.class[t] {
+		case classGReg:
+			gx := l.cls.globalXmm[t]
+			l.pinnedX[gx] = true
+			l.consume(t)
+			return gx, nil
+		case classLocal:
+			if x, ok := l.valXmm[t]; ok {
+				l.pinnedX[x] = true
+				l.consume(t)
+				return x, nil
+			}
+			if l.spilled[t] {
+				x, err := l.allocXMM()
+				if err != nil {
+					return 0, err
+				}
+				l.emit(x86.Instr{Op: x86.MOVSD, Dst: x86.X(x), Src: l.slotOperand(t)})
+				l.bindXmm(t, x)
+				delete(l.spilled, t)
+				l.consume(t)
+				return x, nil
+			}
+			return 0, fmt.Errorf("codegen: float local %%%d has no location", t.ID)
+		case classSlot:
+			if x, ok := l.valXmm[t]; ok {
+				l.pinnedX[x] = true
+				l.consume(t)
+				return x, nil
+			}
+			x, err := l.allocTempXMM()
+			if err != nil {
+				return 0, err
+			}
+			l.emit(x86.Instr{Op: x86.MOVSD, Dst: x86.X(x), Src: l.slotOperand(t)})
+			l.consume(t)
+			return x, nil
+		case classFolded:
+			if t.Op == ir.OpLoad {
+				mop, err := l.memOperand(t.Args[0])
+				if err != nil {
+					return 0, err
+				}
+				x, err := l.allocTempXMM()
+				if err != nil {
+					return 0, err
+				}
+				l.emit(x86.Instr{Op: x86.MOVSD, Dst: x86.X(x), Src: mop})
+				l.consume(t)
+				return x, nil
+			}
+		}
+		return 0, fmt.Errorf("codegen: cannot materialize float %%%d", t.ID)
+	}
+	return 0, fmt.Errorf("codegen: cannot materialize float operand %T", v)
+}
+
+// intSrcOperand returns the cheapest source operand for an integer value:
+// an immediate for constants, the register for live locals, a stack-slot
+// or folded-load memory operand otherwise.
+func (l *fnLowerer) intSrcOperand(v ir.Value) (x86.Operand, error) {
+	v = l.resolve(v)
+	switch t := v.(type) {
+	case *ir.Const:
+		return x86.Imm(int64(t.Val)), nil
+	case *ir.Param:
+		if gr, ok := l.cls.globalReg[t]; ok {
+			l.pinned[gr] = true
+			return x86.R(gr), nil
+		}
+		l.slotFor(t)
+		return l.slotOperand(t), nil
+	case *ir.Instr:
+		switch l.cls.class[t] {
+		case classGReg:
+			gr := l.cls.globalReg[t]
+			l.pinned[gr] = true
+			l.consume(t)
+			return x86.R(gr), nil
+		case classLocal:
+			if r, ok := l.valReg[t]; ok {
+				l.pinned[r] = true
+				l.consume(t)
+				return x86.R(r), nil
+			}
+		case classSlot:
+			if r, ok := l.valReg[t]; ok {
+				l.pinned[r] = true
+				l.consume(t)
+				return x86.R(r), nil
+			}
+			l.consume(t)
+			return l.slotOperand(t), nil
+		case classFolded:
+			// A folded load reads memory at the consumer's operand size,
+			// which equals the load's type size.
+			if t.Op == ir.OpLoad {
+				mop, err := l.memOperand(t.Args[0])
+				if err != nil {
+					return x86.Operand{}, err
+				}
+				l.consume(t)
+				return mop, nil
+			}
+		}
+	}
+	// Fall back to a register.
+	r, err := l.useGPR(v)
+	if err != nil {
+		return x86.Operand{}, err
+	}
+	return x86.R(r), nil
+}
+
+// floatSrcOperand is the float analogue of intSrcOperand.
+func (l *fnLowerer) floatSrcOperand(v ir.Value) (x86.Operand, error) {
+	v = l.resolve(v)
+	switch t := v.(type) {
+	case *ir.Const:
+		addr := l.mod.floatConst(math.Float64frombits(t.Val))
+		return x86.Abs(int64(addr)), nil
+	case *ir.Param:
+		if gx, ok := l.cls.globalXmm[t]; ok {
+			l.pinnedX[gx] = true
+			return x86.X(gx), nil
+		}
+		l.slotFor(t)
+		return l.slotOperand(t), nil
+	case *ir.Instr:
+		switch l.cls.class[t] {
+		case classGReg:
+			gx := l.cls.globalXmm[t]
+			l.pinnedX[gx] = true
+			l.consume(t)
+			return x86.X(gx), nil
+		case classLocal:
+			if x, ok := l.valXmm[t]; ok {
+				l.pinnedX[x] = true
+				l.consume(t)
+				return x86.X(x), nil
+			}
+		case classSlot:
+			if x, ok := l.valXmm[t]; ok {
+				l.pinnedX[x] = true
+				l.consume(t)
+				return x86.X(x), nil
+			}
+			l.consume(t)
+			return l.slotOperand(t), nil
+		case classFolded:
+			if t.Op == ir.OpLoad {
+				mop, err := l.memOperand(t.Args[0])
+				if err != nil {
+					return x86.Operand{}, err
+				}
+				l.consume(t)
+				return mop, nil
+			}
+		}
+	}
+	x, err := l.useXMM(v)
+	if err != nil {
+		return x86.Operand{}, err
+	}
+	return x86.X(x), nil
+}
+
+// memOperand builds the addressing-mode operand for a pointer value,
+// folding frame addresses, global addresses, and foldable GEPs.
+func (l *fnLowerer) memOperand(ptr ir.Value) (x86.Operand, error) {
+	ptr = l.resolve(ptr)
+	switch t := ptr.(type) {
+	case *ir.Global:
+		return x86.Abs(int64(l.mod.globalAddr(t))), nil
+	case *ir.Const:
+		return x86.Abs(int64(t.Val)), nil
+	case *ir.Instr:
+		switch l.cls.class[t] {
+		case classFrame:
+			l.consume(t)
+			return x86.Mem(x86.RBP, x86.RegNone, 1, -l.allocaOff[t]), nil
+		case classFolded:
+			if t.Op == ir.OpGEP {
+				mop, err := l.foldedAddr(t)
+				if err != nil {
+					return x86.Operand{}, err
+				}
+				l.consume(t)
+				return mop, nil
+			}
+		}
+	}
+	r, err := l.useGPR(ptr)
+	if err != nil {
+		return x86.Operand{}, err
+	}
+	return x86.Mem(r, x86.RegNone, 1, 0), nil
+}
+
+// foldedAddr builds the [base + index*scale + disp] operand of a foldable
+// GEP.
+func (l *fnLowerer) foldedAddr(gep *ir.Instr) (x86.Operand, error) {
+	plan, ok := addressPlan(gep)
+	if !ok {
+		return x86.Operand{}, fmt.Errorf("codegen: GEP %%%d not foldable after all", gep.ID)
+	}
+	return l.planOperand(plan)
+}
+
+// defInt picks the destination register for an integer result. When the
+// value is a coalescing candidate and its phi's previous value is already
+// dead, the phi's global register is used directly and the phi move is
+// elided.
+func (l *fnLowerer) defInt(in *ir.Instr) (x86.Reg, error) {
+	if phi, ok := l.cls.coalesce[in]; ok {
+		if g, isG := l.cls.globalReg[ir.Value(phi)]; isG && l.remaining[phi] <= 0 {
+			l.pinned[g] = true
+			l.coalesced[in] = true
+			return g, nil
+		}
+	}
+	return l.allocGPR()
+}
+
+// finishInt records an integer result: locals bind to the register; slot
+// values are stored to their stack slot.
+func (l *fnLowerer) finishInt(in *ir.Instr, r x86.Reg) {
+	if l.coalesced[in] {
+		// The value sits in its phi's global register; nothing to store
+		// and nothing to bind (its only reader is the elided phi move).
+		return
+	}
+	switch l.cls.class[in] {
+	case classGReg:
+		l.emit(x86.Instr{Op: x86.MOV, Dst: x86.R(l.cls.globalReg[in]), Src: x86.R(r), Size: 8})
+		l.temps = append(l.temps, r)
+	case classSlot:
+		// Write-through: the slot is the home, but the register stays
+		// bound as a cache until the block ends or pressure evicts it.
+		l.emit(x86.Instr{Op: x86.MOV, Dst: l.slotOperand(in), Src: x86.R(r), Size: 8})
+		l.bindReg(in, r)
+		if l.remaining[in] <= 0 {
+			l.frees = append(l.frees, in)
+		}
+	default:
+		l.bindReg(in, r)
+		if l.remaining[in] <= 0 {
+			l.frees = append(l.frees, in)
+		}
+	}
+}
+
+func (l *fnLowerer) defXmm(in *ir.Instr) (x86.XReg, error) {
+	if phi, ok := l.cls.coalesce[in]; ok {
+		if g, isG := l.cls.globalXmm[ir.Value(phi)]; isG && l.remaining[phi] <= 0 {
+			l.pinnedX[g] = true
+			l.coalesced[in] = true
+			return g, nil
+		}
+	}
+	return l.allocXMM()
+}
+
+func (l *fnLowerer) finishXmm(in *ir.Instr, x x86.XReg) {
+	if l.coalesced[in] {
+		return
+	}
+	switch l.cls.class[in] {
+	case classGReg:
+		l.emit(x86.Instr{Op: x86.MOVSD, Dst: x86.X(l.cls.globalXmm[in]), Src: x86.X(x)})
+		l.tempsX = append(l.tempsX, x)
+	case classSlot:
+		l.emit(x86.Instr{Op: x86.MOVSD, Dst: l.slotOperand(in), Src: x86.X(x)})
+		l.bindXmm(in, x)
+		if l.remaining[in] <= 0 {
+			l.frees = append(l.frees, in)
+		}
+	default:
+		l.bindXmm(in, x)
+		if l.remaining[in] <= 0 {
+			l.frees = append(l.frees, in)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package codegen
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"hlfi/internal/interp"
+	"hlfi/internal/machine"
+	"hlfi/internal/minic"
+)
+
+// TestRegisterPressureSpill generates an expression with dozens of
+// simultaneously-live values, forcing the local allocator through its
+// spill path, and checks semantics differentially.
+func TestRegisterPressureSpill(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("int vals[40];\nint main() {\n")
+	sb.WriteString("    for (int i = 0; i < 40; i++) vals[i] = i * 3 + 1;\n")
+	// One expression reading 32 array cells: every load is live until
+	// the final fold.
+	sb.WriteString("    long r = (long)(")
+	for i := 0; i < 32; i++ {
+		if i > 0 {
+			sb.WriteString(" + ")
+		}
+		fmt.Fprintf(&sb, "vals[%d] * vals[%d]", i, 39-i)
+	}
+	sb.WriteString(");\n")
+	sb.WriteString("    print_long(r); print_str(\"\\n\");\n    return 0;\n}\n")
+
+	mod, err := minic.Compile("stress", sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := interp.Prepare(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var irOut bytes.Buffer
+	if _, err := interp.NewRunner(prep, &irOut).Run(); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Lower(mod, prep.Layout, DefaultOptions())
+	if err != nil {
+		t.Fatalf("high-pressure lowering failed: %v", err)
+	}
+	var asmOut bytes.Buffer
+	if _, err := machine.New(prog, prep.Layout.Image, prep.Layout.Base, &asmOut).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if irOut.String() != asmOut.String() {
+		t.Fatalf("pressure divergence: %q vs %q", irOut.String(), asmOut.String())
+	}
+}
+
+// TestFloatPressureSpill does the same for the XMM file.
+func TestFloatPressureSpill(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("double vals[32];\nint main() {\n")
+	sb.WriteString("    for (int i = 0; i < 32; i++) vals[i] = (double)i * 0.5 + 1.0;\n")
+	sb.WriteString("    double r = ")
+	for i := 0; i < 24; i++ {
+		if i > 0 {
+			sb.WriteString(" + ")
+		}
+		fmt.Fprintf(&sb, "vals[%d] * vals[%d]", i, 31-i)
+	}
+	sb.WriteString(";\n    print_double(r); print_str(\"\\n\");\n    return 0;\n}\n")
+
+	mod, err := minic.Compile("fstress", sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := interp.Prepare(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var irOut bytes.Buffer
+	if _, err := interp.NewRunner(prep, &irOut).Run(); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Lower(mod, prep.Layout, DefaultOptions())
+	if err != nil {
+		t.Fatalf("XMM-pressure lowering failed: %v", err)
+	}
+	var asmOut bytes.Buffer
+	if _, err := machine.New(prog, prep.Layout.Image, prep.Layout.Base, &asmOut).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if irOut.String() != asmOut.String() {
+		t.Fatalf("XMM pressure divergence: %q vs %q", irOut.String(), asmOut.String())
+	}
+}
+
+// TestDeepCallChain exercises frames, callee-saved registers and the
+// return-address stack across deep recursion at both levels.
+func TestDeepCallChain(t *testing.T) {
+	src := `
+int collatzLen(long n) {
+    if (n == 1) return 1;
+    if (n % 2 == 0) return 1 + collatzLen(n / 2);
+    return 1 + collatzLen(3 * n + 1);
+}
+int main() {
+    int best = 0;
+    int arg = 0;
+    for (int i = 1; i <= 60; i++) {
+        int l = collatzLen((long)i);
+        if (l > best) { best = l; arg = i; }
+    }
+    print_int(best); print_str(" ");
+    print_int(arg); print_str("\n");
+    return 0;
+}
+`
+	mod, err := minic.Compile("collatz", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := interp.Prepare(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var irOut bytes.Buffer
+	if _, err := interp.NewRunner(prep, &irOut).Run(); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Lower(mod, prep.Layout, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var asmOut bytes.Buffer
+	if _, err := machine.New(prog, prep.Layout.Image, prep.Layout.Base, &asmOut).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if irOut.String() != asmOut.String() {
+		t.Fatalf("collatz divergence: %q vs %q", irOut.String(), asmOut.String())
+	}
+	if !strings.HasPrefix(irOut.String(), "113 54") {
+		t.Fatalf("collatz answer (54 has the longest chain under 60): %q", irOut.String())
+	}
+}
+
+// TestSixIntArgsAndEightFloatArgs pins the calling-convention limits.
+func TestArgLimits(t *testing.T) {
+	ok := `
+double mix(int a, int b, int c, int d, int e, int f,
+           double x1, double x2, double x3, double x4,
+           double x5, double x6, double x7, double x8) {
+    return (double)(a + b + c + d + e + f) + x1 + x2 + x3 + x4 + x5 + x6 + x7 + x8;
+}
+int main() {
+    double r = mix(1, 2, 3, 4, 5, 6, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5);
+    print_double(r); print_str("\n");
+    return 0;
+}
+`
+	out, _ := runBoth(t, ok)
+	if out != "25\n" {
+		t.Fatalf("mixed args: %q", out)
+	}
+
+	tooMany := `
+int f(int a, int b, int c, int d, int e, int f0, int g) { return g; }
+int main() { return f(1,2,3,4,5,6,7); }
+`
+	mod, err := minic.Compile("toomany", tooMany)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := interp.Prepare(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lower(mod, prep.Layout, DefaultOptions()); err == nil {
+		t.Fatal("7 integer args must be rejected by the backend")
+	}
+}

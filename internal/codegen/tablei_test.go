@@ -1,0 +1,302 @@
+package codegen
+
+import (
+	"testing"
+
+	"hlfi/internal/interp"
+	"hlfi/internal/minic"
+	"hlfi/internal/x86"
+)
+
+// lower compiles minic source and returns the machine program.
+func lower(t *testing.T, src string) *x86.Program {
+	t.Helper()
+	mod, err := minic.Compile("t", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	prep, err := interp.Prepare(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Lower(mod, prep.Layout, DefaultOptions())
+	if err != nil {
+		t.Fatalf("lower: %v", err)
+	}
+	return prog
+}
+
+func countOpcode(p *x86.Program, op x86.Opcode) int {
+	n := 0
+	for i := range p.Instrs {
+		if p.Instrs[i].Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+// TableIRow1a: a getelementptr whose single use is a same-block memory
+// access folds into the addressing mode ("...cannot be mapped to an
+// assembly instruction if they are translated to offset memory access").
+func TestTableIRow1GEPFoldsIntoAddressing(t *testing.T) {
+	p := lower(t, `
+int arr[16];
+int get(int i) { return arr[i]; }
+int main() { return get(3); }
+`)
+	// get() must contain a scaled-index load and no LEA.
+	start, end := funcRange(p, "get")
+	sawScaledLoad := false
+	for i := start; i < end; i++ {
+		in := p.Instrs[i]
+		if in.Op == x86.LEA {
+			t.Errorf("foldable GEP produced LEA: %s", in.String())
+		}
+		if (in.Op == x86.MOV || in.Op == x86.MOVZX || in.Op == x86.MOVSX) &&
+			in.Src.Kind == x86.OpMem && in.Src.Index != x86.RegNone && in.Src.Scale == 4 {
+			sawScaledLoad = true
+		}
+	}
+	if !sawScaledLoad {
+		t.Errorf("no [base+index*4] load found:\n%s", p.Disassemble())
+	}
+}
+
+// TableIRow1b: a GEP whose address is reused or does not fit the
+// addressing form lowers to explicit address arithmetic ("a set of add
+// and multiply instructions that computes the address").
+func TestTableIRow1GEPBecomesArithmetic(t *testing.T) {
+	p := lower(t, `
+struct rec { int a; int pad1; int pad2; int pad3; int pad4; int b; };
+struct rec recs[8];
+int *escape(int i) { return &recs[i].b; }
+int main() { return *escape(2); }
+`)
+	start, end := funcRange(p, "escape")
+	arith := 0
+	for i := start; i < end; i++ {
+		if p.Instrs[i].Op.IsArith() {
+			arith++
+		}
+	}
+	if arith == 0 {
+		t.Errorf("escaping GEP produced no address arithmetic:\n%s", p.Disassemble())
+	}
+}
+
+// TableIRow2: phi value merges produce data-movement instructions (the
+// register-spilling analogue). We force more phis than there are global
+// registers so some spill to the stack.
+func TestTableIRow2PhiDataMovement(t *testing.T) {
+	p := lower(t, `
+int f(int n) {
+    int a = 0; int b = 1; int c = 2; int d = 3; int e = 4;
+    int g = 5; int h = 6; int k = 7;
+    for (int i = 0; i < n; i++) {
+        a += i; b ^= a; c += b; d |= c; e += d; g ^= e; h += g; k ^= h;
+    }
+    return a + b + c + d + e + g + h + k;
+}
+int main() { return f(3); }
+`)
+	start, end := funcRange(p, "f")
+	phiMoves, stackPhi := 0, 0
+	for i := start; i < end; i++ {
+		in := p.Instrs[i]
+		if in.Comment == "phi" {
+			phiMoves++
+			if in.Dst.Kind == x86.OpMem && in.Dst.Base == x86.RBP {
+				stackPhi++
+			}
+		}
+	}
+	if phiMoves == 0 {
+		t.Errorf("no phi data movement emitted:\n%s", p.Disassemble())
+	}
+	if stackPhi == 0 {
+		t.Errorf("with 9 loop-carried values, some phi must spill to the stack:\n%s", p.Disassemble())
+	}
+}
+
+// TableIRow3: function calls produce PUSH/POP frame instructions and a
+// CALL/RET pair that have no counterpart in the IR.
+func TestTableIRow3CallFrames(t *testing.T) {
+	// helper is large enough that the inliner leaves it alone.
+	p := lower(t, `
+int helper(int x) {
+    int s = x;
+    for (int i = 0; i < x; i++) {
+        s = s * 3 + i;
+        s = s ^ (s >> 2);
+        s = s + (i * 5) % 7;
+    }
+    return s + 1;
+}
+int main() { return helper(41); }
+`)
+	if countOpcode(p, x86.PUSH) == 0 || countOpcode(p, x86.POP) == 0 {
+		t.Error("no PUSH/POP frame instructions")
+	}
+	if countOpcode(p, x86.CALL) != 1 || countOpcode(p, x86.RET) != 2 {
+		t.Errorf("call/ret counts: call=%d ret=%d", countOpcode(p, x86.CALL), countOpcode(p, x86.RET))
+	}
+	// Prologue shape: PUSH RBP; MOV RBP, RSP.
+	start, _ := funcRange(p, "helper")
+	if p.Instrs[start].Op != x86.PUSH || p.Instrs[start].Dst.Reg != x86.RBP {
+		t.Errorf("prologue does not start with push rbp: %s", p.Instrs[start].String())
+	}
+	if p.Instrs[start+1].Op != x86.MOV || p.Instrs[start+1].Dst.Reg != x86.RBP {
+		t.Errorf("prologue second instr: %s", p.Instrs[start+1].String())
+	}
+}
+
+// TableIRow4: compare-and-branch fuses into a flag-setting instruction
+// immediately followed by a conditional jump — the shape PINFI's cmp
+// heuristic requires.
+func TestTableIRow4CmpJccFusion(t *testing.T) {
+	p := lower(t, `
+int main() {
+    int s = 0;
+    for (int i = 0; i < 10; i++) {
+        if (i != 3) s += i;
+    }
+    return s;
+}
+`)
+	fused := 0
+	for i := 0; i+1 < len(p.Instrs); i++ {
+		if p.Instrs[i].Op.IsFlagSetter() && p.Instrs[i+1].Op.IsCondJump() {
+			fused++
+		}
+	}
+	if fused < 2 {
+		t.Errorf("expected fused cmp+jcc pairs, found %d:\n%s", fused, p.Disassemble())
+	}
+	if countOpcode(p, x86.SETE)+countOpcode(p, x86.SETNE)+countOpcode(p, x86.SETL) != 0 {
+		t.Error("branch-only compares must not materialize SETcc")
+	}
+}
+
+// TableIRow5: integer-resize casts lower to data transfers; only int<->fp
+// conversions become convert-category instructions.
+func TestTableIRow5CastAsymmetry(t *testing.T) {
+	intCasts := lower(t, `
+long widen(int x) { return (long)x; }
+char narrow(int x) { return (char)x; }
+int main() { return (int)widen(3) + narrow(300); }
+`)
+	for i := range intCasts.Instrs {
+		if intCasts.Instrs[i].Op.IsConvert() {
+			t.Errorf("integer casts produced convert instruction: %s", intCasts.Instrs[i].String())
+		}
+	}
+	fpCasts := lower(t, `
+int n = 7;
+int main() {
+    double d = (double)n;
+    int back = (int)(d * 2.0);
+    return back;
+}
+`)
+	if countOpcode(fpCasts, x86.CVTSI2SD) == 0 || countOpcode(fpCasts, x86.CVTTSD2SI) == 0 {
+		t.Errorf("fp conversions missing CVT instructions:\n%s", fpCasts.Disassemble())
+	}
+}
+
+func funcRange(p *x86.Program, name string) (int, int) {
+	start, ok := p.FuncAt[name]
+	if !ok {
+		return 0, len(p.Instrs)
+	}
+	end := len(p.Instrs)
+	for _, s := range p.FuncAt {
+		if s > start && s < end {
+			end = s
+		}
+	}
+	return start, end
+}
+
+// TestAblationOptions verifies the folding switches actually change the
+// lowered code (the ablation benchmarks depend on this).
+func TestAblationOptions(t *testing.T) {
+	src := `
+int arr[16];
+int main() {
+    int s = 0;
+    for (int i = 0; i < 16; i++) s += arr[i];
+    return s;
+}
+`
+	mod, err := minic.Compile("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prep, err := interp.Prepare(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withFold, err := Lower(mod, prep.Layout, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	noFold, err := Lower(mod, prep.Layout, Options{FoldGEP: false, FoldLoad: false, FuseCmpBranch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countOpcode(noFold, x86.LEA) <= countOpcode(withFold, x86.LEA) {
+		t.Errorf("disabling GEP folding must add LEAs: %d vs %d",
+			countOpcode(noFold, x86.LEA), countOpcode(withFold, x86.LEA))
+	}
+	noFuse, err := Lower(mod, prep.Layout, Options{FoldGEP: true, FoldLoad: true, FuseCmpBranch: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	setccs := 0
+	for _, op := range []x86.Opcode{x86.SETE, x86.SETNE, x86.SETL, x86.SETLE, x86.SETG, x86.SETGE, x86.SETB, x86.SETA} {
+		setccs += countOpcode(noFuse, op)
+	}
+	if setccs == 0 {
+		t.Error("disabling cmp fusion must materialize SETcc")
+	}
+}
+
+// TestDivisionLoweringShape pins the sdiv/srem sequence: sign-extension
+// into RAX, CQO, IDIV, result copy — the multi-instruction expansion a
+// single IR sdiv acquires at the assembly level.
+func TestDivisionLoweringShape(t *testing.T) {
+	p := lower(t, `
+int num = 100;
+int den = 7;
+int main() { return num / den + num % den; }
+`)
+	if countOpcode(p, x86.CQO) != 2 || countOpcode(p, x86.IDIV) != 2 {
+		t.Fatalf("division expansion: cqo=%d idiv=%d", countOpcode(p, x86.CQO), countOpcode(p, x86.IDIV))
+	}
+	// Every IDIV is immediately preceded by CQO.
+	for i := range p.Instrs {
+		if p.Instrs[i].Op == x86.IDIV {
+			if i == 0 || p.Instrs[i-1].Op != x86.CQO {
+				t.Fatalf("IDIV at %d not preceded by CQO", i)
+			}
+		}
+	}
+}
+
+// TestNarrowStoresUseOperandWidth: char/int stores must write 1/4 bytes,
+// never clobbering neighbours.
+func TestNarrowStoresUseOperandWidth(t *testing.T) {
+	out, _ := runBoth(t, `
+char bytes[8] = "AAAAAAA";
+int main() {
+    bytes[2] = 'z';
+    for (int i = 0; i < 7; i++) print_char(bytes[i]);
+    print_str("\n");
+    return 0;
+}
+`)
+	if out != "AAzAAAA\n" {
+		t.Fatalf("narrow store clobbered neighbours: %q", out)
+	}
+}

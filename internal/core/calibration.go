@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"hlfi/internal/fault"
+	"hlfi/internal/llfi"
+	"hlfi/internal/stats"
+)
+
+// CalibrationStudy evaluates the paper's §VII proposal: do the three
+// discrepancy-resolution heuristics (GEP-as-arithmetic, address-cast
+// exclusion, assembly-mapped-loads-only) move LLFI's crash rates toward
+// PINFI's? For each benchmark and category it runs three campaigns:
+// plain LLFI, calibrated LLFI, and PINFI.
+type CalibrationStudy struct {
+	Programs []*Program
+	N        int
+
+	// Plain, Calibrated, Pinfi index cells by CellKey (level is implied).
+	Plain      map[CellKey]*CellResult
+	Calibrated map[CellKey]*CellResult
+	Pinfi      map[CellKey]*CellResult
+}
+
+// RunCalibrationStudy runs the three-way comparison over the given
+// categories (defaults to all, arithmetic, cast, load — the categories
+// the heuristics touch).
+func RunCalibrationStudy(progs []*Program, n int, seed int64, progress func(string)) (*CalibrationStudy, error) {
+	cats := []fault.Category{fault.CatAll, fault.CatArith, fault.CatCast, fault.CatLoad}
+	cal := llfi.FullCalibration()
+	st := &CalibrationStudy{
+		Programs:   progs,
+		N:          n,
+		Plain:      make(map[CellKey]*CellResult),
+		Calibrated: make(map[CellKey]*CellResult),
+		Pinfi:      make(map[CellKey]*CellResult),
+	}
+	for _, p := range progs {
+		for _, cat := range cats {
+			key := CellKey{Prog: p.Name, Level: fault.LevelIR, Category: cat}
+			run := func(level fault.Level, c *llfi.Calibration, salt int64) (*CellResult, error) {
+				camp := &Campaign{
+					Prog: p, Level: level, Category: cat, N: n,
+					Seed:        cellSeed(seed+salt, p.Name, level, cat),
+					Calibration: c,
+				}
+				res, err := camp.Run()
+				if err != nil && strings.Contains(err.Error(), "no dynamic") {
+					return nil, nil // empty cell, skip
+				}
+				return res, err
+			}
+			plain, err := run(fault.LevelIR, nil, 0)
+			if err != nil {
+				return nil, fmt.Errorf("plain %v: %w", key, err)
+			}
+			calRes, err := run(fault.LevelIR, &cal, 1)
+			if err != nil {
+				return nil, fmt.Errorf("calibrated %v: %w", key, err)
+			}
+			pf, err := run(fault.LevelASM, nil, 2)
+			if err != nil {
+				return nil, fmt.Errorf("pinfi %v: %w", key, err)
+			}
+			if plain != nil {
+				st.Plain[key] = plain
+			}
+			if calRes != nil {
+				st.Calibrated[key] = calRes
+			}
+			if pf != nil {
+				st.Pinfi[key] = pf
+			}
+			if progress != nil && plain != nil && calRes != nil && pf != nil {
+				progress(fmt.Sprintf("%-10s %-10s crash: plain=%.0f%% calibrated=%.0f%% pinfi=%.0f%%",
+					p.Name, cat, 100*plain.CrashRate().Rate(),
+					100*calRes.CrashRate().Rate(), 100*pf.CrashRate().Rate()))
+			}
+		}
+	}
+	return st, nil
+}
+
+// Render prints the three-way crash comparison and the aggregate
+// improvement.
+func (st *CalibrationStudy) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Calibration experiment (paper §VII future work): crash %% by injector\n")
+	fmt.Fprintf(&sb, "%-12s %-10s %10s %12s %10s %18s\n",
+		"benchmark", "category", "LLFI", "LLFI(cal.)", "PINFI", "|gap| plain->cal")
+	var plainGaps, calGaps []float64
+	for _, p := range st.Programs {
+		for _, cat := range []fault.Category{fault.CatAll, fault.CatArith, fault.CatCast, fault.CatLoad} {
+			key := CellKey{Prog: p.Name, Level: fault.LevelIR, Category: cat}
+			plain, calRes, pf := st.Plain[key], st.Calibrated[key], st.Pinfi[key]
+			if plain == nil || calRes == nil || pf == nil {
+				continue
+			}
+			pg := abs(pct(plain.CrashRate()) - pct(pf.CrashRate()))
+			cg := abs(pct(calRes.CrashRate()) - pct(pf.CrashRate()))
+			plainGaps = append(plainGaps, pg)
+			calGaps = append(calGaps, cg)
+			fmt.Fprintf(&sb, "%-12s %-10s %9.1f%% %11.1f%% %9.1f%% %8.1f -> %5.1f\n",
+				p.Name, cat,
+				pct(plain.CrashRate()), pct(calRes.CrashRate()), pct(pf.CrashRate()),
+				pg, cg)
+		}
+	}
+	fmt.Fprintf(&sb, "\nmean |crash gap to PINFI|: plain %.1f points, calibrated %.1f points\n",
+		stats.Mean(plainGaps), stats.Mean(calGaps))
+	return sb.String()
+}
+
+// MeanGaps returns the aggregate crash-gap means (plain, calibrated) for
+// assertions in tests and benches.
+func (st *CalibrationStudy) MeanGaps() (plain, calibrated float64) {
+	var plainGaps, calGaps []float64
+	for key, p := range st.Plain {
+		c, pf := st.Calibrated[key], st.Pinfi[key]
+		if c == nil || pf == nil {
+			continue
+		}
+		plainGaps = append(plainGaps, abs(pct(p.CrashRate())-pct(pf.CrashRate())))
+		calGaps = append(calGaps, abs(pct(c.CrashRate())-pct(pf.CrashRate())))
+	}
+	return stats.Mean(plainGaps), stats.Mean(calGaps)
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"hlfi/internal/codegen"
+	"hlfi/internal/fault"
+)
+
+// calSrc is small but has every category the calibration touches: GEPs
+// feeding loads (FoldGEP candidates), pointer-width casts used only as
+// addresses, loads that survive to assembly, and plain arithmetic.
+const calSrc = `
+int table[16] = {3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3};
+double scale = 1.5;
+
+int main() {
+    long sum = 0;
+    double acc = 0.0;
+    for (int i = 0; i < 16; i++) {
+        int v = table[i];
+        sum += v * (i + 1);
+        acc = acc + (double)v * scale;
+    }
+    print_long(sum); print_str(" ");
+    print_double(acc); print_str("\n");
+    return (int)(sum % 31);
+}`
+
+func TestRunCalibrationStudy(t *testing.T) {
+	p, err := BuildProgram("calprog", calSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	st, err := RunCalibrationStudy([]*Program{p}, 40, 7,
+		func(s string) { lines = append(lines, s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every category with candidates must have all three cells.
+	for _, cat := range []fault.Category{fault.CatAll, fault.CatArith, fault.CatLoad} {
+		key := CellKey{Prog: "calprog", Level: fault.LevelIR, Category: cat}
+		if st.Plain[key] == nil || st.Calibrated[key] == nil || st.Pinfi[key] == nil {
+			t.Errorf("missing cells for %v", cat)
+			continue
+		}
+		if got := st.Plain[key].Activated(); got != 40 {
+			t.Errorf("%v: plain total = %d, want 40", cat, got)
+		}
+	}
+	if len(lines) == 0 {
+		t.Error("progress callback never fired")
+	}
+
+	out := st.Render()
+	for _, want := range []string{"Calibration experiment", "calprog", "mean |crash gap to PINFI|"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+
+	plain, calibrated := st.MeanGaps()
+	if plain < 0 || calibrated < 0 {
+		t.Fatalf("gaps must be non-negative: %f %f", plain, calibrated)
+	}
+	// The render's aggregate line must agree with MeanGaps.
+	if !strings.Contains(out, "plain") || !strings.Contains(out, "calibrated") {
+		t.Errorf("render aggregate line malformed:\n%s", out)
+	}
+}
+
+func TestDynCount(t *testing.T) {
+	p, err := BuildProgram("dyncount", calSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, level := range []fault.Level{fault.LevelIR, fault.LevelASM} {
+		all, err := DynCount(p, level, fault.CatAll)
+		if err != nil {
+			t.Fatalf("%v all: %v", level, err)
+		}
+		arith, err := DynCount(p, level, fault.CatArith)
+		if err != nil {
+			t.Fatalf("%v arith: %v", level, err)
+		}
+		if all == 0 || arith == 0 {
+			t.Fatalf("%v: zero dynamic counts (all=%d arith=%d)", level, all, arith)
+		}
+		if arith >= all {
+			t.Errorf("%v: arithmetic (%d) must be a strict subset of all (%d)", level, arith, all)
+		}
+	}
+	// Casts exist at IR (the (double)v conversions) — Table IV's "cast
+	// instructions vanish at assembly" claim is about CVT counts being
+	// tiny, checked in the bench shape tests; here we only need IR > 0.
+	irCast, err := DynCount(p, fault.LevelIR, fault.CatCast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if irCast == 0 {
+		t.Error("IR cast count should be nonzero for this source")
+	}
+}
+
+// TestBuildProgramWithOptions: the ablation entry point must produce a
+// working program under every folding configuration, with golden-run
+// equality still enforced.
+func TestBuildProgramWithOptions(t *testing.T) {
+	opts := codegen.Options{FoldGEP: false, FoldLoad: false, FuseCmpBranch: false}
+	p, err := BuildProgramWithOptions("noopt", calSrc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.AsmInstrs == 0 || p.IRInstrs == 0 {
+		t.Fatal("golden instruction counts not recorded")
+	}
+	// Without folding, the assembly candidate pool for 'all' must be at
+	// least as large as with full folding.
+	folded, err := BuildProgram("opt", calSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nNo, err := DynCount(p, fault.LevelASM, fault.CatAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nYes, err := DynCount(folded, fault.LevelASM, fault.CatAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nNo < nYes {
+		t.Errorf("unfolded candidates (%d) < folded (%d)", nNo, nYes)
+	}
+}

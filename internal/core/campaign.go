@@ -1,0 +1,172 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"hlfi/internal/fault"
+	"hlfi/internal/llfi"
+	"hlfi/internal/pinfi"
+	"hlfi/internal/stats"
+)
+
+// ErrNoCandidates is returned when a (program, level, category) cell has
+// no dynamic injection opportunities (e.g. an all-integer program has no
+// convert instructions at the assembly level, matching the near-zero cast
+// counts the paper reports for bzip2 and mcf).
+var ErrNoCandidates = errors.New("no dynamic injection candidates")
+
+// Campaign configures one (program, level, category) fault-injection cell
+// of the study.
+type Campaign struct {
+	Prog     *Program
+	Level    fault.Level
+	Category fault.Category
+	// N is the number of *activated* injections to collect (the paper
+	// collects 1000 per cell).
+	N int
+	// Seed makes the campaign deterministic.
+	Seed int64
+	// MaxAttemptsFactor bounds re-draws of non-activated faults.
+	MaxAttemptsFactor int
+	// Calibration, when non-nil and Level is LevelIR, applies the paper's
+	// §VII discrepancy-resolution heuristics to the candidate set.
+	Calibration *llfi.Calibration
+}
+
+// CellResult aggregates one campaign cell.
+type CellResult struct {
+	Prog     string
+	Level    fault.Level
+	Category fault.Category
+
+	Benign       int
+	SDC          int
+	Crash        int
+	Hang         int
+	NotActivated int
+	Attempts     int
+
+	// DynCandidates is the dynamic injection-opportunity count for the
+	// cell (the rows of Table IV).
+	DynCandidates uint64
+}
+
+// Activated is the number of runs counted in the outcome percentages.
+func (c *CellResult) Activated() int { return c.Benign + c.SDC + c.Crash + c.Hang }
+
+// SDCRate returns the SDC proportion among activated faults.
+func (c *CellResult) SDCRate() stats.Proportion {
+	return stats.Proportion{Successes: c.SDC, Trials: c.Activated()}
+}
+
+// CrashRate returns the crash proportion among activated faults.
+func (c *CellResult) CrashRate() stats.Proportion {
+	return stats.Proportion{Successes: c.Crash, Trials: c.Activated()}
+}
+
+// BenignRate returns the benign proportion among activated faults.
+func (c *CellResult) BenignRate() stats.Proportion {
+	return stats.Proportion{Successes: c.Benign, Trials: c.Activated()}
+}
+
+// HangRate returns the hang proportion among activated faults.
+func (c *CellResult) HangRate() stats.Proportion {
+	return stats.Proportion{Successes: c.Hang, Trials: c.Activated()}
+}
+
+func (c *CellResult) add(o fault.Outcome) {
+	switch o {
+	case fault.OutcomeBenign:
+		c.Benign++
+	case fault.OutcomeSDC:
+		c.SDC++
+	case fault.OutcomeCrash:
+		c.Crash++
+	case fault.OutcomeHang:
+		c.Hang++
+	case fault.OutcomeNotActivated:
+		c.NotActivated++
+	}
+}
+
+// Run executes the campaign: it keeps injecting until N activated faults
+// have been observed (non-activated draws are excluded and redrawn, per
+// the paper's activated-fault accounting) or the attempt budget runs out.
+func (c *Campaign) Run() (*CellResult, error) {
+	if c.N <= 0 {
+		return nil, fmt.Errorf("campaign: N must be positive")
+	}
+	maxFactor := c.MaxAttemptsFactor
+	if maxFactor <= 0 {
+		maxFactor = 10
+	}
+	maxAttempts := c.N * maxFactor
+	rng := rand.New(rand.NewSource(c.Seed))
+	res := &CellResult{Prog: c.Prog.Name, Level: c.Level, Category: c.Category}
+
+	switch c.Level {
+	case fault.LevelIR:
+		var inj *llfi.Injector
+		var err error
+		if c.Calibration != nil {
+			inj, err = llfi.NewCalibrated(c.Prog.Prep, c.Category, *c.Calibration)
+		} else {
+			inj, err = llfi.New(c.Prog.Prep, c.Category)
+		}
+		if err != nil {
+			if errors.Is(err, llfi.ErrNoCandidates) {
+				return nil, fmt.Errorf("%w: %v", ErrNoCandidates, err)
+			}
+			return nil, err
+		}
+		res.DynCandidates = inj.DynTotal
+		for res.Activated() < c.N && res.Attempts < maxAttempts {
+			res.Attempts++
+			res.add(inj.InjectOne(rng).Outcome)
+		}
+	case fault.LevelASM:
+		inj, err := pinfi.New(c.Prog.Asm, c.Prog.Prep.Layout.Image, c.Prog.Prep.Layout.Base, c.Category)
+		if err != nil {
+			if errors.Is(err, pinfi.ErrNoCandidates) {
+				return nil, fmt.Errorf("%w: %v", ErrNoCandidates, err)
+			}
+			return nil, err
+		}
+		res.DynCandidates = inj.DynTotal
+		for res.Activated() < c.N && res.Attempts < maxAttempts {
+			res.Attempts++
+			res.add(inj.InjectOne(rng).Outcome)
+		}
+	default:
+		return nil, fmt.Errorf("campaign: unknown level %v", c.Level)
+	}
+	if res.Activated() == 0 {
+		return nil, fmt.Errorf("campaign %s/%s/%s: no activated faults in %d attempts",
+			c.Prog.Name, c.Level, c.Category, res.Attempts)
+	}
+	return res, nil
+}
+
+// DynCount reports a program's dynamic candidate count for a category at
+// a level without running injections (profiling only) — the data of
+// Table IV.
+func DynCount(p *Program, level fault.Level, cat fault.Category) (uint64, error) {
+	switch level {
+	case fault.LevelIR:
+		inj, err := llfi.New(p.Prep, cat)
+		if err != nil {
+			return 0, err
+		}
+		return inj.DynTotal, nil
+	case fault.LevelASM:
+		inj, err := pinfi.New(p.Asm, p.Prep.Layout.Image, p.Prep.Layout.Base, cat)
+		if err != nil {
+			return 0, err
+		}
+		return inj.DynTotal, nil
+	default:
+		return 0, fmt.Errorf("unknown level %v", level)
+	}
+}

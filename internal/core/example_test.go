@@ -1,0 +1,38 @@
+package core_test
+
+import (
+	"fmt"
+
+	"hlfi/internal/core"
+	"hlfi/internal/fault"
+)
+
+// ExampleCampaign runs a small deterministic IR-level campaign against an
+// inline program.
+func ExampleCampaign() {
+	prog, err := core.BuildProgram("example", `
+int main() {
+    long s = 0;
+    for (int i = 1; i <= 20; i++) s += i * i;
+    print_long(s);
+    print_str("\n");
+    return 0;
+}
+`)
+	if err != nil {
+		panic(err)
+	}
+	cell, err := (&core.Campaign{
+		Prog:     prog,
+		Level:    fault.LevelIR,
+		Category: fault.CatAll,
+		N:        50,
+		Seed:     1,
+	}).Run()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("activated=%d total=%d\n", cell.Activated(), cell.Crash+cell.SDC+cell.Hang+cell.Benign)
+	// Output:
+	// activated=50 total=50
+}

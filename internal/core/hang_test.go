@@ -1,0 +1,115 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"hlfi/internal/core"
+	"hlfi/internal/fault"
+	"hlfi/internal/llfi"
+)
+
+// TestHangClassification end-to-end: a program whose loop bound lives in
+// a variable is hang-prone when that comparison chain is corrupted. The
+// campaign must observe hangs (the paper's timeout mechanism) at both
+// levels.
+func TestHangClassification(t *testing.T) {
+	// Only the final evaluation of the loop comparison can hang the
+	// program (overshooting an != bound), so keep the iteration count
+	// small enough that campaigns hit it.
+	src := `
+int LIMIT = 20;
+int main() {
+    long s = 0;
+    int i = 0;
+    while (i != LIMIT) {   /* != bound: an overshoot loops ~forever */
+        s = s * 3 + i;
+        s ^= s >> 5;
+        i++;
+    }
+    print_long(s); print_str("\n");
+    return 0;
+}
+`
+	prog, err := core.BuildProgram("hangy", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, level := range []fault.Level{fault.LevelIR, fault.LevelASM} {
+		c := &core.Campaign{Prog: prog, Level: level, Category: fault.CatCmp, N: 200, Seed: 3}
+		res, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Hang == 0 {
+			t.Errorf("%s: corrupting the loop comparison never hung (crash=%d sdc=%d benign=%d)",
+				level, res.Crash, res.SDC, res.Benign)
+		}
+		t.Logf("%s: hang=%d crash=%d sdc=%d benign=%d", level, res.Hang, res.Crash, res.SDC, res.Benign)
+	}
+}
+
+// TestNotActivatedExcluded: the campaign keeps drawing until N activated
+// faults; the not-activated count is tracked separately.
+func TestNotActivatedExcluded(t *testing.T) {
+	src := `
+int main() {
+    long s = 1;
+    for (int i = 0; i < 64; i++) {
+        s = s * 3 + i;
+    }
+    print_long(s); print_str("\n");
+    return 0;
+}
+`
+	prog, err := core.BuildProgram("act", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &core.Campaign{Prog: prog, Level: fault.LevelASM, Category: fault.CatAll, N: 80, Seed: 9}
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Activated() != 80 {
+		t.Fatalf("activated %d != 80", res.Activated())
+	}
+	if res.Attempts != res.Activated()+res.NotActivated {
+		t.Fatalf("accounting: attempts=%d activated=%d notactivated=%d",
+			res.Attempts, res.Activated(), res.NotActivated)
+	}
+}
+
+// TestLLFICandidatesAlwaysActivatedInStraightLine: with def-use filtering
+// and a straight-line consumer chain, IR injections essentially always
+// activate — the design rationale of paper §IV.
+func TestLLFIDefUseActivation(t *testing.T) {
+	src := `
+int main() {
+    long s = 1;
+    for (int i = 1; i < 40; i++) {
+        s = s + i * i;
+    }
+    print_long(s); print_str("\n");
+    return 0;
+}
+`
+	prog, err := core.BuildProgram("defuse", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := llfi.New(prog.Prep, fault.CatArith)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	notActivated := 0
+	for i := 0; i < 150; i++ {
+		if inj.InjectOne(rng).Outcome == fault.OutcomeNotActivated {
+			notActivated++
+		}
+	}
+	if notActivated > 15 { // <10%: uses may sit on untaken paths
+		t.Fatalf("too many non-activated IR faults: %d/150", notActivated)
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"hlfi/internal/fault"
+)
+
+// StudyJSON is the machine-readable form of a study, for plotting
+// pipelines and regression tracking.
+type StudyJSON struct {
+	N     int        `json:"n"`
+	Seed  int64      `json:"seed"`
+	Cells []CellJSON `json:"cells"`
+}
+
+// CellJSON serializes one campaign cell.
+type CellJSON struct {
+	Benchmark string  `json:"benchmark"`
+	Tool      string  `json:"tool"`
+	Category  string  `json:"category"`
+	Activated int     `json:"activated"`
+	Crash     int     `json:"crash"`
+	SDC       int     `json:"sdc"`
+	Hang      int     `json:"hang"`
+	Benign    int     `json:"benign"`
+	CrashRate float64 `json:"crashRate"`
+	SDCRate   float64 `json:"sdcRate"`
+	SDCCI95   float64 `json:"sdcCi95"`
+	// DynCandidates is the Table IV entry for this cell.
+	DynCandidates uint64 `json:"dynCandidates"`
+	NotActivated  int    `json:"notActivated"`
+}
+
+// WriteJSON serializes the study (cells in a stable order).
+func (st *Study) WriteJSON(w io.Writer) error {
+	out := StudyJSON{N: st.N, Seed: st.Seed}
+	for _, p := range st.Programs {
+		for _, level := range []fault.Level{fault.LevelIR, fault.LevelASM} {
+			for _, cat := range fault.Categories {
+				key := CellKey{Prog: p.Name, Level: level, Category: cat}
+				c := st.Cells[key]
+				if c == nil {
+					continue
+				}
+				out.Cells = append(out.Cells, CellJSON{
+					Benchmark:     p.Name,
+					Tool:          level.String(),
+					Category:      cat.String(),
+					Activated:     c.Activated(),
+					Crash:         c.Crash,
+					SDC:           c.SDC,
+					Hang:          c.Hang,
+					Benign:        c.Benign,
+					CrashRate:     c.CrashRate().Rate(),
+					SDCRate:       c.SDCRate().Rate(),
+					SDCCI95:       c.SDCRate().WaldCI(),
+					DynCandidates: st.Dyn[key],
+					NotActivated:  c.NotActivated,
+				})
+			}
+		}
+	}
+	sort.SliceStable(out.Cells, func(i, j int) bool {
+		a, b := out.Cells[i], out.Cells[j]
+		if a.Benchmark != b.Benchmark {
+			return a.Benchmark < b.Benchmark
+		}
+		if a.Tool != b.Tool {
+			return a.Tool < b.Tool
+		}
+		return a.Category < b.Category
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

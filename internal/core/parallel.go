@@ -1,0 +1,125 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"hlfi/internal/fault"
+	"hlfi/internal/llfi"
+	"hlfi/internal/pinfi"
+)
+
+// RunParallel executes the campaign across the given number of workers.
+// Unlike Run (which draws every injection from one sequential random
+// stream, matching the committed study outputs), RunParallel derives an
+// independent random stream per attempt index, so the result is
+// deterministic for a fixed seed regardless of worker count — but it is
+// a *different* deterministic sample than Run's.
+//
+// Injection runs are embarrassingly parallel: each executes a fresh
+// simulator against shared read-only program state.
+func (c *Campaign) RunParallel(workers int) (*CellResult, error) {
+	if c.N <= 0 {
+		return nil, fmt.Errorf("campaign: N must be positive")
+	}
+	if workers <= 1 {
+		return c.Run()
+	}
+	maxFactor := c.MaxAttemptsFactor
+	if maxFactor <= 0 {
+		maxFactor = 10
+	}
+	maxAttempts := c.N * maxFactor
+
+	attempt, dyn, err := c.attemptFunc()
+	if err != nil {
+		if errors.Is(err, llfi.ErrNoCandidates) || errors.Is(err, pinfi.ErrNoCandidates) {
+			return nil, fmt.Errorf("%w: %v", ErrNoCandidates, err)
+		}
+		return nil, err
+	}
+
+	res := &CellResult{Prog: c.Prog.Name, Level: c.Level, Category: c.Category, DynCandidates: dyn}
+	outcomes := make([]fault.Outcome, maxAttempts)
+
+	// Waves of parallel attempts; counting the deterministic per-index
+	// outcomes in prefix order keeps the activated-N stopping rule exact.
+	const wave = 64
+	next := 0
+	counted := 0
+	for res.Activated() < c.N && counted < maxAttempts {
+		hi := next + wave
+		if hi > maxAttempts {
+			hi = maxAttempts
+		}
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for k := next; k < hi; k++ {
+			k := k
+			wg.Add(1)
+			sem <- struct{}{}
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				outcomes[k] = attempt(k)
+			}()
+		}
+		wg.Wait()
+		next = hi
+		for counted < next && res.Activated() < c.N {
+			res.add(outcomes[counted])
+			res.Attempts++
+			counted++
+		}
+	}
+	if res.Activated() == 0 {
+		return nil, fmt.Errorf("campaign %s/%s/%s: no activated faults in %d attempts",
+			c.Prog.Name, c.Level, c.Category, res.Attempts)
+	}
+	return res, nil
+}
+
+// attemptFunc builds the per-attempt closure and reports the dynamic
+// candidate count.
+func (c *Campaign) attemptFunc() (func(k int) fault.Outcome, uint64, error) {
+	switch c.Level {
+	case fault.LevelIR:
+		var inj *llfi.Injector
+		var err error
+		if c.Calibration != nil {
+			inj, err = llfi.NewCalibrated(c.Prog.Prep, c.Category, *c.Calibration)
+		} else {
+			inj, err = llfi.New(c.Prog.Prep, c.Category)
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		return func(k int) fault.Outcome {
+			rng := rand.New(rand.NewSource(attemptSeed(c.Seed, k)))
+			return inj.InjectOne(rng).Outcome
+		}, inj.DynTotal, nil
+	case fault.LevelASM:
+		inj, err := pinfi.New(c.Prog.Asm, c.Prog.Prep.Layout.Image, c.Prog.Prep.Layout.Base, c.Category)
+		if err != nil {
+			return nil, 0, err
+		}
+		return func(k int) fault.Outcome {
+			rng := rand.New(rand.NewSource(attemptSeed(c.Seed, k)))
+			return inj.InjectOne(rng).Outcome
+		}, inj.DynTotal, nil
+	default:
+		return nil, 0, fmt.Errorf("campaign: unknown level %v", c.Level)
+	}
+}
+
+// attemptSeed mixes the campaign seed with the attempt index
+// (SplitMix64-style finalizer) so per-attempt streams are independent.
+func attemptSeed(seed int64, k int) int64 {
+	z := uint64(seed) + uint64(k+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z & 0x7FFFFFFFFFFFFFFF)
+}

@@ -1,0 +1,43 @@
+package core_test
+
+import (
+	"testing"
+
+	"hlfi/internal/bench"
+	"hlfi/internal/core"
+	"hlfi/internal/fault"
+)
+
+// TestParallelDeterminism: worker count must not change the result.
+func TestParallelDeterminism(t *testing.T) {
+	p, err := bench.Build("quantumm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *core.CellResult {
+		c := &core.Campaign{Prog: p, Level: fault.LevelASM, Category: fault.CatAll, N: 60, Seed: 13}
+		res, err := c.RunParallel(workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := run(2)
+	b := run(8)
+	if *a != *b {
+		t.Fatalf("parallel results depend on worker count:\n%+v\n%+v", a, b)
+	}
+	// And the IR level, with shared Prepared state across goroutines.
+	c := &core.Campaign{Prog: p, Level: fault.LevelIR, Category: fault.CatArith, N: 40, Seed: 5}
+	r1, err := c.RunParallel(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.RunParallel(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *r1 != *r2 {
+		t.Fatalf("IR parallel mismatch: %+v vs %+v", r1, r2)
+	}
+}

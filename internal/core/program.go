@@ -1,0 +1,88 @@
+// Package core implements the paper's experimental methodology: it builds
+// programs for both execution levels, runs seeded fault-injection
+// campaigns with LLFI (IR level) and PINFI (assembly level), classifies
+// outcomes, and regenerates every table and figure of the evaluation
+// (Figure 3, Table IV, Figure 4, Table V).
+package core
+
+import (
+	"bytes"
+	"fmt"
+
+	"hlfi/internal/codegen"
+	"hlfi/internal/interp"
+	"hlfi/internal/machine"
+	"hlfi/internal/minic"
+	"hlfi/internal/x86"
+)
+
+// Program is a benchmark compiled for both levels, with verified
+// fault-free equivalence between them.
+type Program struct {
+	Name   string
+	Source string
+
+	Prep *interp.Prepared
+	Asm  *x86.Program
+
+	GoldenOutput []byte
+	GoldenExit   int64
+	// Golden dynamic instruction counts at each level.
+	IRInstrs  uint64
+	AsmInstrs uint64
+}
+
+// BuildProgram compiles a minic source for both execution levels and
+// verifies that the fault-free runs agree bit-for-bit. Any disagreement
+// is a toolchain bug, not a valid experiment, so it is an error.
+func BuildProgram(name, source string) (*Program, error) {
+	return buildProgram(name, source, codegen.DefaultOptions())
+}
+
+// BuildProgramWithOptions exposes the backend folding switches for the
+// ablation benchmarks.
+func BuildProgramWithOptions(name, source string, opts codegen.Options) (*Program, error) {
+	return buildProgram(name, source, opts)
+}
+
+func buildProgram(name, source string, opts codegen.Options) (*Program, error) {
+	mod, err := minic.Compile(name, source)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	prep, err := interp.Prepare(mod)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	asm, err := codegen.Lower(mod, prep.Layout, opts)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+
+	var irOut bytes.Buffer
+	r := interp.NewRunner(prep, &irOut)
+	irRC, err := r.Run()
+	if err != nil {
+		return nil, fmt.Errorf("%s: IR golden run: %w", name, err)
+	}
+	var asmOut bytes.Buffer
+	m := machine.New(asm, prep.Layout.Image, prep.Layout.Base, &asmOut)
+	asmRC, err := m.Run()
+	if err != nil {
+		return nil, fmt.Errorf("%s: machine golden run: %w", name, err)
+	}
+	if !bytes.Equal(irOut.Bytes(), asmOut.Bytes()) || irRC != asmRC {
+		return nil, fmt.Errorf("%s: golden runs diverge between levels (IR %d bytes rc=%d, ASM %d bytes rc=%d)",
+			name, irOut.Len(), irRC, asmOut.Len(), asmRC)
+	}
+	return &Program{
+		Name:         name,
+		Source:       source,
+		Prep:         prep,
+		Asm:          asm,
+		GoldenOutput: irOut.Bytes(),
+		GoldenExit:   irRC,
+		IRInstrs:     r.Executed(),
+		AsmInstrs:    m.Executed(),
+	}, nil
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"hlfi/internal/fault"
+	"hlfi/internal/stats"
+)
+
+// RenderFigure3 renders the aggregate outcome breakdown (crash/SDC/benign
+// per benchmark, both tools, category "all") — the paper's Figure 3 as a
+// text table.
+func (st *Study) RenderFigure3() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 3: aggregate fault injection results ('all' category), %% of activated faults\n")
+	fmt.Fprintf(&sb, "%-12s %8s %8s %8s %8s | %8s %8s %8s %8s\n",
+		"benchmark", "LL.crash", "LL.sdc", "LL.ben", "LL.hang", "PF.crash", "PF.sdc", "PF.ben", "PF.hang")
+	var llC, llS, llB, pfC, pfS, pfB []float64
+	for _, p := range st.Programs {
+		ll := st.Cell(p.Name, fault.LevelIR, fault.CatAll)
+		pf := st.Cell(p.Name, fault.LevelASM, fault.CatAll)
+		if ll == nil || pf == nil {
+			continue
+		}
+		fmt.Fprintf(&sb, "%-12s %7.1f%% %7.1f%% %7.1f%% %7.1f%% | %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
+			p.Name,
+			pct(ll.CrashRate()), pct(ll.SDCRate()), pct(ll.BenignRate()), pct(ll.HangRate()),
+			pct(pf.CrashRate()), pct(pf.SDCRate()), pct(pf.BenignRate()), pct(pf.HangRate()))
+		llC = append(llC, pct(ll.CrashRate()))
+		llS = append(llS, pct(ll.SDCRate()))
+		llB = append(llB, pct(ll.BenignRate()))
+		pfC = append(pfC, pct(pf.CrashRate()))
+		pfS = append(pfS, pct(pf.SDCRate()))
+		pfB = append(pfB, pct(pf.BenignRate()))
+	}
+	fmt.Fprintf(&sb, "%-12s %7.1f%% %7.1f%% %7.1f%% %8s | %7.1f%% %7.1f%% %7.1f%% %8s\n",
+		"average",
+		stats.Mean(llC), stats.Mean(llS), stats.Mean(llB), "",
+		stats.Mean(pfC), stats.Mean(pfS), stats.Mean(pfB), "")
+	return sb.String()
+}
+
+// RenderTableIV renders the dynamic candidate-instruction counts per
+// category for both tools, with each category's share of the "all" count
+// — the paper's Table IV.
+func (st *Study) RenderTableIV() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table IV: dynamic (runtime) injection-candidate instructions\n")
+	fmt.Fprintf(&sb, "%-12s %-6s %14s %16s %14s %14s %16s\n",
+		"benchmark", "tool", "all", "arithmetic", "cast", "cmp", "load")
+	for _, p := range st.Programs {
+		for _, level := range []fault.Level{fault.LevelIR, fault.LevelASM} {
+			all := st.DynCandidates(p.Name, level, fault.CatAll)
+			row := make([]string, 0, 4)
+			for _, cat := range []fault.Category{fault.CatArith, fault.CatCast, fault.CatCmp, fault.CatLoad} {
+				n := st.DynCandidates(p.Name, level, cat)
+				share := 0.0
+				if all > 0 {
+					share = 100 * float64(n) / float64(all)
+				}
+				row = append(row, fmt.Sprintf("%d (%.0f%%)", n, share))
+			}
+			fmt.Fprintf(&sb, "%-12s %-6s %14d %16s %14s %14s %16s\n",
+				p.Name, level, all, row[0], row[1], row[2], row[3])
+		}
+	}
+	return sb.String()
+}
+
+// RenderFigure4 renders SDC percentages with 95% confidence intervals per
+// category — the paper's Figure 4 (a)–(e).
+func (st *Study) RenderFigure4() string {
+	var sb strings.Builder
+	sub := map[fault.Category]string{
+		fault.CatArith: "(a) arithmetic instructions",
+		fault.CatCast:  "(b) cast instructions",
+		fault.CatCmp:   "(c) cmp instructions",
+		fault.CatLoad:  "(d) load instructions",
+		fault.CatAll:   "(e) all instructions",
+	}
+	order := []fault.Category{fault.CatArith, fault.CatCast, fault.CatCmp, fault.CatLoad, fault.CatAll}
+	fmt.Fprintf(&sb, "Figure 4: SDC percentage among activated faults (±95%% CI)\n")
+	for _, cat := range order {
+		fmt.Fprintf(&sb, "\n%s\n", sub[cat])
+		fmt.Fprintf(&sb, "%-12s %18s %18s %10s\n", "benchmark", "LLFI", "PINFI", "CIs overlap")
+		for _, p := range st.Programs {
+			ll := st.Cell(p.Name, fault.LevelIR, cat)
+			pf := st.Cell(p.Name, fault.LevelASM, cat)
+			if ll == nil || pf == nil {
+				continue
+			}
+			a, b := ll.SDCRate(), pf.SDCRate()
+			fmt.Fprintf(&sb, "%-12s %9.1f%% ±%4.1f%% %9.1f%% ±%4.1f%% %10v\n",
+				p.Name,
+				100*a.Rate(), 100*a.WaldCI(),
+				100*b.Rate(), 100*b.WaldCI(),
+				stats.Overlaps(a, b))
+		}
+	}
+	return sb.String()
+}
+
+// RenderTableV renders crash percentages per category for both tools —
+// the paper's Table V.
+func (st *Study) RenderTableV() string {
+	var sb strings.Builder
+	order := []fault.Category{fault.CatAll, fault.CatArith, fault.CatCast, fault.CatCmp, fault.CatLoad}
+	fmt.Fprintf(&sb, "Table V: crash percentage among activated faults\n")
+	fmt.Fprintf(&sb, "%-12s", "benchmark")
+	for _, cat := range order {
+		fmt.Fprintf(&sb, " | %-6s LLFI PINFI", cat.String()[:min(6, len(cat.String()))])
+	}
+	sb.WriteString("\n")
+	for _, p := range st.Programs {
+		fmt.Fprintf(&sb, "%-12s", p.Name)
+		for _, cat := range order {
+			ll := st.Cell(p.Name, fault.LevelIR, cat)
+			pf := st.Cell(p.Name, fault.LevelASM, cat)
+			if ll == nil || pf == nil {
+				fmt.Fprintf(&sb, " | %-6s    -     -", "")
+				continue
+			}
+			fmt.Fprintf(&sb, " | %-6s %3.0f%%  %3.0f%%", "",
+				pct(ll.CrashRate()), pct(pf.CrashRate()))
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// RenderSummary prints the headline comparison: SDC agreement vs crash
+// divergence between the two injectors (the paper's core finding).
+func (st *Study) RenderSummary() string {
+	var sb strings.Builder
+	var sdcDiffs, crashDiffs []float64
+	agree, total := 0, 0
+	for _, p := range st.Programs {
+		for _, cat := range fault.Categories {
+			ll := st.Cell(p.Name, fault.LevelIR, cat)
+			pf := st.Cell(p.Name, fault.LevelASM, cat)
+			if ll == nil || pf == nil {
+				continue
+			}
+			sdcDiffs = append(sdcDiffs, abs(pct(ll.SDCRate())-pct(pf.SDCRate())))
+			crashDiffs = append(crashDiffs, abs(pct(ll.CrashRate())-pct(pf.CrashRate())))
+			if stats.Overlaps(ll.SDCRate(), pf.SDCRate()) {
+				agree++
+			}
+			total++
+		}
+	}
+	fmt.Fprintf(&sb, "Summary (n=%d per cell):\n", st.N)
+	fmt.Fprintf(&sb, "  mean |LLFI-PINFI| SDC difference   : %5.1f points\n", stats.Mean(sdcDiffs))
+	fmt.Fprintf(&sb, "  mean |LLFI-PINFI| crash difference : %5.1f points\n", stats.Mean(crashDiffs))
+	fmt.Fprintf(&sb, "  max  |LLFI-PINFI| crash difference : %5.1f points\n", maxOf(crashDiffs))
+	fmt.Fprintf(&sb, "  SDC 95%%-CI overlap                 : %d/%d cells\n", agree, total)
+	return sb.String()
+}
+
+func pct(p stats.Proportion) float64 { return 100 * p.Rate() }
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func maxOf(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"hlfi/internal/fault"
+	"hlfi/internal/llfi"
+	"hlfi/internal/pinfi"
+)
+
+// CellKey identifies one campaign cell.
+type CellKey struct {
+	Prog     string
+	Level    fault.Level
+	Category fault.Category
+}
+
+// Study holds the full cross-product of campaign results — everything
+// needed to regenerate the paper's Figure 3, Table IV, Figure 4, and
+// Table V.
+type Study struct {
+	Programs []*Program
+	N        int
+	Seed     int64
+
+	Cells map[CellKey]*CellResult
+	// Dyn holds dynamic candidate counts (Table IV), including cells
+	// where no injections were run.
+	Dyn map[CellKey]uint64
+}
+
+// StudyConfig configures RunStudy.
+type StudyConfig struct {
+	Programs []*Program
+	// N activated injections per cell (paper: 1000).
+	N int
+	// Seed derives per-cell seeds deterministically.
+	Seed int64
+	// Categories defaults to all five.
+	Categories []fault.Category
+	// Progress, when non-nil, receives one line per completed cell.
+	Progress func(string)
+	// Workers > 1 runs each cell's injections in parallel (per-attempt
+	// seeding; deterministic for a fixed seed but a different sample than
+	// the sequential stream).
+	Workers int
+}
+
+// cellSeed derives a stable per-cell seed.
+func cellSeed(base int64, prog string, level fault.Level, cat fault.Category) int64 {
+	h := uint64(base)
+	for _, ch := range prog {
+		h = h*131 + uint64(ch)
+	}
+	h = h*131 + uint64(level)
+	h = h*131 + uint64(cat)
+	return int64(h & 0x7fffffffffffffff)
+}
+
+// RunStudy runs every campaign cell of the study.
+func RunStudy(cfg StudyConfig) (*Study, error) {
+	cats := cfg.Categories
+	if len(cats) == 0 {
+		cats = fault.Categories
+	}
+	st := &Study{
+		Programs: cfg.Programs,
+		N:        cfg.N,
+		Seed:     cfg.Seed,
+		Cells:    make(map[CellKey]*CellResult),
+		Dyn:      make(map[CellKey]uint64),
+	}
+	for _, p := range cfg.Programs {
+		if err := st.profileProgram(p); err != nil {
+			return nil, err
+		}
+		for _, level := range []fault.Level{fault.LevelIR, fault.LevelASM} {
+			for _, cat := range cats {
+				key := CellKey{Prog: p.Name, Level: level, Category: cat}
+				c := &Campaign{
+					Prog:     p,
+					Level:    level,
+					Category: cat,
+					N:        cfg.N,
+					Seed:     cellSeed(cfg.Seed, p.Name, level, cat),
+				}
+				var res *CellResult
+				var err error
+				if cfg.Workers > 1 {
+					res, err = c.RunParallel(cfg.Workers)
+				} else {
+					res, err = c.Run()
+				}
+				if errors.Is(err, ErrNoCandidates) {
+					if cfg.Progress != nil {
+						cfg.Progress(fmt.Sprintf("%-10s %-5s %-10s skipped (no candidates)", p.Name, level, cat))
+					}
+					continue
+				}
+				if err != nil {
+					return nil, fmt.Errorf("cell %v: %w", key, err)
+				}
+				st.Cells[key] = res
+				if cfg.Progress != nil {
+					cfg.Progress(fmt.Sprintf("%-10s %-5s %-10s activated=%d crash=%.1f%% sdc=%.1f%%",
+						p.Name, level, cat, res.Activated(),
+						100*res.CrashRate().Rate(), 100*res.SDCRate().Rate()))
+				}
+			}
+		}
+	}
+	return st, nil
+}
+
+// profileProgram fills Dyn for every (level, category) of one program
+// using a single profiling run per level.
+func (st *Study) profileProgram(p *Program) error {
+	irInj, err := llfi.New(p.Prep, fault.CatAll)
+	if err != nil {
+		return err
+	}
+	for _, cat := range fault.Categories {
+		cand := llfi.Candidates(p.Prep, cat)
+		st.Dyn[CellKey{Prog: p.Name, Level: fault.LevelIR, Category: cat}] =
+			llfi.CountDynamic(irInj.Profile, cand)
+	}
+	asmInj, err := pinfi.New(p.Asm, p.Prep.Layout.Image, p.Prep.Layout.Base, fault.CatAll)
+	if err != nil {
+		return err
+	}
+	for _, cat := range fault.Categories {
+		cand := pinfi.Candidates(p.Asm, cat)
+		st.Dyn[CellKey{Prog: p.Name, Level: fault.LevelASM, Category: cat}] =
+			pinfi.CountDynamic(asmInj.Profile, cand)
+	}
+	return nil
+}
+
+// Cell returns one campaign cell (nil if absent).
+func (st *Study) Cell(prog string, level fault.Level, cat fault.Category) *CellResult {
+	return st.Cells[CellKey{Prog: prog, Level: level, Category: cat}]
+}
+
+// DynCandidates returns a Table IV entry.
+func (st *Study) DynCandidates(prog string, level fault.Level, cat fault.Category) uint64 {
+	return st.Dyn[CellKey{Prog: prog, Level: level, Category: cat}]
+}

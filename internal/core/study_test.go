@@ -1,0 +1,67 @@
+package core_test
+
+import (
+	"testing"
+
+	"hlfi/internal/bench"
+	"hlfi/internal/core"
+	"hlfi/internal/fault"
+)
+
+// TestPilotStudy runs a reduced study on two benchmarks and sanity-checks
+// the experimental machinery: cells complete, activation accounting
+// holds, determinism holds, and the renderers produce output.
+func TestPilotStudy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pilot study is slow")
+	}
+	var progs []*core.Program
+	for _, name := range []string{"bzip2m", "quantumm"} {
+		p, err := bench.Build(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs = append(progs, p)
+	}
+	st, err := core.RunStudy(core.StudyConfig{
+		Programs: progs,
+		N:        40,
+		Seed:     7,
+		Progress: func(s string) { t.Log(s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, cell := range st.Cells {
+		if cell.Activated() != 40 {
+			t.Errorf("%v: activated %d != 40 (attempts %d)", key, cell.Activated(), cell.Attempts)
+		}
+		if cell.Attempts < cell.Activated() {
+			t.Errorf("%v: attempts %d < activated", key, cell.Attempts)
+		}
+	}
+	t.Log("\n" + st.RenderFigure3())
+	t.Log("\n" + st.RenderTableIV())
+	t.Log("\n" + st.RenderTableV())
+	t.Log("\n" + st.RenderSummary())
+}
+
+// TestCampaignDeterminism ensures identical seeds give identical cells.
+func TestCampaignDeterminism(t *testing.T) {
+	p, err := bench.Build("quantumm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *core.CellResult {
+		c := &core.Campaign{Prog: p, Level: fault.LevelASM, Category: fault.CatAll, N: 25, Seed: 99}
+		res, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if *a != *b {
+		t.Fatalf("campaigns with same seed differ: %+v vs %+v", a, b)
+	}
+}

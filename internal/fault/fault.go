@@ -1,0 +1,100 @@
+// Package fault defines the shared fault model of the study (paper §II-A):
+// transient single-bit flips in the result of one dynamic instruction,
+// classified into the instruction categories of Table III and the outcome
+// taxonomy of §V.
+package fault
+
+import "fmt"
+
+// Category is an injection-target instruction category (paper Table III).
+type Category int
+
+// Categories.
+const (
+	CatAll Category = iota + 1
+	CatArith
+	CatCast
+	CatCmp
+	CatLoad
+)
+
+// Categories lists all categories in the paper's presentation order.
+var Categories = []Category{CatAll, CatArith, CatCast, CatCmp, CatLoad}
+
+func (c Category) String() string {
+	switch c {
+	case CatAll:
+		return "all"
+	case CatArith:
+		return "arithmetic"
+	case CatCast:
+		return "cast"
+	case CatCmp:
+		return "cmp"
+	case CatLoad:
+		return "load"
+	default:
+		return fmt.Sprintf("category(%d)", int(c))
+	}
+}
+
+// ParseCategory converts a name to a Category.
+func ParseCategory(s string) (Category, error) {
+	for _, c := range Categories {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown category %q (want all|arithmetic|cast|cmp|load)", s)
+}
+
+// Outcome classifies one injection run (paper §V, "Failure
+// categorization").
+type Outcome int
+
+// Outcomes. NotActivated runs are excluded from percentages and redrawn,
+// per the paper's activated-faults-only accounting.
+const (
+	OutcomeBenign Outcome = iota + 1
+	OutcomeSDC
+	OutcomeCrash
+	OutcomeHang
+	OutcomeNotActivated
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeBenign:
+		return "benign"
+	case OutcomeSDC:
+		return "sdc"
+	case OutcomeCrash:
+		return "crash"
+	case OutcomeHang:
+		return "hang"
+	case OutcomeNotActivated:
+		return "not-activated"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// Level identifies the injection level.
+type Level int
+
+// Levels: LLFI injects at the IR level, PINFI at the assembly level.
+const (
+	LevelIR Level = iota + 1
+	LevelASM
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelIR:
+		return "LLFI"
+	case LevelASM:
+		return "PINFI"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}

@@ -1,0 +1,36 @@
+package fault
+
+import "testing"
+
+func TestParseCategory(t *testing.T) {
+	for _, c := range Categories {
+		got, err := ParseCategory(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseCategory(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if _, err := ParseCategory("bogus"); err == nil {
+		t.Error("ParseCategory(bogus) should fail")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if CatAll.String() != "all" || CatArith.String() != "arithmetic" ||
+		CatCast.String() != "cast" || CatCmp.String() != "cmp" || CatLoad.String() != "load" {
+		t.Error("category names drifted from the paper's Table III")
+	}
+	for _, o := range []Outcome{OutcomeBenign, OutcomeSDC, OutcomeCrash, OutcomeHang, OutcomeNotActivated} {
+		if o.String() == "" {
+			t.Errorf("outcome %d has no name", o)
+		}
+	}
+	if LevelIR.String() != "LLFI" || LevelASM.String() != "PINFI" {
+		t.Error("level names must match the paper's tool names")
+	}
+}
+
+func TestCategoriesOrder(t *testing.T) {
+	if len(Categories) != 5 || Categories[0] != CatAll {
+		t.Fatalf("Categories = %v", Categories)
+	}
+}

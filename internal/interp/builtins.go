@@ -1,0 +1,15 @@
+package interp
+
+import (
+	"hlfi/internal/rt"
+)
+
+// BuiltinSig aliases the shared runtime signature type; kept exported here
+// because the frontend consults it when type-checking builtin calls.
+type BuiltinSig = rt.Sig
+
+// Builtins lists every runtime builtin and its signature.
+var Builtins = rt.Sigs
+
+// FormatDouble renders a double the way print_double does.
+func FormatDouble(v float64) string { return rt.FormatDouble(v) }

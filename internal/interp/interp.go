@@ -1,0 +1,744 @@
+// Package interp executes IR modules directly. It is the high-level
+// execution substrate of the study: the level at which the LLFI-style
+// injector observes, profiles, and corrupts the program, corresponding to
+// running an LLVM-IR-instrumented binary in the paper.
+//
+// The interpreter shares the virtual-memory model (and therefore crash
+// semantics) with the assembly-level machine simulator, so outcome
+// differences between levels come from representation differences, not
+// from divergent runtime environments.
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"hlfi/internal/ir"
+	"hlfi/internal/mem"
+	"hlfi/internal/rt"
+)
+
+// ErrHang is returned when execution exceeds the instruction budget; the
+// campaign layer classifies it as a Hang (the paper's timeout mechanism).
+var ErrHang = errors.New("instruction budget exceeded (hang)")
+
+// ErrNoMain is returned when the module lacks a main function.
+var ErrNoMain = errors.New("module has no main function")
+
+// DefaultMaxInstrs is the fallback dynamic-instruction budget.
+const DefaultMaxInstrs = 200_000_000
+
+// minFrameBytes models the call-frame overhead (return address, saved
+// frame pointer) so that runaway recursion exhausts the simulated stack.
+const minFrameBytes = 64
+
+// Prepared caches everything derivable from the module so that thousands
+// of injection runs share one analysis: sequence numbering, global layout,
+// per-function frame plans, and GEP stride plans.
+type Prepared struct {
+	Mod      *ir.Module
+	Layout   *ir.Layout
+	SeqTotal int
+
+	frames map[*ir.Function]*framePlan
+	geps   map[*ir.Instr]*gepPlan
+}
+
+type framePlan struct {
+	size    uint64
+	allocas map[*ir.Instr]uint64 // alloca -> offset from frame base
+}
+
+type gepStep struct {
+	scale   uint64 // multiply the (sign-extended) index by this...
+	offset  uint64 // ...or add this constant (struct field)
+	isConst bool
+}
+
+type gepPlan struct{ steps []gepStep }
+
+// Prepare freezes a module for execution. The module must verify.
+func Prepare(m *ir.Module) (*Prepared, error) {
+	if err := m.Verify(); err != nil {
+		return nil, fmt.Errorf("prepare: %w", err)
+	}
+	p := &Prepared{
+		Mod:    m,
+		Layout: ir.ComputeLayout(m),
+		frames: make(map[*ir.Function]*framePlan, len(m.Funcs)),
+		geps:   make(map[*ir.Instr]*gepPlan),
+	}
+	p.SeqTotal = m.AssignSeq()
+	for _, f := range m.Funcs {
+		fp := &framePlan{allocas: make(map[*ir.Instr]uint64)}
+		off := uint64(0)
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case ir.OpAlloca:
+					a := in.AllocTy.Align()
+					off = (off + a - 1) / a * a
+					fp.allocas[in] = off
+					off += in.AllocTy.Size()
+				case ir.OpGEP:
+					plan, err := buildGEPPlan(in)
+					if err != nil {
+						return nil, fmt.Errorf("prepare @%s: %w", f.Name, err)
+					}
+					p.geps[in] = plan
+				}
+			}
+		}
+		fp.size = (off+15)/16*16 + minFrameBytes
+		p.frames[f] = fp
+	}
+	return p, nil
+}
+
+func buildGEPPlan(in *ir.Instr) (*gepPlan, error) {
+	base := in.Args[0].Type()
+	if !base.IsPtr() {
+		return nil, fmt.Errorf("gep base is %s", base)
+	}
+	plan := &gepPlan{steps: make([]gepStep, 0, len(in.Args)-1)}
+	cur := base.Elem
+	for i, idx := range in.Args[1:] {
+		if i == 0 {
+			plan.steps = append(plan.steps, gepStep{scale: cur.Size()})
+			continue
+		}
+		switch cur.Kind {
+		case ir.KindArray:
+			cur = cur.Elem
+			plan.steps = append(plan.steps, gepStep{scale: cur.Size()})
+		case ir.KindStruct:
+			c, ok := idx.(*ir.Const)
+			if !ok {
+				return nil, errors.New("gep struct index must be constant")
+			}
+			fi := int(c.Int())
+			if fi < 0 || fi >= len(cur.Fields) {
+				return nil, fmt.Errorf("gep struct index %d out of range", fi)
+			}
+			plan.steps = append(plan.steps, gepStep{offset: cur.FieldOffset(fi), isConst: true})
+			cur = cur.Fields[fi]
+		default:
+			return nil, fmt.Errorf("gep steps into %s", cur)
+		}
+	}
+	return plan, nil
+}
+
+// Injection describes a single-bit-flip fault to inject during one run and
+// records what happened. Candidates is indexed by instruction Seq; the
+// TriggerIndex-th dynamic execution of any candidate has one random bit of
+// its result flipped.
+type Injection struct {
+	Candidates   []bool
+	TriggerIndex uint64
+	Rng          *rand.Rand
+
+	// Results, filled during the run.
+	Happened   bool
+	Activated  bool
+	Target     *ir.Instr
+	Bit        int
+	OrigVal    uint64
+	FaultyVal  uint64
+	InstrIndex uint64 // dynamic index at which the fault fired
+}
+
+// Runner executes one run of a prepared module against fresh memory.
+type Runner struct {
+	prog *Prepared
+	mem  *mem.Memory
+	out  io.Writer
+
+	// MaxInstrs bounds dynamic instructions; exceeded => ErrHang.
+	MaxInstrs uint64
+	// Profile, when non-nil (length SeqTotal), counts executions of every
+	// static instruction.
+	Profile []uint64
+	// Inject, when non-nil, arms a single fault injection.
+	Inject *Injection
+	// Trace, when non-nil, receives taint-propagation events.
+	Trace *Tracer
+
+	executed  uint64
+	candCount uint64
+	sp        uint64
+
+	watchFrame *frame
+	watchInstr *ir.Instr
+
+	env *rt.Env
+}
+
+type frame struct {
+	fn     *ir.Function
+	vals   []uint64
+	params []uint64
+	base   uint64 // frame base address (allocas live below it)
+}
+
+// NewRunner creates a runner with fresh memory and globals installed.
+func NewRunner(p *Prepared, out io.Writer) *Runner {
+	m := mem.New()
+	p.Layout.Install(m)
+	r := &Runner{
+		prog:      p,
+		mem:       m,
+		out:       out,
+		MaxInstrs: DefaultMaxInstrs,
+		sp:        mem.StackTop,
+	}
+	r.env = &rt.Env{Mem: m, Out: out}
+	return r
+}
+
+// Memory exposes the runner's address space (for tests).
+func (r *Runner) Memory() *mem.Memory { return r.mem }
+
+// Executed reports the number of dynamic instructions retired.
+func (r *Runner) Executed() uint64 { return r.executed }
+
+// Run executes main() and returns its exit value. A *mem.Fault error is a
+// simulated crash; ErrHang is a timeout.
+func (r *Runner) Run() (int64, error) {
+	mainFn := r.prog.Mod.Func("main")
+	if mainFn == nil || len(mainFn.Blocks) == 0 {
+		return 0, ErrNoMain
+	}
+	v, err := r.call(mainFn, nil)
+	if err != nil {
+		return 0, err
+	}
+	return ir.SignExtend(v, mainFn.Sig.Return), nil
+}
+
+// call executes fn with the given argument values.
+func (r *Runner) call(fn *ir.Function, args []uint64) (uint64, error) {
+	fp := r.prog.frames[fn]
+	if r.sp < fp.size || r.sp-fp.size < mem.StackLimit {
+		return 0, &mem.Fault{Kind: mem.FaultStackOverflow, Addr: r.sp}
+	}
+	savedSP := r.sp
+	r.sp -= fp.size
+	base := r.sp
+	if fp.size > minFrameBytes {
+		r.mem.Map(base, fp.size)
+	}
+	defer func() { r.sp = savedSP }()
+
+	fr := &frame{fn: fn, vals: make([]uint64, fn.NumValues()), params: args, base: base}
+
+	blk := fn.Entry()
+	var prev *ir.Block
+	for {
+		nextBlk, ret, done, err := r.execBlock(fr, blk, prev, fp)
+		if err != nil {
+			return 0, err
+		}
+		if done {
+			return ret, nil
+		}
+		prev, blk = blk, nextBlk
+	}
+}
+
+// execBlock runs one basic block and returns the successor or the return
+// value.
+func (r *Runner) execBlock(fr *frame, b *ir.Block, prev *ir.Block, fp *framePlan) (next *ir.Block, ret uint64, done bool, err error) {
+	instrs := b.Instrs
+	// Phi nodes read their incoming values "in parallel" on block entry.
+	nPhi := 0
+	for nPhi < len(instrs) && instrs[nPhi].Op == ir.OpPhi {
+		nPhi++
+	}
+	if nPhi > 0 {
+		var tmp [8]uint64
+		vals := tmp[:0]
+		if nPhi > len(tmp) {
+			vals = make([]uint64, 0, nPhi)
+		}
+		for i := 0; i < nPhi; i++ {
+			in := instrs[i]
+			// Activation check: phis read the incoming value of the edge
+			// just taken.
+			if r.watchInstr != nil && r.watchFrame == fr {
+				for k, pb := range in.Blocks {
+					if pb == prev && in.Args[k] == ir.Value(r.watchInstr) {
+						r.Inject.Activated = true
+						r.watchInstr = nil
+						break
+					}
+				}
+			}
+			v, err := r.phiIncoming(fr, in, prev)
+			if err != nil {
+				return nil, 0, false, err
+			}
+			vals = append(vals, v)
+		}
+		for i := 0; i < nPhi; i++ {
+			in := instrs[i]
+			v, err := r.retire(fr, in, vals[i])
+			if err != nil {
+				return nil, 0, false, err
+			}
+			fr.vals[in.ID] = v
+		}
+	}
+
+	for _, in := range instrs[nPhi:] {
+		if r.executed >= r.MaxInstrs {
+			return nil, 0, false, ErrHang
+		}
+		// Activation check: once a fault has been injected, a read of the
+		// corrupted SSA value by any later instruction activates it.
+		if r.watchInstr != nil && r.watchFrame == fr {
+			for _, a := range in.Args {
+				if a == ir.Value(r.watchInstr) {
+					r.Inject.Activated = true
+					r.watchInstr = nil
+					break
+				}
+			}
+		}
+		switch in.Op {
+		case ir.OpBr:
+			r.count(in)
+			return in.Blocks[0], 0, false, nil
+		case ir.OpCondBr:
+			c, err := r.eval(fr, in.Args[0])
+			if err != nil {
+				return nil, 0, false, err
+			}
+			r.count(in)
+			if c&1 != 0 {
+				return in.Blocks[0], 0, false, nil
+			}
+			return in.Blocks[1], 0, false, nil
+		case ir.OpRet:
+			r.count(in)
+			if len(in.Args) == 1 {
+				v, err := r.eval(fr, in.Args[0])
+				if err != nil {
+					return nil, 0, false, err
+				}
+				return nil, v, true, nil
+			}
+			return nil, 0, true, nil
+		default:
+			if err := r.execInstr(fr, in, fp); err != nil {
+				return nil, 0, false, err
+			}
+		}
+	}
+	return nil, 0, false, fmt.Errorf("block %s fell through", b.Name)
+}
+
+func (r *Runner) phiIncoming(fr *frame, in *ir.Instr, prev *ir.Block) (uint64, error) {
+	for i, pb := range in.Blocks {
+		if pb == prev {
+			return r.eval(fr, in.Args[i])
+		}
+	}
+	return 0, fmt.Errorf("phi in %s: no incoming edge from %v", in.Parent.Name, prev)
+}
+
+// count retires a non-value instruction (profiling + budget).
+func (r *Runner) count(in *ir.Instr) {
+	r.executed++
+	if r.Profile != nil {
+		r.Profile[in.Seq]++
+	}
+}
+
+// retire finishes a value-producing instruction: profiling, injection, and
+// taint tracking. It returns the (possibly corrupted) result.
+func (r *Runner) retire(fr *frame, in *ir.Instr, v uint64) (uint64, error) {
+	r.executed++
+	if r.Profile != nil {
+		r.Profile[in.Seq]++
+	}
+	// Taint propagation first: a re-executed instruction overwrites its
+	// old taint unless an operand re-taints it. The injection (if it
+	// fires here) then marks this very result as the taint root.
+	if r.Trace != nil {
+		r.Trace.propagate(in, v)
+	}
+	if inj := r.Inject; inj != nil && !inj.Happened && inj.Candidates[in.Seq] {
+		if inj.TriggerIndex == r.candCount {
+			v = r.fireInjection(fr, in, v)
+		}
+		r.candCount++
+	}
+	return v, nil
+}
+
+// fireInjection flips one random bit of the result.
+func (r *Runner) fireInjection(fr *frame, in *ir.Instr, v uint64) uint64 {
+	inj := r.Inject
+	width := valueBits(in.Ty)
+	bit := inj.Rng.Intn(width)
+	nv := ir.Canonical(v^(1<<uint(bit)), in.Ty)
+	inj.Happened = true
+	inj.Target = in
+	inj.Bit = bit
+	inj.OrigVal = v
+	inj.FaultyVal = nv
+	inj.InstrIndex = r.executed
+	r.watchFrame = fr
+	r.watchInstr = in
+	if r.Trace != nil {
+		r.Trace.markRoot(fr, in)
+	}
+	return nv
+}
+
+// valueBits is the injectable width of a type: pointers are full machine
+// words; integers are their declared width.
+func valueBits(t *ir.Type) int {
+	switch t.Kind {
+	case ir.KindInt:
+		return t.Bits
+	default:
+		return 64
+	}
+}
+
+// eval resolves an operand to its runtime value.
+func (r *Runner) eval(fr *frame, v ir.Value) (uint64, error) {
+	switch x := v.(type) {
+	case *ir.Instr:
+		return fr.vals[x.ID], nil
+	case *ir.Const:
+		return x.Val, nil
+	case *ir.Param:
+		return fr.params[x.Index], nil
+	case *ir.Global:
+		return r.prog.Layout.Addr[x], nil
+	case *ir.FuncValue:
+		return 0, fmt.Errorf("function value %s not executable at IR level", x.Ident())
+	default:
+		return 0, fmt.Errorf("unknown operand %T", v)
+	}
+}
+
+func (r *Runner) execInstr(fr *frame, in *ir.Instr, fp *framePlan) error {
+	switch {
+	case in.Op.IsIntArith():
+		a, err := r.eval(fr, in.Args[0])
+		if err != nil {
+			return err
+		}
+		b, err := r.eval(fr, in.Args[1])
+		if err != nil {
+			return err
+		}
+		v, err := intArith(in, a, b)
+		if err != nil {
+			return err
+		}
+		v, err = r.retire(fr, in, v)
+		if err != nil {
+			return err
+		}
+		fr.vals[in.ID] = v
+		return nil
+	case in.Op.IsFloatArith():
+		a, err := r.eval(fr, in.Args[0])
+		if err != nil {
+			return err
+		}
+		b, err := r.eval(fr, in.Args[1])
+		if err != nil {
+			return err
+		}
+		x, y := math.Float64frombits(a), math.Float64frombits(b)
+		var z float64
+		switch in.Op {
+		case ir.OpFAdd:
+			z = x + y
+		case ir.OpFSub:
+			z = x - y
+		case ir.OpFMul:
+			z = x * y
+		case ir.OpFDiv:
+			z = x / y
+		}
+		v, err := r.retire(fr, in, math.Float64bits(z))
+		if err != nil {
+			return err
+		}
+		fr.vals[in.ID] = v
+		return nil
+	}
+
+	switch in.Op {
+	case ir.OpICmp, ir.OpFCmp:
+		a, err := r.eval(fr, in.Args[0])
+		if err != nil {
+			return err
+		}
+		b, err := r.eval(fr, in.Args[1])
+		if err != nil {
+			return err
+		}
+		var t bool
+		if in.Op == ir.OpICmp {
+			t = icmp(in.Pred, a, b, in.Args[0].Type())
+		} else {
+			t = fcmp(in.Pred, math.Float64frombits(a), math.Float64frombits(b))
+		}
+		var v uint64
+		if t {
+			v = 1
+		}
+		v, err = r.retire(fr, in, v)
+		if err != nil {
+			return err
+		}
+		fr.vals[in.ID] = v
+		return nil
+
+	case ir.OpTrunc, ir.OpZExt, ir.OpSExt, ir.OpFPToSI, ir.OpSIToFP,
+		ir.OpPtrToInt, ir.OpIntToPtr, ir.OpBitcast:
+		a, err := r.eval(fr, in.Args[0])
+		if err != nil {
+			return err
+		}
+		v := castValue(in, a)
+		v, err = r.retire(fr, in, v)
+		if err != nil {
+			return err
+		}
+		fr.vals[in.ID] = v
+		return nil
+
+	case ir.OpAlloca:
+		v, err := r.retire(fr, in, fr.base+fp.allocas[in])
+		if err != nil {
+			return err
+		}
+		fr.vals[in.ID] = v
+		return nil
+
+	case ir.OpGEP:
+		base, err := r.eval(fr, in.Args[0])
+		if err != nil {
+			return err
+		}
+		plan := r.prog.geps[in]
+		addr := base
+		for i, step := range plan.steps {
+			if step.isConst {
+				addr += step.offset
+				continue
+			}
+			iv, err := r.eval(fr, in.Args[1+i])
+			if err != nil {
+				return err
+			}
+			addr += uint64(ir.SignExtend(iv, in.Args[1+i].Type())) * step.scale
+		}
+		v, err := r.retire(fr, in, addr)
+		if err != nil {
+			return err
+		}
+		fr.vals[in.ID] = v
+		return nil
+
+	case ir.OpLoad:
+		ptr, err := r.eval(fr, in.Args[0])
+		if err != nil {
+			return err
+		}
+		v, err := r.mem.Read(ptr, in.Ty.Size())
+		if err != nil {
+			return err
+		}
+		v = ir.Canonical(v, in.Ty)
+		if r.Trace != nil {
+			r.Trace.noteLoadAddr(ptr)
+		}
+		v, err = r.retire(fr, in, v)
+		if err != nil {
+			return err
+		}
+		fr.vals[in.ID] = v
+		return nil
+
+	case ir.OpStore:
+		v, err := r.eval(fr, in.Args[0])
+		if err != nil {
+			return err
+		}
+		ptr, err := r.eval(fr, in.Args[1])
+		if err != nil {
+			return err
+		}
+		r.count(in)
+		if r.Trace != nil {
+			r.Trace.noteStore(in.Args[0], ptr)
+		}
+		return r.mem.Write(ptr, in.Args[0].Type().Size(), v)
+
+	case ir.OpCall:
+		args := make([]uint64, len(in.Args))
+		for i, a := range in.Args {
+			v, err := r.eval(fr, a)
+			if err != nil {
+				return err
+			}
+			args[i] = v
+		}
+		var v uint64
+		var err error
+		if in.Callee != nil {
+			if len(in.Callee.Blocks) == 0 {
+				return fmt.Errorf("call to declaration @%s", in.Callee.Name)
+			}
+			v, err = r.call(in.Callee, args)
+		} else {
+			v, err = rt.Call(r.env, in.Builtin, args)
+		}
+		if err != nil {
+			return err
+		}
+		if in.HasResult() {
+			v = ir.Canonical(v, in.Ty)
+			v, err = r.retire(fr, in, v)
+			if err != nil {
+				return err
+			}
+			fr.vals[in.ID] = v
+		} else {
+			r.count(in)
+		}
+		return nil
+	}
+	return fmt.Errorf("exec: unhandled op %s", in.Op)
+}
+
+func intArith(in *ir.Instr, a, b uint64) (uint64, error) {
+	ty := in.Ty
+	sa, sb := ir.SignExtend(a, ty), ir.SignExtend(b, ty)
+	var v uint64
+	switch in.Op {
+	case ir.OpAdd:
+		v = a + b
+	case ir.OpSub:
+		v = a - b
+	case ir.OpMul:
+		v = a * b
+	case ir.OpSDiv:
+		if sb == 0 {
+			return 0, &mem.Fault{Kind: mem.FaultDivideByZero}
+		}
+		if sa == math.MinInt64 && sb == -1 {
+			return 0, &mem.Fault{Kind: mem.FaultDivideByZero}
+		}
+		v = uint64(sa / sb)
+	case ir.OpSRem:
+		if sb == 0 || (sa == math.MinInt64 && sb == -1) {
+			return 0, &mem.Fault{Kind: mem.FaultDivideByZero}
+		}
+		v = uint64(sa % sb)
+	case ir.OpUDiv:
+		if b == 0 {
+			return 0, &mem.Fault{Kind: mem.FaultDivideByZero}
+		}
+		v = a / b
+	case ir.OpURem:
+		if b == 0 {
+			return 0, &mem.Fault{Kind: mem.FaultDivideByZero}
+		}
+		v = a % b
+	case ir.OpAnd:
+		v = a & b
+	case ir.OpOr:
+		v = a | b
+	case ir.OpXor:
+		v = a ^ b
+	case ir.OpShl:
+		v = a << (b & 63)
+	case ir.OpLShr:
+		v = a >> (b & 63)
+	case ir.OpAShr:
+		v = uint64(sa >> (b & 63))
+	}
+	return ir.Canonical(v, ty), nil
+}
+
+func icmp(p ir.Pred, a, b uint64, ty *ir.Type) bool {
+	sa, sb := ir.SignExtend(a, ty), ir.SignExtend(b, ty)
+	switch p {
+	case ir.PredEQ:
+		return a == b
+	case ir.PredNE:
+		return a != b
+	case ir.PredLT:
+		return sa < sb
+	case ir.PredLE:
+		return sa <= sb
+	case ir.PredGT:
+		return sa > sb
+	case ir.PredGE:
+		return sa >= sb
+	case ir.PredULT:
+		return a < b
+	case ir.PredULE:
+		return a <= b
+	case ir.PredUGT:
+		return a > b
+	case ir.PredUGE:
+		return a >= b
+	}
+	return false
+}
+
+func fcmp(p ir.Pred, a, b float64) bool {
+	switch p {
+	case ir.PredEQ:
+		return a == b
+	case ir.PredNE:
+		return a != b
+	case ir.PredLT:
+		return a < b
+	case ir.PredLE:
+		return a <= b
+	case ir.PredGT:
+		return a > b
+	case ir.PredGE:
+		return a >= b
+	}
+	return false
+}
+
+func castValue(in *ir.Instr, a uint64) uint64 {
+	srcTy := in.Args[0].Type()
+	switch in.Op {
+	case ir.OpTrunc, ir.OpZExt:
+		return ir.Canonical(a, in.Ty)
+	case ir.OpSExt:
+		return ir.Canonical(uint64(ir.SignExtend(a, srcTy)), in.Ty)
+	case ir.OpFPToSI:
+		f := math.Float64frombits(a)
+		if math.IsNaN(f) {
+			return 0
+		}
+		return ir.Canonical(uint64(int64(f)), in.Ty)
+	case ir.OpSIToFP:
+		return math.Float64bits(float64(ir.SignExtend(a, srcTy)))
+	case ir.OpPtrToInt:
+		return ir.Canonical(a, in.Ty)
+	case ir.OpIntToPtr, ir.OpBitcast:
+		return a
+	}
+	return a
+}

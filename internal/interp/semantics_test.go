@@ -1,0 +1,211 @@
+package interp_test
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStructAndHeapPrograms exercises GEP plans over structs, malloc'd
+// linked structures, and nested arrays through the interpreter.
+func TestStructAndHeapPrograms(t *testing.T) {
+	out, rc, err := runSrc(t, `
+struct vec { double x; double y; double z; };
+struct item { int id; struct vec pos; struct item *next; };
+
+double dot(struct vec *a, struct vec *b) {
+    return a->x * b->x + a->y * b->y + a->z * b->z;
+}
+
+int main() {
+    struct item *head = 0;
+    for (int i = 1; i <= 5; i++) {
+        struct item *it = (struct item*)malloc(sizeof(struct item));
+        it->id = i;
+        it->pos.x = (double)i;
+        it->pos.y = (double)(i * i);
+        it->pos.z = 1.0;
+        it->next = head;
+        head = it;
+    }
+    double acc = 0.0;
+    int ids = 0;
+    struct item *p = head;
+    while (p) {
+        acc += dot(&p->pos, &p->pos);
+        ids = ids * 10 + p->id;
+        p = p->next;
+    }
+    print_double(acc); print_str(" ");
+    print_int(ids); print_str("\n");
+    return head->id;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// acc = sum(i^2 + i^4 + 1) for i=1..5 = 55 + 979 + 5 = 1039
+	if !strings.HasPrefix(out, "1039 54321") {
+		t.Fatalf("output %q", out)
+	}
+	if rc != 5 {
+		t.Fatalf("rc %d", rc)
+	}
+}
+
+func Test2DArraysAndGlobalsInit(t *testing.T) {
+	out, _, err := runSrc(t, `
+int weights[3] = {10, 20, 30};
+char tag[8] = "mx";
+int m[3][3];
+
+int main() {
+    for (int i = 0; i < 3; i++)
+        for (int j = 0; j < 3; j++)
+            m[i][j] = (i + 1) * weights[j];
+    int trace = m[0][0] + m[1][1] + m[2][2];
+    print_str(tag); print_str("=");
+    print_int(trace); print_str("\n");
+    return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "mx=140\n" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestCharPointerWalk(t *testing.T) {
+	out, _, err := runSrc(t, `
+char text[32] = "fault injection";
+int main() {
+    int vowels = 0;
+    char *p = text;
+    while (*p) {
+        char c = *p;
+        if (c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u') vowels++;
+        p++;
+    }
+    print_int(vowels); print_str("\n");
+    return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "6\n" {
+		t.Fatalf("vowels: %q", out)
+	}
+}
+
+func TestLongArithmeticEdges(t *testing.T) {
+	out, _, err := runSrc(t, `
+long big = 4611686018427387904L; /* 2^62 */
+int main() {
+    long d = big + big;               /* overflows to -2^63 */
+    print_long(d); print_str(" ");
+    long e = big >> 60;
+    print_long(e); print_str(" ");
+    long f = (long)(int)4294967296L;  /* truncates to 0 */
+    print_long(f); print_str("\n");
+    return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "-9223372036854775808 4 0\n" {
+		t.Fatalf("long edges: %q", out)
+	}
+}
+
+func TestDoubleSpecials(t *testing.T) {
+	out, _, err := runSrc(t, `
+double zero = 0.0;
+int main() {
+    double inf = 1.0 / zero;
+    double ninf = -1.0 / zero;
+    double nan = inf + ninf;
+    print_double(inf); print_str(" ");
+    print_double(ninf); print_str(" ");
+    print_double(nan); print_str(" ");
+    print_int(nan == nan); print_str(" ");
+    print_int(inf > 1000000.0); print_str("\n");
+    return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "+Inf -Inf NaN 0 1\n" {
+		t.Fatalf("specials: %q", out)
+	}
+}
+
+// TestRecursiveDataStructures: a binary search tree exercises deep
+// pointer graphs and recursion together.
+func TestRecursiveDataStructures(t *testing.T) {
+	out, _, err := runSrc(t, `
+struct node { int key; struct node *l; struct node *r; };
+
+struct node *insert(struct node *t, int key) {
+    if (!t) {
+        struct node *n = (struct node*)malloc(sizeof(struct node));
+        n->key = key;
+        n->l = 0;
+        n->r = 0;
+        return n;
+    }
+    if (key < t->key) t->l = insert(t->l, key);
+    else t->r = insert(t->r, key);
+    return t;
+}
+
+void inorder(struct node *t) {
+    if (!t) return;
+    inorder(t->l);
+    print_int(t->key);
+    print_str(" ");
+    inorder(t->r);
+}
+
+int depth(struct node *t) {
+    if (!t) return 0;
+    int dl = depth(t->l);
+    int dr = depth(t->r);
+    return 1 + (dl > dr ? dl : dr);
+}
+
+long seedv = 1234;
+int nextRand() {
+    seedv = seedv * 1103515245 + 12345;
+    long x = seedv >> 16;
+    if (x < 0) x = -x;
+    return (int)(x % 100);
+}
+
+int main() {
+    struct node *root = 0;
+    for (int i = 0; i < 12; i++) root = insert(root, nextRand());
+    inorder(root);
+    print_str("| depth=");
+    print_int(depth(root));
+    print_str("\n");
+    return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "depth=") {
+		t.Fatalf("bst output: %q", out)
+	}
+	// In-order traversal must be sorted.
+	fields := strings.Fields(strings.Split(out, "|")[0])
+	prev := -1
+	for _, f := range fields {
+		v := 0
+		for _, ch := range f {
+			v = v*10 + int(ch-'0')
+		}
+		if v < prev {
+			t.Fatalf("inorder not sorted: %q", out)
+		}
+		prev = v
+	}
+}

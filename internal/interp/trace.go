@@ -1,0 +1,114 @@
+package interp
+
+import (
+	"fmt"
+
+	"hlfi/internal/ir"
+)
+
+// Tracer follows the propagation of an injected fault through the IR
+// (LLFI's error-propagation analysis feature, paper §III). After the
+// injection fires, every instruction that reads a tainted SSA value — or
+// loads from a tainted memory word — becomes tainted itself and is
+// recorded as a propagation event.
+//
+// Taint is tracked per static instruction (frames are not distinguished),
+// which is the precision LLFI's trace offers and is ample for
+// understanding propagation paths.
+type Tracer struct {
+	// MaxEvents caps the recorded log.
+	MaxEvents int
+	// Events is the propagation log in execution order.
+	Events []TraceEvent
+
+	taintedVals map[*ir.Instr]bool
+	taintedMem  map[uint64]bool // 8-byte granules
+
+	// lastLoadAddr is the resolved address of the load about to retire,
+	// posted by the runner (operands alone cannot resolve global
+	// addresses).
+	lastLoadAddr    uint64
+	lastLoadAddrSet bool
+}
+
+// TraceEvent is one step of fault propagation.
+type TraceEvent struct {
+	Instr *ir.Instr
+	Func  string
+	Value uint64
+	// Via explains how taint reached the instruction ("operand" or
+	// "memory").
+	Via string
+}
+
+// NewTracer returns a tracer with the given event cap.
+func NewTracer(maxEvents int) *Tracer {
+	return &Tracer{
+		MaxEvents:   maxEvents,
+		taintedVals: make(map[*ir.Instr]bool),
+		taintedMem:  make(map[uint64]bool),
+	}
+}
+
+func (t *Tracer) markRoot(_ *frame, in *ir.Instr) {
+	t.taintedVals[in] = true
+	t.record(in, 0, "injection")
+}
+
+// propagate is called as each value-producing instruction retires.
+func (t *Tracer) propagate(in *ir.Instr, v uint64) {
+	if t.taintedVals[in] {
+		// Re-execution of an already-tainted static instruction: its new
+		// result overwrites the taint unless an operand keeps it tainted.
+		delete(t.taintedVals, in)
+	}
+	via := ""
+	for _, a := range in.Args {
+		ai, ok := a.(*ir.Instr)
+		if ok && t.taintedVals[ai] {
+			via = "operand"
+			break
+		}
+	}
+	if via == "" && in.Op == ir.OpLoad && t.lastLoadAddrSet {
+		if t.taintedMem[t.lastLoadAddr&^7] {
+			via = "memory"
+		}
+	}
+	t.lastLoadAddrSet = false
+	if via == "" {
+		return
+	}
+	t.taintedVals[in] = true
+	t.record(in, v, via)
+}
+
+// noteStore lets the runner inform the tracer about stores of tainted
+// values. Called from the store path when tracing is enabled.
+func (t *Tracer) noteStore(valSrc ir.Value, addr uint64) {
+	if vi, ok := valSrc.(*ir.Instr); ok && t.taintedVals[vi] {
+		t.taintedMem[addr&^7] = true
+	}
+}
+
+// noteLoadAddr posts the resolved address of the load about to retire.
+func (t *Tracer) noteLoadAddr(addr uint64) {
+	t.lastLoadAddr = addr
+	t.lastLoadAddrSet = true
+}
+
+func (t *Tracer) record(in *ir.Instr, v uint64, via string) {
+	if len(t.Events) >= t.MaxEvents {
+		return
+	}
+	fn := ""
+	if in.Parent != nil && in.Parent.Parent != nil {
+		fn = in.Parent.Parent.Name
+	}
+	t.Events = append(t.Events, TraceEvent{Instr: in, Func: fn, Value: v, Via: via})
+}
+
+// String renders one event for display.
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("@%s %s = 0x%x (via %s)", e.Func, e.Instr.String(), e.Value, e.Via)
+}

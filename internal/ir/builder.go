@@ -1,0 +1,142 @@
+package ir
+
+// Builder appends instructions to a current block, mirroring LLVM's
+// IRBuilder. It is the construction API used by the minic code generator
+// and by tests.
+type Builder struct {
+	blk *Block
+	// Line stamps emitted instructions with a source line (0 = unknown).
+	Line int
+}
+
+// NewBuilder returns a builder positioned at the end of b.
+func NewBuilder(b *Block) *Builder { return &Builder{blk: b} }
+
+// SetBlock repositions the builder.
+func (bu *Builder) SetBlock(b *Block) { bu.blk = b }
+
+// Block returns the current insertion block.
+func (bu *Builder) Block() *Block { return bu.blk }
+
+func (bu *Builder) emit(in *Instr) *Instr {
+	if in.Line == 0 {
+		in.Line = bu.Line
+	}
+	return bu.blk.Append(in)
+}
+
+// Binary emits a two-operand arithmetic/logic instruction.
+func (bu *Builder) Binary(op Op, lhs, rhs Value) *Instr {
+	ty := lhs.Type()
+	if op.IsFloatArith() {
+		ty = F64
+	}
+	return bu.emit(&Instr{Op: op, Ty: ty, Args: []Value{lhs, rhs}})
+}
+
+// ICmp emits an integer/pointer comparison yielding i1.
+func (bu *Builder) ICmp(p Pred, lhs, rhs Value) *Instr {
+	return bu.emit(&Instr{Op: OpICmp, Ty: I1, Pred: p, Args: []Value{lhs, rhs}})
+}
+
+// FCmp emits a floating comparison yielding i1.
+func (bu *Builder) FCmp(p Pred, lhs, rhs Value) *Instr {
+	return bu.emit(&Instr{Op: OpFCmp, Ty: I1, Pred: p, Args: []Value{lhs, rhs}})
+}
+
+// Cast emits a cast of v to ty with the given cast opcode.
+func (bu *Builder) Cast(op Op, v Value, ty *Type) *Instr {
+	return bu.emit(&Instr{Op: op, Ty: ty, Args: []Value{v}})
+}
+
+// Alloca emits a stack allocation of ty, yielding *ty.
+func (bu *Builder) Alloca(ty *Type) *Instr {
+	return bu.emit(&Instr{Op: OpAlloca, Ty: PointerTo(ty), AllocTy: ty})
+}
+
+// Load emits a load through ptr.
+func (bu *Builder) Load(ptr Value) *Instr {
+	return bu.emit(&Instr{Op: OpLoad, Ty: ptr.Type().Elem, Args: []Value{ptr}})
+}
+
+// Store emits a store of val through ptr.
+func (bu *Builder) Store(val, ptr Value) *Instr {
+	return bu.emit(&Instr{Op: OpStore, Ty: Void, Args: []Value{val, ptr}})
+}
+
+// GEP emits a getelementptr with LLVM semantics: the first index scales by
+// the pointee size; later indices step into arrays/structs. resTy is the
+// resulting pointer type.
+func (bu *Builder) GEP(resTy *Type, base Value, indices ...Value) *Instr {
+	args := make([]Value, 0, 1+len(indices))
+	args = append(args, base)
+	args = append(args, indices...)
+	return bu.emit(&Instr{Op: OpGEP, Ty: resTy, Args: args})
+}
+
+// Phi emits an (initially empty) phi of type ty; fill with AddIncoming.
+func (bu *Builder) Phi(ty *Type) *Instr {
+	return bu.emit(&Instr{Op: OpPhi, Ty: ty})
+}
+
+// AddIncoming appends an incoming edge to a phi.
+func AddIncoming(phi *Instr, v Value, from *Block) {
+	phi.Args = append(phi.Args, v)
+	phi.Blocks = append(phi.Blocks, from)
+}
+
+// Br emits an unconditional branch.
+func (bu *Builder) Br(target *Block) *Instr {
+	return bu.emit(&Instr{Op: OpBr, Ty: Void, Blocks: []*Block{target}})
+}
+
+// CondBr emits a conditional branch.
+func (bu *Builder) CondBr(cond Value, then, els *Block) *Instr {
+	return bu.emit(&Instr{Op: OpCondBr, Ty: Void, Args: []Value{cond}, Blocks: []*Block{then, els}})
+}
+
+// Call emits a direct call.
+func (bu *Builder) Call(fn *Function, args ...Value) *Instr {
+	return bu.emit(&Instr{Op: OpCall, Ty: fn.Sig.Return, Callee: fn, Args: args})
+}
+
+// CallBuiltin emits a call to a named runtime builtin with result type ret.
+func (bu *Builder) CallBuiltin(name string, ret *Type, args ...Value) *Instr {
+	return bu.emit(&Instr{Op: OpCall, Ty: ret, Builtin: name, Args: args})
+}
+
+// Ret emits a return; v may be nil for void.
+func (bu *Builder) Ret(v Value) *Instr {
+	in := &Instr{Op: OpRet, Ty: Void}
+	if v != nil {
+		in.Args = []Value{v}
+	}
+	return bu.emit(in)
+}
+
+// GEPResultType walks the pointee type of base through the given number of
+// trailing indices (after the initial scaling index) using the provided
+// struct field indices, and returns the pointer type the GEP yields.
+// Struct steps must be constant; stepFields supplies them in order.
+func GEPResultType(base *Type, steps []Value) *Type {
+	cur := base.Elem
+	for _, s := range steps {
+		switch cur.Kind {
+		case KindArray:
+			cur = cur.Elem
+		case KindStruct:
+			c, ok := s.(*Const)
+			if !ok {
+				return nil
+			}
+			idx := int(c.Int())
+			if idx < 0 || idx >= len(cur.Fields) {
+				return nil
+			}
+			cur = cur.Fields[idx]
+		default:
+			return nil
+		}
+	}
+	return PointerTo(cur)
+}

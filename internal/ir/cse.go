@@ -1,0 +1,84 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LocalCSE performs common-subexpression elimination within each basic
+// block: pure value computations (arithmetic, comparisons, casts, and
+// getelementptr address computations) with identical operands collapse to
+// a single instance. Loads are not touched (that would need alias
+// analysis). Like mem2reg, this is part of the "standard optimizations"
+// both injectors see; without it, repeated struct-field address
+// computations would inflate the assembly-level arithmetic counts far
+// beyond what a production compiler emits.
+func LocalCSE(f *Function) {
+	replace := make(map[Value]Value)
+	resolve := func(v Value) Value {
+		for {
+			r, ok := replace[v]
+			if !ok {
+				return v
+			}
+			v = r
+		}
+	}
+	for _, b := range f.Blocks {
+		seen := make(map[string]*Instr)
+		for _, in := range b.Instrs {
+			for k, a := range in.Args {
+				in.Args[k] = resolve(a)
+			}
+			if !cseable(in) {
+				continue
+			}
+			key := cseKey(in)
+			if prev, ok := seen[key]; ok {
+				replace[in] = prev
+				continue
+			}
+			seen[key] = in
+		}
+	}
+	if len(replace) == 0 {
+		return
+	}
+	dead := make(map[*Instr]bool, len(replace))
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if _, ok := replace[in]; ok {
+				dead[in] = true
+			}
+		}
+	}
+	removeDead(f, dead, resolve)
+	f.Renumber()
+}
+
+func cseable(in *Instr) bool {
+	switch {
+	case in.Op.IsArith(), in.Op.IsCmp(), in.Op.IsCast():
+		return true
+	case in.Op == OpGEP:
+		return true
+	default:
+		return false
+	}
+}
+
+// cseKey builds an identity key for a pure instruction: opcode, predicate,
+// result type, and operand identities.
+func cseKey(in *Instr) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d|%d|%s", in.Op, in.Pred, in.Ty)
+	for _, a := range in.Args {
+		switch v := a.(type) {
+		case *Const:
+			fmt.Fprintf(&sb, "|c%d:%d:%d", v.Ty.Kind, v.Ty.Bits, v.Val)
+		default:
+			fmt.Fprintf(&sb, "|%p", a)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,149 @@
+package ir
+
+// DomTree holds immediate dominators and dominance frontiers for a
+// function's CFG. It backs SSA construction (mem2reg), which is what makes
+// phi nodes — one of the paper's IR-vs-assembly discrepancy sources —
+// appear in compiled code at all.
+type DomTree struct {
+	fn       *Function
+	rpo      []*Block       // reverse postorder, entry first
+	rpoIndex map[*Block]int // block -> position in rpo
+	idom     map[*Block]*Block
+	children map[*Block][]*Block
+	frontier map[*Block][]*Block
+	preds    map[*Block][]*Block
+}
+
+// BuildDomTree computes dominators with the Cooper–Harvey–Kennedy
+// iterative algorithm and dominance frontiers in the standard way.
+func BuildDomTree(f *Function) *DomTree {
+	d := &DomTree{
+		fn:       f,
+		rpoIndex: make(map[*Block]int),
+		idom:     make(map[*Block]*Block),
+		children: make(map[*Block][]*Block),
+		frontier: make(map[*Block][]*Block),
+		preds:    make(map[*Block][]*Block),
+	}
+	d.computeRPO()
+	for _, b := range d.rpo {
+		for _, s := range b.Succs() {
+			d.preds[s] = append(d.preds[s], b)
+		}
+	}
+	d.computeIdoms()
+	d.computeFrontiers()
+	for _, b := range d.rpo {
+		if p := d.idom[b]; p != nil && p != b {
+			d.children[p] = append(d.children[p], b)
+		}
+	}
+	return d
+}
+
+func (d *DomTree) computeRPO() {
+	entry := d.fn.Entry()
+	visited := make(map[*Block]bool)
+	var post []*Block
+	var dfs func(*Block)
+	dfs = func(b *Block) {
+		visited[b] = true
+		for _, s := range b.Succs() {
+			if !visited[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(entry)
+	for i := len(post) - 1; i >= 0; i-- {
+		d.rpoIndex[post[i]] = len(d.rpo)
+		d.rpo = append(d.rpo, post[i])
+	}
+}
+
+func (d *DomTree) computeIdoms() {
+	entry := d.rpo[0]
+	d.idom[entry] = entry
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range d.rpo[1:] {
+			var newIdom *Block
+			for _, p := range d.preds[b] {
+				if d.idom[p] == nil {
+					continue // unreached or not yet processed
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = d.intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && d.idom[b] != newIdom {
+				d.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+}
+
+func (d *DomTree) intersect(a, b *Block) *Block {
+	for a != b {
+		for d.rpoIndex[a] > d.rpoIndex[b] {
+			a = d.idom[a]
+		}
+		for d.rpoIndex[b] > d.rpoIndex[a] {
+			b = d.idom[b]
+		}
+	}
+	return a
+}
+
+func (d *DomTree) computeFrontiers() {
+	for _, b := range d.rpo {
+		preds := d.preds[b]
+		if len(preds) < 2 {
+			continue
+		}
+		for _, p := range preds {
+			runner := p
+			for runner != nil && runner != d.idom[b] {
+				d.frontier[runner] = append(d.frontier[runner], b)
+				runner = d.idom[runner]
+			}
+		}
+	}
+}
+
+// Reachable reports whether b is reachable from the entry.
+func (d *DomTree) Reachable(b *Block) bool {
+	_, ok := d.rpoIndex[b]
+	return ok
+}
+
+// Idom returns the immediate dominator of b (entry's idom is itself).
+func (d *DomTree) Idom(b *Block) *Block { return d.idom[b] }
+
+// Children returns the dominator-tree children of b.
+func (d *DomTree) Children(b *Block) []*Block { return d.children[b] }
+
+// Frontier returns the dominance frontier of b.
+func (d *DomTree) Frontier(b *Block) []*Block { return d.frontier[b] }
+
+// Preds returns the CFG predecessors of b (reachable ones only).
+func (d *DomTree) Preds(b *Block) []*Block { return d.preds[b] }
+
+// Dominates reports whether a dominates b.
+func (d *DomTree) Dominates(a, b *Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		p := d.idom[b]
+		if p == nil || p == b {
+			return false
+		}
+		b = p
+	}
+}

@@ -1,0 +1,61 @@
+package ir
+
+// SplitCriticalEdges inserts empty blocks on edges whose source has
+// multiple successors and whose destination has multiple predecessors.
+// The backend requires this so that phi-resolution moves can always be
+// placed at the end of a predecessor that has a single successor.
+func SplitCriticalEdges(f *Function) {
+	if len(f.Blocks) == 0 {
+		return
+	}
+	predCount := make(map[*Block]int)
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			predCount[s]++
+		}
+	}
+	// Collect first: we mutate the block list while iterating otherwise.
+	type edge struct {
+		from *Block
+		si   int // successor index in the terminator
+	}
+	var critical []edge
+	for _, b := range f.Blocks {
+		t := b.Terminator()
+		if t == nil || len(t.Blocks) < 2 {
+			continue
+		}
+		for si, s := range t.Blocks {
+			if predCount[s] >= 2 && hasPhi(s) {
+				critical = append(critical, edge{from: b, si: si})
+			}
+		}
+	}
+	for _, e := range critical {
+		t := e.from.Terminator()
+		dst := t.Blocks[e.si]
+		mid := f.NewBlock("split")
+		mid.Append(&Instr{Op: OpBr, Ty: Void, Blocks: []*Block{dst}})
+		t.Blocks[e.si] = mid
+		// Retarget phi incoming edges from e.from to mid. A conditional
+		// branch with both targets equal would be ambiguous, but such
+		// branches never carry phis on both edges in generated code; we
+		// retarget exactly one incoming entry.
+		for _, in := range dst.Instrs {
+			if in.Op != OpPhi {
+				break
+			}
+			for i, pb := range in.Blocks {
+				if pb == e.from {
+					in.Blocks[i] = mid
+					break
+				}
+			}
+		}
+	}
+	f.Renumber()
+}
+
+func hasPhi(b *Block) bool {
+	return len(b.Instrs) > 0 && b.Instrs[0].Op == OpPhi
+}

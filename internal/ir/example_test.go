@@ -1,0 +1,27 @@
+package ir_test
+
+import (
+	"fmt"
+
+	"hlfi/internal/ir"
+)
+
+// ExampleParse shows the textual IR workflow: write IR by hand, parse,
+// and print it back.
+func ExampleParse() {
+	m := ir.MustParse(`
+define i32 @double(i32 %x) {
+entry:
+  %0 = add i32 %x, %x
+  ret i32 %0
+}
+`)
+	f := m.Func("double")
+	fmt.Print(f.String())
+	// Output:
+	// define i32 @double(i32 %x) {
+	// entry:
+	//   %0 = add i32 %x, %x
+	//   ret i32 %0
+	// }
+}

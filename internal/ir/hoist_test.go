@@ -1,0 +1,181 @@
+package ir_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hlfi/internal/interp"
+	"hlfi/internal/ir"
+)
+
+// hoistSrc puts a chain of loop-invariant arithmetic INSIDE the loop
+// body: %5 and %6 depend only on the parameter, so both must move to a
+// freshly created preheader, %5 before %6. The entry ends in a
+// conditional branch, so LICM cannot reuse it and must synthesize the
+// preheader block.
+const hoistSrc = `
+@acc = global i64
+
+define i64 @f(i64 %n) {
+entry:
+  %7 = icmp slt i64 0, %n
+  br i1 %7, label %cond, label %early
+early:
+  ret i64 0
+cond:
+  %0 = phi i64 [ 0, %entry ], [ %3, %body ]
+  %1 = phi i64 [ 0, %entry ], [ %2, %body ]
+  %4 = icmp slt i64 %0, %n
+  br i1 %4, label %body, label %done
+body:
+  %5 = mul i64 %n, 3
+  %6 = add i64 %5, 7
+  %2 = add i64 %1, %6
+  %3 = add i64 %0, 1
+  br label %cond
+done:
+  store i64 %1, i64* @acc
+  ret i64 %1
+}
+
+define i32 @main() {
+entry:
+  %0 = call i64 @f(i64 10)
+  call void @print_long(i64 %0)
+  ret i32 0
+}
+`
+
+func runMain(t *testing.T, m *ir.Module) string {
+	t.Helper()
+	prep, err := interp.Prepare(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if _, err := interp.NewRunner(prep, &out).Run(); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+// TestLICMCreatesPreheader: invariants inside the loop body must land in
+// a new preheader block, in dependency order, without changing what the
+// program computes.
+func TestLICMCreatesPreheader(t *testing.T) {
+	m := ir.MustParse(hoistSrc)
+	f := m.Func("f")
+	before := runMain(t, ir.MustParse(hoistSrc))
+
+	nBlocks := len(f.Blocks)
+	ir.HoistLoopInvariants(f)
+	if err := m.Verify(); err != nil {
+		t.Fatalf("post-LICM: %v\n%s", err, f)
+	}
+	if len(f.Blocks) != nBlocks+1 {
+		t.Fatalf("expected a new preheader block: %d -> %d blocks", nBlocks, len(f.Blocks))
+	}
+
+	// Find mul and add-7: both must now live outside the loop, mul first.
+	var mulBlk, addBlk *ir.Block
+	var mulPos, addPos int
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			switch {
+			case in.Op == ir.OpMul:
+				mulBlk, mulPos = b, i
+			case in.Op == ir.OpAdd && len(in.Args) == 2 && isConst7(in.Args[1]):
+				addBlk, addPos = b, i
+			}
+		}
+	}
+	if mulBlk == nil || addBlk == nil {
+		t.Fatal("hoisted instructions not found")
+	}
+	depths := ir.LoopDepths(f)
+	if depths[mulBlk] != 0 || depths[addBlk] != 0 {
+		t.Fatalf("invariants still inside the loop: mul depth %d, add depth %d",
+			depths[mulBlk], depths[addBlk])
+	}
+	if mulBlk == addBlk && addPos < mulPos {
+		t.Fatal("dependency order violated: add emitted before its mul operand")
+	}
+
+	if after := runMain(t, m); after != before {
+		t.Fatalf("LICM changed program output: %q -> %q", before, after)
+	}
+}
+
+func isConst7(v ir.Value) bool {
+	c, ok := v.(*ir.Const)
+	return ok && c.Int() == 7
+}
+
+// TestLICMDeterministicOrder re-parses and hoists the same function many
+// times: the printed result must be identical on every trial. (Guards
+// the map-iteration-order bug in hoist collection.)
+func TestLICMDeterministicOrder(t *testing.T) {
+	var golden string
+	for trial := 0; trial < 8; trial++ {
+		m := ir.MustParse(hoistSrc)
+		ir.HoistLoopInvariants(m.Func("f"))
+		s := m.String()
+		if trial == 0 {
+			golden = s
+		} else if s != golden {
+			t.Fatalf("trial %d: LICM output differs:\n%s\n---\n%s", trial, s, golden)
+		}
+	}
+}
+
+// TestOptimizePipeline: the full Optimize pipeline must verify, be
+// idempotent on its own output, and preserve execution.
+func TestOptimizePipeline(t *testing.T) {
+	m := ir.MustParse(hoistSrc)
+	before := runMain(t, ir.MustParse(hoistSrc))
+	ir.Optimize(m)
+	if err := m.Verify(); err != nil {
+		t.Fatalf("post-Optimize: %v", err)
+	}
+	if got := runMain(t, m); got != before {
+		t.Fatalf("Optimize changed output: %q -> %q", before, got)
+	}
+	once := m.String()
+	ir.Optimize(m)
+	if m.String() != once {
+		t.Errorf("Optimize not idempotent:\n%s\n---\n%s", once, m.String())
+	}
+}
+
+// TestOptimizeFoldsConstantBranch: a branch on a constant condition must
+// collapse to the taken side and drop the dead block.
+func TestOptimizeFoldsConstantBranch(t *testing.T) {
+	m := ir.MustParse(`
+define i32 @main() {
+entry:
+  %0 = icmp slt i32 2, 5
+  br i1 %0, label %yes, label %no
+yes:
+  call void @print_int(i32 1)
+  ret i32 0
+no:
+  call void @print_int(i32 9)
+  ret i32 1
+}
+`)
+	ir.Optimize(m)
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Func("main").String()
+	if strings.Contains(s, "icmp") || strings.Contains(s, "br i1") {
+		t.Errorf("constant branch not folded:\n%s", s)
+	}
+	if strings.Contains(s, "i32 9") {
+		t.Errorf("dead branch survived:\n%s", s)
+	}
+	if got := runMain(t, m); got != "1" {
+		t.Fatalf("folded program output %q", got)
+	}
+}

@@ -1,0 +1,195 @@
+package ir
+
+// InlineTinyFunctions inlines calls to small leaf functions (no calls of
+// their own, at most a handful of instructions), mirroring what any
+// production compiler does at -O1 and above. Without it, helpers like
+// max(a,b) impose call barriers that force every live value into memory
+// at the assembly level — distorting the very instruction mixes the
+// study measures.
+func InlineTinyFunctions(m *Module) {
+	const (
+		maxInstrs = 14
+		maxBlocks = 4
+	)
+	eligible := make(map[*Function]bool)
+	for _, f := range m.Funcs {
+		if len(f.Blocks) == 0 || len(f.Blocks) > maxBlocks || f.Name == "main" {
+			continue
+		}
+		n := 0
+		leaf := true
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				n++
+				if in.Op == OpCall {
+					leaf = false
+				}
+			}
+		}
+		if leaf && n <= maxInstrs {
+			eligible[f] = true
+		}
+	}
+	if len(eligible) == 0 {
+		return
+	}
+	for _, f := range m.Funcs {
+		if len(f.Blocks) == 0 || eligible[f] {
+			continue
+		}
+		inlineInto(f, eligible)
+	}
+}
+
+// inlineInto expands every eligible call site in f.
+func inlineInto(f *Function, eligible map[*Function]bool) {
+	for {
+		site := findCallSite(f, eligible)
+		if site == nil {
+			return
+		}
+		expandCall(f, site.block, site.index)
+	}
+}
+
+type callSite struct {
+	block *Block
+	index int
+}
+
+func findCallSite(f *Function, eligible map[*Function]bool) *callSite {
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			if in.Op == OpCall && in.Callee != nil && eligible[in.Callee] {
+				return &callSite{block: b, index: i}
+			}
+		}
+	}
+	return nil
+}
+
+// expandCall splices a clone of the callee's body in place of the call.
+func expandCall(f *Function, b *Block, idx int) {
+	call := b.Instrs[idx]
+	callee := call.Callee
+
+	// Continuation block receives everything after the call.
+	cont := f.NewBlock(b.Name + ".cont")
+	cont.Instrs = append(cont.Instrs, b.Instrs[idx+1:]...)
+	for _, in := range cont.Instrs {
+		in.Parent = cont
+	}
+	b.Instrs = b.Instrs[:idx]
+
+	// Successor phis that named b as a predecessor now arrive from cont
+	// (the terminator moved there).
+	for _, sb := range f.Blocks {
+		for _, in := range sb.Instrs {
+			if in.Op != OpPhi {
+				continue
+			}
+			for k, pb := range in.Blocks {
+				if pb == b {
+					in.Blocks[k] = cont
+				}
+			}
+		}
+	}
+
+	// Clone the callee body.
+	valueMap := make(map[Value]Value)
+	for i, p := range callee.Params {
+		valueMap[p] = call.Args[i]
+	}
+	blockMap := make(map[*Block]*Block, len(callee.Blocks))
+	for _, cb := range callee.Blocks {
+		nb := f.NewBlock(callee.Name + ".in." + cb.Name)
+		blockMap[cb] = nb
+	}
+	remapVal := func(v Value) Value {
+		if nv, ok := valueMap[v]; ok {
+			return nv
+		}
+		return v
+	}
+	type retEdge struct {
+		block *Block
+		val   Value
+	}
+	var rets []retEdge
+	// Clone in two passes: phis on loop back-edges reference values
+	// defined later in the callee, so every clone must exist in valueMap
+	// before any operand is remapped.
+	type clonePair struct{ orig, clone *Instr }
+	var pairs []clonePair
+	for _, cb := range callee.Blocks {
+		nb := blockMap[cb]
+		for _, in := range cb.Instrs {
+			if in.Op == OpRet {
+				var rv Value
+				if len(in.Args) == 1 {
+					rv = in.Args[0] // remapped below, after all clones exist
+				}
+				rets = append(rets, retEdge{block: nb, val: rv})
+				nb.Append(&Instr{Op: OpBr, Ty: Void, Blocks: []*Block{cont}})
+				continue
+			}
+			clone := &Instr{
+				Op: in.Op, Ty: in.Ty, Pred: in.Pred,
+				Callee: in.Callee, Builtin: in.Builtin, AllocTy: in.AllocTy,
+				Parent: nb, Line: in.Line,
+			}
+			valueMap[in] = clone
+			nb.Append(clone)
+			pairs = append(pairs, clonePair{orig: in, clone: clone})
+		}
+	}
+	for _, p := range pairs {
+		p.clone.Args = make([]Value, len(p.orig.Args))
+		for k, a := range p.orig.Args {
+			p.clone.Args[k] = remapVal(a)
+		}
+		p.clone.Blocks = make([]*Block, len(p.orig.Blocks))
+		for k, tb := range p.orig.Blocks {
+			p.clone.Blocks[k] = blockMap[tb]
+		}
+	}
+	for i := range rets {
+		rets[i].val = remapVal(rets[i].val)
+	}
+
+	// Jump into the inlined entry.
+	b.Append(&Instr{Op: OpBr, Ty: Void, Blocks: []*Block{blockMap[callee.Entry()]}})
+
+	// Wire the result: a single return substitutes directly; multiple
+	// returns merge through a phi at the continuation head.
+	if call.HasResult() {
+		var result Value
+		if len(rets) == 1 {
+			result = rets[0].val
+		} else {
+			phi := &Instr{Op: OpPhi, Ty: call.Ty, Parent: cont}
+			for _, re := range rets {
+				phi.Args = append(phi.Args, re.val)
+				phi.Blocks = append(phi.Blocks, re.block)
+			}
+			cont.Instrs = append([]*Instr{phi}, cont.Instrs...)
+			result = phi
+		}
+		replaceUses(f, call, result)
+	}
+	f.Renumber()
+}
+
+// replaceUses rewrites every read of old to new.
+func replaceUses(f *Function, old *Instr, newVal Value) {
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for k, a := range in.Args {
+				if a == Value(old) {
+					in.Args[k] = newVal
+				}
+			}
+		}
+	}
+}

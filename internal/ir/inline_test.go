@@ -1,0 +1,125 @@
+package ir
+
+import "testing"
+
+// buildMaxProgram creates:
+//
+//	max(a,b) { if a > b return a; return b; }   (tiny leaf, inlinable)
+//	big(n)   { 20+ instructions }               (too big)
+//	caller() { return max(3, 4) + big(2); }
+func buildMaxProgram(t *testing.T) *Module {
+	t.Helper()
+	m := NewModule("inl")
+
+	maxFn := m.NewFunc("max", FuncType(I32, I32, I32))
+	entry := maxFn.NewBlock("entry")
+	aBlk := maxFn.NewBlock("a")
+	bBlk := maxFn.NewBlock("b")
+	bu := NewBuilder(entry)
+	c := bu.ICmp(PredGT, maxFn.Params[0], maxFn.Params[1])
+	bu.CondBr(c, aBlk, bBlk)
+	bu.SetBlock(aBlk)
+	bu.Ret(maxFn.Params[0])
+	bu.SetBlock(bBlk)
+	bu.Ret(maxFn.Params[1])
+
+	big := m.NewFunc("big", FuncType(I32, I32))
+	bb := big.NewBlock("entry")
+	bu = NewBuilder(bb)
+	v := Value(big.Params[0])
+	for i := 0; i < 20; i++ {
+		v = bu.Binary(OpAdd, v, ConstInt(I32, int64(i)))
+	}
+	bu.Ret(v)
+
+	caller := m.NewFunc("caller", FuncType(I32))
+	cb := caller.NewBlock("entry")
+	bu = NewBuilder(cb)
+	mx := bu.Call(maxFn, ConstInt(I32, 3), ConstInt(I32, 4))
+	bg := bu.Call(big, ConstInt(I32, 2))
+	sum := bu.Binary(OpAdd, mx, bg)
+	bu.Ret(sum)
+
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func callCount(f *Function) int {
+	n := 0
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpCall {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestInlineTinyFunctions(t *testing.T) {
+	m := buildMaxProgram(t)
+	InlineTinyFunctions(m)
+	if err := m.Verify(); err != nil {
+		t.Fatalf("post-inline IR invalid: %v\n%s", err, m)
+	}
+	caller := m.Func("caller")
+	if n := callCount(caller); n != 1 {
+		t.Fatalf("caller should keep only the call to big, has %d calls:\n%s", n, caller)
+	}
+	// The multi-return callee must have produced a merge phi.
+	phis := countOps(caller, OpPhi)
+	if phis != 1 {
+		t.Fatalf("inlined two-return callee needs one phi, got %d:\n%s", phis, caller)
+	}
+}
+
+func TestInlineSemanticsPreserved(t *testing.T) {
+	m := buildMaxProgram(t)
+	InlineTinyFunctions(m)
+	// Constant folding over the inlined body must reduce max(3,4) to 4.
+	caller := m.Func("caller")
+	RemoveUnreachable(caller)
+	FoldConstants(caller)
+	EliminateDeadCode(caller)
+	// After folding, the phi collapses on the constant branch; look for
+	// the literal 4 flowing into the add.
+	found := false
+	for _, b := range caller.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpAdd {
+				for _, a := range in.Args {
+					if cst, ok := a.(*Const); ok && cst.Int() == 4 {
+						found = true
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("inlined max(3,4) did not fold to 4:\n%s", caller)
+	}
+}
+
+func TestInlineSkipsRecursionShapedAndMain(t *testing.T) {
+	m := NewModule("norec")
+	// A function that calls something is never inlined (leaf-only rule),
+	// which also rules out recursion.
+	f := m.NewFunc("f", FuncType(I32, I32))
+	fb := f.NewBlock("entry")
+	bu := NewBuilder(fb)
+	r := bu.Call(f, f.Params[0]) // self call
+	bu.Ret(r)
+
+	mainFn := m.NewFunc("main", FuncType(I32))
+	mb := mainFn.NewBlock("entry")
+	bu = NewBuilder(mb)
+	v := bu.Call(f, ConstInt(I32, 1))
+	bu.Ret(v)
+
+	InlineTinyFunctions(m)
+	if callCount(mainFn) != 1 || callCount(f) != 1 {
+		t.Fatal("recursive function must not be inlined")
+	}
+}

@@ -1,0 +1,192 @@
+package ir
+
+import "strconv"
+
+// Op is an IR opcode.
+type Op int
+
+// Opcodes. The grouping mirrors the paper's Table III categories.
+const (
+	// Integer arithmetic / logic.
+	OpAdd Op = iota + 1
+	OpSub
+	OpMul
+	OpSDiv
+	OpSRem
+	OpUDiv
+	OpURem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpLShr
+	OpAShr
+	// Floating-point arithmetic.
+	OpFAdd
+	OpFSub
+	OpFMul
+	OpFDiv
+	// Comparisons.
+	OpICmp
+	OpFCmp
+	// Casts. The strict typing of the IR makes these plentiful compared
+	// to assembly (paper Table I, row 5).
+	OpTrunc
+	OpZExt
+	OpSExt
+	OpFPToSI
+	OpSIToFP
+	OpPtrToInt
+	OpIntToPtr
+	OpBitcast
+	// Memory.
+	OpAlloca
+	OpLoad
+	OpStore
+	OpGEP
+	// Control flow.
+	OpPhi
+	OpBr
+	OpCondBr
+	OpCall
+	OpRet
+	opMax
+)
+
+var opNames = map[Op]string{
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpSDiv: "sdiv", OpSRem: "srem",
+	OpUDiv: "udiv", OpURem: "urem",
+	OpAnd: "and", OpOr: "or", OpXor: "xor", OpShl: "shl", OpLShr: "lshr", OpAShr: "ashr",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv",
+	OpICmp: "icmp", OpFCmp: "fcmp",
+	OpTrunc: "trunc", OpZExt: "zext", OpSExt: "sext", OpFPToSI: "fptosi",
+	OpSIToFP: "sitofp", OpPtrToInt: "ptrtoint", OpIntToPtr: "inttoptr", OpBitcast: "bitcast",
+	OpAlloca: "alloca", OpLoad: "load", OpStore: "store", OpGEP: "getelementptr",
+	OpPhi: "phi", OpBr: "br", OpCondBr: "br", OpCall: "call", OpRet: "ret",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return "op" + strconv.Itoa(int(o))
+}
+
+// IsIntArith reports whether o is an integer arithmetic/logic op.
+func (o Op) IsIntArith() bool { return o >= OpAdd && o <= OpAShr }
+
+// IsFloatArith reports whether o is a floating-point arithmetic op.
+func (o Op) IsFloatArith() bool { return o >= OpFAdd && o <= OpFDiv }
+
+// IsArith reports whether o belongs to the paper's "arithmetic" category
+// (arithmetic and logic operations — explicitly not GEP).
+func (o Op) IsArith() bool { return o.IsIntArith() || o.IsFloatArith() }
+
+// IsCast reports whether o is any cast.
+func (o Op) IsCast() bool { return o >= OpTrunc && o <= OpBitcast }
+
+// IsConvCast reports whether o is an integer/floating-point *conversion*
+// cast. Per the paper (Table I row 5), only these are injection candidates
+// in the "cast" category; pointer-ish casts (bitcast, ptrtoint, inttoptr)
+// have no assembly counterpart and are excluded.
+func (o Op) IsConvCast() bool { return o >= OpTrunc && o <= OpSIToFP }
+
+// IsCmp reports whether o is a comparison.
+func (o Op) IsCmp() bool { return o == OpICmp || o == OpFCmp }
+
+// IsTerminator reports whether o ends a basic block.
+func (o Op) IsTerminator() bool { return o == OpBr || o == OpCondBr || o == OpRet }
+
+// Pred is a comparison predicate shared by icmp and fcmp (fcmp treats it
+// as the ordered variant).
+type Pred int
+
+// Comparison predicates.
+const (
+	PredEQ Pred = iota + 1
+	PredNE
+	PredLT
+	PredLE
+	PredGT
+	PredGE
+	PredULT
+	PredULE
+	PredUGT
+	PredUGE
+)
+
+func (p Pred) String() string {
+	switch p {
+	case PredEQ:
+		return "eq"
+	case PredNE:
+		return "ne"
+	case PredLT:
+		return "slt"
+	case PredLE:
+		return "sle"
+	case PredGT:
+		return "sgt"
+	case PredGE:
+		return "sge"
+	case PredULT:
+		return "ult"
+	case PredULE:
+		return "ule"
+	case PredUGT:
+		return "ugt"
+	case PredUGE:
+		return "uge"
+	default:
+		return "?"
+	}
+}
+
+// Instr is one IR instruction. Instructions producing a value implement
+// Value themselves (SSA).
+//
+// Operand conventions:
+//
+//	binary ops   Args = [lhs, rhs]
+//	icmp/fcmp    Args = [lhs, rhs], Pred set
+//	casts        Args = [src]
+//	load         Args = [ptr]
+//	store        Args = [val, ptr]
+//	gep          Args = [base, idx0, idx1, ...]
+//	phi          Args[i] is the incoming value from Blocks[i]
+//	br           Blocks = [target]
+//	condbr       Args = [cond], Blocks = [then, else]
+//	call         Args = args, Callee or Builtin set
+//	ret          Args = [val] or empty
+type Instr struct {
+	Op     Op
+	Ty     *Type // result type; Void for store/br/ret
+	Args   []Value
+	Blocks []*Block
+	Pred   Pred
+
+	Callee  *Function // direct call target
+	Builtin string    // runtime builtin name (exclusive with Callee)
+
+	AllocTy *Type // alloca: allocated type
+
+	Parent *Block
+	ID     int // dense per-function numbering for printing and selection
+	Seq    int // dense module-wide numbering, assigned by Module.AssignSeq
+	// Line is the 1-based source line this instruction was generated
+	// from (0 when unknown). It is what lets high-level injection map
+	// outcomes back to source code — the property the paper names as the
+	// main advantage of IR-level injectors.
+	Line int
+}
+
+var _ Value = (*Instr)(nil)
+
+// Type implements Value.
+func (in *Instr) Type() *Type { return in.Ty }
+
+// Ident implements Value.
+func (in *Instr) Ident() string { return "%" + strconv.Itoa(in.ID) }
+
+// HasResult reports whether the instruction produces an SSA value.
+func (in *Instr) HasResult() bool { return in.Ty != nil && in.Ty.Kind != KindVoid }

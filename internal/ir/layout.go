@@ -1,0 +1,51 @@
+package ir
+
+import "hlfi/internal/mem"
+
+// Layout assigns addresses to a module's globals and builds the initial
+// data image that both execution levels load at mem.GlobalsBase. Sharing
+// one layout guarantees the IR interpreter and the machine simulator see
+// bit-identical global state.
+type Layout struct {
+	Base  uint64
+	Addr  map[*Global]uint64
+	Image []byte
+}
+
+// ComputeLayout lays out the module's globals in declaration order.
+func ComputeLayout(m *Module) *Layout {
+	l := &Layout{Base: mem.GlobalsBase, Addr: make(map[*Global]uint64, len(m.Globals))}
+	off := uint64(0)
+	for _, g := range m.Globals {
+		a := g.Elem.Align()
+		if a < 8 {
+			a = 8
+		}
+		off = alignUp(off, a)
+		l.Addr[g] = l.Base + off
+		size := g.Elem.Size()
+		end := off + size
+		if uint64(len(l.Image)) < end {
+			l.Image = append(l.Image, make([]byte, end-uint64(len(l.Image)))...)
+		}
+		copy(l.Image[off:end], g.Init)
+		off = end
+	}
+	return l
+}
+
+// Install maps the globals segment into memory and copies the image.
+func (l *Layout) Install(m *mem.Memory) {
+	if len(l.Image) == 0 {
+		// Keep at least one mapped globals page so the segment exists.
+		m.Map(l.Base, mem.PageSize)
+		return
+	}
+	m.Map(l.Base, uint64(len(l.Image)))
+	if err := m.WriteBytes(l.Base, l.Image); err != nil {
+		// Cannot happen: the range was just mapped.
+		panic("ir: install globals: " + err.Error())
+	}
+}
+
+func alignUp(n, a uint64) uint64 { return (n + a - 1) / a * a }

@@ -1,0 +1,259 @@
+package ir
+
+// HoistLoopInvariants performs loop-invariant code motion over natural
+// loops: pure, non-trapping computations (arithmetic except division,
+// comparisons, casts, and getelementptr address computation) whose
+// operands are defined outside the loop move to the loop preheader.
+// Row-base addresses of nested-array accesses are the classic
+// beneficiary; without LICM the assembly level recomputes them every
+// iteration, inflating its arithmetic counts beyond anything a production
+// compiler emits.
+func HoistLoopInvariants(f *Function) {
+	if len(f.Blocks) < 2 {
+		return
+	}
+	// Iterate to a fixpoint over rounds: hoisting into an inner preheader
+	// may expose outer-loop invariance, and each round handles one loop
+	// before re-deriving the CFG analyses.
+	for round := 0; round < 64; round++ {
+		if !hoistOnce(f) {
+			return
+		}
+	}
+}
+
+type natLoop struct {
+	header *Block
+	body   map[*Block]bool
+	depth  int
+}
+
+func hoistOnce(f *Function) bool {
+	dom := BuildDomTree(f)
+	loops := findLoops(f, dom)
+	if len(loops) == 0 {
+		return false
+	}
+	// Innermost first.
+	for i := 0; i < len(loops); i++ {
+		for j := i + 1; j < len(loops); j++ {
+			if loops[j].depth > loops[i].depth {
+				loops[i], loops[j] = loops[j], loops[i]
+			}
+		}
+	}
+	changed := false
+	for _, lp := range loops {
+		if hoistLoop(f, dom, lp) {
+			changed = true
+			// CFG and dominators changed (a preheader may have been
+			// inserted); restart with fresh analyses.
+			return true
+		}
+	}
+	return changed
+}
+
+// findLoops collects natural loops by back edge, merging loops that share
+// a header. Depth is the nesting level of the header.
+func findLoops(f *Function, dom *DomTree) []*natLoop {
+	depths := LoopDepths(f)
+	byHeader := make(map[*Block]*natLoop)
+	var out []*natLoop
+	for _, u := range f.Blocks {
+		if !dom.Reachable(u) {
+			continue
+		}
+		for _, h := range u.Succs() {
+			if !dom.Dominates(h, u) {
+				continue
+			}
+			lp := byHeader[h]
+			if lp == nil {
+				lp = &natLoop{header: h, body: map[*Block]bool{h: true}, depth: depths[h]}
+				byHeader[h] = lp
+				out = append(out, lp)
+			}
+			// Body: blocks reaching u without passing through h.
+			stack := []*Block{u}
+			for len(stack) > 0 {
+				b := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if lp.body[b] {
+					continue
+				}
+				lp.body[b] = true
+				for _, p := range dom.Preds(b) {
+					stack = append(stack, p)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// hoistLoop hoists invariants of one loop; reports whether it changed
+// anything.
+func hoistLoop(f *Function, dom *DomTree, lp *natLoop) bool {
+	// Find the unique entry predecessor.
+	var outside []*Block
+	for _, p := range dom.Preds(lp.header) {
+		if !lp.body[p] {
+			outside = append(outside, p)
+		}
+	}
+	if len(outside) != 1 {
+		return false // irreducible or multi-entry shape: skip
+	}
+
+	// Collect invariant instructions, in order, to a fixpoint.
+	invariant := make(map[*Instr]bool)
+	var hoisted []*Instr
+	isInvariantOperand := func(v Value) bool {
+		in, ok := v.(*Instr)
+		if !ok {
+			return true // consts, params, globals
+		}
+		if invariant[in] {
+			return true
+		}
+		return !lp.body[in.Parent]
+	}
+	// Iterate blocks in function order (not map order) so the hoisted
+	// set — and therefore the emitted preheader — is deterministic.
+	for {
+		grew := false
+		for _, b := range f.Blocks {
+			if !lp.body[b] {
+				continue
+			}
+			for _, in := range b.Instrs {
+				if invariant[in] || !hoistable(in) {
+					continue
+				}
+				ok := true
+				for _, a := range in.Args {
+					if !isInvariantOperand(a) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					invariant[in] = true
+					hoisted = append(hoisted, in)
+					grew = true
+				}
+			}
+		}
+		if !grew {
+			break
+		}
+	}
+	if len(hoisted) == 0 {
+		return false
+	}
+
+	pre := ensurePreheader(f, lp.header, outside[0])
+
+	// Emit in dependency order, derived from the deterministic block
+	// walk.
+	ordered := orderHoisted(f, lp, invariant)
+	for _, b := range f.Blocks {
+		if !lp.body[b] {
+			continue
+		}
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			if invariant[in] {
+				continue
+			}
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+	// Insert before the preheader's terminator.
+	term := pre.Instrs[len(pre.Instrs)-1]
+	pre.Instrs = pre.Instrs[:len(pre.Instrs)-1]
+	for _, in := range ordered {
+		in.Parent = pre
+		pre.Instrs = append(pre.Instrs, in)
+	}
+	pre.Instrs = append(pre.Instrs, term)
+	f.Renumber()
+	return true
+}
+
+// orderHoisted returns the invariant instructions in dependency order
+// (operands first), walking blocks in function order for determinism.
+func orderHoisted(f *Function, lp *natLoop, invariant map[*Instr]bool) []*Instr {
+	var ordered []*Instr
+	emitted := make(map[*Instr]bool)
+	var emit func(in *Instr)
+	emit = func(in *Instr) {
+		if emitted[in] {
+			return
+		}
+		emitted[in] = true
+		for _, a := range in.Args {
+			if ai, ok := a.(*Instr); ok && invariant[ai] {
+				emit(ai)
+			}
+		}
+		ordered = append(ordered, in)
+	}
+	for _, b := range f.Blocks {
+		if !lp.body[b] {
+			continue
+		}
+		for _, in := range b.Instrs {
+			if invariant[in] {
+				emit(in)
+			}
+		}
+	}
+	return ordered
+}
+
+// hoistable reports whether an instruction is pure and non-trapping.
+func hoistable(in *Instr) bool {
+	switch in.Op {
+	case OpSDiv, OpSRem, OpUDiv, OpURem:
+		return false // may trap; the loop body might never execute
+	}
+	switch {
+	case in.Op.IsArith(), in.Op.IsCmp(), in.Op.IsCast():
+		return true
+	case in.Op == OpGEP:
+		return true
+	default:
+		return false
+	}
+}
+
+// ensurePreheader returns a block whose only successor is the header and
+// that is the header's only non-loop predecessor, creating one if the
+// entry edge comes from a multi-successor block.
+func ensurePreheader(f *Function, header, entry *Block) *Block {
+	if t := entry.Terminator(); t != nil && t.Op == OpBr {
+		return entry
+	}
+	pre := f.NewBlock(header.Name + ".pre")
+	pre.Append(&Instr{Op: OpBr, Ty: Void, Blocks: []*Block{header}})
+	t := entry.Terminator()
+	for i, s := range t.Blocks {
+		if s == header {
+			t.Blocks[i] = pre
+		}
+	}
+	for _, in := range header.Instrs {
+		if in.Op != OpPhi {
+			break
+		}
+		for i, pb := range in.Blocks {
+			if pb == entry {
+				in.Blocks[i] = pre
+			}
+		}
+	}
+	return pre
+}

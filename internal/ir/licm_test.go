@@ -1,0 +1,174 @@
+package ir
+
+import "testing"
+
+// buildNestedLoop creates the 2D-array pattern LICM targets:
+//
+//	for i { for j { use gep(g, 0, i) } }   — the row address is invariant
+//	in the j loop.
+func buildNestedLoop(t *testing.T) (*Module, *Function) {
+	t.Helper()
+	m := NewModule("licm")
+	g := m.AddGlobal(&Global{Name: "grid", Elem: ArrayOf(8, ArrayOf(8, I32))})
+	f := m.NewFunc("f", FuncType(I32, I32))
+	entry := f.NewBlock("entry")
+	oCond := f.NewBlock("ocond")
+	oBody := f.NewBlock("obody")
+	iCond := f.NewBlock("icond")
+	iBody := f.NewBlock("ibody")
+	iEnd := f.NewBlock("iend")
+	exit := f.NewBlock("exit")
+
+	n := f.Params[0]
+	bu := NewBuilder(entry)
+	bu.Br(oCond)
+
+	bu.SetBlock(oCond)
+	iPhi := bu.Phi(I32)
+	sPhi := bu.Phi(I32)
+	oc := bu.ICmp(PredLT, iPhi, n)
+	bu.CondBr(oc, oBody, exit)
+
+	bu.SetBlock(oBody)
+	// Row address: invariant within the inner loop.
+	iExt := bu.Cast(OpSExt, iPhi, I64)
+	row := bu.GEP(PointerTo(ArrayOf(8, I32)), g, ConstInt(I64, 0), iExt)
+	bu.Br(iCond)
+
+	bu.SetBlock(iCond)
+	jPhi := bu.Phi(I32)
+	s2Phi := bu.Phi(I32)
+	ic := bu.ICmp(PredLT, jPhi, n)
+	bu.CondBr(ic, iBody, iEnd)
+
+	bu.SetBlock(iBody)
+	jExt := bu.Cast(OpSExt, jPhi, I64)
+	cell := bu.GEP(PointerTo(I32), row, ConstInt(I64, 0), jExt)
+	v := bu.Load(cell)
+	s3 := bu.Binary(OpAdd, s2Phi, v)
+	j1 := bu.Binary(OpAdd, jPhi, ConstInt(I32, 1))
+	bu.Br(iCond)
+
+	bu.SetBlock(iEnd)
+	i1 := bu.Binary(OpAdd, iPhi, ConstInt(I32, 1))
+	bu.Br(oCond)
+
+	bu.SetBlock(exit)
+	bu.Ret(sPhi)
+
+	AddIncoming(iPhi, ConstInt(I32, 0), entry)
+	AddIncoming(iPhi, i1, iEnd)
+	AddIncoming(sPhi, ConstInt(I32, 0), entry)
+	AddIncoming(sPhi, s2Phi, iEnd)
+	AddIncoming(jPhi, ConstInt(I32, 0), oBody)
+	AddIncoming(jPhi, j1, iBody)
+	AddIncoming(s2Phi, sPhi, oBody)
+	AddIncoming(s2Phi, s3, iBody)
+
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	return m, f
+}
+
+func blockOf(f *Function, in *Instr) *Block { return in.Parent }
+
+func TestLICMHoistsRowAddress(t *testing.T) {
+	m, f := buildNestedLoop(t)
+	depthsBefore := LoopDepths(f)
+	// The row GEP starts at depth 1 (outer body).
+	var rowGEP *Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpGEP && in.Ty.Elem.Kind == KindArray {
+				rowGEP = in
+			}
+		}
+	}
+	if rowGEP == nil {
+		t.Fatal("no row GEP")
+	}
+	if depthsBefore[blockOf(f, rowGEP)] != 1 {
+		t.Fatalf("row GEP starts at depth %d", depthsBefore[blockOf(f, rowGEP)])
+	}
+
+	HoistLoopInvariants(f)
+	if err := m.Verify(); err != nil {
+		t.Fatalf("post-LICM invalid: %v\n%s", err, f)
+	}
+	// Nothing loop-varying may have moved: the inner cell GEP (depends on
+	// jPhi) must remain at depth 2.
+	depths := LoopDepths(f)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpGEP && in.Ty.Elem == I32 {
+				if depths[b] != 2 {
+					t.Errorf("cell GEP moved to depth %d", depths[b])
+				}
+			}
+			if in.Op == OpLoad && depths[b] != 2 {
+				t.Error("load must never be hoisted")
+			}
+		}
+	}
+	// Loads must not move; the row GEP itself is j-loop invariant but
+	// i-loop varying, so it belongs at depth exactly 1 after LICM.
+	if d := depths[blockOf(f, rowGEP)]; d != 1 {
+		t.Errorf("row GEP at depth %d after LICM, want 1", d)
+	}
+}
+
+func TestLICMPreservesExecution(t *testing.T) {
+	// Semantic check is covered exhaustively by the differential tests in
+	// codegen; here we just confirm the pass leaves the CFG verifiable
+	// and idempotent.
+	m, f := buildNestedLoop(t)
+	HoistLoopInvariants(f)
+	before := f.String()
+	HoistLoopInvariants(f)
+	if f.String() != before {
+		t.Error("LICM is not idempotent")
+	}
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLICMSkipsDivision(t *testing.T) {
+	m := NewModule("div")
+	g := m.AddGlobal(&Global{Name: "d", Elem: I32})
+	f := m.NewFunc("f", FuncType(I32, I32))
+	entry := f.NewBlock("entry")
+	cond := f.NewBlock("cond")
+	body := f.NewBlock("body")
+	exit := f.NewBlock("exit")
+	bu := NewBuilder(entry)
+	dv := bu.Load(g)
+	bu.Br(cond)
+	bu.SetBlock(cond)
+	iPhi := bu.Phi(I32)
+	c := bu.ICmp(PredLT, iPhi, f.Params[0])
+	bu.CondBr(c, body, exit)
+	bu.SetBlock(body)
+	// 100 / dv would trap if dv == 0 and the loop never runs: not
+	// hoistable.
+	q := bu.Binary(OpSDiv, ConstInt(I32, 100), dv)
+	i1 := bu.Binary(OpAdd, iPhi, q)
+	bu.Br(cond)
+	bu.SetBlock(exit)
+	bu.Ret(iPhi)
+	AddIncoming(iPhi, ConstInt(I32, 0), entry)
+	AddIncoming(iPhi, i1, body)
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	HoistLoopInvariants(f)
+	depths := LoopDepths(f)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpSDiv && depths[b] != 1 {
+				t.Fatal("division was hoisted out of the loop")
+			}
+		}
+	}
+}

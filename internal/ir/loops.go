@@ -1,0 +1,46 @@
+package ir
+
+// LoopDepths computes the natural-loop nesting depth of every reachable
+// block, via dominator-tree back edges. The backend uses it to rank
+// values for register allocation.
+func LoopDepths(f *Function) map[*Block]int {
+	depth := make(map[*Block]int, len(f.Blocks))
+	if len(f.Blocks) == 0 {
+		return depth
+	}
+	dom := BuildDomTree(f)
+	for _, b := range f.Blocks {
+		depth[b] = 0
+	}
+	// A back edge u->h (h dominates u) defines a natural loop: h plus all
+	// blocks that reach u without passing through h.
+	for _, u := range f.Blocks {
+		if !dom.Reachable(u) {
+			continue
+		}
+		for _, h := range u.Succs() {
+			if !dom.Dominates(h, u) {
+				continue
+			}
+			body := map[*Block]bool{h: true}
+			stack := []*Block{u}
+			for len(stack) > 0 {
+				b := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if body[b] {
+					continue
+				}
+				body[b] = true
+				for _, p := range dom.Preds(b) {
+					if !body[p] {
+						stack = append(stack, p)
+					}
+				}
+			}
+			for b := range body {
+				depth[b]++
+			}
+		}
+	}
+	return depth
+}

@@ -1,0 +1,279 @@
+package ir
+
+// PromoteAllocas rewrites scalar stack slots (allocas whose address never
+// escapes) into SSA values, inserting phi nodes at dominance frontiers —
+// the classic mem2reg pass. Running it matters for fidelity to the paper,
+// which compiles benchmarks "with the same standard optimizations": it is
+// what produces phi nodes (Table I row 2) and removes the -O0 load/store
+// chatter that would otherwise dominate the instruction mix.
+func PromoteAllocas(f *Function) {
+	if len(f.Blocks) == 0 {
+		return
+	}
+	RemoveUnreachable(f)
+	dom := BuildDomTree(f)
+
+	allocas := promotableAllocas(f)
+	if len(allocas) == 0 {
+		return
+	}
+	idx := make(map[*Instr]int, len(allocas))
+	for i, a := range allocas {
+		idx[a] = i
+	}
+
+	// Phi placement at iterated dominance frontiers of the store blocks.
+	phiFor := make(map[*Instr]int) // inserted phi -> alloca index
+	for i, a := range allocas {
+		work := storeBlocks(f, a)
+		placed := make(map[*Block]bool)
+		inWork := make(map[*Block]bool)
+		for _, b := range work {
+			inWork[b] = true
+		}
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, df := range dom.Frontier(b) {
+				if placed[df] {
+					continue
+				}
+				placed[df] = true
+				phi := &Instr{Op: OpPhi, Ty: a.AllocTy, Parent: df}
+				df.Instrs = append([]*Instr{phi}, df.Instrs...)
+				phiFor[phi] = i
+				if !inWork[df] {
+					inWork[df] = true
+					work = append(work, df)
+				}
+			}
+		}
+	}
+
+	// Renaming over the dominator tree.
+	stacks := make([][]Value, len(allocas))
+	replace := make(map[Value]Value)
+	dead := make(map[*Instr]bool)
+	var resolve func(v Value) Value
+	resolve = func(v Value) Value {
+		for {
+			r, ok := replace[v]
+			if !ok {
+				return v
+			}
+			v = r
+		}
+	}
+	current := func(i int) Value {
+		st := stacks[i]
+		if len(st) == 0 {
+			return zeroValue(allocas[i].AllocTy)
+		}
+		return st[len(st)-1]
+	}
+
+	var rename func(b *Block)
+	rename = func(b *Block) {
+		var pushed []int
+		for _, in := range b.Instrs {
+			if ai, ok := phiFor[in]; ok {
+				stacks[ai] = append(stacks[ai], in)
+				pushed = append(pushed, ai)
+				continue
+			}
+			for k, a := range in.Args {
+				in.Args[k] = resolve(a)
+			}
+			switch in.Op {
+			case OpLoad:
+				if src, ok := in.Args[0].(*Instr); ok {
+					if ai, isAlloca := idx[src]; isAlloca {
+						replace[in] = current(ai)
+						dead[in] = true
+					}
+				}
+			case OpStore:
+				if dst, ok := in.Args[1].(*Instr); ok {
+					if ai, isAlloca := idx[dst]; isAlloca {
+						stacks[ai] = append(stacks[ai], in.Args[0])
+						pushed = append(pushed, ai)
+						dead[in] = true
+					}
+				}
+			}
+		}
+		for _, s := range b.Succs() {
+			for _, in := range s.Instrs {
+				if in.Op != OpPhi {
+					break
+				}
+				if ai, ok := phiFor[in]; ok {
+					in.Args = append(in.Args, current(ai))
+					in.Blocks = append(in.Blocks, b)
+				}
+			}
+		}
+		for _, c := range dom.Children(b) {
+			rename(c)
+		}
+		for _, ai := range pushed {
+			stacks[ai] = stacks[ai][:len(stacks[ai])-1]
+		}
+	}
+	rename(f.Entry())
+
+	for _, a := range allocas {
+		dead[a] = true
+	}
+	removeDead(f, dead, resolve)
+	f.Renumber()
+}
+
+// promotableAllocas returns allocas of scalar type whose only uses are
+// direct loads and stores-through (the address never escapes).
+func promotableAllocas(f *Function) []*Instr {
+	uses := ComputeUses(f)
+	var out []*Instr
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != OpAlloca {
+				continue
+			}
+			k := in.AllocTy.Kind
+			if k != KindInt && k != KindFloat && k != KindPtr {
+				continue
+			}
+			ok := true
+			for _, u := range uses.Uses(in) {
+				switch {
+				case u.Op == OpLoad:
+				case u.Op == OpStore && u.Args[1] == in && u.Args[0] != in:
+				default:
+					ok = false
+				}
+				if !ok {
+					break
+				}
+			}
+			if ok {
+				out = append(out, in)
+			}
+		}
+	}
+	return out
+}
+
+func storeBlocks(f *Function, a *Instr) []*Block {
+	seen := make(map[*Block]bool)
+	var out []*Block
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpStore && in.Args[1] == a && !seen[b] {
+				seen[b] = true
+				out = append(out, b)
+			}
+		}
+	}
+	return out
+}
+
+func zeroValue(ty *Type) Value {
+	switch ty.Kind {
+	case KindFloat:
+		return ConstFloat(0)
+	case KindPtr:
+		return ConstNull(ty)
+	default:
+		return ConstInt(ty, 0)
+	}
+}
+
+// removeDead drops instructions marked dead and rewrites remaining
+// operands through resolve.
+func removeDead(f *Function, dead map[*Instr]bool, resolve func(Value) Value) {
+	for _, b := range f.Blocks {
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			if dead[in] {
+				continue
+			}
+			for k, a := range in.Args {
+				in.Args[k] = resolve(a)
+			}
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+}
+
+// RemoveUnreachable deletes blocks not reachable from the entry and prunes
+// phi edges from deleted predecessors. Single-incoming phis collapse to
+// their value.
+func RemoveUnreachable(f *Function) {
+	if len(f.Blocks) == 0 {
+		return
+	}
+	reach := make(map[*Block]bool)
+	var dfs func(*Block)
+	dfs = func(b *Block) {
+		reach[b] = true
+		for _, s := range b.Succs() {
+			if !reach[s] {
+				dfs(s)
+			}
+		}
+	}
+	dfs(f.Entry())
+
+	kept := f.Blocks[:0]
+	for _, b := range f.Blocks {
+		if reach[b] {
+			kept = append(kept, b)
+		}
+	}
+	f.Blocks = kept
+
+	replace := make(map[Value]Value)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op != OpPhi {
+				continue
+			}
+			args := in.Args[:0]
+			blocks := in.Blocks[:0]
+			for i, pb := range in.Blocks {
+				if reach[pb] {
+					args = append(args, in.Args[i])
+					blocks = append(blocks, pb)
+				}
+			}
+			in.Args, in.Blocks = args, blocks
+			if len(in.Args) == 1 {
+				replace[in] = in.Args[0]
+			}
+		}
+	}
+	if len(replace) > 0 {
+		resolve := func(v Value) Value {
+			for {
+				r, ok := replace[v]
+				if !ok {
+					return v
+				}
+				v = r
+			}
+		}
+		dead := make(map[*Instr]bool)
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if in.Op == OpPhi {
+					if _, ok := replace[in]; ok {
+						dead[in] = true
+					}
+				}
+			}
+		}
+		removeDead(f, dead, resolve)
+	}
+	f.Renumber()
+}

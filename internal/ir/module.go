@@ -1,0 +1,376 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Module is a translation unit: globals plus functions.
+type Module struct {
+	Name    string
+	Globals []*Global
+	Funcs   []*Function
+
+	funcByName   map[string]*Function
+	globalByName map[string]*Global
+}
+
+// NewModule returns an empty module.
+func NewModule(name string) *Module {
+	return &Module{
+		Name:         name,
+		funcByName:   make(map[string]*Function),
+		globalByName: make(map[string]*Global),
+	}
+}
+
+// AddGlobal registers a global variable.
+func (m *Module) AddGlobal(g *Global) *Global {
+	m.Globals = append(m.Globals, g)
+	m.globalByName[g.Name] = g
+	return g
+}
+
+// Global looks up a global by name.
+func (m *Module) Global(name string) *Global { return m.globalByName[name] }
+
+// NewFunc creates and registers a function with the given signature.
+func (m *Module) NewFunc(name string, sig *Type) *Function {
+	f := &Function{Name: name, Sig: sig, Module: m}
+	for i, pt := range sig.Params {
+		f.Params = append(f.Params, &Param{Name: "arg" + strconv.Itoa(i), Ty: pt, Index: i})
+	}
+	m.Funcs = append(m.Funcs, f)
+	m.funcByName[name] = f
+	return f
+}
+
+// Func looks up a function by name.
+func (m *Module) Func(name string) *Function { return m.funcByName[name] }
+
+// AssignSeq numbers every instruction in the module densely and returns
+// the total. The sequence index keys profiling counters and injection
+// candidate sets. Call after all passes have run.
+func (m *Module) AssignSeq() int {
+	seq := 0
+	for _, f := range m.Funcs {
+		f.Renumber()
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				in.Seq = seq
+				seq++
+			}
+		}
+	}
+	return seq
+}
+
+// Function is an IR function: a CFG of basic blocks.
+type Function struct {
+	Name   string
+	Sig    *Type
+	Params []*Param
+	Blocks []*Block
+	Module *Module
+
+	nextID int
+}
+
+// Entry returns the entry block.
+func (f *Function) Entry() *Block {
+	if len(f.Blocks) == 0 {
+		return nil
+	}
+	return f.Blocks[0]
+}
+
+// NewBlock appends a new basic block.
+func (f *Function) NewBlock(name string) *Block {
+	b := &Block{Name: name + strconv.Itoa(len(f.Blocks)), Parent: f, Index: len(f.Blocks)}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// Renumber reassigns dense instruction IDs and block indices; call after
+// structural changes (passes) and before printing or selection.
+func (f *Function) Renumber() {
+	id := 0
+	for i, b := range f.Blocks {
+		b.Index = i
+		for _, in := range b.Instrs {
+			in.Parent = b
+			if in.HasResult() {
+				in.ID = id
+				id++
+			} else {
+				in.ID = -1
+			}
+		}
+	}
+	f.nextID = id
+}
+
+// NumValues returns the number of value-producing instructions after the
+// last Renumber.
+func (f *Function) NumValues() int { return f.nextID }
+
+// Block is a basic block: a straight-line instruction list ending in a
+// terminator.
+type Block struct {
+	Name   string
+	Instrs []*Instr
+	Parent *Function
+	Index  int
+}
+
+// Append adds an instruction to the block.
+func (b *Block) Append(in *Instr) *Instr {
+	in.Parent = b
+	b.Instrs = append(b.Instrs, in)
+	return in
+}
+
+// Terminator returns the block's final instruction, or nil.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	last := b.Instrs[len(b.Instrs)-1]
+	if !last.Op.IsTerminator() {
+		return nil
+	}
+	return last
+}
+
+// Succs returns the block's CFG successors.
+func (b *Block) Succs() []*Block {
+	t := b.Terminator()
+	if t == nil {
+		return nil
+	}
+	return t.Blocks
+}
+
+// Preds computes the block's CFG predecessors (O(function size)).
+func (b *Block) Preds() []*Block {
+	var preds []*Block
+	for _, other := range b.Parent.Blocks {
+		for _, s := range other.Succs() {
+			if s == b {
+				preds = append(preds, other)
+				break
+			}
+		}
+	}
+	return preds
+}
+
+// UseInfo records, for each value in a function, the instructions that
+// read it. The def-use view is what lets the high-level injector restrict
+// itself to faults that will be activated (paper §IV).
+type UseInfo struct {
+	uses map[Value][]*Instr
+}
+
+// ComputeUses builds use information for f.
+func ComputeUses(f *Function) *UseInfo {
+	u := &UseInfo{uses: make(map[Value][]*Instr)}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				u.uses[a] = append(u.uses[a], in)
+			}
+		}
+	}
+	return u
+}
+
+// Uses returns the instructions reading v.
+func (u *UseInfo) Uses(v Value) []*Instr { return u.uses[v] }
+
+// NumUses returns len(Uses(v)).
+func (u *UseInfo) NumUses(v Value) int { return len(u.uses[v]) }
+
+// Verify checks structural invariants of the module and returns the first
+// violation found.
+func (m *Module) Verify() error {
+	for _, f := range m.Funcs {
+		if err := verifyFunc(f); err != nil {
+			return fmt.Errorf("func @%s: %w", f.Name, err)
+		}
+	}
+	return nil
+}
+
+func verifyFunc(f *Function) error {
+	if len(f.Blocks) == 0 {
+		return nil // declaration
+	}
+	blockSet := make(map[*Block]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		blockSet[b] = true
+	}
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("block %s: empty", b.Name)
+		}
+		if b.Terminator() == nil {
+			return fmt.Errorf("block %s: missing terminator", b.Name)
+		}
+		for i, in := range b.Instrs {
+			if in.Op.IsTerminator() && i != len(b.Instrs)-1 {
+				return fmt.Errorf("block %s: terminator %s not last", b.Name, in.Op)
+			}
+			if in.Op == OpPhi && !isLeadingPhi(b, i) {
+				return fmt.Errorf("block %s: phi after non-phi", b.Name)
+			}
+			if err := verifyInstr(f, b, in, blockSet); err != nil {
+				return fmt.Errorf("block %s, %s: %w", b.Name, in.Op, err)
+			}
+		}
+	}
+	return nil
+}
+
+func isLeadingPhi(b *Block, idx int) bool {
+	for i := 0; i < idx; i++ {
+		if b.Instrs[i].Op != OpPhi {
+			return false
+		}
+	}
+	return true
+}
+
+func verifyInstr(f *Function, b *Block, in *Instr, blocks map[*Block]bool) error {
+	for _, t := range in.Blocks {
+		if !blocks[t] {
+			return fmt.Errorf("references block outside function")
+		}
+	}
+	for _, a := range in.Args {
+		if a == nil {
+			return fmt.Errorf("nil operand")
+		}
+	}
+	switch in.Op {
+	case OpAdd, OpSub, OpMul, OpSDiv, OpSRem, OpUDiv, OpURem,
+		OpAnd, OpOr, OpXor, OpShl, OpLShr, OpAShr:
+		if len(in.Args) != 2 {
+			return fmt.Errorf("want 2 operands, have %d", len(in.Args))
+		}
+		if !in.Ty.IsInt() || !in.Args[0].Type().Equal(in.Ty) || !in.Args[1].Type().Equal(in.Ty) {
+			return fmt.Errorf("operand/result type mismatch: %s %s %s",
+				in.Args[0].Type(), in.Args[1].Type(), in.Ty)
+		}
+	case OpFAdd, OpFSub, OpFMul, OpFDiv:
+		if len(in.Args) != 2 || !in.Ty.IsFloat() {
+			return fmt.Errorf("bad float arith")
+		}
+	case OpICmp:
+		if len(in.Args) != 2 || !in.Ty.Equal(I1) {
+			return fmt.Errorf("icmp must yield i1")
+		}
+		if !in.Args[0].Type().Equal(in.Args[1].Type()) {
+			return fmt.Errorf("icmp operand mismatch: %s vs %s", in.Args[0].Type(), in.Args[1].Type())
+		}
+	case OpFCmp:
+		if len(in.Args) != 2 || !in.Ty.Equal(I1) || !in.Args[0].Type().IsFloat() {
+			return fmt.Errorf("bad fcmp")
+		}
+	case OpTrunc:
+		if in.Args[0].Type().Bits <= in.Ty.Bits {
+			return fmt.Errorf("trunc must narrow")
+		}
+	case OpZExt, OpSExt:
+		if in.Args[0].Type().Bits >= in.Ty.Bits {
+			return fmt.Errorf("ext must widen (%s -> %s)", in.Args[0].Type(), in.Ty)
+		}
+	case OpFPToSI:
+		if !in.Args[0].Type().IsFloat() || !in.Ty.IsInt() {
+			return fmt.Errorf("bad fptosi")
+		}
+	case OpSIToFP:
+		if !in.Args[0].Type().IsInt() || !in.Ty.IsFloat() {
+			return fmt.Errorf("bad sitofp")
+		}
+	case OpPtrToInt:
+		if !in.Args[0].Type().IsPtr() || !in.Ty.IsInt() {
+			return fmt.Errorf("bad ptrtoint")
+		}
+	case OpIntToPtr:
+		if !in.Args[0].Type().IsInt() || !in.Ty.IsPtr() {
+			return fmt.Errorf("bad inttoptr")
+		}
+	case OpBitcast:
+		if !in.Args[0].Type().IsPtr() || !in.Ty.IsPtr() {
+			return fmt.Errorf("bitcast restricted to pointers")
+		}
+	case OpLoad:
+		if len(in.Args) != 1 || !in.Args[0].Type().IsPtr() {
+			return fmt.Errorf("load wants pointer operand")
+		}
+		if !in.Args[0].Type().Elem.Equal(in.Ty) {
+			return fmt.Errorf("load type mismatch: *%s vs %s", in.Args[0].Type().Elem, in.Ty)
+		}
+	case OpStore:
+		if len(in.Args) != 2 || !in.Args[1].Type().IsPtr() {
+			return fmt.Errorf("store wants [val, ptr]")
+		}
+		if !in.Args[1].Type().Elem.Equal(in.Args[0].Type()) {
+			return fmt.Errorf("store type mismatch: %s into *%s", in.Args[0].Type(), in.Args[1].Type().Elem)
+		}
+	case OpGEP:
+		if len(in.Args) < 2 || !in.Args[0].Type().IsPtr() || !in.Ty.IsPtr() {
+			return fmt.Errorf("bad gep")
+		}
+	case OpAlloca:
+		if in.AllocTy == nil || !in.Ty.IsPtr() {
+			return fmt.Errorf("bad alloca")
+		}
+	case OpPhi:
+		if len(in.Args) != len(in.Blocks) || len(in.Args) == 0 {
+			return fmt.Errorf("phi args/blocks mismatch")
+		}
+		preds := b.Preds()
+		if len(preds) != len(in.Blocks) {
+			return fmt.Errorf("phi has %d incoming, block has %d preds", len(in.Blocks), len(preds))
+		}
+	case OpBr:
+		if len(in.Blocks) != 1 {
+			return fmt.Errorf("br wants 1 target")
+		}
+	case OpCondBr:
+		if len(in.Args) != 1 || len(in.Blocks) != 2 || !in.Args[0].Type().Equal(I1) {
+			return fmt.Errorf("bad condbr")
+		}
+	case OpCall:
+		if in.Callee == nil && in.Builtin == "" {
+			return fmt.Errorf("call without target")
+		}
+		if in.Callee != nil {
+			sig := in.Callee.Sig
+			if !sig.Variadic && len(in.Args) != len(sig.Params) {
+				return fmt.Errorf("call @%s: want %d args, have %d", in.Callee.Name, len(sig.Params), len(in.Args))
+			}
+			for i := range sig.Params {
+				if !in.Args[i].Type().Equal(sig.Params[i]) {
+					return fmt.Errorf("call @%s arg %d: %s vs %s", in.Callee.Name, i, in.Args[i].Type(), sig.Params[i])
+				}
+			}
+			if !in.Ty.Equal(sig.Return) {
+				return fmt.Errorf("call @%s: result %s vs %s", in.Callee.Name, in.Ty, sig.Return)
+			}
+		}
+	case OpRet:
+		ret := f.Sig.Return
+		if ret.Kind == KindVoid && len(in.Args) != 0 {
+			return fmt.Errorf("ret value in void function")
+		}
+		if ret.Kind != KindVoid && (len(in.Args) != 1 || !in.Args[0].Type().Equal(ret)) {
+			return fmt.Errorf("bad ret type")
+		}
+	default:
+		return fmt.Errorf("unknown op %d", in.Op)
+	}
+	return nil
+}

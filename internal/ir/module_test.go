@@ -1,0 +1,211 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildDiamond creates:
+//
+//	entry: cond = icmp slt a, b; br cond, left, right
+//	left:  x1 = add a, 1; br join
+//	right: x2 = mul a, 2; br join
+//	join:  p = phi [x1,left],[x2,right]; ret p
+func buildDiamond(t *testing.T) (*Module, *Function) {
+	t.Helper()
+	m := NewModule("diamond")
+	f := m.NewFunc("f", FuncType(I32, I32, I32))
+	entry := f.NewBlock("entry")
+	left := f.NewBlock("left")
+	right := f.NewBlock("right")
+	join := f.NewBlock("join")
+
+	a, b := f.Params[0], f.Params[1]
+	bu := NewBuilder(entry)
+	cond := bu.ICmp(PredLT, a, b)
+	bu.CondBr(cond, left, right)
+
+	bu.SetBlock(left)
+	x1 := bu.Binary(OpAdd, a, ConstInt(I32, 1))
+	bu.Br(join)
+
+	bu.SetBlock(right)
+	x2 := bu.Binary(OpMul, a, ConstInt(I32, 2))
+	bu.Br(join)
+
+	bu.SetBlock(join)
+	p := bu.Phi(I32)
+	AddIncoming(p, x1, left)
+	AddIncoming(p, x2, right)
+	bu.Ret(p)
+
+	if err := m.Verify(); err != nil {
+		t.Fatalf("diamond should verify: %v", err)
+	}
+	return m, f
+}
+
+func TestVerifyAcceptsDiamond(t *testing.T) { buildDiamond(t) }
+
+func TestVerifyRejections(t *testing.T) {
+	build := func(mut func(m *Module, f *Function, bu *Builder)) error {
+		m := NewModule("bad")
+		f := m.NewFunc("f", FuncType(I32, I32))
+		entry := f.NewBlock("entry")
+		bu := NewBuilder(entry)
+		mut(m, f, bu)
+		return m.Verify()
+	}
+
+	if err := build(func(m *Module, f *Function, bu *Builder) {
+		bu.Binary(OpAdd, f.Params[0], f.Params[0]) // no terminator
+	}); err == nil {
+		t.Error("missing terminator accepted")
+	}
+
+	if err := build(func(m *Module, f *Function, bu *Builder) {
+		bu.emit(&Instr{Op: OpAdd, Ty: I32, Args: []Value{f.Params[0], ConstInt(I64, 1)}})
+		bu.Ret(ConstInt(I32, 0))
+	}); err == nil {
+		t.Error("type-mismatched add accepted")
+	}
+
+	if err := build(func(m *Module, f *Function, bu *Builder) {
+		bu.Ret(ConstInt(I64, 0)) // wrong return type
+	}); err == nil {
+		t.Error("wrong ret type accepted")
+	}
+
+	if err := build(func(m *Module, f *Function, bu *Builder) {
+		g := m.AddGlobal(&Global{Name: "g", Elem: I32})
+		bu.emit(&Instr{Op: OpLoad, Ty: I64, Args: []Value{g}}) // load type mismatch
+		bu.Ret(ConstInt(I32, 0))
+	}); err == nil {
+		t.Error("mistyped load accepted")
+	}
+
+	if err := build(func(m *Module, f *Function, bu *Builder) {
+		bu.emit(&Instr{Op: OpStore, Ty: Void, Args: []Value{ConstInt(I64, 1),
+			m.AddGlobal(&Global{Name: "h", Elem: I32})}})
+		bu.Ret(ConstInt(I32, 0))
+	}); err == nil {
+		t.Error("mistyped store accepted")
+	}
+
+	if err := build(func(m *Module, f *Function, bu *Builder) {
+		bu.Ret(ConstInt(I32, 0))
+		// phi after non-phi in a new block with wrong incoming count
+		b2 := f.NewBlock("b2")
+		bu.SetBlock(b2)
+		bu.Binary(OpAdd, f.Params[0], f.Params[0])
+		p := bu.Phi(I32)
+		AddIncoming(p, ConstInt(I32, 0), b2)
+		bu.Ret(ConstInt(I32, 0))
+	}); err == nil {
+		t.Error("phi after non-phi accepted")
+	}
+}
+
+func TestComputeUses(t *testing.T) {
+	_, f := buildDiamond(t)
+	uses := ComputeUses(f)
+	a := f.Params[0]
+	if uses.NumUses(a) != 3 { // icmp, add, mul
+		t.Errorf("param a uses = %d, want 3", uses.NumUses(a))
+	}
+	var phi *Instr
+	for _, in := range f.Blocks[3].Instrs {
+		if in.Op == OpPhi {
+			phi = in
+		}
+	}
+	if uses.NumUses(phi) != 1 {
+		t.Errorf("phi uses = %d", uses.NumUses(phi))
+	}
+}
+
+func TestSuccsPreds(t *testing.T) {
+	_, f := buildDiamond(t)
+	entry, left, right, join := f.Blocks[0], f.Blocks[1], f.Blocks[2], f.Blocks[3]
+	if len(entry.Succs()) != 2 || entry.Succs()[0] != left || entry.Succs()[1] != right {
+		t.Error("entry successors")
+	}
+	preds := join.Preds()
+	if len(preds) != 2 {
+		t.Errorf("join preds = %d", len(preds))
+	}
+}
+
+func TestPrinterOutput(t *testing.T) {
+	m, _ := buildDiamond(t)
+	out := m.String()
+	for _, want := range []string{"define i32 @f", "icmp slt", "phi i32", "br i1", "ret i32"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed IR missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAssignSeq(t *testing.T) {
+	m, f := buildDiamond(t)
+	total := m.AssignSeq()
+	count := 0
+	seen := make(map[int]bool)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if seen[in.Seq] {
+				t.Fatalf("duplicate seq %d", in.Seq)
+			}
+			seen[in.Seq] = true
+			count++
+		}
+	}
+	if total != count {
+		t.Errorf("AssignSeq = %d, instrs = %d", total, count)
+	}
+}
+
+func TestLayout(t *testing.T) {
+	m := NewModule("lay")
+	g1 := m.AddGlobal(&Global{Name: "a", Elem: I32, Init: []byte{1, 2, 3, 4}})
+	g2 := m.AddGlobal(&Global{Name: "b", Elem: ArrayOf(3, I64)})
+	l := ComputeLayout(m)
+	if l.Addr[g1]%8 != 0 || l.Addr[g2]%8 != 0 {
+		t.Error("globals must be 8-aligned")
+	}
+	if l.Addr[g2] < l.Addr[g1]+4 {
+		t.Error("globals overlap")
+	}
+	if len(l.Image) < 8+24 {
+		t.Errorf("image too small: %d", len(l.Image))
+	}
+	if l.Image[0] != 1 || l.Image[3] != 4 {
+		t.Error("init data not copied")
+	}
+}
+
+// TestBuilderLineStamping: instructions inherit the builder's current
+// source line unless explicitly set.
+func TestBuilderLineStamping(t *testing.T) {
+	m := NewModule("lines")
+	f := m.NewFunc("f", FuncType(I32, I32))
+	bu := NewBuilder(f.NewBlock("entry"))
+	bu.Line = 7
+	a := bu.Binary(OpAdd, f.Params[0], ConstInt(I32, 1))
+	bu.Line = 9
+	b := bu.Binary(OpMul, a, ConstInt(I32, 2))
+	bu.Ret(b)
+	if a.Line != 7 || b.Line != 9 {
+		t.Fatalf("lines: add=%d mul=%d", a.Line, b.Line)
+	}
+}
+
+// TestFuncValueOperand covers the FuncValue wrapper.
+func TestFuncValueOperand(t *testing.T) {
+	m := NewModule("fv")
+	f := m.NewFunc("callee", FuncType(I32))
+	fv := &FuncValue{Fn: f}
+	if !fv.Type().IsPtr() || fv.Ident() != "@callee" {
+		t.Fatalf("FuncValue: %s %s", fv.Type(), fv.Ident())
+	}
+}

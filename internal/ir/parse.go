@@ -1,0 +1,932 @@
+package ir
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the textual IR form produced by Module.String back into a
+// module. It accepts exactly the printer's grammar:
+//
+//	; comments
+//	%struct.tag = type { i32, %struct.tag* }
+//	@g = global [4 x i32] init "0100000002000000"
+//	define i32 @f(i32 %n) { ... }
+//	declare void @ext(i64 %x)
+//
+// Having a parser makes IR-level tests and tools first-class: passes can
+// be exercised on hand-written IR instead of going through the C
+// frontend.
+func Parse(src string) (*Module, error) {
+	p := &irParser{
+		mod:     NewModule("parsed"),
+		structs: make(map[string]*Type),
+	}
+	if err := p.run(src); err != nil {
+		return nil, err
+	}
+	return p.mod, nil
+}
+
+// MustParse is Parse for tests and examples; it panics on error.
+func MustParse(src string) *Module {
+	m, err := Parse(src)
+	if err != nil {
+		panic("ir.MustParse: " + err.Error())
+	}
+	return m
+}
+
+type irParser struct {
+	mod     *Module
+	structs map[string]*Type
+}
+
+type irLine struct {
+	no   int
+	text string
+}
+
+func (p *irParser) run(src string) error {
+	var lines []irLine
+	for i, raw := range strings.Split(src, "\n") {
+		text := raw
+		// Strip comments; the only quoted strings are hex init blobs,
+		// which never contain ';'.
+		if idx := strings.Index(text, ";"); idx >= 0 {
+			text = text[:idx]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		lines = append(lines, irLine{no: i + 1, text: text})
+	}
+
+	// Pass 0: struct shells, so self-referential fields resolve.
+	for _, ln := range lines {
+		if name, ok := structDeclName(ln.text); ok {
+			p.structs[name] = &Type{Kind: KindStruct, TagName: name}
+		}
+	}
+	// Pass 0b: struct fields.
+	for _, ln := range lines {
+		if name, ok := structDeclName(ln.text); ok {
+			if err := p.parseStructFields(name, ln); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Pass 1: globals and function signatures (so calls resolve).
+	type fnBody struct {
+		fn    *Function
+		lines []irLine
+	}
+	var bodies []fnBody
+	i := 0
+	for i < len(lines) {
+		ln := lines[i]
+		switch {
+		case strings.HasPrefix(ln.text, "%struct."):
+			i++
+		case strings.HasPrefix(ln.text, "@"):
+			if err := p.parseGlobal(ln); err != nil {
+				return err
+			}
+			i++
+		case strings.HasPrefix(ln.text, "declare "):
+			if _, err := p.parseSignature(strings.TrimPrefix(ln.text, "declare "), ln); err != nil {
+				return err
+			}
+			i++
+		case strings.HasPrefix(ln.text, "define "):
+			header := strings.TrimSuffix(strings.TrimPrefix(ln.text, "define "), "{")
+			fn, err := p.parseSignature(strings.TrimSpace(header), ln)
+			if err != nil {
+				return err
+			}
+			if !strings.HasSuffix(ln.text, "{") {
+				return fmt.Errorf("line %d: define must end with '{'", ln.no)
+			}
+			body := fnBody{fn: fn}
+			i++
+			for i < len(lines) && lines[i].text != "}" {
+				body.lines = append(body.lines, lines[i])
+				i++
+			}
+			if i == len(lines) {
+				return fmt.Errorf("line %d: unterminated function body", ln.no)
+			}
+			i++ // consume }
+			bodies = append(bodies, body)
+		default:
+			return fmt.Errorf("line %d: unrecognized top-level %q", ln.no, ln.text)
+		}
+	}
+
+	// Pass 2: function bodies.
+	for _, b := range bodies {
+		if err := p.parseBody(b.fn, b.lines); err != nil {
+			return err
+		}
+	}
+	if err := p.mod.Verify(); err != nil {
+		return fmt.Errorf("parsed module invalid: %w", err)
+	}
+	return nil
+}
+
+func structDeclName(text string) (string, bool) {
+	if !strings.HasPrefix(text, "%struct.") {
+		return "", false
+	}
+	rest := strings.TrimPrefix(text, "%struct.")
+	idx := strings.Index(rest, " ")
+	if idx < 0 {
+		return "", false
+	}
+	return rest[:idx], strings.Contains(rest[idx:], "= type")
+}
+
+func (p *irParser) parseStructFields(name string, ln irLine) error {
+	open := strings.Index(ln.text, "{")
+	closeIdx := strings.LastIndex(ln.text, "}")
+	if open < 0 || closeIdx < open {
+		return fmt.Errorf("line %d: malformed struct", ln.no)
+	}
+	body := strings.TrimSpace(ln.text[open+1 : closeIdx])
+	st := p.structs[name]
+	if body == "" {
+		return nil
+	}
+	for _, fieldSrc := range splitTopLevel(body) {
+		c := newCursor(fieldSrc, ln.no)
+		ft, err := p.parseType(c)
+		if err != nil {
+			return err
+		}
+		st.Fields = append(st.Fields, ft)
+	}
+	return nil
+}
+
+func (p *irParser) parseGlobal(ln irLine) error {
+	c := newCursor(ln.text, ln.no)
+	name, err := c.expectSigil('@')
+	if err != nil {
+		return err
+	}
+	if err := c.expectWord("="); err != nil {
+		return err
+	}
+	if err := c.expectWord("global"); err != nil {
+		return err
+	}
+	ty, err := p.parseType(c)
+	if err != nil {
+		return err
+	}
+	g := &Global{Name: name, Elem: ty, Init: make([]byte, ty.Size())}
+	c.skipSpace()
+	if c.hasWord("init") {
+		_ = c.expectWord("init")
+		blob, err := c.quoted()
+		if err != nil {
+			return err
+		}
+		data, err := hex.DecodeString(blob)
+		if err != nil {
+			return fmt.Errorf("line %d: bad init blob: %v", ln.no, err)
+		}
+		if len(data) > len(g.Init) {
+			return fmt.Errorf("line %d: init blob larger than global", ln.no)
+		}
+		copy(g.Init, data)
+	}
+	p.mod.AddGlobal(g)
+	return nil
+}
+
+// parseSignature parses "RET @name(T %a, T %b)" and registers (or
+// returns the existing) function.
+func (p *irParser) parseSignature(text string, ln irLine) (*Function, error) {
+	c := newCursor(text, ln.no)
+	ret, err := p.parseType(c)
+	if err != nil {
+		return nil, err
+	}
+	name, err := c.expectSigil('@')
+	if err != nil {
+		return nil, err
+	}
+	if err := c.expectRune('('); err != nil {
+		return nil, err
+	}
+	var paramTypes []*Type
+	var paramNames []string
+	c.skipSpace()
+	if !c.tryRune(')') {
+		for {
+			pt, err := p.parseType(c)
+			if err != nil {
+				return nil, err
+			}
+			pn, err := c.expectSigil('%')
+			if err != nil {
+				return nil, err
+			}
+			paramTypes = append(paramTypes, pt)
+			paramNames = append(paramNames, pn)
+			c.skipSpace()
+			if c.tryRune(')') {
+				break
+			}
+			if err := c.expectRune(','); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if existing := p.mod.Func(name); existing != nil {
+		return existing, nil
+	}
+	fn := p.mod.NewFunc(name, FuncType(ret, paramTypes...))
+	for i, n := range paramNames {
+		fn.Params[i].Name = n
+	}
+	return fn, nil
+}
+
+// parseBody fills a function from its body lines in two passes: first the
+// blocks and result placeholders, then full instructions.
+func (p *irParser) parseBody(fn *Function, lines []irLine) error {
+	blocks := make(map[string]*Block)
+	instrByID := make(map[int]*Instr)
+	params := make(map[string]*Param, len(fn.Params))
+	for _, pr := range fn.Params {
+		params[pr.Name] = pr
+	}
+
+	// Pass A: blocks and instruction shells.
+	var cur *Block
+	type pending struct {
+		in   *Instr
+		line irLine
+		body string // after "%N = " if any
+	}
+	var work []pending
+	for _, ln := range lines {
+		if strings.HasSuffix(ln.text, ":") && !strings.Contains(ln.text, " ") {
+			name := strings.TrimSuffix(ln.text, ":")
+			b := fn.NewBlock("")
+			b.Name = name
+			blocks[name] = b
+			cur = b
+			continue
+		}
+		if cur == nil {
+			return fmt.Errorf("line %d: instruction before first block label", ln.no)
+		}
+		in := &Instr{}
+		body := ln.text
+		if strings.HasPrefix(body, "%") && strings.Contains(body, " = ") {
+			eq := strings.Index(body, " = ")
+			idText := strings.TrimPrefix(body[:eq], "%")
+			id, err := strconv.Atoi(idText)
+			if err != nil {
+				return fmt.Errorf("line %d: bad result id %q", ln.no, idText)
+			}
+			in.ID = id
+			instrByID[id] = in
+			body = body[eq+3:]
+		}
+		cur.Append(in)
+		work = append(work, pending{in: in, line: ln, body: body})
+	}
+
+	env := &bodyEnv{p: p, fn: fn, blocks: blocks, instrs: instrByID, params: params}
+	for _, w := range work {
+		if err := env.parseInstr(w.in, w.body, w.line); err != nil {
+			return err
+		}
+	}
+	fn.Renumber()
+	return nil
+}
+
+type bodyEnv struct {
+	p      *irParser
+	fn     *Function
+	blocks map[string]*Block
+	instrs map[int]*Instr
+	params map[string]*Param
+}
+
+var parsePreds = map[string]Pred{
+	"eq": PredEQ, "ne": PredNE, "slt": PredLT, "sle": PredLE,
+	"sgt": PredGT, "sge": PredGE, "ult": PredULT, "ule": PredULE,
+	"ugt": PredUGT, "uge": PredUGE,
+}
+
+var parseOps = map[string]Op{
+	"add": OpAdd, "sub": OpSub, "mul": OpMul, "sdiv": OpSDiv, "srem": OpSRem,
+	"udiv": OpUDiv, "urem": OpURem, "and": OpAnd, "or": OpOr, "xor": OpXor,
+	"shl": OpShl, "lshr": OpLShr, "ashr": OpAShr,
+	"fadd": OpFAdd, "fsub": OpFSub, "fmul": OpFMul, "fdiv": OpFDiv,
+	"trunc": OpTrunc, "zext": OpZExt, "sext": OpSExt, "fptosi": OpFPToSI,
+	"sitofp": OpSIToFP, "ptrtoint": OpPtrToInt, "inttoptr": OpIntToPtr,
+	"bitcast": OpBitcast,
+}
+
+func (e *bodyEnv) parseInstr(in *Instr, body string, ln irLine) error {
+	c := newCursor(body, ln.no)
+	op, err := c.word()
+	if err != nil {
+		return err
+	}
+	if o, isBin := parseOps[op]; isBin && o.IsArith() {
+		in.Op = o
+		ty, err := e.p.parseType(c)
+		if err != nil {
+			return err
+		}
+		in.Ty = ty
+		a, err := e.value(c, ty)
+		if err != nil {
+			return err
+		}
+		if err := c.expectRune(','); err != nil {
+			return err
+		}
+		b, err := e.value(c, ty)
+		if err != nil {
+			return err
+		}
+		in.Args = []Value{a, b}
+		return nil
+	}
+	if o, isCast := parseOps[op]; isCast && o.IsCast() {
+		in.Op = o
+		srcTy, err := e.p.parseType(c)
+		if err != nil {
+			return err
+		}
+		v, err := e.value(c, srcTy)
+		if err != nil {
+			return err
+		}
+		if err := c.expectWord("to"); err != nil {
+			return err
+		}
+		dstTy, err := e.p.parseType(c)
+		if err != nil {
+			return err
+		}
+		in.Ty = dstTy
+		in.Args = []Value{v}
+		return nil
+	}
+	switch op {
+	case "icmp", "fcmp":
+		in.Op = OpICmp
+		if op == "fcmp" {
+			in.Op = OpFCmp
+		}
+		predName, err := c.word()
+		if err != nil {
+			return err
+		}
+		pred, ok := parsePreds[predName]
+		if !ok {
+			return fmt.Errorf("line %d: unknown predicate %q", ln.no, predName)
+		}
+		in.Pred = pred
+		in.Ty = I1
+		ty, err := e.p.parseType(c)
+		if err != nil {
+			return err
+		}
+		a, err := e.value(c, ty)
+		if err != nil {
+			return err
+		}
+		if err := c.expectRune(','); err != nil {
+			return err
+		}
+		b, err := e.value(c, ty)
+		if err != nil {
+			return err
+		}
+		in.Args = []Value{a, b}
+		return nil
+
+	case "alloca":
+		in.Op = OpAlloca
+		ty, err := e.p.parseType(c)
+		if err != nil {
+			return err
+		}
+		in.AllocTy = ty
+		in.Ty = PointerTo(ty)
+		return nil
+
+	case "load":
+		in.Op = OpLoad
+		ty, err := e.p.parseType(c)
+		if err != nil {
+			return err
+		}
+		in.Ty = ty
+		if err := c.expectRune(','); err != nil {
+			return err
+		}
+		pty, err := e.p.parseType(c)
+		if err != nil {
+			return err
+		}
+		ptr, err := e.value(c, pty)
+		if err != nil {
+			return err
+		}
+		in.Args = []Value{ptr}
+		return nil
+
+	case "store":
+		in.Op = OpStore
+		in.Ty = Void
+		vt, err := e.p.parseType(c)
+		if err != nil {
+			return err
+		}
+		v, err := e.value(c, vt)
+		if err != nil {
+			return err
+		}
+		if err := c.expectRune(','); err != nil {
+			return err
+		}
+		pt, err := e.p.parseType(c)
+		if err != nil {
+			return err
+		}
+		ptr, err := e.value(c, pt)
+		if err != nil {
+			return err
+		}
+		in.Args = []Value{v, ptr}
+		return nil
+
+	case "getelementptr":
+		in.Op = OpGEP
+		bt, err := e.p.parseType(c)
+		if err != nil {
+			return err
+		}
+		base, err := e.value(c, bt)
+		if err != nil {
+			return err
+		}
+		in.Args = []Value{base}
+		var steps []Value
+		for {
+			c.skipSpace()
+			if !c.tryRune(',') {
+				break
+			}
+			it, err := e.p.parseType(c)
+			if err != nil {
+				return err
+			}
+			iv, err := e.value(c, it)
+			if err != nil {
+				return err
+			}
+			in.Args = append(in.Args, iv)
+			steps = append(steps, iv)
+		}
+		if len(steps) == 0 {
+			return fmt.Errorf("line %d: gep needs indices", ln.no)
+		}
+		res := GEPResultType(bt, steps[1:])
+		if res == nil {
+			return fmt.Errorf("line %d: cannot type gep", ln.no)
+		}
+		in.Ty = res
+		return nil
+
+	case "phi":
+		in.Op = OpPhi
+		ty, err := e.p.parseType(c)
+		if err != nil {
+			return err
+		}
+		in.Ty = ty
+		for {
+			c.skipSpace()
+			if !c.tryRune('[') {
+				break
+			}
+			v, err := e.value(c, ty)
+			if err != nil {
+				return err
+			}
+			if err := c.expectRune(','); err != nil {
+				return err
+			}
+			bName, err := c.expectSigil('%')
+			if err != nil {
+				return err
+			}
+			blk, ok := e.blocks[bName]
+			if !ok {
+				return fmt.Errorf("line %d: unknown block %%%s", ln.no, bName)
+			}
+			if err := c.expectRune(']'); err != nil {
+				return err
+			}
+			in.Args = append(in.Args, v)
+			in.Blocks = append(in.Blocks, blk)
+			c.skipSpace()
+			if !c.tryRune(',') {
+				break
+			}
+		}
+		return nil
+
+	case "br":
+		in.Ty = Void
+		c.skipSpace()
+		if c.hasWord("label") {
+			in.Op = OpBr
+			blk, err := e.labelRef(c)
+			if err != nil {
+				return err
+			}
+			in.Blocks = []*Block{blk}
+			return nil
+		}
+		in.Op = OpCondBr
+		if err := c.expectWord("i1"); err != nil {
+			return err
+		}
+		cond, err := e.value(c, I1)
+		if err != nil {
+			return err
+		}
+		if err := c.expectRune(','); err != nil {
+			return err
+		}
+		t1, err := e.labelRef(c)
+		if err != nil {
+			return err
+		}
+		if err := c.expectRune(','); err != nil {
+			return err
+		}
+		t2, err := e.labelRef(c)
+		if err != nil {
+			return err
+		}
+		in.Args = []Value{cond}
+		in.Blocks = []*Block{t1, t2}
+		return nil
+
+	case "call":
+		in.Op = OpCall
+		ret, err := e.p.parseType(c)
+		if err != nil {
+			return err
+		}
+		in.Ty = ret
+		name, err := c.expectSigil('@')
+		if err != nil {
+			return err
+		}
+		if err := c.expectRune('('); err != nil {
+			return err
+		}
+		c.skipSpace()
+		if !c.tryRune(')') {
+			for {
+				at, err := e.p.parseType(c)
+				if err != nil {
+					return err
+				}
+				av, err := e.value(c, at)
+				if err != nil {
+					return err
+				}
+				in.Args = append(in.Args, av)
+				c.skipSpace()
+				if c.tryRune(')') {
+					break
+				}
+				if err := c.expectRune(','); err != nil {
+					return err
+				}
+			}
+		}
+		if callee := e.p.mod.Func(name); callee != nil {
+			in.Callee = callee
+		} else {
+			in.Builtin = name
+		}
+		return nil
+
+	case "ret":
+		in.Op = OpRet
+		in.Ty = Void
+		c.skipSpace()
+		if c.hasWord("void") {
+			return nil
+		}
+		ty, err := e.p.parseType(c)
+		if err != nil {
+			return err
+		}
+		v, err := e.value(c, ty)
+		if err != nil {
+			return err
+		}
+		in.Args = []Value{v}
+		return nil
+	}
+	return fmt.Errorf("line %d: unknown instruction %q", ln.no, op)
+}
+
+func (e *bodyEnv) labelRef(c *cursor) (*Block, error) {
+	if err := c.expectWord("label"); err != nil {
+		return nil, err
+	}
+	name, err := c.expectSigil('%')
+	if err != nil {
+		return nil, err
+	}
+	blk, ok := e.blocks[name]
+	if !ok {
+		return nil, fmt.Errorf("line %d: unknown block %%%s", c.line, name)
+	}
+	return blk, nil
+}
+
+// value parses one operand of the given type.
+func (e *bodyEnv) value(c *cursor, ty *Type) (Value, error) {
+	c.skipSpace()
+	switch {
+	case c.peek() == '%':
+		name, _ := c.expectSigil('%')
+		if id, err := strconv.Atoi(name); err == nil {
+			in, ok := e.instrs[id]
+			if !ok {
+				return nil, fmt.Errorf("line %d: unknown value %%%d", c.line, id)
+			}
+			return in, nil
+		}
+		if p, ok := e.params[name]; ok {
+			return p, nil
+		}
+		return nil, fmt.Errorf("line %d: unknown value %%%s", c.line, name)
+	case c.peek() == '@':
+		name, _ := c.expectSigil('@')
+		if g := e.p.mod.Global(name); g != nil {
+			return g, nil
+		}
+		if f := e.p.mod.Func(name); f != nil {
+			return &FuncValue{Fn: f}, nil
+		}
+		return nil, fmt.Errorf("line %d: unknown symbol @%s", c.line, name)
+	case c.hasWord("null"):
+		_ = c.expectWord("null")
+		return ConstNull(ty), nil
+	default:
+		lit, err := c.word()
+		if err != nil {
+			return nil, err
+		}
+		if ty.IsFloat() {
+			f, err := strconv.ParseFloat(lit, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad float %q", c.line, lit)
+			}
+			return ConstFloat(f), nil
+		}
+		v, err := strconv.ParseInt(lit, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad literal %q", c.line, lit)
+		}
+		return ConstInt(ty, v), nil
+	}
+}
+
+// parseType reads a type expression: base (iN, double, void, %struct.tag,
+// [N x T]) followed by '*' suffixes.
+func (p *irParser) parseType(c *cursor) (*Type, error) {
+	c.skipSpace()
+	var base *Type
+	switch {
+	case c.tryRune('['):
+		lenTok, err := c.word()
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(lenTok)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad array length %q", c.line, lenTok)
+		}
+		if err := c.expectWord("x"); err != nil {
+			return nil, err
+		}
+		elem, err := p.parseType(c)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.expectRune(']'); err != nil {
+			return nil, err
+		}
+		base = ArrayOf(n, elem)
+	case c.peek() == '%':
+		name, _ := c.expectSigil('%')
+		if !strings.HasPrefix(name, "struct.") {
+			return nil, fmt.Errorf("line %d: unknown type %%%s", c.line, name)
+		}
+		tag := strings.TrimPrefix(name, "struct.")
+		st, ok := p.structs[tag]
+		if !ok {
+			return nil, fmt.Errorf("line %d: undeclared struct %q", c.line, tag)
+		}
+		base = st
+	default:
+		w, err := c.word()
+		if err != nil {
+			return nil, err
+		}
+		switch w {
+		case "void":
+			base = Void
+		case "double":
+			base = F64
+		default:
+			if !strings.HasPrefix(w, "i") {
+				return nil, fmt.Errorf("line %d: unknown type %q", c.line, w)
+			}
+			bits, err := strconv.Atoi(w[1:])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: unknown type %q", c.line, w)
+			}
+			base = IntType(bits)
+		}
+	}
+	for c.tryRune('*') {
+		base = PointerTo(base)
+	}
+	return base, nil
+}
+
+// splitTopLevel splits on commas not nested in brackets.
+func splitTopLevel(s string) []string {
+	var out []string
+	depth := 0
+	start := 0
+	for i, r := range s {
+		switch r {
+		case '[', '{', '(':
+			depth++
+		case ']', '}', ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+// cursor is a tiny scanner over one line.
+type cursor struct {
+	s    string
+	pos  int
+	line int
+}
+
+func newCursor(s string, line int) *cursor { return &cursor{s: s, line: line} }
+
+func (c *cursor) skipSpace() {
+	for c.pos < len(c.s) && (c.s[c.pos] == ' ' || c.s[c.pos] == '\t') {
+		c.pos++
+	}
+}
+
+func (c *cursor) peek() byte {
+	c.skipSpace()
+	if c.pos >= len(c.s) {
+		return 0
+	}
+	return c.s[c.pos]
+}
+
+func isWordByte(b byte) bool {
+	switch {
+	case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b >= '0' && b <= '9':
+		return true
+	case b == '_' || b == '.' || b == '-' || b == '+':
+		return true
+	default:
+		return false
+	}
+}
+
+// word reads a bare token (identifier, number, or '=' style punctuation
+// word).
+func (c *cursor) word() (string, error) {
+	c.skipSpace()
+	if c.pos >= len(c.s) {
+		return "", fmt.Errorf("line %d: unexpected end of line", c.line)
+	}
+	if c.s[c.pos] == '=' {
+		c.pos++
+		return "=", nil
+	}
+	start := c.pos
+	for c.pos < len(c.s) && isWordByte(c.s[c.pos]) {
+		c.pos++
+	}
+	if c.pos == start {
+		return "", fmt.Errorf("line %d: unexpected %q", c.line, string(c.s[c.pos]))
+	}
+	return c.s[start:c.pos], nil
+}
+
+func (c *cursor) hasWord(w string) bool {
+	c.skipSpace()
+	if !strings.HasPrefix(c.s[c.pos:], w) {
+		return false
+	}
+	end := c.pos + len(w)
+	return end >= len(c.s) || !isWordByte(c.s[end])
+}
+
+func (c *cursor) expectWord(w string) error {
+	got, err := c.word()
+	if err != nil {
+		return err
+	}
+	if got != w {
+		return fmt.Errorf("line %d: expected %q, found %q", c.line, w, got)
+	}
+	return nil
+}
+
+func (c *cursor) expectRune(r byte) error {
+	c.skipSpace()
+	if c.pos >= len(c.s) || c.s[c.pos] != r {
+		return fmt.Errorf("line %d: expected %q", c.line, string(r))
+	}
+	c.pos++
+	return nil
+}
+
+func (c *cursor) tryRune(r byte) bool {
+	c.skipSpace()
+	if c.pos < len(c.s) && c.s[c.pos] == r {
+		c.pos++
+		return true
+	}
+	return false
+}
+
+// expectSigil reads %name or @name.
+func (c *cursor) expectSigil(sigil byte) (string, error) {
+	if err := c.expectRune(sigil); err != nil {
+		return "", err
+	}
+	start := c.pos
+	for c.pos < len(c.s) && isWordByte(c.s[c.pos]) {
+		c.pos++
+	}
+	if c.pos == start {
+		return "", fmt.Errorf("line %d: empty name after %q", c.line, string(sigil))
+	}
+	return c.s[start:c.pos], nil
+}
+
+// quoted reads a "..." token.
+func (c *cursor) quoted() (string, error) {
+	if err := c.expectRune('"'); err != nil {
+		return "", err
+	}
+	start := c.pos
+	for c.pos < len(c.s) && c.s[c.pos] != '"' {
+		c.pos++
+	}
+	if c.pos >= len(c.s) {
+		return "", fmt.Errorf("line %d: unterminated string", c.line)
+	}
+	out := c.s[start:c.pos]
+	c.pos++
+	return out, nil
+}

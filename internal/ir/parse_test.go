@@ -1,0 +1,224 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTripDiamond(t *testing.T) {
+	m, _ := buildDiamond(t)
+	text := m.String()
+	m2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, text)
+	}
+	text2 := m2.String()
+	// The module name line differs; compare everything after it.
+	strip := func(s string) string {
+		idx := strings.Index(s, "\n")
+		return s[idx:]
+	}
+	if strip(text) != strip(text2) {
+		t.Fatalf("round trip not stable:\n--- first ---\n%s\n--- second ---\n%s", text, text2)
+	}
+}
+
+func TestParseHandWritten(t *testing.T) {
+	m := MustParse(`
+; a tiny counting loop
+@acc = global i64
+
+define i32 @main() {
+entry:
+  br label %cond
+cond:
+  %0 = phi i32 [ 0, %entry ], [ %3, %body ]
+  %1 = icmp slt i32 %0, 10
+  br i1 %1, label %body, label %done
+body:
+  %2 = load i64, i64* @acc
+  %4 = sext i32 %0 to i64
+  %5 = add i64 %2, %4
+  store i64 %5, i64* @acc
+  %3 = add i32 %0, 1
+  br label %cond
+done:
+  %6 = load i64, i64* @acc
+  %7 = trunc i64 %6 to i32
+  ret i32 %7
+}
+`)
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	f := m.Func("main")
+	if f == nil || len(f.Blocks) != 4 {
+		t.Fatalf("main shape wrong")
+	}
+}
+
+func TestParseStructsAndGEP(t *testing.T) {
+	m := MustParse(`
+%struct.node = type { i32, %struct.node* }
+@head = global %struct.node
+
+define i32 @val() {
+entry:
+  %0 = getelementptr %struct.node* @head, i64 0, i32 0
+  %1 = load i32, i32* %0
+  ret i32 %1
+}
+`)
+	st := m.Global("head").Elem
+	if st.Kind != KindStruct || st.TagName != "node" || len(st.Fields) != 2 {
+		t.Fatalf("struct parse: %s", st)
+	}
+	if !st.Fields[1].IsPtr() || st.Fields[1].Elem.TagName != "node" {
+		t.Fatal("self-referential field lost")
+	}
+}
+
+func TestParseGlobalInitBlob(t *testing.T) {
+	m := MustParse(`
+@tab = global [4 x i32] init "01000000020000000300000004000000"
+define i32 @main() {
+entry:
+  ret i32 0
+}
+`)
+	g := m.Global("tab")
+	if g.Init[0] != 1 || g.Init[4] != 2 || g.Init[12] != 4 {
+		t.Fatalf("init blob: %v", g.Init)
+	}
+}
+
+func TestParseCallsAndBuiltins(t *testing.T) {
+	m := MustParse(`
+define i32 @helper(i32 %x) {
+entry:
+  %0 = mul i32 %x, 3
+  ret i32 %0
+}
+
+define i32 @main() {
+entry:
+  %0 = call i32 @helper(i32 14)
+  call void @print_int(i32 %0)
+  ret i32 0
+}
+`)
+	var call, builtin *Instr
+	for _, b := range m.Func("main").Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpCall {
+				if in.Callee != nil {
+					call = in
+				} else {
+					builtin = in
+				}
+			}
+		}
+	}
+	if call == nil || call.Callee.Name != "helper" {
+		t.Fatal("direct call not resolved")
+	}
+	if builtin == nil || builtin.Builtin != "print_int" {
+		t.Fatal("builtin call not resolved")
+	}
+}
+
+func TestParseFloatsAndDoubleOps(t *testing.T) {
+	m := MustParse(`
+define double @f(double %x) {
+entry:
+  %0 = fmul double %x, 2.5
+  %1 = fadd double %0, -0.125
+  %2 = fcmp sgt double %1, 0
+  br i1 %2, label %pos, label %neg
+pos:
+  ret double %1
+neg:
+  %3 = fsub double 0, %1
+  ret double %3
+}
+`)
+	if err := m.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"define i32 @f() {", // unterminated
+		"@g = global",       // missing type
+		"bogus",             // unknown top level
+		"define i32 @f() {\nentry:\n  frobnicate\n}", // unknown op
+		"define i32 @f() {\nentry:\n  ret i32 %9\n}", // unknown value
+		"define i32 @f() {\nentry:\n  br label %nope\n}",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("accepted:\n%s", src)
+		}
+	}
+}
+
+// TestParseRoundTripAllBenchShapes round-trips a module containing the
+// full instruction vocabulary through print -> parse -> print.
+func TestParseRoundTripVocabulary(t *testing.T) {
+	src := `
+%struct.pair = type { i32, double }
+@gp = global %struct.pair
+@arr = global [8 x i64]
+
+define i64 @vocab(i32 %n, double %d, i8* %p) {
+entry:
+  %0 = alloca i32
+  store i32 %n, i32* %0
+  %1 = load i32, i32* %0
+  %2 = add i32 %1, 7
+  %3 = sub i32 %2, 1
+  %4 = mul i32 %3, 3
+  %5 = sdiv i32 %4, 2
+  %6 = srem i32 %5, 5
+  %7 = and i32 %6, 15
+  %8 = or i32 %7, 1
+  %9 = xor i32 %8, 2
+  %10 = shl i32 %9, 1
+  %11 = lshr i32 %10, 1
+  %12 = ashr i32 %11, 1
+  %13 = sext i32 %12 to i64
+  %14 = trunc i64 %13 to i8
+  %15 = zext i8 %14 to i64
+  %16 = sitofp i64 %15 to double
+  %17 = fadd double %16, %d
+  %18 = fsub double %17, 0.5
+  %19 = fmul double %18, 2
+  %20 = fdiv double %19, 4
+  %21 = fptosi double %20 to i64
+  %22 = getelementptr [8 x i64]* @arr, i64 0, i64 3
+  store i64 %21, i64* %22
+  %23 = getelementptr %struct.pair* @gp, i64 0, i32 1
+  store double %20, double* %23
+  %24 = ptrtoint i8* %p to i64
+  %25 = inttoptr i64 %24 to i64*
+  %26 = bitcast i64* %25 to i8*
+  %27 = icmp eq i8* %26, %p
+  br i1 %27, label %yes, label %no
+yes:
+  %28 = load i64, i64* %22
+  ret i64 %28
+no:
+  ret i64 0
+}
+`
+	m := MustParse(src)
+	text := m.String()
+	m2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if m2.String() != text {
+		t.Fatalf("unstable round trip:\n%s\nvs\n%s", text, m2.String())
+	}
+}

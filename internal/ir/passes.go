@@ -1,0 +1,292 @@
+package ir
+
+import "math"
+
+// Optimize runs the standard pipeline used for all compiled programs:
+// SSA promotion, constant folding, and dead-code elimination. This mirrors
+// the paper's setup, which compiles every benchmark "with the same
+// standard optimizations enabled" for both injectors.
+func Optimize(m *Module) {
+	for _, f := range m.Funcs {
+		if len(f.Blocks) == 0 {
+			continue
+		}
+		PromoteAllocas(f)
+		FoldConstants(f)
+		LocalCSE(f)
+		EliminateDeadCode(f)
+	}
+	// Inline tiny leaf helpers, then clean up the spliced bodies and
+	// hoist loop invariants out of the merged loops.
+	InlineTinyFunctions(m)
+	for _, f := range m.Funcs {
+		if len(f.Blocks) == 0 {
+			continue
+		}
+		RemoveUnreachable(f)
+		FoldConstants(f)
+		LocalCSE(f)
+		HoistLoopInvariants(f)
+		LocalCSE(f)
+		EliminateDeadCode(f)
+		SplitCriticalEdges(f)
+		f.Renumber()
+	}
+}
+
+// EliminateDeadCode removes value-producing instructions without uses or
+// side effects, iterating to a fixpoint.
+func EliminateDeadCode(f *Function) {
+	for {
+		uses := ComputeUses(f)
+		dead := make(map[*Instr]bool)
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if !in.HasResult() || in.Op == OpCall {
+					continue
+				}
+				if uses.NumUses(in) == 0 {
+					dead[in] = true
+				}
+			}
+		}
+		if len(dead) == 0 {
+			return
+		}
+		removeDead(f, dead, func(v Value) Value { return v })
+	}
+}
+
+// FoldConstants replaces instructions whose operands are all constants
+// with the computed constant and collapses conditional branches on
+// constant conditions.
+func FoldConstants(f *Function) {
+	replace := make(map[Value]Value)
+	resolve := func(v Value) Value {
+		for {
+			r, ok := replace[v]
+			if !ok {
+				return v
+			}
+			v = r
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				for k, a := range in.Args {
+					in.Args[k] = resolve(a)
+				}
+				if _, done := replace[in]; done {
+					continue
+				}
+				if c := foldInstr(in); c != nil {
+					replace[in] = c
+					changed = true
+				}
+			}
+		}
+	}
+	if len(replace) == 0 {
+		return
+	}
+	dead := make(map[*Instr]bool)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if _, ok := replace[in]; ok {
+				dead[in] = true
+			}
+		}
+	}
+	removeDead(f, dead, resolve)
+	if foldConstantBranches(f) {
+		RemoveUnreachable(f)
+	}
+	f.Renumber()
+}
+
+// foldConstantBranches rewrites conditional branches on constants into
+// unconditional ones, pruning the dead edge from the not-taken
+// successor's phis. Reports whether anything changed.
+func foldConstantBranches(f *Function) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		t := b.Terminator()
+		if t == nil || t.Op != OpCondBr {
+			continue
+		}
+		cst, ok := t.Args[0].(*Const)
+		if !ok {
+			continue
+		}
+		taken, dead := t.Blocks[0], t.Blocks[1]
+		if cst.Val&1 == 0 {
+			taken, dead = dead, taken
+		}
+		if dead != taken {
+			for _, in := range dead.Instrs {
+				if in.Op != OpPhi {
+					break
+				}
+				for i, pb := range in.Blocks {
+					if pb == b {
+						in.Args = append(in.Args[:i], in.Args[i+1:]...)
+						in.Blocks = append(in.Blocks[:i], in.Blocks[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+		t.Op = OpBr
+		t.Args = nil
+		t.Blocks = []*Block{taken}
+		changed = true
+	}
+	return changed
+}
+
+func foldInstr(in *Instr) *Const {
+	consts := make([]*Const, len(in.Args))
+	for i, a := range in.Args {
+		c, ok := a.(*Const)
+		if !ok {
+			return nil
+		}
+		consts[i] = c
+	}
+	switch {
+	case in.Op.IsIntArith():
+		l, r := consts[0].Int(), consts[1].Int()
+		lu, ru := consts[0].Val, consts[1].Val
+		var v int64
+		switch in.Op {
+		case OpAdd:
+			v = l + r
+		case OpSub:
+			v = l - r
+		case OpMul:
+			v = l * r
+		case OpSDiv:
+			if r == 0 || (l == math.MinInt64 && r == -1) {
+				return nil
+			}
+			v = l / r
+		case OpSRem:
+			if r == 0 || (l == math.MinInt64 && r == -1) {
+				return nil
+			}
+			v = l % r
+		case OpUDiv:
+			if ru == 0 {
+				return nil
+			}
+			v = int64(lu / ru)
+		case OpURem:
+			if ru == 0 {
+				return nil
+			}
+			v = int64(lu % ru)
+		case OpAnd:
+			v = l & r
+		case OpOr:
+			v = l | r
+		case OpXor:
+			v = l ^ r
+		case OpShl:
+			v = int64(lu << (ru & 63))
+		case OpLShr:
+			v = int64(lu >> (ru & 63))
+		case OpAShr:
+			v = SignExtend(lu, consts[0].Ty) >> (ru & 63)
+		default:
+			return nil
+		}
+		return ConstInt(in.Ty, v)
+	case in.Op.IsFloatArith():
+		l, r := consts[0].Float(), consts[1].Float()
+		var v float64
+		switch in.Op {
+		case OpFAdd:
+			v = l + r
+		case OpFSub:
+			v = l - r
+		case OpFMul:
+			v = l * r
+		case OpFDiv:
+			v = l / r
+		default:
+			return nil
+		}
+		return ConstFloat(v)
+	case in.Op == OpICmp:
+		if !consts[0].Ty.IsInt() && !consts[0].Ty.IsPtr() {
+			return nil
+		}
+		l, r := consts[0].Int(), consts[1].Int()
+		lu, ru := consts[0].Val, consts[1].Val
+		var t bool
+		switch in.Pred {
+		case PredEQ:
+			t = l == r
+		case PredNE:
+			t = l != r
+		case PredLT:
+			t = l < r
+		case PredLE:
+			t = l <= r
+		case PredGT:
+			t = l > r
+		case PredGE:
+			t = l >= r
+		case PredULT:
+			t = lu < ru
+		case PredULE:
+			t = lu <= ru
+		case PredUGT:
+			t = lu > ru
+		case PredUGE:
+			t = lu >= ru
+		}
+		return boolConst(t)
+	case in.Op == OpFCmp:
+		l, r := consts[0].Float(), consts[1].Float()
+		var t bool
+		switch in.Pred {
+		case PredEQ:
+			t = l == r
+		case PredNE:
+			t = l != r
+		case PredLT:
+			t = l < r
+		case PredLE:
+			t = l <= r
+		case PredGT:
+			t = l > r
+		case PredGE:
+			t = l >= r
+		}
+		return boolConst(t)
+	case in.Op == OpTrunc, in.Op == OpZExt:
+		return &Const{Ty: in.Ty, Val: Canonical(consts[0].Val, in.Ty)}
+	case in.Op == OpSExt:
+		return ConstInt(in.Ty, consts[0].Int())
+	case in.Op == OpSIToFP:
+		return ConstFloat(float64(consts[0].Int()))
+	case in.Op == OpFPToSI:
+		fv := consts[0].Float()
+		if math.IsNaN(fv) || fv > math.MaxInt64 || fv < math.MinInt64 {
+			return nil
+		}
+		return ConstInt(in.Ty, int64(fv))
+	}
+	return nil
+}
+
+func boolConst(t bool) *Const {
+	if t {
+		return ConstInt(I1, 1)
+	}
+	return ConstInt(I1, 0)
+}

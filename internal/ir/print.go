@@ -1,0 +1,175 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the module in an LLVM-like textual form that Parse can
+// read back (modulo global initializer data, which prints as a hex blob).
+func (m *Module) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; module %s\n", m.Name)
+	for _, st := range m.collectStructs() {
+		fields := make([]string, len(st.Fields))
+		for i, f := range st.Fields {
+			fields[i] = f.String()
+		}
+		fmt.Fprintf(&sb, "%%struct.%s = type { %s }\n", st.TagName, strings.Join(fields, ", "))
+	}
+	for _, g := range m.Globals {
+		fmt.Fprintf(&sb, "@%s = global %s", g.Name, g.Elem)
+		if hasNonZero(g.Init) {
+			fmt.Fprintf(&sb, " init \"%x\"", g.Init)
+		}
+		sb.WriteString("\n")
+	}
+	for _, f := range m.Funcs {
+		sb.WriteString("\n")
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}
+
+func hasNonZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// collectStructs gathers the named struct types referenced by the module,
+// in first-appearance order.
+func (m *Module) collectStructs() []*Type {
+	var out []*Type
+	seen := make(map[string]bool)
+	var visit func(t *Type)
+	visit = func(t *Type) {
+		if t == nil {
+			return
+		}
+		switch t.Kind {
+		case KindStruct:
+			if t.TagName == "" || seen[t.TagName] {
+				return
+			}
+			seen[t.TagName] = true
+			// Fields first would break self-reference ordering; emit the
+			// struct, then visit fields for nested tags.
+			out = append(out, t)
+			for _, f := range t.Fields {
+				visit(f)
+			}
+		case KindPtr, KindArray:
+			visit(t.Elem)
+		case KindFunc:
+			visit(t.Return)
+			for _, p := range t.Params {
+				visit(p)
+			}
+		}
+	}
+	for _, g := range m.Globals {
+		visit(g.Elem)
+	}
+	for _, f := range m.Funcs {
+		visit(f.Sig)
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				visit(in.Ty)
+				if in.AllocTy != nil {
+					visit(in.AllocTy)
+				}
+				for _, a := range in.Args {
+					visit(a.Type())
+				}
+			}
+		}
+	}
+	return out
+}
+
+// String renders the function.
+func (f *Function) String() string {
+	f.Renumber()
+	var sb strings.Builder
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = fmt.Sprintf("%s %%%s", p.Ty, p.Name)
+	}
+	if len(f.Blocks) == 0 {
+		fmt.Fprintf(&sb, "declare %s @%s(%s)\n", f.Sig.Return, f.Name, strings.Join(params, ", "))
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "define %s @%s(%s) {\n", f.Sig.Return, f.Name, strings.Join(params, ", "))
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.Name)
+		for _, in := range b.Instrs {
+			sb.WriteString("  ")
+			sb.WriteString(in.String())
+			sb.WriteString("\n")
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// String renders one instruction.
+func (in *Instr) String() string {
+	var sb strings.Builder
+	if in.HasResult() {
+		fmt.Fprintf(&sb, "%s = ", in.Ident())
+	}
+	switch {
+	case in.Op.IsArith():
+		fmt.Fprintf(&sb, "%s %s %s, %s", in.Op, in.Ty, in.Args[0].Ident(), in.Args[1].Ident())
+	case in.Op == OpICmp || in.Op == OpFCmp:
+		fmt.Fprintf(&sb, "%s %s %s %s, %s", in.Op, in.Pred, in.Args[0].Type(), in.Args[0].Ident(), in.Args[1].Ident())
+	case in.Op.IsCast():
+		fmt.Fprintf(&sb, "%s %s %s to %s", in.Op, in.Args[0].Type(), in.Args[0].Ident(), in.Ty)
+	case in.Op == OpAlloca:
+		fmt.Fprintf(&sb, "alloca %s", in.AllocTy)
+	case in.Op == OpLoad:
+		fmt.Fprintf(&sb, "load %s, %s %s", in.Ty, in.Args[0].Type(), in.Args[0].Ident())
+	case in.Op == OpStore:
+		fmt.Fprintf(&sb, "store %s %s, %s %s", in.Args[0].Type(), in.Args[0].Ident(), in.Args[1].Type(), in.Args[1].Ident())
+	case in.Op == OpGEP:
+		fmt.Fprintf(&sb, "getelementptr %s %s", in.Args[0].Type(), in.Args[0].Ident())
+		for _, idx := range in.Args[1:] {
+			fmt.Fprintf(&sb, ", %s %s", idx.Type(), idx.Ident())
+		}
+	case in.Op == OpPhi:
+		fmt.Fprintf(&sb, "phi %s ", in.Ty)
+		for i := range in.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "[ %s, %%%s ]", in.Args[i].Ident(), in.Blocks[i].Name)
+		}
+	case in.Op == OpBr:
+		fmt.Fprintf(&sb, "br label %%%s", in.Blocks[0].Name)
+	case in.Op == OpCondBr:
+		fmt.Fprintf(&sb, "br i1 %s, label %%%s, label %%%s", in.Args[0].Ident(), in.Blocks[0].Name, in.Blocks[1].Name)
+	case in.Op == OpCall:
+		name := in.Builtin
+		if in.Callee != nil {
+			name = in.Callee.Name
+		}
+		args := make([]string, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = fmt.Sprintf("%s %s", a.Type(), a.Ident())
+		}
+		fmt.Fprintf(&sb, "call %s @%s(%s)", in.Ty, name, strings.Join(args, ", "))
+	case in.Op == OpRet:
+		if len(in.Args) == 0 {
+			sb.WriteString("ret void")
+		} else {
+			fmt.Fprintf(&sb, "ret %s %s", in.Args[0].Type(), in.Args[0].Ident())
+		}
+	default:
+		fmt.Fprintf(&sb, "%s ???", in.Op)
+	}
+	return sb.String()
+}

@@ -1,0 +1,249 @@
+// Package ir defines a typed SSA intermediate representation modelled on
+// LLVM IR. It carries the constructs whose assembly-level lowering the
+// DSN'14 study identifies as accuracy-relevant for fault injection:
+// getelementptr address computation, phi nodes, a strict cast taxonomy,
+// explicit load/store, compare and branch instructions, and direct calls.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind discriminates Type.
+type Kind int
+
+// Type kinds.
+const (
+	KindVoid Kind = iota + 1
+	KindInt
+	KindFloat
+	KindPtr
+	KindArray
+	KindStruct
+	KindFunc
+)
+
+// Type is an IR type. Types are structural; use the package constructors
+// and singletons to build them.
+type Type struct {
+	Kind    Kind
+	Bits    int     // KindInt: 1, 8, 16, 32, 64; KindFloat: 64
+	Elem    *Type   // KindPtr, KindArray
+	Len     int     // KindArray
+	Fields  []*Type // KindStruct
+	TagName string  // KindStruct: source-level tag, for printing only
+
+	Params   []*Type // KindFunc
+	Return   *Type   // KindFunc
+	Variadic bool    // KindFunc
+}
+
+// Singleton primitive types.
+var (
+	Void = &Type{Kind: KindVoid}
+	I1   = &Type{Kind: KindInt, Bits: 1}
+	I8   = &Type{Kind: KindInt, Bits: 8}
+	I16  = &Type{Kind: KindInt, Bits: 16}
+	I32  = &Type{Kind: KindInt, Bits: 32}
+	I64  = &Type{Kind: KindInt, Bits: 64}
+	F64  = &Type{Kind: KindFloat, Bits: 64}
+)
+
+// IntType returns the integer type with the given bit width.
+func IntType(bits int) *Type {
+	switch bits {
+	case 1:
+		return I1
+	case 8:
+		return I8
+	case 16:
+		return I16
+	case 32:
+		return I32
+	case 64:
+		return I64
+	default:
+		return &Type{Kind: KindInt, Bits: bits}
+	}
+}
+
+// PointerTo returns a pointer type to elem.
+func PointerTo(elem *Type) *Type { return &Type{Kind: KindPtr, Elem: elem} }
+
+// ArrayOf returns an array type of n elems.
+func ArrayOf(n int, elem *Type) *Type {
+	return &Type{Kind: KindArray, Len: n, Elem: elem}
+}
+
+// StructOf returns a struct type with the given field types.
+func StructOf(tag string, fields ...*Type) *Type {
+	return &Type{Kind: KindStruct, TagName: tag, Fields: fields}
+}
+
+// FuncType returns a function type.
+func FuncType(ret *Type, params ...*Type) *Type {
+	return &Type{Kind: KindFunc, Return: ret, Params: params}
+}
+
+// IsInt reports whether t is an integer type.
+func (t *Type) IsInt() bool { return t.Kind == KindInt }
+
+// IsFloat reports whether t is a floating-point type.
+func (t *Type) IsFloat() bool { return t.Kind == KindFloat }
+
+// IsPtr reports whether t is a pointer type.
+func (t *Type) IsPtr() bool { return t.Kind == KindPtr }
+
+// Size returns the in-memory size of t in bytes.
+func (t *Type) Size() uint64 {
+	switch t.Kind {
+	case KindVoid:
+		return 0
+	case KindInt:
+		switch {
+		case t.Bits <= 8:
+			return 1
+		case t.Bits <= 16:
+			return 2
+		case t.Bits <= 32:
+			return 4
+		default:
+			return 8
+		}
+	case KindFloat, KindPtr:
+		return 8
+	case KindArray:
+		return uint64(t.Len) * t.Elem.Size()
+	case KindStruct:
+		size := uint64(0)
+		for _, f := range t.Fields {
+			size = align(size, f.Align()) + f.Size()
+		}
+		return align(size, t.Align())
+	default:
+		return 0
+	}
+}
+
+// Align returns the alignment of t in bytes.
+func (t *Type) Align() uint64 {
+	switch t.Kind {
+	case KindArray:
+		return t.Elem.Align()
+	case KindStruct:
+		a := uint64(1)
+		for _, f := range t.Fields {
+			if fa := f.Align(); fa > a {
+				a = fa
+			}
+		}
+		return a
+	case KindVoid:
+		return 1
+	default:
+		return t.Size()
+	}
+}
+
+// FieldOffset returns the byte offset of struct field i.
+func (t *Type) FieldOffset(i int) uint64 {
+	off := uint64(0)
+	for j, f := range t.Fields {
+		off = align(off, f.Align())
+		if j == i {
+			return off
+		}
+		off += f.Size()
+	}
+	return off
+}
+
+func align(n, a uint64) uint64 {
+	if a == 0 {
+		return n
+	}
+	return (n + a - 1) / a * a
+}
+
+// Equal reports structural type equality.
+func (t *Type) Equal(o *Type) bool {
+	if t == o {
+		return true
+	}
+	if t == nil || o == nil || t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case KindVoid:
+		return true
+	case KindInt, KindFloat:
+		return t.Bits == o.Bits
+	case KindPtr:
+		return t.Elem.Equal(o.Elem)
+	case KindArray:
+		return t.Len == o.Len && t.Elem.Equal(o.Elem)
+	case KindStruct:
+		// Named structs compare nominally; this also keeps Equal total on
+		// self-referential types (e.g. linked-list nodes).
+		if t.TagName != "" || o.TagName != "" {
+			return t.TagName == o.TagName
+		}
+		if len(t.Fields) != len(o.Fields) {
+			return false
+		}
+		for i := range t.Fields {
+			if !t.Fields[i].Equal(o.Fields[i]) {
+				return false
+			}
+		}
+		return true
+	case KindFunc:
+		if !t.Return.Equal(o.Return) || len(t.Params) != len(o.Params) || t.Variadic != o.Variadic {
+			return false
+		}
+		for i := range t.Params {
+			if !t.Params[i].Equal(o.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// String renders t in LLVM-like syntax.
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case KindVoid:
+		return "void"
+	case KindInt:
+		return fmt.Sprintf("i%d", t.Bits)
+	case KindFloat:
+		return "double"
+	case KindPtr:
+		return t.Elem.String() + "*"
+	case KindArray:
+		return fmt.Sprintf("[%d x %s]", t.Len, t.Elem)
+	case KindStruct:
+		if t.TagName != "" {
+			return "%struct." + t.TagName
+		}
+		parts := make([]string, len(t.Fields))
+		for i, f := range t.Fields {
+			parts[i] = f.String()
+		}
+		return "{ " + strings.Join(parts, ", ") + " }"
+	case KindFunc:
+		parts := make([]string, len(t.Params))
+		for i, p := range t.Params {
+			parts[i] = p.String()
+		}
+		return fmt.Sprintf("%s (%s)", t.Return, strings.Join(parts, ", "))
+	default:
+		return "?"
+	}
+}

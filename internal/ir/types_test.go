@@ -1,0 +1,130 @@
+package ir
+
+import "testing"
+
+func TestTypeSizes(t *testing.T) {
+	cases := []struct {
+		ty    *Type
+		size  uint64
+		align uint64
+	}{
+		{I1, 1, 1},
+		{I8, 1, 1},
+		{I16, 2, 2},
+		{I32, 4, 4},
+		{I64, 8, 8},
+		{F64, 8, 8},
+		{PointerTo(I32), 8, 8},
+		{ArrayOf(10, I32), 40, 4},
+		{ArrayOf(3, ArrayOf(4, I64)), 96, 8},
+		{StructOf("", I32, I64), 16, 8},   // 4 pad 4, then 8
+		{StructOf("", I8, I8, I32), 8, 4}, // 1,1,pad2,4
+		{StructOf("", I64, I8), 16, 8},    // trailing pad
+		{Void, 0, 1},
+	}
+	for _, c := range cases {
+		if got := c.ty.Size(); got != c.size {
+			t.Errorf("%s size = %d, want %d", c.ty, got, c.size)
+		}
+		if got := c.ty.Align(); got != c.align {
+			t.Errorf("%s align = %d, want %d", c.ty, got, c.align)
+		}
+	}
+}
+
+func TestFieldOffsets(t *testing.T) {
+	st := StructOf("node", I32, I64, I8, PointerTo(I8))
+	wants := []uint64{0, 8, 16, 24}
+	for i, w := range wants {
+		if got := st.FieldOffset(i); got != w {
+			t.Errorf("field %d offset = %d, want %d", i, got, w)
+		}
+	}
+	if st.Size() != 32 {
+		t.Errorf("struct size = %d", st.Size())
+	}
+}
+
+func TestTypeEqual(t *testing.T) {
+	if !PointerTo(I32).Equal(PointerTo(I32)) {
+		t.Error("structurally equal pointers")
+	}
+	if PointerTo(I32).Equal(PointerTo(I64)) {
+		t.Error("different pointees must differ")
+	}
+	if !ArrayOf(4, I8).Equal(ArrayOf(4, I8)) || ArrayOf(4, I8).Equal(ArrayOf(5, I8)) {
+		t.Error("array equality")
+	}
+	// Named structs are nominal, which keeps Equal total on recursive
+	// types.
+	n1 := StructOf("node", I32)
+	n1.Fields = append(n1.Fields, PointerTo(n1)) // self-reference
+	n2 := StructOf("node", I32)
+	if !n1.Equal(n2) {
+		t.Error("same-tag structs must be equal")
+	}
+	if n1.Equal(StructOf("other", I32)) {
+		t.Error("different tags must differ")
+	}
+	if !n1.Equal(n1) {
+		t.Error("self equality on recursive type")
+	}
+	if I32.Equal(nil) {
+		t.Error("nil comparison")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	cases := map[string]*Type{
+		"i32":        I32,
+		"double":     F64,
+		"i8*":        PointerTo(I8),
+		"[4 x i32]":  ArrayOf(4, I32),
+		"%struct.tq": StructOf("tq", I32),
+		"void":       Void,
+	}
+	for want, ty := range cases {
+		if got := ty.String(); got != want {
+			t.Errorf("String = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestCanonicalSignExtend(t *testing.T) {
+	if Canonical(0x1FF, I8) != 0xFF {
+		t.Error("canonical i8")
+	}
+	if Canonical(0xFFFFFFFFFFFFFFFF, I32) != 0xFFFFFFFF {
+		t.Error("canonical i32")
+	}
+	if SignExtend(0xFF, I8) != -1 {
+		t.Error("sign extend i8")
+	}
+	if SignExtend(0x7F, I8) != 127 {
+		t.Error("positive i8")
+	}
+	if SignExtend(0x80000000, I32) != -2147483648 {
+		t.Error("sign extend i32")
+	}
+	if SignExtend(5, I64) != 5 {
+		t.Error("i64 passthrough")
+	}
+}
+
+func TestConsts(t *testing.T) {
+	c := ConstInt(I32, -1)
+	if c.Val != 0xFFFFFFFF || c.Int() != -1 {
+		t.Errorf("ConstInt(-1): val=%x int=%d", c.Val, c.Int())
+	}
+	if c.Ident() != "-1" {
+		t.Errorf("ident %q", c.Ident())
+	}
+	f := ConstFloat(2.5)
+	if f.Float() != 2.5 || f.Ident() != "2.5" {
+		t.Errorf("float const: %v %q", f.Float(), f.Ident())
+	}
+	n := ConstNull(PointerTo(I8))
+	if n.Ident() != "null" || n.Val != 0 {
+		t.Error("null const")
+	}
+}

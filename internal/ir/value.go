@@ -1,0 +1,127 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Value is anything that can appear as an instruction operand: constants,
+// globals, function parameters, and instruction results.
+type Value interface {
+	Type() *Type
+	// Ident renders the operand the way it appears in printed IR
+	// (e.g. "%3", "@buf", "42", "3.5").
+	Ident() string
+}
+
+// Const is a compile-time constant of integer, float, or pointer type
+// (the only pointer constant is null).
+type Const struct {
+	Ty  *Type
+	Val uint64 // raw bit pattern, canonicalized to Ty's width
+}
+
+var _ Value = (*Const)(nil)
+
+// ConstInt returns an integer constant of type ty holding v (truncated to
+// the type's width).
+func ConstInt(ty *Type, v int64) *Const {
+	return &Const{Ty: ty, Val: Canonical(uint64(v), ty)}
+}
+
+// ConstFloat returns a double constant.
+func ConstFloat(v float64) *Const {
+	return &Const{Ty: F64, Val: math.Float64bits(v)}
+}
+
+// ConstNull returns the null pointer constant of type ty.
+func ConstNull(ty *Type) *Const { return &Const{Ty: ty, Val: 0} }
+
+// Type implements Value.
+func (c *Const) Type() *Type { return c.Ty }
+
+// Ident implements Value.
+func (c *Const) Ident() string {
+	switch c.Ty.Kind {
+	case KindFloat:
+		return strconv.FormatFloat(math.Float64frombits(c.Val), 'g', -1, 64)
+	case KindPtr:
+		if c.Val == 0 {
+			return "null"
+		}
+		return fmt.Sprintf("inttoptr(0x%x)", c.Val)
+	default:
+		if c.Ty.Bits == 1 {
+			// Booleans print unsigned (0/1), not as sign-extended -1.
+			return strconv.FormatUint(c.Val&1, 10)
+		}
+		return strconv.FormatInt(SignExtend(c.Val, c.Ty), 10)
+	}
+}
+
+// Int returns the constant's value sign-extended to 64 bits.
+func (c *Const) Int() int64 { return SignExtend(c.Val, c.Ty) }
+
+// Float returns the constant's value as a float64.
+func (c *Const) Float() float64 { return math.Float64frombits(c.Val) }
+
+// Canonical masks a raw 64-bit value down to ty's bit width (ints) or
+// returns it unchanged (pointers, floats).
+func Canonical(v uint64, ty *Type) uint64 {
+	if ty.Kind == KindInt && ty.Bits < 64 {
+		return v & (1<<uint(ty.Bits) - 1)
+	}
+	return v
+}
+
+// SignExtend interprets the canonical value v of integer type ty as a
+// signed number, extended to 64 bits.
+func SignExtend(v uint64, ty *Type) int64 {
+	if ty.Kind != KindInt || ty.Bits >= 64 {
+		return int64(v)
+	}
+	shift := uint(64 - ty.Bits)
+	return int64(v<<shift) >> shift
+}
+
+// Global is a module-level variable. Its address is assigned by Layout.
+type Global struct {
+	Name string
+	Elem *Type  // pointee type
+	Init []byte // initial image, len == Elem.Size(); nil means zeroed
+}
+
+var _ Value = (*Global)(nil)
+
+// Type implements Value: a global evaluates to a pointer to its storage.
+func (g *Global) Type() *Type { return PointerTo(g.Elem) }
+
+// Ident implements Value.
+func (g *Global) Ident() string { return "@" + g.Name }
+
+// Param is a function parameter.
+type Param struct {
+	Name  string
+	Ty    *Type
+	Index int
+}
+
+var _ Value = (*Param)(nil)
+
+// Type implements Value.
+func (p *Param) Type() *Type { return p.Ty }
+
+// Ident implements Value.
+func (p *Param) Ident() string { return "%" + p.Name }
+
+// FuncValue lets a Function appear as a call operand.
+type FuncValue struct{ Fn *Function }
+
+var _ Value = (*FuncValue)(nil)
+
+// Type implements Value.
+func (f *FuncValue) Type() *Type { return PointerTo(f.Fn.Sig) }
+
+// Ident implements Value.
+func (f *FuncValue) Ident() string { return "@" + f.Fn.Name }

@@ -1,0 +1,210 @@
+// Package llfi implements the high-level fault injector of the study: an
+// LLFI-style tool that profiles and corrupts programs at the IR level
+// (paper §III). A campaign picks one dynamic execution of one candidate
+// instruction uniformly at random and flips one random bit of its result.
+package llfi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"hlfi/internal/fault"
+	"hlfi/internal/interp"
+	"hlfi/internal/ir"
+)
+
+// HangFactor scales the golden instruction count into the hang-detection
+// budget (the paper's "substantially longer than the golden run" timeout).
+const HangFactor = 20
+
+// ErrNoCandidates reports a category with no dynamic injection targets.
+var ErrNoCandidates = errors.New("llfi: no dynamic candidates")
+
+// Candidates marks the injectable IR instructions for a category, indexed
+// by instruction Seq. Per the paper, candidates must produce a value and
+// have at least one use (the def-use chain activation filter of §IV), and
+// the cast category is restricted to int/fp conversion casts (Table I
+// row 5).
+func Candidates(p *interp.Prepared, cat fault.Category) []bool {
+	out := make([]bool, p.SeqTotal)
+	for _, f := range p.Mod.Funcs {
+		uses := ir.ComputeUses(f)
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if !in.HasResult() || uses.NumUses(in) == 0 {
+					continue
+				}
+				if inCategory(in, cat) {
+					out[in.Seq] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+func inCategory(in *ir.Instr, cat fault.Category) bool {
+	switch cat {
+	case fault.CatAll:
+		return true
+	case fault.CatArith:
+		return in.Op.IsArith()
+	case fault.CatCast:
+		return in.Op.IsConvCast()
+	case fault.CatCmp:
+		return in.Op.IsCmp()
+	case fault.CatLoad:
+		return in.Op == ir.OpLoad
+	default:
+		return false
+	}
+}
+
+// CandidatesFunc builds a candidate set from an arbitrary predicate — the
+// "custom fault injection instruction and operand selector" of the
+// paper's Figure 1, step 1. The def-use activation filter still applies:
+// unusable results are never candidates.
+func CandidatesFunc(p *interp.Prepared, keep func(*ir.Instr) bool) []bool {
+	out := make([]bool, p.SeqTotal)
+	for _, f := range p.Mod.Funcs {
+		uses := ir.ComputeUses(f)
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if !in.HasResult() || uses.NumUses(in) == 0 {
+					continue
+				}
+				if keep(in) {
+					out[in.Seq] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// NewWithCandidates builds an injector over an explicit candidate set
+// (e.g. from CandidatesFunc). The set must contain at least one
+// dynamically executed instruction.
+func NewWithCandidates(p *interp.Prepared, cands []bool) (*Injector, error) {
+	inj, err := New(p, fault.CatAll)
+	if err != nil {
+		return nil, err
+	}
+	inj.Candidates = cands
+	inj.DynTotal = CountDynamic(inj.Profile, cands)
+	if inj.DynTotal == 0 {
+		return nil, ErrNoCandidates
+	}
+	return inj, nil
+}
+
+// CountDynamic sums a profile over a candidate set: the number of dynamic
+// injection opportunities (the N of paper §V).
+func CountDynamic(profile []uint64, candidates []bool) uint64 {
+	var n uint64
+	for i, c := range candidates {
+		if c {
+			n += profile[i]
+		}
+	}
+	return n
+}
+
+// Injector runs single-fault injection campaigns for one (program,
+// category) pair at the IR level.
+type Injector struct {
+	Prep       *interp.Prepared
+	Cat        fault.Category
+	Candidates []bool
+	// DynTotal is the dynamic candidate count from the profiling run.
+	DynTotal uint64
+	// GoldenOutput and GoldenExit are the fault-free results.
+	GoldenOutput []byte
+	GoldenExit   int64
+	// GoldenInstrs sizes the hang budget.
+	GoldenInstrs uint64
+	// Profile holds per-instruction dynamic counts from the golden run.
+	Profile []uint64
+}
+
+// New profiles the program once (the golden run) and prepares an injector
+// for the category.
+func New(p *interp.Prepared, cat fault.Category) (*Injector, error) {
+	var out bytes.Buffer
+	r := interp.NewRunner(p, &out)
+	profile := make([]uint64, p.SeqTotal)
+	r.Profile = profile
+	rc, err := r.Run()
+	if err != nil {
+		return nil, fmt.Errorf("llfi golden run: %w", err)
+	}
+	cand := Candidates(p, cat)
+	inj := &Injector{
+		Prep:         p,
+		Cat:          cat,
+		Candidates:   cand,
+		DynTotal:     CountDynamic(profile, cand),
+		GoldenOutput: out.Bytes(),
+		GoldenExit:   rc,
+		GoldenInstrs: r.Executed(),
+		Profile:      profile,
+	}
+	if inj.DynTotal == 0 {
+		return nil, fmt.Errorf("%w (%s in %s)", ErrNoCandidates, cat, p.Mod.Name)
+	}
+	return inj, nil
+}
+
+// Result is the outcome of one injected run.
+type Result struct {
+	Outcome   fault.Outcome
+	Output    []byte
+	Exit      int64
+	Err       error
+	Injection *interp.Injection
+}
+
+// InjectOne performs a single fault injection: a uniformly random dynamic
+// candidate instance, one random bit of its result.
+func (j *Injector) InjectOne(rng *rand.Rand) *Result {
+	trigger := uint64(rng.Int63n(int64(j.DynTotal)))
+	return j.InjectAt(trigger, rng)
+}
+
+// InjectAt injects at a specific dynamic candidate index (tests and
+// deterministic replay).
+func (j *Injector) InjectAt(trigger uint64, rng *rand.Rand) *Result {
+	var out bytes.Buffer
+	r := interp.NewRunner(j.Prep, &out)
+	r.MaxInstrs = j.GoldenInstrs*HangFactor + 1_000_000
+	injection := &interp.Injection{
+		Candidates:   j.Candidates,
+		TriggerIndex: trigger,
+		Rng:          rng,
+	}
+	r.Inject = injection
+	rc, err := r.Run()
+	res := &Result{Output: out.Bytes(), Exit: rc, Err: err, Injection: injection}
+	res.Outcome = classify(j.GoldenOutput, j.GoldenExit, res, injection.Happened && injection.Activated)
+	return res
+}
+
+func classify(goldenOut []byte, goldenExit int64, res *Result, activated bool) fault.Outcome {
+	switch {
+	case res.Err == interp.ErrHang:
+		return fault.OutcomeHang
+	case res.Err != nil:
+		return fault.OutcomeCrash
+	// A corrupted output always counts as an (activated) SDC, even if the
+	// activation tracker somehow missed the read: the fault demonstrably
+	// influenced execution.
+	case !bytes.Equal(res.Output, goldenOut) || res.Exit != goldenExit:
+		return fault.OutcomeSDC
+	case !activated:
+		return fault.OutcomeNotActivated
+	default:
+		return fault.OutcomeBenign
+	}
+}

@@ -1,0 +1,431 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+
+	"hlfi/internal/mem"
+	"hlfi/internal/rt"
+	"hlfi/internal/x86"
+)
+
+// step executes one instruction. It returns done=true when main returns
+// to the halt address.
+func (m *Machine) step() (bool, error) {
+	if m.rip < 0 || m.rip >= len(m.prog.Instrs) {
+		return false, &mem.Fault{Kind: mem.FaultBadCodeAddr, Addr: mem.CodeBase + uint64(m.rip)*mem.CodeStride}
+	}
+	if m.executed >= m.MaxInstrs {
+		return false, ErrHang
+	}
+	idx := m.rip
+	in := &m.prog.Instrs[idx]
+	m.executed++
+	if m.Profile != nil {
+		m.Profile[idx]++
+	}
+	if m.watch != watchNone {
+		m.checkActivation(in)
+	}
+
+	done, err := m.exec(idx, in)
+	if err != nil || done {
+		return done, err
+	}
+
+	if inj := m.Inject; inj != nil && !inj.Happened && inj.Candidates[idx] {
+		if inj.TriggerIndex == m.candCount {
+			m.fireInjection(idx, in)
+		}
+		m.candCount++
+	}
+	return false, nil
+}
+
+// exec dispatches one instruction; m.rip is advanced here.
+func (m *Machine) exec(idx int, in *x86.Instr) (bool, error) {
+	size := in.OpSize()
+	next := m.rip + 1
+	switch in.Op {
+	case x86.MOV:
+		v, err := m.readOp(in.Src, size)
+		if err != nil {
+			return false, err
+		}
+		if err := m.writeIntDst(in.Dst, size, v); err != nil {
+			return false, err
+		}
+
+	case x86.MOVZX:
+		v, err := m.readOp(in.Src, size)
+		if err != nil {
+			return false, err
+		}
+		m.regs[in.Dst.Reg] = v // already zero-extended
+
+	case x86.MOVSX:
+		v, err := m.readOp(in.Src, size)
+		if err != nil {
+			return false, err
+		}
+		m.regs[in.Dst.Reg] = uint64(signExtend(v, size))
+
+	case x86.LEA:
+		m.regs[in.Dst.Reg] = m.effAddr(in.Src)
+
+	case x86.ADD, x86.SUB, x86.IMUL, x86.AND, x86.OR, x86.XOR,
+		x86.SHL, x86.SHR, x86.SAR:
+		a, err := m.readOp(in.Dst, size)
+		if err != nil {
+			return false, err
+		}
+		b, err := m.readOp(in.Src, size)
+		if err != nil {
+			return false, err
+		}
+		v := aluOp(in.Op, a, b, size)
+		if err := m.writeIntDst(in.Dst, size, v); err != nil {
+			return false, err
+		}
+
+	case x86.NEG:
+		a, err := m.readOp(in.Dst, size)
+		if err != nil {
+			return false, err
+		}
+		if err := m.writeIntDst(in.Dst, size, -a); err != nil {
+			return false, err
+		}
+
+	case x86.CQO:
+		m.regs[x86.RDX] = uint64(int64(m.regs[x86.RAX]) >> 63)
+
+	case x86.IDIV:
+		b, err := m.readOp(in.Src, 8)
+		if err != nil {
+			return false, err
+		}
+		den := int64(b)
+		num := int64(m.regs[x86.RAX])
+		// The dividend is RDX:RAX. The backend always emits CQO first, so
+		// in fault-free runs RDX is the sign extension of RAX; a corrupted
+		// RDX makes the 128-bit dividend exceed the 64-bit quotient range,
+		// which raises #DE on real hardware.
+		if m.regs[x86.RDX] != uint64(num>>63) {
+			return false, &mem.Fault{Kind: mem.FaultDivideByZero}
+		}
+		if den == 0 || (num == math.MinInt64 && den == -1) {
+			return false, &mem.Fault{Kind: mem.FaultDivideByZero}
+		}
+		m.regs[x86.RAX] = uint64(num / den)
+		m.regs[x86.RDX] = uint64(num % den)
+
+	case x86.CMP:
+		a, err := m.readOp(in.Dst, size)
+		if err != nil {
+			return false, err
+		}
+		b, err := m.readOp(in.Src, size)
+		if err != nil {
+			return false, err
+		}
+		m.flags = subFlags(a, b, size)
+
+	case x86.TEST:
+		a, err := m.readOp(in.Dst, size)
+		if err != nil {
+			return false, err
+		}
+		b, err := m.readOp(in.Src, size)
+		if err != nil {
+			return false, err
+		}
+		m.flags = logicFlags(a&b, size)
+
+	case x86.SETE, x86.SETNE, x86.SETL, x86.SETLE, x86.SETG, x86.SETGE,
+		x86.SETB, x86.SETBE, x86.SETA, x86.SETAE:
+		var v uint64
+		if m.cond(in.Op) {
+			v = 1
+		}
+		m.regs[in.Dst.Reg] = v
+
+	case x86.JMP:
+		next = in.Dst.Label
+
+	case x86.JE, x86.JNE, x86.JL, x86.JLE, x86.JG, x86.JGE,
+		x86.JB, x86.JBE, x86.JA, x86.JAE:
+		if m.cond(in.Op) {
+			next = in.Dst.Label
+		}
+
+	case x86.PUSH:
+		v, err := m.readOp(in.Dst, 8)
+		if err != nil {
+			return false, err
+		}
+		if err := m.push(v); err != nil {
+			return false, err
+		}
+
+	case x86.POP:
+		v, err := m.pop()
+		if err != nil {
+			return false, err
+		}
+		m.regs[in.Dst.Reg] = v
+
+	case x86.CALL:
+		if in.Builtin != "" {
+			if err := m.callBuiltin(in); err != nil {
+				return false, err
+			}
+			break
+		}
+		retAddr := mem.CodeBase + uint64(next)*mem.CodeStride
+		if err := m.push(retAddr); err != nil {
+			return false, err
+		}
+		next = in.Dst.Label
+
+	case x86.RET:
+		addr, err := m.pop()
+		if err != nil {
+			return false, err
+		}
+		if addr == m.haltAddr {
+			m.rip = len(m.prog.Instrs)
+			return true, nil
+		}
+		if addr < mem.CodeBase || (addr-mem.CodeBase)%mem.CodeStride != 0 {
+			return false, &mem.Fault{Kind: mem.FaultBadCodeAddr, Addr: addr}
+		}
+		target := int((addr - mem.CodeBase) / mem.CodeStride)
+		if target >= len(m.prog.Instrs) {
+			return false, &mem.Fault{Kind: mem.FaultBadCodeAddr, Addr: addr}
+		}
+		next = target
+
+	case x86.MOVSD:
+		// xmm<-xmm, xmm<-mem, mem<-xmm (low 64 bits).
+		if in.Dst.Kind == x86.OpXmm {
+			v, err := m.readOp(in.Src, 8)
+			if err != nil {
+				return false, err
+			}
+			m.xmm[in.Dst.Xmm][0] = v
+		} else {
+			if err := m.mem.Write(m.effAddr(in.Dst), 8, m.xmm[in.Src.Xmm][0]); err != nil {
+				return false, err
+			}
+		}
+
+	case x86.ADDSD, x86.SUBSD, x86.MULSD, x86.DIVSD:
+		b, err := m.readOp(in.Src, 8)
+		if err != nil {
+			return false, err
+		}
+		x := math.Float64frombits(m.xmm[in.Dst.Xmm][0])
+		y := math.Float64frombits(b)
+		var z float64
+		switch in.Op {
+		case x86.ADDSD:
+			z = x + y
+		case x86.SUBSD:
+			z = x - y
+		case x86.MULSD:
+			z = x * y
+		case x86.DIVSD:
+			z = x / y
+		}
+		m.xmm[in.Dst.Xmm][0] = math.Float64bits(z)
+
+	case x86.XORPD:
+		if in.Dst.Xmm == in.Src.Xmm {
+			m.xmm[in.Dst.Xmm] = [2]uint64{}
+		} else {
+			m.xmm[in.Dst.Xmm][0] ^= m.xmm[in.Src.Xmm][0]
+			m.xmm[in.Dst.Xmm][1] ^= m.xmm[in.Src.Xmm][1]
+		}
+
+	case x86.UCOMISD:
+		b, err := m.readOp(in.Src, 8)
+		if err != nil {
+			return false, err
+		}
+		x := math.Float64frombits(m.xmm[in.Dst.Xmm][0])
+		y := math.Float64frombits(b)
+		m.flags = ucomisdFlags(x, y)
+
+	case x86.CVTSI2SD:
+		v, err := m.readOp(in.Src, size)
+		if err != nil {
+			return false, err
+		}
+		m.xmm[in.Dst.Xmm][0] = math.Float64bits(float64(signExtend(v, size)))
+
+	case x86.CVTTSD2SI:
+		v, err := m.readOp(in.Src, 8)
+		if err != nil {
+			return false, err
+		}
+		f := math.Float64frombits(v)
+		var iv int64
+		if !math.IsNaN(f) {
+			iv = int64(f)
+		}
+		m.regs[in.Dst.Reg] = canonical(uint64(iv), size)
+
+	default:
+		return false, fmt.Errorf("machine: unimplemented opcode %s", in.Op)
+	}
+	m.rip = next
+	return false, nil
+}
+
+func aluOp(op x86.Opcode, a, b, size uint64) uint64 {
+	switch op {
+	case x86.ADD:
+		return a + b
+	case x86.SUB:
+		return a - b
+	case x86.IMUL:
+		return uint64(signExtend(a, size) * signExtend(b, size))
+	case x86.AND:
+		return a & b
+	case x86.OR:
+		return a | b
+	case x86.XOR:
+		return a ^ b
+	case x86.SHL:
+		return a << (b & 63)
+	case x86.SHR:
+		return a >> (b & 63)
+	case x86.SAR:
+		return uint64(signExtend(a, size) >> (b & 63))
+	default:
+		return 0
+	}
+}
+
+// subFlags computes RFLAGS for CMP (a - b) at the given width.
+func subFlags(a, b, size uint64) uint64 {
+	r := canonical(a-b, size)
+	var f uint64
+	if r == 0 {
+		f |= x86.FlagZF
+	}
+	signBit := uint64(1) << (8*size - 1)
+	if r&signBit != 0 {
+		f |= x86.FlagSF
+	}
+	if a < b { // operands canonical => unsigned borrow
+		f |= x86.FlagCF
+	}
+	if (a^b)&(a^r)&signBit != 0 {
+		f |= x86.FlagOF
+	}
+	if parity(byte(r)) {
+		f |= x86.FlagPF
+	}
+	return f
+}
+
+// logicFlags computes RFLAGS for TEST.
+func logicFlags(r, size uint64) uint64 {
+	r = canonical(r, size)
+	var f uint64
+	if r == 0 {
+		f |= x86.FlagZF
+	}
+	if r&(1<<(8*size-1)) != 0 {
+		f |= x86.FlagSF
+	}
+	if parity(byte(r)) {
+		f |= x86.FlagPF
+	}
+	return f
+}
+
+// ucomisdFlags implements the x86 unordered double compare flag recipe.
+func ucomisdFlags(x, y float64) uint64 {
+	switch {
+	case math.IsNaN(x) || math.IsNaN(y):
+		return x86.FlagZF | x86.FlagPF | x86.FlagCF
+	case x > y:
+		return 0
+	case x < y:
+		return x86.FlagCF
+	default:
+		return x86.FlagZF
+	}
+}
+
+func parity(b byte) bool {
+	b ^= b >> 4
+	b ^= b >> 2
+	b ^= b >> 1
+	return b&1 == 0
+}
+
+// cond evaluates a Jcc/SETcc condition against RFLAGS.
+func (m *Machine) cond(op x86.Opcode) bool {
+	zf := m.flags&x86.FlagZF != 0
+	sf := m.flags&x86.FlagSF != 0
+	of := m.flags&x86.FlagOF != 0
+	cf := m.flags&x86.FlagCF != 0
+	switch op {
+	case x86.JE, x86.SETE:
+		return zf
+	case x86.JNE, x86.SETNE:
+		return !zf
+	case x86.JL, x86.SETL:
+		return sf != of
+	case x86.JLE, x86.SETLE:
+		return zf || sf != of
+	case x86.JG, x86.SETG:
+		return !zf && sf == of
+	case x86.JGE, x86.SETGE:
+		return sf == of
+	case x86.JB, x86.SETB:
+		return cf
+	case x86.JBE, x86.SETBE:
+		return cf || zf
+	case x86.JA, x86.SETA:
+		return !cf && !zf
+	case x86.JAE, x86.SETAE:
+		return !cf
+	default:
+		return false
+	}
+}
+
+// builtin argument registers per SysV.
+var (
+	intArgRegs = x86.IntArgRegs
+	fltArgRegs = x86.FloatArgRegs
+)
+
+func (m *Machine) callBuiltin(in *x86.Instr) error {
+	args := make([]uint64, len(in.ArgClasses))
+	ii, fi := 0, 0
+	for k := 0; k < len(in.ArgClasses); k++ {
+		if in.ArgClasses[k] == 'd' {
+			args[k] = m.xmm[fltArgRegs[fi]][0]
+			fi++
+		} else {
+			args[k] = m.regs[intArgRegs[ii]]
+			ii++
+		}
+	}
+	ret, err := rt.Call(m.env, in.Builtin, args)
+	if err != nil {
+		return err
+	}
+	if in.RetFloat {
+		m.xmm[x86.XMM0][0] = ret
+	} else {
+		m.regs[x86.RAX] = ret
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"hlfi/internal/x86"
+)
+
+// TestLogicFlags pins the TEST flag recipe: ZF on zero, SF on the sign
+// bit at the operand width, PF on the low byte's parity. OF/CF are never
+// set by TEST.
+func TestLogicFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		r    uint64
+		size uint64
+		want uint64
+	}{
+		{"zero", 0, 8, x86.FlagZF | x86.FlagPF},          // parity of 0x00 is even
+		{"one", 1, 8, 0},                                 // odd parity, positive
+		{"three", 3, 8, x86.FlagPF},                      // 0b11: even parity
+		{"neg64", 1 << 63, 8, x86.FlagSF | x86.FlagPF},   // low byte 0 -> PF
+		{"neg32", 1 << 31, 4, x86.FlagSF | x86.FlagPF},   // sign at 32-bit width
+		{"trunc32", 1 << 63, 4, x86.FlagZF | x86.FlagPF}, // canonicalized away
+		{"byte-sign", 0x80, 1, x86.FlagSF},               // 0x80: one bit -> odd parity
+	}
+	for _, c := range cases {
+		if got := logicFlags(c.r, c.size); got != c.want {
+			t.Errorf("%s: logicFlags(%#x, %d) = %#x, want %#x", c.name, c.r, c.size, got, c.want)
+		}
+	}
+}
+
+// TestCondTable checks every Jcc condition against hand-picked flag
+// states, including the signed conditions' SF!=OF overflow handling.
+func TestCondTable(t *testing.T) {
+	const (
+		zf = x86.FlagZF
+		sf = x86.FlagSF
+		of = x86.FlagOF
+		cf = x86.FlagCF
+	)
+	cases := []struct {
+		op    x86.Opcode
+		flags uint64
+		want  bool
+	}{
+		{x86.JE, zf, true}, {x86.JE, 0, false},
+		{x86.JNE, zf, false}, {x86.JNE, 0, true},
+		// Signed less-than is SF != OF: true both for a plain negative
+		// result and for a positive result that overflowed.
+		{x86.JL, sf, true}, {x86.JL, of, true}, {x86.JL, sf | of, false}, {x86.JL, 0, false},
+		{x86.JLE, zf, true}, {x86.JLE, sf, true}, {x86.JLE, sf | of, false},
+		{x86.JG, 0, true}, {x86.JG, zf, false}, {x86.JG, sf | of, true}, {x86.JG, sf, false},
+		{x86.JGE, 0, true}, {x86.JGE, sf | of, true}, {x86.JGE, sf, false}, {x86.JGE, of, false},
+		// Unsigned conditions read CF (UCOMISD encodes < as CF).
+		{x86.JB, cf, true}, {x86.JB, 0, false},
+		{x86.JBE, cf, true}, {x86.JBE, zf, true}, {x86.JBE, 0, false},
+		{x86.JA, 0, true}, {x86.JA, cf, false}, {x86.JA, zf, false},
+		{x86.JAE, 0, true}, {x86.JAE, cf, false}, {x86.JAE, zf, true},
+		// SETcc shares the table.
+		{x86.SETL, sf, true}, {x86.SETGE, sf, false}, {x86.SETE, zf, true},
+		{x86.SETA, 0, true}, {x86.SETBE, zf, true},
+	}
+	m := &Machine{}
+	for _, c := range cases {
+		m.flags = c.flags
+		if got := m.cond(c.op); got != c.want {
+			t.Errorf("cond(%v) with flags %#x = %v, want %v", c.op, c.flags, got, c.want)
+		}
+	}
+}
+
+// TestReadWriteSets pins the activation tracker's per-opcode read/write
+// sets — the machinery deciding whether a corrupted register was consumed
+// (fault activated) or clobbered (fault excluded).
+func TestReadWriteSets(t *testing.T) {
+	r := func(reg x86.Reg) x86.Operand { return x86.R(reg) }
+	mem := func(base x86.Reg) x86.Operand { return x86.Mem(base, x86.RegNone, 1, 0) }
+	m := &Machine{}
+
+	readCases := []struct {
+		name string
+		in   x86.Instr
+		reg  x86.Reg
+		want bool
+	}{
+		{"mov-src", x86.Instr{Op: x86.MOV, Dst: r(x86.RAX), Src: r(x86.RCX), Size: 8}, x86.RCX, true},
+		{"mov-dst-not-read", x86.Instr{Op: x86.MOV, Dst: r(x86.RAX), Src: r(x86.RCX), Size: 8}, x86.RAX, false},
+		{"add-dst-read", x86.Instr{Op: x86.ADD, Dst: r(x86.RAX), Src: x86.Imm(1), Size: 8}, x86.RAX, true},
+		{"store-addr-read", x86.Instr{Op: x86.MOV, Dst: mem(x86.RDI), Src: r(x86.RAX), Size: 8}, x86.RDI, true},
+		{"load-addr-read", x86.Instr{Op: x86.MOV, Dst: r(x86.RAX), Src: mem(x86.RSI), Size: 8}, x86.RSI, true},
+		{"cmp-both", x86.Instr{Op: x86.CMP, Dst: r(x86.RBX), Src: r(x86.RDX), Size: 8}, x86.RBX, true},
+		{"push-rsp", x86.Instr{Op: x86.PUSH, Dst: r(x86.RBX)}, x86.RSP, true},
+		{"push-val", x86.Instr{Op: x86.PUSH, Dst: r(x86.RBX)}, x86.RBX, true},
+		{"pop-rsp", x86.Instr{Op: x86.POP, Dst: r(x86.RBX)}, x86.RSP, true},
+		{"pop-dst-not-read", x86.Instr{Op: x86.POP, Dst: r(x86.RBX)}, x86.RBX, false},
+		{"ret-rsp", x86.Instr{Op: x86.RET}, x86.RSP, true},
+		{"cqo-rax", x86.Instr{Op: x86.CQO}, x86.RAX, true},
+		{"cqo-not-rdx", x86.Instr{Op: x86.CQO}, x86.RDX, false},
+		// IDIV is emitted as Dst=RAX, Src=divisor (isel convention).
+		{"idiv-rax", x86.Instr{Op: x86.IDIV, Dst: r(x86.RAX), Src: r(x86.RCX), Size: 8}, x86.RAX, true},
+		{"idiv-rdx", x86.Instr{Op: x86.IDIV, Dst: r(x86.RAX), Src: r(x86.RCX), Size: 8}, x86.RDX, true},
+		{"idiv-divisor", x86.Instr{Op: x86.IDIV, Dst: r(x86.RAX), Src: r(x86.RCX), Size: 8}, x86.RCX, true},
+		{"lea-components", x86.Instr{Op: x86.LEA, Dst: r(x86.RAX),
+			Src: x86.Operand{Kind: x86.OpMem, Base: x86.RBX, Index: x86.RCX, Scale: 4}}, x86.RCX, true},
+	}
+	for _, c := range readCases {
+		if got := m.readsReg(&c.in, c.reg); got != c.want {
+			t.Errorf("readsReg %s (%v): got %v, want %v", c.name, c.reg, got, c.want)
+		}
+	}
+
+	writeCases := []struct {
+		name string
+		in   x86.Instr
+		reg  x86.Reg
+		want bool
+	}{
+		{"mov-dst", x86.Instr{Op: x86.MOV, Dst: r(x86.RAX), Src: x86.Imm(1), Size: 8}, x86.RAX, true},
+		{"store-no-write", x86.Instr{Op: x86.MOV, Dst: mem(x86.RDI), Src: r(x86.RAX), Size: 8}, x86.RDI, false},
+		{"cmp-no-write", x86.Instr{Op: x86.CMP, Dst: r(x86.RBX), Src: x86.Imm(0), Size: 8}, x86.RBX, false},
+		{"push-rsp", x86.Instr{Op: x86.PUSH, Dst: r(x86.RBX)}, x86.RSP, true},
+		{"pop-dst", x86.Instr{Op: x86.POP, Dst: r(x86.RBX)}, x86.RBX, true},
+		{"cqo-rdx", x86.Instr{Op: x86.CQO}, x86.RDX, true},
+		{"idiv-rax", x86.Instr{Op: x86.IDIV, Dst: r(x86.RAX), Src: r(x86.RCX), Size: 8}, x86.RAX, true},
+		{"idiv-rdx", x86.Instr{Op: x86.IDIV, Dst: r(x86.RAX), Src: r(x86.RCX), Size: 8}, x86.RDX, true},
+		{"idiv-not-divisor", x86.Instr{Op: x86.IDIV, Dst: r(x86.RAX), Src: r(x86.RCX), Size: 8}, x86.RCX, false},
+	}
+	for _, c := range writeCases {
+		if got := writesReg(&c.in, c.reg); got != c.want {
+			t.Errorf("writesReg %s (%v): got %v, want %v", c.name, c.reg, got, c.want)
+		}
+	}
+
+	x := func(xr x86.XReg) x86.Operand { return x86.X(xr) }
+	xmmReads := []struct {
+		name string
+		in   x86.Instr
+		xr   x86.XReg
+		want bool
+	}{
+		{"movsd-src", x86.Instr{Op: x86.MOVSD, Dst: x(x86.XMM0), Src: x(x86.XMM1)}, x86.XMM1, true},
+		{"movsd-dst-not-read", x86.Instr{Op: x86.MOVSD, Dst: x(x86.XMM0), Src: x(x86.XMM1)}, x86.XMM0, false},
+		{"addsd-dst-read", x86.Instr{Op: x86.ADDSD, Dst: x(x86.XMM0), Src: x(x86.XMM1)}, x86.XMM0, true},
+		{"ucomisd-both", x86.Instr{Op: x86.UCOMISD, Dst: x(x86.XMM2), Src: x(x86.XMM3)}, x86.XMM2, true},
+		// xorpd x, x zeroes regardless of the old value, but the register
+		// still appears as a source; the tracker counts that as a read
+		// (conservative: over-activating is safer than missing a read).
+		{"xorpd-self-zeroing", x86.Instr{Op: x86.XORPD, Dst: x(x86.XMM4), Src: x(x86.XMM4)}, x86.XMM4, true},
+		{"xorpd-other", x86.Instr{Op: x86.XORPD, Dst: x(x86.XMM4), Src: x(x86.XMM5)}, x86.XMM4, true},
+	}
+	for _, c := range xmmReads {
+		if got := m.readsXmm(&c.in, c.xr); got != c.want {
+			t.Errorf("readsXmm %s: got %v, want %v", c.name, got, c.want)
+		}
+	}
+	if !writesXmm(&x86.Instr{Op: x86.XORPD, Dst: x(x86.XMM4), Src: x(x86.XMM4)}, x86.XMM4) {
+		t.Error("xorpd self must write its destination")
+	}
+	if writesXmm(&x86.Instr{Op: x86.ADDSD, Dst: x(x86.XMM0), Src: x(x86.XMM1)}, x86.XMM0) {
+		t.Error("addsd reads-modifies-writes; tracker treats it as a read, not a blind write")
+	}
+}
+
+// TestBuiltinCallArgTracking: a builtin CALL reads exactly the argument
+// registers its signature names, honoring the int/float split.
+func TestBuiltinCallArgTracking(t *testing.T) {
+	m := &Machine{}
+	// print_double(d): one float arg -> reads XMM0, no int args.
+	pd := x86.Instr{Op: x86.CALL, Builtin: "print_double", ArgClasses: "d"}
+	if m.readsReg(&pd, x86.RDI) {
+		t.Error("print_double should not read RDI")
+	}
+	if !m.readsXmm(&pd, x86.XMM0) {
+		t.Error("print_double must read XMM0")
+	}
+	// malloc(n): one int arg -> reads RDI, writes RAX.
+	ml := x86.Instr{Op: x86.CALL, Builtin: "malloc", ArgClasses: "l"}
+	if !m.readsReg(&ml, x86.RDI) {
+		t.Error("malloc must read RDI")
+	}
+	if !writesReg(&ml, x86.RAX) {
+		t.Error("malloc must write RAX")
+	}
+	// pow(x, y) returns a double: writes XMM0, not RAX.
+	pw := x86.Instr{Op: x86.CALL, Builtin: "pow", ArgClasses: "dd", RetFloat: true}
+	if !writesXmm(&pw, x86.XMM0) {
+		t.Error("pow must write XMM0")
+	}
+	if writesReg(&pw, x86.RAX) {
+		t.Error("float-returning builtin must not clobber-track RAX")
+	}
+}
+
+func TestDescribeInjection(t *testing.T) {
+	inj := &Injection{InstrIdx: 42, TargetDesc: "rbx", Bit: 17,
+		OrigVal: 0x1000, FaultyVal: 0x21000, Activated: true}
+	s := DescribeInjection(inj)
+	for _, want := range []string{"instr 42", "rbx", "bit 17", "0x1000", "0x21000", "activated=true"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("DescribeInjection missing %q: %s", want, s)
+		}
+	}
+}
+
+func TestMemoryAccessor(t *testing.T) {
+	m := New(asm(x86.Instr{Op: x86.RET}), nil, 0, nil)
+	if m.Memory() == nil {
+		t.Fatal("Memory() returned nil")
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Executed() != 1 {
+		t.Fatalf("executed = %d", m.Executed())
+	}
+}

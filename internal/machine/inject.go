@@ -1,0 +1,248 @@
+package machine
+
+import (
+	"fmt"
+
+	"hlfi/internal/x86"
+)
+
+// fireInjection corrupts the destination of the instruction that just
+// executed: one random bit of the destination register, or — for a
+// compare feeding a conditional jump — one of the flag bits the jump
+// actually reads (PINFI's activation heuristics, paper §IV).
+func (m *Machine) fireInjection(idx int, in *x86.Instr) {
+	inj := m.Inject
+	switch {
+	case in.Op.IsFlagSetter():
+		mask := m.depFlags[idx]
+		if mask == 0 {
+			return // not a candidate shape; selector should prevent this
+		}
+		bits := maskBits(mask)
+		bit := bits[inj.Rng.Intn(len(bits))]
+		inj.OrigVal = m.flags
+		m.flags ^= 1 << uint(bit)
+		inj.FaultyVal = m.flags
+		inj.Bit = bit
+		inj.TargetDesc = "rflags"
+		m.watch = watchFlags
+		m.watchMask = 1 << uint(bit)
+
+	case in.Dst.Kind == x86.OpXmm:
+		// Double-precision SSE ops use only the low 64 of the 128-bit
+		// register; prune the injection space accordingly (Figure 2(b)).
+		bit := inj.Rng.Intn(64)
+		inj.OrigVal = m.xmm[in.Dst.Xmm][0]
+		m.xmm[in.Dst.Xmm][0] ^= 1 << uint(bit)
+		inj.FaultyVal = m.xmm[in.Dst.Xmm][0]
+		inj.Bit = bit
+		inj.TargetDesc = in.Dst.Xmm.String()
+		m.watch = watchXmm
+		m.watchXmm_ = in.Dst.Xmm
+
+	case in.Dst.Kind == x86.OpReg:
+		width := injectWidth(in)
+		bit := inj.Rng.Intn(width)
+		inj.OrigVal = m.regs[in.Dst.Reg]
+		m.regs[in.Dst.Reg] ^= 1 << uint(bit)
+		inj.FaultyVal = m.regs[in.Dst.Reg]
+		inj.Bit = bit
+		inj.TargetDesc = in.Dst.Reg.String()
+		m.watch = watchReg
+		m.watchReg_ = in.Dst.Reg
+
+	default:
+		return
+	}
+	inj.Happened = true
+	inj.InstrIdx = idx
+}
+
+// injectWidth is the register width PINFI would flip within: the operand
+// width of the operation, except for instructions that architecturally
+// write the full 64-bit register.
+func injectWidth(in *x86.Instr) int {
+	switch in.Op {
+	case x86.MOVZX, x86.MOVSX, x86.LEA, x86.POP:
+		return 64
+	default:
+		return int(in.OpSize()) * 8
+	}
+}
+
+func maskBits(mask uint64) []int {
+	var out []int
+	for _, b := range x86.FlagBits {
+		if mask&(1<<uint(b)) != 0 {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// checkActivation inspects the instruction about to execute: a read of
+// the corrupted location activates the fault; an overwrite without a read
+// kills it (the run is then excluded and redrawn by the campaign).
+func (m *Machine) checkActivation(in *x86.Instr) {
+	switch m.watch {
+	case watchReg:
+		if m.readsReg(in, m.watchReg_) {
+			m.Inject.Activated = true
+			m.watch = watchNone
+		} else if writesReg(in, m.watchReg_) {
+			m.watch = watchNone
+		}
+	case watchXmm:
+		if m.readsXmm(in, m.watchXmm_) {
+			m.Inject.Activated = true
+			m.watch = watchNone
+		} else if writesXmm(in, m.watchXmm_) {
+			m.watch = watchNone
+		}
+	case watchFlags:
+		if in.Op.IsCondJump() || in.Op.IsSet() {
+			if CondFlagMask(in.Op)&m.watchMask != 0 {
+				m.Inject.Activated = true
+				m.watch = watchNone
+			}
+			return
+		}
+		if in.Op.IsFlagSetter() {
+			m.watch = watchNone
+		}
+	}
+}
+
+func operandReadsReg(o x86.Operand, r x86.Reg) bool {
+	switch o.Kind {
+	case x86.OpReg:
+		return o.Reg == r
+	case x86.OpMem:
+		return o.Base == r || o.Index == r
+	default:
+		return false
+	}
+}
+
+// readsReg reports whether in reads general-purpose register r.
+func (m *Machine) readsReg(in *x86.Instr, r x86.Reg) bool {
+	if operandReadsReg(in.Src, r) {
+		return true
+	}
+	if in.Dst.Kind == x86.OpMem && operandReadsReg(in.Dst, r) {
+		return true
+	}
+	switch in.Op {
+	case x86.ADD, x86.SUB, x86.IMUL, x86.NEG, x86.AND, x86.OR, x86.XOR,
+		x86.SHL, x86.SHR, x86.SAR, x86.CMP, x86.TEST:
+		if in.Dst.Kind == x86.OpReg && in.Dst.Reg == r {
+			return true
+		}
+	case x86.PUSH:
+		if operandReadsReg(in.Dst, r) || r == x86.RSP {
+			return true
+		}
+	case x86.POP, x86.RET:
+		if r == x86.RSP {
+			return true
+		}
+	case x86.CALL:
+		if r == x86.RSP {
+			return true
+		}
+		// Builtin calls read their argument registers directly.
+		if in.Builtin != "" {
+			ii := 0
+			for k := 0; k < len(in.ArgClasses); k++ {
+				if in.ArgClasses[k] != 'd' {
+					if intArgRegs[ii] == r {
+						return true
+					}
+					ii++
+				}
+			}
+		}
+	case x86.CQO, x86.IDIV:
+		if r == x86.RAX {
+			return true
+		}
+		if in.Op == x86.IDIV && r == x86.RDX {
+			return true
+		}
+	}
+	return false
+}
+
+// writesReg reports whether in overwrites general-purpose register r.
+func writesReg(in *x86.Instr, r x86.Reg) bool {
+	if in.HasRegDest() && in.Dst.Kind == x86.OpReg && in.Dst.Reg == r {
+		return true
+	}
+	switch in.Op {
+	case x86.PUSH, x86.POP, x86.CALL, x86.RET:
+		if r == x86.RSP {
+			return true
+		}
+	case x86.CQO:
+		if r == x86.RDX {
+			return true
+		}
+	case x86.IDIV:
+		if r == x86.RAX || r == x86.RDX {
+			return true
+		}
+	}
+	if in.Op == x86.CALL && in.Builtin != "" && r == x86.RAX && !in.RetFloat {
+		return true
+	}
+	return false
+}
+
+func (m *Machine) readsXmm(in *x86.Instr, x xr) bool {
+	if in.Src.Kind == x86.OpXmm && in.Src.Xmm == x {
+		return true
+	}
+	switch in.Op {
+	case x86.ADDSD, x86.SUBSD, x86.MULSD, x86.DIVSD, x86.UCOMISD:
+		if in.Dst.Kind == x86.OpXmm && in.Dst.Xmm == x {
+			return true
+		}
+	case x86.XORPD:
+		if in.Dst.Xmm == x && in.Src.Xmm != x {
+			return true
+		}
+	case x86.CALL:
+		if in.Builtin != "" {
+			fi := 0
+			for k := 0; k < len(in.ArgClasses); k++ {
+				if in.ArgClasses[k] == 'd' {
+					if fltArgRegs[fi] == x {
+						return true
+					}
+					fi++
+				}
+			}
+		}
+	}
+	return false
+}
+
+func writesXmm(in *x86.Instr, x xr) bool {
+	switch in.Op {
+	case x86.MOVSD, x86.CVTSI2SD:
+		return in.Dst.Kind == x86.OpXmm && in.Dst.Xmm == x
+	case x86.XORPD:
+		return in.Dst.Xmm == x
+	case x86.CALL:
+		return in.Builtin != "" && in.RetFloat && x == x86.XMM0
+	}
+	return false
+}
+
+type xr = x86.XReg
+
+// DescribeInjection renders the injection record for logs and tests.
+func DescribeInjection(inj *Injection) string {
+	return fmt.Sprintf("instr %d, %s bit %d: 0x%x -> 0x%x (activated=%v)",
+		inj.InstrIdx, inj.TargetDesc, inj.Bit, inj.OrigVal, inj.FaultyVal, inj.Activated)
+}

@@ -1,0 +1,257 @@
+// Package machine simulates the synthetic x86-like processor. It is the
+// low-level execution substrate of the study — the level at which the
+// PINFI-style injector observes and corrupts architectural state, standing
+// in for a native CPU run under Intel PIN.
+//
+// The simulator executes the backend's lowered instruction stream against
+// the same virtual memory model as the IR interpreter, with architectural
+// registers, an RFLAGS register, a real call stack holding return
+// addresses in simulated memory (so corrupted pointers can smash them),
+// and fake code addresses for call/ret so that a corrupted return address
+// is detectable as a crash.
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"hlfi/internal/mem"
+	"hlfi/internal/rt"
+	"hlfi/internal/x86"
+)
+
+// ErrHang is returned when execution exceeds the instruction budget.
+var ErrHang = errors.New("instruction budget exceeded (hang)")
+
+// DefaultMaxInstrs is the fallback dynamic-instruction budget.
+const DefaultMaxInstrs = 400_000_000
+
+// Injection describes a single-bit flip into the destination register (or
+// the dependent flag bits, for compare instructions) of one dynamic
+// instruction, and records what happened.
+type Injection struct {
+	// Candidates marks injectable static instructions by index.
+	Candidates []bool
+	// TriggerIndex selects the dynamic candidate execution to corrupt.
+	TriggerIndex uint64
+	Rng          *rand.Rand
+
+	// Results.
+	Happened   bool
+	Activated  bool
+	InstrIdx   int // static instruction index hit
+	Bit        int
+	OrigVal    uint64
+	FaultyVal  uint64
+	TargetDesc string
+}
+
+// watch tracks the corrupted location until it is read (activated) or
+// overwritten (not activated).
+type watchKind int
+
+const (
+	watchNone watchKind = iota
+	watchReg
+	watchXmm
+	watchFlags
+)
+
+// Machine executes one run of a lowered program.
+type Machine struct {
+	prog *x86.Program
+	mem  *mem.Memory
+	env  *rt.Env
+
+	regs  [x86.NumRegs]uint64
+	xmm   [x86.NumXRegs][2]uint64
+	flags uint64
+	rip   int
+
+	// MaxInstrs bounds dynamic instructions; exceeded => ErrHang.
+	MaxInstrs uint64
+	// Profile, when non-nil (length = len(prog.Instrs)), counts executions
+	// of each static instruction.
+	Profile []uint64
+	// Inject, when non-nil, arms a single fault injection.
+	Inject *Injection
+
+	// depFlags[i] is the flag mask the Jcc following instruction i reads,
+	// when instruction i is a flag setter followed by a conditional jump
+	// (PINFI's Figure 2(a) heuristic); 0 otherwise.
+	depFlags []uint64
+
+	executed  uint64
+	candCount uint64
+	haltAddr  uint64
+
+	watch     watchKind
+	watchReg_ x86.Reg
+	watchXmm_ x86.XReg
+	watchMask uint64 // for watchFlags: the corrupted bit
+}
+
+// New creates a machine with fresh memory, the globals image installed,
+// and the constant pool mapped.
+func New(p *x86.Program, layoutImage []byte, layoutBase uint64, out io.Writer) *Machine {
+	m := mem.New()
+	if len(layoutImage) > 0 {
+		m.Map(layoutBase, uint64(len(layoutImage)))
+		if err := m.WriteBytes(layoutBase, layoutImage); err != nil {
+			panic("machine: install globals: " + err.Error())
+		}
+	} else {
+		m.Map(layoutBase, mem.PageSize)
+	}
+	if len(p.Rodata) > 0 {
+		m.Map(x86.RodataBase, uint64(len(p.Rodata)))
+		if err := m.WriteBytes(x86.RodataBase, p.Rodata); err != nil {
+			panic("machine: install rodata: " + err.Error())
+		}
+	}
+	mc := &Machine{
+		prog:      p,
+		mem:       m,
+		env:       &rt.Env{Mem: m, Out: out},
+		MaxInstrs: DefaultMaxInstrs,
+		depFlags:  DependentFlagMasks(p),
+		haltAddr:  mem.CodeBase + uint64(len(p.Instrs))*mem.CodeStride,
+	}
+	return mc
+}
+
+// DependentFlagMasks computes, for each instruction, the mask of flag bits
+// read by an immediately following conditional jump — the bits PINFI's
+// compare heuristic restricts injection to.
+func DependentFlagMasks(p *x86.Program) []uint64 {
+	masks := make([]uint64, len(p.Instrs))
+	for i, in := range p.Instrs {
+		if !in.Op.IsFlagSetter() || i+1 >= len(p.Instrs) {
+			continue
+		}
+		next := p.Instrs[i+1].Op
+		if next.IsCondJump() {
+			masks[i] = CondFlagMask(next)
+		}
+	}
+	return masks
+}
+
+// CondFlagMask returns the flag bits a conditional jump (or SETcc) reads.
+func CondFlagMask(op x86.Opcode) uint64 {
+	switch op {
+	case x86.JE, x86.JNE, x86.SETE, x86.SETNE:
+		return x86.FlagZF
+	case x86.JL, x86.JGE, x86.SETL, x86.SETGE:
+		return x86.FlagSF | x86.FlagOF
+	case x86.JLE, x86.JG, x86.SETLE, x86.SETG:
+		return x86.FlagZF | x86.FlagSF | x86.FlagOF
+	case x86.JB, x86.JAE, x86.SETB, x86.SETAE:
+		return x86.FlagCF
+	case x86.JBE, x86.JA, x86.SETBE, x86.SETA:
+		return x86.FlagCF | x86.FlagZF
+	default:
+		return 0
+	}
+}
+
+// Memory exposes the simulated address space (tests, builtins).
+func (m *Machine) Memory() *mem.Memory { return m.mem }
+
+// Executed reports retired dynamic instructions.
+func (m *Machine) Executed() uint64 { return m.executed }
+
+// Reg reads a general-purpose register (tests).
+func (m *Machine) Reg(r x86.Reg) uint64 { return m.regs[r] }
+
+// Run executes the program from its entry point until main returns. The
+// exit value is main's i32 result. A *mem.Fault error is a simulated
+// crash; ErrHang is a timeout.
+func (m *Machine) Run() (int64, error) {
+	m.regs[x86.RSP] = mem.StackTop
+	if err := m.push(m.haltAddr); err != nil {
+		return 0, err
+	}
+	m.rip = m.prog.Entry
+	for {
+		done, err := m.step()
+		if err != nil {
+			return 0, err
+		}
+		if done {
+			return int64(int32(m.regs[x86.RAX])), nil
+		}
+	}
+}
+
+func (m *Machine) push(v uint64) error {
+	m.regs[x86.RSP] -= 8
+	return m.mem.Write(m.regs[x86.RSP], 8, v)
+}
+
+func (m *Machine) pop() (uint64, error) {
+	v, err := m.mem.Read(m.regs[x86.RSP], 8)
+	if err != nil {
+		return 0, err
+	}
+	m.regs[x86.RSP] += 8
+	return v, nil
+}
+
+// effAddr computes a memory operand's effective address.
+func (m *Machine) effAddr(o x86.Operand) uint64 {
+	addr := uint64(o.Disp)
+	if o.Base != x86.RegNone {
+		addr += m.regs[o.Base]
+	}
+	if o.Index != x86.RegNone {
+		addr += m.regs[o.Index] * uint64(o.Scale)
+	}
+	return addr
+}
+
+// readOp reads an integer-class source operand at the given width,
+// returning the canonical (zero-extended) value.
+func (m *Machine) readOp(o x86.Operand, size uint64) (uint64, error) {
+	switch o.Kind {
+	case x86.OpReg:
+		return canonical(m.regs[o.Reg], size), nil
+	case x86.OpImm:
+		return canonical(uint64(o.Imm), size), nil
+	case x86.OpMem:
+		return m.mem.Read(m.effAddr(o), size)
+	case x86.OpXmm:
+		return m.xmm[o.Xmm][0], nil
+	default:
+		return 0, fmt.Errorf("machine: bad source operand kind %d", o.Kind)
+	}
+}
+
+// writeIntDst writes an integer result to a register or memory operand.
+// Register writes store the canonical zero-extended value (all widths
+// zero the upper bits, mirroring the IR's canonical value form).
+func (m *Machine) writeIntDst(o x86.Operand, size, v uint64) error {
+	switch o.Kind {
+	case x86.OpReg:
+		m.regs[o.Reg] = canonical(v, size)
+		return nil
+	case x86.OpMem:
+		return m.mem.Write(m.effAddr(o), size, v)
+	default:
+		return fmt.Errorf("machine: bad int destination kind %d", o.Kind)
+	}
+}
+
+func canonical(v, size uint64) uint64 {
+	if size >= 8 {
+		return v
+	}
+	return v & (1<<(8*size) - 1)
+}
+
+func signExtend(v, size uint64) int64 {
+	shift := uint(64 - 8*size)
+	return int64(v<<shift) >> shift
+}

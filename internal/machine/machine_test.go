@@ -1,0 +1,617 @@
+package machine
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"hlfi/internal/mem"
+	"hlfi/internal/x86"
+)
+
+// asm assembles a hand-written program whose entry is instruction 0.
+func asm(instrs ...x86.Instr) *x86.Program {
+	return &x86.Program{Instrs: instrs, Entry: 0, FuncAt: map[string]int{"main": 0}}
+}
+
+// runProg runs a program to completion and returns the machine.
+func runProg(t *testing.T, p *x86.Program) (*Machine, int64) {
+	t.Helper()
+	var out bytes.Buffer
+	m := New(p, nil, mem.GlobalsBase, &out)
+	rc, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m, rc
+}
+
+func TestALUSemantics(t *testing.T) {
+	cases := []struct {
+		name string
+		op   x86.Opcode
+		a, b int64
+		size uint8
+		want uint64
+	}{
+		{"add64", x86.ADD, 7, 3, 8, 10},
+		{"sub32-wrap", x86.SUB, 0, 1, 4, 0xFFFFFFFF},
+		{"imul32", x86.IMUL, -3, 7, 4, uint64(uint32(0xFFFFFFEB))}, // -21 canonical
+		{"and", x86.AND, 6, 3, 8, 2},
+		{"or", x86.OR, 6, 3, 8, 7},
+		{"xor", x86.XOR, 6, 3, 8, 5},
+		{"shl", x86.SHL, 1, 10, 8, 1024},
+		{"shr32", x86.SHR, -8, 1, 4, 0x7FFFFFFC},
+		{"sar32", x86.SAR, -8, 1, 4, uint64(uint32(0xFFFFFFFC))},
+	}
+	for _, c := range cases {
+		p := asm(
+			x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RCX), Src: x86.Imm(c.a), Size: c.size},
+			x86.Instr{Op: c.op, Dst: x86.R(x86.RCX), Src: x86.Imm(c.b), Size: c.size},
+			x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RAX), Src: x86.R(x86.RCX), Size: 8},
+			x86.Instr{Op: x86.RET},
+		)
+		m, _ := runProg(t, p)
+		if got := m.Reg(x86.RAX); got != c.want {
+			t.Errorf("%s: got %x want %x", c.name, got, c.want)
+		}
+	}
+}
+
+func TestDivide(t *testing.T) {
+	p := asm(
+		x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RAX), Src: x86.Imm(-17), Size: 8},
+		x86.Instr{Op: x86.MOV, Dst: x86.R(x86.R11), Src: x86.Imm(5), Size: 8},
+		x86.Instr{Op: x86.CQO, Dst: x86.R(x86.RDX)},
+		x86.Instr{Op: x86.IDIV, Dst: x86.R(x86.RAX), Src: x86.R(x86.R11), Size: 8},
+		x86.Instr{Op: x86.RET},
+	)
+	m, _ := runProg(t, p)
+	if int64(m.Reg(x86.RAX)) != -3 || int64(m.Reg(x86.RDX)) != -2 {
+		t.Fatalf("idiv: q=%d r=%d", int64(m.Reg(x86.RAX)), int64(m.Reg(x86.RDX)))
+	}
+
+	bad := asm(
+		x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RAX), Src: x86.Imm(1), Size: 8},
+		x86.Instr{Op: x86.MOV, Dst: x86.R(x86.R11), Src: x86.Imm(0), Size: 8},
+		x86.Instr{Op: x86.CQO, Dst: x86.R(x86.RDX)},
+		x86.Instr{Op: x86.IDIV, Dst: x86.R(x86.RAX), Src: x86.R(x86.R11), Size: 8},
+		x86.Instr{Op: x86.RET},
+	)
+	var out bytes.Buffer
+	m2 := New(bad, nil, mem.GlobalsBase, &out)
+	_, err := m2.Run()
+	var f *mem.Fault
+	if !errors.As(err, &f) || f.Kind != mem.FaultDivideByZero {
+		t.Fatalf("want divide fault, got %v", err)
+	}
+}
+
+func TestFlagsAndJcc(t *testing.T) {
+	// if (3 < 5) rax = 1 else rax = 2
+	p := asm(
+		x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RCX), Src: x86.Imm(3), Size: 8},
+		x86.Instr{Op: x86.CMP, Dst: x86.R(x86.RCX), Src: x86.Imm(5), Size: 8},
+		x86.Instr{Op: x86.JL, Dst: x86.Label(5)},
+		x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RAX), Src: x86.Imm(2), Size: 8},
+		x86.Instr{Op: x86.RET},
+		x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RAX), Src: x86.Imm(1), Size: 8},
+		x86.Instr{Op: x86.RET},
+	)
+	_, rc := runProg(t, p)
+	if rc != 1 {
+		t.Fatalf("jl taken branch: rc=%d", rc)
+	}
+}
+
+func TestSignedVsUnsignedCompare(t *testing.T) {
+	// -1 vs 1: signed less (JL taken), unsigned greater (JA taken).
+	build := func(jcc x86.Opcode) *x86.Program {
+		return asm(
+			x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RCX), Src: x86.Imm(-1), Size: 8},
+			x86.Instr{Op: x86.CMP, Dst: x86.R(x86.RCX), Src: x86.Imm(1), Size: 8},
+			x86.Instr{Op: jcc, Dst: x86.Label(5)},
+			x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RAX), Src: x86.Imm(0), Size: 8},
+			x86.Instr{Op: x86.RET},
+			x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RAX), Src: x86.Imm(1), Size: 8},
+			x86.Instr{Op: x86.RET},
+		)
+	}
+	if _, rc := runProg(t, build(x86.JL)); rc != 1 {
+		t.Error("JL on -1 vs 1 must be taken")
+	}
+	if _, rc := runProg(t, build(x86.JA)); rc != 1 {
+		t.Error("JA on -1 vs 1 must be taken (unsigned)")
+	}
+	if _, rc := runProg(t, build(x86.JE)); rc != 0 {
+		t.Error("JE on -1 vs 1 must not be taken")
+	}
+}
+
+func TestSETcc(t *testing.T) {
+	p := asm(
+		x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RCX), Src: x86.Imm(9), Size: 8},
+		x86.Instr{Op: x86.CMP, Dst: x86.R(x86.RCX), Src: x86.Imm(9), Size: 8},
+		x86.Instr{Op: x86.SETE, Dst: x86.R(x86.RAX), Size: 1},
+		x86.Instr{Op: x86.RET},
+	)
+	if _, rc := runProg(t, p); rc != 1 {
+		t.Fatalf("sete: %d", rc)
+	}
+}
+
+func TestPushPopCallRet(t *testing.T) {
+	// main: mov rcx,5; call f(7); rax += rcx restored? Use push/pop of rcx
+	// around a call to verify the stack and return address machinery.
+	p := asm(
+		/*0*/ x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RCX), Src: x86.Imm(5), Size: 8},
+		/*1*/ x86.Instr{Op: x86.PUSH, Dst: x86.R(x86.RCX)},
+		/*2*/ x86.Instr{Op: x86.CALL, Dst: x86.Label(7)},
+		/*3*/ x86.Instr{Op: x86.POP, Dst: x86.R(x86.RCX)},
+		/*4*/ x86.Instr{Op: x86.ADD, Dst: x86.R(x86.RAX), Src: x86.R(x86.RCX), Size: 8},
+		/*5*/ x86.Instr{Op: x86.RET},
+		/*6*/ x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RAX), Src: x86.Imm(-99), Size: 8}, // dead
+		/*7*/ x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RAX), Src: x86.Imm(37), Size: 8}, // f:
+		/*8*/ x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RCX), Src: x86.Imm(0), Size: 8}, // clobber rcx
+		/*9*/ x86.Instr{Op: x86.RET},
+	)
+	if _, rc := runProg(t, p); rc != 42 {
+		t.Fatalf("call/ret: rc=%d", rc)
+	}
+}
+
+func TestCorruptedReturnAddressCrashes(t *testing.T) {
+	// Smash the saved return address, then RET.
+	p := asm(
+		x86.Instr{Op: x86.PUSH, Dst: x86.Imm(0x12345)},
+		x86.Instr{Op: x86.RET},
+	)
+	var out bytes.Buffer
+	m := New(p, nil, mem.GlobalsBase, &out)
+	_, err := m.Run()
+	var f *mem.Fault
+	if !errors.As(err, &f) || f.Kind != mem.FaultBadCodeAddr {
+		t.Fatalf("want bad code address, got %v", err)
+	}
+}
+
+func TestSSEDoubleOps(t *testing.T) {
+	rod := func(v float64) int64 { return int64(x86.RodataBase) }
+	_ = rod
+	p := asm(
+		x86.Instr{Op: x86.MOVSD, Dst: x86.X(x86.XMM1), Src: x86.Abs(int64(x86.RodataBase))},
+		x86.Instr{Op: x86.MOVSD, Dst: x86.X(x86.XMM2), Src: x86.Abs(int64(x86.RodataBase) + 8)},
+		x86.Instr{Op: x86.MULSD, Dst: x86.X(x86.XMM1), Src: x86.X(x86.XMM2)},
+		x86.Instr{Op: x86.ADDSD, Dst: x86.X(x86.XMM1), Src: x86.X(x86.XMM2)},
+		x86.Instr{Op: x86.CVTTSD2SI, Dst: x86.R(x86.RAX), Src: x86.X(x86.XMM1), Size: 8},
+		x86.Instr{Op: x86.RET},
+	)
+	var rodata [16]byte
+	writeF64 := func(off int, v float64) {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			rodata[off+i] = byte(bits >> (8 * i))
+		}
+	}
+	writeF64(0, 2.5)
+	writeF64(8, 4.0)
+	p.Rodata = rodata[:]
+	if _, rc := runProg(t, p); rc != 14 { // 2.5*4 + 4 = 14
+		t.Fatalf("sse: rc=%d", rc)
+	}
+}
+
+func TestUCOMISDFlagRecipe(t *testing.T) {
+	if f := ucomisdFlags(1, 2); f != x86.FlagCF {
+		t.Errorf("1<2 flags: %x", f)
+	}
+	if f := ucomisdFlags(2, 1); f != 0 {
+		t.Errorf("2>1 flags: %x", f)
+	}
+	if f := ucomisdFlags(2, 2); f != x86.FlagZF {
+		t.Errorf("eq flags: %x", f)
+	}
+	nan := math.NaN()
+	if f := ucomisdFlags(nan, 1); f != x86.FlagZF|x86.FlagPF|x86.FlagCF {
+		t.Errorf("nan flags: %x", f)
+	}
+}
+
+func TestDependentFlagMasks(t *testing.T) {
+	p := asm(
+		x86.Instr{Op: x86.CMP, Dst: x86.R(x86.RCX), Src: x86.Imm(0), Size: 8},
+		x86.Instr{Op: x86.JL, Dst: x86.Label(3)},
+		x86.Instr{Op: x86.CMP, Dst: x86.R(x86.RCX), Src: x86.Imm(1), Size: 8}, // no Jcc after
+		x86.Instr{Op: x86.RET},
+	)
+	masks := DependentFlagMasks(p)
+	if masks[0] != x86.FlagSF|x86.FlagOF {
+		t.Errorf("jl deps: %x (the paper's Figure 2a example reads SF/OF)", masks[0])
+	}
+	if masks[2] != 0 {
+		t.Errorf("cmp without jcc must have no mask: %x", masks[2])
+	}
+}
+
+func TestCondFlagMaskTable(t *testing.T) {
+	cases := map[x86.Opcode]uint64{
+		x86.JE:  x86.FlagZF,
+		x86.JNE: x86.FlagZF,
+		x86.JL:  x86.FlagSF | x86.FlagOF,
+		x86.JLE: x86.FlagZF | x86.FlagSF | x86.FlagOF,
+		x86.JB:  x86.FlagCF,
+		x86.JA:  x86.FlagCF | x86.FlagZF,
+	}
+	for op, want := range cases {
+		if got := CondFlagMask(op); got != want {
+			t.Errorf("%s mask = %x, want %x", op, got, want)
+		}
+	}
+}
+
+// TestFlagInjectionFlipsBranch verifies PINFI's compare heuristic: a flip
+// of a dependent flag bit inverts the branch decision.
+func TestFlagInjectionFlipsBranch(t *testing.T) {
+	p := asm(
+		/*0*/ x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RCX), Src: x86.Imm(3), Size: 8},
+		/*1*/ x86.Instr{Op: x86.CMP, Dst: x86.R(x86.RCX), Src: x86.Imm(3), Size: 8},
+		/*2*/ x86.Instr{Op: x86.JE, Dst: x86.Label(5)},
+		/*3*/ x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RAX), Src: x86.Imm(0), Size: 8},
+		/*4*/ x86.Instr{Op: x86.RET},
+		/*5*/ x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RAX), Src: x86.Imm(1), Size: 8},
+		/*6*/ x86.Instr{Op: x86.RET},
+	)
+	cands := make([]bool, len(p.Instrs))
+	cands[1] = true // the CMP
+	var out bytes.Buffer
+	m := New(p, nil, mem.GlobalsBase, &out)
+	inj := &Injection{Candidates: cands, TriggerIndex: 0, Rng: rand.New(rand.NewSource(4))}
+	m.Inject = inj
+	rc, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inj.Happened || inj.TargetDesc != "rflags" {
+		t.Fatalf("flag injection did not fire: %+v", inj)
+	}
+	if inj.Bit != 6 { // JE depends only on ZF (bit 6)
+		t.Fatalf("flipped bit %d, want ZF(6)", inj.Bit)
+	}
+	if rc != 0 {
+		t.Fatalf("ZF flip must invert JE: rc=%d", rc)
+	}
+	if !inj.Activated {
+		t.Fatal("flag read by JE must count as activated")
+	}
+}
+
+// TestRegisterInjectionActivation: overwrite-before-read is not activated;
+// read is.
+func TestRegisterInjectionActivation(t *testing.T) {
+	build := func() *x86.Program {
+		return asm(
+			/*0*/ x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RCX), Src: x86.Imm(7), Size: 8},
+			/*1*/ x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RCX), Src: x86.Imm(9), Size: 8}, // overwrite
+			/*2*/ x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RAX), Src: x86.R(x86.RCX), Size: 8},
+			/*3*/ x86.Instr{Op: x86.RET},
+		)
+	}
+	p := build()
+	cands := make([]bool, len(p.Instrs))
+	cands[0] = true
+	var out bytes.Buffer
+	m := New(p, nil, mem.GlobalsBase, &out)
+	inj := &Injection{Candidates: cands, TriggerIndex: 0, Rng: rand.New(rand.NewSource(1))}
+	m.Inject = inj
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if inj.Activated {
+		t.Fatal("overwritten-before-read must not be activated")
+	}
+
+	p2 := build()
+	cands2 := make([]bool, len(p2.Instrs))
+	cands2[1] = true // corrupt the second MOV; instruction 2 reads it
+	m2 := New(p2, nil, mem.GlobalsBase, &out)
+	inj2 := &Injection{Candidates: cands2, TriggerIndex: 0, Rng: rand.New(rand.NewSource(1))}
+	m2.Inject = inj2
+	if _, err := m2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !inj2.Activated {
+		t.Fatal("read register must be activated")
+	}
+}
+
+// TestXMMInjectionLow64 verifies the double-precision pruning heuristic
+// (paper Figure 2b): XMM injections stay in the low 64 bits.
+func TestXMMInjectionLow64(t *testing.T) {
+	var rodata [8]byte
+	bits := math.Float64bits(1.0)
+	for i := 0; i < 8; i++ {
+		rodata[i] = byte(bits >> (8 * i))
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		p := asm(
+			x86.Instr{Op: x86.MOVSD, Dst: x86.X(x86.XMM3), Src: x86.Abs(int64(x86.RodataBase))},
+			x86.Instr{Op: x86.ADDSD, Dst: x86.X(x86.XMM3), Src: x86.X(x86.XMM3)},
+			x86.Instr{Op: x86.CVTTSD2SI, Dst: x86.R(x86.RAX), Src: x86.X(x86.XMM3), Size: 8},
+			x86.Instr{Op: x86.RET},
+		)
+		p.Rodata = rodata[:]
+		cands := make([]bool, len(p.Instrs))
+		cands[1] = true
+		var out bytes.Buffer
+		m := New(p, nil, mem.GlobalsBase, &out)
+		inj := &Injection{Candidates: cands, TriggerIndex: 0, Rng: rand.New(rand.NewSource(seed))}
+		m.Inject = inj
+		_, _ = m.Run()
+		if !inj.Happened {
+			t.Fatal("no injection")
+		}
+		if inj.Bit >= 64 {
+			t.Fatalf("XMM injection outside low 64 bits: %d", inj.Bit)
+		}
+	}
+}
+
+func TestHang(t *testing.T) {
+	p := asm(x86.Instr{Op: x86.JMP, Dst: x86.Label(0)})
+	var out bytes.Buffer
+	m := New(p, nil, mem.GlobalsBase, &out)
+	m.MaxInstrs = 5000
+	if _, err := m.Run(); err != ErrHang {
+		t.Fatalf("want ErrHang, got %v", err)
+	}
+}
+
+func TestBuiltinCall(t *testing.T) {
+	p := asm(
+		x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RDI), Src: x86.Imm(-123), Size: 8},
+		x86.Instr{Op: x86.CALL, Builtin: "print_int", ArgClasses: "i"},
+		x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RAX), Src: x86.Imm(0), Size: 8},
+		x86.Instr{Op: x86.RET},
+	)
+	var out bytes.Buffer
+	m := New(p, nil, mem.GlobalsBase, &out)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "-123" {
+		t.Fatalf("builtin output: %q", out.String())
+	}
+}
+
+func TestMemoryOperandAddressing(t *testing.T) {
+	// Write 0x55 to globals+8*3 via [base + index*8 + disp].
+	p := asm(
+		x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RCX), Src: x86.Imm(int64(mem.GlobalsBase)), Size: 8},
+		x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RSI), Src: x86.Imm(2), Size: 8},
+		x86.Instr{Op: x86.MOV, Dst: x86.Mem(x86.RCX, x86.RSI, 8, 8), Src: x86.Imm(0x55), Size: 8},
+		x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RAX), Src: x86.Mem(x86.RCX, x86.RegNone, 1, 24), Size: 8},
+		x86.Instr{Op: x86.RET},
+	)
+	var out bytes.Buffer
+	m := New(p, nil, mem.GlobalsBase, &out)
+	rc, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc != 0x55 {
+		t.Fatalf("addressing: rc=%x", rc)
+	}
+}
+
+func TestWideningMovs(t *testing.T) {
+	// MOVZX/MOVSX at each width, against a byte pattern in memory.
+	var rodata [8]byte
+	rodata[0] = 0xFE // -2 as i8
+	rodata[1] = 0xFF
+	rodata[2] = 0x80 // with byte 3 forms 0xFF80 = -128 as i16
+	rodata[3] = 0xFF
+	rodata[4] = 0x00
+	p := asm(
+		x86.Instr{Op: x86.MOVZX, Dst: x86.R(x86.RCX), Src: x86.Abs(int64(x86.RodataBase)), Size: 1},
+		x86.Instr{Op: x86.MOVSX, Dst: x86.R(x86.RSI), Src: x86.Abs(int64(x86.RodataBase)), Size: 1},
+		x86.Instr{Op: x86.MOVZX, Dst: x86.R(x86.RDI), Src: x86.Abs(int64(x86.RodataBase) + 2), Size: 2},
+		x86.Instr{Op: x86.MOVSX, Dst: x86.R(x86.R8), Src: x86.Abs(int64(x86.RodataBase) + 2), Size: 2},
+		x86.Instr{Op: x86.RET},
+	)
+	p.Rodata = rodata[:]
+	m, _ := runProg(t, p)
+	if m.Reg(x86.RCX) != 0xFE {
+		t.Errorf("movzx8: %x", m.Reg(x86.RCX))
+	}
+	if int64(m.Reg(x86.RSI)) != -2 {
+		t.Errorf("movsx8: %d", int64(m.Reg(x86.RSI)))
+	}
+	if m.Reg(x86.RDI) != 0xFF80 {
+		t.Errorf("movzx16: %x", m.Reg(x86.RDI))
+	}
+	if int64(m.Reg(x86.R8)) != -128 {
+		t.Errorf("movsx16: %d", int64(m.Reg(x86.R8)))
+	}
+}
+
+func TestNegAndXorpd(t *testing.T) {
+	p := asm(
+		x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RAX), Src: x86.Imm(42), Size: 8},
+		x86.Instr{Op: x86.NEG, Dst: x86.R(x86.RAX), Size: 8},
+		x86.Instr{Op: x86.XORPD, Dst: x86.X(x86.XMM5), Src: x86.X(x86.XMM5)},
+		x86.Instr{Op: x86.CVTTSD2SI, Dst: x86.R(x86.RCX), Src: x86.X(x86.XMM5), Size: 8},
+		x86.Instr{Op: x86.ADD, Dst: x86.R(x86.RAX), Src: x86.R(x86.RCX), Size: 8},
+		x86.Instr{Op: x86.RET},
+	)
+	if _, rc := runProg(t, p); rc != -42 {
+		t.Fatalf("neg/xorpd: %d", rc)
+	}
+}
+
+func TestRIPOutOfRangeCrashes(t *testing.T) {
+	p := asm(
+		x86.Instr{Op: x86.JMP, Dst: x86.Label(99)},
+	)
+	var out bytes.Buffer
+	m := New(p, nil, mem.GlobalsBase, &out)
+	_, err := m.Run()
+	var f *mem.Fault
+	if !errors.As(err, &f) || f.Kind != mem.FaultBadCodeAddr {
+		t.Fatalf("jump out of code: %v", err)
+	}
+}
+
+func TestProfileCountsMachine(t *testing.T) {
+	p := asm(
+		x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RCX), Src: x86.Imm(0), Size: 8},
+		x86.Instr{Op: x86.ADD, Dst: x86.R(x86.RCX), Src: x86.Imm(1), Size: 8},
+		x86.Instr{Op: x86.CMP, Dst: x86.R(x86.RCX), Src: x86.Imm(5), Size: 8},
+		x86.Instr{Op: x86.JL, Dst: x86.Label(1)},
+		x86.Instr{Op: x86.RET},
+	)
+	var out bytes.Buffer
+	m := New(p, nil, mem.GlobalsBase, &out)
+	prof := make([]uint64, len(p.Instrs))
+	m.Profile = prof
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if prof[0] != 1 || prof[1] != 5 || prof[2] != 5 || prof[3] != 5 || prof[4] != 1 {
+		t.Fatalf("profile: %v", prof)
+	}
+	var sum uint64
+	for _, c := range prof {
+		sum += c
+	}
+	if sum != m.Executed() {
+		t.Fatalf("profile sum %d != executed %d", sum, m.Executed())
+	}
+}
+
+// TestCorruptedCQOResultCrashes: a fault in RDX between CQO and IDIV makes
+// the 128-bit dividend exceed the quotient range — #DE on real hardware.
+func TestCorruptedCQOResultCrashes(t *testing.T) {
+	p := asm(
+		/*0*/ x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RAX), Src: x86.Imm(100), Size: 8},
+		/*1*/ x86.Instr{Op: x86.MOV, Dst: x86.R(x86.R11), Src: x86.Imm(7), Size: 8},
+		/*2*/ x86.Instr{Op: x86.CQO, Dst: x86.R(x86.RDX)},
+		/*3*/ x86.Instr{Op: x86.IDIV, Dst: x86.R(x86.RAX), Src: x86.R(x86.R11), Size: 8},
+		/*4*/ x86.Instr{Op: x86.RET},
+	)
+	// Inject into the CQO result (RDX).
+	cands := make([]bool, len(p.Instrs))
+	cands[2] = true
+	var out bytes.Buffer
+	m := New(p, nil, mem.GlobalsBase, &out)
+	inj := &Injection{Candidates: cands, TriggerIndex: 0, Rng: rand.New(rand.NewSource(2))}
+	m.Inject = inj
+	_, err := m.Run()
+	var f *mem.Fault
+	if !errors.As(err, &f) || f.Kind != mem.FaultDivideByZero {
+		t.Fatalf("corrupted CQO dividend should raise #DE, got %v", err)
+	}
+	if !inj.Activated {
+		t.Fatal("IDIV reads RDX: the fault is activated")
+	}
+}
+
+// TestBuiltinFloatCall marshals a double argument into XMM0 and reads the
+// double result back from XMM0.
+func TestBuiltinFloatCall(t *testing.T) {
+	var rodata [8]byte
+	bits := math.Float64bits(9.0)
+	for i := 0; i < 8; i++ {
+		rodata[i] = byte(bits >> (8 * i))
+	}
+	p := asm(
+		x86.Instr{Op: x86.MOVSD, Dst: x86.X(x86.XMM0), Src: x86.Abs(int64(x86.RodataBase))},
+		x86.Instr{Op: x86.CALL, Builtin: "sqrt", ArgClasses: "d", RetFloat: true},
+		x86.Instr{Op: x86.CVTTSD2SI, Dst: x86.R(x86.RAX), Src: x86.X(x86.XMM0), Size: 8},
+		x86.Instr{Op: x86.RET},
+	)
+	p.Rodata = rodata[:]
+	if _, rc := runProg(t, p); rc != 3 {
+		t.Fatalf("sqrt(9): %d", rc)
+	}
+}
+
+// TestBuiltinMixedArgs checks pow(double,double) and malloc(int-class).
+func TestBuiltinMixedArgs(t *testing.T) {
+	var rodata [16]byte
+	put := func(off int, v float64) {
+		b := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			rodata[off+i] = byte(b >> (8 * i))
+		}
+	}
+	put(0, 2.0)
+	put(8, 10.0)
+	p := asm(
+		x86.Instr{Op: x86.MOVSD, Dst: x86.X(x86.XMM0), Src: x86.Abs(int64(x86.RodataBase))},
+		x86.Instr{Op: x86.MOVSD, Dst: x86.X(x86.XMM1), Src: x86.Abs(int64(x86.RodataBase) + 8)},
+		x86.Instr{Op: x86.CALL, Builtin: "pow", ArgClasses: "dd", RetFloat: true},
+		x86.Instr{Op: x86.CVTTSD2SI, Dst: x86.R(x86.RCX), Src: x86.X(x86.XMM0), Size: 8},
+		// malloc(64): integer arg in RDI, pointer result in RAX.
+		x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RDI), Src: x86.Imm(64), Size: 8},
+		x86.Instr{Op: x86.CALL, Builtin: "malloc", ArgClasses: "i"},
+		// Store through the fresh allocation to prove it is mapped.
+		x86.Instr{Op: x86.MOV, Dst: x86.Mem(x86.RAX, x86.RegNone, 1, 0), Src: x86.R(x86.RCX), Size: 8},
+		x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RAX), Src: x86.Mem(x86.RAX, x86.RegNone, 1, 0), Size: 8},
+		x86.Instr{Op: x86.RET},
+	)
+	p.Rodata = rodata[:]
+	if _, rc := runProg(t, p); rc != 1024 {
+		t.Fatalf("pow/malloc chain: %d", rc)
+	}
+}
+
+// TestInjectionWidthRespectsOperandSize: faults in a 32-bit operation's
+// destination register stay within the low 32 bits; full-register writers
+// (LEA/POP/MOVZX) use all 64.
+func TestInjectionWidthRespectsOperandSize(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		p := asm(
+			x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RCX), Src: x86.Imm(5), Size: 8},
+			x86.Instr{Op: x86.ADD, Dst: x86.R(x86.RCX), Src: x86.Imm(1), Size: 4}, // 32-bit op
+			x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RAX), Src: x86.R(x86.RCX), Size: 8},
+			x86.Instr{Op: x86.RET},
+		)
+		cands := make([]bool, len(p.Instrs))
+		cands[1] = true
+		var out bytes.Buffer
+		m := New(p, nil, mem.GlobalsBase, &out)
+		inj := &Injection{Candidates: cands, TriggerIndex: 0, Rng: rand.New(rand.NewSource(seed))}
+		m.Inject = inj
+		if _, err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if !inj.Happened || inj.Bit >= 32 {
+			t.Fatalf("32-bit op injected bit %d (happened=%v)", inj.Bit, inj.Happened)
+		}
+	}
+	// LEA writes the full register: bits up to 63 are possible. Find one.
+	seen64 := false
+	for seed := int64(0); seed < 60 && !seen64; seed++ {
+		p := asm(
+			x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RCX), Src: x86.Imm(int64(mem.GlobalsBase)), Size: 8},
+			x86.Instr{Op: x86.LEA, Dst: x86.R(x86.RSI), Src: x86.Mem(x86.RCX, x86.RegNone, 1, 8)},
+			x86.Instr{Op: x86.MOV, Dst: x86.R(x86.RAX), Src: x86.R(x86.RSI), Size: 8},
+			x86.Instr{Op: x86.RET},
+		)
+		cands := make([]bool, len(p.Instrs))
+		cands[1] = true
+		var out bytes.Buffer
+		m := New(p, nil, mem.GlobalsBase, &out)
+		inj := &Injection{Candidates: cands, TriggerIndex: 0, Rng: rand.New(rand.NewSource(seed))}
+		m.Inject = inj
+		_, _ = m.Run()
+		if inj.Happened && inj.Bit >= 32 {
+			seen64 = true
+		}
+	}
+	if !seen64 {
+		t.Fatal("LEA injections never touched the high 32 bits")
+	}
+}

@@ -1,0 +1,238 @@
+package minic
+
+// The AST mirrors a conventional C grammar subset. Every node carries the
+// token that introduced it for error positions.
+
+// File is a parsed translation unit.
+type File struct {
+	Structs []*StructDecl
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// TypeExpr is a syntactic type: a base name plus pointer/array derivations.
+type TypeExpr struct {
+	Tok Token
+	// Base is one of "void", "char", "int", "long", "double", or a struct
+	// tag (IsStruct true).
+	Base     string
+	IsStruct bool
+	Stars    int   // pointer depth applied after array dims
+	Dims     []int // array dimensions, outermost first
+}
+
+// StructDecl declares a struct type.
+type StructDecl struct {
+	Tok    Token
+	Tag    string
+	Fields []*FieldDecl
+}
+
+// FieldDecl is one struct field.
+type FieldDecl struct {
+	Tok  Token
+	Name string
+	Type *TypeExpr
+}
+
+// VarDecl declares a global or local variable.
+type VarDecl struct {
+	Tok  Token
+	Name string
+	Type *TypeExpr
+	Init Expr // optional scalar initializer
+	// InitList is an optional brace initializer for arrays.
+	InitList []Expr
+	// InitStr is an optional string initializer for char arrays.
+	InitStr string
+	HasStr  bool
+}
+
+// FuncDecl defines a function.
+type FuncDecl struct {
+	Tok    Token
+	Name   string
+	Ret    *TypeExpr
+	Params []*ParamDecl
+	Body   *BlockStmt // nil for a prototype
+}
+
+// ParamDecl is one function parameter.
+type ParamDecl struct {
+	Tok  Token
+	Name string
+	Type *TypeExpr
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// BlockStmt is { ... }.
+type BlockStmt struct {
+	Tok   Token
+	Items []Stmt
+}
+
+// DeclStmt wraps local variable declarations.
+type DeclStmt struct{ Decls []*VarDecl }
+
+// ExprStmt is an expression evaluated for effect.
+type ExprStmt struct{ X Expr }
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Tok  Token
+	Cond Expr
+	Then Stmt
+	Else Stmt // optional
+}
+
+// WhileStmt is while (cond) body; DoWhile marks do { } while(cond).
+type WhileStmt struct {
+	Tok     Token
+	Cond    Expr
+	Body    Stmt
+	DoWhile bool
+}
+
+// ForStmt is for (init; cond; post) body.
+type ForStmt struct {
+	Tok  Token
+	Init Stmt // DeclStmt or ExprStmt or nil
+	Cond Expr // optional
+	Post Expr // optional
+	Body Stmt
+}
+
+// ReturnStmt returns from the function.
+type ReturnStmt struct {
+	Tok Token
+	X   Expr // optional
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Tok Token }
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct{ Tok Token }
+
+func (*BlockStmt) stmtNode()    {}
+func (*DeclStmt) stmtNode()     {}
+func (*ExprStmt) stmtNode()     {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ForStmt) stmtNode()      {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+
+// Expr is an expression node.
+type Expr interface{ exprNode() }
+
+// IntLit is an integer (or char) literal.
+type IntLit struct {
+	Tok    Token
+	Val    int64
+	IsLong bool // literals > int32 range become long
+}
+
+// FloatLit is a double literal.
+type FloatLit struct {
+	Tok Token
+	Val float64
+}
+
+// StrLit is a string literal (decays to char*).
+type StrLit struct {
+	Tok Token
+	Val string
+}
+
+// Ident references a variable or function name.
+type Ident struct {
+	Tok  Token
+	Name string
+}
+
+// Unary is -x, !x, ~x, *x, &x, and pre-inc/dec (Op "++"/"--", Prefix).
+type Unary struct {
+	Tok Token
+	Op  string
+	X   Expr
+}
+
+// Postfix is x++ / x--.
+type Postfix struct {
+	Tok Token
+	Op  string
+	X   Expr
+}
+
+// Binary is a binary operator (arith, compare, logic with short-circuit).
+type Binary struct {
+	Tok  Token
+	Op   string
+	L, R Expr
+}
+
+// Assign is L op= R (Op "" for plain =).
+type Assign struct {
+	Tok  Token
+	Op   string // "", "+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"
+	L, R Expr
+}
+
+// Cond is c ? a : b.
+type Cond struct {
+	Tok     Token
+	C, A, B Expr
+}
+
+// Call invokes a function or builtin.
+type Call struct {
+	Tok  Token
+	Name string
+	Args []Expr
+}
+
+// Index is a[i].
+type Index struct {
+	Tok  Token
+	X, I Expr
+}
+
+// Member is x.f (Arrow false) or x->f (Arrow true).
+type Member struct {
+	Tok   Token
+	X     Expr
+	Name  string
+	Arrow bool
+}
+
+// CastExpr is (type)x.
+type CastExpr struct {
+	Tok  Token
+	Type *TypeExpr
+	X    Expr
+}
+
+// SizeofExpr is sizeof(type).
+type SizeofExpr struct {
+	Tok  Token
+	Type *TypeExpr
+}
+
+func (*IntLit) exprNode()     {}
+func (*FloatLit) exprNode()   {}
+func (*StrLit) exprNode()     {}
+func (*Ident) exprNode()      {}
+func (*Unary) exprNode()      {}
+func (*Postfix) exprNode()    {}
+func (*Binary) exprNode()     {}
+func (*Assign) exprNode()     {}
+func (*Cond) exprNode()       {}
+func (*Call) exprNode()       {}
+func (*Index) exprNode()      {}
+func (*Member) exprNode()     {}
+func (*CastExpr) exprNode()   {}
+func (*SizeofExpr) exprNode() {}

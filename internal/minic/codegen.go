@@ -1,0 +1,399 @@
+package minic
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"hlfi/internal/interp"
+	"hlfi/internal/ir"
+)
+
+// Compile parses and compiles a minic translation unit to an IR module,
+// runs the standard optimization pipeline (SSA promotion, constant
+// folding, DCE), and verifies the result.
+func Compile(name, src string) (*ir.Module, error) {
+	file, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	c := &compiler{
+		mod:     ir.NewModule(name),
+		structs: make(map[string]*ir.Type),
+		fields:  make(map[string]map[string]int),
+		strLits: make(map[string]*ir.Global),
+	}
+	if err := c.compileFile(file); err != nil {
+		return nil, err
+	}
+	ir.Optimize(c.mod)
+	if err := c.mod.Verify(); err != nil {
+		return nil, fmt.Errorf("internal error: generated IR invalid: %w", err)
+	}
+	return c.mod, nil
+}
+
+// CompileUnoptimized is Compile without the optimization pipeline; used by
+// ablation benchmarks and tests.
+func CompileUnoptimized(name, src string) (*ir.Module, error) {
+	file, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	c := &compiler{
+		mod:     ir.NewModule(name),
+		structs: make(map[string]*ir.Type),
+		fields:  make(map[string]map[string]int),
+		strLits: make(map[string]*ir.Global),
+	}
+	if err := c.compileFile(file); err != nil {
+		return nil, err
+	}
+	for _, f := range c.mod.Funcs {
+		ir.RemoveUnreachable(f)
+	}
+	if err := c.mod.Verify(); err != nil {
+		return nil, fmt.Errorf("internal error: generated IR invalid: %w", err)
+	}
+	return c.mod, nil
+}
+
+type compiler struct {
+	mod     *ir.Module
+	structs map[string]*ir.Type
+	fields  map[string]map[string]int
+	strLits map[string]*ir.Global
+
+	// Per-function state.
+	fn      *ir.Function
+	b       *ir.Builder
+	entry   *ir.Block
+	scopes  []map[string]*binding
+	breaks  []*ir.Block
+	conts   []*ir.Block
+	blockID int
+}
+
+// binding is a named slot: a pointer value of type *Ty.
+type binding struct {
+	ptr ir.Value
+	ty  *ir.Type
+}
+
+func (c *compiler) compileFile(f *File) error {
+	for _, sd := range f.Structs {
+		if err := c.declareStruct(sd); err != nil {
+			return err
+		}
+	}
+	for _, g := range f.Globals {
+		if err := c.declareGlobal(g); err != nil {
+			return err
+		}
+	}
+	// Declare all signatures first so forward calls resolve.
+	for _, fd := range f.Funcs {
+		if err := c.declareFunc(fd); err != nil {
+			return err
+		}
+	}
+	for _, fd := range f.Funcs {
+		if fd.Body == nil {
+			continue
+		}
+		if err := c.compileFunc(fd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *compiler) declareStruct(sd *StructDecl) error {
+	if _, exists := c.structs[sd.Tag]; exists {
+		return errAt(sd.Tok.Line, sd.Tok.Col, "struct %s redeclared", sd.Tag)
+	}
+	// Register a shell first so self-referential pointer fields resolve.
+	st := &ir.Type{Kind: ir.KindStruct, TagName: sd.Tag}
+	c.structs[sd.Tag] = st
+	idx := make(map[string]int, len(sd.Fields))
+	for i, fd := range sd.Fields {
+		ft, err := c.resolveType(fd.Type)
+		if err != nil {
+			return err
+		}
+		if ft.Kind == ir.KindVoid {
+			return errAt(fd.Tok.Line, fd.Tok.Col, "field %s has void type", fd.Name)
+		}
+		if _, dup := idx[fd.Name]; dup {
+			return errAt(fd.Tok.Line, fd.Tok.Col, "duplicate field %s", fd.Name)
+		}
+		st.Fields = append(st.Fields, ft)
+		idx[fd.Name] = i
+	}
+	c.fields[sd.Tag] = idx
+	return nil
+}
+
+// resolveType lowers a syntactic type. Stars bind to the base; Dims wrap
+// outside (so "int *a[3]" is an array of three int pointers).
+func (c *compiler) resolveType(te *TypeExpr) (*ir.Type, error) {
+	var base *ir.Type
+	if te.IsStruct {
+		st, ok := c.structs[te.Base]
+		if !ok {
+			return nil, errAt(te.Tok.Line, te.Tok.Col, "unknown struct %s", te.Base)
+		}
+		base = st
+	} else {
+		switch te.Base {
+		case "void":
+			base = ir.Void
+		case "char":
+			base = ir.I8
+		case "int":
+			base = ir.I32
+		case "long":
+			base = ir.I64
+		case "double":
+			base = ir.F64
+		default:
+			return nil, errAt(te.Tok.Line, te.Tok.Col, "unknown type %s", te.Base)
+		}
+	}
+	for i := 0; i < te.Stars; i++ {
+		base = ir.PointerTo(base)
+	}
+	for i := len(te.Dims) - 1; i >= 0; i-- {
+		if base.Kind == ir.KindVoid {
+			return nil, errAt(te.Tok.Line, te.Tok.Col, "array of void")
+		}
+		base = ir.ArrayOf(te.Dims[i], base)
+	}
+	return base, nil
+}
+
+func (c *compiler) declareGlobal(vd *VarDecl) error {
+	ty, err := c.resolveType(vd.Type)
+	if err != nil {
+		return err
+	}
+	if ty.Kind == ir.KindVoid {
+		return errAt(vd.Tok.Line, vd.Tok.Col, "variable %s has void type", vd.Name)
+	}
+	if c.mod.Global(vd.Name) != nil {
+		return errAt(vd.Tok.Line, vd.Tok.Col, "global %s redeclared", vd.Name)
+	}
+	img := make([]byte, ty.Size())
+	switch {
+	case vd.HasStr:
+		if ty.Kind != ir.KindArray || ty.Elem != ir.I8 {
+			return errAt(vd.Tok.Line, vd.Tok.Col, "string initializer on non-char-array")
+		}
+		if len(vd.InitStr)+1 > ty.Len {
+			return errAt(vd.Tok.Line, vd.Tok.Col, "string initializer too long")
+		}
+		copy(img, vd.InitStr)
+	case vd.InitList != nil:
+		if ty.Kind != ir.KindArray {
+			return errAt(vd.Tok.Line, vd.Tok.Col, "brace initializer on non-array")
+		}
+		if len(vd.InitList) > ty.Len {
+			return errAt(vd.Tok.Line, vd.Tok.Col, "too many initializers")
+		}
+		esz := ty.Elem.Size()
+		for i, e := range vd.InitList {
+			cv, err := c.constValue(e, ty.Elem)
+			if err != nil {
+				return err
+			}
+			putScalar(img[uint64(i)*esz:], cv, ty.Elem)
+		}
+	case vd.Init != nil:
+		if ty.Kind == ir.KindArray || ty.Kind == ir.KindStruct {
+			return errAt(vd.Tok.Line, vd.Tok.Col, "scalar initializer on aggregate %s", ty)
+		}
+		cv, err := c.constValue(vd.Init, ty)
+		if err != nil {
+			return err
+		}
+		putScalar(img, cv, ty)
+	}
+	c.mod.AddGlobal(&ir.Global{Name: vd.Name, Elem: ty, Init: img})
+	return nil
+}
+
+// constValue evaluates a constant initializer expression, converted to ty.
+func (c *compiler) constValue(e Expr, ty *ir.Type) (uint64, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		if ty.IsFloat() {
+			return math.Float64bits(float64(x.Val)), nil
+		}
+		return ir.Canonical(uint64(x.Val), ty), nil
+	case *FloatLit:
+		if ty.IsFloat() {
+			return math.Float64bits(x.Val), nil
+		}
+		return ir.Canonical(uint64(int64(x.Val)), ty), nil
+	case *Unary:
+		if x.Op == "-" {
+			v, err := c.constValue(x.X, ty)
+			if err != nil {
+				return 0, err
+			}
+			if ty.IsFloat() {
+				return math.Float64bits(-math.Float64frombits(v)), nil
+			}
+			return ir.Canonical(-v, ty), nil
+		}
+	}
+	return 0, errAt(pos(e).Line, pos(e).Col, "initializer must be a literal constant")
+}
+
+func putScalar(dst []byte, v uint64, ty *ir.Type) {
+	switch ty.Size() {
+	case 1:
+		dst[0] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(dst, uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(dst, uint32(v))
+	default:
+		binary.LittleEndian.PutUint64(dst, v)
+	}
+}
+
+func (c *compiler) declareFunc(fd *FuncDecl) error {
+	ret, err := c.resolveType(fd.Ret)
+	if err != nil {
+		return err
+	}
+	params := make([]*ir.Type, len(fd.Params))
+	for i, pd := range fd.Params {
+		pt, err := c.resolveType(pd.Type)
+		if err != nil {
+			return err
+		}
+		if pt.Kind == ir.KindVoid || pt.Kind == ir.KindArray || pt.Kind == ir.KindStruct {
+			return errAt(pd.Tok.Line, pd.Tok.Col, "parameter %s: unsupported type %s (pass a pointer)", pd.Name, pt)
+		}
+		params[i] = pt
+	}
+	if existing := c.mod.Func(fd.Name); existing != nil {
+		if !existing.Sig.Equal(ir.FuncType(ret, params...)) {
+			return errAt(fd.Tok.Line, fd.Tok.Col, "conflicting declaration of %s", fd.Name)
+		}
+		return nil
+	}
+	if _, isBuiltin := interp.Builtins[fd.Name]; isBuiltin && fd.Body != nil {
+		return errAt(fd.Tok.Line, fd.Tok.Col, "%s is a runtime builtin and cannot be redefined", fd.Name)
+	}
+	fn := c.mod.NewFunc(fd.Name, ir.FuncType(ret, params...))
+	for i, pd := range fd.Params {
+		fn.Params[i].Name = pd.Name
+	}
+	return nil
+}
+
+func (c *compiler) compileFunc(fd *FuncDecl) error {
+	fn := c.mod.Func(fd.Name)
+	c.fn = fn
+	c.blockID = 0
+	c.scopes = []map[string]*binding{make(map[string]*binding)}
+	c.breaks, c.conts = nil, nil
+
+	c.entry = fn.NewBlock("entry")
+	c.b = ir.NewBuilder(c.entry)
+
+	// C parameter semantics: each parameter gets a slot; mem2reg promotes.
+	for i, pd := range fd.Params {
+		slot := c.b.Alloca(fn.Sig.Params[i])
+		c.b.Store(fn.Params[i], slot)
+		c.scopes[0][pd.Name] = &binding{ptr: slot, ty: fn.Sig.Params[i]}
+	}
+
+	if err := c.stmt(fd.Body); err != nil {
+		return err
+	}
+	// Implicit return if control can fall off the end.
+	if c.b.Block().Terminator() == nil {
+		ret := fn.Sig.Return
+		if ret.Kind == ir.KindVoid {
+			c.b.Ret(nil)
+		} else {
+			c.b.Ret(zeroOf(ret))
+		}
+	}
+	return nil
+}
+
+func zeroOf(ty *ir.Type) ir.Value {
+	switch ty.Kind {
+	case ir.KindFloat:
+		return ir.ConstFloat(0)
+	case ir.KindPtr:
+		return ir.ConstNull(ty)
+	default:
+		return ir.ConstInt(ty, 0)
+	}
+}
+
+func (c *compiler) newBlock(hint string) *ir.Block {
+	c.blockID++
+	return c.fn.NewBlock(hint)
+}
+
+func (c *compiler) pushScope() { c.scopes = append(c.scopes, make(map[string]*binding)) }
+func (c *compiler) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *compiler) lookup(name string) *binding {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if b, ok := c.scopes[i][name]; ok {
+			return b
+		}
+	}
+	if g := c.mod.Global(name); g != nil {
+		return &binding{ptr: g, ty: g.Elem}
+	}
+	return nil
+}
+
+func pos(e Expr) Token {
+	switch x := e.(type) {
+	case *IntLit:
+		return x.Tok
+	case *FloatLit:
+		return x.Tok
+	case *StrLit:
+		return x.Tok
+	case *Ident:
+		return x.Tok
+	case *Unary:
+		return x.Tok
+	case *Postfix:
+		return x.Tok
+	case *Binary:
+		return x.Tok
+	case *Assign:
+		return x.Tok
+	case *Cond:
+		return x.Tok
+	case *Call:
+		return x.Tok
+	case *Index:
+		return x.Tok
+	case *Member:
+		return x.Tok
+	case *CastExpr:
+		return x.Tok
+	case *SizeofExpr:
+		return x.Tok
+	default:
+		return Token{}
+	}
+}
+
+func (c *compiler) errf(e Expr, format string, args ...interface{}) error {
+	t := pos(e)
+	return errAt(t.Line, t.Col, format, args...)
+}

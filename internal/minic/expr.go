@@ -1,0 +1,949 @@
+package minic
+
+import (
+	"fmt"
+
+	"hlfi/internal/interp"
+	"hlfi/internal/ir"
+)
+
+var cmpPreds = map[string]ir.Pred{
+	"==": ir.PredEQ, "!=": ir.PredNE,
+	"<": ir.PredLT, "<=": ir.PredLE, ">": ir.PredGT, ">=": ir.PredGE,
+}
+
+var intBinOps = map[string]ir.Op{
+	"+": ir.OpAdd, "-": ir.OpSub, "*": ir.OpMul, "/": ir.OpSDiv, "%": ir.OpSRem,
+	"&": ir.OpAnd, "|": ir.OpOr, "^": ir.OpXor, "<<": ir.OpShl, ">>": ir.OpAShr,
+}
+
+var floatBinOps = map[string]ir.Op{
+	"+": ir.OpFAdd, "-": ir.OpFSub, "*": ir.OpFMul, "/": ir.OpFDiv,
+}
+
+// rvalue lowers e to a value. Array-typed expressions decay to a pointer
+// to their first element; void calls yield (nil, Void).
+func (c *compiler) rvalue(e Expr) (ir.Value, *ir.Type, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		if x.IsLong {
+			return ir.ConstInt(ir.I64, x.Val), ir.I64, nil
+		}
+		return ir.ConstInt(ir.I32, x.Val), ir.I32, nil
+
+	case *FloatLit:
+		return ir.ConstFloat(x.Val), ir.F64, nil
+
+	case *StrLit:
+		g := c.internString(x.Val)
+		p := c.b.GEP(ir.PointerTo(ir.I8), g, ir.ConstInt(ir.I64, 0), ir.ConstInt(ir.I64, 0))
+		return p, p.Ty, nil
+
+	case *Ident:
+		bind := c.lookup(x.Name)
+		if bind == nil {
+			return nil, nil, c.errf(e, "undeclared identifier %s", x.Name)
+		}
+		return c.loadOrDecay(bind.ptr, bind.ty, e)
+
+	case *Unary:
+		return c.unary(x)
+
+	case *Postfix:
+		ptr, ty, err := c.lvalue(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		old := c.b.Load(ptr)
+		nv, err := c.stepValue(e, old, ty, x.Op == "++")
+		if err != nil {
+			return nil, nil, err
+		}
+		c.b.Store(nv, ptr)
+		return old, ty, nil
+
+	case *Binary:
+		return c.binary(x)
+
+	case *Assign:
+		return c.assign(x)
+
+	case *Cond:
+		return c.condExpr(x)
+
+	case *Call:
+		return c.call(x)
+
+	case *Index:
+		ptr, ty, err := c.indexAddr(x)
+		if err != nil {
+			return nil, nil, err
+		}
+		return c.loadOrDecay(ptr, ty, e)
+
+	case *Member:
+		ptr, ty, err := c.memberAddr(x)
+		if err != nil {
+			return nil, nil, err
+		}
+		return c.loadOrDecay(ptr, ty, e)
+
+	case *CastExpr:
+		ty, err := c.resolveType(x.Type)
+		if err != nil {
+			return nil, nil, err
+		}
+		v, vt, err := c.rvalue(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		cv, err := c.convertExplicit(e, v, vt, ty)
+		if err != nil {
+			return nil, nil, err
+		}
+		return cv, ty, nil
+
+	case *SizeofExpr:
+		ty, err := c.resolveType(x.Type)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ir.ConstInt(ir.I64, int64(ty.Size())), ir.I64, nil
+	}
+	return nil, nil, c.errf(e, "unsupported expression")
+}
+
+// loadOrDecay turns an address into an rvalue: arrays decay, structs stay
+// addresses (only usable via member access), scalars load.
+func (c *compiler) loadOrDecay(ptr ir.Value, ty *ir.Type, e Expr) (ir.Value, *ir.Type, error) {
+	switch ty.Kind {
+	case ir.KindArray:
+		p := c.b.GEP(ir.PointerTo(ty.Elem), ptr, ir.ConstInt(ir.I64, 0), ir.ConstInt(ir.I64, 0))
+		return p, p.Ty, nil
+	case ir.KindStruct:
+		return nil, nil, c.errf(e, "struct value used directly (take a pointer or access a field)")
+	default:
+		ld := c.b.Load(ptr)
+		return ld, ty, nil
+	}
+}
+
+// lvalue lowers e to an address (a pointer to the storage of e).
+func (c *compiler) lvalue(e Expr) (ir.Value, *ir.Type, error) {
+	switch x := e.(type) {
+	case *Ident:
+		bind := c.lookup(x.Name)
+		if bind == nil {
+			return nil, nil, c.errf(e, "undeclared identifier %s", x.Name)
+		}
+		return bind.ptr, bind.ty, nil
+	case *Unary:
+		if x.Op == "*" {
+			v, ty, err := c.rvalue(x.X)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !ty.IsPtr() {
+				return nil, nil, c.errf(e, "dereference of non-pointer %s", ty)
+			}
+			return v, ty.Elem, nil
+		}
+	case *Index:
+		return c.indexAddr(x)
+	case *Member:
+		return c.memberAddr(x)
+	}
+	return nil, nil, c.errf(e, "expression is not assignable")
+}
+
+// isPureChain reports whether e is pure storage navigation (no side
+// effects other than index subexpressions, which this path evaluates
+// exactly once). For such bases, arrays are indexed in place with a
+// single getelementptr, the way production C compilers lower a[i].
+func (c *compiler) isPureChain(e Expr) bool {
+	switch x := e.(type) {
+	case *Ident:
+		return true
+	case *Member:
+		return c.isPureChain(x.X)
+	case *Index:
+		return c.isPureChain(x.X)
+	default:
+		return false
+	}
+}
+
+func (c *compiler) indexAddr(x *Index) (ir.Value, *ir.Type, error) {
+	if c.isPureChain(x.X) {
+		ptr, ty, err := c.lvalue(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		idx, it, err := c.rvalue(x.I)
+		if err != nil {
+			return nil, nil, err
+		}
+		idx, err = c.convert(x.I, idx, it, ir.I64)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch {
+		case ty.Kind == ir.KindArray:
+			p := c.b.GEP(ir.PointerTo(ty.Elem), ptr, ir.ConstInt(ir.I64, 0), idx)
+			return p, ty.Elem, nil
+		case ty.IsPtr():
+			base := c.b.Load(ptr)
+			p := c.b.GEP(ty, base, idx)
+			return p, ty.Elem, nil
+		default:
+			return nil, nil, c.errf(x, "indexing non-pointer %s", ty)
+		}
+	}
+	base, ty, err := c.rvalue(x.X) // arrays decay here
+	if err != nil {
+		return nil, nil, err
+	}
+	if !ty.IsPtr() {
+		return nil, nil, c.errf(x, "indexing non-pointer %s", ty)
+	}
+	idx, it, err := c.rvalue(x.I)
+	if err != nil {
+		return nil, nil, err
+	}
+	idx, err = c.convert(x.I, idx, it, ir.I64)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := c.b.GEP(ty, base, idx)
+	return p, ty.Elem, nil
+}
+
+func (c *compiler) memberAddr(x *Member) (ir.Value, *ir.Type, error) {
+	var base ir.Value
+	var sty *ir.Type
+	if x.Arrow {
+		v, ty, err := c.rvalue(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ty.IsPtr() || ty.Elem.Kind != ir.KindStruct {
+			return nil, nil, c.errf(x, "-> on non-struct-pointer %s", ty)
+		}
+		base, sty = v, ty.Elem
+	} else {
+		ptr, ty, err := c.lvalue(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ty.Kind != ir.KindStruct {
+			return nil, nil, c.errf(x, ". on non-struct %s", ty)
+		}
+		base, sty = ptr, ty
+	}
+	idxMap, ok := c.fields[sty.TagName]
+	if !ok {
+		return nil, nil, c.errf(x, "unknown struct %s", sty.TagName)
+	}
+	fi, ok := idxMap[x.Name]
+	if !ok {
+		return nil, nil, c.errf(x, "struct %s has no field %s", sty.TagName, x.Name)
+	}
+	ft := sty.Fields[fi]
+	p := c.b.GEP(ir.PointerTo(ft), base, ir.ConstInt(ir.I64, 0), ir.ConstInt(ir.I32, int64(fi)))
+	return p, ft, nil
+}
+
+func (c *compiler) unary(x *Unary) (ir.Value, *ir.Type, error) {
+	switch x.Op {
+	case "-":
+		v, ty, err := c.rvalue(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ty.IsFloat() {
+			r := c.b.Binary(ir.OpFSub, ir.ConstFloat(0), v)
+			return r, ir.F64, nil
+		}
+		if !ty.IsInt() {
+			return nil, nil, c.errf(x, "negation of %s", ty)
+		}
+		v, ty, err = c.promoteInt(x.X, v, ty)
+		if err != nil {
+			return nil, nil, err
+		}
+		r := c.b.Binary(ir.OpSub, ir.ConstInt(ty, 0), v)
+		return r, ty, nil
+
+	case "~":
+		v, ty, err := c.rvalue(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ty.IsInt() {
+			return nil, nil, c.errf(x, "~ on %s", ty)
+		}
+		v, ty, err = c.promoteInt(x.X, v, ty)
+		if err != nil {
+			return nil, nil, err
+		}
+		r := c.b.Binary(ir.OpXor, v, ir.ConstInt(ty, -1))
+		return r, ty, nil
+
+	case "!":
+		v, ty, err := c.rvalue(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		t, err := c.truthyI1(x, v, ty)
+		if err != nil {
+			return nil, nil, err
+		}
+		// !x is 1 when x is falsy.
+		inv := c.b.ICmp(ir.PredEQ, t, ir.ConstInt(ir.I1, 0))
+		z := c.b.Cast(ir.OpZExt, inv, ir.I32)
+		return z, ir.I32, nil
+
+	case "*":
+		v, ty, err := c.rvalue(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ty.IsPtr() {
+			return nil, nil, c.errf(x, "dereference of non-pointer %s", ty)
+		}
+		return c.loadOrDecay(v, ty.Elem, x)
+
+	case "&":
+		ptr, ty, err := c.lvalue(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		// The address of a T-typed slot has type T*.
+		_ = ty
+		return ptr, ptr.Type(), nil
+
+	case "++", "--":
+		ptr, ty, err := c.lvalue(x.X)
+		if err != nil {
+			return nil, nil, err
+		}
+		old := c.b.Load(ptr)
+		nv, err := c.stepValue(x, old, ty, x.Op == "++")
+		if err != nil {
+			return nil, nil, err
+		}
+		c.b.Store(nv, ptr)
+		return nv, ty, nil
+	}
+	return nil, nil, c.errf(x, "unsupported unary %s", x.Op)
+}
+
+// stepValue computes v±1 respecting pointer arithmetic.
+func (c *compiler) stepValue(e Expr, v ir.Value, ty *ir.Type, up bool) (ir.Value, error) {
+	switch {
+	case ty.IsPtr():
+		d := int64(1)
+		if !up {
+			d = -1
+		}
+		return c.b.GEP(ty, v, ir.ConstInt(ir.I64, d)), nil
+	case ty.IsFloat():
+		op := ir.OpFAdd
+		if !up {
+			op = ir.OpFSub
+		}
+		return c.b.Binary(op, v, ir.ConstFloat(1)), nil
+	case ty.IsInt():
+		op := ir.OpAdd
+		if !up {
+			op = ir.OpSub
+		}
+		return c.b.Binary(op, v, ir.ConstInt(ty, 1)), nil
+	}
+	return nil, c.errf(e, "cannot increment %s", ty)
+}
+
+func (c *compiler) binary(x *Binary) (ir.Value, *ir.Type, error) {
+	switch x.Op {
+	case "&&", "||":
+		return c.logical(x)
+	}
+	if p, ok := cmpPreds[x.Op]; ok {
+		t, err := c.compareI1(x, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		z := c.b.Cast(ir.OpZExt, t, ir.I32)
+		return z, ir.I32, nil
+	}
+
+	lv, lt, err := c.rvalue(x.L)
+	if err != nil {
+		return nil, nil, err
+	}
+	rv, rt, err := c.rvalue(x.R)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Pointer arithmetic.
+	if lt.IsPtr() || rt.IsPtr() {
+		return c.pointerArith(x, lv, lt, rv, rt)
+	}
+	if lt.Kind == ir.KindVoid || rt.Kind == ir.KindVoid {
+		return nil, nil, c.errf(x, "void value in expression")
+	}
+
+	// Shifts keep the promoted left type.
+	if x.Op == "<<" || x.Op == ">>" {
+		if !lt.IsInt() || !rt.IsInt() {
+			return nil, nil, c.errf(x, "shift on non-integers")
+		}
+		lv, lt, err = c.promoteInt(x.L, lv, lt)
+		if err != nil {
+			return nil, nil, err
+		}
+		rv, err = c.convert(x.R, rv, rt, lt)
+		if err != nil {
+			return nil, nil, err
+		}
+		r := c.b.Binary(intBinOps[x.Op], lv, rv)
+		return r, lt, nil
+	}
+
+	common := arithCommonType(lt, rt)
+	lv, err = c.convert(x.L, lv, lt, common)
+	if err != nil {
+		return nil, nil, err
+	}
+	rv, err = c.convert(x.R, rv, rt, common)
+	if err != nil {
+		return nil, nil, err
+	}
+	if common.IsFloat() {
+		op, ok := floatBinOps[x.Op]
+		if !ok {
+			return nil, nil, c.errf(x, "operator %s not defined on double (use fmod for %%)", x.Op)
+		}
+		r := c.b.Binary(op, lv, rv)
+		return r, common, nil
+	}
+	op, ok := intBinOps[x.Op]
+	if !ok {
+		return nil, nil, c.errf(x, "unsupported operator %s", x.Op)
+	}
+	r := c.b.Binary(op, lv, rv)
+	return r, common, nil
+}
+
+func (c *compiler) pointerArith(x *Binary, lv ir.Value, lt *ir.Type, rv ir.Value, rt *ir.Type) (ir.Value, *ir.Type, error) {
+	switch x.Op {
+	case "+":
+		if lt.IsPtr() && rt.IsInt() {
+			idx, err := c.convert(x.R, rv, rt, ir.I64)
+			if err != nil {
+				return nil, nil, err
+			}
+			p := c.b.GEP(lt, lv, idx)
+			return p, lt, nil
+		}
+		if rt.IsPtr() && lt.IsInt() {
+			idx, err := c.convert(x.L, lv, lt, ir.I64)
+			if err != nil {
+				return nil, nil, err
+			}
+			p := c.b.GEP(rt, rv, idx)
+			return p, rt, nil
+		}
+	case "-":
+		if lt.IsPtr() && rt.IsInt() {
+			idx, err := c.convert(x.R, rv, rt, ir.I64)
+			if err != nil {
+				return nil, nil, err
+			}
+			neg := c.b.Binary(ir.OpSub, ir.ConstInt(ir.I64, 0), idx)
+			p := c.b.GEP(lt, lv, neg)
+			return p, lt, nil
+		}
+		if lt.IsPtr() && rt.IsPtr() {
+			li := c.b.Cast(ir.OpPtrToInt, lv, ir.I64)
+			ri := c.b.Cast(ir.OpPtrToInt, rv, ir.I64)
+			diff := c.b.Binary(ir.OpSub, li, ri)
+			esz := lt.Elem.Size()
+			if esz > 1 {
+				q := c.b.Binary(ir.OpSDiv, diff, ir.ConstInt(ir.I64, int64(esz)))
+				return q, ir.I64, nil
+			}
+			return diff, ir.I64, nil
+		}
+	}
+	return nil, nil, c.errf(x, "invalid pointer arithmetic %s %s %s", lt, x.Op, rt)
+}
+
+// compareI1 lowers a comparison to an i1.
+func (c *compiler) compareI1(x *Binary, p ir.Pred) (*ir.Instr, error) {
+	lv, lt, err := c.rvalue(x.L)
+	if err != nil {
+		return nil, err
+	}
+	rv, rt, err := c.rvalue(x.R)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case lt.IsPtr() || rt.IsPtr():
+		// Null constants and pointer-pointer comparisons.
+		if lt.IsPtr() && rt.IsInt() {
+			rv, err = c.convertExplicit(x.R, rv, rt, lt)
+			rt = lt
+		} else if rt.IsPtr() && lt.IsInt() {
+			lv, err = c.convertExplicit(x.L, lv, lt, rt)
+			lt = rt
+		} else if !lt.Equal(rt) {
+			rv = c.b.Cast(ir.OpBitcast, rv, lt)
+			rt = lt
+		}
+		if err != nil {
+			return nil, err
+		}
+		return c.b.ICmp(unsignedPred(p), lv, rv), nil
+	default:
+		common := arithCommonType(lt, rt)
+		lv, err = c.convert(x.L, lv, lt, common)
+		if err != nil {
+			return nil, err
+		}
+		rv, err = c.convert(x.R, rv, rt, common)
+		if err != nil {
+			return nil, err
+		}
+		if common.IsFloat() {
+			return c.b.FCmp(p, lv, rv), nil
+		}
+		return c.b.ICmp(p, lv, rv), nil
+	}
+}
+
+func unsignedPred(p ir.Pred) ir.Pred {
+	switch p {
+	case ir.PredLT:
+		return ir.PredULT
+	case ir.PredLE:
+		return ir.PredULE
+	case ir.PredGT:
+		return ir.PredUGT
+	case ir.PredGE:
+		return ir.PredUGE
+	default:
+		return p
+	}
+}
+
+// logical lowers && and || as values (0/1 of type int) with short-circuit
+// evaluation.
+func (c *compiler) logical(x *Binary) (ir.Value, *ir.Type, error) {
+	rhsBlk := c.newBlock("logic.rhs")
+	endBlk := c.newBlock("logic.end")
+
+	lv, lt, err := c.rvalue(x.L)
+	if err != nil {
+		return nil, nil, err
+	}
+	lc, err := c.truthyI1(x.L, lv, lt)
+	if err != nil {
+		return nil, nil, err
+	}
+	shortVal := int64(0)
+	if x.Op == "&&" {
+		c.b.CondBr(lc, rhsBlk, endBlk)
+	} else {
+		shortVal = 1
+		c.b.CondBr(lc, endBlk, rhsBlk)
+	}
+	shortBlk := c.b.Block()
+
+	c.b.SetBlock(rhsBlk)
+	rv, rt, err := c.rvalue(x.R)
+	if err != nil {
+		return nil, nil, err
+	}
+	rc, err := c.truthyI1(x.R, rv, rt)
+	if err != nil {
+		return nil, nil, err
+	}
+	rz := c.b.Cast(ir.OpZExt, rc, ir.I32)
+	rhsEnd := c.b.Block()
+	c.b.Br(endBlk)
+
+	c.b.SetBlock(endBlk)
+	phi := c.b.Phi(ir.I32)
+	ir.AddIncoming(phi, ir.ConstInt(ir.I32, shortVal), shortBlk)
+	ir.AddIncoming(phi, rz, rhsEnd)
+	return phi, ir.I32, nil
+}
+
+// condExpr lowers c ? a : b.
+func (c *compiler) condExpr(x *Cond) (ir.Value, *ir.Type, error) {
+	aBlk := c.newBlock("cond.a")
+	bBlk := c.newBlock("cond.b")
+	endBlk := c.newBlock("cond.end")
+	if err := c.condBranch(x.C, aBlk, bBlk); err != nil {
+		return nil, nil, err
+	}
+	c.b.SetBlock(aBlk)
+	av, at, err := c.rvalue(x.A)
+	if err != nil {
+		return nil, nil, err
+	}
+	aEnd := c.b.Block()
+
+	c.b.SetBlock(bBlk)
+	bv, bt, err := c.rvalue(x.B)
+	if err != nil {
+		return nil, nil, err
+	}
+	bEnd := c.b.Block()
+
+	var common *ir.Type
+	switch {
+	case at.IsPtr() && bt.IsPtr():
+		common = at
+	case at.IsPtr() || bt.IsPtr():
+		return nil, nil, c.errf(x, "?: mixes pointer and non-pointer")
+	default:
+		common = arithCommonType(at, bt)
+	}
+
+	c.b.SetBlock(aEnd)
+	av, err = c.convertMixed(x.A, av, at, common)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.b.Br(endBlk)
+	aEnd = c.b.Block()
+
+	c.b.SetBlock(bEnd)
+	bv, err = c.convertMixed(x.B, bv, bt, common)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.b.Br(endBlk)
+	bEnd = c.b.Block()
+
+	c.b.SetBlock(endBlk)
+	phi := c.b.Phi(common)
+	ir.AddIncoming(phi, av, aEnd)
+	ir.AddIncoming(phi, bv, bEnd)
+	return phi, common, nil
+}
+
+// convertMixed allows pointer bitcasts in addition to numeric conversions
+// (used by ?: merging).
+func (c *compiler) convertMixed(e Expr, v ir.Value, from, to *ir.Type) (ir.Value, error) {
+	if from.IsPtr() && to.IsPtr() && !from.Equal(to) {
+		return c.b.Cast(ir.OpBitcast, v, to), nil
+	}
+	return c.convert(e, v, from, to)
+}
+
+func (c *compiler) assign(x *Assign) (ir.Value, *ir.Type, error) {
+	ptr, ty, err := c.lvalue(x.L)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ty.Kind == ir.KindArray || ty.Kind == ir.KindStruct {
+		return nil, nil, c.errf(x, "cannot assign aggregate %s", ty)
+	}
+	if x.Op == "" {
+		rv, rt, err := c.rvalue(x.R)
+		if err != nil {
+			return nil, nil, err
+		}
+		rv, err = c.convertAssign(x.R, rv, rt, ty)
+		if err != nil {
+			return nil, nil, err
+		}
+		c.b.Store(rv, ptr)
+		return rv, ty, nil
+	}
+	// Compound assignment: load, compute, store.
+	old := c.b.Load(ptr)
+	rv, rt, err := c.rvalue(x.R)
+	if err != nil {
+		return nil, nil, err
+	}
+	var nv ir.Value
+	switch {
+	case ty.IsPtr():
+		if x.Op != "+" && x.Op != "-" {
+			return nil, nil, c.errf(x, "pointer %s= unsupported", x.Op)
+		}
+		idx, err := c.convert(x.R, rv, rt, ir.I64)
+		if err != nil {
+			return nil, nil, err
+		}
+		if x.Op == "-" {
+			idx = c.b.Binary(ir.OpSub, ir.ConstInt(ir.I64, 0), idx)
+		}
+		nv = c.b.GEP(ty, old, idx)
+	case ty.IsFloat():
+		op, ok := floatBinOps[x.Op]
+		if !ok {
+			return nil, nil, c.errf(x, "double %s= unsupported", x.Op)
+		}
+		rv, err = c.convert(x.R, rv, rt, ir.F64)
+		if err != nil {
+			return nil, nil, err
+		}
+		nv = c.b.Binary(op, old, rv)
+	default:
+		op, ok := intBinOps[x.Op]
+		if !ok {
+			return nil, nil, c.errf(x, "%s= unsupported", x.Op)
+		}
+		// Compute in the promoted common type, then narrow back.
+		lv, lt, err := c.promoteInt(x.L, old, ty)
+		if err != nil {
+			return nil, nil, err
+		}
+		var common *ir.Type
+		if x.Op == "<<" || x.Op == ">>" {
+			common = lt
+		} else if rt.IsFloat() {
+			common = ir.F64
+		} else {
+			common = arithCommonType(lt, rt)
+		}
+		if common.IsFloat() {
+			fop, ok := floatBinOps[x.Op]
+			if !ok {
+				return nil, nil, c.errf(x, "double %s= unsupported", x.Op)
+			}
+			lv, err = c.convert(x.L, lv, lt, ir.F64)
+			if err != nil {
+				return nil, nil, err
+			}
+			rv, err = c.convert(x.R, rv, rt, ir.F64)
+			if err != nil {
+				return nil, nil, err
+			}
+			f := c.b.Binary(fop, lv, rv)
+			nv, err = c.convertAssign(x, f, ir.F64, ty)
+			if err != nil {
+				return nil, nil, err
+			}
+		} else {
+			lv, err = c.convert(x.L, lv, lt, common)
+			if err != nil {
+				return nil, nil, err
+			}
+			rv, err = c.convert(x.R, rv, rt, common)
+			if err != nil {
+				return nil, nil, err
+			}
+			r := c.b.Binary(op, lv, rv)
+			nv, err = c.convertAssign(x, r, common, ty)
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	c.b.Store(nv, ptr)
+	return nv, ty, nil
+}
+
+func (c *compiler) call(x *Call) (ir.Value, *ir.Type, error) {
+	if sig, ok := interp.Builtins[x.Name]; ok {
+		return c.callBuiltin(x, sig)
+	}
+	fn := c.mod.Func(x.Name)
+	if fn == nil {
+		return nil, nil, c.errf(x, "call to undeclared function %s", x.Name)
+	}
+	if len(x.Args) != len(fn.Sig.Params) {
+		return nil, nil, c.errf(x, "%s expects %d arguments, got %d", x.Name, len(fn.Sig.Params), len(x.Args))
+	}
+	args := make([]ir.Value, len(x.Args))
+	for i, a := range x.Args {
+		v, vt, err := c.rvalue(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		v, err = c.convertAssign(a, v, vt, fn.Sig.Params[i])
+		if err != nil {
+			return nil, nil, err
+		}
+		args[i] = v
+	}
+	callIn := c.b.Call(fn, args...)
+	if fn.Sig.Return.Kind == ir.KindVoid {
+		return nil, ir.Void, nil
+	}
+	return callIn, fn.Sig.Return, nil
+}
+
+func builtinType(ch byte) *ir.Type {
+	switch ch {
+	case 'i':
+		return ir.I32
+	case 'l':
+		return ir.I64
+	case 'd':
+		return ir.F64
+	case 'p':
+		return ir.PointerTo(ir.I8)
+	default:
+		return ir.Void
+	}
+}
+
+func (c *compiler) callBuiltin(x *Call, sig interp.BuiltinSig) (ir.Value, *ir.Type, error) {
+	if len(x.Args) != len(sig.Params) {
+		return nil, nil, c.errf(x, "%s expects %d arguments, got %d", x.Name, len(sig.Params), len(x.Args))
+	}
+	args := make([]ir.Value, len(x.Args))
+	for i, a := range x.Args {
+		want := builtinType(sig.Params[i])
+		v, vt, err := c.rvalue(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		v, err = c.convertAssign(a, v, vt, want)
+		if err != nil {
+			return nil, nil, err
+		}
+		args[i] = v
+	}
+	ret := builtinType(sig.Ret)
+	callIn := c.b.CallBuiltin(x.Name, ret, args...)
+	if ret.Kind == ir.KindVoid {
+		return nil, ir.Void, nil
+	}
+	return callIn, ret, nil
+}
+
+// truthyI1 converts a value to an i1 "is nonzero" flag.
+func (c *compiler) truthyI1(e Expr, v ir.Value, ty *ir.Type) (ir.Value, error) {
+	switch {
+	case ty == nil || ty.Kind == ir.KindVoid:
+		return nil, c.errf(e, "void value used as condition")
+	case ty.IsFloat():
+		return c.b.FCmp(ir.PredNE, v, ir.ConstFloat(0)), nil
+	case ty.IsPtr():
+		return c.b.ICmp(ir.PredNE, v, ir.ConstNull(ty)), nil
+	case ty.IsInt():
+		return c.b.ICmp(ir.PredNE, v, ir.ConstInt(ty, 0)), nil
+	}
+	return nil, c.errf(e, "%s used as condition", ty)
+}
+
+// promoteInt applies C integer promotion (everything below int widens to
+// int).
+func (c *compiler) promoteInt(e Expr, v ir.Value, ty *ir.Type) (ir.Value, *ir.Type, error) {
+	if !ty.IsInt() {
+		return nil, nil, c.errf(e, "integer expected, found %s", ty)
+	}
+	if ty.Bits >= 32 {
+		return v, ty, nil
+	}
+	nv, err := c.convert(e, v, ty, ir.I32)
+	if err != nil {
+		return nil, nil, err
+	}
+	return nv, ir.I32, nil
+}
+
+// arithCommonType implements the usual arithmetic conversions.
+func arithCommonType(a, b *ir.Type) *ir.Type {
+	if a.IsFloat() || b.IsFloat() {
+		return ir.F64
+	}
+	bits := 32
+	if a.IsInt() && a.Bits > bits {
+		bits = a.Bits
+	}
+	if b.IsInt() && b.Bits > bits {
+		bits = b.Bits
+	}
+	return ir.IntType(bits)
+}
+
+// convert performs implicit conversions between arithmetic types and
+// identical pointers.
+func (c *compiler) convert(e Expr, v ir.Value, from, to *ir.Type) (ir.Value, error) {
+	if from.Equal(to) {
+		return v, nil
+	}
+	switch {
+	case from.IsInt() && to.IsInt():
+		if from.Bits > to.Bits {
+			return c.b.Cast(ir.OpTrunc, v, to), nil
+		}
+		return c.b.Cast(ir.OpSExt, v, to), nil
+	case from.IsInt() && to.IsFloat():
+		return c.b.Cast(ir.OpSIToFP, v, to), nil
+	case from.IsFloat() && to.IsInt():
+		return c.b.Cast(ir.OpFPToSI, v, to), nil
+	case from.IsFloat() && to.IsFloat():
+		return v, nil
+	}
+	return nil, c.errf(e, "cannot convert %s to %s", from, to)
+}
+
+// convertAssign is convert plus the assignment-specific allowances:
+// null-pointer constants and pointer bitcasts to/from char*.
+func (c *compiler) convertAssign(e Expr, v ir.Value, from, to *ir.Type) (ir.Value, error) {
+	if from.Equal(to) {
+		return v, nil
+	}
+	if to.IsPtr() {
+		if cst, ok := v.(*ir.Const); ok && from.IsInt() && cst.Val == 0 {
+			return ir.ConstNull(to), nil
+		}
+		if from.IsPtr() {
+			return c.b.Cast(ir.OpBitcast, v, to), nil
+		}
+	}
+	return c.convert(e, v, from, to)
+}
+
+// convertExplicit implements C-style casts, adding ptr<->int and
+// arbitrary pointer conversions.
+func (c *compiler) convertExplicit(e Expr, v ir.Value, from, to *ir.Type) (ir.Value, error) {
+	if from.Equal(to) {
+		return v, nil
+	}
+	switch {
+	case from.IsPtr() && to.IsPtr():
+		return c.b.Cast(ir.OpBitcast, v, to), nil
+	case from.IsPtr() && to.IsInt():
+		return c.b.Cast(ir.OpPtrToInt, v, to), nil
+	case from.IsInt() && to.IsPtr():
+		if cst, ok := v.(*ir.Const); ok && cst.Val == 0 {
+			return ir.ConstNull(to), nil
+		}
+		wide := v
+		if from.Bits < 64 {
+			wide = c.b.Cast(ir.OpSExt, v, ir.I64)
+		}
+		return c.b.Cast(ir.OpIntToPtr, wide, to), nil
+	default:
+		return c.convert(e, v, from, to)
+	}
+}
+
+func (c *compiler) internString(s string) *ir.Global {
+	if g, ok := c.strLits[s]; ok {
+		return g
+	}
+	img := make([]byte, len(s)+1)
+	copy(img, s)
+	g := &ir.Global{
+		Name: fmt.Sprintf(".str%d", len(c.strLits)),
+		Elem: ir.ArrayOf(len(s)+1, ir.I8),
+		Init: img,
+	}
+	c.mod.AddGlobal(g)
+	c.strLits[s] = g
+	return g
+}

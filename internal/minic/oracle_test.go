@@ -1,0 +1,201 @@
+package minic
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"hlfi/internal/interp"
+)
+
+// TestIntSemanticsOracle checks C int32 operator semantics against native
+// Go arithmetic as the oracle, with operands routed through globals so
+// constant folding cannot shortcut the computation.
+func TestIntSemanticsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	type binCase struct {
+		op   string
+		eval func(a, b int32) (int32, bool) // ok=false: skip (would trap)
+	}
+	cases := []binCase{
+		{"+", func(a, b int32) (int32, bool) { return a + b, true }},
+		{"-", func(a, b int32) (int32, bool) { return a - b, true }},
+		{"*", func(a, b int32) (int32, bool) { return a * b, true }},
+		{"/", func(a, b int32) (int32, bool) {
+			if b == 0 || (a == -2147483648 && b == -1) {
+				return 0, false
+			}
+			return a / b, true
+		}},
+		{"%", func(a, b int32) (int32, bool) {
+			if b == 0 || (a == -2147483648 && b == -1) {
+				return 0, false
+			}
+			return a % b, true
+		}},
+		{"&", func(a, b int32) (int32, bool) { return a & b, true }},
+		{"|", func(a, b int32) (int32, bool) { return a | b, true }},
+		{"^", func(a, b int32) (int32, bool) { return a ^ b, true }},
+	}
+	for trial := 0; trial < 60; trial++ {
+		a := int32(rng.Uint32())
+		b := int32(rng.Uint32())
+		c := cases[rng.Intn(len(cases))]
+		want, ok := c.eval(a, b)
+		if !ok {
+			continue
+		}
+		src := fmt.Sprintf(`
+int ga = %d;
+int gb = %d;
+int main() { print_int(ga %s gb); return 0; }
+`, a, b, c.op)
+		got := runOracle(t, src)
+		if got != strconv.FormatInt(int64(want), 10) {
+			t.Fatalf("%d %s %d: got %s want %d", a, c.op, b, got, want)
+		}
+	}
+	// Shifts with in-range counts.
+	for trial := 0; trial < 30; trial++ {
+		a := int32(rng.Uint32())
+		sh := rng.Intn(31)
+		src := fmt.Sprintf(`
+int ga = %d;
+int sh = %d;
+int main() { print_int(ga << sh); print_str(" "); print_int(ga >> sh); return 0; }
+`, a, sh)
+		got := runOracle(t, src)
+		want := fmt.Sprintf("%d %d", a<<uint(sh), a>>uint(sh))
+		if got != want {
+			t.Fatalf("shift %d by %d: got %s want %s", a, sh, got, want)
+		}
+	}
+}
+
+// TestComparisonOracle checks all comparison operators on signed edges.
+func TestComparisonOracle(t *testing.T) {
+	vals := []int32{-2147483648, -1, 0, 1, 2147483647}
+	ops := map[string]func(a, b int32) bool{
+		"<":  func(a, b int32) bool { return a < b },
+		"<=": func(a, b int32) bool { return a <= b },
+		">":  func(a, b int32) bool { return a > b },
+		">=": func(a, b int32) bool { return a >= b },
+		"==": func(a, b int32) bool { return a == b },
+		"!=": func(a, b int32) bool { return a != b },
+	}
+	for op, eval := range ops {
+		for _, a := range vals {
+			for _, b := range vals {
+				src := fmt.Sprintf(`
+int ga = %d;
+int gb = %d;
+int main() { print_int(ga %s gb); return 0; }
+`, a, b, op)
+				want := "0"
+				if eval(a, b) {
+					want = "1"
+				}
+				if got := runOracle(t, src); got != want {
+					t.Fatalf("%d %s %d: got %s want %s", a, op, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func runOracle(t *testing.T, src string) string {
+	t.Helper()
+	mod, err := Compile("oracle", src)
+	if err != nil {
+		t.Fatalf("compile: %v\n%s", err, src)
+	}
+	p, err := interp.Prepare(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if _, err := interp.NewRunner(p, &out).Run(); err != nil {
+		t.Fatalf("run: %v\n%s", err, src)
+	}
+	return out.String()
+}
+
+// TestPointerSemantics covers pointer arithmetic identities.
+func TestPointerSemantics(t *testing.T) {
+	out := runOracle(t, `
+int arr[10];
+int main() {
+    for (int i = 0; i < 10; i++) arr[i] = 100 + i;
+    int *p = &arr[2];
+    int *q = p + 5;
+    print_int(*q); print_str(" ");           /* arr[7] = 107 */
+    print_long(q - p); print_str(" ");       /* 5 elements */
+    print_int(q > p); print_str(" ");        /* 1 */
+    q--;
+    print_int(*q); print_str(" ");           /* arr[6] = 106 */
+    p += 3;
+    print_int(*p); print_str(" ");           /* arr[5] = 105 */
+    print_int(p == &arr[5]); print_str("\n");
+    return 0;
+}`)
+	if out != "107 5 1 106 105 1\n" {
+		t.Fatalf("pointer semantics: %q", out)
+	}
+}
+
+// TestIncDecSemantics covers pre/post increment in expression context.
+func TestIncDecSemantics(t *testing.T) {
+	out := runOracle(t, `
+int main() {
+    int i = 5;
+    print_int(i++); print_str(" ");
+    print_int(i); print_str(" ");
+    print_int(++i); print_str(" ");
+    print_int(i--); print_str(" ");
+    print_int(--i); print_str("\n");
+    return 0;
+}`)
+	if out != "5 6 7 7 5\n" {
+		t.Fatalf("inc/dec: %q", out)
+	}
+}
+
+// TestShortCircuitSideEffects: the right operand must not evaluate when
+// the left decides.
+func TestShortCircuitSideEffects(t *testing.T) {
+	out := runOracle(t, `
+int calls = 0;
+int bump() { calls++; return 1; }
+int main() {
+    int a = 0 && bump();
+    int b = 1 || bump();
+    int c = 1 && bump();
+    int d = 0 || bump();
+    print_int(calls); print_str(" ");
+    print_int(a); print_int(b); print_int(c); print_int(d);
+    print_str("\n");
+    return 0;
+}`)
+	if out != "2 0111\n" {
+		t.Fatalf("short circuit: %q", out)
+	}
+}
+
+// TestCompoundAssignOnNarrowTypes: char arithmetic must wrap at 8 bits
+// through compound assignment.
+func TestCompoundAssignOnNarrowTypes(t *testing.T) {
+	out := runOracle(t, `
+int main() {
+    char c = 100;
+    c += 50;           /* 150 -> -106 as signed char */
+    print_int(c); print_str(" ");
+    c <<= 1;
+    print_int(c); print_str("\n");
+    return 0;
+}`)
+	if out != "-106 44\n" { // -106<<1 = -212 -> 0x2C = 44
+		t.Fatalf("narrow compound: %q", out)
+	}
+}

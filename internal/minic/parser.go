@@ -1,0 +1,771 @@
+package minic
+
+import "fmt"
+
+// Parser builds an AST from a token stream via recursive descent with
+// precedence climbing for binary operators.
+type Parser struct {
+	toks []Token
+	pos  int
+	// struct tags seen so far; needed to disambiguate casts.
+	structTags map[string]bool
+}
+
+// Parse parses a translation unit.
+func Parse(src string) (*File, error) {
+	toks, err := LexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, structTags: make(map[string]bool)}
+	return p.parseFile()
+}
+
+func (p *Parser) cur() Token  { return p.toks[p.pos] }
+func (p *Parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *Parser) peekIs(kind TokKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+func (p *Parser) accept(kind TokKind, text string) bool {
+	if p.peekIs(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(kind TokKind, text string) (Token, error) {
+	t := p.cur()
+	if t.Kind != kind || (text != "" && t.Text != text) {
+		want := text
+		if want == "" {
+			want = fmt.Sprintf("token kind %d", kind)
+		}
+		return t, errAt(t.Line, t.Col, "expected %q, found %s", want, t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *Parser) parseFile() (*File, error) {
+	f := &File{}
+	for !p.peekIs(TokEOF, "") {
+		// struct declaration?
+		if p.peekIs(TokKeyword, "struct") && p.toks[p.pos+1].Kind == TokIdent &&
+			p.toks[p.pos+2].Kind == TokPunct && p.toks[p.pos+2].Text == "{" {
+			sd, err := p.parseStructDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Structs = append(f.Structs, sd)
+			continue
+		}
+		ty, err := p.parseBaseType()
+		if err != nil {
+			return nil, err
+		}
+		stars := 0
+		for p.accept(TokPunct, "*") {
+			stars++
+		}
+		nameTok, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if p.peekIs(TokPunct, "(") {
+			fd, err := p.parseFuncRest(ty, stars, nameTok)
+			if err != nil {
+				return nil, err
+			}
+			f.Funcs = append(f.Funcs, fd)
+			continue
+		}
+		decls, err := p.parseVarRest(ty, stars, nameTok)
+		if err != nil {
+			return nil, err
+		}
+		f.Globals = append(f.Globals, decls...)
+	}
+	return f, nil
+}
+
+func (p *Parser) parseStructDecl() (*StructDecl, error) {
+	tok, _ := p.expect(TokKeyword, "struct")
+	nameTok, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	p.structTags[nameTok.Text] = true
+	if _, err := p.expect(TokPunct, "{"); err != nil {
+		return nil, err
+	}
+	sd := &StructDecl{Tok: tok, Tag: nameTok.Text}
+	for !p.accept(TokPunct, "}") {
+		base, err := p.parseBaseType()
+		if err != nil {
+			return nil, err
+		}
+		for {
+			fieldTy := *base // copy
+			for p.accept(TokPunct, "*") {
+				fieldTy.Stars++
+			}
+			fnTok, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			dims, err := p.parseDims()
+			if err != nil {
+				return nil, err
+			}
+			fieldTy.Dims = dims
+			ft := fieldTy
+			sd.Fields = append(sd.Fields, &FieldDecl{Tok: fnTok, Name: fnTok.Text, Type: &ft})
+			if !p.accept(TokPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return sd, nil
+}
+
+// parseBaseType parses a base type name (no stars/dims).
+func (p *Parser) parseBaseType() (*TypeExpr, error) {
+	t := p.cur()
+	if t.Kind != TokKeyword {
+		return nil, errAt(t.Line, t.Col, "expected type, found %s", t)
+	}
+	switch t.Text {
+	case "void", "char", "int", "long", "double":
+		p.pos++
+		return &TypeExpr{Tok: t, Base: t.Text}, nil
+	case "unsigned":
+		return nil, errAt(t.Line, t.Col, "unsigned types are not supported")
+	case "struct":
+		p.pos++
+		nameTok, err := p.expect(TokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		return &TypeExpr{Tok: t, Base: nameTok.Text, IsStruct: true}, nil
+	default:
+		return nil, errAt(t.Line, t.Col, "expected type, found %s", t)
+	}
+}
+
+func (p *Parser) parseDims() ([]int, error) {
+	var dims []int
+	for p.accept(TokPunct, "[") {
+		szTok, err := p.expect(TokIntLit, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, "]"); err != nil {
+			return nil, err
+		}
+		if szTok.Int <= 0 {
+			return nil, errAt(szTok.Line, szTok.Col, "array dimension must be positive")
+		}
+		dims = append(dims, int(szTok.Int))
+	}
+	return dims, nil
+}
+
+// isTypeStart reports whether the current token begins a type.
+func (p *Parser) isTypeStart() bool {
+	t := p.cur()
+	if t.Kind != TokKeyword {
+		return false
+	}
+	switch t.Text {
+	case "void", "char", "int", "long", "double", "struct":
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseFuncRest(ret *TypeExpr, stars int, nameTok Token) (*FuncDecl, error) {
+	rt := *ret
+	rt.Stars += stars
+	fd := &FuncDecl{Tok: nameTok, Name: nameTok.Text, Ret: &rt}
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	if !p.accept(TokPunct, ")") {
+		// Allow (void).
+		if p.peekIs(TokKeyword, "void") && p.toks[p.pos+1].Kind == TokPunct && p.toks[p.pos+1].Text == ")" {
+			p.pos += 2
+		} else {
+			for {
+				base, err := p.parseBaseType()
+				if err != nil {
+					return nil, err
+				}
+				pt := *base
+				for p.accept(TokPunct, "*") {
+					pt.Stars++
+				}
+				pnTok, err := p.expect(TokIdent, "")
+				if err != nil {
+					return nil, err
+				}
+				// T name[] decays to T*.
+				if p.accept(TokPunct, "[") {
+					if _, err := p.expect(TokPunct, "]"); err != nil {
+						return nil, err
+					}
+					pt.Stars++
+				}
+				pcopy := pt
+				fd.Params = append(fd.Params, &ParamDecl{Tok: pnTok, Name: pnTok.Text, Type: &pcopy})
+				if !p.accept(TokPunct, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(TokPunct, ")"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.accept(TokPunct, ";") {
+		return fd, nil // prototype
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fd.Body = body
+	return fd, nil
+}
+
+// parseVarRest parses the remainder of a variable declaration list whose
+// first declarator's stars and name were already consumed.
+func (p *Parser) parseVarRest(base *TypeExpr, stars int, nameTok Token) ([]*VarDecl, error) {
+	var decls []*VarDecl
+	first := true
+	curStars, curName := stars, nameTok
+	for {
+		if !first {
+			curStars = 0
+			for p.accept(TokPunct, "*") {
+				curStars++
+			}
+			nt, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			curName = nt
+		}
+		first = false
+		ty := *base
+		ty.Stars = curStars
+		dims, err := p.parseDims()
+		if err != nil {
+			return nil, err
+		}
+		ty.Dims = dims
+		tcopy := ty
+		vd := &VarDecl{Tok: curName, Name: curName.Text, Type: &tcopy}
+		if p.accept(TokPunct, "=") {
+			if p.peekIs(TokPunct, "{") {
+				p.pos++
+				for !p.accept(TokPunct, "}") {
+					e, err := p.parseAssignExpr()
+					if err != nil {
+						return nil, err
+					}
+					vd.InitList = append(vd.InitList, e)
+					if !p.accept(TokPunct, ",") {
+						if _, err := p.expect(TokPunct, "}"); err != nil {
+							return nil, err
+						}
+						break
+					}
+				}
+			} else if p.peekIs(TokStrLit, "") {
+				st := p.next()
+				vd.InitStr = st.Str
+				vd.HasStr = true
+			} else {
+				e, err := p.parseAssignExpr()
+				if err != nil {
+					return nil, err
+				}
+				vd.Init = e
+			}
+		}
+		decls = append(decls, vd)
+		if !p.accept(TokPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	return decls, nil
+}
+
+func (p *Parser) parseBlock() (*BlockStmt, error) {
+	tok, err := p.expect(TokPunct, "{")
+	if err != nil {
+		return nil, err
+	}
+	b := &BlockStmt{Tok: tok}
+	for !p.accept(TokPunct, "}") {
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.Items = append(b.Items, s)
+	}
+	return b, nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.peekIs(TokPunct, "{"):
+		return p.parseBlock()
+	case p.isTypeStart():
+		return p.parseDeclStmt()
+	case p.peekIs(TokKeyword, "if"):
+		p.pos++
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Tok: t, Cond: cond, Then: then}
+		if p.accept(TokKeyword, "else") {
+			els, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+	case p.peekIs(TokKeyword, "while"):
+		p.pos++
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Tok: t, Cond: cond, Body: body}, nil
+	case p.peekIs(TokKeyword, "do"):
+		p.pos++
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "while"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Tok: t, Cond: cond, Body: body, DoWhile: true}, nil
+	case p.peekIs(TokKeyword, "for"):
+		return p.parseFor()
+	case p.peekIs(TokKeyword, "return"):
+		p.pos++
+		st := &ReturnStmt{Tok: t}
+		if !p.peekIs(TokPunct, ";") {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.X = e
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return st, nil
+	case p.peekIs(TokKeyword, "break"):
+		p.pos++
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Tok: t}, nil
+	case p.peekIs(TokKeyword, "continue"):
+		p.pos++
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Tok: t}, nil
+	case p.peekIs(TokPunct, ";"):
+		p.pos++
+		return &BlockStmt{Tok: t}, nil
+	default:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: e}, nil
+	}
+}
+
+func (p *Parser) parseDeclStmt() (Stmt, error) {
+	base, err := p.parseBaseType()
+	if err != nil {
+		return nil, err
+	}
+	stars := 0
+	for p.accept(TokPunct, "*") {
+		stars++
+	}
+	nameTok, err := p.expect(TokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	decls, err := p.parseVarRest(base, stars, nameTok)
+	if err != nil {
+		return nil, err
+	}
+	return &DeclStmt{Decls: decls}, nil
+}
+
+func (p *Parser) parseFor() (Stmt, error) {
+	tok := p.next() // for
+	if _, err := p.expect(TokPunct, "("); err != nil {
+		return nil, err
+	}
+	st := &ForStmt{Tok: tok}
+	if !p.accept(TokPunct, ";") {
+		if p.isTypeStart() {
+			d, err := p.parseDeclStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = d
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = &ExprStmt{X: e}
+			if _, err := p.expect(TokPunct, ";"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !p.peekIs(TokPunct, ";") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Cond = e
+	}
+	if _, err := p.expect(TokPunct, ";"); err != nil {
+		return nil, err
+	}
+	if !p.peekIs(TokPunct, ")") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Post = e
+	}
+	if _, err := p.expect(TokPunct, ")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	st.Body = body
+	return st, nil
+}
+
+// --- expressions ---
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseAssignExpr() }
+
+var assignOps = map[string]string{
+	"=": "", "+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+	"&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>",
+}
+
+func (p *Parser) parseAssignExpr() (Expr, error) {
+	lhs, err := p.parseCondExpr()
+	if err != nil {
+		return nil, err
+	}
+	t := p.cur()
+	if t.Kind == TokPunct {
+		if op, ok := assignOps[t.Text]; ok {
+			p.pos++
+			rhs, err := p.parseAssignExpr()
+			if err != nil {
+				return nil, err
+			}
+			return &Assign{Tok: t, Op: op, L: lhs, R: rhs}, nil
+		}
+	}
+	return lhs, nil
+}
+
+func (p *Parser) parseCondExpr() (Expr, error) {
+	c, err := p.parseBinaryExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.peekIs(TokPunct, "?") {
+		return c, nil
+	}
+	tok := p.next()
+	a, err := p.parseAssignExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokPunct, ":"); err != nil {
+		return nil, err
+	}
+	b, err := p.parseCondExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &Cond{Tok: tok, C: c, A: a, B: b}, nil
+}
+
+// binary operator precedence, low to high.
+var binPrec = map[string]int{
+	"||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *Parser) parseBinaryExpr(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != TokPunct {
+			return lhs, nil
+		}
+		prec, ok := binPrec[t.Text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.pos++
+		rhs, err := p.parseBinaryExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Tok: t, Op: t.Text, L: lhs, R: rhs}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	if t.Kind == TokPunct {
+		switch t.Text {
+		case "-", "!", "~", "*", "&":
+			p.pos++
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{Tok: t, Op: t.Text, X: x}, nil
+		case "+":
+			p.pos++
+			return p.parseUnary()
+		case "++", "--":
+			p.pos++
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{Tok: t, Op: t.Text, X: x}, nil
+		case "(":
+			// Cast if "(" starts a type.
+			nt := p.toks[p.pos+1]
+			if nt.Kind == TokKeyword && nt.Text != "sizeof" {
+				p.pos++
+				ty, err := p.parseCastType()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(TokPunct, ")"); err != nil {
+					return nil, err
+				}
+				x, err := p.parseUnary()
+				if err != nil {
+					return nil, err
+				}
+				return &CastExpr{Tok: t, Type: ty, X: x}, nil
+			}
+		}
+	}
+	if t.Kind == TokKeyword && t.Text == "sizeof" {
+		p.pos++
+		if _, err := p.expect(TokPunct, "("); err != nil {
+			return nil, err
+		}
+		ty, err := p.parseCastType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return &SizeofExpr{Tok: t, Type: ty}, nil
+	}
+	return p.parsePostfix()
+}
+
+// parseCastType parses "base '*'*" inside a cast or sizeof.
+func (p *Parser) parseCastType() (*TypeExpr, error) {
+	base, err := p.parseBaseType()
+	if err != nil {
+		return nil, err
+	}
+	ty := *base
+	for p.accept(TokPunct, "*") {
+		ty.Stars++
+	}
+	return &ty, nil
+}
+
+func (p *Parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind != TokPunct {
+			return x, nil
+		}
+		switch t.Text {
+		case "[":
+			p.pos++
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, "]"); err != nil {
+				return nil, err
+			}
+			x = &Index{Tok: t, X: x, I: idx}
+		case ".":
+			p.pos++
+			nameTok, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			x = &Member{Tok: t, X: x, Name: nameTok.Text}
+		case "->":
+			p.pos++
+			nameTok, err := p.expect(TokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			x = &Member{Tok: t, X: x, Name: nameTok.Text, Arrow: true}
+		case "++", "--":
+			p.pos++
+			x = &Postfix{Tok: t, Op: t.Text, X: x}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokIntLit:
+		p.pos++
+		return &IntLit{Tok: t, Val: t.Int, IsLong: t.Long || t.Int > 2147483647 || t.Int < -2147483648}, nil
+	case TokCharLit:
+		p.pos++
+		return &IntLit{Tok: t, Val: t.Int}, nil
+	case TokFloatLit:
+		p.pos++
+		return &FloatLit{Tok: t, Val: t.Float}, nil
+	case TokStrLit:
+		p.pos++
+		return &StrLit{Tok: t, Val: t.Str}, nil
+	case TokIdent:
+		p.pos++
+		if p.peekIs(TokPunct, "(") {
+			p.pos++
+			call := &Call{Tok: t, Name: t.Text}
+			if !p.accept(TokPunct, ")") {
+				for {
+					a, err := p.parseAssignExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if !p.accept(TokPunct, ",") {
+						break
+					}
+				}
+				if _, err := p.expect(TokPunct, ")"); err != nil {
+					return nil, err
+				}
+			}
+			return call, nil
+		}
+		return &Ident{Tok: t, Name: t.Text}, nil
+	case TokPunct:
+		if t.Text == "(" {
+			p.pos++
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, errAt(t.Line, t.Col, "unexpected %s in expression", t)
+}

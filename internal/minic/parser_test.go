@@ -1,0 +1,269 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexerTokens(t *testing.T) {
+	toks, err := LexAll(`int x = 0x1F; double d = 2.5e-3; char c = '\n'; // comment
+/* block
+   comment */ long big = 7L; "str\t";`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokKind
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+	}
+	// Spot checks.
+	if toks[0].Kind != TokKeyword || toks[0].Text != "int" {
+		t.Errorf("tok0: %v", toks[0])
+	}
+	if toks[3].Kind != TokIntLit || toks[3].Int != 0x1F {
+		t.Errorf("hex literal: %v", toks[3])
+	}
+	var foundFloat, foundChar, foundLong, foundStr bool
+	for _, tok := range toks {
+		switch {
+		case tok.Kind == TokFloatLit && tok.Float == 2.5e-3:
+			foundFloat = true
+		case tok.Kind == TokCharLit && tok.Int == '\n':
+			foundChar = true
+		case tok.Kind == TokIntLit && tok.Long && tok.Int == 7:
+			foundLong = true
+		case tok.Kind == TokStrLit && tok.Str == "str\t":
+			foundStr = true
+		}
+	}
+	if !foundFloat || !foundChar || !foundLong || !foundStr {
+		t.Errorf("literals missing: float=%v char=%v long=%v str=%v (%v)",
+			foundFloat, foundChar, foundLong, foundStr, kinds)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, src := range []string{
+		"int a = 'x", "char *s = \"unterminated", "/* open", "int @ = 1;",
+	} {
+		if _, err := LexAll(src); err == nil {
+			t.Errorf("lexer accepted %q", src)
+		}
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	f, err := Parse("int main() { return 2 + 3 * 4 - 1; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := f.Funcs[0].Body.Items[0].(*ReturnStmt)
+	// ((2 + (3*4)) - 1)
+	sub, ok := ret.X.(*Binary)
+	if !ok || sub.Op != "-" {
+		t.Fatalf("top is %T", ret.X)
+	}
+	add, ok := sub.L.(*Binary)
+	if !ok || add.Op != "+" {
+		t.Fatalf("left is %v", sub.L)
+	}
+	mul, ok := add.R.(*Binary)
+	if !ok || mul.Op != "*" {
+		t.Fatalf("add rhs is %v", add.R)
+	}
+}
+
+func TestAssignmentRightAssociative(t *testing.T) {
+	f, err := Parse("int main() { int a; int b; a = b = 3; return a; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := f.Funcs[0].Body.Items[2].(*ExprStmt)
+	outer := es.X.(*Assign)
+	if _, ok := outer.R.(*Assign); !ok {
+		t.Fatalf("a = (b = 3) expected, rhs is %T", outer.R)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"int main( { return 0; }",
+		"int main() { return 0 }",
+		"int main() { if return; }",
+		"int main() { int x[0]; return 0; }",
+		"unsigned int x;",
+		"int main() { break; return 0; }", // semantic, caught at codegen
+	}
+	for _, src := range cases[:5] {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("parser accepted %q", src)
+		}
+	}
+	if _, err := Compile("t", cases[5]); err == nil {
+		t.Errorf("compile accepted break outside loop")
+	}
+}
+
+func TestTypeErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"undeclared", `int main() { return zz; }`},
+		{"void-var", `int main() { void v; return 0; }`},
+		{"bad-call-arity", `int f(int a) { return a; } int main() { return f(1, 2); }`},
+		{"undeclared-fn", `int main() { return g(); }`},
+		{"deref-int", `int main() { int x = 3; return *x; }`},
+		{"assign-to-literal", `int main() { 3 = 4; return 0; }`},
+		{"redeclared", `int main() { int x; int x; return 0; }`},
+		{"struct-field", `struct s { int a; }; int main() { struct s v; return v.b; }`},
+		{"arrow-on-value", `struct s { int a; }; int main() { struct s v; return v->a; }`},
+		{"return-in-void", `void f() { return 3; } int main() { return 0; }`},
+		{"missing-return-type", `int main() { double d = 1.0; int *p = d; return 0; }`},
+		{"redefine-builtin", `int malloc(long n) { return 0; } int main() { return 0; }`},
+		{"dup-global", `int g; int g; int main() { return 0; }`},
+		{"continue-outside", `int main() { continue; return 0; }`},
+	}
+	for _, c := range cases {
+		if _, err := Compile(c.name, c.src); err == nil {
+			t.Errorf("%s: compile accepted\n%s", c.name, c.src)
+		}
+	}
+}
+
+func TestErrorsCarryPositions(t *testing.T) {
+	_, err := Compile("t", "int main() {\n  return zz;\n}")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Errorf("error lacks line number: %v", err)
+	}
+}
+
+func TestGlobalsAndInitializers(t *testing.T) {
+	mod, err := Compile("t", `
+int scalar = -7;
+double pi = 3.5;
+int arr[4] = {1, 2, 3};
+char msg[8] = "hi";
+int zeroed[10];
+int main() { return scalar + arr[0] + arr[3] + zeroed[5] + msg[1]; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mod.Global("arr")
+	if g == nil || g.Elem.Size() != 16 {
+		t.Fatal("arr global")
+	}
+	if g.Init[0] != 1 || g.Init[4] != 2 || g.Init[12] != 0 {
+		t.Errorf("arr init image: %v", g.Init)
+	}
+	m := mod.Global("msg")
+	if string(m.Init[:2]) != "hi" || m.Init[2] != 0 {
+		t.Errorf("msg init: %v", m.Init)
+	}
+}
+
+func TestBadInitializers(t *testing.T) {
+	cases := []string{
+		`int arr[2] = {1, 2, 3}; int main() { return 0; }`,
+		`char s[2] = "abc"; int main() { return 0; }`,
+		`int x = 1 + f(); int main() { return 0; }`,
+		`int arr[2] = 5; int main() { return 0; }`,
+	}
+	for _, src := range cases {
+		if _, err := Compile("t", src); err == nil {
+			t.Errorf("accepted bad initializer: %s", src)
+		}
+	}
+}
+
+func TestSizeof(t *testing.T) {
+	mod, err := Compile("t", `
+struct pair { int a; double b; };
+int main() {
+    if (sizeof(int) != 4) return 1;
+    if (sizeof(long) != 8) return 2;
+    if (sizeof(char) != 1) return 3;
+    if (sizeof(double) != 8) return 4;
+    if (sizeof(int*) != 8) return 5;
+    if (sizeof(struct pair) != 16) return 6;
+    return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mod.Func("main") == nil {
+		t.Fatal("no main")
+	}
+}
+
+func TestSelfReferentialStruct(t *testing.T) {
+	if _, err := Compile("t", `
+struct node { int v; struct node *next; };
+int main() {
+    struct node n;
+    n.v = 1;
+    n.next = 0;
+    return n.v;
+}`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrototypeThenDefinition(t *testing.T) {
+	if _, err := Compile("t", `
+int helper(int x);
+int main() { return helper(4); }
+int helper(int x) { return x * 2; }
+`); err != nil {
+		t.Fatal(err)
+	}
+	// Conflicting signature is rejected.
+	if _, err := Compile("t", `
+int helper(int x);
+double helper(int x) { return 1.0; }
+int main() { return 0; }
+`); err == nil {
+		t.Fatal("conflicting declaration accepted")
+	}
+}
+
+// TestNestedStructsAndArrays exercises deep aggregate composition.
+func TestNestedStructsAndArrays(t *testing.T) {
+	mod, err := Compile("nested", `
+struct inner { int a[3]; double w; };
+struct outer { struct inner rows[2]; int tag; };
+struct outer grid[2];
+
+int main() {
+    grid[1].rows[0].a[2] = 42;
+    grid[1].rows[0].w = 2.5;
+    grid[0].tag = 7;
+    struct outer *p = &grid[1];
+    return p->rows[0].a[2] + grid[0].tag + (int)p->rows[0].w;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := mod.Global("grid")
+	// inner: a[3] (12) + pad(4) + w(8) = 24; outer: rows[2] (48) + tag(4) + pad(4) = 56
+	if g.Elem.Size() != 112 {
+		t.Fatalf("nested layout size = %d, want 112", g.Elem.Size())
+	}
+}
+
+// TestCommaSeparatedDeclarators covers "int a, *p, arr[3];" forms.
+func TestCommaSeparatedDeclarators(t *testing.T) {
+	if _, err := Compile("commas", `
+int a = 1, b = 2, c;
+int main() {
+    int x = 5, *p = &x, arr[3];
+    arr[0] = *p;
+    c = a + b;
+    return arr[0] + c;
+}`); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package minic
+
+import (
+	"bytes"
+	"testing"
+
+	"hlfi/internal/interp"
+)
+
+// runMain compiles src and executes main, returning output and exit value.
+func runMain(t *testing.T, src string) (string, int64) {
+	t.Helper()
+	mod, err := Compile("test", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	prog, err := interp.Prepare(mod)
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	var out bytes.Buffer
+	r := interp.NewRunner(prog, &out)
+	rc, err := r.Run()
+	if err != nil {
+		t.Fatalf("run: %v\nIR:\n%s", err, mod)
+	}
+	return out.String(), rc
+}
+
+func TestSmokeFib(t *testing.T) {
+	src := `
+int fib(int n) {
+    if (n < 2) return n;
+    return fib(n - 1) + fib(n - 2);
+}
+int main() {
+    print_int(fib(10));
+    print_str("\n");
+    return 0;
+}
+`
+	out, rc := runMain(t, src)
+	if rc != 0 {
+		t.Fatalf("exit %d", rc)
+	}
+	if out != "55\n" {
+		t.Fatalf("output %q, want %q", out, "55\n")
+	}
+}
+
+func TestSmokeArraysStructsPointers(t *testing.T) {
+	src := `
+struct point { int x; int y; };
+int grid[4][4];
+struct point pts[3];
+
+int sumgrid() {
+    int s = 0;
+    for (int i = 0; i < 4; i++)
+        for (int j = 0; j < 4; j++)
+            s += grid[i][j];
+    return s;
+}
+
+int main() {
+    for (int i = 0; i < 4; i++)
+        for (int j = 0; j < 4; j++)
+            grid[i][j] = i * 4 + j;
+    for (int k = 0; k < 3; k++) {
+        pts[k].x = k;
+        pts[k].y = k * k;
+    }
+    struct point *p = &pts[2];
+    int *cell = &grid[1][2];
+    print_int(sumgrid()); print_str(" ");
+    print_int(p->y); print_str(" ");
+    print_int(*cell); print_str("\n");
+    return 0;
+}
+`
+	out, _ := runMain(t, src)
+	want := "120 4 6\n"
+	if out != want {
+		t.Fatalf("output %q, want %q", out, want)
+	}
+}
+
+func TestSmokeMallocDoubleLogic(t *testing.T) {
+	src := `
+double avg(double *a, int n) {
+    double s = 0.0;
+    for (int i = 0; i < n; i++) s += a[i];
+    return s / n;
+}
+int main() {
+    double *a = (double*)malloc(8L * 10);
+    for (int i = 0; i < 10; i++) a[i] = i * 1.5;
+    print_double(avg(a, 10)); print_str("\n");
+    long big = 1000000000;
+    big = big * 4;
+    print_long(big); print_str("\n");
+    int x = 5;
+    if (x > 3 && x < 10 || x == 0) print_str("yes\n");
+    char buf[8] = "hi";
+    print_str(buf); print_str("\n");
+    print_double(sqrt(2.0)); print_str("\n");
+    free(a);
+    return x > 4 ? 7 : 9;
+}
+`
+	out, rc := runMain(t, src)
+	want := "6.75\n4000000000\nyes\nhi\n1.41421\n"
+	if out != want {
+		t.Fatalf("output %q, want %q", out, want)
+	}
+	if rc != 7 {
+		t.Fatalf("exit %d, want 7", rc)
+	}
+}

@@ -1,0 +1,314 @@
+package minic
+
+import (
+	"hlfi/internal/ir"
+)
+
+// stmt lowers one statement. If the current block already ended (return,
+// break, continue), subsequent statements go into a fresh unreachable
+// block that RemoveUnreachable later discards.
+func (c *compiler) stmt(s Stmt) error {
+	if c.b.Block().Terminator() != nil {
+		c.b.SetBlock(c.newBlock("dead"))
+	}
+	if ln := stmtLine(s); ln > 0 {
+		c.b.Line = ln
+	}
+	switch st := s.(type) {
+	case *BlockStmt:
+		c.pushScope()
+		defer c.popScope()
+		for _, item := range st.Items {
+			if err := c.stmt(item); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *DeclStmt:
+		for _, vd := range st.Decls {
+			if err := c.localDecl(vd); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *ExprStmt:
+		_, _, err := c.rvalue(st.X)
+		return err
+
+	case *IfStmt:
+		thenBlk := c.newBlock("then")
+		endBlk := c.newBlock("endif")
+		elseBlk := endBlk
+		if st.Else != nil {
+			elseBlk = c.newBlock("else")
+		}
+		if err := c.condBranch(st.Cond, thenBlk, elseBlk); err != nil {
+			return err
+		}
+		c.b.SetBlock(thenBlk)
+		if err := c.stmt(st.Then); err != nil {
+			return err
+		}
+		if c.b.Block().Terminator() == nil {
+			c.b.Br(endBlk)
+		}
+		if st.Else != nil {
+			c.b.SetBlock(elseBlk)
+			if err := c.stmt(st.Else); err != nil {
+				return err
+			}
+			if c.b.Block().Terminator() == nil {
+				c.b.Br(endBlk)
+			}
+		}
+		c.b.SetBlock(endBlk)
+		return nil
+
+	case *WhileStmt:
+		condBlk := c.newBlock("while.cond")
+		bodyBlk := c.newBlock("while.body")
+		endBlk := c.newBlock("while.end")
+		if st.DoWhile {
+			c.b.Br(bodyBlk)
+		} else {
+			c.b.Br(condBlk)
+		}
+		c.b.SetBlock(condBlk)
+		if err := c.condBranch(st.Cond, bodyBlk, endBlk); err != nil {
+			return err
+		}
+		c.breaks = append(c.breaks, endBlk)
+		c.conts = append(c.conts, condBlk)
+		c.b.SetBlock(bodyBlk)
+		err := c.stmt(st.Body)
+		c.breaks = c.breaks[:len(c.breaks)-1]
+		c.conts = c.conts[:len(c.conts)-1]
+		if err != nil {
+			return err
+		}
+		if c.b.Block().Terminator() == nil {
+			c.b.Br(condBlk)
+		}
+		c.b.SetBlock(endBlk)
+		return nil
+
+	case *ForStmt:
+		c.pushScope()
+		defer c.popScope()
+		if st.Init != nil {
+			if err := c.stmt(st.Init); err != nil {
+				return err
+			}
+		}
+		condBlk := c.newBlock("for.cond")
+		bodyBlk := c.newBlock("for.body")
+		postBlk := c.newBlock("for.post")
+		endBlk := c.newBlock("for.end")
+		c.b.Br(condBlk)
+		c.b.SetBlock(condBlk)
+		if st.Cond != nil {
+			if err := c.condBranch(st.Cond, bodyBlk, endBlk); err != nil {
+				return err
+			}
+		} else {
+			c.b.Br(bodyBlk)
+		}
+		c.breaks = append(c.breaks, endBlk)
+		c.conts = append(c.conts, postBlk)
+		c.b.SetBlock(bodyBlk)
+		err := c.stmt(st.Body)
+		c.breaks = c.breaks[:len(c.breaks)-1]
+		c.conts = c.conts[:len(c.conts)-1]
+		if err != nil {
+			return err
+		}
+		if c.b.Block().Terminator() == nil {
+			c.b.Br(postBlk)
+		}
+		c.b.SetBlock(postBlk)
+		if st.Post != nil {
+			if _, _, err := c.rvalue(st.Post); err != nil {
+				return err
+			}
+		}
+		c.b.Br(condBlk)
+		c.b.SetBlock(endBlk)
+		return nil
+
+	case *ReturnStmt:
+		ret := c.fn.Sig.Return
+		if st.X == nil {
+			if ret.Kind != ir.KindVoid {
+				return errAt(st.Tok.Line, st.Tok.Col, "return without value in non-void function")
+			}
+			c.b.Ret(nil)
+			return nil
+		}
+		if ret.Kind == ir.KindVoid {
+			return errAt(st.Tok.Line, st.Tok.Col, "return with value in void function")
+		}
+		v, ty, err := c.rvalue(st.X)
+		if err != nil {
+			return err
+		}
+		v, err = c.convert(st.X, v, ty, ret)
+		if err != nil {
+			return err
+		}
+		c.b.Ret(v)
+		return nil
+
+	case *BreakStmt:
+		if len(c.breaks) == 0 {
+			return errAt(st.Tok.Line, st.Tok.Col, "break outside loop")
+		}
+		c.b.Br(c.breaks[len(c.breaks)-1])
+		return nil
+
+	case *ContinueStmt:
+		if len(c.conts) == 0 {
+			return errAt(st.Tok.Line, st.Tok.Col, "continue outside loop")
+		}
+		c.b.Br(c.conts[len(c.conts)-1])
+		return nil
+	}
+	return errAt(0, 0, "unhandled statement")
+}
+
+func (c *compiler) localDecl(vd *VarDecl) error {
+	ty, err := c.resolveType(vd.Type)
+	if err != nil {
+		return err
+	}
+	if ty.Kind == ir.KindVoid {
+		return errAt(vd.Tok.Line, vd.Tok.Col, "variable %s has void type", vd.Name)
+	}
+	if _, exists := c.scopes[len(c.scopes)-1][vd.Name]; exists {
+		return errAt(vd.Tok.Line, vd.Tok.Col, "variable %s redeclared in scope", vd.Name)
+	}
+	slot := c.b.Alloca(ty)
+	c.scopes[len(c.scopes)-1][vd.Name] = &binding{ptr: slot, ty: ty}
+
+	switch {
+	case vd.HasStr:
+		if ty.Kind != ir.KindArray || ty.Elem != ir.I8 {
+			return errAt(vd.Tok.Line, vd.Tok.Col, "string initializer on non-char-array")
+		}
+		if len(vd.InitStr)+1 > ty.Len {
+			return errAt(vd.Tok.Line, vd.Tok.Col, "string initializer too long")
+		}
+		for i := 0; i <= len(vd.InitStr); i++ {
+			var ch byte
+			if i < len(vd.InitStr) {
+				ch = vd.InitStr[i]
+			}
+			dst := c.b.GEP(ir.PointerTo(ir.I8), slot, ir.ConstInt(ir.I64, 0), ir.ConstInt(ir.I64, int64(i)))
+			c.b.Store(ir.ConstInt(ir.I8, int64(ch)), dst)
+		}
+	case vd.InitList != nil:
+		if ty.Kind != ir.KindArray {
+			return errAt(vd.Tok.Line, vd.Tok.Col, "brace initializer on non-array")
+		}
+		if len(vd.InitList) > ty.Len {
+			return errAt(vd.Tok.Line, vd.Tok.Col, "too many initializers")
+		}
+		for i, e := range vd.InitList {
+			v, vt, err := c.rvalue(e)
+			if err != nil {
+				return err
+			}
+			v, err = c.convertAssign(e, v, vt, ty.Elem)
+			if err != nil {
+				return err
+			}
+			dst := c.b.GEP(ir.PointerTo(ty.Elem), slot, ir.ConstInt(ir.I64, 0), ir.ConstInt(ir.I64, int64(i)))
+			c.b.Store(v, dst)
+		}
+	case vd.Init != nil:
+		v, vt, err := c.rvalue(vd.Init)
+		if err != nil {
+			return err
+		}
+		v, err = c.convertAssign(vd.Init, v, vt, ty)
+		if err != nil {
+			return err
+		}
+		c.b.Store(v, slot)
+	}
+	return nil
+}
+
+// condBranch lowers a boolean context with short-circuit control flow.
+func (c *compiler) condBranch(e Expr, thenBlk, elseBlk *ir.Block) error {
+	switch x := e.(type) {
+	case *Binary:
+		switch x.Op {
+		case "&&":
+			mid := c.newBlock("and.rhs")
+			if err := c.condBranch(x.L, mid, elseBlk); err != nil {
+				return err
+			}
+			c.b.SetBlock(mid)
+			return c.condBranch(x.R, thenBlk, elseBlk)
+		case "||":
+			mid := c.newBlock("or.rhs")
+			if err := c.condBranch(x.L, thenBlk, mid); err != nil {
+				return err
+			}
+			c.b.SetBlock(mid)
+			return c.condBranch(x.R, thenBlk, elseBlk)
+		}
+		// Direct comparison: branch on the i1 without materializing an int.
+		if p, isCmp := cmpPreds[x.Op]; isCmp {
+			cond, err := c.compareI1(x, p)
+			if err != nil {
+				return err
+			}
+			c.b.CondBr(cond, thenBlk, elseBlk)
+			return nil
+		}
+	case *Unary:
+		if x.Op == "!" {
+			return c.condBranch(x.X, elseBlk, thenBlk)
+		}
+	}
+	v, ty, err := c.rvalue(e)
+	if err != nil {
+		return err
+	}
+	cond, err := c.truthyI1(e, v, ty)
+	if err != nil {
+		return err
+	}
+	c.b.CondBr(cond, thenBlk, elseBlk)
+	return nil
+}
+
+// stmtLine extracts the source line a statement starts on.
+func stmtLine(s Stmt) int {
+	switch st := s.(type) {
+	case *BlockStmt:
+		return st.Tok.Line
+	case *DeclStmt:
+		if len(st.Decls) > 0 {
+			return st.Decls[0].Tok.Line
+		}
+	case *ExprStmt:
+		return pos(st.X).Line
+	case *IfStmt:
+		return st.Tok.Line
+	case *WhileStmt:
+		return st.Tok.Line
+	case *ForStmt:
+		return st.Tok.Line
+	case *ReturnStmt:
+		return st.Tok.Line
+	case *BreakStmt:
+		return st.Tok.Line
+	case *ContinueStmt:
+		return st.Tok.Line
+	}
+	return 0
+}

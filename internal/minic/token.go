@@ -1,0 +1,342 @@
+// Package minic compiles a small C subset to the IR, playing the role of
+// the clang/LLVM front-end in the paper's toolchain. The language is rich
+// enough to express the six benchmark workloads: char/int/long/double,
+// pointers, arrays, structs, the usual operators with short-circuit
+// logic, control flow, and calls into the runtime builtins.
+package minic
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// TokKind classifies tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota + 1
+	TokIdent
+	TokIntLit
+	TokFloatLit
+	TokCharLit
+	TokStrLit
+	TokKeyword
+	TokPunct
+)
+
+// Token is one lexeme with its source position.
+type Token struct {
+	Kind TokKind
+	Text string
+	// Literal payloads.
+	Int   int64
+	Float float64
+	Str   string
+	Long  bool // integer literal carried an L suffix
+
+	Line, Col int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of file"
+	case TokStrLit:
+		return fmt.Sprintf("%q", t.Str)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// Pos renders the token position.
+func (t Token) Pos() string { return fmt.Sprintf("%d:%d", t.Line, t.Col) }
+
+var keywords = map[string]bool{
+	"void": true, "char": true, "int": true, "long": true, "double": true,
+	"struct": true, "if": true, "else": true, "while": true, "for": true,
+	"do": true, "return": true, "break": true, "continue": true,
+	"sizeof": true, "unsigned": true,
+}
+
+// Error is a positioned compile error.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg) }
+
+func errAt(line, col int, format string, args ...interface{}) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Lexer turns source text into tokens.
+type Lexer struct {
+	src       string
+	pos       int
+	line, col int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src, line: 1, col: 1} }
+
+func (l *Lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peekByte2() byte {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *Lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peekByte2() == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.peekByte2() == '*':
+			startLine, startCol := l.line, l.col
+			l.advance()
+			l.advance()
+			for {
+				if l.pos >= len(l.src) {
+					return errAt(startLine, startCol, "unterminated comment")
+				}
+				if l.peekByte() == '*' && l.peekByte2() == '/' {
+					l.advance()
+					l.advance()
+					break
+				}
+				l.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// multi-character punctuators, longest first.
+var puncts = []string{
+	"<<=", ">>=", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+	"&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+	"+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+	"(", ")", "{", "}", "[", "]", ";", ",", ".", "?", ":",
+}
+
+// Next returns the next token.
+func (l *Lexer) Next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return Token{Kind: TokEOF, Line: line, Col: col}, nil
+	}
+	c := l.peekByte()
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peekByte()) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		kind := TokIdent
+		if keywords[text] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Line: line, Col: col}, nil
+	case c >= '0' && c <= '9':
+		return l.lexNumber(line, col)
+	case c == '\'':
+		return l.lexChar(line, col)
+	case c == '"':
+		return l.lexString(line, col)
+	}
+	for _, p := range puncts {
+		if len(l.src)-l.pos >= len(p) && l.src[l.pos:l.pos+len(p)] == p {
+			for range p {
+				l.advance()
+			}
+			return Token{Kind: TokPunct, Text: p, Line: line, Col: col}, nil
+		}
+	}
+	return Token{}, errAt(line, col, "unexpected character %q", string(c))
+}
+
+func (l *Lexer) lexNumber(line, col int) (Token, error) {
+	start := l.pos
+	isFloat := false
+	if l.peekByte() == '0' && (l.peekByte2() == 'x' || l.peekByte2() == 'X') {
+		l.advance()
+		l.advance()
+		for l.pos < len(l.src) && isHexDigit(l.peekByte()) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		v, err := strconv.ParseInt(text, 0, 64)
+		if err != nil {
+			return Token{}, errAt(line, col, "bad hex literal %q", text)
+		}
+		long := false
+		if l.peekByte() == 'L' || l.peekByte() == 'l' {
+			l.advance()
+			long = true
+		}
+		return Token{Kind: TokIntLit, Text: text, Int: v, Long: long, Line: line, Col: col}, nil
+	}
+	for l.pos < len(l.src) && l.peekByte() >= '0' && l.peekByte() <= '9' {
+		l.advance()
+	}
+	if l.pos < len(l.src) && l.peekByte() == '.' {
+		isFloat = true
+		l.advance()
+		for l.pos < len(l.src) && l.peekByte() >= '0' && l.peekByte() <= '9' {
+			l.advance()
+		}
+	}
+	if l.pos < len(l.src) && (l.peekByte() == 'e' || l.peekByte() == 'E') {
+		isFloat = true
+		l.advance()
+		if l.peekByte() == '+' || l.peekByte() == '-' {
+			l.advance()
+		}
+		for l.pos < len(l.src) && l.peekByte() >= '0' && l.peekByte() <= '9' {
+			l.advance()
+		}
+	}
+	text := l.src[start:l.pos]
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Token{}, errAt(line, col, "bad float literal %q", text)
+		}
+		return Token{Kind: TokFloatLit, Text: text, Float: f, Line: line, Col: col}, nil
+	}
+	v, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return Token{}, errAt(line, col, "bad int literal %q", text)
+	}
+	long := false
+	if l.peekByte() == 'L' || l.peekByte() == 'l' {
+		l.advance()
+		long = true
+	}
+	return Token{Kind: TokIntLit, Text: text, Int: v, Long: long, Line: line, Col: col}, nil
+}
+
+func (l *Lexer) lexChar(line, col int) (Token, error) {
+	l.advance() // '
+	if l.pos >= len(l.src) {
+		return Token{}, errAt(line, col, "unterminated char literal")
+	}
+	var v byte
+	c := l.advance()
+	if c == '\\' {
+		e, err := l.escape(line, col)
+		if err != nil {
+			return Token{}, err
+		}
+		v = e
+	} else {
+		v = c
+	}
+	if l.pos >= len(l.src) || l.advance() != '\'' {
+		return Token{}, errAt(line, col, "unterminated char literal")
+	}
+	return Token{Kind: TokCharLit, Text: string(v), Int: int64(v), Line: line, Col: col}, nil
+}
+
+func (l *Lexer) lexString(line, col int) (Token, error) {
+	l.advance() // "
+	var buf []byte
+	for {
+		if l.pos >= len(l.src) {
+			return Token{}, errAt(line, col, "unterminated string literal")
+		}
+		c := l.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\\' {
+			e, err := l.escape(line, col)
+			if err != nil {
+				return Token{}, err
+			}
+			buf = append(buf, e)
+			continue
+		}
+		buf = append(buf, c)
+	}
+	return Token{Kind: TokStrLit, Str: string(buf), Line: line, Col: col}, nil
+}
+
+func (l *Lexer) escape(line, col int) (byte, error) {
+	if l.pos >= len(l.src) {
+		return 0, errAt(line, col, "unterminated escape")
+	}
+	c := l.advance()
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\', '\'', '"':
+		return c, nil
+	default:
+		return 0, errAt(line, col, "unknown escape \\%c", c)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isHexDigit(c byte) bool {
+	return (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// LexAll tokenizes the whole input (testing helper).
+func LexAll(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package pinfi implements the low-level fault injector of the study: a
+// PINFI-style tool that profiles and corrupts programs at the assembly
+// level (paper §IV), including the two activation heuristics of Figure 2:
+// compare instructions are corrupted only in the flag bits their following
+// conditional jump reads, and double-precision SSE destinations only in
+// the low 64 bits of the XMM register.
+package pinfi
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"hlfi/internal/fault"
+	"hlfi/internal/machine"
+	"hlfi/internal/x86"
+)
+
+// HangFactor scales the golden instruction count into the hang budget.
+const HangFactor = 20
+
+// ErrNoCandidates reports a category with no dynamic injection targets.
+var ErrNoCandidates = errors.New("pinfi: no dynamic candidates")
+
+// Candidates marks the injectable machine instructions for a category,
+// indexed by instruction position (paper Table III, right column).
+func Candidates(p *x86.Program, cat fault.Category) []bool {
+	out := make([]bool, len(p.Instrs))
+	dep := machine.DependentFlagMasks(p)
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		switch cat {
+		case fault.CatAll:
+			// Destination-register instructions, plus compares whose
+			// flag bits feed a conditional jump.
+			out[i] = in.HasRegDest() || dep[i] != 0
+		case fault.CatArith:
+			out[i] = in.Op.IsArith() && in.HasRegDest()
+		case fault.CatCast:
+			out[i] = in.Op.IsConvert() && in.HasRegDest()
+		case fault.CatCmp:
+			// "Instructions whose next instruction is a conditional
+			// branch."
+			out[i] = dep[i] != 0
+		case fault.CatLoad:
+			out[i] = isLoad(in)
+		}
+	}
+	return out
+}
+
+// isLoad implements the Table III criterion: mov instructions with memory
+// source and register destination (including the widening movs and SSE
+// loads that real compilers emit for narrow and double loads).
+func isLoad(in *x86.Instr) bool {
+	switch in.Op {
+	case x86.MOV, x86.MOVZX, x86.MOVSX:
+		return in.Src.Kind == x86.OpMem && in.Dst.Kind == x86.OpReg
+	case x86.MOVSD:
+		return in.Src.Kind == x86.OpMem && in.Dst.Kind == x86.OpXmm
+	default:
+		return false
+	}
+}
+
+// CountDynamic sums a profile over a candidate set.
+func CountDynamic(profile []uint64, candidates []bool) uint64 {
+	var n uint64
+	for i, c := range candidates {
+		if c {
+			n += profile[i]
+		}
+	}
+	return n
+}
+
+// Injector runs single-fault injections for one (program, category) pair
+// at the assembly level.
+type Injector struct {
+	Prog        *x86.Program
+	LayoutImage []byte
+	LayoutBase  uint64
+
+	Cat        fault.Category
+	Candidates []bool
+	DynTotal   uint64
+
+	GoldenOutput []byte
+	GoldenExit   int64
+	GoldenInstrs uint64
+	Profile      []uint64
+}
+
+// New profiles the program once and prepares an injector for the
+// category.
+func New(prog *x86.Program, layoutImage []byte, layoutBase uint64, cat fault.Category) (*Injector, error) {
+	var out bytes.Buffer
+	m := machine.New(prog, layoutImage, layoutBase, &out)
+	profile := make([]uint64, len(prog.Instrs))
+	m.Profile = profile
+	rc, err := m.Run()
+	if err != nil {
+		return nil, fmt.Errorf("pinfi golden run: %w", err)
+	}
+	cand := Candidates(prog, cat)
+	inj := &Injector{
+		Prog:         prog,
+		LayoutImage:  layoutImage,
+		LayoutBase:   layoutBase,
+		Cat:          cat,
+		Candidates:   cand,
+		DynTotal:     CountDynamic(profile, cand),
+		GoldenOutput: out.Bytes(),
+		GoldenExit:   rc,
+		GoldenInstrs: m.Executed(),
+		Profile:      profile,
+	}
+	if inj.DynTotal == 0 {
+		return nil, fmt.Errorf("%w (%s)", ErrNoCandidates, cat)
+	}
+	return inj, nil
+}
+
+// Result is the outcome of one injected run.
+type Result struct {
+	Outcome   fault.Outcome
+	Output    []byte
+	Exit      int64
+	Err       error
+	Injection *machine.Injection
+}
+
+// InjectOne performs a single fault injection at a uniformly random
+// dynamic candidate instance.
+func (j *Injector) InjectOne(rng *rand.Rand) *Result {
+	trigger := uint64(rng.Int63n(int64(j.DynTotal)))
+	return j.InjectAt(trigger, rng)
+}
+
+// InjectAt injects at a specific dynamic candidate index.
+func (j *Injector) InjectAt(trigger uint64, rng *rand.Rand) *Result {
+	var out bytes.Buffer
+	m := machine.New(j.Prog, j.LayoutImage, j.LayoutBase, &out)
+	m.MaxInstrs = j.GoldenInstrs*HangFactor + 1_000_000
+	injection := &machine.Injection{
+		Candidates:   j.Candidates,
+		TriggerIndex: trigger,
+		Rng:          rng,
+	}
+	m.Inject = injection
+	rc, err := m.Run()
+	res := &Result{Output: out.Bytes(), Exit: rc, Err: err, Injection: injection}
+	res.Outcome = classify(j.GoldenOutput, j.GoldenExit, res, injection.Happened && injection.Activated)
+	return res
+}
+
+func classify(goldenOut []byte, goldenExit int64, res *Result, activated bool) fault.Outcome {
+	switch {
+	case res.Err == machine.ErrHang:
+		return fault.OutcomeHang
+	case res.Err != nil:
+		return fault.OutcomeCrash
+	// A corrupted output always counts as an (activated) SDC, even if the
+	// activation tracker somehow missed the read: the fault demonstrably
+	// influenced execution.
+	case !bytes.Equal(res.Output, goldenOut) || res.Exit != goldenExit:
+		return fault.OutcomeSDC
+	case !activated:
+		return fault.OutcomeNotActivated
+	default:
+		return fault.OutcomeBenign
+	}
+}

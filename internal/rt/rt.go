@@ -1,0 +1,124 @@
+// Package rt implements the runtime builtins (stdio, malloc/free, libm)
+// shared by the IR interpreter and the assembly-level machine simulator.
+// Both execution levels call the same implementations against the same
+// memory model, so a fault-free program produces bit-identical output at
+// both levels — the precondition for comparing injector outcomes.
+package rt
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"hlfi/internal/mem"
+)
+
+// Sig describes a builtin's signature. Types are encoded as 'i' (i32),
+// 'l' (i64), 'd' (double), 'p' (i8*), 'v' (void).
+type Sig struct {
+	Params string
+	Ret    byte
+}
+
+// IsFloatParam reports whether parameter i is a double.
+func (s Sig) IsFloatParam(i int) bool { return s.Params[i] == 'd' }
+
+// ReturnsFloat reports whether the builtin returns a double.
+func (s Sig) ReturnsFloat() bool { return s.Ret == 'd' }
+
+// Sigs lists every runtime builtin.
+var Sigs = map[string]Sig{
+	"print_int":    {Params: "i", Ret: 'v'},
+	"print_long":   {Params: "l", Ret: 'v'},
+	"print_double": {Params: "d", Ret: 'v'},
+	"print_char":   {Params: "i", Ret: 'v'},
+	"print_str":    {Params: "p", Ret: 'v'},
+	"malloc":       {Params: "l", Ret: 'p'},
+	"free":         {Params: "p", Ret: 'v'},
+	"sqrt":         {Params: "d", Ret: 'd'},
+	"fabs":         {Params: "d", Ret: 'd'},
+	"floor":        {Params: "d", Ret: 'd'},
+	"ceil":         {Params: "d", Ret: 'd'},
+	"exp":          {Params: "d", Ret: 'd'},
+	"log":          {Params: "d", Ret: 'd'},
+	"sin":          {Params: "d", Ret: 'd'},
+	"cos":          {Params: "d", Ret: 'd'},
+	"pow":          {Params: "dd", Ret: 'd'},
+	"fmod":         {Params: "dd", Ret: 'd'},
+}
+
+// Env is the execution environment builtins act on.
+type Env struct {
+	Mem *mem.Memory
+	Out io.Writer
+}
+
+// FormatDouble renders a double exactly the way print_double does.
+func FormatDouble(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+// maxCString bounds print_str so a corrupted pointer into a large mapped
+// region cannot stall a run.
+const maxCString = 1 << 20
+
+var unaryMath = map[string]func(float64) float64{
+	"sqrt": math.Sqrt, "fabs": math.Abs, "floor": math.Floor,
+	"ceil": math.Ceil, "exp": math.Exp, "log": math.Log,
+	"sin": math.Sin, "cos": math.Cos,
+}
+
+// Call invokes builtin name with raw argument words (integers/pointers as
+// values, doubles as IEEE bit patterns) and returns the raw result word.
+func Call(env *Env, name string, args []uint64) (uint64, error) {
+	switch name {
+	case "print_int":
+		_, err := fmt.Fprintf(env.Out, "%d", int32(args[0]))
+		return 0, err
+	case "print_long":
+		_, err := fmt.Fprintf(env.Out, "%d", int64(args[0]))
+		return 0, err
+	case "print_double":
+		_, err := fmt.Fprint(env.Out, FormatDouble(math.Float64frombits(args[0])))
+		return 0, err
+	case "print_char":
+		_, err := fmt.Fprintf(env.Out, "%c", rune(byte(args[0])))
+		return 0, err
+	case "print_str":
+		s, err := ReadCString(env.Mem, args[0])
+		if err != nil {
+			return 0, err
+		}
+		_, err = fmt.Fprint(env.Out, s)
+		return 0, err
+	case "malloc":
+		return env.Mem.Alloc(args[0]), nil
+	case "free":
+		env.Mem.Free(args[0])
+		return 0, nil
+	case "pow":
+		return math.Float64bits(math.Pow(math.Float64frombits(args[0]), math.Float64frombits(args[1]))), nil
+	case "fmod":
+		return math.Float64bits(math.Mod(math.Float64frombits(args[0]), math.Float64frombits(args[1]))), nil
+	}
+	if fn, ok := unaryMath[name]; ok {
+		return math.Float64bits(fn(math.Float64frombits(args[0]))), nil
+	}
+	return 0, fmt.Errorf("unknown builtin %q", name)
+}
+
+// ReadCString reads a NUL-terminated string; a memory fault propagates as
+// a crash.
+func ReadCString(m *mem.Memory, addr uint64) (string, error) {
+	var buf []byte
+	for i := 0; i < maxCString; i++ {
+		b, err := m.Read(addr+uint64(i), 1)
+		if err != nil {
+			return "", err
+		}
+		if b == 0 {
+			return string(buf), nil
+		}
+		buf = append(buf, byte(b))
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,138 @@
+package rt
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"hlfi/internal/mem"
+)
+
+func newEnv() (*Env, *bytes.Buffer) {
+	var buf bytes.Buffer
+	return &Env{Mem: mem.New(), Out: &buf}, &buf
+}
+
+func TestPrintBuiltins(t *testing.T) {
+	env, buf := newEnv()
+	cases := []struct {
+		name string
+		args []uint64
+		want string
+	}{
+		{"print_int", []uint64{uint64(uint32(2147483647))}, "2147483647"},
+		{"print_int", []uint64{0xFFFFFFFF}, "-1"}, // i32 sign
+		{"print_long", []uint64{^uint64(0)}, "-1"},
+		{"print_char", []uint64{'Z'}, "Z"},
+		{"print_double", []uint64{math.Float64bits(3.25)}, "3.25"},
+		{"print_double", []uint64{math.Float64bits(1.0 / 3.0)}, "0.333333"},
+	}
+	for _, c := range cases {
+		buf.Reset()
+		if _, err := Call(env, c.name, c.args); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if buf.String() != c.want {
+			t.Errorf("%s(%v) printed %q, want %q", c.name, c.args, buf.String(), c.want)
+		}
+	}
+}
+
+func TestPrintStr(t *testing.T) {
+	env, buf := newEnv()
+	addr := env.Mem.Alloc(16)
+	if err := env.Mem.WriteBytes(addr, []byte("hello\x00junk")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Call(env, "print_str", []uint64{addr}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "hello" {
+		t.Fatalf("print_str: %q", buf.String())
+	}
+	// A wild pointer faults (that run becomes a Crash).
+	_, err := Call(env, "print_str", []uint64{0x40})
+	var f *mem.Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("expected fault, got %v", err)
+	}
+}
+
+func TestMallocFree(t *testing.T) {
+	env, _ := newEnv()
+	p, err := Call(env, "malloc", []uint64{64})
+	if err != nil || p == 0 {
+		t.Fatalf("malloc: %v %v", p, err)
+	}
+	if _, err := Call(env, "free", []uint64{p}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMathBuiltins(t *testing.T) {
+	env, _ := newEnv()
+	d := func(v float64) uint64 { return math.Float64bits(v) }
+	cases := []struct {
+		name string
+		args []uint64
+		want float64
+	}{
+		{"sqrt", []uint64{d(9)}, 3},
+		{"fabs", []uint64{d(-2.5)}, 2.5},
+		{"floor", []uint64{d(2.9)}, 2},
+		{"ceil", []uint64{d(2.1)}, 3},
+		{"exp", []uint64{d(0)}, 1},
+		{"log", []uint64{d(1)}, 0},
+		{"sin", []uint64{d(0)}, 0},
+		{"cos", []uint64{d(0)}, 1},
+		{"pow", []uint64{d(2), d(10)}, 1024},
+		{"fmod", []uint64{d(7.5), d(2)}, 1.5},
+	}
+	for _, c := range cases {
+		got, err := Call(env, c.name, c.args)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if math.Float64frombits(got) != c.want {
+			t.Errorf("%s = %v, want %v", c.name, math.Float64frombits(got), c.want)
+		}
+	}
+}
+
+func TestUnknownBuiltin(t *testing.T) {
+	env, _ := newEnv()
+	if _, err := Call(env, "nope", nil); err == nil {
+		t.Fatal("unknown builtin should error")
+	}
+}
+
+func TestSigsCoverCalls(t *testing.T) {
+	env, _ := newEnv()
+	d := math.Float64bits
+	for name, sig := range Sigs {
+		args := make([]uint64, len(sig.Params))
+		for i := range args {
+			if sig.IsFloatParam(i) {
+				args[i] = d(1)
+			} else if sig.Params[i] == 'p' {
+				args[i] = env.Mem.Alloc(8) // valid pointer
+			} else {
+				args[i] = 1
+			}
+		}
+		if _, err := Call(env, name, args); err != nil {
+			t.Errorf("declared builtin %s not callable: %v", name, err)
+		}
+	}
+}
+
+func TestFormatDoubleStability(t *testing.T) {
+	if FormatDouble(0.1+0.2) != FormatDouble(0.30000000000000004) {
+		t.Error("formatting must be deterministic for equal bit patterns")
+	}
+	if !strings.Contains(FormatDouble(1e300), "e+") {
+		t.Error("large values use scientific notation")
+	}
+}

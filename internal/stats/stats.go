@@ -1,0 +1,76 @@
+// Package stats provides the binomial-proportion statistics used to
+// report fault-injection outcome rates with 95% confidence intervals
+// (the error bars of the paper's Figure 4).
+package stats
+
+import "math"
+
+// z95 is the two-sided 95% normal quantile.
+const z95 = 1.959963984540054
+
+// Proportion is an estimated rate with its sample size.
+type Proportion struct {
+	Successes int
+	Trials    int
+}
+
+// Rate returns the point estimate (0 when there are no trials).
+func (p Proportion) Rate() float64 {
+	if p.Trials == 0 {
+		return 0
+	}
+	return float64(p.Successes) / float64(p.Trials)
+}
+
+// WaldCI returns the normal-approximation 95% confidence half-width used
+// by the paper's error bars.
+func (p Proportion) WaldCI() float64 {
+	if p.Trials == 0 {
+		return 0
+	}
+	r := p.Rate()
+	return z95 * math.Sqrt(r*(1-r)/float64(p.Trials))
+}
+
+// WilsonCI returns the Wilson-score 95% interval, which behaves well for
+// rates near 0 or 1 (used for sanity checks on small cells).
+func (p Proportion) WilsonCI() (lo, hi float64) {
+	if p.Trials == 0 {
+		return 0, 0
+	}
+	n := float64(p.Trials)
+	r := p.Rate()
+	z2 := z95 * z95
+	den := 1 + z2/n
+	center := (r + z2/(2*n)) / den
+	half := z95 * math.Sqrt(r*(1-r)/n+z2/(4*n*n)) / den
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// Overlaps reports whether the Wald 95% intervals of two proportions
+// overlap — the paper's "difference is within the measurement error
+// threshold" criterion.
+func Overlaps(a, b Proportion) bool {
+	aLo, aHi := a.Rate()-a.WaldCI(), a.Rate()+a.WaldCI()
+	bLo, bHi := b.Rate()-b.WaldCI(), b.Rate()+b.WaldCI()
+	return aLo <= bHi && bLo <= aHi
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRate(t *testing.T) {
+	cases := []struct {
+		p    Proportion
+		want float64
+	}{
+		{Proportion{0, 0}, 0},
+		{Proportion{0, 100}, 0},
+		{Proportion{50, 100}, 0.5},
+		{Proportion{100, 100}, 1},
+	}
+	for _, c := range cases {
+		if got := c.p.Rate(); got != c.want {
+			t.Errorf("Rate(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestWaldCIKnownValue(t *testing.T) {
+	// p=0.5, n=1000: half-width = 1.96*sqrt(0.25/1000) ≈ 0.031.
+	p := Proportion{500, 1000}
+	ci := p.WaldCI()
+	if math.Abs(ci-0.0310) > 0.0005 {
+		t.Fatalf("WaldCI = %v, want ~0.031", ci)
+	}
+	// Degenerate proportions have zero Wald width.
+	if (Proportion{0, 1000}).WaldCI() != 0 {
+		t.Fatal("p=0 should give zero Wald width")
+	}
+	if (Proportion{0, 0}).WaldCI() != 0 {
+		t.Fatal("no trials should give zero width")
+	}
+}
+
+func TestWilsonCIBounds(t *testing.T) {
+	lo, hi := Proportion{0, 50}.WilsonCI()
+	if lo != 0 {
+		t.Errorf("p=0 Wilson lo = %v", lo)
+	}
+	if hi <= 0 || hi > 0.15 {
+		t.Errorf("p=0 n=50 Wilson hi = %v, want small positive", hi)
+	}
+	lo, hi = Proportion{50, 50}.WilsonCI()
+	if hi != 1 || lo >= 1 || lo < 0.85 {
+		t.Errorf("p=1 Wilson = [%v, %v]", lo, hi)
+	}
+	if lo, hi := (Proportion{0, 0}).WilsonCI(); lo != 0 || hi != 0 {
+		t.Errorf("empty Wilson = [%v,%v]", lo, hi)
+	}
+}
+
+// Property: Wilson intervals are within [0,1], contain the point estimate,
+// and shrink as n grows.
+func TestQuickWilson(t *testing.T) {
+	f := func(s, n uint16) bool {
+		trials := int(n%2000) + 1
+		succ := int(s) % (trials + 1)
+		p := Proportion{succ, trials}
+		lo, hi := p.WilsonCI()
+		if lo < 0 || hi > 1 || lo > hi {
+			return false
+		}
+		r := p.Rate()
+		if r < lo-1e-12 || r > hi+1e-12 {
+			return false
+		}
+		// 4x the trials, same rate: narrower or equal interval.
+		p4 := Proportion{succ * 4, trials * 4}
+		lo4, hi4 := p4.WilsonCI()
+		return hi4-lo4 <= hi-lo+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	a := Proportion{100, 1000} // 10% ± ~1.9%
+	b := Proportion{115, 1000} // 11.5% ± ~2.0%
+	if !Overlaps(a, b) {
+		t.Error("close proportions should overlap")
+	}
+	c := Proportion{400, 1000} // 40%
+	if Overlaps(a, c) {
+		t.Error("distant proportions should not overlap")
+	}
+	if !Overlaps(a, a) {
+		t.Error("identical proportions must overlap")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("mean = %v", got)
+	}
+}

@@ -1,0 +1,338 @@
+// Package x86 defines the synthetic x86-64-like instruction set targeted
+// by the backend and executed by the machine simulator. It carries every
+// architectural feature the DSN'14 study's assembly-level analysis relies
+// on: 16 general-purpose registers, XMM registers for double-precision
+// SSE arithmetic, an RFLAGS register with CF/PF/ZF/SF/OF set by compare
+// instructions and read by conditional jumps, [base + index*scale + disp]
+// addressing, and push/pop/call/ret stack discipline.
+package x86
+
+import "strconv"
+
+// Reg is a general-purpose 64-bit register. RegNone marks "no register"
+// in operands.
+type Reg int
+
+// General-purpose registers.
+const (
+	RegNone Reg = iota
+	RAX
+	RCX
+	RDX
+	RBX
+	RSP
+	RBP
+	RSI
+	RDI
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	NumRegs
+)
+
+var regNames = [...]string{
+	"none", "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+	"r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+}
+
+func (r Reg) String() string {
+	if r >= 0 && int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return "reg" + strconv.Itoa(int(r))
+}
+
+// IsCalleeSaved reports whether the SysV convention requires the callee to
+// preserve r.
+func (r Reg) IsCalleeSaved() bool {
+	switch r {
+	case RBX, RBP, R12, R13, R14, R15:
+		return true
+	default:
+		return false
+	}
+}
+
+// XReg is an XMM register (128 bits; double-precision ops use the low 64).
+type XReg int
+
+// XNone marks "no XMM register".
+const (
+	XNone XReg = iota
+	XMM0
+	XMM1
+	XMM2
+	XMM3
+	XMM4
+	XMM5
+	XMM6
+	XMM7
+	XMM8
+	XMM9
+	XMM10
+	XMM11
+	XMM12
+	XMM13
+	XMM14
+	XMM15
+	NumXRegs
+)
+
+func (x XReg) String() string {
+	if x == XNone {
+		return "xnone"
+	}
+	return "xmm" + strconv.Itoa(int(x)-1)
+}
+
+// RFLAGS bit positions (matching x86 encoding; the paper's Figure 2(a)
+// example injects OF = bit 11).
+const (
+	FlagCF uint64 = 1 << 0
+	FlagPF uint64 = 1 << 2
+	FlagZF uint64 = 1 << 6
+	FlagSF uint64 = 1 << 7
+	FlagOF uint64 = 1 << 11
+)
+
+// FlagBits are the architecturally meaningful flag bit positions.
+var FlagBits = []int{0, 2, 6, 7, 11}
+
+// Opcode enumerates the ISA.
+type Opcode int
+
+// Opcodes, grouped the way the selector categorizes them.
+const (
+	// Data transfer.
+	MOV Opcode = iota + 1
+	MOVZX
+	MOVSX
+	// Address arithmetic.
+	LEA
+	// Integer ALU.
+	ADD
+	SUB
+	IMUL
+	NEG
+	AND
+	OR
+	XOR
+	SHL
+	SHR
+	SAR
+	// Widening divide: CQO sign-extends RAX into RDX; IDIV divides
+	// RDX:RAX by the operand leaving quotient in RAX, remainder in RDX.
+	CQO
+	IDIV
+	// Flag-setting comparisons.
+	CMP
+	TEST
+	// Conditional set (materializes a flag into a byte register).
+	SETE
+	SETNE
+	SETL
+	SETLE
+	SETG
+	SETGE
+	SETB
+	SETBE
+	SETA
+	SETAE
+	// Branches.
+	JMP
+	JE
+	JNE
+	JL
+	JLE
+	JG
+	JGE
+	JB
+	JBE
+	JA
+	JAE
+	// Stack and calls.
+	PUSH
+	POP
+	CALL
+	RET
+	// SSE double-precision.
+	MOVSD
+	ADDSD
+	SUBSD
+	MULSD
+	DIVSD
+	UCOMISD
+	XORPD
+	CVTSI2SD
+	CVTTSD2SI
+	NumOpcodes
+)
+
+var opcodeNames = map[Opcode]string{
+	MOV: "mov", MOVZX: "movzx", MOVSX: "movsx", LEA: "lea",
+	ADD: "add", SUB: "sub", IMUL: "imul", NEG: "neg",
+	AND: "and", OR: "or", XOR: "xor", SHL: "shl", SHR: "shr", SAR: "sar",
+	CQO: "cqo", IDIV: "idiv", CMP: "cmp", TEST: "test",
+	SETE: "sete", SETNE: "setne", SETL: "setl", SETLE: "setle",
+	SETG: "setg", SETGE: "setge", SETB: "setb", SETBE: "setbe",
+	SETA: "seta", SETAE: "setae",
+	JMP: "jmp", JE: "je", JNE: "jne", JL: "jl", JLE: "jle",
+	JG: "jg", JGE: "jge", JB: "jb", JBE: "jbe", JA: "ja", JAE: "jae",
+	PUSH: "push", POP: "pop", CALL: "call", RET: "ret",
+	MOVSD: "movsd", ADDSD: "addsd", SUBSD: "subsd", MULSD: "mulsd",
+	DIVSD: "divsd", UCOMISD: "ucomisd", XORPD: "xorpd",
+	CVTSI2SD: "cvtsi2sd", CVTTSD2SI: "cvttsd2si",
+}
+
+func (o Opcode) String() string {
+	if s, ok := opcodeNames[o]; ok {
+		return s
+	}
+	return "op" + strconv.Itoa(int(o))
+}
+
+// IsCondJump reports whether o is a conditional jump.
+func (o Opcode) IsCondJump() bool { return o >= JE && o <= JAE }
+
+// IsSet reports whether o is a SETcc.
+func (o Opcode) IsSet() bool { return o >= SETE && o <= SETAE }
+
+// IsFlagSetter reports whether o writes the flags for a following Jcc or
+// SETcc (the instructions PINFI's cmp heuristic targets).
+func (o Opcode) IsFlagSetter() bool { return o == CMP || o == TEST || o == UCOMISD }
+
+// IsIntALU reports whether o is integer arithmetic/logic.
+func (o Opcode) IsIntALU() bool { return (o >= ADD && o <= SAR) || o == CQO || o == IDIV }
+
+// IsSSEALU reports whether o is double-precision SSE arithmetic.
+func (o Opcode) IsSSEALU() bool { return o >= ADDSD && o <= DIVSD }
+
+// IsArith reports whether o belongs to PINFI's "arithmetic" category:
+// integer ALU ops, SSE arithmetic, and LEA (which performs the address
+// arithmetic that getelementptr lowers to).
+func (o Opcode) IsArith() bool { return o.IsIntALU() || o.IsSSEALU() || o == LEA }
+
+// IsConvert reports whether o is in the "convert" category (the assembly
+// counterpart of IR int/fp conversion casts).
+func (o Opcode) IsConvert() bool { return o == CVTSI2SD || o == CVTTSD2SI }
+
+// OperandKind discriminates Operand.
+type OperandKind int
+
+// Operand kinds.
+const (
+	OpNone OperandKind = iota
+	OpReg
+	OpXmm
+	OpImm
+	OpMem
+	OpLabel
+)
+
+// Operand is one instruction operand. Memory operands use the full x86
+// addressing form [Base + Index*Scale + Disp]; an absolute address is
+// expressed with Base == RegNone.
+type Operand struct {
+	Kind  OperandKind
+	Reg   Reg
+	Xmm   XReg
+	Imm   int64
+	Base  Reg
+	Index Reg
+	Scale uint8
+	Disp  int64
+	// Label is a resolved instruction index for branch/call targets.
+	Label int
+}
+
+// R makes a register operand.
+func R(r Reg) Operand { return Operand{Kind: OpReg, Reg: r} }
+
+// X makes an XMM operand.
+func X(x XReg) Operand { return Operand{Kind: OpXmm, Xmm: x} }
+
+// Imm makes an immediate operand.
+func Imm(v int64) Operand { return Operand{Kind: OpImm, Imm: v} }
+
+// Mem makes a memory operand.
+func Mem(base Reg, index Reg, scale uint8, disp int64) Operand {
+	if scale == 0 {
+		scale = 1
+	}
+	return Operand{Kind: OpMem, Base: base, Index: index, Scale: scale, Disp: disp}
+}
+
+// Abs makes an absolute-address memory operand.
+func Abs(addr int64) Operand { return Operand{Kind: OpMem, Base: RegNone, Scale: 1, Disp: addr} }
+
+// Label makes a branch-target operand (index into the program).
+func Label(idx int) Operand { return Operand{Kind: OpLabel, Label: idx} }
+
+// Instr is one machine instruction.
+type Instr struct {
+	Op   Opcode
+	Dst  Operand
+	Src  Operand
+	Size uint8 // operation width in bytes (1, 2, 4, 8); 0 means 8
+
+	// Builtin names a runtime builtin for CALL (empty for user calls).
+	Builtin string
+	// ArgClasses records the argument-class layout of a builtin call for
+	// the machine's marshalling: one byte per argument, 'i' (integer or
+	// pointer, in RDI/RSI/...) or 'd' (double, in XMM0/XMM1/...).
+	ArgClasses string
+	// RetFloat marks a builtin call returning a double.
+	RetFloat bool
+
+	// Fn labels the first instruction of each function (for disassembly).
+	Fn string
+	// Comment carries provenance for disassembly (e.g. the IR op).
+	Comment string
+}
+
+// OpSize returns the effective operation width in bytes.
+func (in *Instr) OpSize() uint64 {
+	if in.Size == 0 {
+		return 8
+	}
+	return uint64(in.Size)
+}
+
+// HasRegDest reports whether the instruction writes a general-purpose or
+// XMM destination register — PINFI's precondition for an injection
+// candidate ("we compare LLFI and PINFI through fault injection into
+// destination registers of instructions").
+func (in *Instr) HasRegDest() bool {
+	switch in.Op {
+	case CMP, TEST, UCOMISD, JMP, JE, JNE, JL, JLE, JG, JGE, JB, JBE, JA, JAE,
+		PUSH, CALL, RET:
+		return false
+	}
+	return in.Dst.Kind == OpReg || in.Dst.Kind == OpXmm
+}
+
+// Program is a fully lowered and linked machine program.
+type Program struct {
+	Instrs []Instr
+	// Entry is the instruction index of main's first instruction.
+	Entry int
+	// FuncAt maps function names to entry indices.
+	FuncAt map[string]int
+	// Rodata is the constant pool (float literals), mapped at RodataBase.
+	Rodata []byte
+}
+
+// RodataBase is where the constant pool is mapped. It sits between the
+// globals segment and the code segment.
+const RodataBase uint64 = 0x30_0000
+
+// IntArgRegs is the SysV-style integer/pointer argument register order.
+var IntArgRegs = []Reg{RDI, RSI, RDX, RCX, R8, R9}
+
+// FloatArgRegs is the SysV-style double argument register order.
+var FloatArgRegs = []XReg{XMM0, XMM1, XMM2, XMM3, XMM4, XMM5, XMM6, XMM7}

@@ -1,0 +1,126 @@
+package x86
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpcodeClassification(t *testing.T) {
+	arith := []Opcode{ADD, SUB, IMUL, NEG, AND, OR, XOR, SHL, SHR, SAR, CQO, IDIV,
+		ADDSD, SUBSD, MULSD, DIVSD, LEA}
+	for _, op := range arith {
+		if !op.IsArith() {
+			t.Errorf("%s should be arithmetic", op)
+		}
+	}
+	notArith := []Opcode{MOV, MOVZX, MOVSX, MOVSD, CMP, TEST, JMP, JE, PUSH, POP,
+		CALL, RET, CVTSI2SD, CVTTSD2SI, SETE}
+	for _, op := range notArith {
+		if op.IsArith() {
+			t.Errorf("%s should not be arithmetic", op)
+		}
+	}
+	if !CVTSI2SD.IsConvert() || !CVTTSD2SI.IsConvert() || MOVZX.IsConvert() {
+		t.Error("convert category must contain exactly the CVT instructions")
+	}
+	for _, op := range []Opcode{JE, JNE, JL, JLE, JG, JGE, JB, JBE, JA, JAE} {
+		if !op.IsCondJump() {
+			t.Errorf("%s is a conditional jump", op)
+		}
+	}
+	if JMP.IsCondJump() {
+		t.Error("JMP is unconditional")
+	}
+	if !CMP.IsFlagSetter() || !TEST.IsFlagSetter() || !UCOMISD.IsFlagSetter() || ADD.IsFlagSetter() {
+		t.Error("flag setters are CMP/TEST/UCOMISD only in this ISA")
+	}
+}
+
+func TestHasRegDest(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want bool
+	}{
+		{Instr{Op: MOV, Dst: R(RAX), Src: Imm(1)}, true},
+		{Instr{Op: MOV, Dst: Mem(RAX, RegNone, 1, 0), Src: R(RCX)}, false}, // store
+		{Instr{Op: CMP, Dst: R(RAX), Src: Imm(1)}, false},                  // flags only
+		{Instr{Op: PUSH, Dst: R(RAX)}, false},
+		{Instr{Op: POP, Dst: R(RAX)}, true},
+		{Instr{Op: JE, Dst: Label(3)}, false},
+		{Instr{Op: CALL, Dst: Label(3)}, false},
+		{Instr{Op: RET}, false},
+		{Instr{Op: MOVSD, Dst: X(XMM1), Src: X(XMM2)}, true},
+		{Instr{Op: MOVSD, Dst: Mem(RAX, RegNone, 1, 0), Src: X(XMM2)}, false},
+		{Instr{Op: LEA, Dst: R(RCX), Src: Mem(RAX, RDX, 8, 4)}, true},
+		{Instr{Op: SETE, Dst: R(RAX)}, true},
+	}
+	for _, c := range cases {
+		if got := c.in.HasRegDest(); got != c.want {
+			t.Errorf("HasRegDest(%s) = %v, want %v", c.in.String(), got, c.want)
+		}
+	}
+}
+
+func TestCalleeSaved(t *testing.T) {
+	saved := []Reg{RBX, RBP, R12, R13, R14, R15}
+	for _, r := range saved {
+		if !r.IsCalleeSaved() {
+			t.Errorf("%s is callee-saved", r)
+		}
+	}
+	for _, r := range []Reg{RAX, RCX, RDX, RSI, RDI, R8, R9, R10, R11} {
+		if r.IsCalleeSaved() {
+			t.Errorf("%s is caller-saved", r)
+		}
+	}
+}
+
+func TestFlagBitPositions(t *testing.T) {
+	// The paper's Figure 2(a) example calls OF "bit 11".
+	if FlagOF != 1<<11 {
+		t.Error("OF must be bit 11")
+	}
+	if FlagCF != 1<<0 || FlagZF != 1<<6 || FlagSF != 1<<7 || FlagPF != 1<<2 {
+		t.Error("flag bit positions must match x86 encoding")
+	}
+}
+
+func TestOperandPrinting(t *testing.T) {
+	cases := map[string]Operand{
+		"rax":                      R(RAX),
+		"xmm4":                     X(XMM4),
+		"$-7":                      Imm(-7),
+		"[rbp+0xfffffffffffffff8]": Mem(RBP, RegNone, 1, -8),
+		"[rax+rcx*4+0x10]":         Mem(RAX, RCX, 4, 16),
+		"[0x100000]":               Abs(0x100000),
+	}
+	for want, op := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("operand = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestDisassembleLabelsFunctions(t *testing.T) {
+	p := &Program{
+		Instrs: []Instr{
+			{Op: PUSH, Dst: R(RBP), Fn: "main"},
+			{Op: MOV, Dst: R(RAX), Src: Imm(0), Size: 8},
+			{Op: RET},
+		},
+		FuncAt: map[string]int{"main": 0},
+	}
+	dis := p.Disassemble()
+	if !strings.Contains(dis, "main:") || !strings.Contains(dis, "push") {
+		t.Errorf("disassembly:\n%s", dis)
+	}
+}
+
+func TestArgRegOrders(t *testing.T) {
+	if len(IntArgRegs) != 6 || IntArgRegs[0] != RDI || IntArgRegs[1] != RSI {
+		t.Error("SysV integer argument order")
+	}
+	if len(FloatArgRegs) != 8 || FloatArgRegs[0] != XMM0 {
+		t.Error("SysV float argument order")
+	}
+}

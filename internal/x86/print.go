@@ -1,0 +1,76 @@
+package x86
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the operand in AT&T-free Intel-ish syntax.
+func (o Operand) String() string {
+	switch o.Kind {
+	case OpNone:
+		return ""
+	case OpReg:
+		return o.Reg.String()
+	case OpXmm:
+		return o.Xmm.String()
+	case OpImm:
+		return fmt.Sprintf("$%d", o.Imm)
+	case OpLabel:
+		return fmt.Sprintf("L%d", o.Label)
+	case OpMem:
+		var sb strings.Builder
+		sb.WriteString("[")
+		parts := make([]string, 0, 3)
+		if o.Base != RegNone {
+			parts = append(parts, o.Base.String())
+		}
+		if o.Index != RegNone {
+			parts = append(parts, fmt.Sprintf("%s*%d", o.Index, o.Scale))
+		}
+		if o.Disp != 0 || len(parts) == 0 {
+			parts = append(parts, fmt.Sprintf("0x%x", uint64(o.Disp)))
+		}
+		sb.WriteString(strings.Join(parts, "+"))
+		sb.WriteString("]")
+		return sb.String()
+	}
+	return "?"
+}
+
+// String renders one instruction.
+func (in Instr) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s", in.Op)
+	if in.Dst.Kind != OpNone {
+		sb.WriteString(" ")
+		sb.WriteString(in.Dst.String())
+	}
+	if in.Src.Kind != OpNone {
+		sb.WriteString(", ")
+		sb.WriteString(in.Src.String())
+	}
+	if in.Builtin != "" {
+		fmt.Fprintf(&sb, " @%s", in.Builtin)
+	}
+	if in.Size != 0 && in.Size != 8 {
+		fmt.Fprintf(&sb, "  ; size=%d", in.Size)
+	}
+	return sb.String()
+}
+
+// Disassemble renders the whole program with function labels and indices.
+func (p *Program) Disassemble() string {
+	var sb strings.Builder
+	for i, in := range p.Instrs {
+		if in.Fn != "" {
+			fmt.Fprintf(&sb, "\n%s:\n", in.Fn)
+		}
+		fmt.Fprintf(&sb, "  %4d: %s", i, in.String())
+		if in.Comment != "" {
+			fmt.Fprintf(&sb, "   ; %s", in.Comment)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
