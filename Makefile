@@ -1,9 +1,34 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test bench study calibration examples cover fmt
+.PHONY: test bench study calibration examples cover fmt race smoke ci
 
 test:
 	go build ./... && go vet ./... && go test ./...
+
+# Race coverage for the concurrency-bearing packages (mirrors the CI
+# race job).
+race:
+	go test -race ./internal/core/... ./internal/sched/... ./internal/telemetry/...
+
+# Study-binary smoke + determinism gate: the cell scheduler must produce
+# byte-identical tables to the serial path (mirrors the CI smoke job).
+smoke:
+	go run ./cmd/ficompare -experiment all -n 20 -benchmarks bzip2m,mcfm -q > .smoke-serial.txt
+	go run ./cmd/ficompare -experiment all -n 20 -benchmarks bzip2m,mcfm -q -parallel 4 > .smoke-parallel.txt
+	cmp .smoke-serial.txt .smoke-parallel.txt
+	rm -f .smoke-serial.txt .smoke-parallel.txt
+
+# The exact CI pipeline (.github/workflows/ci.yml), runnable locally.
+ci:
+	go build ./...
+	go vet ./...
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	go test ./...
+	$(MAKE) race
+	$(MAKE) smoke
 
 # All tables/figures + ablations. HLFI_N controls injections per cell.
 bench:

@@ -23,6 +23,7 @@ import (
 	"hlfi/internal/codegen"
 	"hlfi/internal/core"
 	"hlfi/internal/fault"
+	"hlfi/internal/telemetry"
 )
 
 // injectionsPerCell reads HLFI_N (default 200).
@@ -126,6 +127,51 @@ func BenchmarkTableV(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(n*len(progs)*2*len(fault.Categories)), "injections/op")
+}
+
+// BenchmarkStudyScheduler compares the serial study path against the
+// cell-level scheduler on the full 60-cell cross-product. Both arms run
+// the identical per-cell sequential streams (Workers=1), so the results
+// are byte-identical and the benchmark isolates pure scheduling: on a
+// multi-core box the parallel arm's ns/op drops roughly with
+// min(4, GOMAXPROCS). The telemetry aggregator rides along and reports
+// aggregate throughput on the last iteration.
+func BenchmarkStudyScheduler(b *testing.B) {
+	progs := allPrograms(b)
+	n := injectionsPerCell() / 4
+	if n < 10 {
+		n = 10
+	}
+	for _, arm := range []struct {
+		name     string
+		parallel int
+	}{
+		{"serial", 1},
+		{"parallel4", 4},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				agg := telemetry.NewAggregator()
+				st, err := core.RunStudy(core.StudyConfig{
+					Programs: progs,
+					N:        n,
+					Seed:     1,
+					Parallel: arm.parallel,
+					Events:   agg,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(st.Cells) == 0 {
+					b.Fatal("empty study")
+				}
+				if i == b.N-1 {
+					b.Log("\n" + agg.RenderTelemetry())
+					b.ReportMetric(agg.Throughput(), "injections/sec")
+				}
+			}
+		})
+	}
 }
 
 // benchOneCell runs a single campaign cell, for per-benchmark/per-level

@@ -12,7 +12,11 @@
 //	-experiment all     everything plus the headline summary
 //
 // The paper uses N=1000 injections per cell; that is the default here and
-// takes a few minutes. Use -n to trade precision for speed.
+// takes a few minutes. Use -n to trade precision for speed, -parallel to
+// run campaign cells concurrently (output stays byte-identical),
+// -cell-workers to parallelize attempts within a cell (per-attempt
+// seeding: a different deterministic sample), and -events to capture the
+// campaign telemetry stream as JSONL.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 	"hlfi/internal/bench"
 	"hlfi/internal/core"
 	"hlfi/internal/fault"
+	"hlfi/internal/telemetry"
 )
 
 func main() {
@@ -37,16 +42,23 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("ficompare", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "all", "fig3|table4|fig4|table5|table2|all")
-		n          = fs.Int("n", 1000, "activated injections per cell")
-		seed       = fs.Int64("seed", 1, "study seed")
-		benches    = fs.String("benchmarks", "", "comma-separated subset (default: all six)")
-		quiet      = fs.Bool("q", false, "suppress per-cell progress")
-		workers    = fs.Int("parallel", 1, "worker goroutines per campaign cell (>1 uses per-attempt seeding)")
-		jsonOut    = fs.Bool("json", false, "emit machine-readable JSON instead of tables (fig3/fig4/table5/all)")
+		experiment  = fs.String("experiment", "all", "fig3|table4|fig4|table5|table2|calibration|all")
+		n           = fs.Int("n", 1000, "activated injections per cell")
+		seed        = fs.Int64("seed", 1, "study seed")
+		benches     = fs.String("benchmarks", "", "comma-separated subset (default: all six)")
+		quiet       = fs.Bool("q", false, "suppress per-cell progress and the telemetry summary")
+		parallel    = fs.Int("parallel", 1, "campaign cells in flight (study-level scheduler; output is identical for any value)")
+		cellWorkers = fs.Int("cell-workers", 1, "worker goroutines per campaign cell (>1 uses per-attempt seeding: deterministic, but a different sample)")
+		events      = fs.String("events", "", "write the campaign telemetry event stream (JSONL) to this file")
+		jsonOut     = fs.Bool("json", false, "emit machine-readable JSON scoped to the experiment (fig3/fig4/table5/all)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	switch *experiment {
+	case "fig3", "table4", "fig4", "table5", "table2", "calibration", "all":
+	default:
+		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
 
 	if *experiment == "table2" {
@@ -83,8 +95,23 @@ func run(args []string) error {
 		return nil
 	}
 
+	// Telemetry: an in-memory aggregator always, a JSONL sink on request.
+	// Both write off the stdout path, so the rendered tables stay
+	// byte-identical whatever the scheduling or telemetry flags.
+	agg := telemetry.NewAggregator()
+	rec := telemetry.Recorder(agg)
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rec = telemetry.Multi(agg, telemetry.NewJSONLSink(f))
+	}
+
 	start := time.Now()
-	cfg := core.StudyConfig{Programs: progs, N: *n, Seed: *seed, Workers: *workers}
+	cfg := core.StudyConfig{Programs: progs, N: *n, Seed: *seed,
+		Workers: *cellWorkers, Parallel: *parallel, Events: rec}
 	if !*quiet {
 		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
@@ -93,9 +120,12 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "study completed in %v\n\n", time.Since(start).Round(time.Second))
+	if !*quiet {
+		fmt.Fprintln(os.Stderr, agg.RenderTelemetry())
+	}
 
 	if *jsonOut {
-		return st.WriteJSON(os.Stdout)
+		return st.WriteExperimentJSON(os.Stdout, *experiment)
 	}
 
 	switch *experiment {
@@ -111,8 +141,6 @@ func run(args []string) error {
 		fmt.Println(st.RenderFigure4())
 		fmt.Println(st.RenderTableV())
 		fmt.Println(st.RenderSummary())
-	default:
-		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
 	return nil
 }

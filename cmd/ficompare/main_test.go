@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 // TestRunExperiments smoke-tests the CLI surface in-process with tiny
 // sample sizes.
@@ -11,6 +17,9 @@ func TestRunExperiments(t *testing.T) {
 		{"-experiment", "fig3", "-benchmarks", "quantumm", "-n", "10", "-q"},
 		{"-experiment", "fig3", "-benchmarks", "quantumm", "-n", "10", "-q", "-json"},
 		{"-experiment", "fig3", "-benchmarks", "quantumm", "-n", "10", "-q", "-parallel", "3"},
+		{"-experiment", "fig3", "-benchmarks", "quantumm", "-n", "10", "-q", "-cell-workers", "3"},
+		{"-experiment", "table5", "-benchmarks", "quantumm", "-n", "10", "-q", "-json"},
+		{"-experiment", "all", "-benchmarks", "quantumm", "-n", "10", "-q", "-parallel", "2", "-cell-workers", "2"},
 		{"-experiment", "calibration", "-benchmarks", "quantumm", "-n", "10", "-q"},
 	}
 	for _, args := range cases {
@@ -23,5 +32,39 @@ func TestRunExperiments(t *testing.T) {
 	}
 	if err := run([]string{"-experiment", "fig3", "-benchmarks", "nosuch", "-n", "5", "-q"}); err == nil {
 		t.Error("unknown benchmark accepted")
+	}
+}
+
+// TestRunEventsSink: -events writes a JSONL stream bracketed by
+// study_start/study_done with one cell event per cell.
+func TestRunEventsSink(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	args := []string{"-experiment", "fig3", "-benchmarks", "quantumm", "-n", "8", "-q",
+		"-parallel", "2", "-events", path}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var types []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var e struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		types = append(types, e.Type)
+	}
+	// quantumm alone: 10 cells (2 levels x 5 categories) + the brackets.
+	if len(types) != 12 {
+		t.Fatalf("got %d events, want 12: %v", len(types), types)
+	}
+	if types[0] != "study_start" || types[len(types)-1] != "study_done" {
+		t.Fatalf("stream not bracketed: %v", types)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"hlfi/internal/fault"
 	"hlfi/internal/llfi"
@@ -33,6 +34,29 @@ type Campaign struct {
 	// Calibration, when non-nil and Level is LevelIR, applies the paper's
 	// §VII discrepancy-resolution heuristics to the candidate set.
 	Calibration *llfi.Calibration
+	// Metrics, when non-nil, is filled with per-cell timing telemetry by
+	// Run and RunParallel. It is kept out of CellResult so results stay
+	// comparable across runs (timing never is).
+	Metrics *CellMetrics
+}
+
+// CellMetrics is the per-cell timing record behind the campaign
+// telemetry stream.
+type CellMetrics struct {
+	// ScanTime covers injector construction: the golden profiling run
+	// plus the candidate scan.
+	ScanTime time.Duration
+	// RunTime covers the injection loop.
+	RunTime time.Duration
+	// Workers is the attempt-level worker count used (1 = the sequential
+	// random stream).
+	Workers int
+}
+
+func (c *Campaign) noteMetrics(scan, run time.Duration, workers int) {
+	if c.Metrics != nil {
+		*c.Metrics = CellMetrics{ScanTime: scan, RunTime: run, Workers: workers}
+	}
 }
 
 // CellResult aggregates one campaign cell.
@@ -91,6 +115,44 @@ func (c *CellResult) add(o fault.Outcome) {
 	}
 }
 
+// injector builds the level-appropriate injector and returns a draw
+// function (one injection using the supplied rng) plus the dynamic
+// candidate count. The construction cost — the golden profiling run and
+// the candidate scan — is what CellMetrics.ScanTime measures.
+func (c *Campaign) injector() (func(*rand.Rand) fault.Outcome, uint64, error) {
+	switch c.Level {
+	case fault.LevelIR:
+		var inj *llfi.Injector
+		var err error
+		if c.Calibration != nil {
+			inj, err = llfi.NewCalibrated(c.Prog.Prep, c.Category, *c.Calibration)
+		} else {
+			inj, err = llfi.New(c.Prog.Prep, c.Category)
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		return func(rng *rand.Rand) fault.Outcome { return inj.InjectOne(rng).Outcome }, inj.DynTotal, nil
+	case fault.LevelASM:
+		inj, err := pinfi.New(c.Prog.Asm, c.Prog.Prep.Layout.Image, c.Prog.Prep.Layout.Base, c.Category)
+		if err != nil {
+			return nil, 0, err
+		}
+		return func(rng *rand.Rand) fault.Outcome { return inj.InjectOne(rng).Outcome }, inj.DynTotal, nil
+	default:
+		return nil, 0, fmt.Errorf("campaign: unknown level %v", c.Level)
+	}
+}
+
+// wrapNoCandidates maps the injector-level sentinel errors onto the
+// campaign-level one.
+func wrapNoCandidates(err error) error {
+	if errors.Is(err, llfi.ErrNoCandidates) || errors.Is(err, pinfi.ErrNoCandidates) {
+		return fmt.Errorf("%w: %v", ErrNoCandidates, err)
+	}
+	return err
+}
+
 // Run executes the campaign: it keeps injecting until N activated faults
 // have been observed (non-activated draws are excluded and redrawn, per
 // the paper's activated-fault accounting) or the attempt budget runs out.
@@ -106,42 +168,19 @@ func (c *Campaign) Run() (*CellResult, error) {
 	rng := rand.New(rand.NewSource(c.Seed))
 	res := &CellResult{Prog: c.Prog.Name, Level: c.Level, Category: c.Category}
 
-	switch c.Level {
-	case fault.LevelIR:
-		var inj *llfi.Injector
-		var err error
-		if c.Calibration != nil {
-			inj, err = llfi.NewCalibrated(c.Prog.Prep, c.Category, *c.Calibration)
-		} else {
-			inj, err = llfi.New(c.Prog.Prep, c.Category)
-		}
-		if err != nil {
-			if errors.Is(err, llfi.ErrNoCandidates) {
-				return nil, fmt.Errorf("%w: %v", ErrNoCandidates, err)
-			}
-			return nil, err
-		}
-		res.DynCandidates = inj.DynTotal
-		for res.Activated() < c.N && res.Attempts < maxAttempts {
-			res.Attempts++
-			res.add(inj.InjectOne(rng).Outcome)
-		}
-	case fault.LevelASM:
-		inj, err := pinfi.New(c.Prog.Asm, c.Prog.Prep.Layout.Image, c.Prog.Prep.Layout.Base, c.Category)
-		if err != nil {
-			if errors.Is(err, pinfi.ErrNoCandidates) {
-				return nil, fmt.Errorf("%w: %v", ErrNoCandidates, err)
-			}
-			return nil, err
-		}
-		res.DynCandidates = inj.DynTotal
-		for res.Activated() < c.N && res.Attempts < maxAttempts {
-			res.Attempts++
-			res.add(inj.InjectOne(rng).Outcome)
-		}
-	default:
-		return nil, fmt.Errorf("campaign: unknown level %v", c.Level)
+	scanStart := time.Now()
+	draw, dyn, err := c.injector()
+	if err != nil {
+		return nil, wrapNoCandidates(err)
 	}
+	scan := time.Since(scanStart)
+	res.DynCandidates = dyn
+	loopStart := time.Now()
+	for res.Activated() < c.N && res.Attempts < maxAttempts {
+		res.Attempts++
+		res.add(draw(rng))
+	}
+	c.noteMetrics(scan, time.Since(loopStart), 1)
 	if res.Activated() == 0 {
 		return nil, fmt.Errorf("campaign %s/%s/%s: no activated faults in %d attempts",
 			c.Prog.Name, c.Level, c.Category, res.Attempts)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"sort"
 
@@ -11,9 +12,12 @@ import (
 // StudyJSON is the machine-readable form of a study, for plotting
 // pipelines and regression tracking.
 type StudyJSON struct {
-	N     int        `json:"n"`
-	Seed  int64      `json:"seed"`
-	Cells []CellJSON `json:"cells"`
+	// Experiment names the artifact this JSON is scoped to
+	// (fig3|fig4|table5|all).
+	Experiment string     `json:"experiment"`
+	N          int        `json:"n"`
+	Seed       int64      `json:"seed"`
+	Cells      []CellJSON `json:"cells"`
 }
 
 // CellJSON serializes one campaign cell.
@@ -34,12 +38,31 @@ type CellJSON struct {
 	NotActivated  int    `json:"notActivated"`
 }
 
-// WriteJSON serializes the study (cells in a stable order).
+// WriteJSON serializes the full study (cells in a stable order); it is
+// WriteExperimentJSON scoped to "all".
 func (st *Study) WriteJSON(w io.Writer) error {
-	out := StudyJSON{N: st.N, Seed: st.Seed}
+	return st.WriteExperimentJSON(w, "all")
+}
+
+// WriteExperimentJSON serializes the study scoped to one experiment's
+// cells: fig3 covers only the "all"-category cells (its aggregate
+// breakdown uses nothing else), while fig4, table5, and all cover the
+// full category cross-product. Experiments without a JSON form (table2,
+// table4, calibration) are rejected.
+func (st *Study) WriteExperimentJSON(w io.Writer, experiment string) error {
+	var cats []fault.Category
+	switch experiment {
+	case "fig3":
+		cats = []fault.Category{fault.CatAll}
+	case "fig4", "table5", "all":
+		cats = fault.Categories
+	default:
+		return fmt.Errorf("experiment %q has no JSON form (want fig3|fig4|table5|all)", experiment)
+	}
+	out := StudyJSON{Experiment: experiment, N: st.N, Seed: st.Seed}
 	for _, p := range st.Programs {
 		for _, level := range []fault.Level{fault.LevelIR, fault.LevelASM} {
-			for _, cat := range fault.Categories {
+			for _, cat := range cats {
 				key := CellKey{Prog: p.Name, Level: level, Category: cat}
 				c := st.Cells[key]
 				if c == nil {

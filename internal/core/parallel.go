@@ -1,14 +1,12 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"hlfi/internal/fault"
-	"hlfi/internal/llfi"
-	"hlfi/internal/pinfi"
 )
 
 // RunParallel executes the campaign across the given number of workers.
@@ -33,13 +31,12 @@ func (c *Campaign) RunParallel(workers int) (*CellResult, error) {
 	}
 	maxAttempts := c.N * maxFactor
 
+	scanStart := time.Now()
 	attempt, dyn, err := c.attemptFunc()
 	if err != nil {
-		if errors.Is(err, llfi.ErrNoCandidates) || errors.Is(err, pinfi.ErrNoCandidates) {
-			return nil, fmt.Errorf("%w: %v", ErrNoCandidates, err)
-		}
-		return nil, err
+		return nil, wrapNoCandidates(err)
 	}
+	scan := time.Since(scanStart)
 
 	res := &CellResult{Prog: c.Prog.Name, Level: c.Level, Category: c.Category, DynCandidates: dyn}
 	outcomes := make([]fault.Outcome, maxAttempts)
@@ -47,6 +44,7 @@ func (c *Campaign) RunParallel(workers int) (*CellResult, error) {
 	// Waves of parallel attempts; counting the deterministic per-index
 	// outcomes in prefix order keeps the activated-N stopping rule exact.
 	const wave = 64
+	loopStart := time.Now()
 	next := 0
 	counted := 0
 	for res.Activated() < c.N && counted < maxAttempts {
@@ -74,6 +72,7 @@ func (c *Campaign) RunParallel(workers int) (*CellResult, error) {
 			counted++
 		}
 	}
+	c.noteMetrics(scan, time.Since(loopStart), workers)
 	if res.Activated() == 0 {
 		return nil, fmt.Errorf("campaign %s/%s/%s: no activated faults in %d attempts",
 			c.Prog.Name, c.Level, c.Category, res.Attempts)
@@ -81,37 +80,17 @@ func (c *Campaign) RunParallel(workers int) (*CellResult, error) {
 	return res, nil
 }
 
-// attemptFunc builds the per-attempt closure and reports the dynamic
-// candidate count.
+// attemptFunc builds the per-attempt closure (an independent random
+// stream per attempt index) and reports the dynamic candidate count.
 func (c *Campaign) attemptFunc() (func(k int) fault.Outcome, uint64, error) {
-	switch c.Level {
-	case fault.LevelIR:
-		var inj *llfi.Injector
-		var err error
-		if c.Calibration != nil {
-			inj, err = llfi.NewCalibrated(c.Prog.Prep, c.Category, *c.Calibration)
-		} else {
-			inj, err = llfi.New(c.Prog.Prep, c.Category)
-		}
-		if err != nil {
-			return nil, 0, err
-		}
-		return func(k int) fault.Outcome {
-			rng := rand.New(rand.NewSource(attemptSeed(c.Seed, k)))
-			return inj.InjectOne(rng).Outcome
-		}, inj.DynTotal, nil
-	case fault.LevelASM:
-		inj, err := pinfi.New(c.Prog.Asm, c.Prog.Prep.Layout.Image, c.Prog.Prep.Layout.Base, c.Category)
-		if err != nil {
-			return nil, 0, err
-		}
-		return func(k int) fault.Outcome {
-			rng := rand.New(rand.NewSource(attemptSeed(c.Seed, k)))
-			return inj.InjectOne(rng).Outcome
-		}, inj.DynTotal, nil
-	default:
-		return nil, 0, fmt.Errorf("campaign: unknown level %v", c.Level)
+	draw, dyn, err := c.injector()
+	if err != nil {
+		return nil, 0, err
 	}
+	return func(k int) fault.Outcome {
+		rng := rand.New(rand.NewSource(attemptSeed(c.Seed, k)))
+		return draw(rng)
+	}, dyn, nil
 }
 
 // attemptSeed mixes the campaign seed with the attempt index

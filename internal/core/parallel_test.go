@@ -41,3 +41,92 @@ func TestParallelDeterminism(t *testing.T) {
 		t.Fatalf("IR parallel mismatch: %+v vs %+v", r1, r2)
 	}
 }
+
+// TestParallelMoreWorkersThanWave: worker counts beyond the internal
+// dispatch wave (64 attempts) must still give the same result.
+func TestParallelMoreWorkersThanWave(t *testing.T) {
+	p, err := bench.Build("quantumm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *core.CellResult {
+		c := &core.Campaign{Prog: p, Level: fault.LevelASM, Category: fault.CatAll, N: 30, Seed: 21}
+		res, err := c.RunParallel(workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	few, many := run(2), run(128)
+	if *few != *many {
+		t.Fatalf("worker count beyond the wave changed the result:\n%+v\n%+v", few, many)
+	}
+}
+
+// TestParallelMaxAttemptsExhaustion: when the attempt budget runs out
+// with some faults activated, RunParallel must return the partial cell
+// (no error), keep the accounting consistent, and stay deterministic
+// across worker counts. mcfm/PINFI/all at this seed is known to draw
+// non-activated faults, so N attempts cannot all activate.
+func TestParallelMaxAttemptsExhaustion(t *testing.T) {
+	p, err := bench.Build("mcfm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) *core.CellResult {
+		c := &core.Campaign{Prog: p, Level: fault.LevelASM, Category: fault.CatAll,
+			N: 120, Seed: 11, MaxAttemptsFactor: 1}
+		res, err := c.RunParallel(workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run(4)
+	if res.Attempts != 120 {
+		t.Fatalf("attempts = %d, want the exhausted budget 120", res.Attempts)
+	}
+	if res.NotActivated == 0 {
+		t.Fatal("probe cell no longer draws non-activated faults; pick another seed")
+	}
+	if got := res.Activated(); got != 120-res.NotActivated || got >= 120 || got == 0 {
+		t.Fatalf("partial activation accounting broken: activated=%d notActivated=%d attempts=%d",
+			got, res.NotActivated, res.Attempts)
+	}
+	if other := run(8); *other != *res {
+		t.Fatalf("exhausted cell depends on worker count:\n%+v\n%+v", res, other)
+	}
+}
+
+// TestParallelSingleWorkerFallback: RunParallel with workers <= 1 must be
+// the exact sequential campaign — same stream, same sample, same result
+// as Run().
+func TestParallelSingleWorkerFallback(t *testing.T) {
+	p, err := bench.Build("quantumm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 0, -3} {
+		c := &core.Campaign{Prog: p, Level: fault.LevelIR, Category: fault.CatAll, N: 30, Seed: 77}
+		par, err := c.RunParallel(workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := (&core.Campaign{Prog: p, Level: fault.LevelIR, Category: fault.CatAll, N: 30, Seed: 77}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *par != *seq {
+			t.Fatalf("RunParallel(%d) diverged from Run():\n%+v\n%+v", workers, par, seq)
+		}
+	}
+	// And the fallback still fills the timing metrics with Workers=1.
+	var m core.CellMetrics
+	c := &core.Campaign{Prog: p, Level: fault.LevelIR, Category: fault.CatAll, N: 10, Seed: 77, Metrics: &m}
+	if _, err := c.RunParallel(1); err != nil {
+		t.Fatal(err)
+	}
+	if m.Workers != 1 || m.RunTime <= 0 {
+		t.Fatalf("fallback metrics not recorded: %+v", m)
+	}
+}

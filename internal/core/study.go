@@ -1,12 +1,17 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"time"
 
 	"hlfi/internal/fault"
 	"hlfi/internal/llfi"
 	"hlfi/internal/pinfi"
+	"hlfi/internal/sched"
+	"hlfi/internal/telemetry"
 )
 
 // CellKey identifies one campaign cell.
@@ -39,12 +44,22 @@ type StudyConfig struct {
 	Seed int64
 	// Categories defaults to all five.
 	Categories []fault.Category
-	// Progress, when non-nil, receives one line per completed cell.
+	// Progress, when non-nil, receives one line per completed cell, in
+	// canonical cell order regardless of scheduling.
 	Progress func(string)
 	// Workers > 1 runs each cell's injections in parallel (per-attempt
 	// seeding; deterministic for a fixed seed but a different sample than
 	// the sequential stream).
 	Workers int
+	// Parallel > 1 runs whole campaign cells concurrently on a bounded
+	// worker pool. Every cell keeps its own seeded random stream, so the
+	// study result is identical to the serial path for any Parallel
+	// value; with Workers <= 1 it is byte-identical to the committed
+	// serial outputs. The (Parallel, Workers) pair is clamped so the
+	// total goroutine count stays within sched.Budget().
+	Parallel int
+	// Events, when non-nil, receives the campaign telemetry stream.
+	Events telemetry.Recorder
 }
 
 // cellSeed derives a stable per-cell seed.
@@ -58,7 +73,21 @@ func cellSeed(base int64, prog string, level fault.Level, cat fault.Category) in
 	return int64(h & 0x7fffffffffffffff)
 }
 
-// RunStudy runs every campaign cell of the study.
+// cellSpec is one scheduled unit of study work, in canonical order.
+type cellSpec struct {
+	prog  *Program
+	level fault.Level
+	cat   fault.Category
+}
+
+func (s cellSpec) key() CellKey {
+	return CellKey{Prog: s.prog.Name, Level: s.level, Category: s.cat}
+}
+
+// RunStudy runs every campaign cell of the study. Cells are scheduled on
+// a bounded worker pool when cfg.Parallel > 1 and merged back in
+// canonical order, so scheduling never changes results, progress order,
+// or telemetry order; the first hard error cancels outstanding cells.
 func RunStudy(cfg StudyConfig) (*Study, error) {
 	cats := cfg.Categories
 	if len(cats) == 0 {
@@ -71,46 +100,156 @@ func RunStudy(cfg StudyConfig) (*Study, error) {
 		Cells:    make(map[CellKey]*CellResult),
 		Dyn:      make(map[CellKey]uint64),
 	}
+	// Profiling is one golden run per (program, level): cheap next to the
+	// campaigns, so it stays serial and the scheduler sees only cells.
 	for _, p := range cfg.Programs {
 		if err := st.profileProgram(p); err != nil {
 			return nil, err
 		}
+	}
+
+	var specs []cellSpec
+	for _, p := range cfg.Programs {
 		for _, level := range []fault.Level{fault.LevelIR, fault.LevelASM} {
 			for _, cat := range cats {
-				key := CellKey{Prog: p.Name, Level: level, Category: cat}
-				c := &Campaign{
-					Prog:     p,
-					Level:    level,
-					Category: cat,
-					N:        cfg.N,
-					Seed:     cellSeed(cfg.Seed, p.Name, level, cat),
-				}
-				var res *CellResult
-				var err error
-				if cfg.Workers > 1 {
-					res, err = c.RunParallel(cfg.Workers)
-				} else {
-					res, err = c.Run()
-				}
-				if errors.Is(err, ErrNoCandidates) {
-					if cfg.Progress != nil {
-						cfg.Progress(fmt.Sprintf("%-10s %-5s %-10s skipped (no candidates)", p.Name, level, cat))
-					}
-					continue
-				}
-				if err != nil {
-					return nil, fmt.Errorf("cell %v: %w", key, err)
-				}
-				st.Cells[key] = res
-				if cfg.Progress != nil {
-					cfg.Progress(fmt.Sprintf("%-10s %-5s %-10s activated=%d crash=%.1f%% sdc=%.1f%%",
-						p.Name, level, cat, res.Activated(),
-						100*res.CrashRate().Rate(), 100*res.SDCRate().Rate()))
-				}
+				specs = append(specs, cellSpec{prog: p, level: level, cat: cat})
 			}
 		}
 	}
+
+	parallel, perCell := sched.Split(cfg.Parallel, cfg.Workers, sched.Budget())
+	emit(cfg.Events, telemetry.Event{
+		Type: telemetry.EventStudyStart,
+		N:    cfg.N, Seed: cfg.Seed, Cells: len(specs),
+		Parallel: parallel, Workers: perCell,
+	})
+	start := time.Now()
+
+	results := make([]*CellResult, len(specs))
+	metrics := make([]CellMetrics, len(specs))
+	cellErrs := make([]error, len(specs))
+
+	// Reorder buffer: progress lines and telemetry events are released
+	// only for the completed prefix, so their order matches the serial
+	// path no matter how cells are scheduled.
+	var (
+		mu      sync.Mutex
+		done    = make([]bool, len(specs))
+		emitted int
+	)
+	finish := func(i int) {
+		mu.Lock()
+		defer mu.Unlock()
+		done[i] = true
+		for emitted < len(specs) && done[emitted] {
+			noteCell(cfg, specs[emitted], results[emitted], metrics[emitted], cellErrs[emitted])
+			emitted++
+		}
+	}
+
+	tasks := make([]sched.Task, len(specs))
+	for i := range specs {
+		i := i
+		s := specs[i]
+		tasks[i] = func(context.Context) error {
+			defer finish(i)
+			c := &Campaign{
+				Prog:     s.prog,
+				Level:    s.level,
+				Category: s.cat,
+				N:        cfg.N,
+				Seed:     cellSeed(cfg.Seed, s.prog.Name, s.level, s.cat),
+				Metrics:  &metrics[i],
+			}
+			var res *CellResult
+			var err error
+			if perCell > 1 {
+				res, err = c.RunParallel(perCell)
+			} else {
+				res, err = c.Run()
+			}
+			if err != nil {
+				cellErrs[i] = err
+				if errors.Is(err, ErrNoCandidates) {
+					return nil // soft skip, like the serial path
+				}
+				return err // hard error: cancels the pool
+			}
+			results[i] = res
+			return nil
+		}
+	}
+	if err := sched.Run(context.Background(), parallel, tasks); err != nil {
+		// Report the first hard error in canonical cell order.
+		for i, cerr := range cellErrs {
+			if cerr != nil && !errors.Is(cerr, ErrNoCandidates) {
+				return nil, fmt.Errorf("cell %v: %w", specs[i].key(), cerr)
+			}
+		}
+		return nil, err
+	}
+
+	var attempts, activated int
+	for i, s := range specs {
+		if results[i] == nil {
+			continue
+		}
+		st.Cells[s.key()] = results[i]
+		attempts += results[i].Attempts
+		activated += results[i].Activated()
+	}
+	emit(cfg.Events, telemetry.Event{
+		Type:       telemetry.EventStudyDone,
+		Cells:      len(st.Cells),
+		Attempts:   attempts,
+		Activated:  activated,
+		DurationMS: telemetry.Ms(time.Since(start)),
+	})
 	return st, nil
+}
+
+// noteCell releases one cell's progress line and telemetry event.
+func noteCell(cfg StudyConfig, s cellSpec, res *CellResult, m CellMetrics, err error) {
+	switch {
+	case res != nil:
+		if cfg.Progress != nil {
+			cfg.Progress(fmt.Sprintf("%-10s %-5s %-10s activated=%d crash=%.1f%% sdc=%.1f%%",
+				s.prog.Name, s.level, s.cat, res.Activated(),
+				100*res.CrashRate().Rate(), 100*res.SDCRate().Rate()))
+		}
+		rate := 0.0
+		if res.Attempts > 0 {
+			rate = float64(res.Activated()) / float64(res.Attempts)
+		}
+		emit(cfg.Events, telemetry.Event{
+			Type:      telemetry.EventCellDone,
+			Benchmark: s.prog.Name, Level: s.level.String(), Category: s.cat.String(),
+			DurationMS: telemetry.Ms(m.ScanTime + m.RunTime),
+			ScanMS:     telemetry.Ms(m.ScanTime),
+			Workers:    m.Workers,
+			Attempts:   res.Attempts, Activated: res.Activated(), ActivationRate: rate,
+			Benign: res.Benign, SDC: res.SDC, Crash: res.Crash, Hang: res.Hang,
+			NotActivated: res.NotActivated,
+		})
+	case errors.Is(err, ErrNoCandidates):
+		if cfg.Progress != nil {
+			cfg.Progress(fmt.Sprintf("%-10s %-5s %-10s skipped (no candidates)",
+				s.prog.Name, s.level, s.cat))
+		}
+		emit(cfg.Events, telemetry.Event{
+			Type:      telemetry.EventCellSkip,
+			Benchmark: s.prog.Name, Level: s.level.String(), Category: s.cat.String(),
+			Err: err.Error(),
+		})
+	}
+	// Hard errors and cancelled cells release nothing: the study is about
+	// to fail with the canonical first error.
+}
+
+func emit(r telemetry.Recorder, e telemetry.Event) {
+	if r != nil {
+		r.Record(e)
+	}
 }
 
 // profileProgram fills Dyn for every (level, category) of one program

@@ -1,0 +1,226 @@
+package core_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"hlfi/internal/bench"
+	"hlfi/internal/core"
+	"hlfi/internal/telemetry"
+)
+
+// captureRecorder collects the raw event stream.
+type captureRecorder struct {
+	mu     sync.Mutex
+	events []telemetry.Event
+}
+
+func (c *captureRecorder) Record(e telemetry.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = append(c.events, e)
+}
+
+func buildTwo(t *testing.T) []*core.Program {
+	t.Helper()
+	var progs []*core.Program
+	for _, name := range []string{"bzip2m", "quantumm"} {
+		p, err := bench.Build(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs = append(progs, p)
+	}
+	return progs
+}
+
+func renderAll(st *core.Study) string {
+	return st.RenderFigure3() + st.RenderTableIV() + st.RenderFigure4() +
+		st.RenderTableV() + st.RenderSummary()
+}
+
+// TestStudySchedulerDeterminism: running whole cells concurrently must
+// not change a single byte of the rendered study, nor any cell result,
+// nor the order of progress lines.
+func TestStudySchedulerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scheduled pilot study is slow")
+	}
+	progs := buildTwo(t)
+	run := func(parallel int) (*core.Study, []string) {
+		var lines []string
+		var mu sync.Mutex
+		st, err := core.RunStudy(core.StudyConfig{
+			Programs: progs,
+			N:        25,
+			Seed:     7,
+			Parallel: parallel,
+			Progress: func(s string) {
+				mu.Lock()
+				lines = append(lines, s)
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, lines
+	}
+	serial, serialLines := run(1)
+	sched4, schedLines := run(4)
+
+	if len(serial.Cells) == 0 || len(serial.Cells) != len(sched4.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(serial.Cells), len(sched4.Cells))
+	}
+	for key, want := range serial.Cells {
+		got := sched4.Cells[key]
+		if got == nil || *got != *want {
+			t.Errorf("cell %v differs under scheduling:\nserial %+v\nsched  %+v", key, want, got)
+		}
+	}
+	if a, b := renderAll(serial), renderAll(sched4); a != b {
+		t.Fatalf("rendered study not byte-identical under scheduling:\n--- serial ---\n%s\n--- scheduled ---\n%s", a, b)
+	}
+	if strings.Join(serialLines, "\n") != strings.Join(schedLines, "\n") {
+		t.Fatalf("progress order depends on scheduling:\n%v\nvs\n%v", serialLines, schedLines)
+	}
+}
+
+// TestStudyTelemetryStream: the event stream has the canonical shape —
+// one study_start, one cell event per cell in canonical cell order, one
+// study_done with matching totals — even under concurrent scheduling.
+func TestStudyTelemetryStream(t *testing.T) {
+	p, err := bench.Build("quantumm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &captureRecorder{}
+	agg := telemetry.NewAggregator()
+	st, err := core.RunStudy(core.StudyConfig{
+		Programs: []*core.Program{p},
+		N:        10,
+		Seed:     3,
+		Parallel: 4,
+		Events:   telemetry.Multi(rec, agg),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := rec.events
+	if len(ev) < 3 {
+		t.Fatalf("got %d events, want study_start + cells + study_done", len(ev))
+	}
+	if ev[0].Type != telemetry.EventStudyStart || ev[len(ev)-1].Type != telemetry.EventStudyDone {
+		t.Fatalf("stream not bracketed by study events: first=%s last=%s", ev[0].Type, ev[len(ev)-1].Type)
+	}
+	if ev[0].Parallel < 1 || ev[0].Cells != 10 {
+		t.Fatalf("study_start misconfigured: %+v", ev[0])
+	}
+
+	var wantAttempts, wantActivated, cellEvents int
+	for _, e := range ev[1 : len(ev)-1] {
+		switch e.Type {
+		case telemetry.EventCellDone:
+			cellEvents++
+			wantAttempts += e.Attempts
+			wantActivated += e.Activated
+			if e.DurationMS < e.ScanMS || e.Attempts < e.Activated {
+				t.Errorf("inconsistent cell event: %+v", e)
+			}
+		case telemetry.EventCellSkip:
+			cellEvents++
+		default:
+			t.Errorf("unexpected mid-stream event %q", e.Type)
+		}
+	}
+	if cellEvents != 10 {
+		t.Fatalf("got %d cell events, want one per cell (10)", cellEvents)
+	}
+	done := ev[len(ev)-1]
+	if done.Cells != len(st.Cells) || done.Attempts != wantAttempts || done.Activated != wantActivated {
+		t.Fatalf("study_done totals mismatch: %+v (want cells=%d attempts=%d activated=%d)",
+			done, len(st.Cells), wantAttempts, wantActivated)
+	}
+	if tp := agg.Throughput(); tp <= 0 {
+		t.Fatalf("aggregator throughput = %f, want > 0", tp)
+	}
+	if sum := agg.RenderTelemetry(); !strings.Contains(sum, "quantumm") {
+		t.Fatalf("telemetry summary missing cells:\n%s", sum)
+	}
+}
+
+// TestStudyTelemetryOrderCanonical: cell events arrive in canonical cell
+// order (program, level, category) regardless of completion order.
+func TestStudyTelemetryOrderCanonical(t *testing.T) {
+	p, err := bench.Build("quantumm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := func(parallel int) []string {
+		rec := &captureRecorder{}
+		if _, err := core.RunStudy(core.StudyConfig{
+			Programs: []*core.Program{p}, N: 8, Seed: 5, Parallel: parallel, Events: rec,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var ids []string
+		for _, e := range rec.events {
+			if e.Type == telemetry.EventCellDone || e.Type == telemetry.EventCellSkip {
+				ids = append(ids, e.Benchmark+"/"+e.Level+"/"+e.Category)
+			}
+		}
+		return ids
+	}
+	serial, scheduled := order(1), order(6)
+	if strings.Join(serial, ",") != strings.Join(scheduled, ",") {
+		t.Fatalf("telemetry order depends on scheduling:\n%v\nvs\n%v", serial, scheduled)
+	}
+}
+
+// TestStudyComposedParallelismDeterminism: with attempt-level workers
+// requested (per-attempt seeding), varying the cell-level parallelism
+// must not change results — even when the goroutine budget forces the
+// scheduler to clamp. Regression test: the clamp once reduced per-cell
+// workers from 2 to 1, silently switching cells back to the sequential
+// sample.
+func TestStudyComposedParallelismDeterminism(t *testing.T) {
+	p, err := bench.Build("quantumm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(parallel int) *core.Study {
+		st, err := core.RunStudy(core.StudyConfig{
+			Programs: []*core.Program{p}, N: 8, Seed: 9, Parallel: parallel, Workers: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	a, b := run(2), run(3)
+	if renderAll(a) != renderAll(b) {
+		t.Fatalf("cell-level parallelism changed the per-attempt sample:\n%s\nvs\n%s",
+			renderAll(a), renderAll(b))
+	}
+}
+
+// TestStudySchedulerFirstError: a hard cell error cancels the study and
+// the canonical first failing cell is reported, deterministically.
+func TestStudySchedulerFirstError(t *testing.T) {
+	p, err := bench.Build("quantumm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parallel := range []int{1, 4} {
+		_, err := core.RunStudy(core.StudyConfig{
+			Programs: []*core.Program{p}, N: -1, Seed: 1, Parallel: parallel,
+		})
+		if err == nil {
+			t.Fatalf("parallel=%d: invalid N accepted", parallel)
+		}
+		if !strings.Contains(err.Error(), "cell {quantumm LLFI all}") {
+			t.Fatalf("parallel=%d: error does not name the canonical first cell: %v", parallel, err)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+// Package telemetry records machine-readable campaign run records: a
+// structured event stream with one record per study phase and campaign
+// cell. Sinks are composable — a JSONL file for offline analysis and
+// regression tracking, plus an in-memory aggregator that renders the
+// human summary (slowest cells, aggregate throughput).
+//
+// A study emits, in canonical cell order regardless of how cells were
+// scheduled: one study_start, one cell_done or cell_skip per cell, and
+// one study_done. Events carry durations rather than wall-clock
+// timestamps, so two runs of the same study differ only in the timing
+// fields.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event types.
+const (
+	EventStudyStart = "study_start"
+	EventCellDone   = "cell_done"
+	EventCellSkip   = "cell_skip"
+	EventStudyDone  = "study_done"
+)
+
+// Event is one record of a campaign's event stream.
+type Event struct {
+	Type string `json:"type"`
+
+	// Cell identity (cell_done, cell_skip).
+	Benchmark string `json:"benchmark,omitempty"`
+	Level     string `json:"level,omitempty"`
+	Category  string `json:"category,omitempty"`
+
+	// Study shape (study_start; Cells repeated on study_done with the
+	// number of completed cells).
+	N        int   `json:"n,omitempty"`
+	Seed     int64 `json:"seed,omitempty"`
+	Cells    int   `json:"cells,omitempty"`
+	Parallel int   `json:"parallel,omitempty"`
+	Workers  int   `json:"workers,omitempty"`
+
+	// Timing. ScanMS covers injector construction (the golden profiling
+	// run plus the candidate scan); DurationMS the whole cell or study.
+	DurationMS float64 `json:"durationMs,omitempty"`
+	ScanMS     float64 `json:"scanMs,omitempty"`
+
+	// Outcome accounting (cell_done; totals repeated on study_done).
+	Attempts       int     `json:"attempts,omitempty"`
+	Activated      int     `json:"activated,omitempty"`
+	ActivationRate float64 `json:"activationRate,omitempty"`
+	Benign         int     `json:"benign,omitempty"`
+	SDC            int     `json:"sdc,omitempty"`
+	Crash          int     `json:"crash,omitempty"`
+	Hang           int     `json:"hang,omitempty"`
+	NotActivated   int     `json:"notActivated,omitempty"`
+
+	// Err explains a skipped cell.
+	Err string `json:"err,omitempty"`
+}
+
+// Ms converts a duration to the milliseconds used by Event fields.
+func Ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// Recorder consumes telemetry events. Implementations must be safe for
+// concurrent use.
+type Recorder interface {
+	Record(Event)
+}
+
+// Multi fans every event out to all recorders (nils are dropped).
+func Multi(rs ...Recorder) Recorder {
+	var live multi
+	for _, r := range rs {
+		if r != nil {
+			live = append(live, r)
+		}
+	}
+	if len(live) == 1 {
+		return live[0]
+	}
+	return live
+}
+
+type multi []Recorder
+
+func (m multi) Record(e Event) {
+	for _, r := range m {
+		r.Record(e)
+	}
+}
+
+// JSONLSink writes one JSON object per line to an io.Writer.
+type JSONLSink struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewJSONLSink wraps w; the caller owns closing it.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Record appends the event as one JSONL line. Encoding errors are
+// swallowed: telemetry must never fail a campaign.
+func (s *JSONLSink) Record(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.enc.Encode(e)
+}
+
+// Aggregator accumulates the event stream in memory and renders the
+// campaign summary.
+type Aggregator struct {
+	mu    sync.Mutex
+	start Event
+	done  Event
+	cells []Event
+	skips []Event
+}
+
+// NewAggregator returns an empty aggregator.
+func NewAggregator() *Aggregator { return &Aggregator{} }
+
+// Record consumes one event.
+func (a *Aggregator) Record(e Event) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch e.Type {
+	case EventStudyStart:
+		a.start = e
+	case EventCellDone:
+		a.cells = append(a.cells, e)
+	case EventCellSkip:
+		a.skips = append(a.skips, e)
+	case EventStudyDone:
+		a.done = e
+	}
+}
+
+// Cells returns a copy of the recorded cell_done events.
+func (a *Aggregator) Cells() []Event {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Event(nil), a.cells...)
+}
+
+// Totals sums attempts and activated injections over all completed cells.
+func (a *Aggregator) Totals() (attempts, activated int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.totalsLocked()
+}
+
+func (a *Aggregator) totalsLocked() (attempts, activated int) {
+	for _, c := range a.cells {
+		attempts += c.Attempts
+		activated += c.Activated
+	}
+	return attempts, activated
+}
+
+// Throughput is the aggregate injection rate in injections per second
+// over the study wall clock (0 before study_done arrives).
+func (a *Aggregator) Throughput() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	attempts, _ := a.totalsLocked()
+	if a.done.DurationMS <= 0 {
+		return 0
+	}
+	return float64(attempts) / (a.done.DurationMS / 1000)
+}
+
+// SlowestCells returns up to k cell_done events ordered by descending
+// duration (ties broken by cell identity for stable output).
+func (a *Aggregator) SlowestCells(k int) []Event {
+	cells := a.Cells()
+	sort.Slice(cells, func(i, j int) bool {
+		if cells[i].DurationMS != cells[j].DurationMS {
+			return cells[i].DurationMS > cells[j].DurationMS
+		}
+		return cellID(cells[i]) < cellID(cells[j])
+	})
+	if k < len(cells) {
+		cells = cells[:k]
+	}
+	return cells
+}
+
+func cellID(e Event) string {
+	return e.Benchmark + "/" + e.Level + "/" + e.Category
+}
+
+// RenderTelemetry renders the campaign summary: totals, aggregate
+// throughput, and the slowest cells.
+func (a *Aggregator) RenderTelemetry() string {
+	a.mu.Lock()
+	cells := len(a.cells)
+	skips := len(a.skips)
+	attempts, activated := a.totalsLocked()
+	var compute, scan float64
+	for _, c := range a.cells {
+		compute += c.DurationMS
+		scan += c.ScanMS
+	}
+	wall := a.done.DurationMS
+	parallel, workers := a.start.Parallel, a.start.Workers
+	a.mu.Unlock()
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Campaign telemetry (%d cells, %d skipped; %d cells in flight x %d workers/cell)\n",
+		cells, skips, parallel, workers)
+	rate := 0.0
+	if attempts > 0 {
+		rate = 100 * float64(activated) / float64(attempts)
+	}
+	fmt.Fprintf(&sb, "  injections attempted  : %d (%d activated, %.1f%%)\n", attempts, activated, rate)
+	fmt.Fprintf(&sb, "  cell compute time     : %s (candidate scans %s)\n",
+		fmtMS(compute), fmtMS(scan))
+	if wall > 0 {
+		fmt.Fprintf(&sb, "  study wall clock      : %s\n", fmtMS(wall))
+		fmt.Fprintf(&sb, "  aggregate throughput  : %.0f injections/sec\n",
+			float64(attempts)/(wall/1000))
+		if compute > 0 {
+			// Sum of per-cell wall time over study wall time: the average
+			// number of cells in flight. On a machine with enough cores this
+			// equals the scheduler's wall-clock speedup over the serial path.
+			fmt.Fprintf(&sb, "  effective concurrency : %.2fx (cell-time/wall)\n", compute/wall)
+		}
+	}
+	slow := a.SlowestCells(5)
+	if len(slow) > 0 {
+		fmt.Fprintf(&sb, "  slowest cells:\n")
+		for _, c := range slow {
+			arate := 0.0
+			if c.Attempts > 0 {
+				arate = 100 * float64(c.Activated) / float64(c.Attempts)
+			}
+			fmt.Fprintf(&sb, "    %-10s %-5s %-10s %9s  scan %8s  attempts %6d  activation %5.1f%%\n",
+				c.Benchmark, c.Level, c.Category, fmtMS(c.DurationMS), fmtMS(c.ScanMS), c.Attempts, arate)
+		}
+	}
+	return sb.String()
+}
+
+func fmtMS(ms float64) string {
+	return time.Duration(ms * float64(time.Millisecond)).Round(time.Millisecond).String()
+}

@@ -1,0 +1,107 @@
+package telemetry_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"hlfi/internal/telemetry"
+)
+
+func cell(bm string, durMS float64, attempts, activated int) telemetry.Event {
+	return telemetry.Event{
+		Type: telemetry.EventCellDone, Benchmark: bm, Level: "ir", Category: "all",
+		DurationMS: durMS, ScanMS: durMS / 10, Attempts: attempts, Activated: activated,
+	}
+}
+
+// TestJSONLSink: one valid JSON object per line, in order.
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := telemetry.NewJSONLSink(&buf)
+	s.Record(telemetry.Event{Type: telemetry.EventStudyStart, N: 10, Seed: 7, Cells: 2})
+	s.Record(cell("bzip2m", 120, 11, 10))
+	s.Record(telemetry.Event{Type: telemetry.EventStudyDone, DurationMS: 130})
+
+	var types []string
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var e telemetry.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		types = append(types, e.Type)
+	}
+	want := []string{"study_start", "cell_done", "study_done"}
+	if strings.Join(types, ",") != strings.Join(want, ",") {
+		t.Fatalf("event order %v, want %v", types, want)
+	}
+}
+
+// TestJSONLSinkConcurrent: concurrent Record calls must not interleave
+// bytes (run under -race).
+func TestJSONLSinkConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	s := telemetry.NewJSONLSink(&buf)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Record(cell("quantumm", 1, 2, 2))
+		}()
+	}
+	wg.Wait()
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		if !json.Valid(sc.Bytes()) {
+			t.Fatalf("interleaved JSONL line: %q", sc.Text())
+		}
+		lines++
+	}
+	if lines != 32 {
+		t.Fatalf("got %d lines, want 32", lines)
+	}
+}
+
+// TestAggregator: totals, throughput, slowest-cell ordering, summary.
+func TestAggregator(t *testing.T) {
+	a := telemetry.NewAggregator()
+	a.Record(telemetry.Event{Type: telemetry.EventStudyStart, Cells: 3, Parallel: 4, Workers: 1})
+	a.Record(cell("bzip2m", 300, 12, 10))
+	a.Record(cell("mcfm", 700, 15, 10))
+	a.Record(cell("quantumm", 500, 10, 10))
+	a.Record(telemetry.Event{Type: telemetry.EventCellSkip, Benchmark: "mcfm", Err: "no candidates"})
+	a.Record(telemetry.Event{Type: telemetry.EventStudyDone, DurationMS: 1000})
+
+	if attempts, activated := a.Totals(); attempts != 37 || activated != 30 {
+		t.Fatalf("Totals() = (%d,%d), want (37,30)", attempts, activated)
+	}
+	if tp := a.Throughput(); tp < 36.9 || tp > 37.1 {
+		t.Fatalf("Throughput() = %f, want ~37 injections/sec", tp)
+	}
+	slow := a.SlowestCells(2)
+	if len(slow) != 2 || slow[0].Benchmark != "mcfm" || slow[1].Benchmark != "quantumm" {
+		t.Fatalf("SlowestCells(2) = %+v", slow)
+	}
+	out := a.RenderTelemetry()
+	for _, want := range []string{"3 cells, 1 skipped", ": 37 (30 activated, 81.1%)", "mcfm", "injections/sec"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestMulti: fan-out reaches every sink, nils are dropped.
+func TestMulti(t *testing.T) {
+	a1, a2 := telemetry.NewAggregator(), telemetry.NewAggregator()
+	m := telemetry.Multi(a1, nil, a2)
+	m.Record(cell("hmmerm", 5, 3, 3))
+	if len(a1.Cells()) != 1 || len(a2.Cells()) != 1 {
+		t.Fatalf("fan-out failed: %d, %d", len(a1.Cells()), len(a2.Cells()))
+	}
+}
