@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test bench study calibration examples cover fmt race smoke ci
+.PHONY: test bench study calibration examples cover fmt race smoke resume-smoke ci
 
 test:
 	go build ./... && go vet ./... && go test ./...
@@ -18,6 +18,21 @@ smoke:
 	cmp .smoke-serial.txt .smoke-parallel.txt
 	rm -f .smoke-serial.txt .smoke-parallel.txt
 
+# Kill-and-resume smoke: start a checkpointed study, SIGTERM it
+# mid-run, resume from the checkpoint, and byte-compare the resumed
+# output against an uninterrupted run (mirrors the CI resume-smoke job).
+resume-smoke:
+	go build -o .resume-smoke-bin ./cmd/ficompare
+	./.resume-smoke-bin -experiment all -n 200 -benchmarks bzip2m,mcfm -q > .resume-full.txt
+	./.resume-smoke-bin -experiment all -n 200 -benchmarks bzip2m,mcfm -q \
+		-checkpoint .resume-ck.jsonl > /dev/null 2>&1 & \
+	pid=$$!; sleep 1; kill -TERM $$pid 2>/dev/null; wait $$pid; true
+	test -s .resume-ck.jsonl
+	./.resume-smoke-bin -experiment all -n 200 -benchmarks bzip2m,mcfm -q \
+		-resume .resume-ck.jsonl > .resume-resumed.txt
+	cmp .resume-full.txt .resume-resumed.txt
+	rm -f .resume-smoke-bin .resume-full.txt .resume-resumed.txt .resume-ck.jsonl
+
 # The exact CI pipeline (.github/workflows/ci.yml), runnable locally.
 ci:
 	go build ./...
@@ -29,6 +44,7 @@ ci:
 	go test ./...
 	$(MAKE) race
 	$(MAKE) smoke
+	$(MAKE) resume-smoke
 
 # All tables/figures + ablations. HLFI_N controls injections per cell.
 bench:

@@ -20,10 +20,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"hlfi/internal/bench"
@@ -33,13 +37,20 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := runCtx(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "ficompare:", err)
 		os.Exit(1)
 	}
 }
 
+// run keeps the uncancellable entry point used by the in-process tests.
 func run(args []string) error {
+	return runCtx(context.Background(), args)
+}
+
+func runCtx(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("ficompare", flag.ContinueOnError)
 	var (
 		experiment  = fs.String("experiment", "all", "fig3|table4|fig4|table5|table2|calibration|all")
@@ -51,6 +62,10 @@ func run(args []string) error {
 		cellWorkers = fs.Int("cell-workers", 1, "worker goroutines per campaign cell (>1 uses per-attempt seeding: deterministic, but a different sample)")
 		events      = fs.String("events", "", "write the campaign telemetry event stream (JSONL) to this file")
 		jsonOut     = fs.Bool("json", false, "emit machine-readable JSON scoped to the experiment (fig3/fig4/table5/all)")
+		checkpoint  = fs.String("checkpoint", "", "append completed cells to this JSONL checkpoint as they finish")
+		resume      = fs.String("resume", "", "resume from this checkpoint: recorded cells are not re-run and keep checkpointing into the same file (output is byte-identical to an uninterrupted run)")
+		simFaults   = fs.Int("sim-fault-limit", 0, "contained simulator panics tolerated per cell (0 = fail fast, -1 = unlimited)")
+		deadline    = fs.Duration("cell-deadline", 0, "per-cell wall-clock watchdog; an over-deadline cell is skipped as degraded (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -109,23 +124,63 @@ func run(args []string) error {
 		rec = telemetry.Multi(agg, telemetry.NewJSONLSink(f))
 	}
 
-	start := time.Now()
-	cfg := core.StudyConfig{Programs: progs, N: *n, Seed: *seed,
-		Workers: *cellWorkers, Parallel: *parallel, Events: rec}
-	if !*quiet {
-		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	// Fault tolerance: an optional resume state (cells already completed
+	// by an interrupted run) and an optional checkpoint writer for this
+	// run's cells. -resume alone keeps appending to the same file.
+	var resumeState *core.CheckpointState
+	if *resume != "" {
+		resumeState, err = core.LoadCheckpoint(*resume, *n, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "resuming: %d completed and %d skipped cells restored from %s\n",
+			len(resumeState.Cells), len(resumeState.Skips), *resume)
 	}
-	st, err := core.RunStudy(cfg)
+	var ckpt *core.CheckpointWriter
+	switch {
+	case *checkpoint != "" && *checkpoint == *resume:
+		ckpt, err = core.OpenCheckpointAppend(*checkpoint)
+	case *checkpoint != "":
+		ckpt, err = core.NewCheckpointWriter(*checkpoint, *n, *seed)
+	case *resume != "":
+		ckpt, err = core.OpenCheckpointAppend(*resume)
+	}
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "study completed in %v\n\n", time.Since(start).Round(time.Second))
+	defer ckpt.Close()
+
+	start := time.Now()
+	cfg := core.StudyConfig{Programs: progs, N: *n, Seed: *seed,
+		Workers: *cellWorkers, Parallel: *parallel, Events: rec,
+		SimFaultLimit: *simFaults, CellDeadline: *deadline,
+		Checkpoint: ckpt, Resume: resumeState}
+	if !*quiet {
+		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+	st, err := core.RunStudyContext(ctx, cfg)
+	aborted := errors.Is(err, core.ErrAborted)
+	if err != nil && !aborted {
+		return err
+	}
+	if aborted {
+		fmt.Fprintf(os.Stderr, "study aborted after %v with %d cells completed; rendering partial results\n",
+			time.Since(start).Round(time.Second), len(st.Cells))
+		if ckpt != nil {
+			fmt.Fprintf(os.Stderr, "checkpoint flushed; resume with -resume to finish the study\n")
+		}
+	} else {
+		fmt.Fprintf(os.Stderr, "study completed in %v\n\n", time.Since(start).Round(time.Second))
+	}
 	if !*quiet {
 		fmt.Fprintln(os.Stderr, agg.RenderTelemetry())
 	}
 
 	if *jsonOut {
-		return st.WriteExperimentJSON(os.Stdout, *experiment)
+		if jerr := st.WriteExperimentJSON(os.Stdout, *experiment); jerr != nil {
+			return jerr
+		}
+		return err
 	}
 
 	switch *experiment {
@@ -142,7 +197,7 @@ func run(args []string) error {
 		fmt.Println(st.RenderTableV())
 		fmt.Println(st.RenderSummary())
 	}
-	return nil
+	return err
 }
 
 func buildPrograms(subset string) ([]*core.Program, error) {

@@ -35,6 +35,7 @@ func run(args []string) error {
 		seed      = fs.Int64("seed", 1, "campaign seed")
 		verbose   = fs.Bool("v", false, "print activation accounting")
 		dumpIR    = fs.Bool("ir", false, "print the optimized IR and exit")
+		events    = fs.String("events", "", "write the campaign telemetry event stream (JSONL) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -51,5 +52,6 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	return cli.RunCampaign(os.Stdout, prog, fault.LevelIR, cat, *n, *seed, *verbose)
+	return cli.RunCampaign(os.Stdout, prog, fault.LevelIR, cat,
+		cli.CampaignOptions{N: *n, Seed: *seed, Verbose: *verbose, EventsPath: *events})
 }

@@ -36,6 +36,7 @@ func run(args []string) error {
 		seed      = fs.Int64("seed", 1, "campaign seed")
 		verbose   = fs.Bool("v", false, "print activation accounting")
 		disasm    = fs.Bool("disasm", false, "print the lowered assembly, marking the category's injection candidates, and exit")
+		events    = fs.String("events", "", "write the campaign telemetry event stream (JSONL) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,5 +66,6 @@ func run(args []string) error {
 		}
 		return nil
 	}
-	return cli.RunCampaign(os.Stdout, prog, fault.LevelASM, cat, *n, *seed, *verbose)
+	return cli.RunCampaign(os.Stdout, prog, fault.LevelASM, cat,
+		cli.CampaignOptions{N: *n, Seed: *seed, Verbose: *verbose, EventsPath: *events})
 }

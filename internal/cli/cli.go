@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"hlfi/internal/bench"
 	"hlfi/internal/core"
 	"hlfi/internal/fault"
+	"hlfi/internal/telemetry"
 )
 
 // LoadProgram builds a Program from a registered benchmark name or a
@@ -31,22 +33,56 @@ func LoadProgram(benchName, srcPath string) (*core.Program, error) {
 	}
 }
 
+// CampaignOptions configures RunCampaign beyond the cell identity.
+type CampaignOptions struct {
+	// N activated injections to collect; Seed the campaign seed.
+	N    int
+	Seed int64
+	// Verbose prints activation accounting.
+	Verbose bool
+	// EventsPath, when non-empty, captures the telemetry event stream of
+	// the single-cell campaign as JSONL (flag parity with ficompare).
+	EventsPath string
+	// SimFaultLimit and Deadline are the campaign fault-tolerance knobs
+	// (see core.Campaign).
+	SimFaultLimit int
+	Deadline      time.Duration
+}
+
 // RunCampaign executes one campaign cell and prints the paper-style
 // summary to w.
-func RunCampaign(w io.Writer, prog *core.Program, level fault.Level, cat fault.Category, n int, seed int64, verbose bool) error {
+func RunCampaign(w io.Writer, prog *core.Program, level fault.Level, cat fault.Category, opts CampaignOptions) error {
 	dyn, err := core.DynCount(prog, level, cat)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "%s: %s, category %s: %d dynamic candidate instructions\n",
 		level, prog.Name, cat, dyn)
-	c := &core.Campaign{Prog: prog, Level: level, Category: cat, N: n, Seed: seed}
+
+	var rec telemetry.Recorder
+	if opts.EventsPath != "" {
+		f, err := os.Create(opts.EventsPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rec = telemetry.NewJSONLSink(f)
+	}
+
+	var metrics core.CellMetrics
+	c := &core.Campaign{Prog: prog, Level: level, Category: cat,
+		N: opts.N, Seed: opts.Seed, Metrics: &metrics,
+		SimFaultLimit: opts.SimFaultLimit, Deadline: opts.Deadline}
 	res, err := c.Run()
+	emitCampaignEvents(rec, c, res, metrics, err)
 	if err != nil {
 		return err
 	}
-	if verbose {
+	if opts.Verbose {
 		fmt.Fprintf(w, "attempts=%d (non-activated redrawn: %d)\n", res.Attempts, res.NotActivated)
+		if res.SimFaults > 0 {
+			fmt.Fprintf(w, "simulator panics contained: %d\n", res.SimFaults)
+		}
 	}
 	fmt.Fprintf(w, "activated faults : %d\n", res.Activated())
 	fmt.Fprintf(w, "  crash  : %4d  (%5.1f%% ±%.1f%%)\n", res.Crash, 100*res.CrashRate().Rate(), 100*res.CrashRate().WaldCI())
@@ -54,4 +90,43 @@ func RunCampaign(w io.Writer, prog *core.Program, level fault.Level, cat fault.C
 	fmt.Fprintf(w, "  hang   : %4d  (%5.1f%%)\n", res.Hang, 100*res.HangRate().Rate())
 	fmt.Fprintf(w, "  benign : %4d  (%5.1f%%)\n", res.Benign, 100*res.BenignRate().Rate())
 	return nil
+}
+
+// emitCampaignEvents mirrors the study event stream for a single-cell
+// campaign: study_start, any sim_fault records, cell_done (or cell_skip
+// on a soft failure), study_done.
+func emitCampaignEvents(rec telemetry.Recorder, c *core.Campaign, res *core.CellResult, m core.CellMetrics, runErr error) {
+	if rec == nil {
+		return
+	}
+	rec.Record(telemetry.Event{Type: telemetry.EventStudyStart,
+		N: c.N, Seed: c.Seed, Cells: 1, Parallel: 1, Workers: m.Workers})
+	for _, sf := range m.SimFaults {
+		rec.Record(telemetry.Event{Type: telemetry.EventSimFault,
+			Benchmark: sf.Prog, Level: sf.Level.String(), Category: sf.Category.String(),
+			Attempt: sf.Attempt, AttemptSeed: sf.Seed, Sequential: sf.Sequential,
+			Panic: sf.Panic})
+	}
+	switch {
+	case res != nil:
+		rate := 0.0
+		if res.Attempts > 0 {
+			rate = float64(res.Activated()) / float64(res.Attempts)
+		}
+		rec.Record(telemetry.Event{Type: telemetry.EventCellDone,
+			Benchmark: c.Prog.Name, Level: c.Level.String(), Category: c.Category.String(),
+			DurationMS: telemetry.Ms(m.ScanTime + m.RunTime),
+			ScanMS:     telemetry.Ms(m.ScanTime),
+			Workers:    m.Workers,
+			Attempts:   res.Attempts, Activated: res.Activated(), ActivationRate: rate,
+			Benign: res.Benign, SDC: res.SDC, Crash: res.Crash, Hang: res.Hang,
+			NotActivated: res.NotActivated, SimFaults: res.SimFaults})
+		rec.Record(telemetry.Event{Type: telemetry.EventStudyDone, Cells: 1,
+			Attempts: res.Attempts, Activated: res.Activated(),
+			DurationMS: telemetry.Ms(m.ScanTime + m.RunTime)})
+	case runErr != nil:
+		rec.Record(telemetry.Event{Type: telemetry.EventCellSkip,
+			Benchmark: c.Prog.Name, Level: c.Level.String(), Category: c.Category.String(),
+			Err: runErr.Error()})
+	}
 }

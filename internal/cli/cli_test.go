@@ -49,7 +49,8 @@ int main() {
 	}
 
 	var buf bytes.Buffer
-	if err := RunCampaign(&buf, prog, fault.LevelIR, fault.CatAll, 20, 1, true); err != nil {
+	if err := RunCampaign(&buf, prog, fault.LevelIR, fault.CatAll,
+		CampaignOptions{N: 20, Seed: 1, Verbose: true}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -60,7 +61,8 @@ int main() {
 	}
 
 	var buf2 bytes.Buffer
-	if err := RunCampaign(&buf2, prog, fault.LevelASM, fault.CatCmp, 15, 2, false); err != nil {
+	if err := RunCampaign(&buf2, prog, fault.LevelASM, fault.CatCmp,
+		CampaignOptions{N: 15, Seed: 2}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf2.String(), "PINFI") {

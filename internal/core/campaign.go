@@ -18,6 +18,12 @@ import (
 // counts the paper reports for bzip2 and mcf).
 var ErrNoCandidates = errors.New("no dynamic injection candidates")
 
+// ErrNotActivated is returned when the attempt budget runs out before a
+// single fault activates. Like ErrNoCandidates it is a soft condition —
+// the scheduler and checkpoint layer treat it as a skipped cell, not a
+// hard study failure.
+var ErrNotActivated = errors.New("no activated faults")
+
 // Campaign configures one (program, level, category) fault-injection cell
 // of the study.
 type Campaign struct {
@@ -38,6 +44,21 @@ type Campaign struct {
 	// Run and RunParallel. It is kept out of CellResult so results stay
 	// comparable across runs (timing never is).
 	Metrics *CellMetrics
+	// SimFaultLimit is the panic-containment policy: a simulator panic
+	// during an injection attempt is recovered into a SimFault record
+	// instead of crashing the process. 0 (the default) is fail-fast —
+	// the first contained panic fails the cell with a *SimFaultError;
+	// K > 0 tolerates up to K sim faults per cell; a negative limit
+	// tolerates any number.
+	SimFaultLimit int
+	// Deadline, when positive, is the per-cell wall-clock watchdog: a
+	// campaign still running after this long fails with a
+	// *DeadlineError. It complements the instruction-budget hang
+	// detection inside the simulators, which bounds single attempts.
+	Deadline time.Duration
+	// injectorOverride, when non-nil, replaces the level-derived
+	// injector (test hook for fault-tolerance coverage).
+	injectorOverride func() (func(*rand.Rand) fault.Outcome, uint64, error)
 }
 
 // CellMetrics is the per-cell timing record behind the campaign
@@ -51,11 +72,15 @@ type CellMetrics struct {
 	// Workers is the attempt-level worker count used (1 = the sequential
 	// random stream).
 	Workers int
+	// SimFaults holds the contained-panic records of the cell, in
+	// attempt order. Like timing it is kept out of CellResult (which
+	// only counts them) so results stay comparable across runs.
+	SimFaults []SimFault
 }
 
-func (c *Campaign) noteMetrics(scan, run time.Duration, workers int) {
+func (c *Campaign) noteMetrics(scan, run time.Duration, workers int, faults []SimFault) {
 	if c.Metrics != nil {
-		*c.Metrics = CellMetrics{ScanTime: scan, RunTime: run, Workers: workers}
+		*c.Metrics = CellMetrics{ScanTime: scan, RunTime: run, Workers: workers, SimFaults: faults}
 	}
 }
 
@@ -71,6 +96,10 @@ type CellResult struct {
 	Hang         int
 	NotActivated int
 	Attempts     int
+	// SimFaults counts attempts whose simulator panicked and was
+	// contained. They consume attempt budget but are excluded from the
+	// paper's outcome taxonomy (and so from Activated).
+	SimFaults int
 
 	// DynCandidates is the dynamic injection-opportunity count for the
 	// cell (the rows of Table IV).
@@ -120,6 +149,9 @@ func (c *CellResult) add(o fault.Outcome) {
 // candidate count. The construction cost — the golden profiling run and
 // the candidate scan — is what CellMetrics.ScanTime measures.
 func (c *Campaign) injector() (func(*rand.Rand) fault.Outcome, uint64, error) {
+	if c.injectorOverride != nil {
+		return c.injectorOverride()
+	}
 	switch c.Level {
 	case fault.LevelIR:
 		var inj *llfi.Injector
@@ -156,6 +188,8 @@ func wrapNoCandidates(err error) error {
 // Run executes the campaign: it keeps injecting until N activated faults
 // have been observed (non-activated draws are excluded and redrawn, per
 // the paper's activated-fault accounting) or the attempt budget runs out.
+// A panicking attempt is contained per SimFaultLimit; a cell running
+// past Deadline fails with a *DeadlineError.
 func (c *Campaign) Run() (*CellResult, error) {
 	if c.N <= 0 {
 		return nil, fmt.Errorf("campaign: N must be positive")
@@ -175,17 +209,46 @@ func (c *Campaign) Run() (*CellResult, error) {
 	}
 	scan := time.Since(scanStart)
 	res.DynCandidates = dyn
+	var faults []SimFault
 	loopStart := time.Now()
 	for res.Activated() < c.N && res.Attempts < maxAttempts {
+		if c.deadlineExceeded(loopStart) {
+			c.noteMetrics(scan, time.Since(loopStart), 1, faults)
+			return nil, c.deadlineError(res, time.Since(loopStart))
+		}
+		attempt := res.Attempts
 		res.Attempts++
-		res.add(draw(rng))
+		o, sf := c.safeDraw(draw, rng, attempt)
+		if sf != nil {
+			res.SimFaults++
+			faults = append(faults, *sf)
+			if !tolerates(c.SimFaultLimit, res.SimFaults) {
+				c.noteMetrics(scan, time.Since(loopStart), 1, faults)
+				return nil, &SimFaultError{Fault: *sf, Limit: c.SimFaultLimit}
+			}
+			continue
+		}
+		res.add(o)
 	}
-	c.noteMetrics(scan, time.Since(loopStart), 1)
+	c.noteMetrics(scan, time.Since(loopStart), 1, faults)
 	if res.Activated() == 0 {
-		return nil, fmt.Errorf("campaign %s/%s/%s: no activated faults in %d attempts",
-			c.Prog.Name, c.Level, c.Category, res.Attempts)
+		return nil, fmt.Errorf("campaign %s/%s/%s: %w in %d attempts",
+			c.Prog.Name, c.Level, c.Category, ErrNotActivated, res.Attempts)
 	}
 	return res, nil
+}
+
+// safeDraw runs one injection attempt of the sequential stream behind a
+// recovery boundary: an unexpected simulator panic is converted into a
+// SimFault record instead of taking down the process.
+func (c *Campaign) safeDraw(draw func(*rand.Rand) fault.Outcome, rng *rand.Rand, attempt int) (o fault.Outcome, sf *SimFault) {
+	defer func() {
+		if r := recover(); r != nil {
+			f := c.simFault(attempt, c.Seed, true, r)
+			sf = &f
+		}
+	}()
+	return draw(rng), nil
 }
 
 // DynCount reports a program's dynamic candidate count for a category at

@@ -1,0 +1,284 @@
+// Checkpoint/resume for campaign studies. A checkpoint is a JSONL file:
+// one header line identifying the study shape, then one line per
+// completed (or skipped) cell, appended and fsynced as cells finish. A
+// resumed study loads the file, skips every recorded cell, and — because
+// each cell derives its seed independently via cellSeed — produces
+// output byte-identical to an uninterrupted run.
+//
+// Schema (one JSON object per line):
+//
+//	{"type":"study","version":1,"n":1000,"seed":1}
+//	{"type":"cell","benchmark":"bzip2m","level":"LLFI","category":"all",
+//	 "result":{"benign":...,"sdc":...,"crash":...,"hang":...,
+//	           "notActivated":...,"attempts":...,"simFaults":...,
+//	           "dynCandidates":...}}
+//	{"type":"skip","benchmark":"mcfm","level":"PINFI","category":"cast",
+//	 "kind":"no-candidates","err":"..."}
+//
+// Lines are written in completion order (not canonical cell order — the
+// durability path is deliberately decoupled from the reorder buffer that
+// keeps progress and telemetry canonical), and the loader is
+// order-independent: for duplicate cells the last record wins.
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"hlfi/internal/fault"
+)
+
+// checkpointVersion guards the on-disk schema.
+const checkpointVersion = 1
+
+// Skip kinds recorded in checkpoint skip lines.
+const (
+	SkipNoCandidates = "no-candidates"
+	SkipNotActivated = "not-activated"
+	SkipDeadline     = "deadline"
+)
+
+type checkpointLine struct {
+	Type string `json:"type"` // "study" | "cell" | "skip"
+
+	// Header fields (type "study").
+	Version int   `json:"version,omitempty"`
+	N       int   `json:"n,omitempty"`
+	Seed    int64 `json:"seed,omitempty"`
+
+	// Cell identity (types "cell" and "skip").
+	Benchmark string `json:"benchmark,omitempty"`
+	Level     string `json:"level,omitempty"`
+	Category  string `json:"category,omitempty"`
+
+	// Completed-cell payload (type "cell").
+	Result *checkpointResult `json:"result,omitempty"`
+
+	// Skip payload (type "skip").
+	Kind string `json:"kind,omitempty"`
+	Err  string `json:"err,omitempty"`
+}
+
+// checkpointResult is CellResult without the identity triple (carried on
+// the line) and in stable lower-case JSON.
+type checkpointResult struct {
+	Benign        int    `json:"benign"`
+	SDC           int    `json:"sdc"`
+	Crash         int    `json:"crash"`
+	Hang          int    `json:"hang"`
+	NotActivated  int    `json:"notActivated"`
+	Attempts      int    `json:"attempts"`
+	SimFaults     int    `json:"simFaults,omitempty"`
+	DynCandidates uint64 `json:"dynCandidates"`
+}
+
+// CheckpointSkip records one cell skipped for a soft reason.
+type CheckpointSkip struct {
+	Kind string
+	Err  string
+}
+
+// CheckpointState is the loaded content of a checkpoint file: completed
+// cells to restore and soft-skipped cells to skip again without
+// re-running.
+type CheckpointState struct {
+	N     int
+	Seed  int64
+	Cells map[CellKey]*CellResult
+	Skips map[CellKey]CheckpointSkip
+}
+
+// LoadCheckpoint reads a checkpoint and validates that it belongs to a
+// study with the given N and seed — resuming into a different study
+// shape would silently produce results no uninterrupted run could.
+func LoadCheckpoint(path string, n int, seed int64) (*CheckpointState, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	st := &CheckpointState{
+		Cells: make(map[CellKey]*CellResult),
+		Skips: make(map[CellKey]CheckpointSkip),
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	sawHeader := false
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var line checkpointLine
+		if err := json.Unmarshal(raw, &line); err != nil {
+			return nil, fmt.Errorf("checkpoint %s:%d: %w", path, lineNo, err)
+		}
+		switch line.Type {
+		case "study":
+			if line.Version != checkpointVersion {
+				return nil, fmt.Errorf("checkpoint %s: version %d (supported: %d)",
+					path, line.Version, checkpointVersion)
+			}
+			if line.N != n || line.Seed != seed {
+				return nil, fmt.Errorf("checkpoint %s was written by -n %d -seed %d; refusing to resume a -n %d -seed %d study",
+					path, line.N, line.Seed, n, seed)
+			}
+			st.N, st.Seed = line.N, line.Seed
+			sawHeader = true
+		case "cell":
+			key, err := line.key()
+			if err != nil {
+				return nil, fmt.Errorf("checkpoint %s:%d: %w", path, lineNo, err)
+			}
+			if line.Result == nil {
+				return nil, fmt.Errorf("checkpoint %s:%d: cell line without result", path, lineNo)
+			}
+			r := line.Result
+			st.Cells[key] = &CellResult{
+				Prog: key.Prog, Level: key.Level, Category: key.Category,
+				Benign: r.Benign, SDC: r.SDC, Crash: r.Crash, Hang: r.Hang,
+				NotActivated: r.NotActivated, Attempts: r.Attempts,
+				SimFaults: r.SimFaults, DynCandidates: r.DynCandidates,
+			}
+			delete(st.Skips, key)
+		case "skip":
+			key, err := line.key()
+			if err != nil {
+				return nil, fmt.Errorf("checkpoint %s:%d: %w", path, lineNo, err)
+			}
+			st.Skips[key] = CheckpointSkip{Kind: line.Kind, Err: line.Err}
+			delete(st.Cells, key)
+		default:
+			return nil, fmt.Errorf("checkpoint %s:%d: unknown record type %q", path, lineNo, line.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("checkpoint %s: missing study header line", path)
+	}
+	return st, nil
+}
+
+func (l *checkpointLine) key() (CellKey, error) {
+	level, err := fault.ParseLevel(l.Level)
+	if err != nil {
+		return CellKey{}, err
+	}
+	cat, err := fault.ParseCategory(l.Category)
+	if err != nil {
+		return CellKey{}, err
+	}
+	return CellKey{Prog: l.Benchmark, Level: level, Category: cat}, nil
+}
+
+// CheckpointWriter appends cell records to a checkpoint file as they
+// complete, syncing after every line so a SIGKILL loses at most the
+// in-flight cell. Safe for concurrent use by the cell scheduler.
+type CheckpointWriter struct {
+	mu  sync.Mutex
+	f   *os.File
+	enc *json.Encoder
+}
+
+// NewCheckpointWriter creates (or truncates) a checkpoint file and
+// writes the study header.
+func NewCheckpointWriter(path string, n int, seed int64) (*CheckpointWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w := &CheckpointWriter{f: f, enc: json.NewEncoder(f)}
+	if err := w.append(checkpointLine{Type: "study", Version: checkpointVersion, N: n, Seed: seed}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// OpenCheckpointAppend reopens an existing checkpoint (already carrying
+// a header) so a resumed study keeps checkpointing into the same file.
+func OpenCheckpointAppend(path string) (*CheckpointWriter, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &CheckpointWriter{f: f, enc: json.NewEncoder(f)}, nil
+}
+
+func (w *CheckpointWriter) append(line checkpointLine) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.enc.Encode(line); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+// Cell appends one completed cell. Errors are returned but a study never
+// fails because of them: losing durability is strictly better than
+// losing the run.
+func (w *CheckpointWriter) Cell(key CellKey, res *CellResult) error {
+	if w == nil {
+		return nil
+	}
+	return w.append(checkpointLine{
+		Type:      "cell",
+		Benchmark: key.Prog,
+		Level:     key.Level.String(),
+		Category:  key.Category.String(),
+		Result: &checkpointResult{
+			Benign: res.Benign, SDC: res.SDC, Crash: res.Crash, Hang: res.Hang,
+			NotActivated: res.NotActivated, Attempts: res.Attempts,
+			SimFaults: res.SimFaults, DynCandidates: res.DynCandidates,
+		},
+	})
+}
+
+// Skip appends one soft-skipped cell so a resumed study skips it without
+// re-running (keeping resumed output byte-identical).
+func (w *CheckpointWriter) Skip(key CellKey, err error) error {
+	if w == nil {
+		return nil
+	}
+	return w.append(checkpointLine{
+		Type:      "skip",
+		Benchmark: key.Prog,
+		Level:     key.Level.String(),
+		Category:  key.Category.String(),
+		Kind:      skipKind(err),
+		Err:       err.Error(),
+	})
+}
+
+// skipKind classifies a soft-skip error for the checkpoint record.
+func skipKind(err error) string {
+	switch {
+	case errors.Is(err, ErrNoCandidates):
+		return SkipNoCandidates
+	case errors.Is(err, ErrNotActivated):
+		return SkipNotActivated
+	case errors.Is(err, ErrDeadline):
+		return SkipDeadline
+	default:
+		return "error"
+	}
+}
+
+// Close closes the underlying file.
+func (w *CheckpointWriter) Close() error {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}

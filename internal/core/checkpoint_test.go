@@ -1,0 +1,226 @@
+package core
+
+import (
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hlfi/internal/fault"
+	"hlfi/internal/telemetry"
+)
+
+// runTinyStudy runs the two-cell study over tinySrc with the given extra
+// config applied.
+func runTinyStudy(t *testing.T, mutate func(*StudyConfig)) *Study {
+	t.Helper()
+	p, err := BuildProgram("tiny.c", tinySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := StudyConfig{
+		Programs:   []*Program{p},
+		N:          10,
+		Seed:       5,
+		Categories: []fault.Category{fault.CatAll, fault.CatArith},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	st, err := RunStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestCheckpointRoundTrip: a study checkpoints every completed cell; the
+// loader restores records equal to the in-memory results.
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	w, err := NewCheckpointWriter(path, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := runTinyStudy(t, func(cfg *StudyConfig) { cfg.Checkpoint = w })
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	state, err := LoadCheckpoint(path, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(state.Cells) != len(st.Cells) {
+		t.Fatalf("checkpoint holds %d cells, study has %d", len(state.Cells), len(st.Cells))
+	}
+	for key, want := range st.Cells {
+		got := state.Cells[key]
+		if got == nil || *got != *want {
+			t.Errorf("cell %v does not round-trip:\nstudy      %+v\ncheckpoint %+v", key, want, got)
+		}
+	}
+
+	// Header validation refuses a mismatched study shape.
+	if _, err := LoadCheckpoint(path, 20, 5); err == nil || !strings.Contains(err.Error(), "refusing to resume") {
+		t.Errorf("mismatched -n accepted: %v", err)
+	}
+	if _, err := LoadCheckpoint(path, 10, 6); err == nil {
+		t.Error("mismatched -seed accepted")
+	}
+}
+
+// TestCheckpointResumeIdentical: a study resumed from a partial
+// checkpoint equals the uninterrupted study cell for cell, and the
+// resumed cells are never recomputed.
+func TestCheckpointResumeIdentical(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	w, err := NewCheckpointWriter(path, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := runTinyStudy(t, func(cfg *StudyConfig) { cfg.Checkpoint = w })
+	w.Close()
+
+	state, err := LoadCheckpoint(path, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop one cell to simulate an interruption mid-study.
+	dropped := CellKey{Prog: "tiny.c", Level: fault.LevelASM, Category: fault.CatArith}
+	if state.Cells[dropped] == nil {
+		t.Fatalf("expected cell %v in checkpoint", dropped)
+	}
+	delete(state.Cells, dropped)
+
+	ran := 0
+	testCampaignHook = func(c *Campaign) { ran++ }
+	t.Cleanup(func() { testCampaignHook = nil })
+
+	var cap eventCapture
+	resumed := runTinyStudy(t, func(cfg *StudyConfig) {
+		cfg.Resume = state
+		cfg.Events = &cap
+	})
+	if ran != 1 {
+		t.Errorf("resumed study ran %d campaigns, want only the dropped cell", ran)
+	}
+	if len(resumed.Cells) != len(full.Cells) {
+		t.Fatalf("resumed study has %d cells, want %d", len(resumed.Cells), len(full.Cells))
+	}
+	for key, want := range full.Cells {
+		got := resumed.Cells[key]
+		if got == nil || *got != *want {
+			t.Errorf("cell %v differs after resume:\nfull    %+v\nresumed %+v", key, want, got)
+		}
+	}
+	if got := len(cap.ofType(telemetry.EventCellResume)); got != len(full.Cells)-1 {
+		t.Errorf("got %d cell_resume events, want %d", got, len(full.Cells)-1)
+	}
+	if got := len(cap.ofType(telemetry.EventCellDone)); got != 1 {
+		t.Errorf("got %d cell_done events, want 1 (the recomputed cell)", got)
+	}
+	// Dyn counts (Table IV) are recomputed by profiling on resume and
+	// must agree with the uninterrupted run.
+	for key, want := range full.Dyn {
+		if got := resumed.Dyn[key]; got != want {
+			t.Errorf("Dyn[%v] = %d after resume, want %d", key, got, want)
+		}
+	}
+}
+
+// TestCheckpointSkipRecords: soft-skipped cells are recorded and honored
+// on resume without re-running.
+func TestCheckpointSkipRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	w, err := NewCheckpointWriter(path, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make the IR/all cell exhaust its activation budget: soft skip.
+	hookInjector(t, fault.LevelIR, fault.CatAll, func() (func(*rand.Rand) fault.Outcome, uint64, error) {
+		return func(*rand.Rand) fault.Outcome { return fault.OutcomeNotActivated }, 42, nil
+	})
+	runTinyStudy(t, func(cfg *StudyConfig) { cfg.Checkpoint = w })
+	w.Close()
+
+	state, err := LoadCheckpoint(path, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skipKey := CellKey{Prog: "tiny.c", Level: fault.LevelIR, Category: fault.CatAll}
+	skip, ok := state.Skips[skipKey]
+	if !ok || skip.Kind != SkipNotActivated {
+		t.Fatalf("skip record = %+v (present=%v), want kind %q", skip, ok, SkipNotActivated)
+	}
+
+	// Resume honors the skip: no campaign runs for it, and it replays as
+	// a cell_skip event.
+	testCampaignHook = nil
+	ran := 0
+	testCampaignHook = func(c *Campaign) {
+		if c.Level == skipKey.Level && c.Category == skipKey.Category {
+			ran++
+		}
+	}
+	var cap eventCapture
+	st := runTinyStudy(t, func(cfg *StudyConfig) {
+		cfg.Resume = state
+		cfg.Events = &cap
+	})
+	if ran != 0 {
+		t.Error("resumed study re-ran a checkpointed skip")
+	}
+	if st.Cells[skipKey] != nil {
+		t.Error("skipped cell present in resumed results")
+	}
+	if len(cap.ofType(telemetry.EventCellSkip)) != 1 {
+		t.Errorf("got %d cell_skip events on resume, want 1", len(cap.ofType(telemetry.EventCellSkip)))
+	}
+}
+
+// TestCheckpointAppendResume: a resumed run appending to the same file
+// leaves a checkpoint that restores the full study.
+func TestCheckpointAppendResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.jsonl")
+	w, err := NewCheckpointWriter(path, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := runTinyStudy(t, func(cfg *StudyConfig) { cfg.Checkpoint = w })
+	w.Close()
+
+	state, err := LoadCheckpoint(path, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped := CellKey{Prog: "tiny.c", Level: fault.LevelIR, Category: fault.CatArith}
+	delete(state.Cells, dropped)
+
+	w2, err := OpenCheckpointAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runTinyStudy(t, func(cfg *StudyConfig) {
+		cfg.Resume = state
+		cfg.Checkpoint = w2
+	})
+	w2.Close()
+
+	// The file now carries the original cells plus the recomputed one
+	// appended (a duplicate line for the dropped cell is fine: last
+	// record wins). A fresh load restores the complete study.
+	state2, err := LoadCheckpoint(path, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(state2.Cells) != len(full.Cells) {
+		t.Fatalf("appended checkpoint restores %d cells, want %d", len(state2.Cells), len(full.Cells))
+	}
+	for key, want := range full.Cells {
+		got := state2.Cells[key]
+		if got == nil || *got != *want {
+			t.Errorf("cell %v wrong after append-resume: %+v vs %+v", key, want, got)
+		}
+	}
+}

@@ -41,6 +41,16 @@ func (c *Campaign) RunParallel(workers int) (*CellResult, error) {
 	res := &CellResult{Prog: c.Prog.Name, Level: c.Level, Category: c.Category, DynCandidates: dyn}
 	outcomes := make([]fault.Outcome, maxAttempts)
 
+	// Contained panics are recorded per attempt index and replayed into
+	// the result in prefix order, so the policy decision (which sim
+	// fault exhausts the limit) is deterministic regardless of worker
+	// scheduling. A zero Outcome in a counted slot marks a sim fault.
+	var (
+		faultMu sync.Mutex
+		perIdx  = map[int]SimFault{}
+	)
+	var faults []SimFault
+
 	// Waves of parallel attempts; counting the deterministic per-index
 	// outcomes in prefix order keeps the activated-N stopping rule exact.
 	const wave = 64
@@ -48,6 +58,10 @@ func (c *Campaign) RunParallel(workers int) (*CellResult, error) {
 	next := 0
 	counted := 0
 	for res.Activated() < c.N && counted < maxAttempts {
+		if c.deadlineExceeded(loopStart) {
+			c.noteMetrics(scan, time.Since(loopStart), workers, faults)
+			return nil, c.deadlineError(res, time.Since(loopStart))
+		}
 		hi := next + wave
 		if hi > maxAttempts {
 			hi = maxAttempts
@@ -61,23 +75,55 @@ func (c *Campaign) RunParallel(workers int) (*CellResult, error) {
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
-				outcomes[k] = attempt(k)
+				o, sf := c.safeAttempt(attempt, k)
+				if sf != nil {
+					faultMu.Lock()
+					perIdx[k] = *sf
+					faultMu.Unlock()
+				}
+				outcomes[k] = o
 			}()
 		}
 		wg.Wait()
 		next = hi
 		for counted < next && res.Activated() < c.N {
-			res.add(outcomes[counted])
+			k := counted
 			res.Attempts++
 			counted++
+			if outcomes[k] == 0 {
+				sf := perIdx[k]
+				res.SimFaults++
+				faults = append(faults, sf)
+				if !tolerates(c.SimFaultLimit, res.SimFaults) {
+					c.noteMetrics(scan, time.Since(loopStart), workers, faults)
+					return nil, &SimFaultError{Fault: sf, Limit: c.SimFaultLimit}
+				}
+				continue
+			}
+			res.add(outcomes[k])
 		}
 	}
-	c.noteMetrics(scan, time.Since(loopStart), workers)
+	c.noteMetrics(scan, time.Since(loopStart), workers, faults)
 	if res.Activated() == 0 {
-		return nil, fmt.Errorf("campaign %s/%s/%s: no activated faults in %d attempts",
-			c.Prog.Name, c.Level, c.Category, res.Attempts)
+		return nil, fmt.Errorf("campaign %s/%s/%s: %w in %d attempts",
+			c.Prog.Name, c.Level, c.Category, ErrNotActivated, res.Attempts)
 	}
 	return res, nil
+}
+
+// safeAttempt runs one per-attempt-seeded injection behind a recovery
+// boundary. Today an attempt goroutine's panic kills the whole process;
+// here it becomes a SimFault carrying the attempt's own seed, which
+// reproduces the panic deterministically.
+func (c *Campaign) safeAttempt(attempt func(k int) fault.Outcome, k int) (o fault.Outcome, sf *SimFault) {
+	defer func() {
+		if r := recover(); r != nil {
+			f := c.simFault(k, attemptSeed(c.Seed, k), false, r)
+			sf = &f
+			o = 0
+		}
+	}()
+	return attempt(k), nil
 }
 
 // attemptFunc builds the per-attempt closure (an independent random

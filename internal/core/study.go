@@ -60,7 +60,33 @@ type StudyConfig struct {
 	Parallel int
 	// Events, when non-nil, receives the campaign telemetry stream.
 	Events telemetry.Recorder
+	// SimFaultLimit is the per-cell panic-containment policy (see
+	// Campaign.SimFaultLimit): 0 fails a cell on its first contained
+	// simulator panic, K > 0 tolerates up to K, negative tolerates all.
+	SimFaultLimit int
+	// CellDeadline, when positive, is the per-cell wall-clock watchdog:
+	// a cell still running after this long is marked degraded-and-
+	// skipped (with a cell_deadline event) instead of stalling the pool.
+	CellDeadline time.Duration
+	// Checkpoint, when non-nil, receives every completed or soft-skipped
+	// cell as it finishes (durability path; append order is completion
+	// order). Checkpoint write errors never fail the study.
+	Checkpoint *CheckpointWriter
+	// Resume, when non-nil, restores previously completed cells from a
+	// loaded checkpoint: recorded cells are not re-run, and because every
+	// cell derives its seed via cellSeed, the resumed study's output is
+	// byte-identical to an uninterrupted run.
+	Resume *CheckpointState
 }
+
+// ErrAborted is returned (wrapping the context error) by RunStudyContext
+// when the study is cancelled. The partial *Study holding every
+// completed cell is still returned alongside it.
+var ErrAborted = errors.New("study aborted")
+
+// testCampaignHook, when non-nil, is applied to every campaign before it
+// runs (test hook for fault-tolerance coverage).
+var testCampaignHook func(*Campaign)
 
 // cellSeed derives a stable per-cell seed.
 func cellSeed(base int64, prog string, level fault.Level, cat fault.Category) int64 {
@@ -84,11 +110,24 @@ func (s cellSpec) key() CellKey {
 	return CellKey{Prog: s.prog.Name, Level: s.level, Category: s.cat}
 }
 
-// RunStudy runs every campaign cell of the study. Cells are scheduled on
-// a bounded worker pool when cfg.Parallel > 1 and merged back in
-// canonical order, so scheduling never changes results, progress order,
-// or telemetry order; the first hard error cancels outstanding cells.
+// RunStudy runs every campaign cell of the study with a background
+// context; see RunStudyContext.
 func RunStudy(cfg StudyConfig) (*Study, error) {
+	return RunStudyContext(context.Background(), cfg)
+}
+
+// RunStudyContext runs every campaign cell of the study. Cells are
+// scheduled on a bounded worker pool when cfg.Parallel > 1 and merged
+// back in canonical order, so scheduling never changes results, progress
+// order, or telemetry order; the first hard error cancels outstanding
+// cells. Soft conditions — no candidates, no activated faults, a cell
+// over its wall-clock deadline — skip the cell and keep the study alive.
+//
+// Cancelling ctx stops the study cooperatively: cells already running
+// finish (and are checkpointed), queued cells are skipped, a study_abort
+// event is emitted, and the partial study is returned together with an
+// error wrapping ErrAborted so callers can still render what completed.
+func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 	cats := cfg.Categories
 	if len(cats) == 0 {
 		cats = fault.Categories
@@ -128,10 +167,15 @@ func RunStudy(cfg StudyConfig) (*Study, error) {
 	results := make([]*CellResult, len(specs))
 	metrics := make([]CellMetrics, len(specs))
 	cellErrs := make([]error, len(specs))
+	resumed := make([]bool, len(specs))
+	resumedSkips := make([]*CheckpointSkip, len(specs))
 
 	// Reorder buffer: progress lines and telemetry events are released
 	// only for the completed prefix, so their order matches the serial
-	// path no matter how cells are scheduled.
+	// path no matter how cells are scheduled. Checkpoint writes happen
+	// at completion instead (outside this buffer): durability must not
+	// wait for a slow earlier cell, and the checkpoint loader is
+	// order-independent.
 	var (
 		mu      sync.Mutex
 		done    = make([]bool, len(specs))
@@ -142,7 +186,8 @@ func RunStudy(cfg StudyConfig) (*Study, error) {
 		defer mu.Unlock()
 		done[i] = true
 		for emitted < len(specs) && done[emitted] {
-			noteCell(cfg, specs[emitted], results[emitted], metrics[emitted], cellErrs[emitted])
+			noteCell(cfg, specs[emitted], results[emitted], metrics[emitted],
+				cellErrs[emitted], resumed[emitted], resumedSkips[emitted])
 			emitted++
 		}
 	}
@@ -151,15 +196,34 @@ func RunStudy(cfg StudyConfig) (*Study, error) {
 	for i := range specs {
 		i := i
 		s := specs[i]
+		key := s.key()
+		if cfg.Resume != nil {
+			if res, ok := cfg.Resume.Cells[key]; ok {
+				results[i], resumed[i] = res, true
+				tasks[i] = func(context.Context) error { finish(i); return nil }
+				continue
+			}
+			if skip, ok := cfg.Resume.Skips[key]; ok {
+				skip := skip
+				resumedSkips[i], resumed[i] = &skip, true
+				tasks[i] = func(context.Context) error { finish(i); return nil }
+				continue
+			}
+		}
 		tasks[i] = func(context.Context) error {
 			defer finish(i)
 			c := &Campaign{
-				Prog:     s.prog,
-				Level:    s.level,
-				Category: s.cat,
-				N:        cfg.N,
-				Seed:     cellSeed(cfg.Seed, s.prog.Name, s.level, s.cat),
-				Metrics:  &metrics[i],
+				Prog:          s.prog,
+				Level:         s.level,
+				Category:      s.cat,
+				N:             cfg.N,
+				Seed:          cellSeed(cfg.Seed, s.prog.Name, s.level, s.cat),
+				Metrics:       &metrics[i],
+				SimFaultLimit: cfg.SimFaultLimit,
+				Deadline:      cfg.CellDeadline,
+			}
+			if testCampaignHook != nil {
+				testCampaignHook(c)
 			}
 			var res *CellResult
 			var err error
@@ -170,34 +234,40 @@ func RunStudy(cfg StudyConfig) (*Study, error) {
 			}
 			if err != nil {
 				cellErrs[i] = err
-				if errors.Is(err, ErrNoCandidates) {
-					return nil // soft skip, like the serial path
+				if isSoftSkip(err) {
+					_ = cfg.Checkpoint.Skip(key, err)
+					return nil // soft skip: the study keeps going
 				}
 				return err // hard error: cancels the pool
 			}
 			results[i] = res
+			_ = cfg.Checkpoint.Cell(key, res)
 			return nil
 		}
 	}
-	if err := sched.Run(context.Background(), parallel, tasks); err != nil {
+	if err := sched.Run(ctx, parallel, tasks); err != nil {
 		// Report the first hard error in canonical cell order.
 		for i, cerr := range cellErrs {
-			if cerr != nil && !errors.Is(cerr, ErrNoCandidates) {
+			if cerr != nil && !isSoftSkip(cerr) {
 				return nil, fmt.Errorf("cell %v: %w", specs[i].key(), cerr)
 			}
 		}
-		return nil, err
+		// No task failed: the caller's context was cancelled. Harvest
+		// everything that completed (the checkpoint already holds it),
+		// announce the abort, and hand back the partial study.
+		attempts, activated := harvest(st, specs, results)
+		emit(cfg.Events, telemetry.Event{
+			Type:       telemetry.EventStudyAbort,
+			Cells:      len(st.Cells),
+			Attempts:   attempts,
+			Activated:  activated,
+			DurationMS: telemetry.Ms(time.Since(start)),
+			Err:        err.Error(),
+		})
+		return st, fmt.Errorf("%w: %v", ErrAborted, err)
 	}
 
-	var attempts, activated int
-	for i, s := range specs {
-		if results[i] == nil {
-			continue
-		}
-		st.Cells[s.key()] = results[i]
-		attempts += results[i].Attempts
-		activated += results[i].Activated()
-	}
+	attempts, activated := harvest(st, specs, results)
 	emit(cfg.Events, telemetry.Event{
 		Type:       telemetry.EventStudyDone,
 		Cells:      len(st.Cells),
@@ -208,9 +278,44 @@ func RunStudy(cfg StudyConfig) (*Study, error) {
 	return st, nil
 }
 
-// noteCell releases one cell's progress line and telemetry event.
-func noteCell(cfg StudyConfig, s cellSpec, res *CellResult, m CellMetrics, err error) {
+// harvest moves completed cell results into the study and totals them.
+func harvest(st *Study, specs []cellSpec, results []*CellResult) (attempts, activated int) {
+	for i, s := range specs {
+		if results[i] == nil {
+			continue
+		}
+		st.Cells[s.key()] = results[i]
+		attempts += results[i].Attempts
+		activated += results[i].Activated()
+	}
+	return attempts, activated
+}
+
+// isSoftSkip reports whether a campaign error skips the cell rather than
+// failing the study: no candidates (the paper's own near-zero cast
+// cells), an exhausted activation budget, or the wall-clock watchdog.
+func isSoftSkip(err error) bool {
+	return errors.Is(err, ErrNoCandidates) ||
+		errors.Is(err, ErrNotActivated) ||
+		errors.Is(err, ErrDeadline)
+}
+
+// noteCell releases one cell's progress line and telemetry events.
+func noteCell(cfg StudyConfig, s cellSpec, res *CellResult, m CellMetrics, err error, resumed bool, rskip *CheckpointSkip) {
 	switch {
+	case res != nil && resumed:
+		if cfg.Progress != nil {
+			cfg.Progress(fmt.Sprintf("%-10s %-5s %-10s activated=%d crash=%.1f%% sdc=%.1f%% (resumed from checkpoint)",
+				s.prog.Name, s.level, s.cat, res.Activated(),
+				100*res.CrashRate().Rate(), 100*res.SDCRate().Rate()))
+		}
+		emit(cfg.Events, telemetry.Event{
+			Type:      telemetry.EventCellResume,
+			Benchmark: s.prog.Name, Level: s.level.String(), Category: s.cat.String(),
+			Attempts: res.Attempts, Activated: res.Activated(),
+			Benign: res.Benign, SDC: res.SDC, Crash: res.Crash, Hang: res.Hang,
+			NotActivated: res.NotActivated, SimFaults: res.SimFaults,
+		})
 	case res != nil:
 		if cfg.Progress != nil {
 			cfg.Progress(fmt.Sprintf("%-10s %-5s %-10s activated=%d crash=%.1f%% sdc=%.1f%%",
@@ -221,6 +326,14 @@ func noteCell(cfg StudyConfig, s cellSpec, res *CellResult, m CellMetrics, err e
 		if res.Attempts > 0 {
 			rate = float64(res.Activated()) / float64(res.Attempts)
 		}
+		for _, sf := range m.SimFaults {
+			emit(cfg.Events, telemetry.Event{
+				Type:      telemetry.EventSimFault,
+				Benchmark: sf.Prog, Level: sf.Level.String(), Category: sf.Category.String(),
+				Attempt: sf.Attempt, AttemptSeed: sf.Seed, Sequential: sf.Sequential,
+				Panic: sf.Panic,
+			})
+		}
 		emit(cfg.Events, telemetry.Event{
 			Type:      telemetry.EventCellDone,
 			Benchmark: s.prog.Name, Level: s.level.String(), Category: s.cat.String(),
@@ -229,9 +342,47 @@ func noteCell(cfg StudyConfig, s cellSpec, res *CellResult, m CellMetrics, err e
 			Workers:    m.Workers,
 			Attempts:   res.Attempts, Activated: res.Activated(), ActivationRate: rate,
 			Benign: res.Benign, SDC: res.SDC, Crash: res.Crash, Hang: res.Hang,
-			NotActivated: res.NotActivated,
+			NotActivated: res.NotActivated, SimFaults: res.SimFaults,
 		})
-	case errors.Is(err, ErrNoCandidates):
+	case rskip != nil:
+		kind := rskip.Kind
+		if cfg.Progress != nil {
+			cfg.Progress(fmt.Sprintf("%-10s %-5s %-10s skipped (%s, resumed from checkpoint)",
+				s.prog.Name, s.level, s.cat, kind))
+		}
+		evType := telemetry.EventCellSkip
+		if kind == SkipDeadline {
+			evType = telemetry.EventCellDeadline
+		}
+		emit(cfg.Events, telemetry.Event{
+			Type:      evType,
+			Benchmark: s.prog.Name, Level: s.level.String(), Category: s.cat.String(),
+			Err: rskip.Err,
+		})
+	case err != nil && errors.Is(err, ErrDeadline):
+		if cfg.Progress != nil {
+			cfg.Progress(fmt.Sprintf("%-10s %-5s %-10s degraded (deadline exceeded, cell skipped)",
+				s.prog.Name, s.level, s.cat))
+		}
+		emit(cfg.Events, telemetry.Event{
+			Type:      telemetry.EventCellDeadline,
+			Benchmark: s.prog.Name, Level: s.level.String(), Category: s.cat.String(),
+			DurationMS: telemetry.Ms(m.ScanTime + m.RunTime),
+			ScanMS:     telemetry.Ms(m.ScanTime),
+			Workers:    m.Workers,
+			Err:        err.Error(),
+		})
+	case err != nil && errors.Is(err, ErrNotActivated):
+		if cfg.Progress != nil {
+			cfg.Progress(fmt.Sprintf("%-10s %-5s %-10s skipped (no activated faults)",
+				s.prog.Name, s.level, s.cat))
+		}
+		emit(cfg.Events, telemetry.Event{
+			Type:      telemetry.EventCellSkip,
+			Benchmark: s.prog.Name, Level: s.level.String(), Category: s.cat.String(),
+			Err: err.Error(),
+		})
+	case err != nil && errors.Is(err, ErrNoCandidates):
 		if cfg.Progress != nil {
 			cfg.Progress(fmt.Sprintf("%-10s %-5s %-10s skipped (no candidates)",
 				s.prog.Name, s.level, s.cat))
@@ -243,7 +394,7 @@ func noteCell(cfg StudyConfig, s cellSpec, res *CellResult, m CellMetrics, err e
 		})
 	}
 	// Hard errors and cancelled cells release nothing: the study is about
-	// to fail with the canonical first error.
+	// to fail with the canonical first error (or the abort path).
 }
 
 func emit(r telemetry.Recorder, e telemetry.Event) {

@@ -88,6 +88,21 @@ const (
 	LevelASM
 )
 
+// Levels lists both injection levels in presentation order.
+var Levels = []Level{LevelIR, LevelASM}
+
+// ParseLevel converts a level name (as produced by Level.String) back to
+// a Level — the checkpoint codec round-trips levels as strings so the
+// files stay human-readable.
+func ParseLevel(s string) (Level, error) {
+	for _, l := range Levels {
+		if l.String() == s {
+			return l, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown level %q (want LLFI|PINFI)", s)
+}
+
 func (l Level) String() string {
 	switch l {
 	case LevelIR:

@@ -130,8 +130,14 @@ type Injector struct {
 }
 
 // New profiles the program once (the golden run) and prepares an injector
-// for the category.
-func New(p *interp.Prepared, cat fault.Category) (*Injector, error) {
+// for the category. An unexpected interpreter panic during the golden
+// run is converted to an error rather than crashing the campaign.
+func New(p *interp.Prepared, cat fault.Category) (inj *Injector, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			inj, err = nil, fmt.Errorf("llfi golden run panic: %v", r)
+		}
+	}()
 	var out bytes.Buffer
 	r := interp.NewRunner(p, &out)
 	profile := make([]uint64, p.SeqTotal)
@@ -141,7 +147,7 @@ func New(p *interp.Prepared, cat fault.Category) (*Injector, error) {
 		return nil, fmt.Errorf("llfi golden run: %w", err)
 	}
 	cand := Candidates(p, cat)
-	inj := &Injector{
+	inj = &Injector{
 		Prep:         p,
 		Cat:          cat,
 		Candidates:   cand,

@@ -93,8 +93,14 @@ type Injector struct {
 }
 
 // New profiles the program once and prepares an injector for the
-// category.
-func New(prog *x86.Program, layoutImage []byte, layoutBase uint64, cat fault.Category) (*Injector, error) {
+// category. An unexpected machine panic during the golden run is
+// converted to an error rather than crashing the campaign.
+func New(prog *x86.Program, layoutImage []byte, layoutBase uint64, cat fault.Category) (inj *Injector, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			inj, err = nil, fmt.Errorf("pinfi golden run panic: %v", r)
+		}
+	}()
 	var out bytes.Buffer
 	m := machine.New(prog, layoutImage, layoutBase, &out)
 	profile := make([]uint64, len(prog.Instrs))
@@ -104,7 +110,7 @@ func New(prog *x86.Program, layoutImage []byte, layoutBase uint64, cat fault.Cat
 		return nil, fmt.Errorf("pinfi golden run: %w", err)
 	}
 	cand := Candidates(prog, cat)
-	inj := &Injector{
+	inj = &Injector{
 		Prog:         prog,
 		LayoutImage:  layoutImage,
 		LayoutBase:   layoutBase,

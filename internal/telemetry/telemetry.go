@@ -27,6 +27,16 @@ const (
 	EventCellDone   = "cell_done"
 	EventCellSkip   = "cell_skip"
 	EventStudyDone  = "study_done"
+
+	// Fault-tolerance events. sim_fault records one contained simulator
+	// panic (emitted before its cell's cell_done); cell_resume replaces
+	// cell_done for a cell restored from a checkpoint; cell_deadline
+	// marks a cell dropped by the wall-clock watchdog; study_abort
+	// replaces study_done when the study is cancelled.
+	EventSimFault     = "sim_fault"
+	EventCellResume   = "cell_resume"
+	EventCellDeadline = "cell_deadline"
+	EventStudyAbort   = "study_abort"
 )
 
 // Event is one record of a campaign's event stream.
@@ -63,6 +73,17 @@ type Event struct {
 
 	// Err explains a skipped cell.
 	Err string `json:"err,omitempty"`
+
+	// Contained-panic detail (sim_fault): the attempt index, the seed
+	// that reproduces the panic (the attempt's own seed under
+	// per-attempt seeding, the campaign seed for the sequential
+	// stream), and the stringified panic value. SimFaults repeats the
+	// per-cell total on cell_done.
+	Attempt     int    `json:"attempt,omitempty"`
+	AttemptSeed int64  `json:"attemptSeed,omitempty"`
+	Sequential  bool   `json:"sequential,omitempty"`
+	Panic       string `json:"panic,omitempty"`
+	SimFaults   int    `json:"simFaults,omitempty"`
 }
 
 // Ms converts a duration to the milliseconds used by Event fields.
@@ -118,11 +139,15 @@ func (s *JSONLSink) Record(e Event) {
 // Aggregator accumulates the event stream in memory and renders the
 // campaign summary.
 type Aggregator struct {
-	mu    sync.Mutex
-	start Event
-	done  Event
-	cells []Event
-	skips []Event
+	mu        sync.Mutex
+	start     Event
+	done      Event
+	cells     []Event
+	skips     []Event
+	resumes   []Event
+	deadlines []Event
+	simFaults []Event
+	abort     *Event
 }
 
 // NewAggregator returns an empty aggregator.
@@ -139,9 +164,39 @@ func (a *Aggregator) Record(e Event) {
 		a.cells = append(a.cells, e)
 	case EventCellSkip:
 		a.skips = append(a.skips, e)
+	case EventCellResume:
+		a.resumes = append(a.resumes, e)
+	case EventCellDeadline:
+		a.deadlines = append(a.deadlines, e)
+	case EventSimFault:
+		a.simFaults = append(a.simFaults, e)
 	case EventStudyDone:
 		a.done = e
+	case EventStudyAbort:
+		ab := e
+		a.abort = &ab
 	}
+}
+
+// SimFaults returns a copy of the recorded sim_fault events.
+func (a *Aggregator) SimFaults() []Event {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Event(nil), a.simFaults...)
+}
+
+// Resumed returns the number of cells restored from a checkpoint.
+func (a *Aggregator) Resumed() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.resumes)
+}
+
+// Aborted reports whether the stream ended in study_abort.
+func (a *Aggregator) Aborted() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.abort != nil
 }
 
 // Cells returns a copy of the recorded cell_done events.
@@ -204,6 +259,10 @@ func (a *Aggregator) RenderTelemetry() string {
 	a.mu.Lock()
 	cells := len(a.cells)
 	skips := len(a.skips)
+	resumes := len(a.resumes)
+	deadlines := len(a.deadlines)
+	simFaults := len(a.simFaults)
+	aborted := a.abort != nil
 	attempts, activated := a.totalsLocked()
 	var compute, scan float64
 	for _, c := range a.cells {
@@ -217,6 +276,18 @@ func (a *Aggregator) RenderTelemetry() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "Campaign telemetry (%d cells, %d skipped; %d cells in flight x %d workers/cell)\n",
 		cells, skips, parallel, workers)
+	if resumes > 0 {
+		fmt.Fprintf(&sb, "  resumed from checkpoint: %d cells (not recomputed)\n", resumes)
+	}
+	if simFaults > 0 {
+		fmt.Fprintf(&sb, "  simulator panics contained: %d (see sim_fault events for seeds)\n", simFaults)
+	}
+	if deadlines > 0 {
+		fmt.Fprintf(&sb, "  cells dropped at deadline: %d\n", deadlines)
+	}
+	if aborted {
+		fmt.Fprintf(&sb, "  STUDY ABORTED: results below cover the completed prefix only\n")
+	}
 	rate := 0.0
 	if attempts > 0 {
 		rate = 100 * float64(activated) / float64(attempts)

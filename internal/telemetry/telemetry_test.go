@@ -105,3 +105,59 @@ func TestMulti(t *testing.T) {
 		t.Fatalf("fan-out failed: %d, %d", len(a1.Cells()), len(a2.Cells()))
 	}
 }
+
+// TestAggregatorResilienceEvents: the fault-tolerance event types are
+// tracked and surfaced in the rendered summary.
+func TestAggregatorResilienceEvents(t *testing.T) {
+	a := telemetry.NewAggregator()
+	a.Record(telemetry.Event{Type: telemetry.EventStudyStart, Cells: 4, Parallel: 2, Workers: 1})
+	a.Record(telemetry.Event{Type: telemetry.EventCellResume, Benchmark: "bzip2m", Activated: 10})
+	a.Record(telemetry.Event{Type: telemetry.EventSimFault, Benchmark: "mcfm",
+		Attempt: 3, AttemptSeed: 42, Panic: "index out of range"})
+	a.Record(cell("mcfm", 100, 12, 80))
+	a.Record(telemetry.Event{Type: telemetry.EventCellDeadline, Benchmark: "hmmerm",
+		Err: "cell deadline exceeded"})
+	a.Record(telemetry.Event{Type: telemetry.EventStudyAbort, Cells: 2, Err: "context canceled"})
+
+	if a.Resumed() != 1 {
+		t.Errorf("Resumed() = %d, want 1", a.Resumed())
+	}
+	if !a.Aborted() {
+		t.Error("Aborted() = false after study_abort")
+	}
+	sf := a.SimFaults()
+	if len(sf) != 1 || sf[0].AttemptSeed != 42 {
+		t.Fatalf("SimFaults() = %+v, want one record with seed 42", sf)
+	}
+	out := a.RenderTelemetry()
+	for _, want := range []string{
+		"resumed from checkpoint: 1", "simulator panics contained: 1",
+		"cells dropped at deadline: 1", "STUDY ABORTED",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestEventJSONRoundTrip: the new fields serialize under stable keys and
+// absent fields stay omitted.
+func TestEventJSONRoundTrip(t *testing.T) {
+	e := telemetry.Event{Type: telemetry.EventSimFault, Benchmark: "bzip2m",
+		Attempt: 7, AttemptSeed: 99, Sequential: true, Panic: "boom"}
+	raw, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"attempt":7`, `"attemptSeed":99`, `"sequential":true`, `"panic":"boom"`} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("serialized sim_fault missing %s: %s", want, raw)
+		}
+	}
+	plain, _ := json.Marshal(telemetry.Event{Type: telemetry.EventCellDone})
+	for _, absent := range []string{"attempt", "panic", "simFaults"} {
+		if strings.Contains(string(plain), absent) {
+			t.Errorf("zero-valued field %q not omitted: %s", absent, plain)
+		}
+	}
+}
