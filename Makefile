@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test bench study calibration examples cover fmt race smoke resume-smoke ci
+.PHONY: test bench study calibration examples cover fmt race smoke resume-smoke fuzz-smoke replay-determinism ci
 
 test:
 	go build ./... && go vet ./... && go test ./...
@@ -33,6 +33,23 @@ resume-smoke:
 	cmp .resume-full.txt .resume-resumed.txt
 	rm -f .resume-smoke-bin .resume-full.txt .resume-resumed.txt .resume-ck.jsonl
 
+# Replay determinism gate: the snapshot fast-forward engine must be
+# observationally invisible — a study with snapshots (the default) is
+# byte-compared against -no-snapshots (mirrors the CI job).
+replay-determinism:
+	go run ./cmd/ficompare -experiment all -n 20 -benchmarks bzip2m,mcfm -q -no-snapshots > .replay-off.txt
+	go run ./cmd/ficompare -experiment all -n 20 -benchmarks bzip2m,mcfm -q > .replay-on.txt
+	cmp .replay-off.txt .replay-on.txt
+	go run ./cmd/ficompare -experiment all -n 20 -benchmarks bzip2m,mcfm -q -parallel 4 -snapshot-stride 777 > .replay-stride.txt
+	cmp .replay-off.txt .replay-stride.txt
+	rm -f .replay-off.txt .replay-on.txt .replay-stride.txt
+
+# Fuzz smoke: each native fuzz target for 30s (mirrors the CI job).
+fuzz-smoke:
+	go test -run '^$$' -fuzz '^FuzzMiniCParse$$' -fuzztime 30s ./internal/minic
+	go test -run '^$$' -fuzz '^FuzzSnapshotRestore$$' -fuzztime 30s ./internal/interp
+	go test -run '^$$' -fuzz '^FuzzSnapshotRestore$$' -fuzztime 30s ./internal/machine
+
 # The exact CI pipeline (.github/workflows/ci.yml), runnable locally.
 ci:
 	go build ./...
@@ -45,10 +62,16 @@ ci:
 	$(MAKE) race
 	$(MAKE) smoke
 	$(MAKE) resume-smoke
+	$(MAKE) replay-determinism
+	$(MAKE) fuzz-smoke
 
 # All tables/figures + ablations. HLFI_N controls injections per cell.
+# Also times single injection attempts with and without snapshot replay
+# and records the measured speedup in BENCH_replay.json.
 bench:
 	go test -bench=. -benchmem -benchtime=1x
+	HLFI_BENCH_REPLAY=BENCH_replay.json go test -run '^TestWriteReplayBench$$' -count=1 .
+	@cat BENCH_replay.json
 
 # Paper-scale reproduction (the committed study_n1000.txt).
 study:

@@ -66,6 +66,9 @@ func runCtx(ctx context.Context, args []string) error {
 		resume      = fs.String("resume", "", "resume from this checkpoint: recorded cells are not re-run and keep checkpointing into the same file (output is byte-identical to an uninterrupted run)")
 		simFaults   = fs.Int("sim-fault-limit", 0, "contained simulator panics tolerated per cell (0 = fail fast, -1 = unlimited)")
 		deadline    = fs.Duration("cell-deadline", 0, "per-cell wall-clock watchdog; an over-deadline cell is skipped as degraded (0 = off)")
+		snapStride  = fs.Uint64("snapshot-stride", 0, "dynamic instructions between golden-run snapshots (0 = auto); results are byte-identical for any value")
+		snapBudget  = fs.Int64("snapshot-mem-budget", 0, "snapshot cache budget in MiB (0 = 256); least-recently-used programs are evicted over budget")
+		noSnapshots = fs.Bool("no-snapshots", false, "disable snapshot fast-forward replay and re-execute every attempt from instruction zero")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -124,12 +127,26 @@ func runCtx(ctx context.Context, args []string) error {
 		rec = telemetry.Multi(agg, telemetry.NewJSONLSink(f))
 	}
 
+	// Snapshot fast-forward replay: on by default, disarmed by
+	// -no-snapshots. Results are byte-identical either way; only speed
+	// and the replay telemetry differ.
+	var replay *core.ReplayConfig
+	if !*noSnapshots {
+		replay = &core.ReplayConfig{
+			Stride:    *snapStride,
+			MemBudget: uint64(*snapBudget) << 20,
+			Stats:     &telemetry.ReplayStats{},
+		}
+	}
+
 	// Fault tolerance: an optional resume state (cells already completed
 	// by an interrupted run) and an optional checkpoint writer for this
-	// run's cells. -resume alone keeps appending to the same file.
+	// run's cells. -resume alone keeps appending to the same file. The
+	// header pins the replay signature alongside n/seed, so a resumed
+	// run cannot silently mix replay configs.
 	var resumeState *core.CheckpointState
 	if *resume != "" {
-		resumeState, err = core.LoadCheckpoint(*resume, *n, *seed)
+		resumeState, err = core.LoadCheckpoint(*resume, *n, *seed, replay.Signature())
 		if err != nil {
 			return err
 		}
@@ -141,7 +158,7 @@ func runCtx(ctx context.Context, args []string) error {
 	case *checkpoint != "" && *checkpoint == *resume:
 		ckpt, err = core.OpenCheckpointAppend(*checkpoint)
 	case *checkpoint != "":
-		ckpt, err = core.NewCheckpointWriter(*checkpoint, *n, *seed)
+		ckpt, err = core.NewCheckpointWriter(*checkpoint, *n, *seed, replay.Signature())
 	case *resume != "":
 		ckpt, err = core.OpenCheckpointAppend(*resume)
 	}
@@ -154,7 +171,7 @@ func runCtx(ctx context.Context, args []string) error {
 	cfg := core.StudyConfig{Programs: progs, N: *n, Seed: *seed,
 		Workers: *cellWorkers, Parallel: *parallel, Events: rec,
 		SimFaultLimit: *simFaults, CellDeadline: *deadline,
-		Checkpoint: ckpt, Resume: resumeState}
+		Checkpoint: ckpt, Resume: resumeState, Replay: replay}
 	if !*quiet {
 		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}

@@ -40,6 +40,11 @@ type Campaign struct {
 	// Calibration, when non-nil and Level is LevelIR, applies the paper's
 	// §VII discrepancy-resolution heuristics to the candidate set.
 	Calibration *llfi.Calibration
+	// Replay, when non-nil, arms golden-run snapshot fast-forward replay
+	// for every injection attempt. Shared across cells: the snapshot
+	// cache behind it is keyed by (program, level). Results are
+	// byte-identical with or without it.
+	Replay *ReplayConfig
 	// Metrics, when non-nil, is filled with per-cell timing telemetry by
 	// Run and RunParallel. It is kept out of CellResult so results stay
 	// comparable across runs (timing never is).
@@ -164,11 +169,21 @@ func (c *Campaign) injector() (func(*rand.Rand) fault.Outcome, uint64, error) {
 		if err != nil {
 			return nil, 0, err
 		}
+		if c.Replay != nil {
+			if err := c.Replay.armIR(c.Prog, inj); err != nil {
+				return nil, 0, err
+			}
+		}
 		return func(rng *rand.Rand) fault.Outcome { return inj.InjectOne(rng).Outcome }, inj.DynTotal, nil
 	case fault.LevelASM:
 		inj, err := pinfi.New(c.Prog.Asm, c.Prog.Prep.Layout.Image, c.Prog.Prep.Layout.Base, c.Category)
 		if err != nil {
 			return nil, 0, err
+		}
+		if c.Replay != nil {
+			if err := c.Replay.armASM(c.Prog, inj); err != nil {
+				return nil, 0, err
+			}
 		}
 		return func(rng *rand.Rand) fault.Outcome { return inj.InjectOne(rng).Outcome }, inj.DynTotal, nil
 	default:

@@ -45,10 +45,16 @@ const (
 type checkpointLine struct {
 	Type string `json:"type"` // "study" | "cell" | "skip"
 
-	// Header fields (type "study").
-	Version int   `json:"version,omitempty"`
-	N       int   `json:"n,omitempty"`
-	Seed    int64 `json:"seed,omitempty"`
+	// Header fields (type "study"). Replay records the snapshot-replay
+	// configuration the study ran under ("off", or "stride=N;budget=M");
+	// files from before replay existed carry no field, which loads as
+	// "off". Although replay never changes results, the header still pins
+	// it: a config mismatch on resume would make the combined run's
+	// provenance unverifiable by re-execution with one flag set.
+	Version int    `json:"version,omitempty"`
+	N       int    `json:"n,omitempty"`
+	Seed    int64  `json:"seed,omitempty"`
+	Replay  string `json:"replay,omitempty"`
 
 	// Cell identity (types "cell" and "skip").
 	Benchmark string `json:"benchmark,omitempty"`
@@ -93,9 +99,11 @@ type CheckpointState struct {
 }
 
 // LoadCheckpoint reads a checkpoint and validates that it belongs to a
-// study with the given N and seed — resuming into a different study
-// shape would silently produce results no uninterrupted run could.
-func LoadCheckpoint(path string, n int, seed int64) (*CheckpointState, error) {
+// study with the given N, seed, and replay signature (ReplayConfig.
+// Signature; nil config = "off") — resuming into a different study
+// shape would silently produce results no uninterrupted run could, and
+// a replay-config switch mid-study would be unverifiable.
+func LoadCheckpoint(path string, n int, seed int64, replay string) (*CheckpointState, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -129,6 +137,10 @@ func LoadCheckpoint(path string, n int, seed int64) (*CheckpointState, error) {
 			if line.N != n || line.Seed != seed {
 				return nil, fmt.Errorf("checkpoint %s was written by -n %d -seed %d; refusing to resume a -n %d -seed %d study",
 					path, line.N, line.Seed, n, seed)
+			}
+			if got := normalizeReplay(line.Replay); got != normalizeReplay(replay) {
+				return nil, fmt.Errorf("checkpoint %s was written with snapshot replay %q; refusing to resume with replay %q (match the original -snapshot-* flags, or start a fresh checkpoint)",
+					path, got, normalizeReplay(replay))
 			}
 			st.N, st.Seed = line.N, line.Seed
 			sawHeader = true
@@ -190,18 +202,28 @@ type CheckpointWriter struct {
 }
 
 // NewCheckpointWriter creates (or truncates) a checkpoint file and
-// writes the study header.
-func NewCheckpointWriter(path string, n int, seed int64) (*CheckpointWriter, error) {
+// writes the study header. replay is the snapshot-replay signature
+// (ReplayConfig.Signature; nil config = "off").
+func NewCheckpointWriter(path string, n int, seed int64, replay string) (*CheckpointWriter, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, err
 	}
 	w := &CheckpointWriter{f: f, enc: json.NewEncoder(f)}
-	if err := w.append(checkpointLine{Type: "study", Version: checkpointVersion, N: n, Seed: seed}); err != nil {
+	if err := w.append(checkpointLine{Type: "study", Version: checkpointVersion, N: n, Seed: seed, Replay: normalizeReplay(replay)}); err != nil {
 		f.Close()
 		return nil, err
 	}
 	return w, nil
+}
+
+// normalizeReplay maps the pre-replay headers' empty field (and an empty
+// argument) onto the explicit "off" signature.
+func normalizeReplay(sig string) string {
+	if sig == "" {
+		return "off"
+	}
+	return sig
 }
 
 // OpenCheckpointAppend reopens an existing checkpoint (already carrying

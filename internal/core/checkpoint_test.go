@@ -38,7 +38,7 @@ func runTinyStudy(t *testing.T, mutate func(*StudyConfig)) *Study {
 // loader restores records equal to the in-memory results.
 func TestCheckpointRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ck.jsonl")
-	w, err := NewCheckpointWriter(path, 10, 5)
+	w, err := NewCheckpointWriter(path, 10, 5, "off")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +47,7 @@ func TestCheckpointRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	state, err := LoadCheckpoint(path, 10, 5)
+	state, err := LoadCheckpoint(path, 10, 5, "off")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,10 +62,10 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	}
 
 	// Header validation refuses a mismatched study shape.
-	if _, err := LoadCheckpoint(path, 20, 5); err == nil || !strings.Contains(err.Error(), "refusing to resume") {
+	if _, err := LoadCheckpoint(path, 20, 5, "off"); err == nil || !strings.Contains(err.Error(), "refusing to resume") {
 		t.Errorf("mismatched -n accepted: %v", err)
 	}
-	if _, err := LoadCheckpoint(path, 10, 6); err == nil {
+	if _, err := LoadCheckpoint(path, 10, 6, "off"); err == nil {
 		t.Error("mismatched -seed accepted")
 	}
 }
@@ -75,14 +75,14 @@ func TestCheckpointRoundTrip(t *testing.T) {
 // resumed cells are never recomputed.
 func TestCheckpointResumeIdentical(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ck.jsonl")
-	w, err := NewCheckpointWriter(path, 10, 5)
+	w, err := NewCheckpointWriter(path, 10, 5, "off")
 	if err != nil {
 		t.Fatal(err)
 	}
 	full := runTinyStudy(t, func(cfg *StudyConfig) { cfg.Checkpoint = w })
 	w.Close()
 
-	state, err := LoadCheckpoint(path, 10, 5)
+	state, err := LoadCheckpoint(path, 10, 5, "off")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +133,7 @@ func TestCheckpointResumeIdentical(t *testing.T) {
 // on resume without re-running.
 func TestCheckpointSkipRecords(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ck.jsonl")
-	w, err := NewCheckpointWriter(path, 10, 5)
+	w, err := NewCheckpointWriter(path, 10, 5, "off")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestCheckpointSkipRecords(t *testing.T) {
 	runTinyStudy(t, func(cfg *StudyConfig) { cfg.Checkpoint = w })
 	w.Close()
 
-	state, err := LoadCheckpoint(path, 10, 5)
+	state, err := LoadCheckpoint(path, 10, 5, "off")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,14 +183,14 @@ func TestCheckpointSkipRecords(t *testing.T) {
 // leaves a checkpoint that restores the full study.
 func TestCheckpointAppendResume(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "ck.jsonl")
-	w, err := NewCheckpointWriter(path, 10, 5)
+	w, err := NewCheckpointWriter(path, 10, 5, "off")
 	if err != nil {
 		t.Fatal(err)
 	}
 	full := runTinyStudy(t, func(cfg *StudyConfig) { cfg.Checkpoint = w })
 	w.Close()
 
-	state, err := LoadCheckpoint(path, 10, 5)
+	state, err := LoadCheckpoint(path, 10, 5, "off")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +210,7 @@ func TestCheckpointAppendResume(t *testing.T) {
 	// The file now carries the original cells plus the recomputed one
 	// appended (a duplicate line for the dropped cell is fine: last
 	// record wins). A fresh load restores the complete study.
-	state2, err := LoadCheckpoint(path, 10, 5)
+	state2, err := LoadCheckpoint(path, 10, 5, "off")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,113 @@
+package core_test
+
+import (
+	"testing"
+
+	"hlfi/internal/bench"
+	"hlfi/internal/core"
+	"hlfi/internal/fault"
+	"hlfi/internal/telemetry"
+)
+
+// fullReport concatenates every rendered artifact so byte-identity of
+// the whole evaluation can be asserted in one comparison.
+func fullReport(st *core.Study) string {
+	return st.RenderFigure3() + st.RenderTableIV() + st.RenderFigure4() +
+		st.RenderTableV() + st.RenderSummary()
+}
+
+func sameStudy(t *testing.T, name string, want, got *core.Study) {
+	t.Helper()
+	if len(want.Cells) != len(got.Cells) {
+		t.Fatalf("%s: cell count %d != %d", name, len(got.Cells), len(want.Cells))
+	}
+	for key, w := range want.Cells {
+		g := got.Cells[key]
+		if g == nil {
+			t.Fatalf("%s: missing cell %v", name, key)
+		}
+		if *w != *g {
+			t.Errorf("%s: cell %v diverged:\n  want %+v\n  got  %+v", name, key, *w, *g)
+		}
+	}
+	for key, w := range want.Dyn {
+		if g := got.Dyn[key]; g != w {
+			t.Errorf("%s: dyn %v: %d != %d", name, key, g, w)
+		}
+	}
+	if wr, gr := fullReport(want), fullReport(got); wr != gr {
+		t.Errorf("%s: rendered reports are not byte-identical", name)
+	}
+}
+
+// TestReplayDifferentialOracle is the study-level correctness gate for
+// the fast-forward replay engine: the full example study — every
+// benchmark, both levels, all five categories — must produce identical
+// per-cell outcome vectors, activation counts, and rendered report
+// bytes whether snapshots are on or off, sequentially and under the
+// parallel scheduler.
+func TestReplayDifferentialOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential oracle runs the full example study three times")
+	}
+	progs, err := bench.BuildAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(replay *core.ReplayConfig, parallel int) *core.Study {
+		st, err := core.RunStudy(core.StudyConfig{
+			Programs: progs, N: 12, Seed: 3,
+			Parallel: parallel, Replay: replay,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	baseline := run(nil, 1)
+
+	stats := &telemetry.ReplayStats{}
+	sameStudy(t, "sequential", baseline, run(&core.ReplayConfig{Stats: stats}, 1))
+	if stats.Hits() == 0 {
+		t.Error("sequential replay run never hit a snapshot")
+	}
+
+	pstats := &telemetry.ReplayStats{}
+	sameStudy(t, "parallel", baseline, run(&core.ReplayConfig{Stats: pstats}, 4))
+	if pstats.Hits() == 0 {
+		t.Error("parallel replay run never hit a snapshot")
+	}
+}
+
+// TestReplayTinyBudgetStillExact drives the cache's thinning and LRU
+// eviction paths with a budget far below one entry and checks the
+// results still match replay-off exactly: the budget may cost speed,
+// never correctness.
+func TestReplayTinyBudgetStillExact(t *testing.T) {
+	p, err := bench.Build("quantumm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(replay *core.ReplayConfig) *core.CellResult {
+		c := &core.Campaign{
+			Prog: p, Level: fault.LevelIR, Category: fault.CatAll,
+			N: 20, Seed: 11, Replay: replay,
+		}
+		res, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := run(nil)
+
+	stats := &telemetry.ReplayStats{}
+	got := run(&core.ReplayConfig{MemBudget: 1, Stats: stats})
+	if *want != *got {
+		t.Fatalf("tiny-budget replay diverged:\n  want %+v\n  got  %+v", *want, *got)
+	}
+	if stats.Hits()+stats.Misses() == 0 {
+		t.Error("replay stats recorded no attempts")
+	}
+}

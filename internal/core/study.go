@@ -77,6 +77,11 @@ type StudyConfig struct {
 	// cell derives its seed via cellSeed, the resumed study's output is
 	// byte-identical to an uninterrupted run.
 	Resume *CheckpointState
+	// Replay, when non-nil, arms golden-run snapshot fast-forward replay
+	// for every cell. The study's results, progress lines, and rendered
+	// reports are byte-identical with or without it; only timing and the
+	// replay telemetry differ.
+	Replay *ReplayConfig
 }
 
 // ErrAborted is returned (wrapping the context error) by RunStudyContext
@@ -221,6 +226,7 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 				Metrics:       &metrics[i],
 				SimFaultLimit: cfg.SimFaultLimit,
 				Deadline:      cfg.CellDeadline,
+				Replay:        cfg.Replay,
 			}
 			if testCampaignHook != nil {
 				testCampaignHook(c)
@@ -256,25 +262,33 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 		// everything that completed (the checkpoint already holds it),
 		// announce the abort, and hand back the partial study.
 		attempts, activated := harvest(st, specs, results)
-		emit(cfg.Events, telemetry.Event{
+		ev := telemetry.Event{
 			Type:       telemetry.EventStudyAbort,
 			Cells:      len(st.Cells),
 			Attempts:   attempts,
 			Activated:  activated,
 			DurationMS: telemetry.Ms(time.Since(start)),
 			Err:        err.Error(),
-		})
+		}
+		if cfg.Replay != nil {
+			ev.ReplayFields(cfg.Replay.Stats)
+		}
+		emit(cfg.Events, ev)
 		return st, fmt.Errorf("%w: %v", ErrAborted, err)
 	}
 
 	attempts, activated := harvest(st, specs, results)
-	emit(cfg.Events, telemetry.Event{
+	ev := telemetry.Event{
 		Type:       telemetry.EventStudyDone,
 		Cells:      len(st.Cells),
 		Attempts:   attempts,
 		Activated:  activated,
 		DurationMS: telemetry.Ms(time.Since(start)),
-	})
+	}
+	if cfg.Replay != nil {
+		ev.ReplayFields(cfg.Replay.Stats)
+	}
+	emit(cfg.Events, ev)
 	return st, nil
 }
 

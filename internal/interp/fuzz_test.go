@@ -1,0 +1,86 @@
+package interp_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"hlfi/internal/interp"
+	"hlfi/internal/minic"
+)
+
+// fuzzBudget bounds fuzzed executions so pathological loops finish as
+// ErrHang quickly instead of eating the fuzzing time box.
+const fuzzBudget = 50_000
+
+// FuzzSnapshotRestore checks the snapshot engine's core invariant on
+// arbitrary programs: capturing snapshots must not perturb execution,
+// and resuming from any snapshot must finish with exactly the state a
+// straight-line run reaches — same output bytes, exit code, error, and
+// instruction count.
+func FuzzSnapshotRestore(f *testing.F) {
+	f.Add("int main(){int s=0;for(int i=0;i<50;i++)s+=i;print_long(s);return 0;}", uint64(37))
+	f.Add(`int arr[8];
+int main() {
+    double acc = 0.0;
+    for (int i = 0; i < 8; i++) { arr[i] = i * 3; acc = acc + (double)arr[i]; }
+    long sum = 0;
+    for (int i = 0; i < 8; i++) sum += arr[i];
+    print_long(sum); print_str(" "); print_double(acc); print_str("\n");
+    return 0;
+}`, uint64(111))
+	f.Add("int f(int n){ if (n < 2) return n; return f(n-1)+f(n-2); } int main(){ print_long(f(12)); return 0; }", uint64(500))
+	f.Add("int main(){ int *p = 0; return *p; }", uint64(3))
+	f.Add("int main(){ for(;;){} return 0; }", uint64(64))
+
+	f.Fuzz(func(t *testing.T, src string, strideSeed uint64) {
+		mod, err := minic.Compile("fuzz", src)
+		if err != nil {
+			t.Skip()
+		}
+		p, err := interp.Prepare(mod)
+		if err != nil {
+			t.Skip()
+		}
+
+		var out1 bytes.Buffer
+		r1 := interp.NewRunner(p, &out1)
+		r1.MaxInstrs = fuzzBudget
+		exit1, err1 := r1.Run()
+
+		stride := strideSeed%2048 + 16
+		var out2 bytes.Buffer
+		var snaps []*interp.Snapshot
+		r2 := interp.NewRunner(p, &out2)
+		r2.MaxInstrs = fuzzBudget
+		r2.SnapshotEvery = stride
+		r2.SnapshotSink = func(s *interp.Snapshot) { snaps = append(snaps, s) }
+		exit2, err2 := r2.Run()
+
+		if exit1 != exit2 || fmt.Sprint(err1) != fmt.Sprint(err2) ||
+			!bytes.Equal(out1.Bytes(), out2.Bytes()) || r1.Executed() != r2.Executed() {
+			t.Fatalf("snapshot capture perturbed execution: (%d,%v,%q,%d) != (%d,%v,%q,%d)",
+				exit1, err1, out1.Bytes(), r1.Executed(), exit2, err2, out2.Bytes(), r2.Executed())
+		}
+
+		// Resume from up to 8 snapshots spread over the run.
+		step := 1
+		if len(snaps) > 8 {
+			step = len(snaps) / 8
+		}
+		for i := 0; i < len(snaps); i += step {
+			s := snaps[i]
+			var out3 bytes.Buffer
+			out3.Write(out1.Bytes()[:s.OutLen])
+			r3 := interp.NewRunnerFromSnapshot(p, s, &out3)
+			r3.MaxInstrs = fuzzBudget
+			exit3, err3 := r3.Resume()
+			if exit1 != exit3 || fmt.Sprint(err1) != fmt.Sprint(err3) ||
+				!bytes.Equal(out1.Bytes(), out3.Bytes()) || r1.Executed() != r3.Executed() {
+				t.Fatalf("resume from snapshot %d (at %d instrs) diverged: (%d,%v,%q,%d) != (%d,%v,%q,%d)",
+					i, s.Executed, exit1, err1, out1.Bytes(), r1.Executed(),
+					exit3, err3, out3.Bytes(), r3.Executed())
+			}
+		}
+	})
+}

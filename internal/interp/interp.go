@@ -152,6 +152,11 @@ type Injection struct {
 }
 
 // Runner executes one run of a prepared module against fresh memory.
+//
+// Execution is driven by an explicit frame stack rather than Go-stack
+// recursion, so the complete machine state — frames, memory, counters —
+// can be captured into a Snapshot between any two instructions and
+// later resumed (the fast-forward replay path of the injectors).
 type Runner struct {
 	prog *Prepared
 	mem  *mem.Memory
@@ -166,10 +171,20 @@ type Runner struct {
 	Inject *Injection
 	// Trace, when non-nil, receives taint-propagation events.
 	Trace *Tracer
+	// SnapshotEvery, when > 0 together with SnapshotSink, captures a
+	// state snapshot roughly every SnapshotEvery retired instructions
+	// during Run. Capture is for golden runs only: it is skipped while an
+	// injection is armed.
+	SnapshotEvery uint64
+	// SnapshotSink receives each captured snapshot.
+	SnapshotSink func(*Snapshot)
 
 	executed  uint64
 	candCount uint64
 	sp        uint64
+	nextSnap  uint64
+
+	stack []*frame
 
 	watchFrame *frame
 	watchInstr *ir.Instr
@@ -177,11 +192,21 @@ type Runner struct {
 	env *rt.Env
 }
 
+// frame is one activation record on the explicit call stack. blk/prev/idx
+// form the continuation: the next instruction to execute is
+// blk.Instrs[idx] (for a frame with a callee above it, that instruction
+// is the pending OpCall, completed when the callee returns).
 type frame struct {
 	fn     *ir.Function
+	fp     *framePlan
 	vals   []uint64
 	params []uint64
 	base   uint64 // frame base address (allocas live below it)
+
+	savedSP uint64
+	blk     *ir.Block
+	prev    *ir.Block
+	idx     int
 }
 
 // NewRunner creates a runner with fresh memory and globals installed.
@@ -212,18 +237,22 @@ func (r *Runner) Run() (int64, error) {
 	if mainFn == nil || len(mainFn.Blocks) == 0 {
 		return 0, ErrNoMain
 	}
-	v, err := r.call(mainFn, nil)
-	if err != nil {
+	if r.SnapshotEvery > 0 {
+		r.nextSnap = r.SnapshotEvery
+	}
+	if err := r.pushFrame(mainFn, nil); err != nil {
 		return 0, err
 	}
-	return ir.SignExtend(v, mainFn.Sig.Return), nil
+	return r.loop()
 }
 
-// call executes fn with the given argument values.
-func (r *Runner) call(fn *ir.Function, args []uint64) (uint64, error) {
+// pushFrame begins a call: stack-overflow check, frame allocation, and
+// entry-block phi processing. The caller's frame (if any) stays parked on
+// its OpCall instruction until the new frame returns.
+func (r *Runner) pushFrame(fn *ir.Function, args []uint64) error {
 	fp := r.prog.frames[fn]
 	if r.sp < fp.size || r.sp-fp.size < mem.StackLimit {
-		return 0, &mem.Fault{Kind: mem.FaultStackOverflow, Addr: r.sp}
+		return &mem.Fault{Kind: mem.FaultStackOverflow, Addr: r.sp}
 	}
 	savedSP := r.sp
 	r.sp -= fp.size
@@ -231,71 +260,79 @@ func (r *Runner) call(fn *ir.Function, args []uint64) (uint64, error) {
 	if fp.size > minFrameBytes {
 		r.mem.Map(base, fp.size)
 	}
-	defer func() { r.sp = savedSP }()
-
-	fr := &frame{fn: fn, vals: make([]uint64, fn.NumValues()), params: args, base: base}
-
-	blk := fn.Entry()
-	var prev *ir.Block
-	for {
-		nextBlk, ret, done, err := r.execBlock(fr, blk, prev, fp)
-		if err != nil {
-			return 0, err
-		}
-		if done {
-			return ret, nil
-		}
-		prev, blk = blk, nextBlk
+	fr := &frame{
+		fn: fn, fp: fp,
+		vals: make([]uint64, fn.NumValues()), params: args,
+		base: base, savedSP: savedSP,
 	}
+	r.stack = append(r.stack, fr)
+	return r.enterBlock(fr, fn.Entry(), nil)
 }
 
-// execBlock runs one basic block and returns the successor or the return
-// value.
-func (r *Runner) execBlock(fr *frame, b *ir.Block, prev *ir.Block, fp *framePlan) (next *ir.Block, ret uint64, done bool, err error) {
+// enterBlock positions a frame at the start of a block and executes its
+// phi bundle. Phi nodes read their incoming values "in parallel" on
+// block entry.
+func (r *Runner) enterBlock(fr *frame, b *ir.Block, prev *ir.Block) error {
+	fr.blk, fr.prev = b, prev
 	instrs := b.Instrs
-	// Phi nodes read their incoming values "in parallel" on block entry.
 	nPhi := 0
 	for nPhi < len(instrs) && instrs[nPhi].Op == ir.OpPhi {
 		nPhi++
 	}
-	if nPhi > 0 {
-		var tmp [8]uint64
-		vals := tmp[:0]
-		if nPhi > len(tmp) {
-			vals = make([]uint64, 0, nPhi)
-		}
-		for i := 0; i < nPhi; i++ {
-			in := instrs[i]
-			// Activation check: phis read the incoming value of the edge
-			// just taken.
-			if r.watchInstr != nil && r.watchFrame == fr {
-				for k, pb := range in.Blocks {
-					if pb == prev && in.Args[k] == ir.Value(r.watchInstr) {
-						r.Inject.Activated = true
-						r.watchInstr = nil
-						break
-					}
+	fr.idx = nPhi
+	if nPhi == 0 {
+		return nil
+	}
+	var tmp [8]uint64
+	vals := tmp[:0]
+	if nPhi > len(tmp) {
+		vals = make([]uint64, 0, nPhi)
+	}
+	for i := 0; i < nPhi; i++ {
+		in := instrs[i]
+		// Activation check: phis read the incoming value of the edge
+		// just taken.
+		if r.watchInstr != nil && r.watchFrame == fr {
+			for k, pb := range in.Blocks {
+				if pb == prev && in.Args[k] == ir.Value(r.watchInstr) {
+					r.Inject.Activated = true
+					r.watchInstr = nil
+					break
 				}
 			}
-			v, err := r.phiIncoming(fr, in, prev)
-			if err != nil {
-				return nil, 0, false, err
-			}
-			vals = append(vals, v)
 		}
-		for i := 0; i < nPhi; i++ {
-			in := instrs[i]
-			v, err := r.retire(fr, in, vals[i])
-			if err != nil {
-				return nil, 0, false, err
-			}
-			fr.vals[in.ID] = v
+		v, err := r.phiIncoming(fr, in, prev)
+		if err != nil {
+			return err
 		}
+		vals = append(vals, v)
 	}
+	for i := 0; i < nPhi; i++ {
+		in := instrs[i]
+		v, err := r.retire(fr, in, vals[i])
+		if err != nil {
+			return err
+		}
+		fr.vals[in.ID] = v
+	}
+	return nil
+}
 
-	for _, in := range instrs[nPhi:] {
+// loop drives the frame stack until the bottom frame returns. Each
+// iteration executes exactly one instruction of the top frame; every
+// top-of-loop point is a consistent snapshot boundary.
+func (r *Runner) loop() (int64, error) {
+	for {
+		fr := r.stack[len(r.stack)-1]
+		if fr.idx >= len(fr.blk.Instrs) {
+			return 0, fmt.Errorf("block %s fell through", fr.blk.Name)
+		}
+		if r.nextSnap > 0 && r.executed >= r.nextSnap && r.SnapshotSink != nil {
+			r.captureSnapshot()
+		}
+		in := fr.blk.Instrs[fr.idx]
 		if r.executed >= r.MaxInstrs {
-			return nil, 0, false, ErrHang
+			return 0, ErrHang
 		}
 		// Activation check: once a fault has been injected, a read of the
 		// corrupted SSA value by any later instruction activates it.
@@ -311,34 +348,94 @@ func (r *Runner) execBlock(fr *frame, b *ir.Block, prev *ir.Block, fp *framePlan
 		switch in.Op {
 		case ir.OpBr:
 			r.count(in)
-			return in.Blocks[0], 0, false, nil
+			if err := r.enterBlock(fr, in.Blocks[0], fr.blk); err != nil {
+				return 0, err
+			}
 		case ir.OpCondBr:
 			c, err := r.eval(fr, in.Args[0])
 			if err != nil {
-				return nil, 0, false, err
+				return 0, err
 			}
 			r.count(in)
+			taken := in.Blocks[1]
 			if c&1 != 0 {
-				return in.Blocks[0], 0, false, nil
+				taken = in.Blocks[0]
 			}
-			return in.Blocks[1], 0, false, nil
+			if err := r.enterBlock(fr, taken, fr.blk); err != nil {
+				return 0, err
+			}
 		case ir.OpRet:
 			r.count(in)
+			var v uint64
 			if len(in.Args) == 1 {
-				v, err := r.eval(fr, in.Args[0])
+				var err error
+				v, err = r.eval(fr, in.Args[0])
 				if err != nil {
-					return nil, 0, false, err
+					return 0, err
 				}
-				return nil, v, true, nil
 			}
-			return nil, 0, true, nil
+			r.sp = fr.savedSP
+			r.stack = r.stack[:len(r.stack)-1]
+			if len(r.stack) == 0 {
+				return ir.SignExtend(v, fr.fn.Sig.Return), nil
+			}
+			if err := r.finishCall(r.stack[len(r.stack)-1], v); err != nil {
+				return 0, err
+			}
+		case ir.OpCall:
+			if err := r.startCall(fr, in); err != nil {
+				return 0, err
+			}
 		default:
-			if err := r.execInstr(fr, in, fp); err != nil {
-				return nil, 0, false, err
+			if err := r.execInstr(fr, in, fr.fp); err != nil {
+				return 0, err
 			}
+			fr.idx++
 		}
 	}
-	return nil, 0, false, fmt.Errorf("block %s fell through", b.Name)
+}
+
+// startCall evaluates a call's arguments and either pushes a frame for a
+// defined callee (leaving the caller parked on the OpCall) or runs the
+// builtin and completes the call in place.
+func (r *Runner) startCall(fr *frame, in *ir.Instr) error {
+	args := make([]uint64, len(in.Args))
+	for i, a := range in.Args {
+		v, err := r.eval(fr, a)
+		if err != nil {
+			return err
+		}
+		args[i] = v
+	}
+	if in.Callee != nil {
+		if len(in.Callee.Blocks) == 0 {
+			return fmt.Errorf("call to declaration @%s", in.Callee.Name)
+		}
+		return r.pushFrame(in.Callee, args)
+	}
+	v, err := rt.Call(r.env, in.Builtin, args)
+	if err != nil {
+		return err
+	}
+	return r.finishCall(fr, v)
+}
+
+// finishCall retires the OpCall a frame is parked on with the callee's
+// (or builtin's) return value and advances past it.
+func (r *Runner) finishCall(fr *frame, v uint64) error {
+	in := fr.blk.Instrs[fr.idx]
+	if in.HasResult() {
+		v = ir.Canonical(v, in.Ty)
+		rv, err := r.retire(fr, in, v)
+		if err != nil {
+			return err
+		}
+		fr.vals[in.ID] = rv
+	} else {
+		r.count(in)
+	}
+	fr.idx++
+	return nil
 }
 
 func (r *Runner) phiIncoming(fr *frame, in *ir.Instr, prev *ir.Block) (uint64, error) {
@@ -587,40 +684,6 @@ func (r *Runner) execInstr(fr *frame, in *ir.Instr, fp *framePlan) error {
 			r.Trace.noteStore(in.Args[0], ptr)
 		}
 		return r.mem.Write(ptr, in.Args[0].Type().Size(), v)
-
-	case ir.OpCall:
-		args := make([]uint64, len(in.Args))
-		for i, a := range in.Args {
-			v, err := r.eval(fr, a)
-			if err != nil {
-				return err
-			}
-			args[i] = v
-		}
-		var v uint64
-		var err error
-		if in.Callee != nil {
-			if len(in.Callee.Blocks) == 0 {
-				return fmt.Errorf("call to declaration @%s", in.Callee.Name)
-			}
-			v, err = r.call(in.Callee, args)
-		} else {
-			v, err = rt.Call(r.env, in.Builtin, args)
-		}
-		if err != nil {
-			return err
-		}
-		if in.HasResult() {
-			v = ir.Canonical(v, in.Ty)
-			v, err = r.retire(fr, in, v)
-			if err != nil {
-				return err
-			}
-			fr.vals[in.ID] = v
-		} else {
-			r.count(in)
-		}
-		return nil
 	}
 	return fmt.Errorf("exec: unhandled op %s", in.Op)
 }

@@ -13,6 +13,7 @@ import (
 	"hlfi/internal/fault"
 	"hlfi/internal/interp"
 	"hlfi/internal/ir"
+	"hlfi/internal/telemetry"
 )
 
 // HangFactor scales the golden instruction count into the hang-detection
@@ -127,6 +128,63 @@ type Injector struct {
 	GoldenInstrs uint64
 	// Profile holds per-instruction dynamic counts from the golden run.
 	Profile []uint64
+
+	// Replay state (UseSnapshots): golden-run snapshots in capture order
+	// and, parallel to them, the candidate-execution count each one has
+	// already passed — monotone, so the attempt loop can binary-search
+	// for the latest snapshot at-or-before a trigger.
+	snaps     []*interp.Snapshot
+	snapCands []uint64
+	stats     *telemetry.ReplayStats
+}
+
+// CaptureSnapshots runs the golden execution once more with a snapshot
+// sink armed and returns the captured snapshots in execution order. The
+// run is deterministic, so the snapshots are consistent with any
+// injector built over the same prepared program.
+func CaptureSnapshots(p *interp.Prepared, stride uint64) (snaps []*interp.Snapshot, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			snaps, err = nil, fmt.Errorf("llfi snapshot run panic: %v", r)
+		}
+	}()
+	var out bytes.Buffer
+	r := interp.NewRunner(p, &out)
+	r.Profile = make([]uint64, p.SeqTotal)
+	r.SnapshotEvery = stride
+	r.SnapshotSink = func(s *interp.Snapshot) { snaps = append(snaps, s) }
+	if _, err := r.Run(); err != nil {
+		return nil, fmt.Errorf("llfi snapshot run: %w", err)
+	}
+	return snaps, nil
+}
+
+// UseSnapshots arms fast-forward replay: subsequent InjectAt calls
+// restore the latest snapshot at-or-before their trigger and replay only
+// the residual tail. Outcomes, activation, and output stay byte-identical
+// to full re-execution. stats (nil-safe) receives hit/miss accounting.
+func (j *Injector) UseSnapshots(snaps []*interp.Snapshot, stats *telemetry.ReplayStats) {
+	j.snaps = snaps
+	j.stats = stats
+	j.snapCands = make([]uint64, len(snaps))
+	for i, s := range snaps {
+		j.snapCands[i] = s.CandCount(j.Candidates)
+	}
+}
+
+// snapBefore returns the index of the latest snapshot whose candidate
+// baseline is at or below trigger, or -1.
+func (j *Injector) snapBefore(trigger uint64) int {
+	lo, hi := 0, len(j.snaps)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if j.snapCands[mid] <= trigger {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
 }
 
 // New profiles the program once (the golden run) and prepares an injector
@@ -180,18 +238,38 @@ func (j *Injector) InjectOne(rng *rand.Rand) *Result {
 }
 
 // InjectAt injects at a specific dynamic candidate index (tests and
-// deterministic replay).
+// deterministic replay). When snapshots are armed, the attempt restores
+// the latest snapshot at-or-before the trigger and replays the residual
+// tail; otherwise it re-executes from instruction zero. Both paths
+// produce byte-identical results under the same rng.
 func (j *Injector) InjectAt(trigger uint64, rng *rand.Rand) *Result {
-	var out bytes.Buffer
-	r := interp.NewRunner(j.Prep, &out)
-	r.MaxInstrs = j.GoldenInstrs*HangFactor + 1_000_000
 	injection := &interp.Injection{
 		Candidates:   j.Candidates,
 		TriggerIndex: trigger,
 		Rng:          rng,
 	}
-	r.Inject = injection
-	rc, err := r.Run()
+	var out bytes.Buffer
+	var r *interp.Runner
+	var rc int64
+	var err error
+	if i := j.snapBefore(trigger); i >= 0 {
+		s := j.snaps[i]
+		out.Write(j.GoldenOutput[:s.OutLen])
+		r = interp.NewRunnerFromSnapshot(j.Prep, s, &out)
+		r.SetCandCount(j.snapCands[i])
+		r.MaxInstrs = j.GoldenInstrs*HangFactor + 1_000_000
+		r.Inject = injection
+		rc, err = r.Resume()
+		j.stats.Hit(s.Executed, r.Executed()-s.Executed)
+	} else {
+		r = interp.NewRunner(j.Prep, &out)
+		r.MaxInstrs = j.GoldenInstrs*HangFactor + 1_000_000
+		r.Inject = injection
+		rc, err = r.Run()
+		if j.snaps != nil {
+			j.stats.Miss(r.Executed())
+		}
+	}
 	res := &Result{Output: out.Bytes(), Exit: rc, Err: err, Injection: injection}
 	res.Outcome = classify(j.GoldenOutput, j.GoldenExit, res, injection.Happened && injection.Activated)
 	return res

@@ -1,0 +1,89 @@
+package machine_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"hlfi/internal/codegen"
+	"hlfi/internal/interp"
+	"hlfi/internal/machine"
+	"hlfi/internal/minic"
+)
+
+const fuzzBudget = 50_000
+
+// FuzzSnapshotRestore checks the machine-level snapshot invariant on
+// arbitrary lowered programs: capture must not perturb execution, and
+// resuming from any snapshot must reach exactly the state of a
+// straight-line run — output bytes, exit code, error, instruction count.
+func FuzzSnapshotRestore(f *testing.F) {
+	f.Add("int main(){int s=0;for(int i=0;i<50;i++)s+=i;print_long(s);return 0;}", uint64(37))
+	f.Add(`int arr[8];
+int main() {
+    double acc = 0.0;
+    for (int i = 0; i < 8; i++) { arr[i] = i * 3; acc = acc + (double)arr[i]; }
+    long sum = 0;
+    for (int i = 0; i < 8; i++) sum += arr[i];
+    print_long(sum); print_str(" "); print_double(acc); print_str("\n");
+    return 0;
+}`, uint64(111))
+	f.Add("int f(int n){ if (n < 2) return n; return f(n-1)+f(n-2); } int main(){ print_long(f(12)); return 0; }", uint64(500))
+	f.Add("int main(){ int *p = 0; return *p; }", uint64(3))
+	f.Add("int main(){ for(;;){} return 0; }", uint64(64))
+
+	f.Fuzz(func(t *testing.T, src string, strideSeed uint64) {
+		mod, err := minic.Compile("fuzz", src)
+		if err != nil {
+			t.Skip()
+		}
+		prep, err := interp.Prepare(mod)
+		if err != nil {
+			t.Skip()
+		}
+		prog, err := codegen.Lower(mod, prep.Layout, codegen.DefaultOptions())
+		if err != nil {
+			t.Skip()
+		}
+		img, base := prep.Layout.Image, prep.Layout.Base
+
+		var out1 bytes.Buffer
+		m1 := machine.New(prog, img, base, &out1)
+		m1.MaxInstrs = fuzzBudget
+		exit1, err1 := m1.Run()
+
+		stride := strideSeed%2048 + 16
+		var out2 bytes.Buffer
+		var snaps []*machine.Snapshot
+		m2 := machine.New(prog, img, base, &out2)
+		m2.MaxInstrs = fuzzBudget
+		m2.SnapshotEvery = stride
+		m2.SnapshotSink = func(s *machine.Snapshot) { snaps = append(snaps, s) }
+		exit2, err2 := m2.Run()
+
+		if exit1 != exit2 || fmt.Sprint(err1) != fmt.Sprint(err2) ||
+			!bytes.Equal(out1.Bytes(), out2.Bytes()) || m1.Executed() != m2.Executed() {
+			t.Fatalf("snapshot capture perturbed execution: (%d,%v,%q,%d) != (%d,%v,%q,%d)",
+				exit1, err1, out1.Bytes(), m1.Executed(), exit2, err2, out2.Bytes(), m2.Executed())
+		}
+
+		step := 1
+		if len(snaps) > 8 {
+			step = len(snaps) / 8
+		}
+		for i := 0; i < len(snaps); i += step {
+			s := snaps[i]
+			var out3 bytes.Buffer
+			out3.Write(out1.Bytes()[:s.OutLen])
+			m3 := machine.NewFromSnapshot(prog, s, &out3)
+			m3.MaxInstrs = fuzzBudget
+			exit3, err3 := m3.Resume()
+			if exit1 != exit3 || fmt.Sprint(err1) != fmt.Sprint(err3) ||
+				!bytes.Equal(out1.Bytes(), out3.Bytes()) || m1.Executed() != m3.Executed() {
+				t.Fatalf("resume from snapshot %d (at %d instrs) diverged: (%d,%v,%q,%d) != (%d,%v,%q,%d)",
+					i, s.Executed, exit1, err1, out1.Bytes(), m1.Executed(),
+					exit3, err3, out3.Bytes(), m3.Executed())
+			}
+		}
+	})
+}

@@ -77,6 +77,13 @@ type Machine struct {
 	Profile []uint64
 	// Inject, when non-nil, arms a single fault injection.
 	Inject *Injection
+	// SnapshotEvery, when > 0 together with SnapshotSink, captures a
+	// state snapshot roughly every SnapshotEvery retired instructions
+	// during Run. Capture is for golden runs only: it is skipped while
+	// an injection is armed.
+	SnapshotEvery uint64
+	// SnapshotSink receives each captured snapshot.
+	SnapshotSink func(*Snapshot)
 
 	// depFlags[i] is the flag mask the Jcc following instruction i reads,
 	// when instruction i is a flag setter followed by a conditional jump
@@ -85,7 +92,9 @@ type Machine struct {
 
 	executed  uint64
 	candCount uint64
+	nextSnap  uint64
 	haltAddr  uint64
+	out       io.Writer
 
 	watch     watchKind
 	watchReg_ x86.Reg
@@ -115,6 +124,7 @@ func New(p *x86.Program, layoutImage []byte, layoutBase uint64, out io.Writer) *
 		prog:      p,
 		mem:       m,
 		env:       &rt.Env{Mem: m, Out: out},
+		out:       out,
 		MaxInstrs: DefaultMaxInstrs,
 		depFlags:  DependentFlagMasks(p),
 		haltAddr:  mem.CodeBase + uint64(len(p.Instrs))*mem.CodeStride,
@@ -175,7 +185,19 @@ func (m *Machine) Run() (int64, error) {
 		return 0, err
 	}
 	m.rip = m.prog.Entry
+	if m.SnapshotEvery > 0 {
+		m.nextSnap = m.SnapshotEvery
+	}
+	return m.loop()
+}
+
+// loop drives execution until main returns; every top-of-loop point is
+// a consistent snapshot boundary.
+func (m *Machine) loop() (int64, error) {
 	for {
+		if m.nextSnap > 0 && m.executed >= m.nextSnap && m.SnapshotSink != nil {
+			m.captureSnapshot()
+		}
 		done, err := m.step()
 		if err != nil {
 			return 0, err

@@ -94,6 +94,14 @@ func (f *Fault) Error() string {
 type Memory struct {
 	pages map[uint64]*[PageSize]byte
 
+	// cow marks pages shared with a snapshot: they must be duplicated
+	// before the first write. nil until the first Snapshot call, so
+	// snapshot-free runs pay nothing.
+	cow map[uint64]bool
+	// frozen marks a memory returned by Snapshot. Frozen memories are
+	// never written; Clone materializes writable copies from them.
+	frozen bool
+
 	heapNext uint64
 	// free lists allocator metadata outside the simulated address space;
 	// allocation headers would otherwise be silently corruptible, which
@@ -215,12 +223,90 @@ func (m *Memory) copyOut(addr uint64, dst []byte) {
 
 func (m *Memory) copyIn(addr uint64, src []byte) {
 	for len(src) > 0 {
-		page := m.pages[addr/PageSize]
+		pnum := addr / PageSize
+		page := m.pages[pnum]
+		if m.cow != nil && m.cow[pnum] {
+			// The page is shared with a snapshot: duplicate before the
+			// first write so the snapshot's view stays intact.
+			np := new([PageSize]byte)
+			*np = *page
+			m.pages[pnum] = np
+			delete(m.cow, pnum)
+			page = np
+		}
 		off := addr % PageSize
 		n := copy(page[off:], src)
 		src = src[n:]
 		addr += uint64(n)
 	}
+}
+
+// Snapshot freezes the current contents into a copy-on-write snapshot:
+// the returned memory shares every page with the live one, and the live
+// memory duplicates a shared page before its first subsequent write.
+// Snapshots are immutable (never write through them); use Clone to
+// materialize a writable address space from one. Capturing is O(mapped
+// pages) in map bookkeeping only — no page data is copied.
+func (m *Memory) Snapshot() *Memory {
+	if m.cow == nil {
+		m.cow = make(map[uint64]bool, len(m.pages))
+	}
+	s := &Memory{
+		pages:     make(map[uint64]*[PageSize]byte, len(m.pages)),
+		cow:       make(map[uint64]bool, len(m.pages)),
+		frozen:    true,
+		heapNext:  m.heapNext,
+		allocSize: make(map[uint64]uint64, len(m.allocSize)),
+		freeList:  make(map[uint64][]uint64, len(m.freeList)),
+	}
+	for p, pg := range m.pages {
+		s.pages[p] = pg
+		s.cow[p] = true
+		m.cow[p] = true
+	}
+	for a, sz := range m.allocSize {
+		s.allocSize[a] = sz
+	}
+	for sz, list := range m.freeList {
+		s.freeList[sz] = append([]uint64(nil), list...)
+	}
+	return s
+}
+
+// Clone materializes a writable address space from a frozen snapshot.
+// Every page starts shared copy-on-write, so restoring costs O(mapped
+// pages) map work and pages are copied only as the resumed run writes
+// them. Clone never mutates the snapshot, so any number of goroutines
+// may Clone the same snapshot concurrently.
+func (m *Memory) Clone() *Memory {
+	if !m.frozen {
+		panic("mem: Clone of a live memory (use Snapshot first)")
+	}
+	c := &Memory{
+		pages:     make(map[uint64]*[PageSize]byte, len(m.pages)),
+		cow:       make(map[uint64]bool, len(m.pages)),
+		heapNext:  m.heapNext,
+		allocSize: make(map[uint64]uint64, len(m.allocSize)),
+		freeList:  make(map[uint64][]uint64, len(m.freeList)),
+	}
+	for p, pg := range m.pages {
+		c.pages[p] = pg
+		c.cow[p] = true
+	}
+	for a, sz := range m.allocSize {
+		c.allocSize[a] = sz
+	}
+	for sz, list := range m.freeList {
+		c.freeList[sz] = append([]uint64(nil), list...)
+	}
+	return c
+}
+
+// FootprintBytes is an upper bound on the resident size of this memory's
+// page data, counting shared copy-on-write pages as if private. The
+// snapshot cache uses it for budget accounting.
+func (m *Memory) FootprintBytes() uint64 {
+	return uint64(len(m.pages)) * PageSize
 }
 
 // roundAlloc rounds a request up to a 16-byte-aligned size class.

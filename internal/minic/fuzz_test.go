@@ -1,0 +1,34 @@
+package minic
+
+import "testing"
+
+// FuzzMiniCParse hardens the compiler frontend against mutated
+// benchmark sources: Compile may reject input with an error, but it
+// must never panic or hang, whatever bytes it is fed.
+func FuzzMiniCParse(f *testing.F) {
+	f.Add("int main() { return 0; }")
+	f.Add(`int g = 42;
+struct node { int v; struct node *next; };
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main() {
+    int arr[4] = {1, 2, 3};
+    char msg[8] = "hi";
+    double d = 3.5;
+    for (int i = 0; i < 4; i++) arr[i] += g;
+    while (arr[0] > 0) { arr[0]--; }
+    print_long(fib(10)); print_str(msg); print_double(d);
+    return arr[1];
+}`)
+	f.Add("int main() { int *p = &p; return **p; }")
+	f.Add("struct s { struct s x; }; int main() { return 0; }")
+	f.Add("int main() { return 0x; }")
+	f.Add(`int main() { char c = '\x41'; print_str("\q"); return c; }`)
+	f.Add("int main() { return ((((((1)))))); }")
+	f.Add("/* unterminated")
+	f.Add(`int main() { "unterminated`)
+
+	f.Fuzz(func(t *testing.T, src string) {
+		// Errors are fine — panics are the bug.
+		_, _ = Compile("fuzz", src)
+	})
+}

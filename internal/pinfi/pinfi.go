@@ -14,6 +14,7 @@ import (
 
 	"hlfi/internal/fault"
 	"hlfi/internal/machine"
+	"hlfi/internal/telemetry"
 	"hlfi/internal/x86"
 )
 
@@ -90,6 +91,63 @@ type Injector struct {
 	GoldenExit   int64
 	GoldenInstrs uint64
 	Profile      []uint64
+
+	// Replay state (UseSnapshots): golden-run snapshots in capture order
+	// and, parallel to them, the candidate-execution count each one has
+	// already passed — monotone, so the attempt loop can binary-search
+	// for the latest snapshot at-or-before a trigger.
+	snaps     []*machine.Snapshot
+	snapCands []uint64
+	stats     *telemetry.ReplayStats
+}
+
+// CaptureSnapshots runs the golden execution once more with a snapshot
+// sink armed and returns the captured snapshots in execution order. The
+// run is deterministic, so the snapshots are consistent with any
+// injector built over the same lowered program.
+func CaptureSnapshots(prog *x86.Program, layoutImage []byte, layoutBase uint64, stride uint64) (snaps []*machine.Snapshot, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			snaps, err = nil, fmt.Errorf("pinfi snapshot run panic: %v", r)
+		}
+	}()
+	var out bytes.Buffer
+	m := machine.New(prog, layoutImage, layoutBase, &out)
+	m.Profile = make([]uint64, len(prog.Instrs))
+	m.SnapshotEvery = stride
+	m.SnapshotSink = func(s *machine.Snapshot) { snaps = append(snaps, s) }
+	if _, err := m.Run(); err != nil {
+		return nil, fmt.Errorf("pinfi snapshot run: %w", err)
+	}
+	return snaps, nil
+}
+
+// UseSnapshots arms fast-forward replay: subsequent InjectAt calls
+// restore the latest snapshot at-or-before their trigger and replay only
+// the residual tail. Outcomes, activation, and output stay byte-identical
+// to full re-execution. stats (nil-safe) receives hit/miss accounting.
+func (j *Injector) UseSnapshots(snaps []*machine.Snapshot, stats *telemetry.ReplayStats) {
+	j.snaps = snaps
+	j.stats = stats
+	j.snapCands = make([]uint64, len(snaps))
+	for i, s := range snaps {
+		j.snapCands[i] = s.CandCount(j.Candidates)
+	}
+}
+
+// snapBefore returns the index of the latest snapshot whose candidate
+// baseline is at or below trigger, or -1.
+func (j *Injector) snapBefore(trigger uint64) int {
+	lo, hi := 0, len(j.snaps)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if j.snapCands[mid] <= trigger {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
 }
 
 // New profiles the program once and prepares an injector for the
@@ -144,18 +202,39 @@ func (j *Injector) InjectOne(rng *rand.Rand) *Result {
 	return j.InjectAt(trigger, rng)
 }
 
-// InjectAt injects at a specific dynamic candidate index.
+// InjectAt injects at a specific dynamic candidate index. When snapshots
+// are armed, the attempt restores the latest snapshot at-or-before the
+// trigger and replays only the residual tail; otherwise it re-executes
+// from instruction zero. Both paths produce byte-identical results under
+// the same rng.
 func (j *Injector) InjectAt(trigger uint64, rng *rand.Rand) *Result {
-	var out bytes.Buffer
-	m := machine.New(j.Prog, j.LayoutImage, j.LayoutBase, &out)
-	m.MaxInstrs = j.GoldenInstrs*HangFactor + 1_000_000
 	injection := &machine.Injection{
 		Candidates:   j.Candidates,
 		TriggerIndex: trigger,
 		Rng:          rng,
 	}
-	m.Inject = injection
-	rc, err := m.Run()
+	var out bytes.Buffer
+	var m *machine.Machine
+	var rc int64
+	var err error
+	if i := j.snapBefore(trigger); i >= 0 {
+		s := j.snaps[i]
+		out.Write(j.GoldenOutput[:s.OutLen])
+		m = machine.NewFromSnapshot(j.Prog, s, &out)
+		m.SetCandCount(j.snapCands[i])
+		m.MaxInstrs = j.GoldenInstrs*HangFactor + 1_000_000
+		m.Inject = injection
+		rc, err = m.Resume()
+		j.stats.Hit(s.Executed, m.Executed()-s.Executed)
+	} else {
+		m = machine.New(j.Prog, j.LayoutImage, j.LayoutBase, &out)
+		m.MaxInstrs = j.GoldenInstrs*HangFactor + 1_000_000
+		m.Inject = injection
+		rc, err = m.Run()
+		if j.snaps != nil {
+			j.stats.Miss(m.Executed())
+		}
+	}
 	res := &Result{Output: out.Bytes(), Exit: rc, Err: err, Injection: injection}
 	res.Outcome = classify(j.GoldenOutput, j.GoldenExit, res, injection.Happened && injection.Activated)
 	return res

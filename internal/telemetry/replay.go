@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// ReplayStats aggregates snapshot-replay counters for a study. Injection
+// attempts update it from many goroutines under RunParallel, so every
+// field is atomic; all methods are additionally nil-receiver safe so the
+// injectors can call them unconditionally.
+type ReplayStats struct {
+	hits           atomic.Uint64
+	misses         atomic.Uint64
+	skippedInstrs  atomic.Uint64
+	replayedInstrs atomic.Uint64
+	cacheBytes     atomic.Uint64
+	cacheEntries   atomic.Uint64
+	evictions      atomic.Uint64
+}
+
+// Hit records one attempt served from a snapshot: skipped instructions
+// were fast-forwarded past, replayed instructions were re-executed.
+func (s *ReplayStats) Hit(skipped, replayed uint64) {
+	if s == nil {
+		return
+	}
+	s.hits.Add(1)
+	s.skippedInstrs.Add(skipped)
+	s.replayedInstrs.Add(replayed)
+}
+
+// Miss records one attempt that ran from instruction zero.
+func (s *ReplayStats) Miss(executed uint64) {
+	if s == nil {
+		return
+	}
+	s.misses.Add(1)
+	s.replayedInstrs.Add(executed)
+}
+
+// SetCacheUsage publishes the snapshot cache's current footprint.
+func (s *ReplayStats) SetCacheUsage(bytes, entries uint64) {
+	if s == nil {
+		return
+	}
+	s.cacheBytes.Store(bytes)
+	s.cacheEntries.Store(entries)
+}
+
+// NoteEviction counts one cache entry dropped under memory pressure.
+func (s *ReplayStats) NoteEviction() {
+	if s == nil {
+		return
+	}
+	s.evictions.Add(1)
+}
+
+// Hits returns the number of snapshot-served attempts.
+func (s *ReplayStats) Hits() uint64 { return s.hits.Load() }
+
+// Misses returns the number of full-run attempts.
+func (s *ReplayStats) Misses() uint64 { return s.misses.Load() }
+
+// SkippedInstrs returns total instructions fast-forwarded past.
+func (s *ReplayStats) SkippedInstrs() uint64 { return s.skippedInstrs.Load() }
+
+// ReplayedInstrs returns total instructions actually executed.
+func (s *ReplayStats) ReplayedInstrs() uint64 { return s.replayedInstrs.Load() }
+
+// CacheBytes returns the last published cache footprint.
+func (s *ReplayStats) CacheBytes() uint64 { return s.cacheBytes.Load() }
+
+// CacheEntries returns the last published cache entry count.
+func (s *ReplayStats) CacheEntries() uint64 { return s.cacheEntries.Load() }
+
+// Evictions returns the number of entries dropped under the budget.
+func (s *ReplayStats) Evictions() uint64 { return s.evictions.Load() }
+
+// Summary renders the one-line human form, or "" when replay never ran.
+func (s *ReplayStats) Summary() string {
+	if s == nil {
+		return ""
+	}
+	hits, misses := s.Hits(), s.Misses()
+	if hits+misses == 0 {
+		return ""
+	}
+	skipped, replayed := s.SkippedInstrs(), s.ReplayedInstrs()
+	frac := 0.0
+	if skipped+replayed > 0 {
+		frac = 100 * float64(skipped) / float64(skipped+replayed)
+	}
+	return fmt.Sprintf("snapshot replay: %d/%d attempts fast-forwarded (%.1f%% of instructions skipped; cache %s in %d snapshots, %d evicted)",
+		hits, hits+misses, frac, fmtBytes(s.CacheBytes()), s.CacheEntries(), s.Evictions())
+}
+
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -84,6 +84,28 @@ type Event struct {
 	Sequential  bool   `json:"sequential,omitempty"`
 	Panic       string `json:"panic,omitempty"`
 	SimFaults   int    `json:"simFaults,omitempty"`
+
+	// Snapshot-replay accounting (study_done, when replay was enabled).
+	ReplayHits         uint64 `json:"replayHits,omitempty"`
+	ReplayMisses       uint64 `json:"replayMisses,omitempty"`
+	SkippedInstrs      uint64 `json:"skippedInstrs,omitempty"`
+	ReplayedInstrs     uint64 `json:"replayedInstrs,omitempty"`
+	SnapshotCacheBytes uint64 `json:"snapshotCacheBytes,omitempty"`
+	SnapshotEvictions  uint64 `json:"snapshotEvictions,omitempty"`
+}
+
+// ReplayFields copies a ReplayStats snapshot into the event (no-op for a
+// nil or never-used stats object, keeping omitempty encodings clean).
+func (e *Event) ReplayFields(s *ReplayStats) {
+	if s == nil || s.Hits()+s.Misses() == 0 {
+		return
+	}
+	e.ReplayHits = s.Hits()
+	e.ReplayMisses = s.Misses()
+	e.SkippedInstrs = s.SkippedInstrs()
+	e.ReplayedInstrs = s.ReplayedInstrs()
+	e.SnapshotCacheBytes = s.CacheBytes()
+	e.SnapshotEvictions = s.Evictions()
 }
 
 // Ms converts a duration to the milliseconds used by Event fields.
@@ -305,6 +327,19 @@ func (a *Aggregator) RenderTelemetry() string {
 			// equals the scheduler's wall-clock speedup over the serial path.
 			fmt.Fprintf(&sb, "  effective concurrency : %.2fx (cell-time/wall)\n", compute/wall)
 		}
+	}
+	a.mu.Lock()
+	done := a.done
+	a.mu.Unlock()
+	if done.ReplayHits+done.ReplayMisses > 0 {
+		total := done.SkippedInstrs + done.ReplayedInstrs
+		frac := 0.0
+		if total > 0 {
+			frac = 100 * float64(done.SkippedInstrs) / float64(total)
+		}
+		fmt.Fprintf(&sb, "  snapshot replay       : %d/%d attempts fast-forwarded (%.1f%% of instructions skipped; cache %s, %d evictions)\n",
+			done.ReplayHits, done.ReplayHits+done.ReplayMisses, frac,
+			fmtBytes(done.SnapshotCacheBytes), done.SnapshotEvictions)
 	}
 	slow := a.SlowestCells(5)
 	if len(slow) > 0 {
