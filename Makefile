@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test bench study calibration examples cover fmt race smoke resume-smoke fuzz-smoke replay-determinism ci
+.PHONY: test bench study calibration examples cover fmt race smoke resume-smoke fuzz-smoke replay-determinism obs-smoke ci
 
 test:
 	go build ./... && go vet ./... && go test ./...
@@ -44,6 +44,33 @@ replay-determinism:
 	cmp .replay-off.txt .replay-stride.txt
 	rm -f .replay-off.txt .replay-on.txt .replay-stride.txt
 
+# Observability smoke + determinism gate: a tiny campaign with the live
+# status endpoint and attempt tracing armed must serve /metrics and
+# /statusz while running, and render byte-identical tables to an
+# unobserved run (mirrors the CI obs-smoke job).
+obs-smoke:
+	go build -o .obs-smoke-bin ./cmd/ficompare
+	./.obs-smoke-bin -experiment all -n 20 -benchmarks bzip2m,mcfm -q > .obs-off.txt
+	./.obs-smoke-bin -experiment all -n 20 -benchmarks bzip2m,mcfm -q \
+		-status 127.0.0.1:8791 -status-linger 5s -trace-attempts 2 > .obs-on.txt 2>/dev/null & \
+	pid=$$!; up=""; \
+	for i in $$(seq 1 150); do \
+		if curl -fs http://127.0.0.1:8791/metrics > .obs-metrics.txt 2>/dev/null; then up=1; break; fi; \
+		sleep 0.2; \
+	done; \
+	test -n "$$up"; \
+	curl -fs http://127.0.0.1:8791/metrics > .obs-metrics.txt; \
+	curl -fs http://127.0.0.1:8791/statusz > .obs-statusz.json; \
+	wait $$pid
+	grep -q '^hlfi_attempts_total ' .obs-metrics.txt
+	grep -q '^hlfi_outcomes_total{outcome="sdc"}' .obs-metrics.txt
+	grep -q '^hlfi_trace_attempts_total ' .obs-metrics.txt
+	grep -q '^hlfi_attempt_seconds_bucket' .obs-metrics.txt
+	grep -q '^hlfi_snapshot_cache_bytes ' .obs-metrics.txt
+	grep -q '"cellsPlanned"' .obs-statusz.json
+	cmp .obs-off.txt .obs-on.txt
+	rm -f .obs-smoke-bin .obs-off.txt .obs-on.txt .obs-metrics.txt .obs-statusz.json
+
 # Fuzz smoke: each native fuzz target for 30s (mirrors the CI job).
 fuzz-smoke:
 	go test -run '^$$' -fuzz '^FuzzMiniCParse$$' -fuzztime 30s ./internal/minic
@@ -63,6 +90,7 @@ ci:
 	$(MAKE) smoke
 	$(MAKE) resume-smoke
 	$(MAKE) replay-determinism
+	$(MAKE) obs-smoke
 	$(MAKE) fuzz-smoke
 
 # All tables/figures + ablations. HLFI_N controls injections per cell.

@@ -33,6 +33,7 @@ import (
 	"hlfi/internal/bench"
 	"hlfi/internal/core"
 	"hlfi/internal/fault"
+	"hlfi/internal/obs"
 	"hlfi/internal/telemetry"
 )
 
@@ -69,6 +70,9 @@ func runCtx(ctx context.Context, args []string) error {
 		snapStride  = fs.Uint64("snapshot-stride", 0, "dynamic instructions between golden-run snapshots (0 = auto); results are byte-identical for any value")
 		snapBudget  = fs.Int64("snapshot-mem-budget", 0, "snapshot cache budget in MiB (0 = 256); least-recently-used programs are evicted over budget")
 		noSnapshots = fs.Bool("no-snapshots", false, "disable snapshot fast-forward replay and re-execute every attempt from instruction zero")
+		status      = fs.String("status", "", "serve live observability on this address (/metrics, /statusz, /debug/pprof/); results are byte-identical with or without it")
+		linger      = fs.Duration("status-linger", 0, "keep the status endpoint serving this long after the study finishes (useful for scraping short runs)")
+		traceAtt    = fs.Int("trace-attempts", 0, "record fault-propagation traces for the first N attempts of every cell as attempt_trace events (results stay byte-identical)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -127,6 +131,25 @@ func runCtx(ctx context.Context, args []string) error {
 		rec = telemetry.Multi(agg, telemetry.NewJSONLSink(f))
 	}
 
+	// Live observability: a metrics registry plus the HTTP endpoint, both
+	// off the stdout path. Everything rendered and checkpointed stays
+	// byte-identical with or without -status.
+	var om *obs.Metrics
+	if *status != "" {
+		om = obs.New()
+		srv, serr := obs.StartServer(*status, om.Registry(), func() any { return agg.Status() })
+		if serr != nil {
+			return serr
+		}
+		fmt.Fprintf(os.Stderr, "status endpoint listening on %s (/metrics /statusz /debug/pprof/)\n", srv.Addr())
+		// LIFO defers: the linger sleep runs before the server closes, so
+		// a short study remains scrapeable for a moment after finishing.
+		defer srv.Close()
+		if *linger > 0 {
+			defer time.Sleep(*linger)
+		}
+	}
+
 	// Snapshot fast-forward replay: on by default, disarmed by
 	// -no-snapshots. Results are byte-identical either way; only speed
 	// and the replay telemetry differ.
@@ -171,7 +194,8 @@ func runCtx(ctx context.Context, args []string) error {
 	cfg := core.StudyConfig{Programs: progs, N: *n, Seed: *seed,
 		Workers: *cellWorkers, Parallel: *parallel, Events: rec,
 		SimFaultLimit: *simFaults, CellDeadline: *deadline,
-		Checkpoint: ckpt, Resume: resumeState, Replay: replay}
+		Checkpoint: ckpt, Resume: resumeState, Replay: replay,
+		Obs: om, TraceAttempts: *traceAtt}
 	if !*quiet {
 		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}

@@ -36,6 +36,8 @@ func run(args []string) error {
 		verbose   = fs.Bool("v", false, "print activation accounting")
 		dumpIR    = fs.Bool("ir", false, "print the optimized IR and exit")
 		events    = fs.String("events", "", "write the campaign telemetry event stream (JSONL) to this file")
+		status    = fs.String("status", "", "serve live observability on this address (/metrics, /statusz, /debug/pprof/)")
+		traceAtt  = fs.Int("trace-attempts", 0, "record fault-propagation traces for the first N attempts as attempt_trace events")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,5 +55,6 @@ func run(args []string) error {
 		return err
 	}
 	return cli.RunCampaign(os.Stdout, prog, fault.LevelIR, cat,
-		cli.CampaignOptions{N: *n, Seed: *seed, Verbose: *verbose, EventsPath: *events})
+		cli.CampaignOptions{N: *n, Seed: *seed, Verbose: *verbose, EventsPath: *events,
+			StatusAddr: *status, TraceAttempts: *traceAtt})
 }

@@ -37,6 +37,8 @@ func run(args []string) error {
 		verbose   = fs.Bool("v", false, "print activation accounting")
 		disasm    = fs.Bool("disasm", false, "print the lowered assembly, marking the category's injection candidates, and exit")
 		events    = fs.String("events", "", "write the campaign telemetry event stream (JSONL) to this file")
+		status    = fs.String("status", "", "serve live observability on this address (/metrics, /statusz, /debug/pprof/)")
+		traceAtt  = fs.Int("trace-attempts", 0, "record fault-propagation traces for the first N attempts as attempt_trace events")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,5 +69,6 @@ func run(args []string) error {
 		return nil
 	}
 	return cli.RunCampaign(os.Stdout, prog, fault.LevelASM, cat,
-		cli.CampaignOptions{N: *n, Seed: *seed, Verbose: *verbose, EventsPath: *events})
+		cli.CampaignOptions{N: *n, Seed: *seed, Verbose: *verbose, EventsPath: *events,
+			StatusAddr: *status, TraceAttempts: *traceAtt})
 }

@@ -11,6 +11,7 @@ import (
 	"hlfi/internal/bench"
 	"hlfi/internal/core"
 	"hlfi/internal/fault"
+	"hlfi/internal/obs"
 	"hlfi/internal/telemetry"
 )
 
@@ -47,6 +48,18 @@ type CampaignOptions struct {
 	// (see core.Campaign).
 	SimFaultLimit int
 	Deadline      time.Duration
+	// StatusAddr, when non-empty, serves live observability (/metrics,
+	// /statusz, /debug/pprof/) on this address for the duration of the
+	// campaign.
+	StatusAddr string
+	// StatusLinger keeps the status endpoint serving this long after the
+	// campaign finishes (so scrapers and smoke tests can read the final
+	// state of a short run).
+	StatusLinger time.Duration
+	// TraceAttempts arms fault-propagation tracing for the first
+	// TraceAttempts attempts; traces are released as attempt_trace
+	// telemetry events.
+	TraceAttempts int
 }
 
 // RunCampaign executes one campaign cell and prints the paper-style
@@ -69,10 +82,28 @@ func RunCampaign(w io.Writer, prog *core.Program, level fault.Level, cat fault.C
 		rec = telemetry.NewJSONLSink(f)
 	}
 
+	var om *obs.Metrics
+	if opts.StatusAddr != "" {
+		om = obs.New()
+		om.CellsPlanned.Set(1)
+		srv, err := obs.StartServer(opts.StatusAddr, om.Registry(), nil)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "status endpoint listening on %s\n", srv.Addr())
+		// LIFO defers: linger (if any) runs before the server closes, so
+		// short campaigns stay scrapeable for a moment after finishing.
+		defer srv.Close()
+		if opts.StatusLinger > 0 {
+			defer time.Sleep(opts.StatusLinger)
+		}
+	}
+
 	var metrics core.CellMetrics
 	c := &core.Campaign{Prog: prog, Level: level, Category: cat,
 		N: opts.N, Seed: opts.Seed, Metrics: &metrics,
-		SimFaultLimit: opts.SimFaultLimit, Deadline: opts.Deadline}
+		SimFaultLimit: opts.SimFaultLimit, Deadline: opts.Deadline,
+		Obs: om, TraceAttempts: opts.TraceAttempts}
 	res, err := c.Run()
 	emitCampaignEvents(rec, c, res, metrics, err)
 	if err != nil {
@@ -109,6 +140,12 @@ func emitCampaignEvents(rec telemetry.Recorder, c *core.Campaign, res *core.Cell
 	}
 	switch {
 	case res != nil:
+		for _, tr := range m.Traces {
+			rec.Record(telemetry.Event{Type: telemetry.EventAttemptTrace,
+				Benchmark: c.Prog.Name, Level: c.Level.String(), Category: c.Category.String(),
+				Attempt: tr.Attempt, Trigger: tr.Trigger,
+				Outcome: tr.Outcome.String(), Spans: tr.Spans})
+		}
 		rate := 0.0
 		if res.Attempts > 0 {
 			rate = float64(res.Activated()) / float64(res.Attempts)

@@ -8,8 +8,10 @@ import (
 
 	"hlfi/internal/fault"
 	"hlfi/internal/llfi"
+	"hlfi/internal/obs"
 	"hlfi/internal/pinfi"
 	"hlfi/internal/stats"
+	"hlfi/internal/telemetry"
 )
 
 // ErrNoCandidates is returned when a (program, level, category) cell has
@@ -61,9 +63,38 @@ type Campaign struct {
 	// *DeadlineError. It complements the instruction-budget hang
 	// detection inside the simulators, which bounds single attempts.
 	Deadline time.Duration
+	// Obs, when non-nil, receives live campaign metrics: attempt and
+	// outcome counters, attempt-latency histograms, and (via the
+	// injectors) replay accounting. Purely observational — attempts,
+	// outcomes, and random streams are identical with or without it.
+	Obs *obs.Metrics
+	// TraceAttempts, when positive, arms fault-propagation tracing for
+	// the first TraceAttempts attempts of the cell. Traced attempts are
+	// byte-identical to untraced ones (the tracer consumes no
+	// randomness); their propagation skeletons land in
+	// CellMetrics.Traces.
+	TraceAttempts int
 	// injectorOverride, when non-nil, replaces the level-derived
 	// injector (test hook for fault-tolerance coverage).
 	injectorOverride func() (func(*rand.Rand) fault.Outcome, uint64, error)
+}
+
+// attemptResult is one injection attempt's outcome plus the optional
+// propagation trace.
+type attemptResult struct {
+	outcome fault.Outcome
+	trigger uint64
+	spans   []telemetry.TraceSpan
+}
+
+// AttemptTrace is the recorded fault-propagation skeleton of one traced
+// attempt: the corrupted dynamic candidate index, the outcome, and the
+// inject/load/store/branch/outcome spans.
+type AttemptTrace struct {
+	Attempt int
+	Trigger uint64
+	Outcome fault.Outcome
+	Spans   []telemetry.TraceSpan
 }
 
 // CellMetrics is the per-cell timing record behind the campaign
@@ -81,11 +112,33 @@ type CellMetrics struct {
 	// attempt order. Like timing it is kept out of CellResult (which
 	// only counts them) so results stay comparable across runs.
 	SimFaults []SimFault
+	// Traces holds the propagation skeletons of traced attempts
+	// (Campaign.TraceAttempts), in attempt order. Like SimFaults it is
+	// kept out of CellResult so results stay comparable across runs.
+	Traces []AttemptTrace
 }
 
-func (c *Campaign) noteMetrics(scan, run time.Duration, workers int, faults []SimFault) {
+func (c *Campaign) noteMetrics(scan, run time.Duration, workers int, faults []SimFault, traces []AttemptTrace) {
 	if c.Metrics != nil {
-		*c.Metrics = CellMetrics{ScanTime: scan, RunTime: run, Workers: workers, SimFaults: faults}
+		*c.Metrics = CellMetrics{ScanTime: scan, RunTime: run, Workers: workers, SimFaults: faults, Traces: traces}
+	}
+}
+
+// noteAttempt feeds one finished attempt into the live metrics.
+func (c *Campaign) noteAttempt(start time.Time, o fault.Outcome, simFault bool) {
+	m := c.Obs
+	if m == nil {
+		return
+	}
+	m.Attempts.Inc()
+	m.AttemptSeconds.Observe(time.Since(start).Seconds())
+	if simFault {
+		m.SimFaults.Inc()
+		return
+	}
+	m.Outcome(o.String()).Inc()
+	if o != fault.OutcomeNotActivated {
+		m.Activated.Inc()
 	}
 }
 
@@ -150,12 +203,19 @@ func (c *CellResult) add(o fault.Outcome) {
 }
 
 // injector builds the level-appropriate injector and returns a draw
-// function (one injection using the supplied rng) plus the dynamic
-// candidate count. The construction cost — the golden profiling run and
-// the candidate scan — is what CellMetrics.ScanTime measures.
-func (c *Campaign) injector() (func(*rand.Rand) fault.Outcome, uint64, error) {
+// function (one injection using the supplied rng, optionally traced)
+// plus the dynamic candidate count. The construction cost — the golden
+// profiling run and the candidate scan — is what CellMetrics.ScanTime
+// measures.
+func (c *Campaign) injector() (func(*rand.Rand, bool) attemptResult, uint64, error) {
 	if c.injectorOverride != nil {
-		return c.injectorOverride()
+		draw, dyn, err := c.injectorOverride()
+		if err != nil {
+			return nil, 0, err
+		}
+		return func(rng *rand.Rand, _ bool) attemptResult {
+			return attemptResult{outcome: draw(rng)}
+		}, dyn, nil
 	}
 	switch c.Level {
 	case fault.LevelIR:
@@ -174,7 +234,16 @@ func (c *Campaign) injector() (func(*rand.Rand) fault.Outcome, uint64, error) {
 				return nil, 0, err
 			}
 		}
-		return func(rng *rand.Rand) fault.Outcome { return inj.InjectOne(rng).Outcome }, inj.DynTotal, nil
+		inj.Obs = c.Obs
+		return func(rng *rand.Rand, traced bool) attemptResult {
+			var r *llfi.Result
+			if traced {
+				r = inj.InjectOneTraced(rng)
+			} else {
+				r = inj.InjectOne(rng)
+			}
+			return attemptResult{outcome: r.Outcome, trigger: r.Trigger, spans: r.Spans}
+		}, inj.DynTotal, nil
 	case fault.LevelASM:
 		inj, err := pinfi.New(c.Prog.Asm, c.Prog.Prep.Layout.Image, c.Prog.Prep.Layout.Base, c.Category)
 		if err != nil {
@@ -185,7 +254,16 @@ func (c *Campaign) injector() (func(*rand.Rand) fault.Outcome, uint64, error) {
 				return nil, 0, err
 			}
 		}
-		return func(rng *rand.Rand) fault.Outcome { return inj.InjectOne(rng).Outcome }, inj.DynTotal, nil
+		inj.Obs = c.Obs
+		return func(rng *rand.Rand, traced bool) attemptResult {
+			var r *pinfi.Result
+			if traced {
+				r = inj.InjectOneTraced(rng)
+			} else {
+				r = inj.InjectOne(rng)
+			}
+			return attemptResult{outcome: r.Outcome, trigger: r.Trigger, spans: r.Spans}
+		}, inj.DynTotal, nil
 	default:
 		return nil, 0, fmt.Errorf("campaign: unknown level %v", c.Level)
 	}
@@ -225,27 +303,42 @@ func (c *Campaign) Run() (*CellResult, error) {
 	scan := time.Since(scanStart)
 	res.DynCandidates = dyn
 	var faults []SimFault
+	var traces []AttemptTrace
 	loopStart := time.Now()
 	for res.Activated() < c.N && res.Attempts < maxAttempts {
 		if c.deadlineExceeded(loopStart) {
-			c.noteMetrics(scan, time.Since(loopStart), 1, faults)
+			c.noteMetrics(scan, time.Since(loopStart), 1, faults, traces)
 			return nil, c.deadlineError(res, time.Since(loopStart))
 		}
 		attempt := res.Attempts
 		res.Attempts++
-		o, sf := c.safeDraw(draw, rng, attempt)
+		var start time.Time
+		if c.Obs != nil {
+			start = time.Now()
+		}
+		ar, sf := c.safeDraw(draw, rng, attempt, attempt < c.TraceAttempts)
+		c.noteAttempt(start, ar.outcome, sf != nil)
 		if sf != nil {
 			res.SimFaults++
 			faults = append(faults, *sf)
 			if !tolerates(c.SimFaultLimit, res.SimFaults) {
-				c.noteMetrics(scan, time.Since(loopStart), 1, faults)
+				c.noteMetrics(scan, time.Since(loopStart), 1, faults, traces)
 				return nil, &SimFaultError{Fault: *sf, Limit: c.SimFaultLimit}
 			}
 			continue
 		}
-		res.add(o)
+		if len(ar.spans) > 0 {
+			traces = append(traces, AttemptTrace{
+				Attempt: attempt, Trigger: ar.trigger, Outcome: ar.outcome, Spans: ar.spans,
+			})
+			if c.Obs != nil {
+				c.Obs.TraceAttempts.Inc()
+				c.Obs.TraceSpans.Add(uint64(len(ar.spans)))
+			}
+		}
+		res.add(ar.outcome)
 	}
-	c.noteMetrics(scan, time.Since(loopStart), 1, faults)
+	c.noteMetrics(scan, time.Since(loopStart), 1, faults, traces)
 	if res.Activated() == 0 {
 		return nil, fmt.Errorf("campaign %s/%s/%s: %w in %d attempts",
 			c.Prog.Name, c.Level, c.Category, ErrNotActivated, res.Attempts)
@@ -256,14 +349,14 @@ func (c *Campaign) Run() (*CellResult, error) {
 // safeDraw runs one injection attempt of the sequential stream behind a
 // recovery boundary: an unexpected simulator panic is converted into a
 // SimFault record instead of taking down the process.
-func (c *Campaign) safeDraw(draw func(*rand.Rand) fault.Outcome, rng *rand.Rand, attempt int) (o fault.Outcome, sf *SimFault) {
+func (c *Campaign) safeDraw(draw func(*rand.Rand, bool) attemptResult, rng *rand.Rand, attempt int, traced bool) (ar attemptResult, sf *SimFault) {
 	defer func() {
 		if r := recover(); r != nil {
 			f := c.simFault(attempt, c.Seed, true, r)
 			sf = &f
 		}
 	}()
-	return draw(rng), nil
+	return draw(rng, traced), nil
 }
 
 // DynCount reports a program's dynamic candidate count for a category at

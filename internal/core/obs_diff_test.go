@@ -1,0 +1,284 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"hlfi/internal/bench"
+	"hlfi/internal/core"
+	"hlfi/internal/fault"
+	"hlfi/internal/obs"
+	"hlfi/internal/telemetry"
+)
+
+// TestObservabilityDifferentialOracle is the zero-cost gate for the
+// observability layer: a study run with live metrics and attempt tracing
+// armed must produce byte-identical rendered reports AND byte-identical
+// checkpoint files compared to the same study with observability off,
+// sequentially and under the parallel scheduler. The tracers consume no
+// randomness and the metrics registry sits entirely off the result path,
+// so any divergence here is a bug in the instrumentation.
+func TestObservabilityDifferentialOracle(t *testing.T) {
+	progs := buildSome(t, "quantumm", "mcfm")
+	dir := t.TempDir()
+
+	run := func(name string, om *obs.Metrics, trace, parallel int) (*core.Study, []byte) {
+		path := filepath.Join(dir, name+".ckpt")
+		ckpt, err := core.NewCheckpointWriter(path, 10, 3, (*core.ReplayConfig)(nil).Signature())
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := core.RunStudy(core.StudyConfig{
+			Programs: progs, N: 10, Seed: 3,
+			Parallel: parallel, Checkpoint: ckpt,
+			Obs: om, TraceAttempts: trace,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ckpt.Close(); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, raw
+	}
+
+	baseline, baseCkpt := run("baseline", nil, 0, 1)
+
+	om := obs.New()
+	observed, obsCkpt := run("observed", om, 4, 1)
+	sameStudy(t, "observed-sequential", baseline, observed)
+	if string(obsCkpt) != string(baseCkpt) {
+		t.Error("checkpoint bytes diverged with observability enabled (sequential)")
+	}
+
+	// Parallel checkpoints record cells at completion time by design
+	// (durability never waits for a slow earlier cell), so their line
+	// order is scheduling-dependent; the content must still match the
+	// sequential baseline line-for-line once order is factored out.
+	pom := obs.New()
+	pobserved, pobsCkpt := run("observed-parallel", pom, 4, 3)
+	sameStudy(t, "observed-parallel", baseline, pobserved)
+	if got, want := sortedLines(pobsCkpt), sortedLines(baseCkpt); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("checkpoint content diverged with observability enabled (parallel):\n  want %q\n  got  %q", want, got)
+	}
+
+	// The registry must have actually observed the run it rode along on.
+	for _, m := range []*obs.Metrics{om, pom} {
+		if m.Attempts.Value() == 0 {
+			t.Error("attempts counter never incremented")
+		}
+		if m.TraceAttempts.Value() == 0 {
+			t.Error("trace-attempts counter never incremented")
+		}
+		if m.CellsDone.Value() != uint64(len(baseline.Cells)) {
+			t.Errorf("cells-done gauge = %d, want %d", m.CellsDone.Value(), len(baseline.Cells))
+		}
+		if m.CellsInFlight.Value() != 0 {
+			t.Errorf("cells-in-flight gauge = %d after the study, want 0", m.CellsInFlight.Value())
+		}
+	}
+}
+
+// TestTracingAddsOnlyTraceEvents checks the event-stream contract of
+// -trace-attempts: the sequence of non-trace events is unchanged, and
+// every attempt_trace event is well-formed — it starts at the injection
+// site, ends on an outcome edge, and names an outcome consistent with
+// the cell's accounting.
+func TestTracingAddsOnlyTraceEvents(t *testing.T) {
+	progs := buildSome(t, "quantumm")
+	run := func(trace int) *captureRecorder {
+		cap := &captureRecorder{}
+		_, err := core.RunStudy(core.StudyConfig{
+			Programs: progs, N: 8, Seed: 7, Events: cap,
+			Categories:    []fault.Category{fault.CatAll},
+			TraceAttempts: trace,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cap
+	}
+
+	plain, traced := run(0), run(5)
+	if got, want := types(traced.events, false), types(plain.events, true); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("non-trace event sequence changed:\n  without tracing: %v\n  with tracing:    %v", want, got)
+	}
+
+	var seen int
+	for _, e := range traced.events {
+		if e.Type != telemetry.EventAttemptTrace {
+			continue
+		}
+		seen++
+		if len(e.Spans) == 0 {
+			t.Fatalf("attempt_trace %d has no spans", e.Attempt)
+		}
+		if e.Spans[0].Kind != "inject" {
+			t.Errorf("trace %d starts with %q, want inject", e.Attempt, e.Spans[0].Kind)
+		}
+		last := e.Spans[len(e.Spans)-1]
+		if last.Kind != "outcome" || last.Site != e.Outcome {
+			t.Errorf("trace %d ends with %q/%q, want outcome/%q", e.Attempt, last.Kind, last.Site, e.Outcome)
+		}
+	}
+	if seen == 0 {
+		t.Fatal("tracing armed but no attempt_trace events recorded")
+	}
+	if plainTraces := types(plain.events, false); len(plainTraces) != len(types(plain.events, true)) {
+		t.Error("attempt_trace events recorded with tracing disabled")
+	}
+}
+
+// TestStudyAbortFlushesEventStream is the regression test for the
+// abort-path durability fix: an aborting study must flush its telemetry
+// sinks immediately before emitting study_abort (so the buffered tail of
+// the stream survives a process that exits right after) and once more
+// after it (so the abort marker itself does).
+func TestStudyAbortFlushesEventStream(t *testing.T) {
+	p, err := core.BuildProgram("tiny.c", `
+int main() {
+    int s = 0;
+    for (int i = 0; i < 8; i++) s += i * i;
+    print_int(s);
+    print_str("\n");
+    return 0;
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	log := &flushLog{}
+	_, err = core.RunStudyContext(ctx, core.StudyConfig{
+		Programs:   []*core.Program{p},
+		N:          5,
+		Seed:       2,
+		Categories: []fault.Category{fault.CatAll},
+		Events:     log,
+	})
+	if !errors.Is(err, core.ErrAborted) {
+		t.Fatalf("cancelled study returned %v, want ErrAborted", err)
+	}
+	abortAt := -1
+	for i, op := range log.ops {
+		if op == "record:"+telemetry.EventStudyAbort {
+			abortAt = i
+		}
+	}
+	if abortAt < 0 {
+		t.Fatal("no study_abort recorded")
+	}
+	if abortAt == 0 || log.ops[abortAt-1] != "flush" {
+		t.Errorf("no flush immediately before study_abort; ops = %v", log.ops)
+	}
+	if abortAt == len(log.ops)-1 || log.ops[abortAt+1] != "flush" {
+		t.Errorf("no flush after study_abort; ops = %v", log.ops)
+	}
+}
+
+// TestSnapshotCacheGaugePostEviction drives a shared snapshot cache over
+// budget across two (program, level) entries and checks the usage gauges
+// publish the post-eviction footprint — the surviving entry's bytes
+// alone, in both the ReplayStats gauge and the live metrics registry.
+func TestSnapshotCacheGaugePostEviction(t *testing.T) {
+	p := buildSome(t, "quantumm")[0]
+	runCell := func(level fault.Level, rc *core.ReplayConfig) {
+		c := &core.Campaign{
+			Prog: p, Level: level, Category: fault.CatAll,
+			N: 5, Seed: 9, Replay: rc,
+		}
+		if _, err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	footprint := func(level fault.Level) uint64 {
+		stats := &telemetry.ReplayStats{}
+		runCell(level, &core.ReplayConfig{MemBudget: 1, Stats: stats})
+		return stats.CacheBytes()
+	}
+	asmOnly := footprint(fault.LevelASM)
+
+	stats := &telemetry.ReplayStats{}
+	om := obs.New()
+	shared := &core.ReplayConfig{MemBudget: 1, Stats: stats, Obs: om}
+	runCell(fault.LevelIR, shared)
+	irBytes := stats.CacheBytes()
+	runCell(fault.LevelASM, shared)
+
+	if stats.Evictions() == 0 {
+		t.Fatal("over-budget cache never evicted")
+	}
+	if got := stats.CacheBytes(); got != asmOnly {
+		t.Errorf("post-eviction gauge = %d bytes, want the surviving entry's %d (pre-eviction footprint was %d+%d)",
+			got, asmOnly, irBytes, asmOnly)
+	}
+	if got := uint64(om.SnapshotCacheBytes.Value()); got != asmOnly {
+		t.Errorf("obs cache-bytes gauge = %d, want %d", got, asmOnly)
+	}
+	if om.SnapshotEvictions.Value() != stats.Evictions() {
+		t.Errorf("obs evictions = %d, stats evictions = %d", om.SnapshotEvictions.Value(), stats.Evictions())
+	}
+}
+
+func buildSome(t *testing.T, names ...string) []*core.Program {
+	t.Helper()
+	var progs []*core.Program
+	for _, name := range names {
+		p, err := bench.Build(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		progs = append(progs, p)
+	}
+	return progs
+}
+
+func sortedLines(raw []byte) []string {
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	sort.Strings(lines)
+	return lines
+}
+
+// types lists the event-type sequence; withTraces=false drops
+// attempt_trace events first.
+func types(events []telemetry.Event, withTraces bool) []string {
+	var out []string
+	for _, e := range events {
+		if !withTraces && e.Type == telemetry.EventAttemptTrace {
+			continue
+		}
+		out = append(out, e.Type)
+	}
+	return out
+}
+
+// flushLog records the interleaving of Record and Flush calls.
+type flushLog struct {
+	mu  sync.Mutex
+	ops []string
+}
+
+func (l *flushLog) Record(e telemetry.Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ops = append(l.ops, "record:"+e.Type)
+}
+
+func (l *flushLog) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ops = append(l.ops, "flush")
+	return nil
+}

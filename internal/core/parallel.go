@@ -5,8 +5,6 @@ import (
 	"math/rand"
 	"sync"
 	"time"
-
-	"hlfi/internal/fault"
 )
 
 // RunParallel executes the campaign across the given number of workers.
@@ -39,7 +37,10 @@ func (c *Campaign) RunParallel(workers int) (*CellResult, error) {
 	scan := time.Since(scanStart)
 
 	res := &CellResult{Prog: c.Prog.Name, Level: c.Level, Category: c.Category, DynCandidates: dyn}
-	outcomes := make([]fault.Outcome, maxAttempts)
+	// Each goroutine writes only its own index, so attempt results (and
+	// the traces riding inside them) need no locking; the counting loop
+	// reads them after wg.Wait.
+	outcomes := make([]attemptResult, maxAttempts)
 
 	// Contained panics are recorded per attempt index and replayed into
 	// the result in prefix order, so the policy decision (which sim
@@ -50,6 +51,7 @@ func (c *Campaign) RunParallel(workers int) (*CellResult, error) {
 		perIdx  = map[int]SimFault{}
 	)
 	var faults []SimFault
+	var traces []AttemptTrace
 
 	// Waves of parallel attempts; counting the deterministic per-index
 	// outcomes in prefix order keeps the activated-N stopping rule exact.
@@ -59,7 +61,7 @@ func (c *Campaign) RunParallel(workers int) (*CellResult, error) {
 	counted := 0
 	for res.Activated() < c.N && counted < maxAttempts {
 		if c.deadlineExceeded(loopStart) {
-			c.noteMetrics(scan, time.Since(loopStart), workers, faults)
+			c.noteMetrics(scan, time.Since(loopStart), workers, faults, traces)
 			return nil, c.deadlineError(res, time.Since(loopStart))
 		}
 		hi := next + wave
@@ -75,13 +77,21 @@ func (c *Campaign) RunParallel(workers int) (*CellResult, error) {
 			go func() {
 				defer wg.Done()
 				defer func() { <-sem }()
-				o, sf := c.safeAttempt(attempt, k)
+				var start time.Time
+				if c.Obs != nil {
+					start = time.Now()
+				}
+				ar, sf := c.safeAttempt(attempt, k)
+				// Live metrics count work actually performed, so attempts
+				// past the stopping prefix still register (the instruments
+				// are atomic; values are never part of study results).
+				c.noteAttempt(start, ar.outcome, sf != nil)
 				if sf != nil {
 					faultMu.Lock()
 					perIdx[k] = *sf
 					faultMu.Unlock()
 				}
-				outcomes[k] = o
+				outcomes[k] = ar
 			}()
 		}
 		wg.Wait()
@@ -90,20 +100,32 @@ func (c *Campaign) RunParallel(workers int) (*CellResult, error) {
 			k := counted
 			res.Attempts++
 			counted++
-			if outcomes[k] == 0 {
+			if outcomes[k].outcome == 0 {
 				sf := perIdx[k]
 				res.SimFaults++
 				faults = append(faults, sf)
 				if !tolerates(c.SimFaultLimit, res.SimFaults) {
-					c.noteMetrics(scan, time.Since(loopStart), workers, faults)
+					c.noteMetrics(scan, time.Since(loopStart), workers, faults, traces)
 					return nil, &SimFaultError{Fault: sf, Limit: c.SimFaultLimit}
 				}
 				continue
 			}
-			res.add(outcomes[k])
+			// Only counted attempts contribute traces, in attempt order, so
+			// the trace set is deterministic regardless of scheduling.
+			if len(outcomes[k].spans) > 0 {
+				traces = append(traces, AttemptTrace{
+					Attempt: k, Trigger: outcomes[k].trigger,
+					Outcome: outcomes[k].outcome, Spans: outcomes[k].spans,
+				})
+				if c.Obs != nil {
+					c.Obs.TraceAttempts.Inc()
+					c.Obs.TraceSpans.Add(uint64(len(outcomes[k].spans)))
+				}
+			}
+			res.add(outcomes[k].outcome)
 		}
 	}
-	c.noteMetrics(scan, time.Since(loopStart), workers, faults)
+	c.noteMetrics(scan, time.Since(loopStart), workers, faults, traces)
 	if res.Activated() == 0 {
 		return nil, fmt.Errorf("campaign %s/%s/%s: %w in %d attempts",
 			c.Prog.Name, c.Level, c.Category, ErrNotActivated, res.Attempts)
@@ -115,12 +137,12 @@ func (c *Campaign) RunParallel(workers int) (*CellResult, error) {
 // boundary. Today an attempt goroutine's panic kills the whole process;
 // here it becomes a SimFault carrying the attempt's own seed, which
 // reproduces the panic deterministically.
-func (c *Campaign) safeAttempt(attempt func(k int) fault.Outcome, k int) (o fault.Outcome, sf *SimFault) {
+func (c *Campaign) safeAttempt(attempt func(k int) attemptResult, k int) (ar attemptResult, sf *SimFault) {
 	defer func() {
 		if r := recover(); r != nil {
 			f := c.simFault(k, attemptSeed(c.Seed, k), false, r)
 			sf = &f
-			o = 0
+			ar = attemptResult{}
 		}
 	}()
 	return attempt(k), nil
@@ -128,14 +150,15 @@ func (c *Campaign) safeAttempt(attempt func(k int) fault.Outcome, k int) (o faul
 
 // attemptFunc builds the per-attempt closure (an independent random
 // stream per attempt index) and reports the dynamic candidate count.
-func (c *Campaign) attemptFunc() (func(k int) fault.Outcome, uint64, error) {
+// Attempts below TraceAttempts run traced.
+func (c *Campaign) attemptFunc() (func(k int) attemptResult, uint64, error) {
 	draw, dyn, err := c.injector()
 	if err != nil {
 		return nil, 0, err
 	}
-	return func(k int) fault.Outcome {
+	return func(k int) attemptResult {
 		rng := rand.New(rand.NewSource(attemptSeed(c.Seed, k)))
-		return draw(rng)
+		return draw(rng, k < c.TraceAttempts)
 	}, dyn, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"hlfi/internal/interp"
 	"hlfi/internal/llfi"
 	"hlfi/internal/machine"
+	"hlfi/internal/obs"
 	"hlfi/internal/pinfi"
 	"hlfi/internal/telemetry"
 )
@@ -45,6 +46,9 @@ type ReplayConfig struct {
 	MemBudget uint64
 	// Stats, when non-nil, receives hit/miss/cache accounting.
 	Stats *telemetry.ReplayStats
+	// Obs, when non-nil, mirrors the cache accounting into the live
+	// metrics registry (cache bytes/snapshot gauges, eviction counter).
+	Obs *obs.Metrics
 
 	once  sync.Once
 	cache *snapshotCache
@@ -84,6 +88,7 @@ func (rc *ReplayConfig) ensure() *snapshotCache {
 			budget:  rc.memBudget(),
 			entries: make(map[snapKey]*snapEntry),
 			stats:   rc.Stats,
+			obs:     rc.Obs,
 		}
 	})
 	return rc.cache
@@ -141,6 +146,7 @@ type snapshotCache struct {
 	entries map[snapKey]*snapEntry
 	tick    uint64
 	stats   *telemetry.ReplayStats
+	obs     *obs.Metrics
 }
 
 // lookup returns (entry, true) to wait on, or a fresh unready entry the
@@ -166,6 +172,7 @@ func (sc *snapshotCache) irSnaps(p *Program, stride uint64) ([]*interp.Snapshot,
 		return e.ir, e.err
 	}
 	snaps, err := llfi.CaptureSnapshots(p.Prep, stride)
+	var b uint64
 	if err == nil {
 		// Thin an over-budget entry before publishing: dropping every
 		// other snapshot halves the accounted bytes while keeping
@@ -173,11 +180,14 @@ func (sc *snapshotCache) irSnaps(p *Program, stride uint64) ([]*interp.Snapshot,
 		for irBytes(snaps) > sc.budget && len(snaps) > 1 {
 			snaps = thin(snaps)
 		}
-		e.ir, e.bytes = snaps, irBytes(snaps)
+		b = irBytes(snaps)
 	}
-	e.err = err
-	close(e.ready)
-	sc.admit(k)
+	sc.seal(k, e, func() {
+		if err == nil {
+			e.ir, e.bytes = snaps, b
+		}
+		e.err = err
+	})
 	return e.ir, e.err
 }
 
@@ -189,24 +199,36 @@ func (sc *snapshotCache) asmSnaps(p *Program, stride uint64) ([]*machine.Snapsho
 		return e.asm, e.err
 	}
 	snaps, err := pinfi.CaptureSnapshots(p.Asm, p.Prep.Layout.Image, p.Prep.Layout.Base, stride)
+	var b uint64
 	if err == nil {
 		for asmBytes(snaps) > sc.budget && len(snaps) > 1 {
 			snaps = thin(snaps)
 		}
-		e.asm, e.bytes = snaps, asmBytes(snaps)
+		b = asmBytes(snaps)
 	}
-	e.err = err
-	close(e.ready)
-	sc.admit(k)
+	sc.seal(k, e, func() {
+		if err == nil {
+			e.asm, e.bytes = snaps, b
+		}
+		e.err = err
+	})
 	return e.asm, e.err
 }
 
-// admit enforces the memory budget after a build: least-recently-used
-// ready entries other than the newcomer are evicted until the accounted
-// total fits (or nothing evictable remains).
-func (sc *snapshotCache) admit(k snapKey) {
+// seal finalizes a freshly built entry and enforces the memory budget in
+// one critical section: publish fills the entry's payload fields, the
+// ready channel is closed, least-recently-used ready entries other than
+// the newcomer are evicted until the accounted total fits, and the
+// post-eviction usage is published to the stats gauge. Filling the entry
+// under sc.mu matters: concurrent builders of other keys scan every
+// entry's payload while holding the lock (totalLocked,
+// publishUsageLocked), and the gauge must never surface a pre-eviction
+// footprint after an eviction pass.
+func (sc *snapshotCache) seal(k snapKey, e *snapEntry, publish func()) {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
+	publish()
+	close(e.ready)
 	for sc.totalLocked() > sc.budget {
 		victim, vkey := sc.lruLocked(k)
 		if victim == nil {
@@ -214,6 +236,9 @@ func (sc *snapshotCache) admit(k snapKey) {
 		}
 		delete(sc.entries, vkey)
 		sc.stats.NoteEviction()
+		if sc.obs != nil {
+			sc.obs.SnapshotEvictions.Inc()
+		}
 	}
 	sc.publishUsageLocked()
 }
@@ -253,6 +278,10 @@ func (sc *snapshotCache) publishUsageLocked() {
 		count += uint64(len(e.ir) + len(e.asm))
 	}
 	sc.stats.SetCacheUsage(bytes, count)
+	if sc.obs != nil {
+		sc.obs.SnapshotCacheBytes.SetUint64(bytes)
+		sc.obs.SnapshotCacheSnapshots.SetUint64(count)
+	}
 }
 
 func irBytes(snaps []*interp.Snapshot) uint64 {

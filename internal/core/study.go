@@ -9,6 +9,7 @@ import (
 
 	"hlfi/internal/fault"
 	"hlfi/internal/llfi"
+	"hlfi/internal/obs"
 	"hlfi/internal/pinfi"
 	"hlfi/internal/sched"
 	"hlfi/internal/telemetry"
@@ -82,6 +83,16 @@ type StudyConfig struct {
 	// reports are byte-identical with or without it; only timing and the
 	// replay telemetry differ.
 	Replay *ReplayConfig
+	// Obs, when non-nil, receives live study metrics (attempt counters,
+	// outcome counters, cell progress gauges, latency histograms).
+	// Purely observational: results, progress lines, telemetry events,
+	// and checkpoints are byte-identical with or without it.
+	Obs *obs.Metrics
+	// TraceAttempts, when positive, arms fault-propagation tracing for
+	// the first TraceAttempts attempts of every cell; each traced
+	// attempt is released as an attempt_trace telemetry event. Tracing
+	// never changes outcomes or random streams.
+	TraceAttempts int
 }
 
 // ErrAborted is returned (wrapping the context error) by RunStudyContext
@@ -167,6 +178,12 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 		N:    cfg.N, Seed: cfg.Seed, Cells: len(specs),
 		Parallel: parallel, Workers: perCell,
 	})
+	if cfg.Obs != nil {
+		cfg.Obs.CellsPlanned.Set(int64(len(specs)))
+		if cfg.Replay != nil {
+			cfg.Replay.Obs = cfg.Obs
+		}
+	}
 	start := time.Now()
 
 	results := make([]*CellResult, len(specs))
@@ -205,13 +222,25 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 		if cfg.Resume != nil {
 			if res, ok := cfg.Resume.Cells[key]; ok {
 				results[i], resumed[i] = res, true
-				tasks[i] = func(context.Context) error { finish(i); return nil }
+				tasks[i] = func(context.Context) error {
+					if cfg.Obs != nil {
+						cfg.Obs.CellsResumed.Inc()
+					}
+					finish(i)
+					return nil
+				}
 				continue
 			}
 			if skip, ok := cfg.Resume.Skips[key]; ok {
 				skip := skip
 				resumedSkips[i], resumed[i] = &skip, true
-				tasks[i] = func(context.Context) error { finish(i); return nil }
+				tasks[i] = func(context.Context) error {
+					if cfg.Obs != nil {
+						cfg.Obs.CellsResumed.Inc()
+					}
+					finish(i)
+					return nil
+				}
 				continue
 			}
 		}
@@ -227,6 +256,8 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 				SimFaultLimit: cfg.SimFaultLimit,
 				Deadline:      cfg.CellDeadline,
 				Replay:        cfg.Replay,
+				Obs:           cfg.Obs,
+				TraceAttempts: cfg.TraceAttempts,
 			}
 			if testCampaignHook != nil {
 				testCampaignHook(c)
@@ -238,20 +269,33 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 			} else {
 				res, err = c.Run()
 			}
+			if cfg.Obs != nil {
+				cfg.Obs.CellSeconds.Observe((metrics[i].ScanTime + metrics[i].RunTime).Seconds())
+			}
 			if err != nil {
 				cellErrs[i] = err
 				if isSoftSkip(err) {
+					if cfg.Obs != nil {
+						cfg.Obs.CellsSkipped.Inc()
+					}
 					_ = cfg.Checkpoint.Skip(key, err)
 					return nil // soft skip: the study keeps going
 				}
 				return err // hard error: cancels the pool
 			}
 			results[i] = res
+			if cfg.Obs != nil {
+				cfg.Obs.CellsDone.Inc()
+			}
 			_ = cfg.Checkpoint.Cell(key, res)
 			return nil
 		}
 	}
-	if err := sched.Run(ctx, parallel, tasks); err != nil {
+	var observer sched.Observer
+	if cfg.Obs != nil {
+		observer = gaugeObserver{g: cfg.Obs.CellsInFlight}
+	}
+	if err := sched.RunObserved(ctx, parallel, tasks, observer); err != nil {
 		// Report the first hard error in canonical cell order.
 		for i, cerr := range cellErrs {
 			if cerr != nil && !isSoftSkip(cerr) {
@@ -260,8 +304,13 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 		}
 		// No task failed: the caller's context was cancelled. Harvest
 		// everything that completed (the checkpoint already holds it),
-		// announce the abort, and hand back the partial study.
+		// announce the abort, and hand back the partial study. The event
+		// stream is flushed before and after the abort event: an aborting
+		// process is the one most likely to exit without closing its
+		// sinks, so both the buffered tail and the abort marker itself
+		// must reach stable storage here.
 		attempts, activated := harvest(st, specs, results)
+		_ = telemetry.Flush(cfg.Events)
 		ev := telemetry.Event{
 			Type:       telemetry.EventStudyAbort,
 			Cells:      len(st.Cells),
@@ -274,6 +323,7 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 			ev.ReplayFields(cfg.Replay.Stats)
 		}
 		emit(cfg.Events, ev)
+		_ = telemetry.Flush(cfg.Events)
 		return st, fmt.Errorf("%w: %v", ErrAborted, err)
 	}
 
@@ -348,6 +398,17 @@ func noteCell(cfg StudyConfig, s cellSpec, res *CellResult, m CellMetrics, err e
 				Panic: sf.Panic,
 			})
 		}
+		// Traced attempts are released here, through the same reorder
+		// buffer as every other event, so attempt_trace order is
+		// deterministic under any scheduling.
+		for _, tr := range m.Traces {
+			emit(cfg.Events, telemetry.Event{
+				Type:      telemetry.EventAttemptTrace,
+				Benchmark: s.prog.Name, Level: s.level.String(), Category: s.cat.String(),
+				Attempt: tr.Attempt, Trigger: tr.Trigger,
+				Outcome: tr.Outcome.String(), Spans: tr.Spans,
+			})
+		}
 		emit(cfg.Events, telemetry.Event{
 			Type:      telemetry.EventCellDone,
 			Benchmark: s.prog.Name, Level: s.level.String(), Category: s.cat.String(),
@@ -416,6 +477,13 @@ func emit(r telemetry.Recorder, e telemetry.Event) {
 		r.Record(e)
 	}
 }
+
+// gaugeObserver mirrors the scheduler's task lifecycle into the
+// cells-in-flight gauge.
+type gaugeObserver struct{ g *obs.Gauge }
+
+func (o gaugeObserver) TaskStarted(int)  { o.g.Inc() }
+func (o gaugeObserver) TaskFinished(int) { o.g.Dec() }
 
 // profileProgram fills Dyn for every (level, category) of one program
 // using a single profiling run per level.

@@ -357,6 +357,9 @@ func (r *Runner) loop() (int64, error) {
 				return 0, err
 			}
 			r.count(in)
+			if r.Trace != nil {
+				r.Trace.noteBranch(in, r.executed)
+			}
 			taken := in.Blocks[1]
 			if c&1 != 0 {
 				taken = in.Blocks[0]
@@ -466,7 +469,7 @@ func (r *Runner) retire(fr *frame, in *ir.Instr, v uint64) (uint64, error) {
 	// old taint unless an operand re-taints it. The injection (if it
 	// fires here) then marks this very result as the taint root.
 	if r.Trace != nil {
-		r.Trace.propagate(in, v)
+		r.Trace.propagate(in, v, r.executed)
 	}
 	if inj := r.Inject; inj != nil && !inj.Happened && inj.Candidates[in.Seq] {
 		if inj.TriggerIndex == r.candCount {
@@ -492,7 +495,7 @@ func (r *Runner) fireInjection(fr *frame, in *ir.Instr, v uint64) uint64 {
 	r.watchFrame = fr
 	r.watchInstr = in
 	if r.Trace != nil {
-		r.Trace.markRoot(fr, in)
+		r.Trace.markRoot(fr, in, r.executed)
 	}
 	return nv
 }
@@ -681,7 +684,7 @@ func (r *Runner) execInstr(fr *frame, in *ir.Instr, fp *framePlan) error {
 		}
 		r.count(in)
 		if r.Trace != nil {
-			r.Trace.noteStore(in.Args[0], ptr)
+			r.Trace.noteStore(in.Args[0], ptr, r.executed)
 		}
 		return r.mem.Write(ptr, in.Args[0].Type().Size(), v)
 	}

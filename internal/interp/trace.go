@@ -21,14 +21,32 @@ type Tracer struct {
 	// Events is the propagation log in execution order.
 	Events []TraceEvent
 
+	// Spans is the bounded skeleton of the attempt's fault propagation:
+	// the inject site, then the first tainted load, store, and branch
+	// (at most one span of each kind). The outcome edge is appended by
+	// the caller after classification, so a full attempt trace never
+	// exceeds five spans.
+	Spans []Span
+
 	taintedVals map[*ir.Instr]bool
 	taintedMem  map[uint64]bool // 8-byte granules
+
+	seenLoad, seenStore, seenBranch bool
 
 	// lastLoadAddr is the resolved address of the load about to retire,
 	// posted by the runner (operands alone cannot resolve global
 	// addresses).
 	lastLoadAddr    uint64
 	lastLoadAddrSet bool
+}
+
+// Span is one edge of the propagation skeleton. Kind is "inject",
+// "load", "store", or "branch"; Site identifies the static instruction;
+// At is the dynamic instruction index at which the edge was observed.
+type Span struct {
+	Kind string
+	Site string
+	At   uint64
 }
 
 // TraceEvent is one step of fault propagation.
@@ -50,13 +68,14 @@ func NewTracer(maxEvents int) *Tracer {
 	}
 }
 
-func (t *Tracer) markRoot(_ *frame, in *ir.Instr) {
+func (t *Tracer) markRoot(_ *frame, in *ir.Instr, at uint64) {
 	t.taintedVals[in] = true
 	t.record(in, 0, "injection")
+	t.Spans = append(t.Spans, Span{Kind: "inject", Site: site(in), At: at})
 }
 
 // propagate is called as each value-producing instruction retires.
-func (t *Tracer) propagate(in *ir.Instr, v uint64) {
+func (t *Tracer) propagate(in *ir.Instr, v uint64, at uint64) {
 	if t.taintedVals[in] {
 		// Re-execution of an already-tainted static instruction: its new
 		// result overwrites the taint unless an operand keeps it tainted.
@@ -81,14 +100,46 @@ func (t *Tracer) propagate(in *ir.Instr, v uint64) {
 	}
 	t.taintedVals[in] = true
 	t.record(in, v, via)
+	if in.Op == ir.OpLoad && !t.seenLoad {
+		t.seenLoad = true
+		t.Spans = append(t.Spans, Span{Kind: "load", Site: site(in), At: at})
+	}
 }
 
 // noteStore lets the runner inform the tracer about stores of tainted
 // values. Called from the store path when tracing is enabled.
-func (t *Tracer) noteStore(valSrc ir.Value, addr uint64) {
-	if vi, ok := valSrc.(*ir.Instr); ok && t.taintedVals[vi] {
-		t.taintedMem[addr&^7] = true
+func (t *Tracer) noteStore(valSrc ir.Value, addr uint64, at uint64) {
+	vi, ok := valSrc.(*ir.Instr)
+	if !ok || !t.taintedVals[vi] {
+		return
 	}
+	t.taintedMem[addr&^7] = true
+	if !t.seenStore {
+		t.seenStore = true
+		t.Spans = append(t.Spans, Span{Kind: "store", Site: site(vi), At: at})
+	}
+}
+
+// noteBranch records the first conditional branch whose condition is a
+// tainted value — the point where the fault starts steering control
+// flow.
+func (t *Tracer) noteBranch(in *ir.Instr, at uint64) {
+	if t.seenBranch || len(in.Args) == 0 {
+		return
+	}
+	if ci, ok := in.Args[0].(*ir.Instr); ok && t.taintedVals[ci] {
+		t.seenBranch = true
+		t.Spans = append(t.Spans, Span{Kind: "branch", Site: site(in), At: at})
+	}
+}
+
+// site identifies a static instruction for span display.
+func site(in *ir.Instr) string {
+	fn := ""
+	if in.Parent != nil && in.Parent.Parent != nil {
+		fn = in.Parent.Parent.Name
+	}
+	return fmt.Sprintf("@%s %s", fn, in.String())
 }
 
 // noteLoadAddr posts the resolved address of the load about to retire.

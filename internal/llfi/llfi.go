@@ -13,6 +13,7 @@ import (
 	"hlfi/internal/fault"
 	"hlfi/internal/interp"
 	"hlfi/internal/ir"
+	"hlfi/internal/obs"
 	"hlfi/internal/telemetry"
 )
 
@@ -136,6 +137,11 @@ type Injector struct {
 	snaps     []*interp.Snapshot
 	snapCands []uint64
 	stats     *telemetry.ReplayStats
+
+	// Obs, when non-nil, receives replay-path metrics (hit/miss counts,
+	// skipped/replayed instruction totals, restore-distance histogram).
+	// Purely observational: it never influences an attempt.
+	Obs *obs.Metrics
 }
 
 // CaptureSnapshots runs the golden execution once more with a snapshot
@@ -228,13 +234,27 @@ type Result struct {
 	Exit      int64
 	Err       error
 	Injection *interp.Injection
+
+	// Trigger is the dynamic candidate index that was corrupted.
+	Trigger uint64
+	// Spans is the fault-propagation skeleton (traced attempts only):
+	// inject site, first tainted load/store/branch, and the outcome edge.
+	Spans []telemetry.TraceSpan
 }
 
 // InjectOne performs a single fault injection: a uniformly random dynamic
 // candidate instance, one random bit of its result.
 func (j *Injector) InjectOne(rng *rand.Rand) *Result {
 	trigger := uint64(rng.Int63n(int64(j.DynTotal)))
-	return j.InjectAt(trigger, rng)
+	return j.injectAt(trigger, rng, false)
+}
+
+// InjectOneTraced is InjectOne with fault-propagation tracing armed. The
+// tracer is purely observational — it consumes no randomness and the
+// outcome is byte-identical to the untraced draw.
+func (j *Injector) InjectOneTraced(rng *rand.Rand) *Result {
+	trigger := uint64(rng.Int63n(int64(j.DynTotal)))
+	return j.injectAt(trigger, rng, true)
 }
 
 // InjectAt injects at a specific dynamic candidate index (tests and
@@ -243,10 +263,18 @@ func (j *Injector) InjectOne(rng *rand.Rand) *Result {
 // tail; otherwise it re-executes from instruction zero. Both paths
 // produce byte-identical results under the same rng.
 func (j *Injector) InjectAt(trigger uint64, rng *rand.Rand) *Result {
+	return j.injectAt(trigger, rng, false)
+}
+
+func (j *Injector) injectAt(trigger uint64, rng *rand.Rand, traced bool) *Result {
 	injection := &interp.Injection{
 		Candidates:   j.Candidates,
 		TriggerIndex: trigger,
 		Rng:          rng,
+	}
+	var tr *interp.Tracer
+	if traced {
+		tr = interp.NewTracer(0) // spans only, no event log
 	}
 	var out bytes.Buffer
 	var r *interp.Runner
@@ -259,19 +287,39 @@ func (j *Injector) InjectAt(trigger uint64, rng *rand.Rand) *Result {
 		r.SetCandCount(j.snapCands[i])
 		r.MaxInstrs = j.GoldenInstrs*HangFactor + 1_000_000
 		r.Inject = injection
+		r.Trace = tr
 		rc, err = r.Resume()
 		j.stats.Hit(s.Executed, r.Executed()-s.Executed)
+		if o := j.Obs; o != nil {
+			o.ReplayHits.Inc()
+			o.InstrsSkipped.Add(s.Executed)
+			o.InstrsReplayed.Add(r.Executed() - s.Executed)
+			o.RestoreInstrs.Observe(float64(r.Executed() - s.Executed))
+		}
 	} else {
 		r = interp.NewRunner(j.Prep, &out)
 		r.MaxInstrs = j.GoldenInstrs*HangFactor + 1_000_000
 		r.Inject = injection
+		r.Trace = tr
 		rc, err = r.Run()
 		if j.snaps != nil {
 			j.stats.Miss(r.Executed())
+			if o := j.Obs; o != nil {
+				o.ReplayMisses.Inc()
+				o.RestoreInstrs.Observe(float64(r.Executed()))
+			}
 		}
 	}
-	res := &Result{Output: out.Bytes(), Exit: rc, Err: err, Injection: injection}
+	res := &Result{Output: out.Bytes(), Exit: rc, Err: err, Injection: injection, Trigger: trigger}
 	res.Outcome = classify(j.GoldenOutput, j.GoldenExit, res, injection.Happened && injection.Activated)
+	if tr != nil {
+		for _, s := range tr.Spans {
+			res.Spans = append(res.Spans, telemetry.TraceSpan{Kind: s.Kind, Site: s.Site, At: s.At})
+		}
+		res.Spans = append(res.Spans, telemetry.TraceSpan{
+			Kind: "outcome", Site: res.Outcome.String(), At: r.Executed(),
+		})
+	}
 	return res
 }
 

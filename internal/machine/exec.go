@@ -27,6 +27,9 @@ func (m *Machine) step() (bool, error) {
 	if m.watch != watchNone {
 		m.checkActivation(in)
 	}
+	if m.Trace != nil {
+		m.Trace.observe(m, idx, in)
+	}
 
 	done, err := m.exec(idx, in)
 	if err != nil || done {

@@ -56,6 +56,9 @@ func (m *Machine) fireInjection(idx int, in *x86.Instr) {
 	}
 	inj.Happened = true
 	inj.InstrIdx = idx
+	if m.Trace != nil {
+		m.Trace.markRoot(m, idx, in)
+	}
 }
 
 // injectWidth is the register width PINFI would flip within: the operand

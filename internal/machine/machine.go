@@ -84,6 +84,9 @@ type Machine struct {
 	SnapshotEvery uint64
 	// SnapshotSink receives each captured snapshot.
 	SnapshotSink func(*Snapshot)
+	// Trace, when non-nil, records the fault-propagation skeleton of an
+	// injected run (inject site, first tainted load/store/branch).
+	Trace *Tracer
 
 	// depFlags[i] is the flag mask the Jcc following instruction i reads,
 	// when instruction i is a flag setter followed by a conditional jump

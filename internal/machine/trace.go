@@ -1,0 +1,160 @@
+package machine
+
+import (
+	"fmt"
+
+	"hlfi/internal/x86"
+)
+
+// Span is one edge of an attempt's fault-propagation skeleton at the
+// assembly level: the inject site, then the first tainted load, store,
+// and conditional branch observed afterwards. Kind is "inject", "load",
+// "store", or "branch"; Site identifies the static instruction; At is
+// the dynamic instruction index.
+type Span struct {
+	Kind string
+	Site string
+	At   uint64
+}
+
+// Tracer is a best-effort architectural taint tracker, the ASM-level
+// counterpart of the interpreter's IR tracer. It tracks taint through
+// general-purpose registers, XMM registers, the flags word, and 8-byte
+// memory granules, recording at most one span per edge kind. Precision
+// is deliberately modest (implicitly-read registers such as RSP and the
+// IDIV pair are not tracked); the point is the propagation skeleton,
+// not a sound information-flow analysis.
+type Tracer struct {
+	// Spans is the bounded propagation skeleton (at most four entries:
+	// inject, load, store, branch; the caller appends the outcome edge).
+	Spans []Span
+
+	taintedRegs  [x86.NumRegs]bool
+	taintedXmm   [x86.NumXRegs]bool
+	taintedFlags uint64
+	taintedMem   map[uint64]bool // 8-byte granules
+
+	rooted                          bool
+	seenLoad, seenStore, seenBranch bool
+}
+
+// NewTracer returns an empty tracer; attach it to Machine.Trace before
+// Run.
+func NewTracer() *Tracer {
+	return &Tracer{taintedMem: make(map[uint64]bool)}
+}
+
+// markRoot seeds taint from a fired injection. Called by fireInjection
+// with the corruption target it just chose.
+func (t *Tracer) markRoot(m *Machine, idx int, in *x86.Instr) {
+	switch m.watch {
+	case watchReg:
+		t.taintedRegs[m.watchReg_] = true
+	case watchXmm:
+		t.taintedXmm[m.watchXmm_] = true
+	case watchFlags:
+		t.taintedFlags = m.watchMask
+	default:
+		return
+	}
+	t.rooted = true
+	t.Spans = append(t.Spans, Span{Kind: "inject", Site: asmSite(idx, in), At: m.executed})
+}
+
+// observe inspects the instruction about to execute and propagates
+// taint through it. Called from step() before exec, so memory operand
+// addresses resolve against pre-execution register state.
+func (t *Tracer) observe(m *Machine, idx int, in *x86.Instr) {
+	if !t.rooted {
+		return
+	}
+	at := m.executed
+
+	if in.Op.IsCondJump() && t.taintedFlags&CondFlagMask(in.Op) != 0 && !t.seenBranch {
+		t.seenBranch = true
+		t.Spans = append(t.Spans, Span{Kind: "branch", Site: asmSite(idx, in), At: at})
+	}
+
+	srcTainted := t.operandTainted(m, in.Src)
+	// RMW shapes and memory destinations read Dst too; a tainted base or
+	// index register also means the access itself is corrupted.
+	if in.Dst.Kind != x86.OpNone && t.operandTainted(m, in.Dst) {
+		srcTainted = true
+	}
+	if in.Op.IsSet() && t.taintedFlags&CondFlagMask(in.Op) != 0 {
+		srcTainted = true
+	}
+
+	if srcTainted && !t.seenLoad && in.Src.Kind == x86.OpMem &&
+		t.taintedMem[m.effAddr(in.Src)&^7] {
+		t.seenLoad = true
+		t.Spans = append(t.Spans, Span{Kind: "load", Site: asmSite(idx, in), At: at})
+	}
+
+	if !writesDst(in) {
+		if in.Op.IsFlagSetter() {
+			if srcTainted {
+				t.taintedFlags = x86.FlagZF | x86.FlagSF | x86.FlagOF | x86.FlagCF
+			} else {
+				t.taintedFlags = 0
+			}
+		}
+		return
+	}
+	switch in.Dst.Kind {
+	case x86.OpReg:
+		t.taintedRegs[in.Dst.Reg] = srcTainted
+	case x86.OpXmm:
+		t.taintedXmm[in.Dst.Xmm] = srcTainted
+	case x86.OpMem:
+		g := m.effAddr(in.Dst) &^ 7
+		if srcTainted {
+			t.taintedMem[g] = true
+			if !t.seenStore {
+				t.seenStore = true
+				t.Spans = append(t.Spans, Span{Kind: "store", Site: asmSite(idx, in), At: at})
+			}
+		} else {
+			delete(t.taintedMem, g)
+		}
+	}
+}
+
+// operandTainted reports whether reading o observes tainted state.
+func (t *Tracer) operandTainted(m *Machine, o x86.Operand) bool {
+	switch o.Kind {
+	case x86.OpReg:
+		return t.taintedRegs[o.Reg]
+	case x86.OpXmm:
+		return t.taintedXmm[o.Xmm]
+	case x86.OpMem:
+		if o.Base != x86.RegNone && t.taintedRegs[o.Base] {
+			return true
+		}
+		if o.Index != x86.RegNone && t.taintedRegs[o.Index] {
+			return true
+		}
+		return t.taintedMem[m.effAddr(o)&^7]
+	}
+	return false
+}
+
+// writesDst reports whether the instruction overwrites its Dst operand
+// (as opposed to reading it, like CMP or PUSH, or writing implicit
+// registers, like CQO/IDIV).
+func writesDst(in *x86.Instr) bool {
+	switch in.Op {
+	case x86.CMP, x86.TEST, x86.UCOMISD, x86.PUSH, x86.CALL, x86.RET,
+		x86.JMP, x86.CQO, x86.IDIV:
+		return false
+	}
+	if in.Op.IsCondJump() {
+		return false
+	}
+	return in.Dst.Kind != x86.OpNone
+}
+
+// asmSite identifies a static instruction for span display.
+func asmSite(idx int, in *x86.Instr) string {
+	return fmt.Sprintf("#%d %s", idx, in.String())
+}

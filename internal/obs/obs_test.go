@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(7)
+	if c.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.SetUint64(4)
+	g.Inc()
+	g.Dec()
+	if g.Value() != 0 {
+		t.Error("nil gauge has a value")
+	}
+	var h *Histogram
+	h.Observe(1.5)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram recorded")
+	}
+	var r *Registry
+	if r.Counter("x", "") != nil || r.Gauge("x", "") != nil || r.Histogram("x", "", nil) != nil {
+		t.Error("nil registry handed out instruments")
+	}
+	if err := r.WritePrometheus(io.Discard); err != nil {
+		t.Errorf("nil registry render: %v", err)
+	}
+	var m *Metrics
+	if m.Registry() != nil {
+		t.Error("nil metrics has a registry")
+	}
+	m.Outcome("sdc").Inc() // must not panic
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Errorf("counter = %d, want 3", c.Value())
+	}
+	if r.Counter("c_total", "a counter") != c {
+		t.Error("re-registering a counter returned a new instrument")
+	}
+
+	g := r.Gauge("g", "a gauge")
+	g.Set(5)
+	g.Inc()
+	g.Dec()
+	g.Dec()
+	if g.Value() != 4 {
+		t.Errorf("gauge = %d, want 4", g.Value())
+	}
+	g.SetUint64(^uint64(0))
+	if g.Value() <= 0 {
+		t.Errorf("uint64 overflow clamped to %d, want max int64", g.Value())
+	}
+
+	h := r.Histogram("h", "a histogram", []float64{1, 10})
+	for _, x := range []float64{0.5, 1, 2, 100} {
+		h.Observe(x)
+	}
+	if h.Count() != 4 {
+		t.Errorf("histogram count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 103.5 {
+		t.Errorf("histogram sum = %v, want 103.5", h.Sum())
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hlfi_attempts_total", "Attempts.").Add(12)
+	r.Counter(`hlfi_outcomes_total{outcome="sdc"}`, "Outcomes.").Add(3)
+	r.Counter(`hlfi_outcomes_total{outcome="crash"}`, "Outcomes.").Add(4)
+	r.Gauge("hlfi_cells_in_flight", "In flight.").Set(2)
+	h := r.Histogram("hlfi_attempt_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE hlfi_attempts_total counter\n",
+		"hlfi_attempts_total 12\n",
+		`hlfi_outcomes_total{outcome="crash"} 4` + "\n",
+		`hlfi_outcomes_total{outcome="sdc"} 3` + "\n",
+		"# TYPE hlfi_cells_in_flight gauge\n",
+		"hlfi_cells_in_flight 2\n",
+		"# TYPE hlfi_attempt_seconds histogram\n",
+		`hlfi_attempt_seconds_bucket{le="0.1"} 1` + "\n",
+		`hlfi_attempt_seconds_bucket{le="1"} 2` + "\n",
+		`hlfi_attempt_seconds_bucket{le="+Inf"} 3` + "\n",
+		"hlfi_attempt_seconds_sum 5.55\n",
+		"hlfi_attempt_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// One HELP/TYPE pair per family even with two labeled series.
+	if n := strings.Count(out, "# TYPE hlfi_outcomes_total"); n != 1 {
+		t.Errorf("outcomes family has %d TYPE lines, want 1", n)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 3})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(2.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("count = %d, want 8000", h.Count())
+	}
+	if h.Sum() != 8000*2.5 {
+		t.Errorf("sum = %v, want %v", h.Sum(), 8000*2.5)
+	}
+}
+
+func TestMetricsOutcomeMapping(t *testing.T) {
+	m := New()
+	for _, name := range []string{"benign", "sdc", "crash", "hang", "not-activated"} {
+		if m.Outcome(name) == nil {
+			t.Errorf("no counter for outcome %q", name)
+		}
+		m.Outcome(name).Inc()
+	}
+	if m.Outcome("nonsense") != nil {
+		t.Error("unknown outcome mapped to a counter")
+	}
+	if m.Crash.Value() != 1 || m.NotAct.Value() != 1 {
+		t.Error("outcome counters not wired to the named fields")
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	m := New()
+	m.Attempts.Add(42)
+	status := func() any {
+		return map[string]int{"cellsDone": 7}
+	}
+	srv, err := StartServer("127.0.0.1:0", m.Registry(), status)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		client := &http.Client{Timeout: 5 * time.Second}
+		resp, err := client.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+
+	if out := get("/metrics"); !strings.Contains(out, "hlfi_attempts_total 42") {
+		t.Errorf("/metrics missing counter:\n%s", out)
+	}
+	if out := get("/statusz"); !strings.Contains(out, `"cellsDone": 7`) {
+		t.Errorf("/statusz missing status JSON:\n%s", out)
+	}
+	if out := get("/debug/pprof/cmdline"); out == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+	if out := get("/"); !strings.Contains(out, "/statusz") {
+		t.Errorf("index page missing endpoint list:\n%s", out)
+	}
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the live observability endpoint of a running campaign:
+//
+//	/metrics       Prometheus text exposition of the metrics registry
+//	/statusz       JSON study status (per-cell progress, outcome rates
+//	               with Wilson intervals)
+//	/debug/pprof/  net/http/pprof handlers for CPU and heap profiling
+//
+// The server owns one goroutine and exists only when explicitly started
+// (the -status flag); a study without it runs exactly the code it ran
+// before this package existed.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartServer listens on addr (":8080", "127.0.0.1:0", ...) and serves
+// the registry and the status snapshot returned by status (which may be
+// nil: /statusz then serves an empty object). The pprof handlers are
+// wired onto the server's own mux, never the default one.
+func StartServer(addr string, reg *Registry, status func() any) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		var v any = struct{}{}
+		if status != nil {
+			v = status()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "hlfi campaign observability\n\n/metrics\n/statusz\n/debug/pprof/\n")
+	})
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr is the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server. Nil-safe, so a disabled endpoint needs no
+// guard at shutdown.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -14,6 +14,7 @@ import (
 
 	"hlfi/internal/fault"
 	"hlfi/internal/machine"
+	"hlfi/internal/obs"
 	"hlfi/internal/telemetry"
 	"hlfi/internal/x86"
 )
@@ -99,6 +100,11 @@ type Injector struct {
 	snaps     []*machine.Snapshot
 	snapCands []uint64
 	stats     *telemetry.ReplayStats
+
+	// Obs, when non-nil, receives replay-path metrics (hit/miss counts,
+	// skipped/replayed instruction totals, restore-distance histogram).
+	// Purely observational: it never influences an attempt.
+	Obs *obs.Metrics
 }
 
 // CaptureSnapshots runs the golden execution once more with a snapshot
@@ -193,13 +199,27 @@ type Result struct {
 	Exit      int64
 	Err       error
 	Injection *machine.Injection
+
+	// Trigger is the dynamic candidate index that was corrupted.
+	Trigger uint64
+	// Spans is the fault-propagation skeleton (traced attempts only):
+	// inject site, first tainted load/store/branch, and the outcome edge.
+	Spans []telemetry.TraceSpan
 }
 
 // InjectOne performs a single fault injection at a uniformly random
 // dynamic candidate instance.
 func (j *Injector) InjectOne(rng *rand.Rand) *Result {
 	trigger := uint64(rng.Int63n(int64(j.DynTotal)))
-	return j.InjectAt(trigger, rng)
+	return j.injectAt(trigger, rng, false)
+}
+
+// InjectOneTraced is InjectOne with fault-propagation tracing armed. The
+// tracer is purely observational — it consumes no randomness and the
+// outcome is byte-identical to the untraced draw.
+func (j *Injector) InjectOneTraced(rng *rand.Rand) *Result {
+	trigger := uint64(rng.Int63n(int64(j.DynTotal)))
+	return j.injectAt(trigger, rng, true)
 }
 
 // InjectAt injects at a specific dynamic candidate index. When snapshots
@@ -208,10 +228,18 @@ func (j *Injector) InjectOne(rng *rand.Rand) *Result {
 // from instruction zero. Both paths produce byte-identical results under
 // the same rng.
 func (j *Injector) InjectAt(trigger uint64, rng *rand.Rand) *Result {
+	return j.injectAt(trigger, rng, false)
+}
+
+func (j *Injector) injectAt(trigger uint64, rng *rand.Rand, traced bool) *Result {
 	injection := &machine.Injection{
 		Candidates:   j.Candidates,
 		TriggerIndex: trigger,
 		Rng:          rng,
+	}
+	var tr *machine.Tracer
+	if traced {
+		tr = machine.NewTracer()
 	}
 	var out bytes.Buffer
 	var m *machine.Machine
@@ -224,19 +252,39 @@ func (j *Injector) InjectAt(trigger uint64, rng *rand.Rand) *Result {
 		m.SetCandCount(j.snapCands[i])
 		m.MaxInstrs = j.GoldenInstrs*HangFactor + 1_000_000
 		m.Inject = injection
+		m.Trace = tr
 		rc, err = m.Resume()
 		j.stats.Hit(s.Executed, m.Executed()-s.Executed)
+		if o := j.Obs; o != nil {
+			o.ReplayHits.Inc()
+			o.InstrsSkipped.Add(s.Executed)
+			o.InstrsReplayed.Add(m.Executed() - s.Executed)
+			o.RestoreInstrs.Observe(float64(m.Executed() - s.Executed))
+		}
 	} else {
 		m = machine.New(j.Prog, j.LayoutImage, j.LayoutBase, &out)
 		m.MaxInstrs = j.GoldenInstrs*HangFactor + 1_000_000
 		m.Inject = injection
+		m.Trace = tr
 		rc, err = m.Run()
 		if j.snaps != nil {
 			j.stats.Miss(m.Executed())
+			if o := j.Obs; o != nil {
+				o.ReplayMisses.Inc()
+				o.RestoreInstrs.Observe(float64(m.Executed()))
+			}
 		}
 	}
-	res := &Result{Output: out.Bytes(), Exit: rc, Err: err, Injection: injection}
+	res := &Result{Output: out.Bytes(), Exit: rc, Err: err, Injection: injection, Trigger: trigger}
 	res.Outcome = classify(j.GoldenOutput, j.GoldenExit, res, injection.Happened && injection.Activated)
+	if tr != nil {
+		for _, s := range tr.Spans {
+			res.Spans = append(res.Spans, telemetry.TraceSpan{Kind: s.Kind, Site: s.Site, At: s.At})
+		}
+		res.Spans = append(res.Spans, telemetry.TraceSpan{
+			Kind: "outcome", Site: res.Outcome.String(), At: m.Executed(),
+		})
+	}
 	return res
 }
 

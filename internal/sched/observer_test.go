@@ -1,0 +1,96 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// countingObserver tracks start/finish pairing and the in-flight peak.
+type countingObserver struct {
+	mu       sync.Mutex
+	started  []int
+	finished []int
+	inFlight int64
+	peak     int64
+}
+
+func (o *countingObserver) TaskStarted(i int) {
+	o.mu.Lock()
+	o.started = append(o.started, i)
+	o.mu.Unlock()
+	n := atomic.AddInt64(&o.inFlight, 1)
+	for {
+		p := atomic.LoadInt64(&o.peak)
+		if n <= p || atomic.CompareAndSwapInt64(&o.peak, p, n) {
+			break
+		}
+	}
+}
+
+func (o *countingObserver) TaskFinished(i int) {
+	atomic.AddInt64(&o.inFlight, -1)
+	o.mu.Lock()
+	o.finished = append(o.finished, i)
+	o.mu.Unlock()
+}
+
+func TestRunObservedLifecycle(t *testing.T) {
+	const n = 20
+	obs := &countingObserver{}
+	var ran int64
+	tasks := make([]Task, n)
+	for i := range tasks {
+		tasks[i] = func(context.Context) error {
+			atomic.AddInt64(&ran, 1)
+			return nil
+		}
+	}
+	if err := RunObserved(context.Background(), 4, tasks, obs); err != nil {
+		t.Fatal(err)
+	}
+	if ran != n {
+		t.Fatalf("ran %d tasks, want %d", ran, n)
+	}
+	if len(obs.started) != n || len(obs.finished) != n {
+		t.Fatalf("observer saw %d starts / %d finishes, want %d each",
+			len(obs.started), len(obs.finished), n)
+	}
+	if atomic.LoadInt64(&obs.inFlight) != 0 {
+		t.Errorf("in-flight gauge did not return to zero: %d", obs.inFlight)
+	}
+	if obs.peak > 4 {
+		t.Errorf("in-flight peak %d exceeds worker bound 4", obs.peak)
+	}
+	seen := map[int]bool{}
+	for _, i := range obs.started {
+		if seen[i] {
+			t.Fatalf("task %d started twice", i)
+		}
+		seen[i] = true
+	}
+}
+
+func TestRunObservedFinishFiresOnError(t *testing.T) {
+	obs := &countingObserver{}
+	boom := errors.New("boom")
+	tasks := []Task{
+		func(context.Context) error { return nil },
+		func(context.Context) error { return boom },
+	}
+	if err := RunObserved(context.Background(), 1, tasks, obs); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if len(obs.finished) != 2 {
+		t.Errorf("finished = %v, want both tasks (error included)", obs.finished)
+	}
+}
+
+func TestRunObservedNilObserver(t *testing.T) {
+	tasks := []Task{func(context.Context) error { return nil }}
+	if err := RunObserved(context.Background(), 2, tasks, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -37,7 +37,25 @@ const (
 	EventCellResume   = "cell_resume"
 	EventCellDeadline = "cell_deadline"
 	EventStudyAbort   = "study_abort"
+
+	// EventAttemptTrace carries one traced attempt's fault-propagation
+	// span skeleton (emitted before its cell's cell_done, in attempt
+	// order, when tracing is armed).
+	EventAttemptTrace = "attempt_trace"
 )
+
+// TraceSpan is one edge of a traced attempt's propagation skeleton:
+// the injection site, the first corrupted load, store, or branch, and
+// the outcome edge, in execution order.
+type TraceSpan struct {
+	// Kind is "inject", "load", "store", "branch", or "outcome".
+	Kind string `json:"kind"`
+	// Site describes the instruction (or, for "outcome", the outcome
+	// class) in the level's own rendering.
+	Site string `json:"site"`
+	// At is the dynamic instruction index of the span.
+	At uint64 `json:"at,omitempty"`
+}
 
 // Event is one record of a campaign's event stream.
 type Event struct {
@@ -85,6 +103,13 @@ type Event struct {
 	Panic       string `json:"panic,omitempty"`
 	SimFaults   int    `json:"simFaults,omitempty"`
 
+	// Fault-propagation trace (attempt_trace): the dynamic candidate
+	// index injected at, the attempt's outcome class, and the span
+	// skeleton from injection to outcome.
+	Trigger uint64      `json:"trigger,omitempty"`
+	Outcome string      `json:"outcome,omitempty"`
+	Spans   []TraceSpan `json:"spans,omitempty"`
+
 	// Snapshot-replay accounting (study_done, when replay was enabled).
 	ReplayHits         uint64 `json:"replayHits,omitempty"`
 	ReplayMisses       uint64 `json:"replayMisses,omitempty"`
@@ -117,6 +142,24 @@ type Recorder interface {
 	Record(Event)
 }
 
+// Flusher is the optional Recorder extension for sinks that can force
+// recorded events to durable storage (fsync for files, Flush for
+// buffered writers). The study's abort path flushes before and after
+// emitting study_abort so the event stream's tail survives the
+// imminent process exit.
+type Flusher interface {
+	Flush() error
+}
+
+// Flush flushes r if it is flush-capable (Multi fans the flush out to
+// every capable recorder behind it). Nil-safe; returns the first error.
+func Flush(r Recorder) error {
+	if f, ok := r.(Flusher); ok {
+		return f.Flush()
+	}
+	return nil
+}
+
 // Multi fans every event out to all recorders (nils are dropped).
 func Multi(rs ...Recorder) Recorder {
 	var live multi
@@ -139,15 +182,28 @@ func (m multi) Record(e Event) {
 	}
 }
 
+// Flush fans out to every flush-capable recorder and returns the first
+// error.
+func (m multi) Flush() error {
+	var first error
+	for _, r := range m {
+		if err := Flush(r); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // JSONLSink writes one JSON object per line to an io.Writer.
 type JSONLSink struct {
 	mu  sync.Mutex
+	w   io.Writer
 	enc *json.Encoder
 }
 
 // NewJSONLSink wraps w; the caller owns closing it.
 func NewJSONLSink(w io.Writer) *JSONLSink {
-	return &JSONLSink{enc: json.NewEncoder(w)}
+	return &JSONLSink{w: w, enc: json.NewEncoder(w)}
 }
 
 // Record appends the event as one JSONL line. Encoding errors are
@@ -156,6 +212,22 @@ func (s *JSONLSink) Record(e Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	_ = s.enc.Encode(e)
+}
+
+// Flush forces recorded events to durable storage: an *os.File is
+// fsynced, a buffered writer flushed; other writers (already unbuffered)
+// need nothing. The sink lock is held so a flush never interleaves with
+// a partially written line.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch w := s.w.(type) {
+	case interface{ Sync() error }:
+		return w.Sync()
+	case interface{ Flush() error }:
+		return w.Flush()
+	}
+	return nil
 }
 
 // Aggregator accumulates the event stream in memory and renders the
@@ -169,6 +241,7 @@ type Aggregator struct {
 	resumes   []Event
 	deadlines []Event
 	simFaults []Event
+	traces    int
 	abort     *Event
 }
 
@@ -192,6 +265,10 @@ func (a *Aggregator) Record(e Event) {
 		a.deadlines = append(a.deadlines, e)
 	case EventSimFault:
 		a.simFaults = append(a.simFaults, e)
+	case EventAttemptTrace:
+		// Traces are counted, not retained: a traced study can carry
+		// thousands of them and the JSONL sink is the archival path.
+		a.traces++
 	case EventStudyDone:
 		a.done = e
 	case EventStudyAbort:
@@ -212,6 +289,13 @@ func (a *Aggregator) Resumed() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return len(a.resumes)
+}
+
+// Traces returns the number of attempt_trace events recorded.
+func (a *Aggregator) Traces() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.traces
 }
 
 // Aborted reports whether the stream ended in study_abort.
@@ -284,6 +368,7 @@ func (a *Aggregator) RenderTelemetry() string {
 	resumes := len(a.resumes)
 	deadlines := len(a.deadlines)
 	simFaults := len(a.simFaults)
+	traces := a.traces
 	aborted := a.abort != nil
 	attempts, activated := a.totalsLocked()
 	var compute, scan float64
@@ -306,6 +391,9 @@ func (a *Aggregator) RenderTelemetry() string {
 	}
 	if deadlines > 0 {
 		fmt.Fprintf(&sb, "  cells dropped at deadline: %d\n", deadlines)
+	}
+	if traces > 0 {
+		fmt.Fprintf(&sb, "  attempt traces recorded: %d (see attempt_trace events)\n", traces)
 	}
 	if aborted {
 		fmt.Fprintf(&sb, "  STUDY ABORTED: results below cover the completed prefix only\n")
