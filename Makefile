@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test bench study calibration examples cover fmt race smoke resume-smoke fuzz-smoke replay-determinism obs-smoke ci
+.PHONY: test bench study calibration examples cover fmt race smoke resume-smoke fuzz-smoke replay-determinism obs-smoke shard-smoke ci
 
 test:
 	go build ./... && go vet ./... && go test ./...
@@ -71,6 +71,32 @@ obs-smoke:
 	cmp .obs-off.txt .obs-on.txt
 	rm -f .obs-smoke-bin .obs-off.txt .obs-on.txt .obs-metrics.txt .obs-statusz.json
 
+# Shard-and-merge smoke: run the study as three shard processes, kill
+# one mid-run, resume only that shard, merge the checkpoints, and
+# byte-compare the merged report against a single-process run; then the
+# same study through the -shard-workers supervisor (mirrors the CI
+# shard-smoke job).
+shard-smoke:
+	go build -o .shard-smoke-bin ./cmd/ficompare
+	./.shard-smoke-bin -experiment all -n 200 -benchmarks bzip2m,mcfm -q > .shard-full.txt
+	./.shard-smoke-bin -experiment all -n 200 -benchmarks bzip2m,mcfm -q \
+		-shard 0/3 -checkpoint .shard-0.jsonl > /dev/null
+	./.shard-smoke-bin -experiment all -n 200 -benchmarks bzip2m,mcfm -q \
+		-shard 1/3 -checkpoint .shard-1.jsonl > /dev/null 2>&1 & \
+	pid=$$!; sleep 1; kill -TERM $$pid 2>/dev/null; wait $$pid; true
+	test -s .shard-1.jsonl
+	./.shard-smoke-bin -experiment all -n 200 -benchmarks bzip2m,mcfm -q \
+		-shard 2/3 -checkpoint .shard-2.jsonl > /dev/null
+	./.shard-smoke-bin -experiment all -n 200 -benchmarks bzip2m,mcfm -q \
+		-shard 1/3 -resume .shard-1.jsonl > /dev/null
+	./.shard-smoke-bin -experiment all -n 200 -benchmarks bzip2m,mcfm -q \
+		-merge '.shard-*.jsonl' > .shard-merged.txt
+	cmp .shard-full.txt .shard-merged.txt
+	./.shard-smoke-bin -experiment all -n 200 -benchmarks bzip2m,mcfm -q \
+		-shard-workers 3 -shard-dir .shard-sup > .shard-supervised.txt
+	cmp .shard-full.txt .shard-supervised.txt
+	rm -rf .shard-smoke-bin .shard-full.txt .shard-merged.txt .shard-supervised.txt .shard-[0-9].jsonl .shard-sup
+
 # Fuzz smoke: each native fuzz target for 30s (mirrors the CI job).
 fuzz-smoke:
 	go test -run '^$$' -fuzz '^FuzzMiniCParse$$' -fuzztime 30s ./internal/minic
@@ -91,6 +117,7 @@ ci:
 	$(MAKE) resume-smoke
 	$(MAKE) replay-determinism
 	$(MAKE) obs-smoke
+	$(MAKE) shard-smoke
 	$(MAKE) fuzz-smoke
 
 # All tables/figures + ablations. HLFI_N controls injections per cell.

@@ -17,6 +17,13 @@
 // -cell-workers to parallelize attempts within a cell (per-attempt
 // seeding: a different deterministic sample), and -events to capture the
 // campaign telemetry stream as JSONL.
+//
+// For scale-out beyond one process, -shard i/N runs the deterministic
+// subset of cells one worker owns (checkpointing them with a
+// shard-tagged header), -merge reassembles a complete shard set into
+// the byte-identical single-process report, and -shard-workers N is a
+// local supervisor that spawns N worker subprocesses and merges on
+// completion. See docs/distributed.md.
 package main
 
 import (
@@ -24,9 +31,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
 	"os/signal"
+	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -73,6 +84,10 @@ func runCtx(ctx context.Context, args []string) error {
 		status      = fs.String("status", "", "serve live observability on this address (/metrics, /statusz, /debug/pprof/); results are byte-identical with or without it")
 		linger      = fs.Duration("status-linger", 0, "keep the status endpoint serving this long after the study finishes (useful for scraping short runs)")
 		traceAtt    = fs.Int("trace-attempts", 0, "record fault-propagation traces for the first N attempts of every cell as attempt_trace events (results stay byte-identical)")
+		shard       = fs.String("shard", "", "run one shard of the study: \"i/N\" owns the canonical cells with index%N == i; pair with -checkpoint (fresh) or -resume (restart), then reassemble with -merge")
+		mergeGlob   = fs.String("merge", "", "merge mode: glob of shard checkpoints to validate and reassemble into the byte-identical single-process report (study shape comes from the headers; no campaigns run)")
+		shardProcs  = fs.Int("shard-workers", 0, "local supervisor: spawn this many worker subprocesses (one per shard), then merge their checkpoints; re-running the same command resumes only incomplete shards")
+		shardDir    = fs.String("shard-dir", "", "directory for supervisor shard checkpoints (default: a temp dir, removed once merged; name one to keep checkpoints resumable across supervisor runs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,6 +96,49 @@ func runCtx(ctx context.Context, args []string) error {
 	case "fig3", "table4", "fig4", "table5", "table2", "calibration", "all":
 	default:
 		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+
+	// Scale-out modes are mutually exclusive and only make sense for the
+	// campaign experiments (profiling-only and table2 runs have no cells
+	// to shard).
+	sharded := 0
+	for _, on := range []bool{*shard != "", *mergeGlob != "", *shardProcs != 0} {
+		if on {
+			sharded++
+		}
+	}
+	if sharded > 1 {
+		return fmt.Errorf("-shard, -merge, and -shard-workers are mutually exclusive")
+	}
+	if sharded == 1 {
+		switch *experiment {
+		case "fig3", "fig4", "table5", "all":
+		default:
+			return fmt.Errorf("-shard/-merge/-shard-workers require a campaign experiment (fig3|fig4|table5|all), not %q", *experiment)
+		}
+	}
+	if *shardProcs != 0 && *shardProcs < 2 {
+		return fmt.Errorf("-shard-workers %d: want 2 or more worker processes (a single process needs no supervisor)", *shardProcs)
+	}
+	if *mergeGlob != "" && (*checkpoint != "" || *resume != "") {
+		return fmt.Errorf("-merge reassembles existing shard checkpoints; it cannot be combined with -checkpoint or -resume")
+	}
+
+	// Supervisor: spawn the shard workers, then fall through into merge
+	// mode over the checkpoints they wrote. Worker failure loses one
+	// shard, never the campaign: the merge below names incomplete
+	// shards, and re-running the same supervisor command resumes only
+	// those (complete shards restore instantly from their checkpoints).
+	var tmpShardDir string
+	if *shardProcs != 0 {
+		dir, glob, isTmp, err := superviseShards(ctx, *shardProcs, *shardDir, args)
+		if err != nil {
+			return err
+		}
+		*mergeGlob = glob
+		if isTmp {
+			tmpShardDir = dir
+		}
 	}
 
 	if *experiment == "table2" {
@@ -115,6 +173,51 @@ func runCtx(ctx context.Context, args []string) error {
 		}
 		fmt.Print(st.RenderTableIV())
 		return nil
+	}
+
+	// Shard mode: this process owns the canonical cells with
+	// index%Count == Index. Everything downstream is the ordinary study
+	// path — cellSeed makes each cell self-contained, so the shard's
+	// checkpoint is merge-ready without coordination.
+	var shardSpec *core.ShardSpec
+	if *shard != "" {
+		spec, err := core.ParseShardSpec(*shard)
+		if err != nil {
+			return err
+		}
+		shardSpec = &spec
+	}
+
+	// Merge mode: validate the shard checkpoints for mutual consistency
+	// and completeness, adopt the study shape their headers pin, and
+	// resume the study from the combined state — every cell restores, no
+	// campaign re-runs, and the report is byte-identical to the
+	// single-process run.
+	var mergedState *core.CheckpointState
+	if *mergeGlob != "" {
+		paths, err := filepath.Glob(*mergeGlob)
+		if err != nil {
+			return fmt.Errorf("-merge %q: %w", *mergeGlob, err)
+		}
+		if len(paths) == 0 {
+			return fmt.Errorf("-merge %q matched no shard checkpoints", *mergeGlob)
+		}
+		merged, err := core.MergeShardCheckpoints(paths)
+		if err != nil {
+			return err
+		}
+		if err := merged.VerifyComplete(core.CanonicalCells(progs, nil)); err != nil {
+			return err
+		}
+		*n, *seed = merged.Shape.N, merged.Shape.Seed
+		mergedState = merged.State
+		fmt.Fprintf(os.Stderr, "merged %d shard checkpoints: %d cells, %d skips (n=%d seed=%d)\n",
+			merged.Count, len(merged.State.Cells), len(merged.State.Skips), *n, *seed)
+		if tmpShardDir != "" {
+			// The supervisor's temp checkpoints are fully absorbed into
+			// memory; a named -shard-dir is kept for later resume.
+			defer os.RemoveAll(tmpShardDir)
+		}
 	}
 
 	// Telemetry: an in-memory aggregator always, a JSONL sink on request.
@@ -165,11 +268,16 @@ func runCtx(ctx context.Context, args []string) error {
 	// Fault tolerance: an optional resume state (cells already completed
 	// by an interrupted run) and an optional checkpoint writer for this
 	// run's cells. -resume alone keeps appending to the same file. The
-	// header pins the replay signature alongside n/seed, so a resumed
-	// run cannot silently mix replay configs.
-	var resumeState *core.CheckpointState
+	// header pins the replay signature and shard spec alongside n/seed,
+	// so a resumed run cannot silently mix replay configs or shards; a
+	// -merge run resumes from the reassembled shard state instead.
+	shape := core.CheckpointShape{N: *n, Seed: *seed, Replay: replay.Signature()}
+	if shardSpec != nil {
+		shape.Shard = shardSpec.String()
+	}
+	resumeState := mergedState
 	if *resume != "" {
-		resumeState, err = core.LoadCheckpoint(*resume, *n, *seed, replay.Signature())
+		resumeState, err = core.LoadCheckpointShape(*resume, shape)
 		if err != nil {
 			return err
 		}
@@ -181,7 +289,7 @@ func runCtx(ctx context.Context, args []string) error {
 	case *checkpoint != "" && *checkpoint == *resume:
 		ckpt, err = core.OpenCheckpointAppend(*checkpoint)
 	case *checkpoint != "":
-		ckpt, err = core.NewCheckpointWriter(*checkpoint, *n, *seed, replay.Signature())
+		ckpt, err = core.NewCheckpointWriterShape(*checkpoint, shape)
 	case *resume != "":
 		ckpt, err = core.OpenCheckpointAppend(*resume)
 	}
@@ -195,7 +303,7 @@ func runCtx(ctx context.Context, args []string) error {
 		Workers: *cellWorkers, Parallel: *parallel, Events: rec,
 		SimFaultLimit: *simFaults, CellDeadline: *deadline,
 		Checkpoint: ckpt, Resume: resumeState, Replay: replay,
-		Obs: om, TraceAttempts: *traceAtt}
+		Obs: om, TraceAttempts: *traceAtt, Shard: shardSpec}
 	if !*quiet {
 		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
@@ -239,6 +347,109 @@ func runCtx(ctx context.Context, args []string) error {
 		fmt.Println(st.RenderSummary())
 	}
 	return err
+}
+
+// superviseShards runs the local supervisor: one ficompare worker
+// subprocess per shard, each owning its deterministic cell subset and
+// checkpointing into dir. Workers are fault-isolated — a crashed or
+// killed worker loses only its shard, and its checkpoint (if any) is
+// resumed on the next supervisor run. Returns the checkpoint directory,
+// the glob the merge phase should consume, and whether dir was a
+// supervisor-created temp dir.
+func superviseShards(ctx context.Context, workers int, dir string, args []string) (string, string, bool, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return "", "", false, fmt.Errorf("supervisor: cannot locate own binary: %w", err)
+	}
+	isTmp := dir == ""
+	if isTmp {
+		dir, err = os.MkdirTemp("", "ficompare-shards-")
+		if err != nil {
+			return "", "", false, err
+		}
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", "", false, err
+	}
+
+	// Workers inherit the study flags but never the supervisor,
+	// durability, or endpoint flags: each owns its private checkpoint,
+	// and N workers cannot share one -status port or -events file.
+	base := stripFlags(args, map[string]bool{
+		"shard-workers": true, "shard-dir": true, "shard": true, "merge": true,
+		"checkpoint": true, "resume": true,
+		"status": true, "status-linger": true, "events": true,
+		"q": false,
+	})
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		failures []string
+	)
+	for i := 0; i < workers; i++ {
+		spec := fmt.Sprintf("%d/%d", i, workers)
+		path := filepath.Join(dir, fmt.Sprintf("shard-%d-of-%d.jsonl", i, workers))
+		wargs := append(append([]string(nil), base...), "-q", "-shard", spec)
+		if st, err := os.Stat(path); err == nil && st.Size() > 0 {
+			fmt.Fprintf(os.Stderr, "supervisor: shard %s resuming from %s\n", spec, path)
+			wargs = append(wargs, "-resume", path)
+		} else {
+			wargs = append(wargs, "-checkpoint", path)
+		}
+		cmd := exec.CommandContext(ctx, exe, wargs...)
+		cmd.Stdout = io.Discard // the report comes from the merge, not the workers
+		cmd.Stderr = os.Stderr
+		// On supervisor cancellation, give workers SIGTERM so they flush
+		// their checkpoints cooperatively; escalate only if they linger.
+		cmd.Cancel = func() error { return cmd.Process.Signal(syscall.SIGTERM) }
+		cmd.WaitDelay = 10 * time.Second
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := cmd.Run(); err != nil {
+				mu.Lock()
+				failures = append(failures, fmt.Sprintf("shard %s: %v", spec, err))
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return dir, "", isTmp, fmt.Errorf("supervisor cancelled (shard checkpoints kept in %s; re-run with -shard-dir %s to resume): %w", dir, dir, err)
+	}
+	for _, f := range failures {
+		fmt.Fprintf(os.Stderr, "supervisor: %s\n", f)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "supervisor: %d of %d shards failed; merging what completed (an incomplete merge names the shards to resume)\n",
+			len(failures), workers)
+	}
+	return dir, filepath.Join(dir, fmt.Sprintf("shard-*-of-%d.jsonl", workers)), isTmp, nil
+}
+
+// stripFlags removes the given flags from an argument list, handling
+// both "-name value" and "-name=value" (and the "--" forms). The bool
+// says whether the flag consumes a following value argument.
+func stripFlags(args []string, strip map[string]bool) []string {
+	var out []string
+	for i := 0; i < len(args); i++ {
+		arg := args[i]
+		name, hasValue := arg, false
+		name = strings.TrimPrefix(name, "-")
+		name = strings.TrimPrefix(name, "-")
+		if j := strings.IndexByte(name, '='); j >= 0 {
+			name, hasValue = name[:j], true
+		}
+		takesValue, stripped := strip[name]
+		if !stripped || !strings.HasPrefix(arg, "-") {
+			out = append(out, arg)
+			continue
+		}
+		if takesValue && !hasValue {
+			i++ // skip the separate value argument
+		}
+	}
+	return out
 }
 
 func buildPrograms(subset string) ([]*core.Program, error) {

@@ -3,8 +3,11 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -123,5 +126,111 @@ func TestRunCheckpointResume(t *testing.T) {
 	// Fault-tolerance flags parse and run.
 	if err := run(append(base, "-sim-fault-limit", "-1", "-cell-deadline", "1m")); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected into a buffer.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := fn()
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatalf("run failed: %v\noutput so far:\n%s", runErr, out)
+	}
+	return string(out)
+}
+
+// TestRunShardMerge: three -shard workers plus a -merge render the
+// byte-identical report of the single-process run, end to end through
+// the CLI.
+func TestRunShardMerge(t *testing.T) {
+	base := []string{"-experiment", "fig3", "-benchmarks", "quantumm", "-n", "8", "-q"}
+	golden := captureStdout(t, func() error { return run(base) })
+
+	dir := t.TempDir()
+	for i := 0; i < 3; i++ {
+		ck := filepath.Join(dir, fmt.Sprintf("shard-%d-of-3.jsonl", i))
+		if err := run(append(base, "-shard", fmt.Sprintf("%d/3", i), "-checkpoint", ck)); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+	}
+	glob := filepath.Join(dir, "shard-*-of-3.jsonl")
+	merged := captureStdout(t, func() error { return run(append(base, "-merge", glob)) })
+	if merged != golden {
+		t.Errorf("merged report differs from single-process run:\n--- single ---\n%s\n--- merged ---\n%s", golden, merged)
+	}
+
+	// A shard worker restarted with -resume on its own checkpoint is a
+	// no-op (all its cells restore) and keeps the file mergeable.
+	ck0 := filepath.Join(dir, "shard-0-of-3.jsonl")
+	if err := run(append(base, "-shard", "0/3", "-resume", ck0)); err != nil {
+		t.Fatalf("shard resume: %v", err)
+	}
+	remerged := captureStdout(t, func() error { return run(append(base, "-merge", glob)) })
+	if remerged != golden {
+		t.Error("merge after shard resume no longer byte-identical")
+	}
+
+	// With one shard checkpoint gone, the merge names the missing index.
+	if err := os.Remove(filepath.Join(dir, "shard-1-of-3.jsonl")); err != nil {
+		t.Fatal(err)
+	}
+	err := run(append(base, "-merge", glob))
+	if err == nil || !strings.Contains(err.Error(), "missing shard(s) 1") {
+		t.Errorf("merge with absent shard: %v, want missing-shard error naming index 1", err)
+	}
+}
+
+// TestRunScaleOutFlagValidation: the scale-out modes reject nonsensical
+// combinations up front.
+func TestRunScaleOutFlagValidation(t *testing.T) {
+	reject := [][]string{
+		{"-experiment", "fig3", "-benchmarks", "quantumm", "-shard", "0/2", "-merge", "x*.jsonl"},
+		{"-experiment", "fig3", "-benchmarks", "quantumm", "-shard", "0/2", "-shard-workers", "2"},
+		{"-experiment", "table4", "-benchmarks", "quantumm", "-shard", "0/2"},
+		{"-experiment", "table2", "-merge", "x*.jsonl"},
+		{"-experiment", "fig3", "-benchmarks", "quantumm", "-shard-workers", "1"},
+		{"-experiment", "fig3", "-benchmarks", "quantumm", "-merge", "x*.jsonl", "-checkpoint", "ck.jsonl"},
+		{"-experiment", "fig3", "-benchmarks", "quantumm", "-merge", "x*.jsonl", "-resume", "ck.jsonl"},
+		{"-experiment", "fig3", "-benchmarks", "quantumm", "-n", "5", "-q", "-shard", "2/2"},
+		{"-experiment", "fig3", "-benchmarks", "quantumm", "-n", "5", "-q", "-shard", "junk"},
+	}
+	for _, args := range reject {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) accepted, want rejection", args)
+		}
+	}
+}
+
+// TestStripFlags: the supervisor's worker argument filter handles both
+// "-flag value" and "-flag=value" forms and leaves study flags alone.
+func TestStripFlags(t *testing.T) {
+	in := []string{
+		"-experiment", "fig3", "-shard-workers", "3", "-n", "10",
+		"-shard-dir=/tmp/x", "-q", "-status", ":8080", "-events=ev.jsonl", "-parallel", "2",
+	}
+	got := stripFlags(in, map[string]bool{
+		"shard-workers": true, "shard-dir": true,
+		"status": true, "events": true, "q": false,
+	})
+	want := []string{"-experiment", "fig3", "-n", "10", "-parallel", "2"}
+	if len(got) != len(want) {
+		t.Fatalf("stripFlags = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stripFlags = %v, want %v", got, want)
+		}
 	}
 }

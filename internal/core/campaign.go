@@ -292,7 +292,7 @@ func (c *Campaign) Run() (*CellResult, error) {
 		maxFactor = 10
 	}
 	maxAttempts := c.N * maxFactor
-	rng := rand.New(rand.NewSource(c.Seed))
+	streams := sequentialStreams(c.Seed)
 	res := &CellResult{Prog: c.Prog.Name, Level: c.Level, Category: c.Category}
 
 	scanStart := time.Now()
@@ -316,7 +316,7 @@ func (c *Campaign) Run() (*CellResult, error) {
 		if c.Obs != nil {
 			start = time.Now()
 		}
-		ar, sf := c.safeDraw(draw, rng, attempt, attempt < c.TraceAttempts)
+		ar, sf := c.safeDraw(draw, streams, attempt, attempt < c.TraceAttempts)
 		c.noteAttempt(start, ar.outcome, sf != nil)
 		if sf != nil {
 			res.SimFaults++
@@ -346,17 +346,18 @@ func (c *Campaign) Run() (*CellResult, error) {
 	return res, nil
 }
 
-// safeDraw runs one injection attempt of the sequential stream behind a
-// recovery boundary: an unexpected simulator panic is converted into a
-// SimFault record instead of taking down the process.
-func (c *Campaign) safeDraw(draw func(*rand.Rand, bool) attemptResult, rng *rand.Rand, attempt int, traced bool) (ar attemptResult, sf *SimFault) {
+// safeDraw runs one injection attempt behind a recovery boundary: an
+// unexpected simulator panic is converted into a SimFault record
+// (carrying the stream discipline's reproducing seed) instead of
+// taking down the process.
+func (c *Campaign) safeDraw(draw func(*rand.Rand, bool) attemptResult, streams *attemptStreams, attempt int, traced bool) (ar attemptResult, sf *SimFault) {
 	defer func() {
 		if r := recover(); r != nil {
-			f := c.simFault(attempt, c.Seed, true, r)
+			f := c.simFault(attempt, streams.reproSeed(attempt), streams.sequential(), r)
 			sf = &f
 		}
 	}()
-	return draw(rng, traced), nil
+	return draw(streams.stream(attempt), traced), nil
 }
 
 // DynCount reports a program's dynamic candidate count for a category at

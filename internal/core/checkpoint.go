@@ -50,11 +50,15 @@ type checkpointLine struct {
 	// files from before replay existed carry no field, which loads as
 	// "off". Although replay never changes results, the header still pins
 	// it: a config mismatch on resume would make the combined run's
-	// provenance unverifiable by re-execution with one flag set.
+	// provenance unverifiable by re-execution with one flag set. Shard
+	// ("i/N") marks the checkpoint of one shard worker owning the
+	// canonical cells with index%N == i; unsharded studies carry no
+	// field.
 	Version int    `json:"version,omitempty"`
 	N       int    `json:"n,omitempty"`
 	Seed    int64  `json:"seed,omitempty"`
 	Replay  string `json:"replay,omitempty"`
+	Shard   string `json:"shard,omitempty"`
 
 	// Cell identity (types "cell" and "skip").
 	Benchmark string `json:"benchmark,omitempty"`
@@ -94,19 +98,73 @@ type CheckpointSkip struct {
 type CheckpointState struct {
 	N     int
 	Seed  int64
+	Shard string // "i/N" for a shard worker's checkpoint, "" otherwise
 	Cells map[CellKey]*CellResult
 	Skips map[CellKey]CheckpointSkip
 }
 
-// LoadCheckpoint reads a checkpoint and validates that it belongs to a
-// study with the given N, seed, and replay signature (ReplayConfig.
-// Signature; nil config = "off") — resuming into a different study
-// shape would silently produce results no uninterrupted run could, and
-// a replay-config switch mid-study would be unverifiable.
+// CheckpointShape is the study identity a checkpoint header pins: the
+// per-cell injection count, the study seed, the snapshot-replay
+// signature, and (for shard workers) the shard spec.
+type CheckpointShape struct {
+	N      int
+	Seed   int64
+	Replay string
+	Shard  string // "i/N", or "" for an unsharded study
+}
+
+// LoadCheckpoint reads a checkpoint and validates that it belongs to an
+// unsharded study with the given N, seed, and replay signature
+// (ReplayConfig.Signature; nil config = "off") — resuming into a
+// different study shape would silently produce results no uninterrupted
+// run could, and a replay-config switch mid-study would be
+// unverifiable.
 func LoadCheckpoint(path string, n int, seed int64, replay string) (*CheckpointState, error) {
-	f, err := os.Open(path)
+	return LoadCheckpointShape(path, CheckpointShape{N: n, Seed: seed, Replay: replay})
+}
+
+// LoadCheckpointShape reads a checkpoint and validates its header
+// against the expected study shape, including the shard spec: a shard
+// worker can only resume its own shard's checkpoint, and an unsharded
+// study refuses a shard-tagged file (merge it instead).
+func LoadCheckpointShape(path string, shape CheckpointShape) (*CheckpointState, error) {
+	st, hdr, err := readCheckpoint(path)
 	if err != nil {
 		return nil, err
+	}
+	if hdr.N != shape.N || hdr.Seed != shape.Seed {
+		return nil, fmt.Errorf("checkpoint %s was written by -n %d -seed %d; refusing to resume a -n %d -seed %d study",
+			path, hdr.N, hdr.Seed, shape.N, shape.Seed)
+	}
+	if got := normalizeReplay(hdr.Replay); got != normalizeReplay(shape.Replay) {
+		return nil, fmt.Errorf("checkpoint %s was written with snapshot replay %q; refusing to resume with replay %q (match the original -snapshot-* flags, or start a fresh checkpoint)",
+			path, got, normalizeReplay(shape.Replay))
+	}
+	if hdr.Shard != shape.Shard {
+		switch {
+		case shape.Shard == "":
+			return nil, fmt.Errorf("checkpoint %s belongs to shard %s; refusing to resume it as an unsharded study (use -merge, or resume with -shard %s)",
+				path, hdr.Shard, hdr.Shard)
+		case hdr.Shard == "":
+			return nil, fmt.Errorf("checkpoint %s belongs to an unsharded study; refusing to resume it as shard %s",
+				path, shape.Shard)
+		default:
+			return nil, fmt.Errorf("checkpoint %s belongs to shard %s; refusing to resume it as shard %s",
+				path, hdr.Shard, shape.Shard)
+		}
+	}
+	return st, nil
+}
+
+// readCheckpoint parses a checkpoint file without shape expectations,
+// returning the restored state and the header shape it was written
+// under. Callers validate the shape (LoadCheckpointShape for resume,
+// MergeShardCheckpoints for merge).
+func readCheckpoint(path string) (*CheckpointState, CheckpointShape, error) {
+	var hdr CheckpointShape
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, hdr, err
 	}
 	defer f.Close()
 
@@ -126,31 +184,24 @@ func LoadCheckpoint(path string, n int, seed int64, replay string) (*CheckpointS
 		}
 		var line checkpointLine
 		if err := json.Unmarshal(raw, &line); err != nil {
-			return nil, fmt.Errorf("checkpoint %s:%d: %w", path, lineNo, err)
+			return nil, hdr, fmt.Errorf("checkpoint %s:%d: %w", path, lineNo, err)
 		}
 		switch line.Type {
 		case "study":
 			if line.Version != checkpointVersion {
-				return nil, fmt.Errorf("checkpoint %s: version %d (supported: %d)",
+				return nil, hdr, fmt.Errorf("checkpoint %s: version %d (supported: %d)",
 					path, line.Version, checkpointVersion)
 			}
-			if line.N != n || line.Seed != seed {
-				return nil, fmt.Errorf("checkpoint %s was written by -n %d -seed %d; refusing to resume a -n %d -seed %d study",
-					path, line.N, line.Seed, n, seed)
-			}
-			if got := normalizeReplay(line.Replay); got != normalizeReplay(replay) {
-				return nil, fmt.Errorf("checkpoint %s was written with snapshot replay %q; refusing to resume with replay %q (match the original -snapshot-* flags, or start a fresh checkpoint)",
-					path, got, normalizeReplay(replay))
-			}
-			st.N, st.Seed = line.N, line.Seed
+			hdr = CheckpointShape{N: line.N, Seed: line.Seed, Replay: line.Replay, Shard: line.Shard}
+			st.N, st.Seed, st.Shard = line.N, line.Seed, line.Shard
 			sawHeader = true
 		case "cell":
 			key, err := line.key()
 			if err != nil {
-				return nil, fmt.Errorf("checkpoint %s:%d: %w", path, lineNo, err)
+				return nil, hdr, fmt.Errorf("checkpoint %s:%d: %w", path, lineNo, err)
 			}
 			if line.Result == nil {
-				return nil, fmt.Errorf("checkpoint %s:%d: cell line without result", path, lineNo)
+				return nil, hdr, fmt.Errorf("checkpoint %s:%d: cell line without result", path, lineNo)
 			}
 			r := line.Result
 			st.Cells[key] = &CellResult{
@@ -163,21 +214,21 @@ func LoadCheckpoint(path string, n int, seed int64, replay string) (*CheckpointS
 		case "skip":
 			key, err := line.key()
 			if err != nil {
-				return nil, fmt.Errorf("checkpoint %s:%d: %w", path, lineNo, err)
+				return nil, hdr, fmt.Errorf("checkpoint %s:%d: %w", path, lineNo, err)
 			}
 			st.Skips[key] = CheckpointSkip{Kind: line.Kind, Err: line.Err}
 			delete(st.Cells, key)
 		default:
-			return nil, fmt.Errorf("checkpoint %s:%d: unknown record type %q", path, lineNo, line.Type)
+			return nil, hdr, fmt.Errorf("checkpoint %s:%d: unknown record type %q", path, lineNo, line.Type)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+		return nil, hdr, fmt.Errorf("checkpoint %s: %w", path, err)
 	}
 	if !sawHeader {
-		return nil, fmt.Errorf("checkpoint %s: missing study header line", path)
+		return nil, hdr, fmt.Errorf("checkpoint %s: missing study header line", path)
 	}
-	return st, nil
+	return st, hdr, nil
 }
 
 func (l *checkpointLine) key() (CellKey, error) {
@@ -201,16 +252,24 @@ type CheckpointWriter struct {
 	enc *json.Encoder
 }
 
-// NewCheckpointWriter creates (or truncates) a checkpoint file and
-// writes the study header. replay is the snapshot-replay signature
-// (ReplayConfig.Signature; nil config = "off").
+// NewCheckpointWriter creates (or truncates) an unsharded checkpoint
+// file and writes the study header. replay is the snapshot-replay
+// signature (ReplayConfig.Signature; nil config = "off").
 func NewCheckpointWriter(path string, n int, seed int64, replay string) (*CheckpointWriter, error) {
+	return NewCheckpointWriterShape(path, CheckpointShape{N: n, Seed: seed, Replay: replay})
+}
+
+// NewCheckpointWriterShape creates (or truncates) a checkpoint file and
+// writes the full study-shape header, including the shard spec for
+// shard workers.
+func NewCheckpointWriterShape(path string, shape CheckpointShape) (*CheckpointWriter, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, err
 	}
 	w := &CheckpointWriter{f: f, enc: json.NewEncoder(f)}
-	if err := w.append(checkpointLine{Type: "study", Version: checkpointVersion, N: n, Seed: seed, Replay: normalizeReplay(replay)}); err != nil {
+	if err := w.append(checkpointLine{Type: "study", Version: checkpointVersion,
+		N: shape.N, Seed: shape.Seed, Replay: normalizeReplay(shape.Replay), Shard: shape.Shard}); err != nil {
 		f.Close()
 		return nil, err
 	}

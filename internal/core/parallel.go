@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
 )
@@ -30,7 +29,8 @@ func (c *Campaign) RunParallel(workers int) (*CellResult, error) {
 	maxAttempts := c.N * maxFactor
 
 	scanStart := time.Now()
-	attempt, dyn, err := c.attemptFunc()
+	streams := perAttemptStreams(c.Seed)
+	attempt, dyn, err := c.attemptFunc(streams)
 	if err != nil {
 		return nil, wrapNoCandidates(err)
 	}
@@ -81,7 +81,7 @@ func (c *Campaign) RunParallel(workers int) (*CellResult, error) {
 				if c.Obs != nil {
 					start = time.Now()
 				}
-				ar, sf := c.safeAttempt(attempt, k)
+				ar, sf := c.safeAttempt(attempt, streams, k)
 				// Live metrics count work actually performed, so attempts
 				// past the stopping prefix still register (the instruments
 				// are atomic; values are never part of study results).
@@ -137,10 +137,10 @@ func (c *Campaign) RunParallel(workers int) (*CellResult, error) {
 // boundary. Today an attempt goroutine's panic kills the whole process;
 // here it becomes a SimFault carrying the attempt's own seed, which
 // reproduces the panic deterministically.
-func (c *Campaign) safeAttempt(attempt func(k int) attemptResult, k int) (ar attemptResult, sf *SimFault) {
+func (c *Campaign) safeAttempt(attempt func(k int) attemptResult, streams *attemptStreams, k int) (ar attemptResult, sf *SimFault) {
 	defer func() {
 		if r := recover(); r != nil {
-			f := c.simFault(k, attemptSeed(c.Seed, k), false, r)
+			f := c.simFault(k, streams.reproSeed(k), streams.sequential(), r)
 			sf = &f
 			ar = attemptResult{}
 		}
@@ -148,26 +148,16 @@ func (c *Campaign) safeAttempt(attempt func(k int) attemptResult, k int) (ar att
 	return attempt(k), nil
 }
 
-// attemptFunc builds the per-attempt closure (an independent random
-// stream per attempt index) and reports the dynamic candidate count.
+// attemptFunc builds the per-attempt closure over the given stream
+// discipline (RunParallel passes per-attempt streams so concurrent
+// workers stay independent) and reports the dynamic candidate count.
 // Attempts below TraceAttempts run traced.
-func (c *Campaign) attemptFunc() (func(k int) attemptResult, uint64, error) {
+func (c *Campaign) attemptFunc(streams *attemptStreams) (func(k int) attemptResult, uint64, error) {
 	draw, dyn, err := c.injector()
 	if err != nil {
 		return nil, 0, err
 	}
 	return func(k int) attemptResult {
-		rng := rand.New(rand.NewSource(attemptSeed(c.Seed, k)))
-		return draw(rng, k < c.TraceAttempts)
+		return draw(streams.stream(k), k < c.TraceAttempts)
 	}, dyn, nil
-}
-
-// attemptSeed mixes the campaign seed with the attempt index
-// (SplitMix64-style finalizer) so per-attempt streams are independent.
-func attemptSeed(seed int64, k int) int64 {
-	z := uint64(seed) + uint64(k+1)*0x9E3779B97F4A7C15
-	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
-	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
-	z ^= z >> 31
-	return int64(z & 0x7FFFFFFFFFFFFFFF)
 }

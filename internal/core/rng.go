@@ -1,0 +1,74 @@
+package core
+
+import "math/rand"
+
+// This file is the single source of per-attempt randomness for every
+// campaign execution path. The study supports two stream disciplines:
+//
+//   - sequential: one stream seeded with the campaign seed, shared by
+//     all attempts in draw order (the committed study outputs);
+//   - per-attempt: an independent stream derived per attempt index
+//     (RunParallel — deterministic for any worker count, but a
+//     different sample than the sequential stream).
+//
+// Both Run and RunParallel derive their streams exclusively through
+// attemptStreams, so a new execution path (shard workers, future
+// backends) cannot drift from either discipline without failing the
+// cross-path oracle in rng_test.go.
+
+// attemptStreams hands out the RNG for each injection attempt of one
+// campaign cell under a fixed discipline.
+type attemptStreams struct {
+	seed int64
+	// seq is the shared stream of the sequential discipline; nil selects
+	// per-attempt derivation.
+	seq *rand.Rand
+}
+
+// sequentialStreams returns the sequential discipline: one stream
+// seeded with the campaign seed. Callers must request attempts in
+// order, each exactly once.
+func sequentialStreams(seed int64) *attemptStreams {
+	return &attemptStreams{seed: seed, seq: rand.New(rand.NewSource(seed))}
+}
+
+// perAttemptStreams returns the per-attempt discipline: an independent
+// stream per attempt index, safe to request from concurrent workers in
+// any order.
+func perAttemptStreams(seed int64) *attemptStreams {
+	return &attemptStreams{seed: seed}
+}
+
+// stream returns the RNG for attempt k. The sequential discipline
+// ignores k and returns the shared stream; the per-attempt discipline
+// derives stream k from scratch.
+func (s *attemptStreams) stream(k int) *rand.Rand {
+	if s.seq != nil {
+		return s.seq
+	}
+	return rand.New(rand.NewSource(attemptSeed(s.seed, k)))
+}
+
+// sequential reports the discipline (mirrored into SimFault records so
+// a reproducing seed is interpreted correctly).
+func (s *attemptStreams) sequential() bool { return s.seq != nil }
+
+// reproSeed is the seed that reproduces attempt k: the attempt's own
+// seed under per-attempt derivation, the campaign seed (replay the
+// stream up to k) under the sequential discipline.
+func (s *attemptStreams) reproSeed(k int) int64 {
+	if s.seq != nil {
+		return s.seed
+	}
+	return attemptSeed(s.seed, k)
+}
+
+// attemptSeed mixes the campaign seed with the attempt index
+// (SplitMix64-style finalizer) so per-attempt streams are independent.
+func attemptSeed(seed int64, k int) int64 {
+	z := uint64(seed) + uint64(k+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z & 0x7FFFFFFFFFFFFFFF)
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"hlfi/internal/fault"
+)
+
+// TestStreamDisciplines pins the two RNG derivations to their committed
+// definitions: the sequential discipline is exactly one
+// rand.NewSource(seed) stream consumed in attempt order, and the
+// per-attempt discipline is exactly rand.NewSource(attemptSeed(seed,k))
+// per index. Any execution path that derives randomness through
+// attemptStreams therefore reproduces the committed study outputs.
+func TestStreamDisciplines(t *testing.T) {
+	const seed = 12345
+
+	seq := sequentialStreams(seed)
+	want := rand.New(rand.NewSource(seed))
+	for k := 0; k < 64; k++ {
+		if got, w := seq.stream(k).Uint64(), want.Uint64(); got != w {
+			t.Fatalf("sequential attempt %d drew %d, want %d (shared-stream discipline broken)", k, got, w)
+		}
+		if seq.reproSeed(k) != seed {
+			t.Fatalf("sequential reproSeed(%d) = %d, want the campaign seed %d", k, seq.reproSeed(k), seed)
+		}
+	}
+	if !seq.sequential() {
+		t.Fatal("sequentialStreams not marked sequential")
+	}
+
+	per := perAttemptStreams(seed)
+	if per.sequential() {
+		t.Fatal("perAttemptStreams marked sequential")
+	}
+	// Out-of-order and repeated requests must not disturb per-attempt
+	// streams (concurrent workers race on request order).
+	for _, k := range []int{7, 0, 63, 7, 1} {
+		wantStream := rand.New(rand.NewSource(attemptSeed(seed, k)))
+		gotStream := per.stream(k)
+		for i := 0; i < 8; i++ {
+			if got, w := gotStream.Uint64(), wantStream.Uint64(); got != w {
+				t.Fatalf("per-attempt stream %d draw %d = %d, want %d", k, i, got, w)
+			}
+		}
+		if per.reproSeed(k) != attemptSeed(seed, k) {
+			t.Fatalf("per-attempt reproSeed(%d) = %d, want attemptSeed", k, per.reproSeed(k))
+		}
+	}
+}
+
+// TestCrossPathRNGOracle is the cross-path oracle: Run and RunParallel
+// must draw their attempt randomness exclusively through the shared
+// derivation helper. A stub injector records the first value drawn per
+// attempt; the recordings must match the values predicted from
+// attemptStreams alone, so a new execution path (shard workers) reusing
+// Run/RunParallel cannot drift from either discipline.
+func TestCrossPathRNGOracle(t *testing.T) {
+	p, err := BuildProgram("tiny.c", tinySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const seed = 77
+	record := func(mu *sync.Mutex, draws *[]uint64) func() (func(*rand.Rand) fault.Outcome, uint64, error) {
+		return func() (func(*rand.Rand) fault.Outcome, uint64, error) {
+			return func(rng *rand.Rand) fault.Outcome {
+				v := rng.Uint64()
+				mu.Lock()
+				*draws = append(*draws, v)
+				mu.Unlock()
+				return fault.OutcomeBenign
+			}, 1, nil
+		}
+	}
+
+	var mu sync.Mutex
+	var seqDraws []uint64
+	c := &Campaign{Prog: p, Level: fault.LevelIR, Category: fault.CatAll,
+		N: 16, Seed: seed, injectorOverride: record(&mu, &seqDraws)}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	oracle := sequentialStreams(seed)
+	for k, got := range seqDraws {
+		if want := oracle.stream(k).Uint64(); got != want {
+			t.Fatalf("Run attempt %d drew %d, want %d from the sequential discipline", k, got, want)
+		}
+	}
+
+	var parDraws []uint64
+	c2 := &Campaign{Prog: p, Level: fault.LevelIR, Category: fault.CatAll,
+		N: 16, Seed: seed, injectorOverride: record(&mu, &parDraws)}
+	if _, err := c2.RunParallel(4); err != nil {
+		t.Fatal(err)
+	}
+	// Worker scheduling permutes draw order, so compare as a set against
+	// the per-attempt prediction for the counted prefix.
+	per := perAttemptStreams(seed)
+	want := make(map[uint64]bool, len(parDraws))
+	for k := 0; k < len(parDraws); k++ {
+		want[per.stream(k).Uint64()] = true
+	}
+	for _, got := range parDraws {
+		if !want[got] {
+			t.Fatalf("RunParallel drew %d, not predicted by the per-attempt discipline", got)
+		}
+	}
+}

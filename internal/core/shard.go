@@ -1,0 +1,278 @@
+// Shard-and-merge campaign execution. A study's canonical cell list is
+// deterministic (programs in build order x levels x categories), and
+// every cell derives its seed independently via cellSeed, so the study
+// partitions cleanly: shard i of N owns the canonical cells with
+// index%N == i and can run in its own process, writing a shard-tagged
+// checkpoint. MergeShardCheckpoints validates the shard headers for
+// mutual consistency and completeness and reassembles one
+// CheckpointState; resuming a study from it re-runs nothing and renders
+// a report byte-identical to the single-process run.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hlfi/internal/fault"
+)
+
+// ShardSpec selects the deterministic subset of canonical study cells
+// owned by one worker: cells whose canonical index i satisfies
+// i%Count == Index.
+type ShardSpec struct {
+	Index int
+	Count int
+}
+
+// ParseShardSpec parses the "i/N" flag form (e.g. "0/3").
+func ParseShardSpec(s string) (ShardSpec, error) {
+	i := strings.IndexByte(s, '/')
+	if i < 0 {
+		return ShardSpec{}, fmt.Errorf("shard spec %q: want \"index/count\" (e.g. 0/3)", s)
+	}
+	idx, err := strconv.Atoi(s[:i])
+	if err != nil {
+		return ShardSpec{}, fmt.Errorf("shard spec %q: bad index: %v", s, err)
+	}
+	count, err := strconv.Atoi(s[i+1:])
+	if err != nil {
+		return ShardSpec{}, fmt.Errorf("shard spec %q: bad count: %v", s, err)
+	}
+	spec := ShardSpec{Index: idx, Count: count}
+	if err := spec.Validate(); err != nil {
+		return ShardSpec{}, err
+	}
+	return spec, nil
+}
+
+// Validate checks 0 <= Index < Count.
+func (s ShardSpec) Validate() error {
+	if s.Count < 1 {
+		return fmt.Errorf("shard spec %s: count must be >= 1", s)
+	}
+	if s.Index < 0 || s.Index >= s.Count {
+		return fmt.Errorf("shard spec %s: index out of range [0,%d)", s, s.Count)
+	}
+	return nil
+}
+
+// Owns reports whether the shard owns canonical cell index i.
+func (s ShardSpec) Owns(i int) bool { return i%s.Count == s.Index }
+
+func (s ShardSpec) String() string { return fmt.Sprintf("%d/%d", s.Index, s.Count) }
+
+// CanonicalCells returns the study's cell keys in canonical order — the
+// order RunStudy schedules and releases them, and the order shard
+// ownership is computed over. cats defaults to all five categories,
+// matching StudyConfig.
+func CanonicalCells(programs []*Program, cats []fault.Category) []CellKey {
+	specs := studySpecs(programs, cats)
+	keys := make([]CellKey, len(specs))
+	for i, s := range specs {
+		keys[i] = s.key()
+	}
+	return keys
+}
+
+// HeaderMismatchError reports a shard checkpoint whose header disagrees
+// with the merge reference file on a pinned study-shape field.
+type HeaderMismatchError struct {
+	File      string // the offending checkpoint
+	Reference string // the file whose header set the expectation
+	Field     string // "n" | "seed" | "replay" | "shard-count" | "shard"
+	Want, Got string
+}
+
+func (e *HeaderMismatchError) Error() string {
+	return fmt.Sprintf("shard checkpoint %s: header %s = %s, but %s was written with %s = %s; these files are not shards of one study",
+		e.File, e.Field, e.Got, e.Reference, e.Field, e.Want)
+}
+
+// DuplicateShardError reports two checkpoints claiming the same shard
+// index.
+type DuplicateShardError struct {
+	File  string
+	Prior string
+	Index int
+}
+
+func (e *DuplicateShardError) Error() string {
+	return fmt.Sprintf("shard checkpoint %s claims shard index %d, already supplied by %s",
+		e.File, e.Index, e.Prior)
+}
+
+// MissingShardsError reports a merge whose file set covers only part of
+// the shard space. Missing enumerates exactly the absent shard indices,
+// in ascending order, so a supervisor (or operator) can restart only
+// those workers.
+type MissingShardsError struct {
+	Count   int
+	Missing []int
+}
+
+func (e *MissingShardsError) Error() string {
+	idx := make([]string, len(e.Missing))
+	for i, m := range e.Missing {
+		idx[i] = strconv.Itoa(m)
+	}
+	return fmt.Sprintf("merge of %d-shard study is missing shard(s) %s; re-run those workers (with -resume on their checkpoints) and merge again",
+		e.Count, strings.Join(idx, ", "))
+}
+
+// IncompleteShard describes one shard whose checkpoint is present but
+// does not account for every cell the shard owns (its worker died
+// mid-run).
+type IncompleteShard struct {
+	Index   int
+	File    string
+	Missing []CellKey
+}
+
+// IncompleteShardsError reports shards with partial checkpoints after a
+// merge's completeness check.
+type IncompleteShardsError struct {
+	Shards []IncompleteShard
+}
+
+func (e *IncompleteShardsError) Error() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d shard checkpoint(s) incomplete:", len(e.Shards))
+	for _, s := range e.Shards {
+		fmt.Fprintf(&sb, " shard %d (%s) missing %d cell(s);", s.Index, s.File, len(s.Missing))
+	}
+	sb.WriteString(" resume those shard workers (-shard i/N -resume <file>) and merge again")
+	return sb.String()
+}
+
+// MergedShards is the validated union of one study's shard checkpoints.
+type MergedShards struct {
+	// Shape is the shared study shape (Shard cleared: the union is the
+	// whole study).
+	Shape CheckpointShape
+	// Count is the shard count all headers agreed on.
+	Count int
+	// Files maps shard index to the checkpoint that supplied it.
+	Files []string
+	// State is the combined resume state covering every shard's cells
+	// and skips.
+	State *CheckpointState
+}
+
+// MergeShardCheckpoints loads the given shard checkpoints, validates
+// their headers for mutual consistency (same n, seed, replay signature,
+// and shard count; distinct shard indices; every index present), and
+// reassembles one CheckpointState. Cells need no reordering here: the
+// resume scheduler restores them into canonical study order, so the
+// merged report is byte-identical to the single-process run.
+//
+// Errors are typed: *HeaderMismatchError names the offending file and
+// field, *DuplicateShardError a doubly-supplied index, and
+// *MissingShardsError enumerates exactly the absent shard indices.
+func MergeShardCheckpoints(paths []string) (*MergedShards, error) {
+	if len(paths) == 0 {
+		return nil, errors.New("merge: no shard checkpoints given")
+	}
+	paths = append([]string(nil), paths...)
+	sort.Strings(paths)
+
+	merged := &MergedShards{State: &CheckpointState{
+		Cells: make(map[CellKey]*CellResult),
+		Skips: make(map[CellKey]CheckpointSkip),
+	}}
+	reference := ""
+	for _, path := range paths {
+		st, hdr, err := readCheckpoint(path)
+		if err != nil {
+			return nil, err
+		}
+		spec, err := ParseShardSpec(hdr.Shard)
+		if err != nil {
+			if hdr.Shard == "" {
+				return nil, fmt.Errorf("checkpoint %s carries no shard header; only shard-tagged checkpoints (-shard i/N) can be merged", path)
+			}
+			return nil, fmt.Errorf("checkpoint %s: %v", path, err)
+		}
+		if reference == "" {
+			reference = path
+			merged.Count = spec.Count
+			merged.Shape = CheckpointShape{N: hdr.N, Seed: hdr.Seed, Replay: normalizeReplay(hdr.Replay)}
+			merged.Files = make([]string, spec.Count)
+		}
+		if err := checkHeader(path, reference, hdr, spec, merged); err != nil {
+			return nil, err
+		}
+		if prior := merged.Files[spec.Index]; prior != "" {
+			return nil, &DuplicateShardError{File: path, Prior: prior, Index: spec.Index}
+		}
+		merged.Files[spec.Index] = path
+		for key, res := range st.Cells {
+			merged.State.Cells[key] = res
+		}
+		for key, skip := range st.Skips {
+			merged.State.Skips[key] = skip
+		}
+	}
+	var missing []int
+	for i, f := range merged.Files {
+		if f == "" {
+			missing = append(missing, i)
+		}
+	}
+	if len(missing) > 0 {
+		return nil, &MissingShardsError{Count: merged.Count, Missing: missing}
+	}
+	merged.State.N, merged.State.Seed = merged.Shape.N, merged.Shape.Seed
+	return merged, nil
+}
+
+// checkHeader validates one shard header against the merge reference.
+func checkHeader(path, reference string, hdr CheckpointShape, spec ShardSpec, merged *MergedShards) error {
+	mismatch := func(field, want, got string) error {
+		return &HeaderMismatchError{File: path, Reference: reference, Field: field, Want: want, Got: got}
+	}
+	if hdr.N != merged.Shape.N {
+		return mismatch("n", strconv.Itoa(merged.Shape.N), strconv.Itoa(hdr.N))
+	}
+	if hdr.Seed != merged.Shape.Seed {
+		return mismatch("seed", strconv.FormatInt(merged.Shape.Seed, 10), strconv.FormatInt(hdr.Seed, 10))
+	}
+	if got := normalizeReplay(hdr.Replay); got != merged.Shape.Replay {
+		return mismatch("replay", merged.Shape.Replay, got)
+	}
+	if spec.Count != merged.Count {
+		return mismatch("shard-count", strconv.Itoa(merged.Count), strconv.Itoa(spec.Count))
+	}
+	return nil
+}
+
+// VerifyComplete checks that every canonical cell is accounted for (as
+// a completed cell or a recorded soft skip) by the shard that owns it.
+// cells must be the canonical cell list of the same study the shards
+// ran (CanonicalCells over the same programs and categories). A worker
+// killed mid-run leaves a valid but partial checkpoint; the returned
+// *IncompleteShardsError names each such shard, its file, and the exact
+// cells still owed, so -resume can restart only those workers.
+func (m *MergedShards) VerifyComplete(cells []CellKey) error {
+	byShard := make(map[int][]CellKey)
+	for i, key := range cells {
+		if m.State.Cells[key] == nil {
+			if _, skipped := m.State.Skips[key]; !skipped {
+				owner := i % m.Count
+				byShard[owner] = append(byShard[owner], key)
+			}
+		}
+	}
+	if len(byShard) == 0 {
+		return nil
+	}
+	err := &IncompleteShardsError{}
+	for i := 0; i < m.Count; i++ {
+		if missing := byShard[i]; len(missing) > 0 {
+			err.Shards = append(err.Shards, IncompleteShard{Index: i, File: m.Files[i], Missing: missing})
+		}
+	}
+	return err
+}

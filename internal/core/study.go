@@ -93,6 +93,15 @@ type StudyConfig struct {
 	// attempt is released as an attempt_trace telemetry event. Tracing
 	// never changes outcomes or random streams.
 	TraceAttempts int
+	// Shard, when non-nil, restricts the study to the canonical cells
+	// this shard owns (index%Count == Index), preserving canonical order
+	// within the subset. Because every cell derives its seed via
+	// cellSeed, a shard worker is fully self-contained: merging the
+	// shard checkpoints of a complete shard set reproduces the unsharded
+	// study byte for byte. Profiling (Table IV's Dyn counts) still
+	// covers every program — it is one golden run per (program, level),
+	// cheap next to any shard's campaigns.
+	Shard *ShardSpec
 }
 
 // ErrAborted is returned (wrapping the context error) by RunStudyContext
@@ -124,6 +133,25 @@ type cellSpec struct {
 
 func (s cellSpec) key() CellKey {
 	return CellKey{Prog: s.prog.Name, Level: s.level, Category: s.cat}
+}
+
+// studySpecs builds the canonical cell list: programs in the given
+// order x levels (IR, ASM) x categories. Shard ownership and the
+// reorder buffer both index into this list, so its order is part of the
+// determinism contract.
+func studySpecs(programs []*Program, cats []fault.Category) []cellSpec {
+	if len(cats) == 0 {
+		cats = fault.Categories
+	}
+	var specs []cellSpec
+	for _, p := range programs {
+		for _, level := range []fault.Level{fault.LevelIR, fault.LevelASM} {
+			for _, cat := range cats {
+				specs = append(specs, cellSpec{prog: p, level: level, cat: cat})
+			}
+		}
+	}
+	return specs
 }
 
 // RunStudy runs every campaign cell of the study with a background
@@ -163,23 +191,33 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 		}
 	}
 
-	var specs []cellSpec
-	for _, p := range cfg.Programs {
-		for _, level := range []fault.Level{fault.LevelIR, fault.LevelASM} {
-			for _, cat := range cats {
-				specs = append(specs, cellSpec{prog: p, level: level, cat: cat})
+	specs := studySpecs(cfg.Programs, cats)
+	shard := ""
+	if cfg.Shard != nil {
+		if err := cfg.Shard.Validate(); err != nil {
+			return nil, err
+		}
+		shard = cfg.Shard.String()
+		owned := specs[:0]
+		for i, s := range specs {
+			if cfg.Shard.Owns(i) {
+				owned = append(owned, s)
 			}
 		}
+		specs = owned
 	}
 
 	parallel, perCell := sched.Split(cfg.Parallel, cfg.Workers, sched.Budget())
 	emit(cfg.Events, telemetry.Event{
 		Type: telemetry.EventStudyStart,
 		N:    cfg.N, Seed: cfg.Seed, Cells: len(specs),
-		Parallel: parallel, Workers: perCell,
+		Parallel: parallel, Workers: perCell, Shard: shard,
 	})
 	if cfg.Obs != nil {
 		cfg.Obs.CellsPlanned.Set(int64(len(specs)))
+		if shard != "" {
+			cfg.Obs.SetShard(shard)
+		}
 		if cfg.Replay != nil {
 			cfg.Replay.Obs = cfg.Obs
 		}

@@ -1,5 +1,7 @@
 package obs
 
+import "fmt"
+
 // Bucket layouts. Attempt latencies run from tens of microseconds (a
 // snapshot-replayed attempt on a small workload) to seconds (a
 // hang-budget exhaustion); restore distance is the residual tail
@@ -99,6 +101,18 @@ func New() *Metrics {
 		RestoreInstrs:  r.Histogram("hlfi_replay_restore_instrs", "Replay restore distance: dynamic instructions replayed after the snapshot restore of one attempt.", RestoreInstrsBuckets),
 		CellSeconds:    r.Histogram("hlfi_cell_seconds", "Campaign cell duration (scan + injection loop) in seconds.", CellSecondsBuckets),
 	}
+}
+
+// SetShard publishes the worker's shard spec as an info-style series
+// (hlfi_shard_info{shard="1/3"} 1), so scrapes from a fleet of shard
+// workers stay distinguishable after aggregation. Nil-safe; the series
+// exists only on sharded runs.
+func (m *Metrics) SetShard(spec string) {
+	if m == nil {
+		return
+	}
+	m.reg.Gauge(fmt.Sprintf("hlfi_shard_info{shard=%q}", spec),
+		"Shard spec of this worker (info metric; value is always 1).").Set(1)
 }
 
 // Registry exposes the backing registry (nil on a nil Metrics).

@@ -201,3 +201,74 @@ func TestServerEndpoints(t *testing.T) {
 		t.Errorf("index page missing endpoint list:\n%s", out)
 	}
 }
+
+// TestCloseDrainsInFlightScrape is the regression test for the severed-
+// scrape bug: Close used http.Server.Close, which cut connections
+// mid-response, so a scraper racing study shutdown read a truncated
+// body. Close must drain: a request already in its handler when Close
+// begins completes with a full body, and Close returns only after it
+// has.
+func TestCloseDrainsInFlightScrape(t *testing.T) {
+	inHandler := make(chan struct{})
+	release := make(chan struct{})
+	status := func() any {
+		close(inHandler)
+		<-release
+		return map[string]string{"state": "complete-body"}
+	}
+	srv, err := StartServer("127.0.0.1:0", New().Registry(), status)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	body := make(chan string, 1)
+	fail := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(fmt.Sprintf("http://%s/statusz", srv.Addr()))
+		if err != nil {
+			fail <- err
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			fail <- err
+			return
+		}
+		body <- string(b)
+	}()
+	<-inHandler
+
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	// Close must not return while the scrape is still in its handler.
+	select {
+	case err := <-closed:
+		t.Fatalf("Close returned (%v) with a scrape in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	select {
+	case b := <-body:
+		if !strings.Contains(b, "complete-body") {
+			t.Errorf("scrape body truncated: %q", b)
+		}
+	case err := <-fail:
+		t.Fatalf("in-flight scrape severed by Close: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("scrape never completed")
+	}
+	if err := <-closed; err != nil {
+		t.Errorf("Close = %v after clean drain, want nil", err)
+	}
+
+	// After Close the listener is gone and a nil server stays a no-op.
+	if _, err := http.Get(fmt.Sprintf("http://%s/statusz", srv.Addr())); err == nil {
+		t.Error("server still accepting connections after Close")
+	}
+	var nilSrv *Server
+	if err := nilSrv.Close(); err != nil {
+		t.Errorf("nil Close = %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -68,11 +69,27 @@ func StartServer(addr string, reg *Registry, status func() any) (*Server, error)
 // Addr is the bound listen address (useful with port 0).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server. Nil-safe, so a disabled endpoint needs no
-// guard at shutdown.
+// drainTimeout bounds how long Close waits for in-flight scrapes. The
+// linger window is the moment scrapers read a short study's final
+// state, so a request caught mid-response must be allowed to finish —
+// but study shutdown must never hang on a stuck client.
+const drainTimeout = 2 * time.Second
+
+// Close stops the server, draining in-flight requests first: a
+// /metrics or /statusz scrape racing study shutdown reads a complete
+// body instead of a severed connection. Requests still open after
+// drainTimeout are forcibly closed. Nil-safe, so a disabled endpoint
+// needs no guard at shutdown.
 func (s *Server) Close() error {
 	if s == nil {
 		return nil
 	}
-	return s.srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		// Drain deadline hit (or shutdown failed): sever what remains.
+		_ = s.srv.Close()
+		return err
+	}
+	return nil
 }

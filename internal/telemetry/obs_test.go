@@ -289,3 +289,46 @@ func TestAttemptTraceEvents(t *testing.T) {
 		t.Error("render missing trace count")
 	}
 }
+
+// TestStatusCanonicalOrderOnResume is the regression test for the
+// /statusz ordering bug: a resumed study's event stream interleaves
+// cell_resume (restored cells) and cell_done (recomputed cells) in
+// canonical cell order — the order the study's reorder buffer releases
+// them — and Status must preserve that interleaving. The old
+// implementation read the per-type slices back to back, listing every
+// resumed cell after every fresh one.
+func TestStatusCanonicalOrderOnResume(t *testing.T) {
+	a := NewAggregator()
+	a.Record(Event{Type: EventStudyStart, N: 10, Seed: 5, Cells: 4, Shard: "1/3"})
+	// Canonical order: resumed, fresh, skipped, resumed — the shape of a
+	// -resume run whose interruption left holes mid-study.
+	a.Record(Event{Type: EventCellResume, Benchmark: "bzip2m", Level: "LLFI", Category: "all", Attempts: 10})
+	a.Record(Event{Type: EventCellDone, Benchmark: "bzip2m", Level: "LLFI", Category: "arith", Attempts: 12})
+	a.Record(Event{Type: EventCellSkip, Benchmark: "bzip2m", Level: "LLFI", Category: "cast", Err: "no candidates"})
+	a.Record(Event{Type: EventCellResume, Benchmark: "bzip2m", Level: "PINFI", Category: "all", Attempts: 11})
+	a.Record(Event{Type: EventCellDeadline, Benchmark: "bzip2m", Level: "PINFI", Category: "arith", Err: "deadline"})
+
+	st := a.Status()
+	if st.Shard != "1/3" {
+		t.Errorf("status shard = %q, want 1/3", st.Shard)
+	}
+	want := []struct {
+		category string
+		resumed  bool
+	}{
+		{"all", true}, {"arith", false}, {"all", true},
+	}
+	if len(st.Cells) != len(want) {
+		t.Fatalf("cells = %d, want %d", len(st.Cells), len(want))
+	}
+	for i, w := range want {
+		if st.Cells[i].Category != w.category || st.Cells[i].Resumed != w.resumed {
+			t.Errorf("cells[%d] = %s/resumed=%v, want %s/resumed=%v — canonical order broken",
+				i, st.Cells[i].Category, st.Cells[i].Resumed, w.category, w.resumed)
+		}
+	}
+	// Skips likewise keep arrival order across skip and deadline events.
+	if len(st.Skips) != 2 || st.Skips[0].Category != "cast" || st.Skips[1].Category != "arith" {
+		t.Errorf("skips out of order: %+v", st.Skips)
+	}
+}

@@ -12,6 +12,9 @@ import (
 type StudyStatus struct {
 	N    int   `json:"n,omitempty"`
 	Seed int64 `json:"seed,omitempty"`
+	// Shard is the worker's "i/N" spec when this process runs one shard
+	// of a sharded campaign ("" for an unsharded study).
+	Shard string `json:"shard,omitempty"`
 
 	CellsPlanned  int  `json:"cellsPlanned"`
 	CellsDone     int  `json:"cellsDone"`
@@ -92,6 +95,7 @@ func (a *Aggregator) Status() StudyStatus {
 	st := StudyStatus{
 		N:             a.start.N,
 		Seed:          a.start.Seed,
+		Shard:         a.start.Shard,
 		CellsPlanned:  a.start.Cells,
 		CellsDone:     len(a.cells),
 		CellsSkipped:  len(a.skips),
@@ -106,18 +110,16 @@ func (a *Aggregator) Status() StudyStatus {
 	if a.done.DurationMS > 0 {
 		st.ThroughputPerSec = float64(st.Attempts) / (a.done.DurationMS / 1000)
 	}
-	for _, e := range a.cells {
-		st.Cells = append(st.Cells, cellStatus(e, false))
+	// The combined arrival-order lists interleave fresh and resumed
+	// cells (and skips with deadline drops) exactly as the study's
+	// reorder buffer released them — canonical cell order. Reading the
+	// per-type slices instead would list every resumed cell after every
+	// fresh one, breaking the documented ordering on -resume and merged
+	// runs.
+	for _, r := range a.ordered {
+		st.Cells = append(st.Cells, cellStatus(r.e, r.resumed))
 	}
-	for _, e := range a.resumes {
-		st.Cells = append(st.Cells, cellStatus(e, true))
-	}
-	for _, e := range a.skips {
-		st.Skips = append(st.Skips, CellStatus{
-			Benchmark: e.Benchmark, Level: e.Level, Category: e.Category, Err: e.Err,
-		})
-	}
-	for _, e := range a.deadlines {
+	for _, e := range a.orderedSkips {
 		st.Skips = append(st.Skips, CellStatus{
 			Benchmark: e.Benchmark, Level: e.Level, Category: e.Category, Err: e.Err,
 		})

@@ -67,12 +67,14 @@ type Event struct {
 	Category  string `json:"category,omitempty"`
 
 	// Study shape (study_start; Cells repeated on study_done with the
-	// number of completed cells).
-	N        int   `json:"n,omitempty"`
-	Seed     int64 `json:"seed,omitempty"`
-	Cells    int   `json:"cells,omitempty"`
-	Parallel int   `json:"parallel,omitempty"`
-	Workers  int   `json:"workers,omitempty"`
+	// number of completed cells). Shard is the worker's "i/N" spec when
+	// the study is one shard of a sharded campaign.
+	N        int    `json:"n,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
+	Cells    int    `json:"cells,omitempty"`
+	Parallel int    `json:"parallel,omitempty"`
+	Workers  int    `json:"workers,omitempty"`
+	Shard    string `json:"shard,omitempty"`
 
 	// Timing. ScanMS covers injector construction (the golden profiling
 	// run plus the candidate scan); DurationMS the whole cell or study.
@@ -230,6 +232,14 @@ func (s *JSONLSink) Flush() error {
 	return nil
 }
 
+// cellRecord is one released cell in the combined arrival-order list
+// behind Status: freshly completed (cell_done) or restored from a
+// checkpoint (cell_resume).
+type cellRecord struct {
+	e       Event
+	resumed bool
+}
+
 // Aggregator accumulates the event stream in memory and renders the
 // campaign summary.
 type Aggregator struct {
@@ -243,6 +253,13 @@ type Aggregator struct {
 	simFaults []Event
 	traces    int
 	abort     *Event
+	// ordered interleaves cell_done and cell_resume (and, in
+	// orderedSkips, cell_skip and cell_deadline) in arrival order. The
+	// study's reorder buffer releases events in canonical cell order, so
+	// arrival order IS canonical order — the per-type slices above lose
+	// that interleaving, which is why Status reads these instead.
+	ordered      []cellRecord
+	orderedSkips []Event
 }
 
 // NewAggregator returns an empty aggregator.
@@ -257,12 +274,16 @@ func (a *Aggregator) Record(e Event) {
 		a.start = e
 	case EventCellDone:
 		a.cells = append(a.cells, e)
+		a.ordered = append(a.ordered, cellRecord{e: e})
 	case EventCellSkip:
 		a.skips = append(a.skips, e)
+		a.orderedSkips = append(a.orderedSkips, e)
 	case EventCellResume:
 		a.resumes = append(a.resumes, e)
+		a.ordered = append(a.ordered, cellRecord{e: e, resumed: true})
 	case EventCellDeadline:
 		a.deadlines = append(a.deadlines, e)
+		a.orderedSkips = append(a.orderedSkips, e)
 	case EventSimFault:
 		a.simFaults = append(a.simFaults, e)
 	case EventAttemptTrace:
