@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test bench study calibration examples cover fmt race smoke resume-smoke fuzz-smoke replay-determinism obs-smoke shard-smoke ci
+.PHONY: test bench study calibration examples cover fmt race smoke resume-smoke fuzz-smoke replay-determinism compiled-smoke obs-smoke shard-smoke ci
 
 test:
 	go build ./... && go vet ./... && go test ./...
@@ -43,6 +43,20 @@ replay-determinism:
 	go run ./cmd/ficompare -experiment all -n 20 -benchmarks bzip2m,mcfm -q -parallel 4 -snapshot-stride 777 > .replay-stride.txt
 	cmp .replay-off.txt .replay-stride.txt
 	rm -f .replay-off.txt .replay-on.txt .replay-stride.txt
+
+# Compiled-engine determinism gate: the compiled execution engines must
+# be observationally invisible — a study with them (the default) is
+# byte-compared against -no-compiled, sequentially and under the
+# parallel scheduler (mirrors the CI compiled-determinism job).
+compiled-smoke:
+	go run ./cmd/ficompare -experiment all -n 20 -benchmarks bzip2m,mcfm -q -no-compiled > .compiled-off.txt
+	go run ./cmd/ficompare -experiment all -n 20 -benchmarks bzip2m,mcfm -q > .compiled-on.txt
+	cmp .compiled-off.txt .compiled-on.txt
+	go run ./cmd/ficompare -experiment all -n 20 -benchmarks bzip2m,mcfm -q -parallel 4 > .compiled-parallel.txt
+	cmp .compiled-off.txt .compiled-parallel.txt
+	go run ./cmd/ficompare -experiment all -n 20 -benchmarks bzip2m,mcfm -q -no-compiled -no-snapshots > .compiled-neither.txt
+	cmp .compiled-off.txt .compiled-neither.txt
+	rm -f .compiled-off.txt .compiled-on.txt .compiled-parallel.txt .compiled-neither.txt
 
 # Observability smoke + determinism gate: a tiny campaign with the live
 # status endpoint and attempt tracing armed must serve /metrics and
@@ -102,6 +116,7 @@ fuzz-smoke:
 	go test -run '^$$' -fuzz '^FuzzMiniCParse$$' -fuzztime 30s ./internal/minic
 	go test -run '^$$' -fuzz '^FuzzSnapshotRestore$$' -fuzztime 30s ./internal/interp
 	go test -run '^$$' -fuzz '^FuzzSnapshotRestore$$' -fuzztime 30s ./internal/machine
+	go test -run '^$$' -fuzz '^FuzzCompiledVsInterp$$' -fuzztime 30s ./internal/compile/irc
 
 # The exact CI pipeline (.github/workflows/ci.yml), runnable locally.
 ci:
@@ -116,17 +131,24 @@ ci:
 	$(MAKE) smoke
 	$(MAKE) resume-smoke
 	$(MAKE) replay-determinism
+	$(MAKE) compiled-smoke
 	$(MAKE) obs-smoke
 	$(MAKE) shard-smoke
 	$(MAKE) fuzz-smoke
 
 # All tables/figures + ablations. HLFI_N controls injections per cell.
-# Also times single injection attempts with and without snapshot replay
-# and records the measured speedup in BENCH_replay.json.
+# Also times single injection attempts against snapshot replay
+# (BENCH_replay.json) and against the compiled execution engines
+# (BENCH_compiled.json). Each emitter writes to a temp file that is
+# moved into place only after its gate passes, so a failed run never
+# clobbers the previous good BENCH_*.json artifacts.
 bench:
 	go test -bench=. -benchmem -benchtime=1x
-	HLFI_BENCH_REPLAY=BENCH_replay.json go test -run '^TestWriteReplayBench$$' -count=1 .
-	@cat BENCH_replay.json
+	HLFI_BENCH_REPLAY=BENCH_replay.json.tmp go test -run '^TestWriteReplayBench$$' -count=1 .
+	mv BENCH_replay.json.tmp BENCH_replay.json
+	HLFI_BENCH_COMPILED=BENCH_compiled.json.tmp go test -run '^TestWriteCompiledBench$$' -count=1 .
+	mv BENCH_compiled.json.tmp BENCH_compiled.json
+	@cat BENCH_replay.json BENCH_compiled.json
 
 # Paper-scale reproduction (the committed study_n1000.txt).
 study:

@@ -81,6 +81,8 @@ func runCtx(ctx context.Context, args []string) error {
 		snapStride  = fs.Uint64("snapshot-stride", 0, "dynamic instructions between golden-run snapshots (0 = auto); results are byte-identical for any value")
 		snapBudget  = fs.Int64("snapshot-mem-budget", 0, "snapshot cache budget in MiB (0 = 256); least-recently-used programs are evicted over budget")
 		noSnapshots = fs.Bool("no-snapshots", false, "disable snapshot fast-forward replay and re-execute every attempt from instruction zero")
+		compiled    = fs.Bool("compiled", true, "run untraced injection attempts on the compiled execution engines (results are byte-identical to the interpreters)")
+		noCompiled  = fs.Bool("no-compiled", false, "force every attempt onto the interpreters (escape hatch; overrides -compiled)")
 		status      = fs.String("status", "", "serve live observability on this address (/metrics, /statusz, /debug/pprof/); results are byte-identical with or without it")
 		linger      = fs.Duration("status-linger", 0, "keep the status endpoint serving this long after the study finishes (useful for scraping short runs)")
 		traceAtt    = fs.Int("trace-attempts", 0, "record fault-propagation traces for the first N attempts of every cell as attempt_trace events (results stay byte-identical)")
@@ -265,13 +267,22 @@ func runCtx(ctx context.Context, args []string) error {
 		}
 	}
 
+	// Compiled execution engines: on by default, forced off by
+	// -no-compiled (or -compiled=false). Byte-identical either way.
+	var compiledCfg *core.CompiledConfig
+	if *compiled && !*noCompiled {
+		compiledCfg = &core.CompiledConfig{}
+	}
+
 	// Fault tolerance: an optional resume state (cells already completed
 	// by an interrupted run) and an optional checkpoint writer for this
 	// run's cells. -resume alone keeps appending to the same file. The
-	// header pins the replay signature and shard spec alongside n/seed,
-	// so a resumed run cannot silently mix replay configs or shards; a
-	// -merge run resumes from the reassembled shard state instead.
-	shape := core.CheckpointShape{N: *n, Seed: *seed, Replay: replay.Signature()}
+	// header pins the replay and compiled-engine signatures and the shard
+	// spec alongside n/seed, so a resumed run cannot silently mix engine
+	// configs or shards; a -merge run resumes from the reassembled shard
+	// state instead.
+	shape := core.CheckpointShape{N: *n, Seed: *seed,
+		Replay: replay.Signature(), Compiled: compiledCfg.Signature()}
 	if shardSpec != nil {
 		shape.Shard = shardSpec.String()
 	}
@@ -303,7 +314,7 @@ func runCtx(ctx context.Context, args []string) error {
 		Workers: *cellWorkers, Parallel: *parallel, Events: rec,
 		SimFaultLimit: *simFaults, CellDeadline: *deadline,
 		Checkpoint: ckpt, Resume: resumeState, Replay: replay,
-		Obs: om, TraceAttempts: *traceAtt, Shard: shardSpec}
+		Compiled: compiledCfg, Obs: om, TraceAttempts: *traceAtt, Shard: shardSpec}
 	if !*quiet {
 		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}

@@ -38,6 +38,7 @@ func run(args []string) error {
 		events    = fs.String("events", "", "write the campaign telemetry event stream (JSONL) to this file")
 		status    = fs.String("status", "", "serve live observability on this address (/metrics, /statusz, /debug/pprof/)")
 		traceAtt  = fs.Int("trace-attempts", 0, "record fault-propagation traces for the first N attempts as attempt_trace events")
+		noComp    = fs.Bool("no-compiled", false, "force every attempt onto the interpreter instead of the compiled engine (results are byte-identical)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,5 +57,5 @@ func run(args []string) error {
 	}
 	return cli.RunCampaign(os.Stdout, prog, fault.LevelIR, cat,
 		cli.CampaignOptions{N: *n, Seed: *seed, Verbose: *verbose, EventsPath: *events,
-			StatusAddr: *status, TraceAttempts: *traceAtt})
+			StatusAddr: *status, TraceAttempts: *traceAtt, NoCompiled: *noComp})
 }

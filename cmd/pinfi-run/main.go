@@ -39,6 +39,7 @@ func run(args []string) error {
 		events    = fs.String("events", "", "write the campaign telemetry event stream (JSONL) to this file")
 		status    = fs.String("status", "", "serve live observability on this address (/metrics, /statusz, /debug/pprof/)")
 		traceAtt  = fs.Int("trace-attempts", 0, "record fault-propagation traces for the first N attempts as attempt_trace events")
+		noComp    = fs.Bool("no-compiled", false, "force every attempt onto the simulator instead of the pre-decoded engine (results are byte-identical)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,5 +71,5 @@ func run(args []string) error {
 	}
 	return cli.RunCampaign(os.Stdout, prog, fault.LevelASM, cat,
 		cli.CampaignOptions{N: *n, Seed: *seed, Verbose: *verbose, EventsPath: *events,
-			StatusAddr: *status, TraceAttempts: *traceAtt})
+			StatusAddr: *status, TraceAttempts: *traceAtt, NoCompiled: *noComp})
 }

@@ -1,0 +1,74 @@
+// Benchmarks and the BENCH_compiled.json emitter for the compiled
+// execution engines. BenchmarkCampaignCompiled times a whole campaign
+// cell with the engines off and on; TestWriteCompiledBench measures
+// interpreter-vs-compiled attempt latency at both levels, writes the
+// JSON artifact, and gates the 1.5x performance contract.
+//
+//	go test -bench=BenchmarkCampaignCompiled -benchtime=5x
+//	HLFI_BENCH_COMPILED=BENCH_compiled.json go test -run '^TestWriteCompiledBench$'
+package hlfi_test
+
+import (
+	"os"
+	"testing"
+
+	"hlfi/internal/bench"
+	"hlfi/internal/core"
+	"hlfi/internal/fault"
+)
+
+// BenchmarkCampaignCompiled runs a whole campaign cell with the compiled
+// engines off ("off") and on ("on"). This includes the golden profiling
+// run and the one-time engine compile, so it reports the net
+// campaign-level win.
+func BenchmarkCampaignCompiled(b *testing.B) {
+	p := replayBenchProgram(b)
+	n := injectionsPerCell()
+	arm := func(compiled bool) func(*testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c := &core.Campaign{
+					Prog: p, Level: fault.LevelIR, Category: fault.CatAll,
+					N: n, Seed: int64(i) + 1,
+				}
+				if compiled {
+					c.Compiled = &core.CompiledConfig{}
+				}
+				if _, err := c.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(n), "injections/op")
+		}
+	}
+	b.Run("off", arm(false))
+	b.Run("on", arm(true))
+}
+
+// TestWriteCompiledBench emits BENCH_compiled.json: set
+// HLFI_BENCH_COMPILED to the output path (as `make bench` does) or the
+// test skips. It also gates the engines' performance contract: the
+// compiled IR engine must be at least 1.5x faster per attempt than the
+// interpreter (the BenchmarkInjectionAttempt full-vs-compiled shape).
+func TestWriteCompiledBench(t *testing.T) {
+	path := os.Getenv("HLFI_BENCH_COMPILED")
+	if path == "" {
+		t.Skip("set HLFI_BENCH_COMPILED=<path> to write the compiled benchmark JSON")
+	}
+	m, err := bench.MeasureCompiled("quantumm", injectionsPerCell(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := m.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	t.Log(m.String())
+	if m.IR.Speedup < 1.5 {
+		t.Errorf("compiled IR speedup %.2fx is below the 1.5x contract", m.IR.Speedup)
+	}
+}

@@ -60,6 +60,10 @@ type CampaignOptions struct {
 	// TraceAttempts attempts; traces are released as attempt_trace
 	// telemetry events.
 	TraceAttempts int
+	// NoCompiled forces every attempt onto the interpreter instead of the
+	// compiled execution engines (flag parity with ficompare's
+	// -no-compiled; results are byte-identical either way).
+	NoCompiled bool
 }
 
 // RunCampaign executes one campaign cell and prints the paper-style
@@ -99,11 +103,16 @@ func RunCampaign(w io.Writer, prog *core.Program, level fault.Level, cat fault.C
 		}
 	}
 
+	var compiled *core.CompiledConfig
+	if !opts.NoCompiled {
+		compiled = &core.CompiledConfig{Obs: om}
+	}
+
 	var metrics core.CellMetrics
 	c := &core.Campaign{Prog: prog, Level: level, Category: cat,
 		N: opts.N, Seed: opts.Seed, Metrics: &metrics,
 		SimFaultLimit: opts.SimFaultLimit, Deadline: opts.Deadline,
-		Obs: om, TraceAttempts: opts.TraceAttempts}
+		Compiled: compiled, Obs: om, TraceAttempts: opts.TraceAttempts}
 	res, err := c.Run()
 	emitCampaignEvents(rec, c, res, metrics, err)
 	if err != nil {

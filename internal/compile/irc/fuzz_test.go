@@ -1,0 +1,137 @@
+package irc_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hlfi/internal/codegen"
+	"hlfi/internal/compile/irc"
+	"hlfi/internal/compile/mc"
+	"hlfi/internal/interp"
+	"hlfi/internal/machine"
+	"hlfi/internal/minic"
+)
+
+// fuzzBudget bounds fuzzed executions so pathological loops finish as
+// ErrHang quickly instead of eating the fuzzing time box.
+const fuzzBudget = 50_000
+
+// FuzzCompiledVsInterp feeds arbitrary programs through both compiled
+// engines and their interpreters — golden and with an injection armed —
+// and requires bit-identical exit codes, errors, output, executed
+// counts, injection records, and post-run RNG states. Programs the
+// compilers reject are skipped: rejection IS the fallback path, and the
+// interpreter result is then trivially identical.
+func FuzzCompiledVsInterp(f *testing.F) {
+	f.Add("int main(){int s=0;for(int i=0;i<50;i++)s+=i;print_long(s);return 0;}", int64(1), uint64(3))
+	f.Add(`int arr[8];
+int main() {
+    double acc = 0.0;
+    for (int i = 0; i < 8; i++) { arr[i] = i * 3; acc = acc + (double)arr[i]; }
+    long sum = 0;
+    for (int i = 0; i < 8; i++) sum += arr[i];
+    print_long(sum); print_str(" "); print_double(acc); print_str("\n");
+    return 0;
+}`, int64(7), uint64(19))
+	f.Add("int f(int n){ if (n < 2) return n; return f(n-1)+f(n-2); } int main(){ print_long(f(12)); return 0; }", int64(3), uint64(40))
+	f.Add("int main(){ int *p = 0; return *p; }", int64(5), uint64(0))
+	f.Add("int main(){ int a = 7; int b = 0; return a / b; }", int64(9), uint64(1))
+	f.Add("int main(){ for(;;){} return 0; }", int64(11), uint64(64))
+
+	f.Fuzz(func(t *testing.T, src string, seed int64, trigger uint64) {
+		mod, err := minic.Compile("fuzz", src)
+		if err != nil {
+			t.Skip()
+		}
+		prep, err := interp.Prepare(mod)
+		if err != nil {
+			t.Skip()
+		}
+		trigger %= 4096
+
+		// IR level: interpreter vs compile-to-closure engine.
+		if cp, err := irc.Compile(prep); err == nil {
+			candSet := make([]bool, prep.SeqTotal)
+			for i := range candSet {
+				candSet[i] = true
+			}
+			for _, inject := range []bool{false, true} {
+				var iOut, cOut bytes.Buffer
+				ir := interp.NewRunner(prep, &iOut)
+				ir.MaxInstrs = fuzzBudget
+				cr := irc.NewRunner(cp, &cOut)
+				cr.MaxInstrs = fuzzBudget
+				var iInj, cInj *interp.Injection
+				if inject {
+					iInj = &interp.Injection{Candidates: candSet, TriggerIndex: trigger, Rng: rand.New(rand.NewSource(seed))}
+					cInj = &interp.Injection{Candidates: candSet, TriggerIndex: trigger, Rng: rand.New(rand.NewSource(seed))}
+					ir.Inject, cr.Inject = iInj, cInj
+				}
+				iRC, iErr := ir.Run()
+				cRC, cErr := cr.Run()
+				if iRC != cRC || fmt.Sprint(iErr) != fmt.Sprint(cErr) ||
+					!bytes.Equal(iOut.Bytes(), cOut.Bytes()) || ir.Executed() != cr.Executed() {
+					t.Fatalf("IR divergence (inject=%v): interp=(%d,%v,%q,%d) compiled=(%d,%v,%q,%d)",
+						inject, iRC, iErr, iOut.Bytes(), ir.Executed(), cRC, cErr, cOut.Bytes(), cr.Executed())
+				}
+				if inject {
+					if iInj.Happened != cInj.Happened || iInj.Activated != cInj.Activated ||
+						iInj.Bit != cInj.Bit || iInj.OrigVal != cInj.OrigVal ||
+						iInj.FaultyVal != cInj.FaultyVal || iInj.InstrIndex != cInj.InstrIndex {
+						t.Fatalf("IR injection record divergence:\ninterp   %+v\ncompiled %+v", iInj, cInj)
+					}
+					if a, b := iInj.Rng.Int63(), cInj.Rng.Int63(); a != b {
+						t.Fatal("IR RNG state diverged")
+					}
+				}
+			}
+		}
+
+		// Machine level: simulator vs pre-decoded engine.
+		asm, err := codegen.Lower(mod, prep.Layout, codegen.DefaultOptions())
+		if err != nil {
+			t.Skip()
+		}
+		acp, err := mc.Compile(asm, prep.Layout.Image, prep.Layout.Base)
+		if err != nil {
+			return
+		}
+		candSet := make([]bool, len(asm.Instrs))
+		for i := range candSet {
+			candSet[i] = true
+		}
+		for _, inject := range []bool{false, true} {
+			var sOut, cOut bytes.Buffer
+			sm := machine.New(asm, prep.Layout.Image, prep.Layout.Base, &sOut)
+			sm.MaxInstrs = fuzzBudget
+			ce := mc.New(acp, &cOut)
+			ce.MaxInstrs = fuzzBudget
+			var sInj, cInj *machine.Injection
+			if inject {
+				sInj = &machine.Injection{Candidates: candSet, TriggerIndex: trigger, Rng: rand.New(rand.NewSource(seed))}
+				cInj = &machine.Injection{Candidates: candSet, TriggerIndex: trigger, Rng: rand.New(rand.NewSource(seed))}
+				sm.Inject, ce.Inject = sInj, cInj
+			}
+			sRC, sErr := sm.Run()
+			cRC, cErr := ce.Run()
+			if sRC != cRC || fmt.Sprint(sErr) != fmt.Sprint(cErr) ||
+				!bytes.Equal(sOut.Bytes(), cOut.Bytes()) || sm.Executed() != ce.Executed() {
+				t.Fatalf("ASM divergence (inject=%v): machine=(%d,%v,%q,%d) compiled=(%d,%v,%q,%d)",
+					inject, sRC, sErr, sOut.Bytes(), sm.Executed(), cRC, cErr, cOut.Bytes(), ce.Executed())
+			}
+			if inject {
+				if sInj.Happened != cInj.Happened || sInj.Activated != cInj.Activated ||
+					sInj.Bit != cInj.Bit || sInj.OrigVal != cInj.OrigVal ||
+					sInj.FaultyVal != cInj.FaultyVal || sInj.InstrIdx != cInj.InstrIdx ||
+					sInj.TargetDesc != cInj.TargetDesc {
+					t.Fatalf("ASM injection record divergence:\nmachine  %+v\ncompiled %+v", sInj, cInj)
+				}
+				if a, b := sInj.Rng.Int63(), cInj.Rng.Int63(); a != b {
+					t.Fatal("ASM RNG state diverged")
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,740 @@
+// Package irc compiles prepared IR modules into flat per-block arrays
+// of pre-bound Go closures — the one-time "compile" step that replaces
+// the interpreter's per-instruction dispatch for injection attempts.
+//
+// Design choice (see docs/compiled.md): each basic block becomes a flat
+// []step of closures driven by a per-frame pc, rather than a bytecode
+// array. Go has no computed goto, so bytecode would still pay a dispatch
+// switch per instruction; closures move all of that cost to compile
+// time — operand resolution (no interface type switches), width
+// canonicalization and sign extension (no per-op branching), GEP stride
+// plans, and CFG edges with their phi bundles are all pre-bound. The
+// engine is byte-identical to interp.Runner: same outcomes, same error
+// strings, same RNG consumption, same executed counts. Instrumentation
+// the interpreter supports but attempts never use (taint tracing,
+// snapshot capture) is not compiled in at all — golden runs, profiling,
+// and traced attempts stay on the interpreter.
+//
+// Any construct the compiler cannot lower (e.g. function-valued
+// operands) fails Compile; callers fall back to the interpreter for the
+// whole program, which is byte-identical by definition.
+package irc
+
+import (
+	"fmt"
+	"math"
+
+	"hlfi/internal/interp"
+	"hlfi/internal/ir"
+	"hlfi/internal/mem"
+	"hlfi/internal/rt"
+)
+
+// divideFault is the shared divide-error value. The interpreter
+// allocates a fresh fault per occurrence; only the rendered string is
+// observable, and it is identical.
+var divideFault = &mem.Fault{Kind: mem.FaultDivideByZero}
+
+// loader resolves one pre-bound operand against a frame.
+type loader func(fr *frame) uint64
+
+// step is one compiled non-phi instruction.
+type step struct {
+	exec func(r *Runner, fr *frame) error
+	// watchArgs are the instruction-valued operands, in operand order,
+	// for the activation scan (only instruction results can be watched).
+	watchArgs []*ir.Instr
+	// fin completes an OpCall step when its callee returns.
+	fin *callFinish
+}
+
+type callFinish struct {
+	in        *ir.Instr
+	hasResult bool
+	id        int
+	seq       int
+	width     int
+	mask      uint64
+}
+
+// blockCode is one compiled basic block: the non-phi instructions as
+// steps; phis live on the incoming edges.
+type blockCode struct {
+	blk   *ir.Block
+	nPhi  int
+	steps []step
+}
+
+// phiStep is one phi of an edge's bundle, with the incoming value
+// loader for that edge pre-selected.
+type phiStep struct {
+	in *ir.Instr
+	// actArgs are the instruction-valued incoming args on this edge, in
+	// operand order (the per-edge activation scan).
+	actArgs []*ir.Instr
+	load    loader
+	err     error // pre-built "no incoming edge" error, when applicable
+	width   int
+	mask    uint64
+}
+
+// edgePlan is one CFG edge: the target block plus its phi bundle for
+// this predecessor.
+type edgePlan struct {
+	to   *blockCode
+	phis []phiStep
+}
+
+// fnCode is one compiled function.
+type fnCode struct {
+	fn        *ir.Function
+	frameSize uint64
+	mapFrame  bool
+	numValues int
+	blocks    map[*ir.Block]*blockCode
+	entry     *edgePlan
+}
+
+// Program is a compiled module, immutable and shareable across any
+// number of concurrent Runners.
+type Program struct {
+	prep *interp.Prepared
+	fns  map[*ir.Function]*fnCode
+	main *fnCode
+}
+
+// Prepared returns the underlying prepared module.
+func (p *Program) Prepared() *interp.Prepared { return p.prep }
+
+type edgeKey struct{ from, to *ir.Block }
+
+type compiler struct {
+	prep  *interp.Prepared
+	fns   map[*ir.Function]*fnCode
+	edges map[edgeKey]*edgePlan
+}
+
+// Compile lowers a prepared module. It fails (rather than degrade) on
+// any construct outside the interpreter's executable subset; callers
+// are expected to fall back to the interpreter.
+func Compile(p *interp.Prepared) (*Program, error) {
+	c := &compiler{
+		prep:  p,
+		fns:   make(map[*ir.Function]*fnCode, len(p.Mod.Funcs)),
+		edges: make(map[edgeKey]*edgePlan),
+	}
+	// Pass 1: allocate fnCode and blockCode shells so call and branch
+	// compilation can reference targets in any order.
+	for _, f := range p.Mod.Funcs {
+		if len(f.Blocks) == 0 {
+			continue // declarations are handled at the call site
+		}
+		fc := &fnCode{
+			fn:        f,
+			frameSize: p.FrameSize(f),
+			mapFrame:  p.FrameSize(f) > interp.MinFrameBytes,
+			numValues: f.NumValues(),
+			blocks:    make(map[*ir.Block]*blockCode, len(f.Blocks)),
+		}
+		for _, b := range f.Blocks {
+			nPhi := 0
+			for nPhi < len(b.Instrs) && b.Instrs[nPhi].Op == ir.OpPhi {
+				nPhi++
+			}
+			fc.blocks[b] = &blockCode{blk: b, nPhi: nPhi}
+		}
+		c.fns[f] = fc
+	}
+	// Pass 2: compile bodies.
+	for _, f := range p.Mod.Funcs {
+		fc := c.fns[f]
+		if fc == nil {
+			continue
+		}
+		for _, b := range f.Blocks {
+			if err := c.compileBlock(fc, b); err != nil {
+				return nil, fmt.Errorf("irc: @%s: %w", f.Name, err)
+			}
+		}
+		entry, err := c.edge(nil, f.Entry(), fc)
+		if err != nil {
+			return nil, fmt.Errorf("irc: @%s: %w", f.Name, err)
+		}
+		fc.entry = entry
+	}
+	cp := &Program{prep: p, fns: c.fns}
+	if m := p.Mod.Func("main"); m != nil {
+		cp.main = c.fns[m] // nil when main has no blocks => ErrNoMain
+	}
+	return cp, nil
+}
+
+// loader compiles one operand. Function values (and any future operand
+// kind) are not executable at the IR level; compilation fails and the
+// caller falls back to the interpreter, which reports the same
+// condition at runtime if the instruction is ever reached.
+func (c *compiler) loader(v ir.Value) (loader, error) {
+	switch x := v.(type) {
+	case *ir.Instr:
+		id := x.ID
+		return func(fr *frame) uint64 { return fr.vals[id] }, nil
+	case *ir.Const:
+		val := x.Val
+		return func(fr *frame) uint64 { return val }, nil
+	case *ir.Param:
+		idx := x.Index
+		return func(fr *frame) uint64 { return fr.params[idx] }, nil
+	case *ir.Global:
+		addr := c.prep.Layout.Addr[x]
+		return func(fr *frame) uint64 { return addr }, nil
+	default:
+		return nil, fmt.Errorf("operand %T not compilable", v)
+	}
+}
+
+func (c *compiler) loaders(args []ir.Value) ([]loader, error) {
+	out := make([]loader, len(args))
+	for i, a := range args {
+		ld, err := c.loader(a)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ld
+	}
+	return out, nil
+}
+
+// watchArgs collects the instruction-valued operands, in order.
+func watchArgs(args []ir.Value) []*ir.Instr {
+	var out []*ir.Instr
+	for _, a := range args {
+		if in, ok := a.(*ir.Instr); ok {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// canonMask is the bit mask equivalent of ir.Canonical for a type.
+func canonMask(t *ir.Type) uint64 {
+	if t.Kind == ir.KindInt && t.Bits < 64 {
+		return 1<<uint(t.Bits) - 1
+	}
+	return ^uint64(0)
+}
+
+// sxShift is the shift pair equivalent of ir.SignExtend for a type:
+// int64(v<<shift) >> shift.
+func sxShift(t *ir.Type) uint {
+	if t.Kind != ir.KindInt || t.Bits >= 64 {
+		return 0
+	}
+	return uint(64 - t.Bits)
+}
+
+// valueBits mirrors the interpreter's injectable width of a type.
+func valueBits(t *ir.Type) int {
+	if t.Kind == ir.KindInt {
+		return t.Bits
+	}
+	return 64
+}
+
+// edge builds (or reuses) the compiled plan for the CFG edge from ->
+// to, including to's phi bundle for that predecessor. The entry edge
+// uses from == nil.
+func (c *compiler) edge(from, to *ir.Block, fc *fnCode) (*edgePlan, error) {
+	k := edgeKey{from: from, to: to}
+	if e, ok := c.edges[k]; ok {
+		return e, nil
+	}
+	bc := fc.blocks[to]
+	e := &edgePlan{to: bc}
+	for i := 0; i < bc.nPhi; i++ {
+		in := to.Instrs[i]
+		ph := phiStep{in: in, width: valueBits(in.Ty), mask: canonMask(in.Ty)}
+		matched := false
+		for j, pb := range in.Blocks {
+			if pb != from {
+				continue
+			}
+			if !matched {
+				ld, err := c.loader(in.Args[j])
+				if err != nil {
+					return nil, err
+				}
+				ph.load = ld
+				matched = true
+			}
+			if a, ok := in.Args[j].(*ir.Instr); ok {
+				ph.actArgs = append(ph.actArgs, a)
+			}
+		}
+		if !matched {
+			ph.err = fmt.Errorf("phi in %s: no incoming edge from %v", in.Parent.Name, from)
+		}
+		e.phis = append(e.phis, ph)
+	}
+	c.edges[k] = e
+	return e, nil
+}
+
+func (c *compiler) compileBlock(fc *fnCode, b *ir.Block) error {
+	bc := fc.blocks[b]
+	bc.steps = make([]step, 0, len(b.Instrs)-bc.nPhi)
+	for _, in := range b.Instrs[bc.nPhi:] {
+		st, err := c.compileInstr(fc, b, in)
+		if err != nil {
+			return fmt.Errorf("%s: %w", b.Name, err)
+		}
+		st.watchArgs = watchArgs(in.Args)
+		bc.steps = append(bc.steps, st)
+	}
+	return nil
+}
+
+func (c *compiler) compileInstr(fc *fnCode, b *ir.Block, in *ir.Instr) (step, error) {
+	switch in.Op {
+	case ir.OpBr:
+		e, err := c.edge(b, in.Blocks[0], fc)
+		if err != nil {
+			return step{}, err
+		}
+		return step{exec: func(r *Runner, fr *frame) error {
+			r.count()
+			return r.enterEdge(fr, e)
+		}}, nil
+
+	case ir.OpCondBr:
+		lc, err := c.loader(in.Args[0])
+		if err != nil {
+			return step{}, err
+		}
+		eTrue, err := c.edge(b, in.Blocks[0], fc)
+		if err != nil {
+			return step{}, err
+		}
+		eFalse, err := c.edge(b, in.Blocks[1], fc)
+		if err != nil {
+			return step{}, err
+		}
+		return step{exec: func(r *Runner, fr *frame) error {
+			cv := lc(fr)
+			r.count()
+			taken := eFalse
+			if cv&1 != 0 {
+				taken = eTrue
+			}
+			return r.enterEdge(fr, taken)
+		}}, nil
+
+	case ir.OpRet:
+		retTy := fc.fn.Sig.Return
+		var lv loader
+		if len(in.Args) == 1 {
+			var err error
+			lv, err = c.loader(in.Args[0])
+			if err != nil {
+				return step{}, err
+			}
+		}
+		return step{exec: func(r *Runner, fr *frame) error {
+			r.count()
+			var v uint64
+			if lv != nil {
+				v = lv(fr)
+			}
+			r.sp = fr.savedSP
+			r.stack = r.stack[:len(r.stack)-1]
+			if len(r.stack) == 0 {
+				r.done = true
+				r.result = ir.SignExtend(v, retTy)
+				return nil
+			}
+			return r.finishCall(r.stack[len(r.stack)-1], v)
+		}}, nil
+
+	case ir.OpCall:
+		return c.compileCall(in)
+
+	case ir.OpICmp:
+		la, err := c.loader(in.Args[0])
+		if err != nil {
+			return step{}, err
+		}
+		lb, err := c.loader(in.Args[1])
+		if err != nil {
+			return step{}, err
+		}
+		cmp, err := icmpFn(in.Pred, sxShift(in.Args[0].Type()))
+		if err != nil {
+			return step{}, err
+		}
+		return c.valueStep(in, func(r *Runner, fr *frame) (uint64, error) {
+			if cmp(la(fr), lb(fr)) {
+				return 1, nil
+			}
+			return 0, nil
+		})
+
+	case ir.OpFCmp:
+		la, err := c.loader(in.Args[0])
+		if err != nil {
+			return step{}, err
+		}
+		lb, err := c.loader(in.Args[1])
+		if err != nil {
+			return step{}, err
+		}
+		cmp, err := fcmpFn(in.Pred)
+		if err != nil {
+			return step{}, err
+		}
+		return c.valueStep(in, func(r *Runner, fr *frame) (uint64, error) {
+			if cmp(math.Float64frombits(la(fr)), math.Float64frombits(lb(fr))) {
+				return 1, nil
+			}
+			return 0, nil
+		})
+
+	case ir.OpAlloca:
+		off := c.prep.AllocaOffset(in)
+		return c.valueStep(in, func(r *Runner, fr *frame) (uint64, error) {
+			return fr.base + off, nil
+		})
+
+	case ir.OpGEP:
+		return c.compileGEP(in)
+
+	case ir.OpLoad:
+		lp, err := c.loader(in.Args[0])
+		if err != nil {
+			return step{}, err
+		}
+		size := in.Ty.Size()
+		mask := canonMask(in.Ty)
+		return c.valueStep(in, func(r *Runner, fr *frame) (uint64, error) {
+			v, err := r.mem.Read(lp(fr), size)
+			if err != nil {
+				return 0, err
+			}
+			return v & mask, nil
+		})
+
+	case ir.OpStore:
+		lv, err := c.loader(in.Args[0])
+		if err != nil {
+			return step{}, err
+		}
+		lp, err := c.loader(in.Args[1])
+		if err != nil {
+			return step{}, err
+		}
+		size := in.Args[0].Type().Size()
+		return step{exec: func(r *Runner, fr *frame) error {
+			v := lv(fr)
+			ptr := lp(fr)
+			r.count()
+			if err := r.mem.Write(ptr, size, v); err != nil {
+				return err
+			}
+			fr.pc++
+			return nil
+		}}, nil
+	}
+
+	if in.Op.IsIntArith() {
+		return c.compileIntArith(in)
+	}
+	if in.Op.IsFloatArith() {
+		return c.compileFloatArith(in)
+	}
+	if cast, ok := castFn(c, in); ok {
+		la, err := c.loader(in.Args[0])
+		if err != nil {
+			return step{}, err
+		}
+		return c.valueStep(in, func(r *Runner, fr *frame) (uint64, error) {
+			return cast(la(fr)), nil
+		})
+	}
+	return step{}, fmt.Errorf("op %s not compilable", in.Op)
+}
+
+// valueStep wraps a value computation with the retire/assign/advance
+// tail shared by every result-producing instruction.
+func (c *compiler) valueStep(in *ir.Instr, compute func(r *Runner, fr *frame) (uint64, error)) (step, error) {
+	id := in.ID
+	seq := in.Seq
+	width := valueBits(in.Ty)
+	mask := canonMask(in.Ty)
+	target := in
+	return step{exec: func(r *Runner, fr *frame) error {
+		v, err := compute(r, fr)
+		if err != nil {
+			return err
+		}
+		v = r.retire(fr, target, seq, width, mask, v)
+		fr.vals[id] = v
+		fr.pc++
+		return nil
+	}}, nil
+}
+
+func (c *compiler) compileIntArith(in *ir.Instr) (step, error) {
+	la, err := c.loader(in.Args[0])
+	if err != nil {
+		return step{}, err
+	}
+	lb, err := c.loader(in.Args[1])
+	if err != nil {
+		return step{}, err
+	}
+	mask := canonMask(in.Ty)
+	shift := sxShift(in.Ty)
+	sx := func(v uint64) int64 { return int64(v<<shift) >> shift }
+	var fn func(a, b uint64) (uint64, error)
+	switch in.Op {
+	case ir.OpAdd:
+		fn = func(a, b uint64) (uint64, error) { return (a + b) & mask, nil }
+	case ir.OpSub:
+		fn = func(a, b uint64) (uint64, error) { return (a - b) & mask, nil }
+	case ir.OpMul:
+		fn = func(a, b uint64) (uint64, error) { return (a * b) & mask, nil }
+	case ir.OpSDiv:
+		fn = func(a, b uint64) (uint64, error) {
+			sa, sb := sx(a), sx(b)
+			if sb == 0 || (sa == math.MinInt64 && sb == -1) {
+				return 0, divideFault
+			}
+			return uint64(sa/sb) & mask, nil
+		}
+	case ir.OpSRem:
+		fn = func(a, b uint64) (uint64, error) {
+			sa, sb := sx(a), sx(b)
+			if sb == 0 || (sa == math.MinInt64 && sb == -1) {
+				return 0, divideFault
+			}
+			return uint64(sa%sb) & mask, nil
+		}
+	case ir.OpUDiv:
+		fn = func(a, b uint64) (uint64, error) {
+			if b == 0 {
+				return 0, divideFault
+			}
+			return (a / b) & mask, nil
+		}
+	case ir.OpURem:
+		fn = func(a, b uint64) (uint64, error) {
+			if b == 0 {
+				return 0, divideFault
+			}
+			return (a % b) & mask, nil
+		}
+	case ir.OpAnd:
+		fn = func(a, b uint64) (uint64, error) { return (a & b) & mask, nil }
+	case ir.OpOr:
+		fn = func(a, b uint64) (uint64, error) { return (a | b) & mask, nil }
+	case ir.OpXor:
+		fn = func(a, b uint64) (uint64, error) { return (a ^ b) & mask, nil }
+	case ir.OpShl:
+		fn = func(a, b uint64) (uint64, error) { return (a << (b & 63)) & mask, nil }
+	case ir.OpLShr:
+		fn = func(a, b uint64) (uint64, error) { return (a >> (b & 63)) & mask, nil }
+	case ir.OpAShr:
+		fn = func(a, b uint64) (uint64, error) { return uint64(sx(a)>>(b&63)) & mask, nil }
+	default:
+		return step{}, fmt.Errorf("int-arith op %s not compilable", in.Op)
+	}
+	return c.valueStep(in, func(r *Runner, fr *frame) (uint64, error) {
+		return fn(la(fr), lb(fr))
+	})
+}
+
+func (c *compiler) compileFloatArith(in *ir.Instr) (step, error) {
+	la, err := c.loader(in.Args[0])
+	if err != nil {
+		return step{}, err
+	}
+	lb, err := c.loader(in.Args[1])
+	if err != nil {
+		return step{}, err
+	}
+	var fn func(x, y float64) float64
+	switch in.Op {
+	case ir.OpFAdd:
+		fn = func(x, y float64) float64 { return x + y }
+	case ir.OpFSub:
+		fn = func(x, y float64) float64 { return x - y }
+	case ir.OpFMul:
+		fn = func(x, y float64) float64 { return x * y }
+	case ir.OpFDiv:
+		fn = func(x, y float64) float64 { return x / y }
+	default:
+		return step{}, fmt.Errorf("float-arith op %s not compilable", in.Op)
+	}
+	return c.valueStep(in, func(r *Runner, fr *frame) (uint64, error) {
+		return math.Float64bits(fn(math.Float64frombits(la(fr)), math.Float64frombits(lb(fr)))), nil
+	})
+}
+
+// castFn pre-binds a cast's value transform; ok=false means the op is
+// not a cast.
+func castFn(c *compiler, in *ir.Instr) (func(uint64) uint64, bool) {
+	mask := canonMask(in.Ty)
+	srcShift := sxShift(in.Args[0].Type())
+	sx := func(v uint64) int64 { return int64(v<<srcShift) >> srcShift }
+	switch in.Op {
+	case ir.OpTrunc, ir.OpZExt, ir.OpPtrToInt:
+		return func(a uint64) uint64 { return a & mask }, true
+	case ir.OpSExt:
+		return func(a uint64) uint64 { return uint64(sx(a)) & mask }, true
+	case ir.OpFPToSI:
+		return func(a uint64) uint64 {
+			f := math.Float64frombits(a)
+			if math.IsNaN(f) {
+				return 0
+			}
+			return uint64(int64(f)) & mask
+		}, true
+	case ir.OpSIToFP:
+		return func(a uint64) uint64 {
+			return math.Float64bits(float64(sx(a)))
+		}, true
+	case ir.OpIntToPtr, ir.OpBitcast:
+		return func(a uint64) uint64 { return a }, true
+	}
+	return nil, false
+}
+
+func (c *compiler) compileGEP(in *ir.Instr) (step, error) {
+	base, err := c.loader(in.Args[0])
+	if err != nil {
+		return step{}, err
+	}
+	type gepIdx struct {
+		scale  uint64
+		offset uint64
+		load   loader // nil for constant struct offsets
+		shift  uint
+	}
+	steps := c.prep.GEPSteps(in)
+	plan := make([]gepIdx, len(steps))
+	for i, s := range steps {
+		if s.IsConst {
+			plan[i] = gepIdx{offset: s.Offset}
+			continue
+		}
+		ld, err := c.loader(in.Args[1+i])
+		if err != nil {
+			return step{}, err
+		}
+		plan[i] = gepIdx{scale: s.Scale, load: ld, shift: sxShift(in.Args[1+i].Type())}
+	}
+	return c.valueStep(in, func(r *Runner, fr *frame) (uint64, error) {
+		addr := base(fr)
+		for i := range plan {
+			g := &plan[i]
+			if g.load == nil {
+				addr += g.offset
+				continue
+			}
+			iv := g.load(fr)
+			addr += uint64(int64(iv<<g.shift)>>g.shift) * g.scale
+		}
+		return addr, nil
+	})
+}
+
+func (c *compiler) compileCall(in *ir.Instr) (step, error) {
+	argLoaders, err := c.loaders(in.Args)
+	if err != nil {
+		return step{}, err
+	}
+	fin := &callFinish{
+		in:        in,
+		hasResult: in.HasResult(),
+		seq:       in.Seq,
+	}
+	if fin.hasResult {
+		fin.id = in.ID
+		fin.width = valueBits(in.Ty)
+		fin.mask = canonMask(in.Ty)
+	}
+	nargs := len(argLoaders)
+	evalArgs := func(fr *frame) []uint64 {
+		args := make([]uint64, nargs)
+		for i, ld := range argLoaders {
+			args[i] = ld(fr)
+		}
+		return args
+	}
+	if in.Callee != nil {
+		if len(in.Callee.Blocks) == 0 {
+			declErr := fmt.Errorf("call to declaration @%s", in.Callee.Name)
+			return step{fin: fin, exec: func(r *Runner, fr *frame) error {
+				evalArgs(fr)
+				return declErr
+			}}, nil
+		}
+		callee := in.Callee
+		return step{fin: fin, exec: func(r *Runner, fr *frame) error {
+			return r.pushFrame(r.cp.fns[callee], evalArgs(fr))
+		}}, nil
+	}
+	builtin := in.Builtin
+	return step{fin: fin, exec: func(r *Runner, fr *frame) error {
+		v, err := rt.Call(r.env, builtin, evalArgs(fr))
+		if err != nil {
+			return err
+		}
+		return r.finishCall(fr, v)
+	}}, nil
+}
+
+func icmpFn(p ir.Pred, shift uint) (func(a, b uint64) bool, error) {
+	sx := func(v uint64) int64 { return int64(v<<shift) >> shift }
+	switch p {
+	case ir.PredEQ:
+		return func(a, b uint64) bool { return a == b }, nil
+	case ir.PredNE:
+		return func(a, b uint64) bool { return a != b }, nil
+	case ir.PredLT:
+		return func(a, b uint64) bool { return sx(a) < sx(b) }, nil
+	case ir.PredLE:
+		return func(a, b uint64) bool { return sx(a) <= sx(b) }, nil
+	case ir.PredGT:
+		return func(a, b uint64) bool { return sx(a) > sx(b) }, nil
+	case ir.PredGE:
+		return func(a, b uint64) bool { return sx(a) >= sx(b) }, nil
+	case ir.PredULT:
+		return func(a, b uint64) bool { return a < b }, nil
+	case ir.PredULE:
+		return func(a, b uint64) bool { return a <= b }, nil
+	case ir.PredUGT:
+		return func(a, b uint64) bool { return a > b }, nil
+	case ir.PredUGE:
+		return func(a, b uint64) bool { return a >= b }, nil
+	default:
+		return nil, fmt.Errorf("icmp pred %v not compilable", p)
+	}
+}
+
+func fcmpFn(p ir.Pred) (func(a, b float64) bool, error) {
+	switch p {
+	case ir.PredEQ:
+		return func(a, b float64) bool { return a == b }, nil
+	case ir.PredNE:
+		return func(a, b float64) bool { return a != b }, nil
+	case ir.PredLT:
+		return func(a, b float64) bool { return a < b }, nil
+	case ir.PredLE:
+		return func(a, b float64) bool { return a <= b }, nil
+	case ir.PredGT:
+		return func(a, b float64) bool { return a > b }, nil
+	case ir.PredGE:
+		return func(a, b float64) bool { return a >= b }, nil
+	default:
+		return nil, fmt.Errorf("fcmp pred %v not compilable", p)
+	}
+}

@@ -1,0 +1,87 @@
+package irc_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"hlfi/internal/bench"
+	"hlfi/internal/compile/irc"
+	"hlfi/internal/fault"
+	"hlfi/internal/interp"
+	"hlfi/internal/llfi"
+)
+
+// countingSource counts Int63 draws so tests can pin the engines' RNG
+// consumption, not just the final RNG state.
+type countingSource struct {
+	src   rand.Source
+	draws int
+}
+
+func (c *countingSource) Int63() int64 { c.draws++; return c.src.Int63() }
+func (c *countingSource) Seed(s int64) { c.src.Seed(s) }
+
+// TestRNGStreamPin pins the compiled engine's RNG contract: an attempt
+// whose trigger is never reached consumes zero draws, and a firing
+// attempt consumes exactly as many draws as the interpreter does — the
+// fire-point Intn is the only randomness in either engine, so campaign
+// random streams cannot drift when the compiled engine substitutes in.
+func TestRNGStreamPin(t *testing.T) {
+	p, err := bench.Build("quantumm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := irc.Compile(p.Prep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	candSet := llfi.Candidates(p.Prep, fault.CatAll)
+
+	// Trigger far beyond the dynamic candidate count: the injection
+	// window never opens, so the compiled engine must not touch the RNG.
+	neverSrc := &countingSource{src: rand.NewSource(1)}
+	r := irc.NewRunner(cp, &bytes.Buffer{})
+	r.MaxInstrs = p.IRInstrs * 2
+	r.Inject = &interp.Injection{Candidates: candSet, TriggerIndex: 1 << 60, Rng: rand.New(neverSrc)}
+	if _, err := r.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Inject.Happened {
+		t.Fatal("sentinel trigger unexpectedly fired")
+	}
+	if neverSrc.draws != 0 {
+		t.Fatalf("non-firing compiled attempt drew from the RNG %d times, want 0", neverSrc.draws)
+	}
+
+	// A firing attempt: both engines must consume the identical number of
+	// draws (and TestInjectionEquivalence already pins the values).
+	for _, trigger := range []uint64{0, 7, 33} {
+		// Run errors are legitimate outcomes here: the flipped bit may
+		// crash the workload. Error equivalence is pinned elsewhere
+		// (TestInjectionEquivalence); this test only counts draws.
+		iSrc := &countingSource{src: rand.NewSource(42)}
+		ir := interp.NewRunner(p.Prep, &bytes.Buffer{})
+		ir.MaxInstrs = p.IRInstrs * 2
+		ir.Inject = &interp.Injection{Candidates: candSet, TriggerIndex: trigger, Rng: rand.New(iSrc)}
+		_, _ = ir.Run()
+
+		cSrc := &countingSource{src: rand.NewSource(42)}
+		cr := irc.NewRunner(cp, &bytes.Buffer{})
+		cr.MaxInstrs = p.IRInstrs * 2
+		cr.Inject = &interp.Injection{Candidates: candSet, TriggerIndex: trigger, Rng: rand.New(cSrc)}
+		_, _ = cr.Run()
+
+		if !ir.Inject.Happened || !cr.Inject.Happened {
+			t.Fatalf("trigger %d: injection did not fire (interp=%v compiled=%v)",
+				trigger, ir.Inject.Happened, cr.Inject.Happened)
+		}
+		if iSrc.draws != cSrc.draws {
+			t.Errorf("trigger %d: RNG draws diverged: interp=%d compiled=%d",
+				trigger, iSrc.draws, cSrc.draws)
+		}
+		if iSrc.draws == 0 {
+			t.Errorf("trigger %d: firing attempt drew nothing (fire point not exercised)", trigger)
+		}
+	}
+}

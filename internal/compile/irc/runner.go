@@ -1,0 +1,244 @@
+package irc
+
+import (
+	"fmt"
+	"io"
+
+	"hlfi/internal/interp"
+	"hlfi/internal/ir"
+	"hlfi/internal/mem"
+	"hlfi/internal/rt"
+)
+
+// frame is one activation record of the compiled engine. pc indexes
+// blk.steps (phis are executed on edge entry, so pc 0 is the first
+// non-phi instruction).
+type frame struct {
+	code    *fnCode
+	blk     *blockCode
+	pc      int
+	vals    []uint64
+	params  []uint64
+	base    uint64
+	savedSP uint64
+}
+
+// Runner executes one run of a compiled program. It mirrors
+// interp.Runner byte for byte: same outcomes, same error strings, same
+// RNG consumption, same executed counts — minus the instrumentation
+// attempts never use (tracing, profiling sinks, snapshot capture),
+// which is not compiled in.
+type Runner struct {
+	cp  *Program
+	mem *mem.Memory
+	out io.Writer
+	env *rt.Env
+
+	// MaxInstrs bounds dynamic instructions; exceeded => interp.ErrHang.
+	MaxInstrs uint64
+	// Inject, when non-nil, arms a single fault injection.
+	Inject *interp.Injection
+
+	executed  uint64
+	candCount uint64
+	sp        uint64
+	stack     []*frame
+
+	watchFrame *frame
+	watchInstr *ir.Instr
+
+	done   bool
+	result int64
+}
+
+// NewRunner builds a runner with fresh memory, mirroring
+// interp.NewRunner.
+func NewRunner(cp *Program, out io.Writer) *Runner {
+	m := mem.New()
+	cp.prep.Layout.Install(m)
+	r := &Runner{
+		cp: cp, mem: m, out: out,
+		MaxInstrs: interp.DefaultMaxInstrs,
+		sp:        mem.StackTop,
+	}
+	r.env = &rt.Env{Mem: m, Out: out}
+	return r
+}
+
+// NewRunnerFromSnapshot builds a runner resuming from a golden-run
+// snapshot taken by the interpreter, mirroring
+// interp.NewRunnerFromSnapshot.
+func NewRunnerFromSnapshot(cp *Program, s *interp.Snapshot, out io.Writer) *Runner {
+	m, sp, frames := s.CloneState()
+	r := &Runner{
+		cp: cp, mem: m, out: out,
+		MaxInstrs: interp.DefaultMaxInstrs,
+		executed:  s.Executed,
+		sp:        sp,
+	}
+	r.env = &rt.Env{Mem: m, Out: out}
+	r.stack = make([]*frame, len(frames))
+	for i := range frames {
+		fs := &frames[i]
+		fc := cp.fns[fs.Fn]
+		bc := fc.blocks[fs.Blk]
+		r.stack[i] = &frame{
+			code: fc, blk: bc, pc: fs.Idx - bc.nPhi,
+			vals: fs.Vals, params: fs.Params,
+			base: fs.Base, savedSP: fs.SavedSP,
+		}
+	}
+	return r
+}
+
+// SetCandCount pre-loads the dynamic candidate count covered by the
+// portion of the run the snapshot skipped, mirroring
+// interp.Runner.SetCandCount.
+func (r *Runner) SetCandCount(n uint64) { r.candCount = n }
+
+// Executed reports the number of dynamic instructions retired.
+func (r *Runner) Executed() uint64 { return r.executed }
+
+// Run executes main to completion.
+func (r *Runner) Run() (int64, error) {
+	if r.cp.main == nil {
+		return 0, interp.ErrNoMain
+	}
+	if err := r.pushFrame(r.cp.main, nil); err != nil {
+		return 0, err
+	}
+	return r.loop()
+}
+
+// Resume continues a snapshot-restored runner.
+func (r *Runner) Resume() (int64, error) { return r.loop() }
+
+func (r *Runner) loop() (int64, error) {
+	for {
+		fr := r.stack[len(r.stack)-1]
+		steps := fr.blk.steps
+		if fr.pc >= len(steps) {
+			return 0, fmt.Errorf("block %s fell through", fr.blk.blk.Name)
+		}
+		if r.executed >= r.MaxInstrs {
+			return 0, interp.ErrHang
+		}
+		st := &steps[fr.pc]
+		if r.watchInstr != nil && r.watchFrame == fr {
+			for _, a := range st.watchArgs {
+				if a == r.watchInstr {
+					r.Inject.Activated = true
+					r.watchInstr = nil
+					break
+				}
+			}
+		}
+		if err := st.exec(r, fr); err != nil {
+			return 0, err
+		}
+		if r.done {
+			return r.result, nil
+		}
+	}
+}
+
+func (r *Runner) pushFrame(fc *fnCode, args []uint64) error {
+	if r.sp < fc.frameSize || r.sp-fc.frameSize < mem.StackLimit {
+		return &mem.Fault{Kind: mem.FaultStackOverflow, Addr: r.sp}
+	}
+	savedSP := r.sp
+	r.sp -= fc.frameSize
+	base := r.sp
+	if fc.mapFrame {
+		r.mem.Map(base, fc.frameSize)
+	}
+	fr := &frame{
+		code: fc,
+		vals: make([]uint64, fc.numValues), params: args,
+		base: base, savedSP: savedSP,
+	}
+	r.stack = append(r.stack, fr)
+	return r.enterEdge(fr, fc.entry)
+}
+
+// enterEdge positions a frame at the start of an edge's target block
+// and executes the edge's phi bundle (incoming values read "in
+// parallel", mirroring enterBlock).
+func (r *Runner) enterEdge(fr *frame, e *edgePlan) error {
+	fr.blk = e.to
+	fr.pc = 0
+	nPhi := len(e.phis)
+	if nPhi == 0 {
+		return nil
+	}
+	var tmp [8]uint64
+	vals := tmp[:0]
+	if nPhi > len(tmp) {
+		vals = make([]uint64, 0, nPhi)
+	}
+	for i := 0; i < nPhi; i++ {
+		ph := &e.phis[i]
+		if r.watchInstr != nil && r.watchFrame == fr {
+			for _, a := range ph.actArgs {
+				if a == r.watchInstr {
+					r.Inject.Activated = true
+					r.watchInstr = nil
+					break
+				}
+			}
+		}
+		if ph.err != nil {
+			return ph.err
+		}
+		vals = append(vals, ph.load(fr))
+	}
+	for i := 0; i < nPhi; i++ {
+		ph := &e.phis[i]
+		fr.vals[ph.in.ID] = r.retire(fr, ph.in, ph.in.Seq, ph.width, ph.mask, vals[i])
+	}
+	return nil
+}
+
+// finishCall retires the OpCall the frame is parked on with the
+// callee's (or builtin's) return value and advances past it.
+func (r *Runner) finishCall(fr *frame, v uint64) error {
+	f := fr.blk.steps[fr.pc].fin
+	if f.hasResult {
+		v &= f.mask
+		fr.vals[f.id] = r.retire(fr, f.in, f.seq, f.width, f.mask, v)
+	} else {
+		r.count()
+	}
+	fr.pc++
+	return nil
+}
+
+// count retires a void instruction. The compiled engine has no Profile
+// sink — profiling runs stay on the interpreter — so this is just the
+// dynamic-instruction counter.
+func (r *Runner) count() {
+	r.executed++
+}
+
+// retire retires a value-producing instruction, performing the armed
+// injection when its trigger is reached.
+func (r *Runner) retire(fr *frame, in *ir.Instr, seq, width int, mask, v uint64) uint64 {
+	r.executed++
+	if inj := r.Inject; inj != nil && !inj.Happened && inj.Candidates[seq] {
+		if inj.TriggerIndex == r.candCount {
+			bit := inj.Rng.Intn(width)
+			nv := (v ^ (1 << uint(bit))) & mask
+			inj.Happened = true
+			inj.Target = in
+			inj.Bit = bit
+			inj.OrigVal = v
+			inj.FaultyVal = nv
+			inj.InstrIndex = r.executed
+			r.watchFrame = fr
+			r.watchInstr = in
+			v = nv
+		}
+		r.candCount++
+	}
+	return v
+}

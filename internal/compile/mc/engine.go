@@ -1,0 +1,190 @@
+package mc
+
+import (
+	"io"
+
+	"hlfi/internal/machine"
+	"hlfi/internal/mem"
+	"hlfi/internal/rt"
+	"hlfi/internal/x86"
+)
+
+type watchKind int
+
+const (
+	watchNone watchKind = iota
+	watchReg
+	watchXmm
+	watchFlags
+)
+
+// Engine executes one run of a pre-decoded program. It mirrors
+// machine.Machine byte for byte, minus the instrumentation attempts
+// never use (tracing, profiling sinks, snapshot capture), which is not
+// compiled in.
+type Engine struct {
+	cp  *Program
+	mem *mem.Memory
+	env *rt.Env
+
+	regs  [x86.NumRegs]uint64
+	xmm   [x86.NumXRegs][2]uint64
+	flags uint64
+	rip   int
+
+	// MaxInstrs bounds dynamic instructions; exceeded => machine.ErrHang.
+	MaxInstrs uint64
+	// Inject, when non-nil, arms a single fault injection.
+	Inject *machine.Injection
+
+	executed  uint64
+	candCount uint64
+
+	watch     watchKind
+	watchReg  x86.Reg
+	watchXmm  x86.XReg
+	watchMask uint64
+}
+
+// New creates an engine with fresh memory, the globals image installed,
+// and the constant pool mapped, mirroring machine.New.
+func New(cp *Program, out io.Writer) *Engine {
+	m := mem.New()
+	if len(cp.layoutImage) > 0 {
+		m.Map(cp.layoutBase, uint64(len(cp.layoutImage)))
+		if err := m.WriteBytes(cp.layoutBase, cp.layoutImage); err != nil {
+			panic("mc: install globals: " + err.Error())
+		}
+	} else {
+		m.Map(cp.layoutBase, mem.PageSize)
+	}
+	if len(cp.prog.Rodata) > 0 {
+		m.Map(x86.RodataBase, uint64(len(cp.prog.Rodata)))
+		if err := m.WriteBytes(x86.RodataBase, cp.prog.Rodata); err != nil {
+			panic("mc: install rodata: " + err.Error())
+		}
+	}
+	return &Engine{
+		cp:        cp,
+		mem:       m,
+		env:       &rt.Env{Mem: m, Out: out},
+		MaxInstrs: machine.DefaultMaxInstrs,
+	}
+}
+
+// NewFromSnapshot creates an engine resuming from a golden-run snapshot
+// taken by the simulator, mirroring machine.NewFromSnapshot.
+func NewFromSnapshot(cp *Program, s *machine.Snapshot, out io.Writer) *Engine {
+	m, regs, xmm, flags, rip := s.CloneState()
+	return &Engine{
+		cp:        cp,
+		mem:       m,
+		env:       &rt.Env{Mem: m, Out: out},
+		regs:      regs,
+		xmm:       xmm,
+		flags:     flags,
+		rip:       rip,
+		MaxInstrs: machine.DefaultMaxInstrs,
+		executed:  s.Executed,
+	}
+}
+
+// SetCandCount pre-loads the dynamic candidate count covered by the
+// portion of the run the snapshot skipped.
+func (e *Engine) SetCandCount(n uint64) { e.candCount = n }
+
+// Executed reports retired dynamic instructions.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Run executes the program from its entry point until main returns.
+func (e *Engine) Run() (int64, error) {
+	e.regs[x86.RSP] = mem.StackTop
+	if err := e.push(e.cp.haltAddr); err != nil {
+		return 0, err
+	}
+	e.rip = e.cp.prog.Entry
+	return e.loop()
+}
+
+// Resume continues a snapshot-restored engine.
+func (e *Engine) Resume() (int64, error) { return e.loop() }
+
+func (e *Engine) loop() (int64, error) {
+	steps := e.cp.steps
+	for {
+		rip := e.rip
+		if rip < 0 || rip >= len(steps) {
+			return 0, &mem.Fault{Kind: mem.FaultBadCodeAddr, Addr: mem.CodeBase + uint64(rip)*mem.CodeStride}
+		}
+		if e.executed >= e.MaxInstrs {
+			return 0, machine.ErrHang
+		}
+		st := &steps[rip]
+		e.executed++
+		if e.watch != watchNone {
+			e.checkActivation(st)
+		}
+		done, err := st.exec(e)
+		if err != nil {
+			return 0, err
+		}
+		if done {
+			return int64(int32(e.regs[x86.RAX])), nil
+		}
+		if inj := e.Inject; inj != nil && !inj.Happened && inj.Candidates[rip] {
+			if inj.TriggerIndex == e.candCount {
+				if st.fire != nil {
+					st.fire(e, inj, rip)
+				}
+			}
+			e.candCount++
+		}
+	}
+}
+
+// checkActivation is the mask-based form of Machine.checkActivation: a
+// read of the corrupted location activates the fault; an overwrite
+// without a read kills it.
+func (e *Engine) checkActivation(st *step) {
+	switch e.watch {
+	case watchReg:
+		if st.readsRegs&(1<<uint(e.watchReg)) != 0 {
+			e.Inject.Activated = true
+			e.watch = watchNone
+		} else if st.writesRegs&(1<<uint(e.watchReg)) != 0 {
+			e.watch = watchNone
+		}
+	case watchXmm:
+		if st.readsXmms&(1<<uint(e.watchXmm)) != 0 {
+			e.Inject.Activated = true
+			e.watch = watchNone
+		} else if st.writesXmms&(1<<uint(e.watchXmm)) != 0 {
+			e.watch = watchNone
+		}
+	case watchFlags:
+		if st.condOrSet {
+			if st.condMask&e.watchMask != 0 {
+				e.Inject.Activated = true
+				e.watch = watchNone
+			}
+			return
+		}
+		if st.flagSetter {
+			e.watch = watchNone
+		}
+	}
+}
+
+func (e *Engine) push(v uint64) error {
+	e.regs[x86.RSP] -= 8
+	return e.mem.Write(e.regs[x86.RSP], 8, v)
+}
+
+func (e *Engine) pop() (uint64, error) {
+	v, err := e.mem.Read(e.regs[x86.RSP], 8)
+	if err != nil {
+		return 0, err
+	}
+	e.regs[x86.RSP] += 8
+	return v, nil
+}

@@ -1,0 +1,521 @@
+package mc
+
+import (
+	"fmt"
+	"math"
+
+	"hlfi/internal/machine"
+	"hlfi/internal/mem"
+	"hlfi/internal/rt"
+	"hlfi/internal/x86"
+)
+
+// sxFn pre-binds signExtend at a fixed width.
+func sxFn(size uint64) func(uint64) int64 {
+	shift := uint(64 - 8*size)
+	return func(v uint64) int64 { return int64(v<<shift) >> shift }
+}
+
+// compileExec pre-binds the simulator's dispatch arm for one
+// instruction. The closure performs exactly what Machine.exec does for
+// this instruction — same evaluation order, same faults — and advances
+// e.rip itself.
+func compileExec(cp *Program, idx int, in *x86.Instr) (func(e *Engine) (bool, error), error) {
+	size := in.OpSize()
+	next := idx + 1
+	switch in.Op {
+	case x86.MOV:
+		rd, err := compileRead(in.Src, size)
+		if err != nil {
+			return nil, err
+		}
+		wr, err := compileWrite(in.Dst, size)
+		if err != nil {
+			return nil, err
+		}
+		return func(e *Engine) (bool, error) {
+			v, err := rd(e)
+			if err != nil {
+				return false, err
+			}
+			if err := wr(e, v); err != nil {
+				return false, err
+			}
+			e.rip = next
+			return false, nil
+		}, nil
+
+	case x86.MOVZX:
+		rd, err := compileRead(in.Src, size)
+		if err != nil {
+			return nil, err
+		}
+		reg := in.Dst.Reg
+		return func(e *Engine) (bool, error) {
+			v, err := rd(e)
+			if err != nil {
+				return false, err
+			}
+			e.regs[reg] = v // already zero-extended
+			e.rip = next
+			return false, nil
+		}, nil
+
+	case x86.MOVSX:
+		rd, err := compileRead(in.Src, size)
+		if err != nil {
+			return nil, err
+		}
+		reg := in.Dst.Reg
+		sx := sxFn(size)
+		return func(e *Engine) (bool, error) {
+			v, err := rd(e)
+			if err != nil {
+				return false, err
+			}
+			e.regs[reg] = uint64(sx(v))
+			e.rip = next
+			return false, nil
+		}, nil
+
+	case x86.LEA:
+		ea := compileEffAddr(in.Src)
+		reg := in.Dst.Reg
+		return func(e *Engine) (bool, error) {
+			e.regs[reg] = ea(e)
+			e.rip = next
+			return false, nil
+		}, nil
+
+	case x86.ADD, x86.SUB, x86.IMUL, x86.AND, x86.OR, x86.XOR,
+		x86.SHL, x86.SHR, x86.SAR:
+		ra, err := compileRead(in.Dst, size)
+		if err != nil {
+			return nil, err
+		}
+		rb, err := compileRead(in.Src, size)
+		if err != nil {
+			return nil, err
+		}
+		wr, err := compileWrite(in.Dst, size)
+		if err != nil {
+			return nil, err
+		}
+		alu := compileAlu(in.Op, size)
+		return func(e *Engine) (bool, error) {
+			a, err := ra(e)
+			if err != nil {
+				return false, err
+			}
+			b, err := rb(e)
+			if err != nil {
+				return false, err
+			}
+			if err := wr(e, alu(a, b)); err != nil {
+				return false, err
+			}
+			e.rip = next
+			return false, nil
+		}, nil
+
+	case x86.NEG:
+		ra, err := compileRead(in.Dst, size)
+		if err != nil {
+			return nil, err
+		}
+		wr, err := compileWrite(in.Dst, size)
+		if err != nil {
+			return nil, err
+		}
+		return func(e *Engine) (bool, error) {
+			a, err := ra(e)
+			if err != nil {
+				return false, err
+			}
+			if err := wr(e, -a); err != nil {
+				return false, err
+			}
+			e.rip = next
+			return false, nil
+		}, nil
+
+	case x86.CQO:
+		return func(e *Engine) (bool, error) {
+			e.regs[x86.RDX] = uint64(int64(e.regs[x86.RAX]) >> 63)
+			e.rip = next
+			return false, nil
+		}, nil
+
+	case x86.IDIV:
+		rb, err := compileRead(in.Src, 8)
+		if err != nil {
+			return nil, err
+		}
+		return func(e *Engine) (bool, error) {
+			b, err := rb(e)
+			if err != nil {
+				return false, err
+			}
+			den := int64(b)
+			num := int64(e.regs[x86.RAX])
+			if e.regs[x86.RDX] != uint64(num>>63) {
+				return false, &mem.Fault{Kind: mem.FaultDivideByZero}
+			}
+			if den == 0 || (num == math.MinInt64 && den == -1) {
+				return false, &mem.Fault{Kind: mem.FaultDivideByZero}
+			}
+			e.regs[x86.RAX] = uint64(num / den)
+			e.regs[x86.RDX] = uint64(num % den)
+			e.rip = next
+			return false, nil
+		}, nil
+
+	case x86.CMP:
+		ra, err := compileRead(in.Dst, size)
+		if err != nil {
+			return nil, err
+		}
+		rb, err := compileRead(in.Src, size)
+		if err != nil {
+			return nil, err
+		}
+		return func(e *Engine) (bool, error) {
+			a, err := ra(e)
+			if err != nil {
+				return false, err
+			}
+			b, err := rb(e)
+			if err != nil {
+				return false, err
+			}
+			e.flags = machine.SubFlagsFor(a, b, size)
+			e.rip = next
+			return false, nil
+		}, nil
+
+	case x86.TEST:
+		ra, err := compileRead(in.Dst, size)
+		if err != nil {
+			return nil, err
+		}
+		rb, err := compileRead(in.Src, size)
+		if err != nil {
+			return nil, err
+		}
+		return func(e *Engine) (bool, error) {
+			a, err := ra(e)
+			if err != nil {
+				return false, err
+			}
+			b, err := rb(e)
+			if err != nil {
+				return false, err
+			}
+			e.flags = machine.LogicFlagsFor(a&b, size)
+			e.rip = next
+			return false, nil
+		}, nil
+
+	case x86.SETE, x86.SETNE, x86.SETL, x86.SETLE, x86.SETG, x86.SETGE,
+		x86.SETB, x86.SETBE, x86.SETA, x86.SETAE:
+		op := in.Op
+		reg := in.Dst.Reg
+		return func(e *Engine) (bool, error) {
+			var v uint64
+			if machine.CondHolds(op, e.flags) {
+				v = 1
+			}
+			e.regs[reg] = v
+			e.rip = next
+			return false, nil
+		}, nil
+
+	case x86.JMP:
+		label := in.Dst.Label
+		return func(e *Engine) (bool, error) {
+			e.rip = label
+			return false, nil
+		}, nil
+
+	case x86.JE, x86.JNE, x86.JL, x86.JLE, x86.JG, x86.JGE,
+		x86.JB, x86.JBE, x86.JA, x86.JAE:
+		op := in.Op
+		label := in.Dst.Label
+		return func(e *Engine) (bool, error) {
+			if machine.CondHolds(op, e.flags) {
+				e.rip = label
+			} else {
+				e.rip = next
+			}
+			return false, nil
+		}, nil
+
+	case x86.PUSH:
+		rd, err := compileRead(in.Dst, 8)
+		if err != nil {
+			return nil, err
+		}
+		return func(e *Engine) (bool, error) {
+			v, err := rd(e)
+			if err != nil {
+				return false, err
+			}
+			if err := e.push(v); err != nil {
+				return false, err
+			}
+			e.rip = next
+			return false, nil
+		}, nil
+
+	case x86.POP:
+		reg := in.Dst.Reg
+		return func(e *Engine) (bool, error) {
+			v, err := e.pop()
+			if err != nil {
+				return false, err
+			}
+			e.regs[reg] = v
+			e.rip = next
+			return false, nil
+		}, nil
+
+	case x86.CALL:
+		if in.Builtin != "" {
+			return compileBuiltinCall(in, next)
+		}
+		retAddr := mem.CodeBase + uint64(next)*mem.CodeStride
+		label := in.Dst.Label
+		return func(e *Engine) (bool, error) {
+			if err := e.push(retAddr); err != nil {
+				return false, err
+			}
+			e.rip = label
+			return false, nil
+		}, nil
+
+	case x86.RET:
+		nInstrs := len(cp.prog.Instrs)
+		return func(e *Engine) (bool, error) {
+			addr, err := e.pop()
+			if err != nil {
+				return false, err
+			}
+			if addr == e.cp.haltAddr {
+				e.rip = nInstrs
+				return true, nil
+			}
+			if addr < mem.CodeBase || (addr-mem.CodeBase)%mem.CodeStride != 0 {
+				return false, &mem.Fault{Kind: mem.FaultBadCodeAddr, Addr: addr}
+			}
+			target := int((addr - mem.CodeBase) / mem.CodeStride)
+			if target >= nInstrs {
+				return false, &mem.Fault{Kind: mem.FaultBadCodeAddr, Addr: addr}
+			}
+			e.rip = target
+			return false, nil
+		}, nil
+
+	case x86.MOVSD:
+		if in.Dst.Kind == x86.OpXmm {
+			rd, err := compileRead(in.Src, 8)
+			if err != nil {
+				return nil, err
+			}
+			xr := in.Dst.Xmm
+			return func(e *Engine) (bool, error) {
+				v, err := rd(e)
+				if err != nil {
+					return false, err
+				}
+				e.xmm[xr][0] = v
+				e.rip = next
+				return false, nil
+			}, nil
+		}
+		ea := compileEffAddr(in.Dst)
+		src := in.Src.Xmm
+		return func(e *Engine) (bool, error) {
+			if err := e.mem.Write(ea(e), 8, e.xmm[src][0]); err != nil {
+				return false, err
+			}
+			e.rip = next
+			return false, nil
+		}, nil
+
+	case x86.ADDSD, x86.SUBSD, x86.MULSD, x86.DIVSD:
+		rb, err := compileRead(in.Src, 8)
+		if err != nil {
+			return nil, err
+		}
+		xr := in.Dst.Xmm
+		var fop func(x, y float64) float64
+		switch in.Op {
+		case x86.ADDSD:
+			fop = func(x, y float64) float64 { return x + y }
+		case x86.SUBSD:
+			fop = func(x, y float64) float64 { return x - y }
+		case x86.MULSD:
+			fop = func(x, y float64) float64 { return x * y }
+		case x86.DIVSD:
+			fop = func(x, y float64) float64 { return x / y }
+		}
+		return func(e *Engine) (bool, error) {
+			b, err := rb(e)
+			if err != nil {
+				return false, err
+			}
+			x := math.Float64frombits(e.xmm[xr][0])
+			y := math.Float64frombits(b)
+			e.xmm[xr][0] = math.Float64bits(fop(x, y))
+			e.rip = next
+			return false, nil
+		}, nil
+
+	case x86.XORPD:
+		dst, src := in.Dst.Xmm, in.Src.Xmm
+		if dst == src {
+			return func(e *Engine) (bool, error) {
+				e.xmm[dst] = [2]uint64{}
+				e.rip = next
+				return false, nil
+			}, nil
+		}
+		return func(e *Engine) (bool, error) {
+			e.xmm[dst][0] ^= e.xmm[src][0]
+			e.xmm[dst][1] ^= e.xmm[src][1]
+			e.rip = next
+			return false, nil
+		}, nil
+
+	case x86.UCOMISD:
+		rb, err := compileRead(in.Src, 8)
+		if err != nil {
+			return nil, err
+		}
+		xr := in.Dst.Xmm
+		return func(e *Engine) (bool, error) {
+			b, err := rb(e)
+			if err != nil {
+				return false, err
+			}
+			x := math.Float64frombits(e.xmm[xr][0])
+			y := math.Float64frombits(b)
+			e.flags = machine.UcomisdFlagsFor(x, y)
+			e.rip = next
+			return false, nil
+		}, nil
+
+	case x86.CVTSI2SD:
+		rd, err := compileRead(in.Src, size)
+		if err != nil {
+			return nil, err
+		}
+		xr := in.Dst.Xmm
+		sx := sxFn(size)
+		return func(e *Engine) (bool, error) {
+			v, err := rd(e)
+			if err != nil {
+				return false, err
+			}
+			e.xmm[xr][0] = math.Float64bits(float64(sx(v)))
+			e.rip = next
+			return false, nil
+		}, nil
+
+	case x86.CVTTSD2SI:
+		rd, err := compileRead(in.Src, 8)
+		if err != nil {
+			return nil, err
+		}
+		reg := in.Dst.Reg
+		return func(e *Engine) (bool, error) {
+			v, err := rd(e)
+			if err != nil {
+				return false, err
+			}
+			f := math.Float64frombits(v)
+			var iv int64
+			if !math.IsNaN(f) {
+				iv = int64(f)
+			}
+			e.regs[reg] = machine.CanonicalVal(uint64(iv), size)
+			e.rip = next
+			return false, nil
+		}, nil
+
+	default:
+		return nil, fmt.Errorf("opcode %s not compilable", in.Op)
+	}
+}
+
+// compileAlu pre-binds one integer ALU op at a fixed width, mirroring
+// aluOp.
+func compileAlu(op x86.Opcode, size uint64) func(a, b uint64) uint64 {
+	sx := sxFn(size)
+	switch op {
+	case x86.ADD:
+		return func(a, b uint64) uint64 { return a + b }
+	case x86.SUB:
+		return func(a, b uint64) uint64 { return a - b }
+	case x86.IMUL:
+		return func(a, b uint64) uint64 { return uint64(sx(a) * sx(b)) }
+	case x86.AND:
+		return func(a, b uint64) uint64 { return a & b }
+	case x86.OR:
+		return func(a, b uint64) uint64 { return a | b }
+	case x86.XOR:
+		return func(a, b uint64) uint64 { return a ^ b }
+	case x86.SHL:
+		return func(a, b uint64) uint64 { return a << (b & 63) }
+	case x86.SHR:
+		return func(a, b uint64) uint64 { return a >> (b & 63) }
+	case x86.SAR:
+		return func(a, b uint64) uint64 { return uint64(sx(a) >> (b & 63)) }
+	default:
+		return func(a, b uint64) uint64 { return 0 }
+	}
+}
+
+// compileBuiltinCall pre-binds a builtin call's SysV argument
+// marshalling, mirroring callBuiltin.
+func compileBuiltinCall(in *x86.Instr, next int) (func(e *Engine) (bool, error), error) {
+	type argSrc struct {
+		float bool
+		reg   x86.Reg
+		xreg  x86.XReg
+	}
+	srcs := make([]argSrc, len(in.ArgClasses))
+	ii, fi := 0, 0
+	for k := 0; k < len(in.ArgClasses); k++ {
+		if in.ArgClasses[k] == 'd' {
+			srcs[k] = argSrc{float: true, xreg: x86.FloatArgRegs[fi]}
+			fi++
+		} else {
+			srcs[k] = argSrc{reg: x86.IntArgRegs[ii]}
+			ii++
+		}
+	}
+	name := in.Builtin
+	retFloat := in.RetFloat
+	return func(e *Engine) (bool, error) {
+		args := make([]uint64, len(srcs))
+		for k, s := range srcs {
+			if s.float {
+				args[k] = e.xmm[s.xreg][0]
+			} else {
+				args[k] = e.regs[s.reg]
+			}
+		}
+		ret, err := rt.Call(e.env, name, args)
+		if err != nil {
+			return false, err
+		}
+		if retFloat {
+			e.xmm[x86.XMM0][0] = ret
+		} else {
+			e.regs[x86.RAX] = ret
+		}
+		e.rip = next
+		return false, nil
+	}, nil
+}

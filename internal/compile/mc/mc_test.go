@@ -1,0 +1,114 @@
+package mc_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hlfi/internal/bench"
+	"hlfi/internal/compile/mc"
+	"hlfi/internal/fault"
+	"hlfi/internal/machine"
+	"hlfi/internal/pinfi"
+)
+
+// TestGoldenEquivalence runs every benchmark fault-free under the
+// simulator and the pre-decoded engine and requires bit-identical exit
+// codes, output, and executed counts.
+func TestGoldenEquivalence(t *testing.T) {
+	progs, err := bench.BuildAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range progs {
+		cp, err := mc.Compile(p.Asm, p.Prep.Layout.Image, p.Prep.Layout.Base)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", p.Name, err)
+		}
+		var sOut, cOut bytes.Buffer
+		sm := machine.New(p.Asm, p.Prep.Layout.Image, p.Prep.Layout.Base, &sOut)
+		sRC, sErr := sm.Run()
+		ce := mc.New(cp, &cOut)
+		cRC, cErr := ce.Run()
+		if fmt.Sprint(sErr) != fmt.Sprint(cErr) {
+			t.Fatalf("%s: err: machine=%v compiled=%v", p.Name, sErr, cErr)
+		}
+		if sRC != cRC {
+			t.Fatalf("%s: exit: machine=%d compiled=%d", p.Name, sRC, cRC)
+		}
+		if !bytes.Equal(sOut.Bytes(), cOut.Bytes()) {
+			t.Fatalf("%s: output differs", p.Name)
+		}
+		if sm.Executed() != ce.Executed() {
+			t.Fatalf("%s: executed: machine=%d compiled=%d", p.Name, sm.Executed(), ce.Executed())
+		}
+	}
+}
+
+// TestInjectionEquivalence replays the same injections (same candidate
+// sets, trigger indices, and RNG seeds) through both engines and
+// requires identical results and identical post-run RNG states.
+func TestInjectionEquivalence(t *testing.T) {
+	progs, err := bench.BuildAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range progs {
+		cp, err := mc.Compile(p.Asm, p.Prep.Layout.Image, p.Prep.Layout.Base)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", p.Name, err)
+		}
+		for _, cat := range []fault.Category{fault.CatAll, fault.CatArith, fault.CatCmp, fault.CatLoad} {
+			candSet := pinfi.Candidates(p.Asm, cat)
+			any := false
+			for _, c := range candSet {
+				if c {
+					any = true
+					break
+				}
+			}
+			if !any {
+				continue
+			}
+			for trial := 0; trial < 40; trial++ {
+				seed := int64(trial + 1)
+				trigger := uint64(trial * 53 % 300)
+
+				sInj := &machine.Injection{Candidates: candSet, TriggerIndex: trigger, Rng: rand.New(rand.NewSource(seed))}
+				var sOut bytes.Buffer
+				sm := machine.New(p.Asm, p.Prep.Layout.Image, p.Prep.Layout.Base, &sOut)
+				sm.Inject = sInj
+				sm.MaxInstrs = p.AsmInstrs*4 + 100_000
+				sRC, sErr := sm.Run()
+
+				cInj := &machine.Injection{Candidates: candSet, TriggerIndex: trigger, Rng: rand.New(rand.NewSource(seed))}
+				var cOut bytes.Buffer
+				ce := mc.New(cp, &cOut)
+				ce.Inject = cInj
+				ce.MaxInstrs = p.AsmInstrs*4 + 100_000
+				cRC, cErr := ce.Run()
+
+				if fmt.Sprint(sErr) != fmt.Sprint(cErr) {
+					t.Fatalf("%s/%v trial %d: err: machine=%v compiled=%v", p.Name, cat, trial, sErr, cErr)
+				}
+				if sRC != cRC || !bytes.Equal(sOut.Bytes(), cOut.Bytes()) {
+					t.Fatalf("%s/%v trial %d: result divergence", p.Name, cat, trial)
+				}
+				if sm.Executed() != ce.Executed() {
+					t.Fatalf("%s/%v trial %d: executed: machine=%d compiled=%d", p.Name, cat, trial, sm.Executed(), ce.Executed())
+				}
+				if sInj.Happened != cInj.Happened || sInj.Activated != cInj.Activated ||
+					sInj.Bit != cInj.Bit || sInj.OrigVal != cInj.OrigVal ||
+					sInj.FaultyVal != cInj.FaultyVal || sInj.InstrIdx != cInj.InstrIdx ||
+					sInj.TargetDesc != cInj.TargetDesc {
+					t.Fatalf("%s/%v trial %d: injection record divergence:\nmachine:  %+v\ncompiled: %+v",
+						p.Name, cat, trial, sInj, cInj)
+				}
+				if a, b := sInj.Rng.Int63(), cInj.Rng.Int63(); a != b {
+					t.Fatalf("%s/%v trial %d: RNG state diverged", p.Name, cat, trial)
+				}
+			}
+		}
+	}
+}

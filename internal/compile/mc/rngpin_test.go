@@ -1,0 +1,78 @@
+package mc_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"hlfi/internal/bench"
+	"hlfi/internal/compile/mc"
+	"hlfi/internal/fault"
+	"hlfi/internal/machine"
+	"hlfi/internal/pinfi"
+)
+
+// countingSource counts Int63 draws so tests can pin the engines' RNG
+// consumption, not just the final RNG state.
+type countingSource struct {
+	src   rand.Source
+	draws int
+}
+
+func (c *countingSource) Int63() int64 { c.draws++; return c.src.Int63() }
+func (c *countingSource) Seed(s int64) { c.src.Seed(s) }
+
+// TestRNGStreamPin pins the pre-decoded engine's RNG contract at the
+// machine level: zero draws when the trigger is never reached, and
+// exactly the simulator's draw count when the fault fires.
+func TestRNGStreamPin(t *testing.T) {
+	p, err := bench.Build("quantumm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := mc.Compile(p.Asm, p.Prep.Layout.Image, p.Prep.Layout.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	candSet := pinfi.Candidates(p.Asm, fault.CatAll)
+
+	neverSrc := &countingSource{src: rand.NewSource(1)}
+	e := mc.New(cp, &bytes.Buffer{})
+	e.MaxInstrs = p.AsmInstrs * 2
+	e.Inject = &machine.Injection{Candidates: candSet, TriggerIndex: 1 << 60, Rng: rand.New(neverSrc)}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Inject.Happened {
+		t.Fatal("sentinel trigger unexpectedly fired")
+	}
+	if neverSrc.draws != 0 {
+		t.Fatalf("non-firing compiled attempt drew from the RNG %d times, want 0", neverSrc.draws)
+	}
+
+	for _, trigger := range []uint64{0, 7, 33} {
+		// Run errors are legitimate outcomes here: the flipped bit may
+		// crash the workload. Error equivalence is pinned elsewhere
+		// (TestInjectionEquivalence); this test only counts draws.
+		sSrc := &countingSource{src: rand.NewSource(42)}
+		sm := machine.New(p.Asm, p.Prep.Layout.Image, p.Prep.Layout.Base, &bytes.Buffer{})
+		sm.MaxInstrs = p.AsmInstrs * 2
+		sm.Inject = &machine.Injection{Candidates: candSet, TriggerIndex: trigger, Rng: rand.New(sSrc)}
+		_, _ = sm.Run()
+
+		cSrc := &countingSource{src: rand.NewSource(42)}
+		ce := mc.New(cp, &bytes.Buffer{})
+		ce.MaxInstrs = p.AsmInstrs * 2
+		ce.Inject = &machine.Injection{Candidates: candSet, TriggerIndex: trigger, Rng: rand.New(cSrc)}
+		_, _ = ce.Run()
+
+		if !sm.Inject.Happened || !ce.Inject.Happened {
+			t.Fatalf("trigger %d: injection did not fire (machine=%v compiled=%v)",
+				trigger, sm.Inject.Happened, ce.Inject.Happened)
+		}
+		if sSrc.draws != cSrc.draws {
+			t.Errorf("trigger %d: RNG draws diverged: machine=%d compiled=%d",
+				trigger, sSrc.draws, cSrc.draws)
+		}
+	}
+}

@@ -47,6 +47,13 @@ type Campaign struct {
 	// cache behind it is keyed by (program, level). Results are
 	// byte-identical with or without it.
 	Replay *ReplayConfig
+	// Compiled, when non-nil, runs untraced injection attempts on the
+	// compiled execution engines instead of the interpreters. Shared
+	// across cells like Replay: the compiled-program cache behind it is
+	// keyed by (program, level). Results are byte-identical with or
+	// without it; programs the compilers cannot lower silently stay on
+	// the interpreter.
+	Compiled *CompiledConfig
 	// Metrics, when non-nil, is filled with per-cell timing telemetry by
 	// Run and RunParallel. It is kept out of CellResult so results stay
 	// comparable across runs (timing never is).
@@ -234,6 +241,9 @@ func (c *Campaign) injector() (func(*rand.Rand, bool) attemptResult, uint64, err
 				return nil, 0, err
 			}
 		}
+		if c.Compiled != nil {
+			c.Compiled.armIR(c.Prog, inj)
+		}
 		inj.Obs = c.Obs
 		return func(rng *rand.Rand, traced bool) attemptResult {
 			var r *llfi.Result
@@ -253,6 +263,9 @@ func (c *Campaign) injector() (func(*rand.Rand, bool) attemptResult, uint64, err
 			if err := c.Replay.armASM(c.Prog, inj); err != nil {
 				return nil, 0, err
 			}
+		}
+		if c.Compiled != nil {
+			c.Compiled.armASM(c.Prog, inj)
 		}
 		inj.Obs = c.Obs
 		return func(rng *rand.Rand, traced bool) attemptResult {

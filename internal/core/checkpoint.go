@@ -48,17 +48,19 @@ type checkpointLine struct {
 	// Header fields (type "study"). Replay records the snapshot-replay
 	// configuration the study ran under ("off", or "stride=N;budget=M");
 	// files from before replay existed carry no field, which loads as
-	// "off". Although replay never changes results, the header still pins
-	// it: a config mismatch on resume would make the combined run's
-	// provenance unverifiable by re-execution with one flag set. Shard
-	// ("i/N") marks the checkpoint of one shard worker owning the
-	// canonical cells with index%N == i; unsharded studies carry no
-	// field.
-	Version int    `json:"version,omitempty"`
-	N       int    `json:"n,omitempty"`
-	Seed    int64  `json:"seed,omitempty"`
-	Replay  string `json:"replay,omitempty"`
-	Shard   string `json:"shard,omitempty"`
+	// "off". Compiled records the compiled-engine configuration the same
+	// way ("off" or "on"; pre-compiled files load as "off"). Although
+	// neither ever changes results, the header still pins them: a config
+	// mismatch on resume would make the combined run's provenance
+	// unverifiable by re-execution with one flag set. Shard ("i/N") marks
+	// the checkpoint of one shard worker owning the canonical cells with
+	// index%N == i; unsharded studies carry no field.
+	Version  int    `json:"version,omitempty"`
+	N        int    `json:"n,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
+	Replay   string `json:"replay,omitempty"`
+	Compiled string `json:"compiled,omitempty"`
+	Shard    string `json:"shard,omitempty"`
 
 	// Cell identity (types "cell" and "skip").
 	Benchmark string `json:"benchmark,omitempty"`
@@ -104,13 +106,14 @@ type CheckpointState struct {
 }
 
 // CheckpointShape is the study identity a checkpoint header pins: the
-// per-cell injection count, the study seed, the snapshot-replay
-// signature, and (for shard workers) the shard spec.
+// per-cell injection count, the study seed, the snapshot-replay and
+// compiled-engine signatures, and (for shard workers) the shard spec.
 type CheckpointShape struct {
-	N      int
-	Seed   int64
-	Replay string
-	Shard  string // "i/N", or "" for an unsharded study
+	N        int
+	Seed     int64
+	Replay   string
+	Compiled string // CompiledConfig.Signature ("off" or "on")
+	Shard    string // "i/N", or "" for an unsharded study
 }
 
 // LoadCheckpoint reads a checkpoint and validates that it belongs to an
@@ -139,6 +142,10 @@ func LoadCheckpointShape(path string, shape CheckpointShape) (*CheckpointState, 
 	if got := normalizeReplay(hdr.Replay); got != normalizeReplay(shape.Replay) {
 		return nil, fmt.Errorf("checkpoint %s was written with snapshot replay %q; refusing to resume with replay %q (match the original -snapshot-* flags, or start a fresh checkpoint)",
 			path, got, normalizeReplay(shape.Replay))
+	}
+	if got := normalizeCompiled(hdr.Compiled); got != normalizeCompiled(shape.Compiled) {
+		return nil, fmt.Errorf("checkpoint %s was written with compiled engines %q; refusing to resume with compiled engines %q (match the original -compiled/-no-compiled flag, or start a fresh checkpoint)",
+			path, got, normalizeCompiled(shape.Compiled))
 	}
 	if hdr.Shard != shape.Shard {
 		switch {
@@ -192,7 +199,8 @@ func readCheckpoint(path string) (*CheckpointState, CheckpointShape, error) {
 				return nil, hdr, fmt.Errorf("checkpoint %s: version %d (supported: %d)",
 					path, line.Version, checkpointVersion)
 			}
-			hdr = CheckpointShape{N: line.N, Seed: line.Seed, Replay: line.Replay, Shard: line.Shard}
+			hdr = CheckpointShape{N: line.N, Seed: line.Seed, Replay: line.Replay,
+				Compiled: line.Compiled, Shard: line.Shard}
 			st.N, st.Seed, st.Shard = line.N, line.Seed, line.Shard
 			sawHeader = true
 		case "cell":
@@ -269,7 +277,8 @@ func NewCheckpointWriterShape(path string, shape CheckpointShape) (*CheckpointWr
 	}
 	w := &CheckpointWriter{f: f, enc: json.NewEncoder(f)}
 	if err := w.append(checkpointLine{Type: "study", Version: checkpointVersion,
-		N: shape.N, Seed: shape.Seed, Replay: normalizeReplay(shape.Replay), Shard: shape.Shard}); err != nil {
+		N: shape.N, Seed: shape.Seed, Replay: normalizeReplay(shape.Replay),
+		Compiled: normalizeCompiled(shape.Compiled), Shard: shape.Shard}); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -279,6 +288,16 @@ func NewCheckpointWriterShape(path string, shape CheckpointShape) (*CheckpointWr
 // normalizeReplay maps the pre-replay headers' empty field (and an empty
 // argument) onto the explicit "off" signature.
 func normalizeReplay(sig string) string {
+	if sig == "" {
+		return "off"
+	}
+	return sig
+}
+
+// normalizeCompiled does the same for the compiled-engine signature:
+// headers written before the compiled engines existed carry no field and
+// load as "off".
+func normalizeCompiled(sig string) string {
 	if sig == "" {
 		return "off"
 	}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"sync"
+
+	"hlfi/internal/compile/irc"
+	"hlfi/internal/compile/mc"
+	"hlfi/internal/fault"
+	"hlfi/internal/llfi"
+	"hlfi/internal/obs"
+	"hlfi/internal/pinfi"
+)
+
+// CompiledConfig enables the compiled execution engines — the
+// compile-to-closure IR engine (internal/compile/irc) and the
+// pre-decoded machine-dispatch engine (internal/compile/mc) — for a
+// study's injection attempts. One config is shared by every cell: the
+// program cache behind it is keyed by (program, level), like the
+// snapshot cache, so each program is compiled once and shared by all
+// five categories and any number of concurrent cells.
+//
+// The engines are observationally invisible: outcomes, activation
+// status, output bytes, RNG streams, and checkpoint/merge bytes are
+// identical to the interpreters under the same seeds. A program the
+// compilers cannot lower falls back to the interpreter silently (the
+// fallback is byte-identical by definition); the Obs fallback counter
+// is the only trace.
+type CompiledConfig struct {
+	// Obs, when non-nil, counts compile fallbacks into the live metrics
+	// registry. Purely observational.
+	Obs *obs.Metrics
+
+	once  sync.Once
+	cache *compiledCache
+}
+
+// Signature renders the compiled-engine configuration for checkpoint
+// headers, so -resume and shard merge can refuse to mix runs with
+// different engine configs. A nil config (compiled off) renders as
+// "off".
+func (cc *CompiledConfig) Signature() string {
+	if cc == nil {
+		return "off"
+	}
+	return "on"
+}
+
+func (cc *CompiledConfig) ensure() *compiledCache {
+	cc.once.Do(func() {
+		cc.cache = &compiledCache{
+			entries: make(map[snapKey]*compEntry),
+			obs:     cc.Obs,
+		}
+	})
+	return cc.cache
+}
+
+// armIR wires the compiled IR engine into a freshly built IR injector.
+// Called from the campaign's injector construction (inside ScanTime).
+// Compile failure is not an error: the injector simply stays on the
+// interpreter.
+func (cc *CompiledConfig) armIR(p *Program, inj *llfi.Injector) {
+	if cp := cc.ensure().irProgram(p); cp != nil {
+		inj.UseCompiled(cp)
+	}
+}
+
+// armASM wires the pre-decoded machine engine into a freshly built
+// assembly injector.
+func (cc *CompiledConfig) armASM(p *Program, inj *pinfi.Injector) {
+	if cp := cc.ensure().asmProgram(p); cp != nil {
+		inj.UseCompiled(cp)
+	}
+}
+
+// compEntry is one (program, level) cache slot. ready is closed once
+// the payload is final; a nil payload means the program did not compile
+// and attempts fall back to the interpreter. Compiled programs are
+// immutable, so any number of cells share them concurrently.
+type compEntry struct {
+	ready chan struct{}
+	ir    *irc.Program
+	asm   *mc.Program
+}
+
+// compiledCache compiles programs lazily, once per (program, level).
+// The compiler runs on the first requesting goroutine; concurrent
+// requesters block on the entry's ready channel. Compiled programs are
+// small (closures over the static instruction stream), so unlike the
+// snapshot cache there is no memory budget or eviction.
+type compiledCache struct {
+	mu      sync.Mutex
+	entries map[snapKey]*compEntry
+	obs     *obs.Metrics
+}
+
+// lookup returns (entry, true) to wait on, or a fresh unready entry the
+// caller must fill, already registered under k.
+func (cc *compiledCache) lookup(k snapKey) (*compEntry, bool) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if e, ok := cc.entries[k]; ok {
+		return e, true
+	}
+	e := &compEntry{ready: make(chan struct{})}
+	cc.entries[k] = e
+	return e, false
+}
+
+func (cc *compiledCache) irProgram(p *Program) *irc.Program {
+	k := snapKey{prog: p.Name, level: fault.LevelIR}
+	e, hit := cc.lookup(k)
+	if hit {
+		<-e.ready
+		return e.ir
+	}
+	cp, err := irc.Compile(p.Prep)
+	if err == nil {
+		e.ir = cp
+	} else if cc.obs != nil {
+		cc.obs.CompiledFallbacks.Inc()
+	}
+	close(e.ready)
+	return e.ir
+}
+
+func (cc *compiledCache) asmProgram(p *Program) *mc.Program {
+	k := snapKey{prog: p.Name, level: fault.LevelASM}
+	e, hit := cc.lookup(k)
+	if hit {
+		<-e.ready
+		return e.asm
+	}
+	cp, err := mc.Compile(p.Asm, p.Prep.Layout.Image, p.Prep.Layout.Base)
+	if err == nil {
+		e.asm = cp
+	} else if cc.obs != nil {
+		cc.obs.CompiledFallbacks.Inc()
+	}
+	close(e.ready)
+	return e.asm
+}

@@ -1,0 +1,52 @@
+package core_test
+
+import (
+	"testing"
+
+	"hlfi/internal/bench"
+	"hlfi/internal/core"
+	"hlfi/internal/obs"
+)
+
+// TestCompiledStudyOracle is the full-workload counterpart of
+// TestCompiledDifferentialOracle: the complete example study — every
+// benchmark, both levels, all five categories — must produce identical
+// per-cell outcome vectors, activation counts, and rendered report
+// bytes whether the compiled engines are on or off, sequentially and
+// under the parallel scheduler.
+func TestCompiledStudyOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiled study oracle runs the full example study three times")
+	}
+	progs, err := bench.BuildAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(compiled *core.CompiledConfig, om *obs.Metrics, parallel int) *core.Study {
+		st, err := core.RunStudy(core.StudyConfig{
+			Programs: progs, N: 12, Seed: 3,
+			Parallel: parallel, Compiled: compiled, Obs: om,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	baseline := run(nil, nil, 1)
+
+	om := obs.New()
+	sameStudy(t, "sequential", baseline, run(&core.CompiledConfig{}, om, 1))
+	if om.CompiledAttempts.Value() == 0 {
+		t.Error("sequential compiled run executed no attempts on the compiled engines")
+	}
+	if om.CompiledFallbacks.Value() != 0 {
+		t.Errorf("sequential compiled run fell back %d times", om.CompiledFallbacks.Value())
+	}
+
+	pom := obs.New()
+	sameStudy(t, "parallel", baseline, run(&core.CompiledConfig{}, pom, 4))
+	if pom.CompiledAttempts.Value() == 0 {
+		t.Error("parallel compiled run executed no attempts on the compiled engines")
+	}
+}

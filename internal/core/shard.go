@@ -198,7 +198,8 @@ func MergeShardCheckpoints(paths []string) (*MergedShards, error) {
 		if reference == "" {
 			reference = path
 			merged.Count = spec.Count
-			merged.Shape = CheckpointShape{N: hdr.N, Seed: hdr.Seed, Replay: normalizeReplay(hdr.Replay)}
+			merged.Shape = CheckpointShape{N: hdr.N, Seed: hdr.Seed,
+				Replay: normalizeReplay(hdr.Replay), Compiled: normalizeCompiled(hdr.Compiled)}
 			merged.Files = make([]string, spec.Count)
 		}
 		if err := checkHeader(path, reference, hdr, spec, merged); err != nil {
@@ -241,6 +242,9 @@ func checkHeader(path, reference string, hdr CheckpointShape, spec ShardSpec, me
 	}
 	if got := normalizeReplay(hdr.Replay); got != merged.Shape.Replay {
 		return mismatch("replay", merged.Shape.Replay, got)
+	}
+	if got := normalizeCompiled(hdr.Compiled); got != merged.Shape.Compiled {
+		return mismatch("compiled", merged.Shape.Compiled, got)
 	}
 	if spec.Count != merged.Count {
 		return mismatch("shard-count", strconv.Itoa(merged.Count), strconv.Itoa(spec.Count))

@@ -83,6 +83,13 @@ type StudyConfig struct {
 	// reports are byte-identical with or without it; only timing and the
 	// replay telemetry differ.
 	Replay *ReplayConfig
+	// Compiled, when non-nil, runs untraced injection attempts on the
+	// compiled execution engines instead of the interpreters, sharing one
+	// compiled-program cache across every cell. The study's results,
+	// progress lines, checkpoints, and rendered reports are byte-identical
+	// with or without it; only timing and the compiled-engine telemetry
+	// differ.
+	Compiled *CompiledConfig
 	// Obs, when non-nil, receives live study metrics (attempt counters,
 	// outcome counters, cell progress gauges, latency histograms).
 	// Purely observational: results, progress lines, telemetry events,
@@ -221,6 +228,9 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 		if cfg.Replay != nil {
 			cfg.Replay.Obs = cfg.Obs
 		}
+		if cfg.Compiled != nil {
+			cfg.Compiled.Obs = cfg.Obs
+		}
 	}
 	start := time.Now()
 
@@ -294,6 +304,7 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 				SimFaultLimit: cfg.SimFaultLimit,
 				Deadline:      cfg.CellDeadline,
 				Replay:        cfg.Replay,
+				Compiled:      cfg.Compiled,
 				Obs:           cfg.Obs,
 				TraceAttempts: cfg.TraceAttempts,
 			}

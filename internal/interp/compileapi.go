@@ -1,0 +1,80 @@
+package interp
+
+import (
+	"hlfi/internal/ir"
+	"hlfi/internal/mem"
+)
+
+// This file is the read-only surface the compile-to-closure engine
+// (internal/compile/irc) builds on. It exposes the Prepared analyses —
+// frame plans, GEP stride plans — and the snapshot state, without
+// letting the compiled engine reach into live interpreter internals.
+// The exported views are copies or immutable data: the compiler runs
+// once per (program, level) and must not alias interpreter state.
+
+// MinFrameBytes is the modeled call-frame overhead (see minFrameBytes).
+// The compiled engine replicates pushFrame exactly, including the rule
+// that frames no larger than this are not eagerly mapped.
+const MinFrameBytes = minFrameBytes
+
+// FrameSize reports the stack-frame size Prepare computed for f.
+func (p *Prepared) FrameSize(f *ir.Function) uint64 {
+	return p.frames[f].size
+}
+
+// AllocaOffset reports the frame-base offset Prepare assigned to an
+// OpAlloca instruction.
+func (p *Prepared) AllocaOffset(in *ir.Instr) uint64 {
+	return p.frames[in.Parent.Parent].allocas[in]
+}
+
+// GEPStep is the exported form of one GEP stride-plan step: either a
+// scale for a (sign-extended) dynamic index or a constant struct-field
+// offset.
+type GEPStep struct {
+	Scale   uint64
+	Offset  uint64
+	IsConst bool
+}
+
+// GEPSteps returns the stride plan Prepare built for an OpGEP
+// instruction, in operand order.
+func (p *Prepared) GEPSteps(in *ir.Instr) []GEPStep {
+	plan := p.geps[in]
+	out := make([]GEPStep, len(plan.steps))
+	for i, s := range plan.steps {
+		out[i] = GEPStep{Scale: s.scale, Offset: s.offset, IsConst: s.isConst}
+	}
+	return out
+}
+
+// FrameState is the exported view of one activation record of a
+// Snapshot, in stack order (bottom first). Vals and Params are copies
+// owned by the caller.
+type FrameState struct {
+	Fn      *ir.Function
+	Blk     *ir.Block
+	Prev    *ir.Block
+	Idx     int
+	Base    uint64
+	SavedSP uint64
+	Vals    []uint64
+	Params  []uint64
+}
+
+// CloneState materializes a writable copy of the snapshot's machine
+// state: a copy-on-write memory clone, the stack pointer, and the frame
+// stack. Safe to call concurrently on one snapshot, like
+// NewRunnerFromSnapshot.
+func (s *Snapshot) CloneState() (*mem.Memory, uint64, []FrameState) {
+	frames := make([]FrameState, len(s.frames))
+	for i, fs := range s.frames {
+		frames[i] = FrameState{
+			Fn: fs.fn, Blk: fs.blk, Prev: fs.prev, Idx: fs.idx,
+			Base: fs.base, SavedSP: fs.savedSP,
+			Vals:   append([]uint64(nil), fs.vals...),
+			Params: append([]uint64(nil), fs.params...),
+		}
+	}
+	return s.mem.Clone(), s.sp, frames
+}

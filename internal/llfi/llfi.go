@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"hlfi/internal/compile/irc"
 	"hlfi/internal/fault"
 	"hlfi/internal/interp"
 	"hlfi/internal/ir"
@@ -142,7 +143,17 @@ type Injector struct {
 	// skipped/replayed instruction totals, restore-distance histogram).
 	// Purely observational: it never influences an attempt.
 	Obs *obs.Metrics
+
+	// compiled (UseCompiled), when non-nil, runs untraced attempts on the
+	// compile-to-closure engine instead of the interpreter. Traced
+	// attempts always use the interpreter — the tracer is not compiled in.
+	compiled *irc.Program
 }
+
+// UseCompiled arms the compile-to-closure engine for untraced attempts.
+// The compiled program must be built from the injector's own Prepared
+// module; outcomes stay byte-identical to the interpreter.
+func (j *Injector) UseCompiled(cp *irc.Program) { j.compiled = cp }
 
 // CaptureSnapshots runs the golden execution once more with a snapshot
 // sink armed and returns the captured snapshots in execution order. The
@@ -276,38 +287,67 @@ func (j *Injector) injectAt(trigger uint64, rng *rand.Rand, traced bool) *Result
 	if traced {
 		tr = interp.NewTracer(0) // spans only, no event log
 	}
+	// Untraced attempts run on the compiled engine when armed; the
+	// tracer is interpreter-only instrumentation, so traced attempts
+	// stay on the interpreter (both are byte-identical).
+	useCompiled := j.compiled != nil && !traced
+	budget := j.GoldenInstrs*HangFactor + 1_000_000
 	var out bytes.Buffer
-	var r *interp.Runner
 	var rc int64
 	var err error
+	var executed uint64
 	if i := j.snapBefore(trigger); i >= 0 {
 		s := j.snaps[i]
 		out.Write(j.GoldenOutput[:s.OutLen])
-		r = interp.NewRunnerFromSnapshot(j.Prep, s, &out)
-		r.SetCandCount(j.snapCands[i])
-		r.MaxInstrs = j.GoldenInstrs*HangFactor + 1_000_000
-		r.Inject = injection
-		r.Trace = tr
-		rc, err = r.Resume()
-		j.stats.Hit(s.Executed, r.Executed()-s.Executed)
+		if useCompiled {
+			r := irc.NewRunnerFromSnapshot(j.compiled, s, &out)
+			r.SetCandCount(j.snapCands[i])
+			r.MaxInstrs = budget
+			r.Inject = injection
+			rc, err = r.Resume()
+			executed = r.Executed()
+		} else {
+			r := interp.NewRunnerFromSnapshot(j.Prep, s, &out)
+			r.SetCandCount(j.snapCands[i])
+			r.MaxInstrs = budget
+			r.Inject = injection
+			r.Trace = tr
+			rc, err = r.Resume()
+			executed = r.Executed()
+		}
+		j.stats.Hit(s.Executed, executed-s.Executed)
 		if o := j.Obs; o != nil {
 			o.ReplayHits.Inc()
 			o.InstrsSkipped.Add(s.Executed)
-			o.InstrsReplayed.Add(r.Executed() - s.Executed)
-			o.RestoreInstrs.Observe(float64(r.Executed() - s.Executed))
+			o.InstrsReplayed.Add(executed - s.Executed)
+			o.RestoreInstrs.Observe(float64(executed - s.Executed))
 		}
 	} else {
-		r = interp.NewRunner(j.Prep, &out)
-		r.MaxInstrs = j.GoldenInstrs*HangFactor + 1_000_000
-		r.Inject = injection
-		r.Trace = tr
-		rc, err = r.Run()
+		if useCompiled {
+			r := irc.NewRunner(j.compiled, &out)
+			r.MaxInstrs = budget
+			r.Inject = injection
+			rc, err = r.Run()
+			executed = r.Executed()
+		} else {
+			r := interp.NewRunner(j.Prep, &out)
+			r.MaxInstrs = budget
+			r.Inject = injection
+			r.Trace = tr
+			rc, err = r.Run()
+			executed = r.Executed()
+		}
 		if j.snaps != nil {
-			j.stats.Miss(r.Executed())
+			j.stats.Miss(executed)
 			if o := j.Obs; o != nil {
 				o.ReplayMisses.Inc()
-				o.RestoreInstrs.Observe(float64(r.Executed()))
+				o.RestoreInstrs.Observe(float64(executed))
 			}
+		}
+	}
+	if useCompiled {
+		if o := j.Obs; o != nil {
+			o.CompiledAttempts.Inc()
 		}
 	}
 	res := &Result{Output: out.Bytes(), Exit: rc, Err: err, Injection: injection, Trigger: trigger}
@@ -317,7 +357,7 @@ func (j *Injector) injectAt(trigger uint64, rng *rand.Rand, traced bool) *Result
 			res.Spans = append(res.Spans, telemetry.TraceSpan{Kind: s.Kind, Site: s.Site, At: s.At})
 		}
 		res.Spans = append(res.Spans, telemetry.TraceSpan{
-			Kind: "outcome", Site: res.Outcome.String(), At: r.Executed(),
+			Kind: "outcome", Site: res.Outcome.String(), At: executed,
 		})
 	}
 	return res

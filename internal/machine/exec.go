@@ -373,10 +373,14 @@ func parity(b byte) bool {
 
 // cond evaluates a Jcc/SETcc condition against RFLAGS.
 func (m *Machine) cond(op x86.Opcode) bool {
-	zf := m.flags&x86.FlagZF != 0
-	sf := m.flags&x86.FlagSF != 0
-	of := m.flags&x86.FlagOF != 0
-	cf := m.flags&x86.FlagCF != 0
+	return condHolds(op, m.flags)
+}
+
+func condHolds(op x86.Opcode, flags uint64) bool {
+	zf := flags&x86.FlagZF != 0
+	sf := flags&x86.FlagSF != 0
+	of := flags&x86.FlagOF != 0
+	cf := flags&x86.FlagCF != 0
 	switch op {
 	case x86.JE, x86.SETE:
 		return zf

@@ -78,7 +78,6 @@ func TestCondTable(t *testing.T) {
 func TestReadWriteSets(t *testing.T) {
 	r := func(reg x86.Reg) x86.Operand { return x86.R(reg) }
 	mem := func(base x86.Reg) x86.Operand { return x86.Mem(base, x86.RegNone, 1, 0) }
-	m := &Machine{}
 
 	readCases := []struct {
 		name string
@@ -107,7 +106,7 @@ func TestReadWriteSets(t *testing.T) {
 			Src: x86.Operand{Kind: x86.OpMem, Base: x86.RBX, Index: x86.RCX, Scale: 4}}, x86.RCX, true},
 	}
 	for _, c := range readCases {
-		if got := m.readsReg(&c.in, c.reg); got != c.want {
+		if got := readsReg(&c.in, c.reg); got != c.want {
 			t.Errorf("readsReg %s (%v): got %v, want %v", c.name, c.reg, got, c.want)
 		}
 	}
@@ -152,7 +151,7 @@ func TestReadWriteSets(t *testing.T) {
 		{"xorpd-other", x86.Instr{Op: x86.XORPD, Dst: x(x86.XMM4), Src: x(x86.XMM5)}, x86.XMM4, true},
 	}
 	for _, c := range xmmReads {
-		if got := m.readsXmm(&c.in, c.xr); got != c.want {
+		if got := readsXmm(&c.in, c.xr); got != c.want {
 			t.Errorf("readsXmm %s: got %v, want %v", c.name, got, c.want)
 		}
 	}
@@ -167,18 +166,17 @@ func TestReadWriteSets(t *testing.T) {
 // TestBuiltinCallArgTracking: a builtin CALL reads exactly the argument
 // registers its signature names, honoring the int/float split.
 func TestBuiltinCallArgTracking(t *testing.T) {
-	m := &Machine{}
 	// print_double(d): one float arg -> reads XMM0, no int args.
 	pd := x86.Instr{Op: x86.CALL, Builtin: "print_double", ArgClasses: "d"}
-	if m.readsReg(&pd, x86.RDI) {
+	if readsReg(&pd, x86.RDI) {
 		t.Error("print_double should not read RDI")
 	}
-	if !m.readsXmm(&pd, x86.XMM0) {
+	if !readsXmm(&pd, x86.XMM0) {
 		t.Error("print_double must read XMM0")
 	}
 	// malloc(n): one int arg -> reads RDI, writes RAX.
 	ml := x86.Instr{Op: x86.CALL, Builtin: "malloc", ArgClasses: "l"}
-	if !m.readsReg(&ml, x86.RDI) {
+	if !readsReg(&ml, x86.RDI) {
 		t.Error("malloc must read RDI")
 	}
 	if !writesReg(&ml, x86.RAX) {

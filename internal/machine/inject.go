@@ -89,14 +89,14 @@ func maskBits(mask uint64) []int {
 func (m *Machine) checkActivation(in *x86.Instr) {
 	switch m.watch {
 	case watchReg:
-		if m.readsReg(in, m.watchReg_) {
+		if readsReg(in, m.watchReg_) {
 			m.Inject.Activated = true
 			m.watch = watchNone
 		} else if writesReg(in, m.watchReg_) {
 			m.watch = watchNone
 		}
 	case watchXmm:
-		if m.readsXmm(in, m.watchXmm_) {
+		if readsXmm(in, m.watchXmm_) {
 			m.Inject.Activated = true
 			m.watch = watchNone
 		} else if writesXmm(in, m.watchXmm_) {
@@ -128,7 +128,7 @@ func operandReadsReg(o x86.Operand, r x86.Reg) bool {
 }
 
 // readsReg reports whether in reads general-purpose register r.
-func (m *Machine) readsReg(in *x86.Instr, r x86.Reg) bool {
+func readsReg(in *x86.Instr, r x86.Reg) bool {
 	if operandReadsReg(in.Src, r) {
 		return true
 	}
@@ -201,7 +201,7 @@ func writesReg(in *x86.Instr, r x86.Reg) bool {
 	return false
 }
 
-func (m *Machine) readsXmm(in *x86.Instr, x xr) bool {
+func readsXmm(in *x86.Instr, x xr) bool {
 	if in.Src.Kind == x86.OpXmm && in.Src.Xmm == x {
 		return true
 	}

@@ -55,6 +55,11 @@ type Metrics struct {
 	SnapshotCacheSnapshots *Gauge
 	SnapshotEvictions      *Counter
 
+	// Compiled-engine accounting (updated from the injectors and the
+	// compiled-program cache).
+	CompiledAttempts  *Counter
+	CompiledFallbacks *Counter
+
 	// Fault-propagation tracing.
 	TraceAttempts *Counter
 	TraceSpans    *Counter
@@ -93,6 +98,9 @@ func New() *Metrics {
 		SnapshotCacheBytes:     r.Gauge("hlfi_snapshot_cache_bytes", "Accounted bytes held by the snapshot cache."),
 		SnapshotCacheSnapshots: r.Gauge("hlfi_snapshot_cache_snapshots", "Snapshots held by the snapshot cache."),
 		SnapshotEvictions:      r.Counter("hlfi_snapshot_evictions_total", "Snapshot cache entries evicted under the memory budget."),
+
+		CompiledAttempts:  r.Counter("hlfi_compiled_attempts_total", "Attempts executed by a compiled engine instead of the interpreter."),
+		CompiledFallbacks: r.Counter("hlfi_compiled_fallbacks_total", "Programs that failed to compile and fell back to the interpreter."),
 
 		TraceAttempts: r.Counter("hlfi_trace_attempts_total", "Attempts that recorded a fault-propagation trace."),
 		TraceSpans:    r.Counter("hlfi_trace_spans_total", "Spans recorded across all attempt traces."),

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"hlfi/internal/compile/mc"
 	"hlfi/internal/fault"
 	"hlfi/internal/machine"
 	"hlfi/internal/obs"
@@ -105,7 +106,17 @@ type Injector struct {
 	// skipped/replayed instruction totals, restore-distance histogram).
 	// Purely observational: it never influences an attempt.
 	Obs *obs.Metrics
+
+	// compiled (UseCompiled), when non-nil, runs untraced attempts on the
+	// pre-decoded dispatch engine instead of the simulator. Traced
+	// attempts always use the simulator — the tracer is not compiled in.
+	compiled *mc.Program
 }
+
+// UseCompiled arms the pre-decoded dispatch engine for untraced
+// attempts. The compiled program must be built from the injector's own
+// lowered program; outcomes stay byte-identical to the simulator.
+func (j *Injector) UseCompiled(cp *mc.Program) { j.compiled = cp }
 
 // CaptureSnapshots runs the golden execution once more with a snapshot
 // sink armed and returns the captured snapshots in execution order. The
@@ -241,38 +252,67 @@ func (j *Injector) injectAt(trigger uint64, rng *rand.Rand, traced bool) *Result
 	if traced {
 		tr = machine.NewTracer()
 	}
+	// Untraced attempts run on the compiled engine when armed; the
+	// tracer is simulator-only instrumentation, so traced attempts stay
+	// on the simulator (both are byte-identical).
+	useCompiled := j.compiled != nil && !traced
+	budget := j.GoldenInstrs*HangFactor + 1_000_000
 	var out bytes.Buffer
-	var m *machine.Machine
 	var rc int64
 	var err error
+	var executed uint64
 	if i := j.snapBefore(trigger); i >= 0 {
 		s := j.snaps[i]
 		out.Write(j.GoldenOutput[:s.OutLen])
-		m = machine.NewFromSnapshot(j.Prog, s, &out)
-		m.SetCandCount(j.snapCands[i])
-		m.MaxInstrs = j.GoldenInstrs*HangFactor + 1_000_000
-		m.Inject = injection
-		m.Trace = tr
-		rc, err = m.Resume()
-		j.stats.Hit(s.Executed, m.Executed()-s.Executed)
+		if useCompiled {
+			e := mc.NewFromSnapshot(j.compiled, s, &out)
+			e.SetCandCount(j.snapCands[i])
+			e.MaxInstrs = budget
+			e.Inject = injection
+			rc, err = e.Resume()
+			executed = e.Executed()
+		} else {
+			m := machine.NewFromSnapshot(j.Prog, s, &out)
+			m.SetCandCount(j.snapCands[i])
+			m.MaxInstrs = budget
+			m.Inject = injection
+			m.Trace = tr
+			rc, err = m.Resume()
+			executed = m.Executed()
+		}
+		j.stats.Hit(s.Executed, executed-s.Executed)
 		if o := j.Obs; o != nil {
 			o.ReplayHits.Inc()
 			o.InstrsSkipped.Add(s.Executed)
-			o.InstrsReplayed.Add(m.Executed() - s.Executed)
-			o.RestoreInstrs.Observe(float64(m.Executed() - s.Executed))
+			o.InstrsReplayed.Add(executed - s.Executed)
+			o.RestoreInstrs.Observe(float64(executed - s.Executed))
 		}
 	} else {
-		m = machine.New(j.Prog, j.LayoutImage, j.LayoutBase, &out)
-		m.MaxInstrs = j.GoldenInstrs*HangFactor + 1_000_000
-		m.Inject = injection
-		m.Trace = tr
-		rc, err = m.Run()
+		if useCompiled {
+			e := mc.New(j.compiled, &out)
+			e.MaxInstrs = budget
+			e.Inject = injection
+			rc, err = e.Run()
+			executed = e.Executed()
+		} else {
+			m := machine.New(j.Prog, j.LayoutImage, j.LayoutBase, &out)
+			m.MaxInstrs = budget
+			m.Inject = injection
+			m.Trace = tr
+			rc, err = m.Run()
+			executed = m.Executed()
+		}
 		if j.snaps != nil {
-			j.stats.Miss(m.Executed())
+			j.stats.Miss(executed)
 			if o := j.Obs; o != nil {
 				o.ReplayMisses.Inc()
-				o.RestoreInstrs.Observe(float64(m.Executed()))
+				o.RestoreInstrs.Observe(float64(executed))
 			}
+		}
+	}
+	if useCompiled {
+		if o := j.Obs; o != nil {
+			o.CompiledAttempts.Inc()
 		}
 	}
 	res := &Result{Output: out.Bytes(), Exit: rc, Err: err, Injection: injection, Trigger: trigger}
@@ -282,7 +322,7 @@ func (j *Injector) injectAt(trigger uint64, rng *rand.Rand, traced bool) *Result
 			res.Spans = append(res.Spans, telemetry.TraceSpan{Kind: s.Kind, Site: s.Site, At: s.At})
 		}
 		res.Spans = append(res.Spans, telemetry.TraceSpan{
-			Kind: "outcome", Site: res.Outcome.String(), At: m.Executed(),
+			Kind: "outcome", Site: res.Outcome.String(), At: executed,
 		})
 	}
 	return res

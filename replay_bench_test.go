@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"hlfi/internal/bench"
+	"hlfi/internal/compile/irc"
 	"hlfi/internal/core"
 	"hlfi/internal/fault"
 	"hlfi/internal/llfi"
@@ -37,9 +38,10 @@ func replayBenchProgram(b *testing.B) *core.Program {
 
 // BenchmarkInjectionAttempt compares one LLFI injection attempt under
 // full re-execution (sub-bench "full") against snapshot fast-forward
-// replay ("replay"). Both arms draw triggers from identically seeded
-// rngs, so per-op times are directly comparable; the snapshot capture
-// happens once in setup, mirroring a campaign where it is amortized
+// replay ("replay") and the compile-to-closure engine ("compiled").
+// All arms draw triggers from identically seeded rngs, so per-op times
+// are directly comparable; the snapshot capture and the engine compile
+// happen once in setup, mirroring a campaign where they are amortized
 // over N attempts.
 func BenchmarkInjectionAttempt(b *testing.B) {
 	p := replayBenchProgram(b)
@@ -51,6 +53,15 @@ func BenchmarkInjectionAttempt(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	compiled, err := llfi.New(p.Prep, fault.CatAll)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cp, err := irc.Compile(p.Prep)
+	if err != nil {
+		b.Fatal(err)
+	}
+	compiled.UseCompiled(cp)
 	stride := full.GoldenInstrs / 64
 	if stride < 512 {
 		stride = 512
@@ -72,6 +83,7 @@ func BenchmarkInjectionAttempt(b *testing.B) {
 	}
 	b.Run("full", arm(full))
 	b.Run("replay", arm(replay))
+	b.Run("compiled", arm(compiled))
 	if stats.Hits() == 0 {
 		b.Fatal("replay arm never hit a snapshot")
 	}
