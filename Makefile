@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test bench study calibration examples cover fmt race smoke resume-smoke fuzz-smoke replay-determinism compiled-smoke obs-smoke shard-smoke ci
+.PHONY: test bench study calibration examples cover fmt race smoke resume-smoke fuzz-smoke replay-determinism compiled-smoke obs-smoke shard-smoke fleet-smoke ci
 
 test:
 	go build ./... && go vet ./... && go test ./...
@@ -8,7 +8,7 @@ test:
 # Race coverage for the concurrency-bearing packages (mirrors the CI
 # race job).
 race:
-	go test -race ./internal/core/... ./internal/sched/... ./internal/telemetry/...
+	go test -race ./internal/core/... ./internal/sched/... ./internal/telemetry/... ./internal/fleet/... ./internal/cli/...
 
 # Study-binary smoke + determinism gate: the cell scheduler must produce
 # byte-identical tables to the serial path (mirrors the CI smoke job).
@@ -111,6 +111,48 @@ shard-smoke:
 	cmp .shard-full.txt .shard-supervised.txt
 	rm -rf .shard-smoke-bin .shard-full.txt .shard-merged.txt .shard-supervised.txt .shard-[0-9].jsonl .shard-sup
 
+# Campaign-fleet smoke: run the study as a service — a fiserve
+# coordinator plus three worker processes, SIGKILL one worker while it
+# holds a lease so the lease expires and its cell is retried — then
+# byte-compare the coordinator's report against the single-process run
+# (already gated sequential-vs-parallel) and assert the fleet counters
+# recorded the churn (mirrors the CI fleet-smoke job).
+fleet-smoke:
+	go build -o .fleet-ficompare ./cmd/ficompare
+	go build -o .fleet-fiserve ./cmd/fiserve
+	./.fleet-ficompare -experiment all -n 200 -benchmarks bzip2m,mcfm -q > .fleet-golden.txt
+	./.fleet-ficompare -experiment all -n 200 -benchmarks bzip2m,mcfm -q -parallel 4 > .fleet-parallel.txt
+	cmp .fleet-golden.txt .fleet-parallel.txt
+	./.fleet-fiserve -listen 127.0.0.1:8792 -once -q -experiment all -n 200 \
+		-benchmarks bzip2m,mcfm -lease-ttl 2s -retry-after 50ms -backoff 100ms \
+		-checkpoint .fleet-ck.jsonl > .fleet-report.txt & \
+	cpid=$$!; \
+	for i in $$(seq 1 150); do \
+		curl -fs http://127.0.0.1:8792/statusz > /dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	./.fleet-fiserve -worker -join http://127.0.0.1:8792 -name w1 -q & w1=$$!; \
+	./.fleet-fiserve -worker -join http://127.0.0.1:8792 -name w2 -q & w2=$$!; \
+	./.fleet-fiserve -worker -join http://127.0.0.1:8792 -name w3 -q & w3=$$!; \
+	for i in $$(seq 1 300); do \
+		curl -fs http://127.0.0.1:8792/statusz 2>/dev/null | grep -q '"worker": "w3"' && break; sleep 0.1; \
+	done; \
+	kill -9 $$w3 2>/dev/null; \
+	i=0; while kill -0 $$cpid 2>/dev/null && [ $$i -lt 900 ]; do \
+		curl -fs http://127.0.0.1:8792/metrics > .fleet-metrics.tmp 2>/dev/null && mv .fleet-metrics.tmp .fleet-metrics.txt; \
+		i=$$((i+1)); sleep 0.2; \
+	done; \
+	if kill -0 $$cpid 2>/dev/null; then \
+		echo "fleet-smoke: coordinator did not converge"; kill $$cpid $$w1 $$w2 2>/dev/null; exit 1; \
+	fi; \
+	wait $$cpid; rc=$$?; wait $$w1 2>/dev/null; wait $$w2 2>/dev/null; exit $$rc
+	cmp .fleet-golden.txt .fleet-report.txt
+	grep -q '^hlfi_fleet_leases_total ' .fleet-metrics.txt
+	awk '$$1=="hlfi_fleet_lease_expiries_total" && $$2+0>=1 {ok=1} END {exit !ok}' .fleet-metrics.txt
+	awk '$$1=="hlfi_fleet_retries_total" && $$2+0>=1 {ok=1} END {exit !ok}' .fleet-metrics.txt
+	grep -q '^hlfi_fleet_workers_live ' .fleet-metrics.txt
+	rm -f .fleet-ficompare .fleet-fiserve .fleet-golden.txt .fleet-parallel.txt \
+		.fleet-report.txt .fleet-ck.jsonl .fleet-metrics.txt .fleet-metrics.tmp
+
 # Fuzz smoke: each native fuzz target for 30s (mirrors the CI job).
 fuzz-smoke:
 	go test -run '^$$' -fuzz '^FuzzMiniCParse$$' -fuzztime 30s ./internal/minic
@@ -134,6 +176,7 @@ ci:
 	$(MAKE) compiled-smoke
 	$(MAKE) obs-smoke
 	$(MAKE) shard-smoke
+	$(MAKE) fleet-smoke
 	$(MAKE) fuzz-smoke
 
 # All tables/figures + ablations. HLFI_N controls injections per cell.

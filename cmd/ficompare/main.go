@@ -31,17 +31,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"os/exec"
 	"os/signal"
 	"path/filepath"
-	"strings"
-	"sync"
 	"syscall"
 	"time"
 
 	"hlfi/internal/bench"
+	"hlfi/internal/cli"
 	"hlfi/internal/core"
 	"hlfi/internal/fault"
 	"hlfi/internal/obs"
@@ -148,7 +146,7 @@ func runCtx(ctx context.Context, args []string) error {
 		return nil
 	}
 
-	progs, err := buildPrograms(*benches)
+	progs, err := cli.BuildPrograms(*benches)
 	if err != nil {
 		return err
 	}
@@ -173,7 +171,7 @@ func runCtx(ctx context.Context, args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Print(st.RenderTableIV())
+		cli.RenderExperiment(os.Stdout, st, "table4")
 		return nil
 	}
 
@@ -343,20 +341,7 @@ func runCtx(ctx context.Context, args []string) error {
 		return err
 	}
 
-	switch *experiment {
-	case "fig3":
-		fmt.Print(st.RenderFigure3())
-	case "fig4":
-		fmt.Print(st.RenderFigure4())
-	case "table5":
-		fmt.Print(st.RenderTableV())
-	case "all":
-		fmt.Println(st.RenderFigure3())
-		fmt.Println(st.RenderTableIV())
-		fmt.Println(st.RenderFigure4())
-		fmt.Println(st.RenderTableV())
-		fmt.Println(st.RenderSummary())
-	}
+	cli.RenderExperiment(os.Stdout, st, *experiment)
 	return err
 }
 
@@ -385,18 +370,14 @@ func superviseShards(ctx context.Context, workers int, dir string, args []string
 	// Workers inherit the study flags but never the supervisor,
 	// durability, or endpoint flags: each owns its private checkpoint,
 	// and N workers cannot share one -status port or -events file.
-	base := stripFlags(args, map[string]bool{
+	base := cli.StripFlags(args, map[string]bool{
 		"shard-workers": true, "shard-dir": true, "shard": true, "merge": true,
 		"checkpoint": true, "resume": true,
 		"status": true, "status-linger": true, "events": true,
 		"q": false,
 	})
 
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		failures []string
-	)
+	cmds := make([]*exec.Cmd, workers)
 	for i := 0; i < workers; i++ {
 		spec := fmt.Sprintf("%d/%d", i, workers)
 		path := filepath.Join(dir, fmt.Sprintf("shard-%d-of-%d.jsonl", i, workers))
@@ -407,24 +388,11 @@ func superviseShards(ctx context.Context, workers int, dir string, args []string
 		} else {
 			wargs = append(wargs, "-checkpoint", path)
 		}
-		cmd := exec.CommandContext(ctx, exe, wargs...)
-		cmd.Stdout = io.Discard // the report comes from the merge, not the workers
-		cmd.Stderr = os.Stderr
-		// On supervisor cancellation, give workers SIGTERM so they flush
-		// their checkpoints cooperatively; escalate only if they linger.
-		cmd.Cancel = func() error { return cmd.Process.Signal(syscall.SIGTERM) }
-		cmd.WaitDelay = 10 * time.Second
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			if err := cmd.Run(); err != nil {
-				mu.Lock()
-				failures = append(failures, fmt.Sprintf("shard %s: %v", spec, err))
-				mu.Unlock()
-			}
-		}()
+		cmds[i] = cli.WorkerCommand(ctx, exe, wargs...)
 	}
-	wg.Wait()
+	failures := cli.RunWorkerPool(cmds, func(i int) string {
+		return fmt.Sprintf("shard %d/%d", i, workers)
+	})
 	if err := ctx.Err(); err != nil {
 		return dir, "", isTmp, fmt.Errorf("supervisor cancelled (shard checkpoints kept in %s; re-run with -shard-dir %s to resume): %w", dir, dir, err)
 	}
@@ -436,52 +404,6 @@ func superviseShards(ctx context.Context, workers int, dir string, args []string
 			len(failures), workers)
 	}
 	return dir, filepath.Join(dir, fmt.Sprintf("shard-*-of-%d.jsonl", workers)), isTmp, nil
-}
-
-// stripFlags removes the given flags from an argument list, handling
-// both "-name value" and "-name=value" (and the "--" forms). The bool
-// says whether the flag consumes a following value argument.
-func stripFlags(args []string, strip map[string]bool) []string {
-	var out []string
-	for i := 0; i < len(args); i++ {
-		arg := args[i]
-		name, hasValue := arg, false
-		name = strings.TrimPrefix(name, "-")
-		name = strings.TrimPrefix(name, "-")
-		if j := strings.IndexByte(name, '='); j >= 0 {
-			name, hasValue = name[:j], true
-		}
-		takesValue, stripped := strip[name]
-		if !stripped || !strings.HasPrefix(arg, "-") {
-			out = append(out, arg)
-			continue
-		}
-		if takesValue && !hasValue {
-			i++ // skip the separate value argument
-		}
-	}
-	return out
-}
-
-func buildPrograms(subset string) ([]*core.Program, error) {
-	var names []string
-	if subset == "" {
-		for _, b := range bench.All() {
-			names = append(names, b.Name)
-		}
-	} else {
-		names = strings.Split(subset, ",")
-	}
-	var progs []*core.Program
-	for _, name := range names {
-		fmt.Fprintf(os.Stderr, "building %s...\n", name)
-		p, err := bench.Build(strings.TrimSpace(name))
-		if err != nil {
-			return nil, err
-		}
-		progs = append(progs, p)
-	}
-	return progs, nil
 }
 
 func printTable2() {

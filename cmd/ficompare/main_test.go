@@ -212,25 +212,3 @@ func TestRunScaleOutFlagValidation(t *testing.T) {
 		}
 	}
 }
-
-// TestStripFlags: the supervisor's worker argument filter handles both
-// "-flag value" and "-flag=value" forms and leaves study flags alone.
-func TestStripFlags(t *testing.T) {
-	in := []string{
-		"-experiment", "fig3", "-shard-workers", "3", "-n", "10",
-		"-shard-dir=/tmp/x", "-q", "-status", ":8080", "-events=ev.jsonl", "-parallel", "2",
-	}
-	got := stripFlags(in, map[string]bool{
-		"shard-workers": true, "shard-dir": true,
-		"status": true, "events": true, "q": false,
-	})
-	want := []string{"-experiment", "fig3", "-n", "10", "-parallel", "2"}
-	if len(got) != len(want) {
-		t.Fatalf("stripFlags = %v, want %v", got, want)
-	}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("stripFlags = %v, want %v", got, want)
-		}
-	}
-}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"hlfi/internal/bench"
@@ -32,6 +33,30 @@ func LoadProgram(benchName, srcPath string) (*core.Program, error) {
 	default:
 		return nil, fmt.Errorf("one of -bench or -src is required")
 	}
+}
+
+// BuildPrograms compiles the named benchmarks (comma-separated; empty
+// means all six), logging build progress to stderr the way the study
+// tools always have.
+func BuildPrograms(subset string) ([]*core.Program, error) {
+	var names []string
+	if subset == "" {
+		for _, b := range bench.All() {
+			names = append(names, b.Name)
+		}
+	} else {
+		names = strings.Split(subset, ",")
+	}
+	var progs []*core.Program
+	for _, name := range names {
+		fmt.Fprintf(os.Stderr, "building %s...\n", name)
+		p, err := bench.Build(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		progs = append(progs, p)
+	}
+	return progs, nil
 }
 
 // CampaignOptions configures RunCampaign beyond the cell identity.

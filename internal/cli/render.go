@@ -1,0 +1,33 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+
+	"hlfi/internal/core"
+)
+
+// RenderExperiment writes the requested experiment's rendered artifacts
+// for a completed study, byte-for-byte the way ficompare prints them.
+// The fleet coordinator renders through the same function, so a
+// service-run campaign's report is comparable to the single-process
+// run with cmp. Unknown experiment names render nothing; callers
+// validate up front.
+func RenderExperiment(w io.Writer, st *core.Study, experiment string) {
+	switch experiment {
+	case "fig3":
+		fmt.Fprint(w, st.RenderFigure3())
+	case "table4":
+		fmt.Fprint(w, st.RenderTableIV())
+	case "fig4":
+		fmt.Fprint(w, st.RenderFigure4())
+	case "table5":
+		fmt.Fprint(w, st.RenderTableV())
+	case "all":
+		fmt.Fprintln(w, st.RenderFigure3())
+		fmt.Fprintln(w, st.RenderTableIV())
+		fmt.Fprintln(w, st.RenderFigure4())
+		fmt.Fprintln(w, st.RenderTableV())
+		fmt.Fprintln(w, st.RenderSummary())
+	}
+}

@@ -1,0 +1,116 @@
+package cli
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestStripFlags: the supervisors' worker argument filter handles both
+// "-flag value" and "-flag=value" forms and leaves study flags alone.
+// (Table-driven; moved here from cmd/ficompare when the helper was
+// promoted for sharing with the fleet supervisor.)
+func TestStripFlags(t *testing.T) {
+	cases := []struct {
+		name  string
+		in    []string
+		strip map[string]bool
+		want  []string
+	}{
+		{
+			name: "supervisor flags in both forms",
+			in: []string{
+				"-experiment", "fig3", "-shard-workers", "3", "-n", "10",
+				"-shard-dir=/tmp/x", "-q", "-status", ":8080", "-events=ev.jsonl", "-parallel", "2",
+			},
+			strip: map[string]bool{
+				"shard-workers": true, "shard-dir": true,
+				"status": true, "events": true, "q": false,
+			},
+			want: []string{"-experiment", "fig3", "-n", "10", "-parallel", "2"},
+		},
+		{
+			name:  "double-dash form",
+			in:    []string{"--status", ":1", "--n", "5"},
+			strip: map[string]bool{"status": true},
+			want:  []string{"--n", "5"},
+		},
+		{
+			name:  "bare value matching a stripped name is kept",
+			in:    []string{"-benchmarks", "status", "-status=:1"},
+			strip: map[string]bool{"status": true},
+			want:  []string{"-benchmarks", "status"},
+		},
+		{
+			name:  "nothing stripped",
+			in:    []string{"-n", "10", "-q"},
+			strip: map[string]bool{"events": true},
+			want:  []string{"-n", "10", "-q"},
+		},
+		{
+			name:  "boolean flag with explicit value",
+			in:    []string{"-q=true", "-n", "3"},
+			strip: map[string]bool{"q": false},
+			want:  []string{"-n", "3"},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := StripFlags(tc.in, tc.strip); !reflect.DeepEqual(got, tc.want) {
+				t.Errorf("StripFlags(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestWorkerCommandLifecycle: WorkerCommand forwards SIGTERM on context
+// cancellation and RunWorkerPool isolates worker failures, labelling
+// each without cancelling siblings.
+func TestWorkerCommandLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// One worker exits 0, one exits 1, one sleeps until SIGTERM. Every
+	// worker touches a sentinel at startup (the sleeper after installing
+	// its trap) so the test can cancel without racing worker startup.
+	dir := t.TempDir()
+	ready := func(i int) string { return filepath.Join(dir, fmt.Sprintf("ready-%d", i)) }
+	cmds := []*exec.Cmd{
+		WorkerCommand(ctx, "/bin/sh", "-c", "trap 'exit 0' TERM; : >"+ready(0)+"; exit 0"),
+		WorkerCommand(ctx, "/bin/sh", "-c", "trap 'exit 1' TERM; : >"+ready(1)+"; exit 1"),
+		WorkerCommand(ctx, "/bin/sh", "-c",
+			// The background sleep detaches from stdio so the orphan it
+			// becomes after the trap fires cannot hold pipes open.
+			"trap 'exit 7' TERM; : >"+ready(2)+"; sleep 30 >/dev/null 2>&1 & wait"),
+	}
+	go func() {
+		// Cancel only after every worker has started and the sleeper has
+		// its trap in place: the pool must SIGTERM the sleeper rather than
+		// hang for the full sleep, and the fast workers must report their
+		// own exit status, not a pre-start cancellation.
+		for i := 0; i < len(cmds); {
+			if _, err := os.Stat(ready(i)); err == nil {
+				i++
+				continue
+			}
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	failures := RunWorkerPool(cmds, func(i int) string {
+		return []string{"ok-worker", "bad-worker", "slow-worker"}[i]
+	})
+	if len(failures) != 2 {
+		t.Fatalf("failures = %v, want bad-worker and slow-worker", failures)
+	}
+	joined := strings.Join(failures, "; ")
+	if !strings.Contains(joined, "bad-worker") || !strings.Contains(joined, "slow-worker") {
+		t.Errorf("failure labels missing: %v", failures)
+	}
+}

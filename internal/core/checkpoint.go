@@ -22,10 +22,11 @@
 package core
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"sync"
 
@@ -40,7 +41,30 @@ const (
 	SkipNoCandidates = "no-candidates"
 	SkipNotActivated = "not-activated"
 	SkipDeadline     = "deadline"
+	// SkipFleet marks a cell degraded by the fleet coordinator after its
+	// retry budget ran out (every lease expired or failed): the fleet
+	// analogue of the wall-clock deadline path.
+	SkipFleet = "fleet-failed"
 )
+
+// CheckpointWriteError is the typed failure of a checkpoint append: the
+// write or fsync of one cell record did not reach stable storage. The
+// writer goes sticky after the first such failure — no further records
+// are appended, so the file keeps a valid, fully-fsynced prefix instead
+// of an interleaved corrupt tail. The study treats it as a hard error
+// (silently continuing would hand a later -resume a checkpoint it must
+// not trust); a fleet coordinator instead fails the affected lease so
+// the cell is requeued.
+type CheckpointWriteError struct {
+	Path string
+	Err  error
+}
+
+func (e *CheckpointWriteError) Error() string {
+	return fmt.Sprintf("checkpoint %s: write failed, aborting (the file retains a valid prefix of fully-synced records): %v", e.Path, e.Err)
+}
+
+func (e *CheckpointWriteError) Unwrap() error { return e.Err }
 
 type checkpointLine struct {
 	Type string `json:"type"` // "study" | "cell" | "skip"
@@ -167,31 +191,36 @@ func LoadCheckpointShape(path string, shape CheckpointShape) (*CheckpointState, 
 // returning the restored state and the header shape it was written
 // under. Callers validate the shape (LoadCheckpointShape for resume,
 // MergeShardCheckpoints for merge).
+//
+// Every complete record ends in a newline before it is fsynced, so a
+// process killed mid-append can leave at most one torn line, and only
+// at the very end of the file with no trailing newline. That tail is
+// dropped (the cell it described simply re-runs); a malformed line
+// anywhere else is real corruption and still fails the load.
 func readCheckpoint(path string) (*CheckpointState, CheckpointShape, error) {
 	var hdr CheckpointShape
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, hdr, err
 	}
-	defer f.Close()
+	tornTail := len(data) > 0 && data[len(data)-1] != '\n'
 
 	st := &CheckpointState{
 		Cells: make(map[CellKey]*CellResult),
 		Skips: make(map[CellKey]CheckpointSkip),
 	}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	lineNo := 0
+	lines := bytes.Split(data, []byte{'\n'})
 	sawHeader := false
-	for sc.Scan() {
-		lineNo++
-		raw := sc.Bytes()
+	for lineNo, raw := range lines {
 		if len(raw) == 0 {
 			continue
 		}
 		var line checkpointLine
 		if err := json.Unmarshal(raw, &line); err != nil {
-			return nil, hdr, fmt.Errorf("checkpoint %s:%d: %w", path, lineNo, err)
+			if tornTail && lineNo == len(lines)-1 {
+				break // torn final record of a killed writer: ignore
+			}
+			return nil, hdr, fmt.Errorf("checkpoint %s:%d: %w", path, lineNo+1, err)
 		}
 		switch line.Type {
 		case "study":
@@ -206,10 +235,10 @@ func readCheckpoint(path string) (*CheckpointState, CheckpointShape, error) {
 		case "cell":
 			key, err := line.key()
 			if err != nil {
-				return nil, hdr, fmt.Errorf("checkpoint %s:%d: %w", path, lineNo, err)
+				return nil, hdr, fmt.Errorf("checkpoint %s:%d: %w", path, lineNo+1, err)
 			}
 			if line.Result == nil {
-				return nil, hdr, fmt.Errorf("checkpoint %s:%d: cell line without result", path, lineNo)
+				return nil, hdr, fmt.Errorf("checkpoint %s:%d: cell line without result", path, lineNo+1)
 			}
 			r := line.Result
 			st.Cells[key] = &CellResult{
@@ -222,16 +251,13 @@ func readCheckpoint(path string) (*CheckpointState, CheckpointShape, error) {
 		case "skip":
 			key, err := line.key()
 			if err != nil {
-				return nil, hdr, fmt.Errorf("checkpoint %s:%d: %w", path, lineNo, err)
+				return nil, hdr, fmt.Errorf("checkpoint %s:%d: %w", path, lineNo+1, err)
 			}
 			st.Skips[key] = CheckpointSkip{Kind: line.Kind, Err: line.Err}
 			delete(st.Cells, key)
 		default:
-			return nil, hdr, fmt.Errorf("checkpoint %s:%d: unknown record type %q", path, lineNo, line.Type)
+			return nil, hdr, fmt.Errorf("checkpoint %s:%d: unknown record type %q", path, lineNo+1, line.Type)
 		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, hdr, fmt.Errorf("checkpoint %s: %w", path, err)
 	}
 	if !sawHeader {
 		return nil, hdr, fmt.Errorf("checkpoint %s: missing study header line", path)
@@ -251,13 +277,29 @@ func (l *checkpointLine) key() (CellKey, error) {
 	return CellKey{Prog: l.Benchmark, Level: level, Category: cat}, nil
 }
 
+// checkpointFile is the durability surface a CheckpointWriter appends
+// through. *os.File is the production implementation; tests substitute
+// a failing fake to exercise the write-error path.
+type checkpointFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
 // CheckpointWriter appends cell records to a checkpoint file as they
 // complete, syncing after every line so a SIGKILL loses at most the
 // in-flight cell. Safe for concurrent use by the cell scheduler.
+//
+// The writer is fail-stop: the first write or fsync error is recorded
+// as a *CheckpointWriteError and every later append returns it without
+// touching the file, so a failed record can never be followed by more
+// bytes that would interleave with its partial tail.
 type CheckpointWriter struct {
-	mu  sync.Mutex
-	f   *os.File
-	enc *json.Encoder
+	mu   sync.Mutex
+	path string
+	f    checkpointFile
+	enc  *json.Encoder
+	werr error // sticky first write failure
 }
 
 // NewCheckpointWriter creates (or truncates) an unsharded checkpoint
@@ -275,7 +317,7 @@ func NewCheckpointWriterShape(path string, shape CheckpointShape) (*CheckpointWr
 	if err != nil {
 		return nil, err
 	}
-	w := &CheckpointWriter{f: f, enc: json.NewEncoder(f)}
+	w := &CheckpointWriter{path: path, f: f, enc: json.NewEncoder(f)}
 	if err := w.append(checkpointLine{Type: "study", Version: checkpointVersion,
 		N: shape.N, Seed: shape.Seed, Replay: normalizeReplay(shape.Replay),
 		Compiled: normalizeCompiled(shape.Compiled), Shard: shape.Shard}); err != nil {
@@ -311,21 +353,30 @@ func OpenCheckpointAppend(path string) (*CheckpointWriter, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &CheckpointWriter{f: f, enc: json.NewEncoder(f)}, nil
+	return &CheckpointWriter{path: path, f: f, enc: json.NewEncoder(f)}, nil
 }
 
 func (w *CheckpointWriter) append(line checkpointLine) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if err := w.enc.Encode(line); err != nil {
-		return err
+	if w.werr != nil {
+		return w.werr
 	}
-	return w.f.Sync()
+	if err := w.enc.Encode(line); err != nil {
+		w.werr = &CheckpointWriteError{Path: w.path, Err: err}
+		return w.werr
+	}
+	if err := w.f.Sync(); err != nil {
+		w.werr = &CheckpointWriteError{Path: w.path, Err: err}
+		return w.werr
+	}
+	return nil
 }
 
-// Cell appends one completed cell. Errors are returned but a study never
-// fails because of them: losing durability is strictly better than
-// losing the run.
+// Cell appends one completed cell. A failure surfaces as a typed
+// *CheckpointWriteError that the study treats as a hard error: a
+// checkpoint the operator believes is accumulating durable state but
+// silently is not would betray the next -resume.
 func (w *CheckpointWriter) Cell(key CellKey, res *CellResult) error {
 	if w == nil {
 		return nil
@@ -354,13 +405,15 @@ func (w *CheckpointWriter) Skip(key CellKey, err error) error {
 		Benchmark: key.Prog,
 		Level:     key.Level.String(),
 		Category:  key.Category.String(),
-		Kind:      skipKind(err),
+		Kind:      SkipKindOf(err),
 		Err:       err.Error(),
 	})
 }
 
-// skipKind classifies a soft-skip error for the checkpoint record.
-func skipKind(err error) string {
+// SkipKindOf classifies a soft-skip error for checkpoint and fleet
+// completion records, so the same cell skipped by any execution path
+// (local study, shard worker, fleet worker) carries the same kind.
+func SkipKindOf(err error) string {
 	switch {
 	case errors.Is(err, ErrNoCandidates):
 		return SkipNoCandidates

@@ -1,7 +1,11 @@
 package core
 
 import (
+	"encoding/json"
+	"errors"
+	"fmt"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -176,6 +180,133 @@ func TestCheckpointSkipRecords(t *testing.T) {
 	}
 	if len(cap.ofType(telemetry.EventCellSkip)) != 1 {
 		t.Errorf("got %d cell_skip events on resume, want 1", len(cap.ofType(telemetry.EventCellSkip)))
+	}
+}
+
+// failingFile is a checkpointFile whose writes start failing after
+// `okWrites` successful ones (or whose Sync always fails when failSync
+// is set), for exercising the checkpoint writer's error path.
+type failingFile struct {
+	okWrites int
+	failSync bool
+	writes   int
+}
+
+func (f *failingFile) Write(p []byte) (int, error) {
+	f.writes++
+	if !f.failSync && f.writes > f.okWrites {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func (f *failingFile) Sync() error {
+	if f.failSync && f.writes > f.okWrites {
+		return errors.New("fsync: I/O error")
+	}
+	return nil
+}
+
+func (f *failingFile) Close() error { return nil }
+
+// TestCheckpointWriterFailure: a failed write (or fsync) of a cell
+// record surfaces as a typed *CheckpointWriteError, the writer goes
+// sticky (no further bytes reach the file), and a checkpointed study
+// hitting it aborts as a hard error instead of finishing with a
+// silently truncated checkpoint.
+func TestCheckpointWriterFailure(t *testing.T) {
+	for _, mode := range []string{"write", "fsync"} {
+		t.Run(mode, func(t *testing.T) {
+			ff := &failingFile{okWrites: 1, failSync: mode == "fsync"}
+			w := &CheckpointWriter{path: "fake.jsonl", f: ff, enc: json.NewEncoder(ff)}
+			key := CellKey{Prog: "tiny.c", Level: fault.LevelIR, Category: fault.CatAll}
+			res := &CellResult{Prog: "tiny.c", Level: fault.LevelIR, Category: fault.CatAll, Benign: 1, Attempts: 1}
+
+			if err := w.Cell(key, res); err != nil { // first append: within okWrites
+				t.Fatalf("first append failed early: %v", err)
+			}
+			err := w.Cell(key, res)
+			var werr *CheckpointWriteError
+			if !errors.As(err, &werr) {
+				t.Fatalf("second append error = %v, want *CheckpointWriteError", err)
+			}
+			if werr.Path != "fake.jsonl" {
+				t.Errorf("error names path %q, want fake.jsonl", werr.Path)
+			}
+
+			// Sticky: the writer refuses further appends without touching
+			// the file again.
+			writesBefore := ff.writes
+			if err := w.Skip(key, ErrNoCandidates); !errors.As(err, &werr) {
+				t.Fatalf("append after failure = %v, want the sticky *CheckpointWriteError", err)
+			}
+			if ff.writes != writesBefore {
+				t.Errorf("sticky writer still wrote to the file (%d -> %d writes)", writesBefore, ff.writes)
+			}
+		})
+	}
+
+	// End to end: a study whose checkpoint writer fails mid-run aborts
+	// with the typed error instead of completing.
+	ff := &failingFile{okWrites: 2}
+	w := &CheckpointWriter{path: "fake.jsonl", f: ff, enc: json.NewEncoder(ff)}
+	p, err := BuildProgram("tiny.c", tinySrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunStudy(StudyConfig{
+		Programs:   []*Program{p},
+		N:          10,
+		Seed:       5,
+		Categories: []fault.Category{fault.CatAll, fault.CatArith},
+		Checkpoint: w,
+	})
+	var werr *CheckpointWriteError
+	if !errors.As(err, &werr) {
+		t.Fatalf("study with failing checkpoint writer returned %v, want *CheckpointWriteError", err)
+	}
+}
+
+// TestCheckpointTornTail: a SIGKILL mid-append leaves one torn final
+// line with no trailing newline; the loader drops that tail (the cell
+// re-runs) instead of refusing the whole checkpoint. Corruption
+// anywhere else still fails the load.
+func TestCheckpointTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.jsonl")
+	w, err := NewCheckpointWriter(path, 10, 5, "off")
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := runTinyStudy(t, func(cfg *StudyConfig) { cfg.Checkpoint = w })
+	w.Close()
+
+	// Append a torn record: a prefix of a valid cell line, no newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(f, `{"type":"cell","benchmark":"tiny.c","level":"LL`)
+	f.Close()
+
+	state, err := LoadCheckpoint(path, 10, 5, "off")
+	if err != nil {
+		t.Fatalf("torn-tail checkpoint refused: %v", err)
+	}
+	if len(state.Cells) != len(full.Cells) {
+		t.Errorf("torn-tail load restored %d cells, want %d", len(state.Cells), len(full.Cells))
+	}
+
+	// The same junk mid-file (followed by valid content) is corruption.
+	bad := filepath.Join(dir, "bad.jsonl")
+	data, _ := os.ReadFile(path)
+	data = append(data, '\n')
+	data = append(data, []byte(`{"type":"study","version":1,"n":10,"seed":5}`+"\n")...)
+	if err := os.WriteFile(bad, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(bad, 10, 5, "off"); err == nil {
+		t.Error("mid-file corruption accepted")
 	}
 }
 

@@ -71,7 +71,9 @@ type StudyConfig struct {
 	CellDeadline time.Duration
 	// Checkpoint, when non-nil, receives every completed or soft-skipped
 	// cell as it finishes (durability path; append order is completion
-	// order). Checkpoint write errors never fail the study.
+	// order). A failed append is a hard study error (typed
+	// *CheckpointWriteError): once durability is armed, silently losing
+	// it would poison the next -resume.
 	Checkpoint *CheckpointWriter
 	// Resume, when non-nil, restores previously completed cells from a
 	// loaded checkpoint: recorded cells are not re-run, and because every
@@ -119,6 +121,15 @@ var ErrAborted = errors.New("study aborted")
 // testCampaignHook, when non-nil, is applied to every campaign before it
 // runs (test hook for fault-tolerance coverage).
 var testCampaignHook func(*Campaign)
+
+// CellSeed derives the deterministic seed of one campaign cell from the
+// study seed. It is a pure function of the cell identity — never of the
+// cell's position in any schedule — which is what makes every cell
+// relocatable: a shard worker, a fleet worker, or a retry of either
+// reproduces the exact record the single-process study would have.
+func CellSeed(base int64, key CellKey) int64 {
+	return cellSeed(base, key.Prog, key.Level, key.Category)
+}
 
 // cellSeed derives a stable per-cell seed.
 func cellSeed(base int64, prog string, level fault.Level, cat fault.Category) int64 {
@@ -327,7 +338,12 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 					if cfg.Obs != nil {
 						cfg.Obs.CellsSkipped.Inc()
 					}
-					_ = cfg.Checkpoint.Skip(key, err)
+					// A failed skip-record write is the same durability
+					// break as a failed cell write: abort the study.
+					if cerr := cfg.Checkpoint.Skip(key, err); cerr != nil {
+						cellErrs[i] = cerr
+						return cerr
+					}
 					return nil // soft skip: the study keeps going
 				}
 				return err // hard error: cancels the pool
@@ -336,7 +352,15 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 			if cfg.Obs != nil {
 				cfg.Obs.CellsDone.Inc()
 			}
-			_ = cfg.Checkpoint.Cell(key, res)
+			// Checkpoint durability is part of the contract once armed: a
+			// failed append aborts the cell cleanly (typed
+			// *CheckpointWriteError, sticky in the writer) rather than
+			// letting the study finish while the file silently stops
+			// accumulating the records a later -resume will trust.
+			if cerr := cfg.Checkpoint.Cell(key, res); cerr != nil {
+				cellErrs[i] = cerr
+				return cerr
+			}
 			return nil
 		}
 	}
@@ -404,14 +428,19 @@ func harvest(st *Study, specs []cellSpec, results []*CellResult) (attempts, acti
 	return attempts, activated
 }
 
-// isSoftSkip reports whether a campaign error skips the cell rather than
-// failing the study: no candidates (the paper's own near-zero cast
+// IsSoftSkip reports whether a campaign error skips the cell rather
+// than failing the study: no candidates (the paper's own near-zero cast
 // cells), an exhausted activation budget, or the wall-clock watchdog.
-func isSoftSkip(err error) bool {
+// Fleet workers use the same classification so a soft-skipped cell is
+// reported as a skip record instead of failing its lease.
+func IsSoftSkip(err error) bool {
 	return errors.Is(err, ErrNoCandidates) ||
 		errors.Is(err, ErrNotActivated) ||
 		errors.Is(err, ErrDeadline)
 }
+
+// isSoftSkip is the internal alias of IsSoftSkip.
+func isSoftSkip(err error) bool { return IsSoftSkip(err) }
 
 // noteCell releases one cell's progress line and telemetry events.
 func noteCell(cfg StudyConfig, s cellSpec, res *CellResult, m CellMetrics, err error, resumed bool, rskip *CheckpointSkip) {

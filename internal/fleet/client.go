@@ -1,0 +1,195 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Client is the worker side's resilient coordinator client: every call
+// retries transient failures (connection errors, 5xx responses) with
+// exponential backoff and jitter, so a coordinator restart or a brief
+// network partition stalls a worker instead of killing it. Permanent
+// failures (4xx responses, a cancelled context, retry budget exhausted)
+// surface as errors.
+type Client struct {
+	// Base is the coordinator URL ("http://127.0.0.1:8080").
+	Base string
+	// HTTP is the transport; a default with sane timeouts is used when
+	// nil.
+	HTTP *http.Client
+	// Attempts bounds retries per call (default 8).
+	Attempts int
+	// Backoff is the initial retry delay (default 100ms), doubled per
+	// attempt up to BackoffCap (default 3s), with jitter on top so a
+	// fleet of workers reconnecting after a coordinator restart does not
+	// stampede in lockstep.
+	Backoff    time.Duration
+	BackoffCap time.Duration
+	// JitterSeed seeds the jitter stream (0: a fixed default). Jitter
+	// only shapes retry timing — never results — so a deterministic
+	// stream keeps smoke runs reproducible without weakening the
+	// de-synchronization it exists for.
+	JitterSeed int64
+	// Logf, when non-nil, receives retry diagnostics.
+	Logf func(format string, args ...any)
+
+	once sync.Once
+	mu   sync.Mutex
+	rng  *rand.Rand
+}
+
+func (c *Client) init() {
+	c.once.Do(func() {
+		if c.HTTP == nil {
+			c.HTTP = &http.Client{Timeout: 30 * time.Second}
+		}
+		if c.Attempts <= 0 {
+			c.Attempts = 8
+		}
+		if c.Backoff <= 0 {
+			c.Backoff = 100 * time.Millisecond
+		}
+		if c.BackoffCap <= 0 {
+			c.BackoffCap = 3 * time.Second
+		}
+		seed := c.JitterSeed
+		if seed == 0 {
+			seed = 1
+		}
+		c.rng = rand.New(rand.NewSource(seed))
+	})
+}
+
+// transientError marks a failed attempt worth retrying.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Jitter spreads a base delay over [base/2, base): enough spread to
+// de-synchronize a reconnecting fleet, never more than the base.
+func (c *Client) jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return d/2 + time.Duration(c.rng.Int63n(int64(d/2)))
+}
+
+// post sends one JSON request with retry/backoff and decodes the JSON
+// response into out.
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	c.init()
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	delay := c.Backoff
+	var last error
+	for attempt := 1; attempt <= c.Attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		last = c.postOnce(ctx, path, body, out)
+		if last == nil {
+			return nil
+		}
+		var tr *transientError
+		if !errors.As(last, &tr) {
+			return last
+		}
+		if attempt == c.Attempts {
+			break
+		}
+		wait := c.jitter(delay)
+		if c.Logf != nil {
+			c.Logf("fleet client: %s attempt %d/%d failed (%v); retrying in %v",
+				path, attempt, c.Attempts, last, wait)
+		}
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		if delay *= 2; delay > c.BackoffCap {
+			delay = c.BackoffCap
+		}
+	}
+	return fmt.Errorf("fleet client: %s failed after %d attempts: %w", path, c.Attempts, last)
+}
+
+func (c *Client) postOnce(ctx context.Context, path string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return &transientError{err}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return &transientError{err}
+	}
+	if resp.StatusCode >= 500 {
+		return &transientError{fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(data))}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(data))
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("%s: bad response body: %w", path, err)
+	}
+	return nil
+}
+
+// Lease requests one cell lease.
+func (c *Client) Lease(ctx context.Context, worker string) (*LeaseResponse, error) {
+	var resp LeaseResponse
+	if err := c.post(ctx, "/lease", LeaseRequest{Worker: worker}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Heartbeat extends a lease; ok=false means the lease is no longer
+// live.
+func (c *Client) Heartbeat(ctx context.Context, worker string, lease uint64) (bool, error) {
+	var resp HeartbeatResponse
+	if err := c.post(ctx, "/heartbeat", HeartbeatRequest{Worker: worker, Lease: lease}, &resp); err != nil {
+		return false, err
+	}
+	return resp.OK, nil
+}
+
+// Complete reports a cell outcome.
+func (c *Client) Complete(ctx context.Context, req CompleteRequest) (*CompleteResponse, error) {
+	var resp CompleteResponse
+	if err := c.post(ctx, "/complete", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Drain asks the coordinator to stop granting leases.
+func (c *Client) Drain(ctx context.Context) (*DrainResponse, error) {
+	var resp DrainResponse
+	if err := c.post(ctx, "/drain", struct{}{}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

@@ -1,0 +1,726 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"hlfi/internal/core"
+	"hlfi/internal/fault"
+	"hlfi/internal/telemetry"
+)
+
+// Config configures a Coordinator for one study submission.
+type Config struct {
+	// Programs, N, Seed, and Categories define the study exactly as
+	// core.StudyConfig does; the canonical cell list they expand to is
+	// the work queue.
+	Programs   []*core.Program
+	N          int
+	Seed       int64
+	Categories []fault.Category
+
+	// SimFaultLimit and CellDeadline are forwarded to workers inside
+	// each lease (per-cell campaign fault tolerance, same as the local
+	// study path).
+	SimFaultLimit int
+	CellDeadline  time.Duration
+
+	// LeaseTTL is the heartbeat deadline: a lease not extended within
+	// this long is expired and its cell requeued (default 30s).
+	LeaseTTL time.Duration
+	// MaxRetries bounds re-grants per cell: after 1+MaxRetries grants
+	// all end in expiry or failure, the cell degrades to a typed
+	// fleet-failed skip record instead of blocking the study forever
+	// (default 3).
+	MaxRetries int
+	// Backoff is the base requeue delay, doubled per retry up to
+	// BackoffCap, with jitter (defaults 250ms / 5s).
+	Backoff    time.Duration
+	BackoffCap time.Duration
+	// SweepInterval is the expiry scan period (default LeaseTTL/4,
+	// floored at 10ms).
+	SweepInterval time.Duration
+	// LivenessWindow bounds the workers-live gauge: a worker silent
+	// longer than this is no longer counted (default 2*LeaseTTL).
+	LivenessWindow time.Duration
+	// RetryAfter is the poll delay handed to workers when no cell is
+	// grantable (default 200ms).
+	RetryAfter time.Duration
+	// JitterSeed seeds requeue jitter (0: fixed default). Jitter shapes
+	// scheduling only — determinism of results never depends on it.
+	JitterSeed int64
+
+	// Checkpoint, when non-nil, receives every resolved cell as a
+	// durable checkpoint record, making the coordinator's assembled
+	// state a real checkpoint file: the render path loads it back
+	// through the existing typed checkpoint validation. A failed append
+	// detaches the writer (it is sticky-failed) and fails the lease so
+	// the cell is requeued and re-resolved in memory.
+	Checkpoint *core.CheckpointWriter
+	// Resume, when non-nil, pre-resolves the recorded cells so a
+	// restarted coordinator re-leases only the remainder.
+	Resume *core.CheckpointState
+
+	// Events, when non-nil, receives fleet_* telemetry events in
+	// coordinator decision order.
+	Events telemetry.Recorder
+	// Metrics receives fleet instruments (a fresh set is created when
+	// nil).
+	Metrics *Metrics
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// Cell lifecycle states.
+const (
+	cellPending  = iota // waiting in the queue (possibly backing off)
+	cellLeased          // granted to a worker, lease live
+	cellDone            // resolved with a result
+	cellSkipped         // resolved with a worker-reported soft skip
+	cellDegraded        // resolved with a fleet-failed skip (retry budget exhausted)
+)
+
+// cellState is the coordinator's bookkeeping for one canonical cell.
+type cellState struct {
+	key        core.CellKey
+	seed       int64
+	status     int
+	grants     int       // leases granted so far
+	eligibleAt time.Time // backoff gate while pending
+	lease      uint64    // live lease ID while leased
+	result     *core.CellResult
+	skip       *core.CheckpointSkip
+}
+
+// leaseInfo is one live lease.
+type leaseInfo struct {
+	cell     *cellState
+	worker   string
+	deadline time.Time
+}
+
+// Coordinator owns one study's cell queue, lease table, and resolved
+// state. All HTTP handlers and the expiry sweep share one mutex; every
+// critical section is bookkeeping-only (no campaign ever runs under
+// it).
+type Coordinator struct {
+	cfg Config
+
+	mu        sync.Mutex
+	cells     []*cellState
+	byKey     map[core.CellKey]*cellState
+	leases    map[uint64]*leaseInfo
+	nextLease uint64
+	draining  bool
+	resolved  int
+	workers   map[string]time.Time // last contact
+	rng       *rand.Rand
+	ckptLost  bool
+
+	done      chan struct{} // closed once every cell is resolved
+	stop      chan struct{}
+	sweeperWG sync.WaitGroup
+}
+
+// New builds a coordinator for one study: the canonical cell list
+// becomes the queue, each cell carrying its position-independent seed.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Programs) == 0 {
+		return nil, fmt.Errorf("fleet: no programs")
+	}
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("fleet: n must be positive")
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 30 * time.Second
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 3
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 250 * time.Millisecond
+	}
+	if cfg.BackoffCap <= 0 {
+		cfg.BackoffCap = 5 * time.Second
+	}
+	if cfg.SweepInterval <= 0 {
+		cfg.SweepInterval = cfg.LeaseTTL / 4
+		if cfg.SweepInterval < 10*time.Millisecond {
+			cfg.SweepInterval = 10 * time.Millisecond
+		}
+	}
+	if cfg.LivenessWindow <= 0 {
+		cfg.LivenessWindow = 2 * cfg.LeaseTTL
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 200 * time.Millisecond
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = NewMetrics()
+	}
+	seed := cfg.JitterSeed
+	if seed == 0 {
+		seed = 1
+	}
+
+	keys := core.CanonicalCells(cfg.Programs, cfg.Categories)
+	c := &Coordinator{
+		cfg:     cfg,
+		byKey:   make(map[core.CellKey]*cellState, len(keys)),
+		leases:  make(map[uint64]*leaseInfo),
+		workers: make(map[string]time.Time),
+		rng:     rand.New(rand.NewSource(seed)),
+		done:    make(chan struct{}),
+		stop:    make(chan struct{}),
+	}
+	for _, key := range keys {
+		cs := &cellState{key: key, seed: core.CellSeed(cfg.Seed, key)}
+		if cfg.Resume != nil {
+			if res, ok := cfg.Resume.Cells[key]; ok {
+				cs.status, cs.result = cellDone, res
+				c.resolved++
+			} else if skip, ok := cfg.Resume.Skips[key]; ok {
+				skip := skip
+				cs.skip = &skip
+				cs.status = cellSkipped
+				if skip.Kind == core.SkipFleet {
+					cs.status = cellDegraded
+				}
+				c.resolved++
+			}
+		}
+		c.cells = append(c.cells, cs)
+		c.byKey[key] = cs
+	}
+	c.cfg.Metrics.QueueDepth.Set(int64(len(c.cells) - c.resolved))
+	if c.resolved == len(c.cells) {
+		c.cfg.Metrics.StudyDone.Set(1)
+		close(c.done)
+	}
+	return c, nil
+}
+
+// Start launches the expiry sweeper. Stop releases it.
+func (c *Coordinator) Start() {
+	c.sweeperWG.Add(1)
+	go func() {
+		defer c.sweeperWG.Done()
+		t := time.NewTicker(c.cfg.SweepInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				c.sweep(time.Now())
+			case <-c.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the sweeper (idempotent is not needed: call once).
+func (c *Coordinator) Stop() {
+	close(c.stop)
+	c.sweeperWG.Wait()
+}
+
+// Done is closed once every cell is resolved (done, skipped, or
+// degraded).
+func (c *Coordinator) Done() <-chan struct{} { return c.done }
+
+// Drain stops granting leases; in-flight leases may still complete.
+// Returns the number of unresolved cells at the moment of the drain.
+func (c *Coordinator) Drain() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.draining = true
+	return len(c.cells) - c.resolved
+}
+
+// logf logs through the configured sink.
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+func (c *Coordinator) emit(e telemetry.Event) {
+	if c.cfg.Events != nil {
+		c.cfg.Events.Record(e)
+	}
+}
+
+// noteWorker records worker contact (mutex held).
+func (c *Coordinator) noteWorker(name string, now time.Time) {
+	if name != "" {
+		c.workers[name] = now
+	}
+}
+
+// grantLocked finds the first grantable cell in canonical order and
+// leases it (mutex held). Returns nil when nothing is grantable.
+func (c *Coordinator) grantLocked(worker string, now time.Time) *Lease {
+	for _, cs := range c.cells {
+		if cs.status != cellPending || now.Before(cs.eligibleAt) {
+			continue
+		}
+		c.nextLease++
+		id := c.nextLease
+		cs.status, cs.lease = cellLeased, id
+		cs.grants++
+		c.leases[id] = &leaseInfo{cell: cs, worker: worker, deadline: now.Add(c.cfg.LeaseTTL)}
+		c.cfg.Metrics.Leases.Inc()
+		c.cfg.Metrics.ActiveLeases.Set(int64(len(c.leases)))
+		c.updateQueueDepthLocked()
+		c.emit(telemetry.Event{Type: telemetry.EventFleetLease,
+			Benchmark: cs.key.Prog, Level: cs.key.Level.String(), Category: cs.key.Category.String(),
+			Worker: worker, Lease: id, Retries: cs.grants - 1})
+		return &Lease{
+			ID:             id,
+			Benchmark:      cs.key.Prog,
+			Level:          cs.key.Level.String(),
+			Category:       cs.key.Category.String(),
+			N:              c.cfg.N,
+			Seed:           cs.seed,
+			SimFaultLimit:  c.cfg.SimFaultLimit,
+			CellDeadlineMS: c.cfg.CellDeadline.Milliseconds(),
+			TTLMS:          c.cfg.LeaseTTL.Milliseconds(),
+			Grant:          cs.grants,
+		}
+	}
+	return nil
+}
+
+// updateQueueDepthLocked refreshes the queue-depth gauge (mutex held).
+func (c *Coordinator) updateQueueDepthLocked() {
+	depth := 0
+	for _, cs := range c.cells {
+		if cs.status == cellPending {
+			depth++
+		}
+	}
+	c.cfg.Metrics.QueueDepth.Set(int64(depth))
+}
+
+// requeueLocked puts a leased cell back in the queue after an expiry or
+// failure, or degrades it once the retry budget is exhausted (mutex
+// held). reason describes what went wrong; kind is "expiry" or
+// "failure" for the log line.
+func (c *Coordinator) requeueLocked(cs *cellState, now time.Time, kind, reason string) {
+	cs.lease = 0
+	if cs.grants > c.cfg.MaxRetries {
+		// 1+MaxRetries grants all came to nothing: degrade the cell to a
+		// typed skip record, the fleet analogue of the cell_deadline
+		// path, so the study converges instead of retrying forever.
+		skip := core.CheckpointSkip{Kind: core.SkipFleet,
+			Err: fmt.Sprintf("fleet: cell failed %d lease(s), retry budget exhausted; last: %s", cs.grants, reason)}
+		cs.skip, cs.status = &skip, cellDegraded
+		c.cfg.Metrics.CellsDegraded.Inc()
+		c.appendCheckpointSkipLocked(cs.key, skip)
+		c.logf("fleet: cell %s/%s/%s degraded after %d grants (%s: %s)",
+			cs.key.Prog, cs.key.Level, cs.key.Category, cs.grants, kind, reason)
+		c.emit(telemetry.Event{Type: telemetry.EventCellDeadline,
+			Benchmark: cs.key.Prog, Level: cs.key.Level.String(), Category: cs.key.Category.String(),
+			Retries: cs.grants - 1, Err: skip.Err})
+		c.resolveLocked()
+		return
+	}
+	retry := cs.grants // retry number: 1 after the first failed grant
+	delay := c.cfg.Backoff << (retry - 1)
+	if delay > c.cfg.BackoffCap || delay <= 0 {
+		delay = c.cfg.BackoffCap
+	}
+	if delay > 1 {
+		delay = delay/2 + time.Duration(c.rng.Int63n(int64(delay/2)))
+	}
+	cs.status, cs.eligibleAt = cellPending, now.Add(delay)
+	c.cfg.Metrics.Retries.Inc()
+	c.updateQueueDepthLocked()
+	c.logf("fleet: cell %s/%s/%s requeued after %s (%s); retry %d/%d in %v",
+		cs.key.Prog, cs.key.Level, cs.key.Category, kind, reason, retry, c.cfg.MaxRetries, delay.Round(time.Millisecond))
+	c.emit(telemetry.Event{Type: telemetry.EventFleetRequeue,
+		Benchmark: cs.key.Prog, Level: cs.key.Level.String(), Category: cs.key.Category.String(),
+		Retries: retry, Err: reason})
+}
+
+// resolveLocked accounts one newly resolved cell and closes Done when
+// the study converges (mutex held).
+func (c *Coordinator) resolveLocked() {
+	c.resolved++
+	c.updateQueueDepthLocked()
+	if c.resolved == len(c.cells) {
+		c.cfg.Metrics.StudyDone.Set(1)
+		close(c.done)
+	}
+}
+
+// appendCheckpointSkipLocked records a degraded-cell skip in the
+// checkpoint (mutex held). Degradation is a coordinator decision, not a
+// lease completion, so a write failure here just detaches the writer.
+func (c *Coordinator) appendCheckpointSkipLocked(key core.CellKey, skip core.CheckpointSkip) {
+	if c.cfg.Checkpoint == nil {
+		return
+	}
+	if err := c.cfg.Checkpoint.Skip(key, fmt.Errorf("%s", skip.Err)); err != nil {
+		c.detachCheckpointLocked(err)
+	}
+}
+
+// detachCheckpointLocked drops the (sticky-failed) checkpoint writer so
+// the study can still converge in memory; the durable file keeps its
+// valid fully-synced prefix (mutex held).
+func (c *Coordinator) detachCheckpointLocked(err error) {
+	if c.ckptLost {
+		return
+	}
+	c.ckptLost = true
+	c.cfg.Checkpoint = nil
+	c.logf("fleet: checkpoint detached after write failure (state continues in memory): %v", err)
+}
+
+// sweep expires overdue leases and refreshes liveness gauges.
+func (c *Coordinator) sweep(now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, li := range c.leases {
+		if now.Before(li.deadline) {
+			continue
+		}
+		delete(c.leases, id)
+		if li.cell.status != cellLeased || li.cell.lease != id {
+			// Stale entry: the cell was resolved (by a completion from an
+			// earlier expired lease) or re-granted while this lease aged
+			// out. Nothing to requeue.
+			continue
+		}
+		c.cfg.Metrics.Expiries.Inc()
+		c.emit(telemetry.Event{Type: telemetry.EventFleetLeaseExpire,
+			Benchmark: li.cell.key.Prog, Level: li.cell.key.Level.String(), Category: li.cell.key.Category.String(),
+			Worker: li.worker, Lease: id, Retries: li.cell.grants - 1})
+		c.requeueLocked(li.cell, now,
+			"lease expiry", fmt.Sprintf("worker %s silent past lease deadline", li.worker))
+	}
+	c.cfg.Metrics.ActiveLeases.Set(int64(len(c.leases)))
+	live := 0
+	for name, seen := range c.workers {
+		if now.Sub(seen) <= c.cfg.LivenessWindow {
+			live++
+		} else {
+			delete(c.workers, name)
+		}
+	}
+	c.cfg.Metrics.WorkersLive.Set(int64(live))
+}
+
+// complete resolves (or requeues) a cell from one completion report.
+func (c *Coordinator) complete(req CompleteRequest, now time.Time) (CompleteResponse, error) {
+	level, err := fault.ParseLevel(req.Level)
+	if err != nil {
+		return CompleteResponse{}, err
+	}
+	cat, err := fault.ParseCategory(req.Category)
+	if err != nil {
+		return CompleteResponse{}, err
+	}
+	key := core.CellKey{Prog: req.Benchmark, Level: level, Category: cat}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.noteWorker(req.Worker, now)
+	cs, ok := c.byKey[key]
+	if !ok {
+		return CompleteResponse{}, fmt.Errorf("cell %s/%s/%s is not part of this study", req.Benchmark, req.Level, req.Category)
+	}
+	// The lease may be gone (expired and swept) — the completion is still
+	// good: determinism means any execution of the cell produced the
+	// records the study needs.
+	if li, live := c.leases[req.Lease]; live && li.cell == cs {
+		delete(c.leases, req.Lease)
+		c.cfg.Metrics.ActiveLeases.Set(int64(len(c.leases)))
+	}
+	if cs.status == cellDone || cs.status == cellSkipped || cs.status == cellDegraded {
+		c.cfg.Metrics.Duplicates.Inc()
+		c.emit(telemetry.Event{Type: telemetry.EventFleetDuplicate,
+			Benchmark: key.Prog, Level: req.Level, Category: req.Category,
+			Worker: req.Worker, Lease: req.Lease})
+		c.logf("fleet: duplicate completion for %s/%s/%s from %s dropped (cell already resolved)",
+			key.Prog, req.Level, req.Category, req.Worker)
+		return CompleteResponse{OK: true, Duplicate: true}, nil
+	}
+
+	// dropCellLease removes any other live lease on this cell (a re-grant
+	// that raced this completion) so the sweep never expires a lease onto
+	// a resolved cell.
+	dropCellLease := func() {
+		if cs.status == cellLeased && cs.lease != 0 && cs.lease != req.Lease {
+			if li, live := c.leases[cs.lease]; live && li.cell == cs {
+				delete(c.leases, cs.lease)
+				c.cfg.Metrics.ActiveLeases.Set(int64(len(c.leases)))
+			}
+		}
+	}
+
+	switch {
+	case req.Failure != "":
+		if cs.status != cellLeased || cs.lease != req.Lease {
+			// Stale failure from a lease the sweep already expired and
+			// requeued (or whose cell another worker resolved meanwhile):
+			// the requeue bookkeeping already happened.
+			return CompleteResponse{OK: true}, nil
+		}
+		c.requeueLocked(cs, now, "worker failure", fmt.Sprintf("worker %s: %s", req.Worker, req.Failure))
+		return CompleteResponse{OK: true}, nil
+	case req.Result != nil:
+		dropCellLease()
+		r := req.Result
+		res := &core.CellResult{
+			Prog: key.Prog, Level: key.Level, Category: key.Category,
+			Benign: r.Benign, SDC: r.SDC, Crash: r.Crash, Hang: r.Hang,
+			NotActivated: r.NotActivated, Attempts: r.Attempts,
+			SimFaults: r.SimFaults, DynCandidates: r.DynCandidates,
+		}
+		// Durability first: a failed checkpoint append fails the lease
+		// (satellite of the fail-stop writer), the sticky writer is
+		// detached, and the cell is requeued to be re-resolved — next
+		// time in memory only.
+		if c.cfg.Checkpoint != nil {
+			if err := c.cfg.Checkpoint.Cell(key, res); err != nil {
+				c.detachCheckpointLocked(err)
+				c.requeueLocked(cs, now, "checkpoint failure", err.Error())
+				return CompleteResponse{OK: false}, nil
+			}
+		}
+		cs.result, cs.status, cs.lease = res, cellDone, 0
+		c.cfg.Metrics.CellsDone.Inc()
+		c.resolveLocked()
+		return CompleteResponse{OK: true}, nil
+	case req.Skip != nil:
+		dropCellLease()
+		skip := core.CheckpointSkip{Kind: req.Skip.Kind, Err: req.Skip.Err}
+		if c.cfg.Checkpoint != nil {
+			if err := c.appendSkipLocked(key, skip); err != nil {
+				c.detachCheckpointLocked(err)
+				c.requeueLocked(cs, now, "checkpoint failure", err.Error())
+				return CompleteResponse{OK: false}, nil
+			}
+		}
+		cs.skip, cs.status, cs.lease = &skip, cellSkipped, 0
+		c.cfg.Metrics.CellsSkipped.Inc()
+		c.resolveLocked()
+		return CompleteResponse{OK: true}, nil
+	default:
+		return CompleteResponse{}, fmt.Errorf("completion carries neither result, skip, nor failure")
+	}
+}
+
+// appendSkipLocked writes one worker-reported skip record with its
+// original kind preserved (mutex held).
+func (c *Coordinator) appendSkipLocked(key core.CellKey, skip core.CheckpointSkip) error {
+	return c.cfg.Checkpoint.Skip(key, &skipError{kind: skip.Kind, msg: skip.Err})
+}
+
+// skipError carries a worker-classified skip across the wire into
+// CheckpointWriter.Skip, which re-derives the kind via SkipKindOf.
+type skipError struct {
+	kind string
+	msg  string
+}
+
+func (e *skipError) Error() string { return e.msg }
+
+// Unwrap maps the wire kind back onto the sentinel the checkpoint
+// writer classifies with.
+func (e *skipError) Unwrap() error {
+	switch e.kind {
+	case core.SkipNoCandidates:
+		return core.ErrNoCandidates
+	case core.SkipNotActivated:
+		return core.ErrNotActivated
+	case core.SkipDeadline:
+		return core.ErrDeadline
+	default:
+		return nil
+	}
+}
+
+// State assembles the resolved cells into the same CheckpointState a
+// checkpoint load or shard merge produces; the study render path
+// resumes from it without re-running any campaign.
+func (c *Coordinator) State() *core.CheckpointState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := &core.CheckpointState{
+		N:     c.cfg.N,
+		Seed:  c.cfg.Seed,
+		Cells: make(map[core.CellKey]*core.CellResult),
+		Skips: make(map[core.CellKey]core.CheckpointSkip),
+	}
+	for _, cs := range c.cells {
+		switch {
+		case cs.result != nil:
+			st.Cells[cs.key] = cs.result
+		case cs.skip != nil:
+			st.Skips[cs.key] = *cs.skip
+		}
+	}
+	return st
+}
+
+// CheckpointIntact reports whether the durable checkpoint is still
+// attached (no write failure detached it).
+func (c *Coordinator) CheckpointIntact() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.ckptLost && c.cfg.Checkpoint != nil
+}
+
+// Status is the /statusz payload: the fleet dashboard.
+func (c *Coordinator) Status() any {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	type leaseView struct {
+		Lease     uint64  `json:"lease"`
+		Worker    string  `json:"worker"`
+		Benchmark string  `json:"benchmark"`
+		Level     string  `json:"level"`
+		Category  string  `json:"category"`
+		Grant     int     `json:"grant"`
+		ExpiresIn float64 `json:"expiresInSec"`
+	}
+	type workerView struct {
+		Name     string  `json:"name"`
+		LastSeen float64 `json:"lastSeenSecAgo"`
+		Leases   int     `json:"activeLeases"`
+	}
+	var leases []leaseView
+	perWorker := make(map[string]int)
+	for id, li := range c.leases {
+		leases = append(leases, leaseView{
+			Lease: id, Worker: li.worker,
+			Benchmark: li.cell.key.Prog, Level: li.cell.key.Level.String(),
+			Category:  li.cell.key.Category.String(),
+			Grant:     li.cell.grants,
+			ExpiresIn: li.deadline.Sub(now).Seconds(),
+		})
+		perWorker[li.worker]++
+	}
+	sort.Slice(leases, func(i, j int) bool { return leases[i].Lease < leases[j].Lease })
+	var workers []workerView
+	for name, seen := range c.workers {
+		workers = append(workers, workerView{Name: name,
+			LastSeen: now.Sub(seen).Seconds(), Leases: perWorker[name]})
+	}
+	sort.Slice(workers, func(i, j int) bool { return workers[i].Name < workers[j].Name })
+
+	counts := map[string]int{}
+	for _, cs := range c.cells {
+		switch cs.status {
+		case cellPending:
+			counts["pending"]++
+		case cellLeased:
+			counts["leased"]++
+		case cellDone:
+			counts["done"]++
+		case cellSkipped:
+			counts["skipped"]++
+		case cellDegraded:
+			counts["degraded"]++
+		}
+	}
+	return map[string]any{
+		"study": map[string]any{
+			"n": c.cfg.N, "seed": c.cfg.Seed,
+			"cells": len(c.cells), "resolved": c.resolved,
+		},
+		"cells":    counts,
+		"leases":   leases,
+		"workers":  workers,
+		"draining": c.draining,
+	}
+}
+
+// Handler builds the coordinator's HTTP mux: the fleet protocol
+// endpoints, with extra (e.g. the internal/obs mux) mountable by the
+// caller on the same server.
+func (c *Coordinator) Handler() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req LeaseRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		now := time.Now()
+		c.mu.Lock()
+		c.noteWorker(req.Worker, now)
+		var resp LeaseResponse
+		switch {
+		case c.draining || c.resolved == len(c.cells):
+			resp = LeaseResponse{Status: StatusDone}
+		default:
+			if lease := c.grantLocked(req.Worker, now); lease != nil {
+				resp = LeaseResponse{Status: StatusLease, Lease: lease}
+			} else {
+				resp = LeaseResponse{Status: StatusWait, RetryAfterMS: c.cfg.RetryAfter.Milliseconds()}
+			}
+		}
+		c.mu.Unlock()
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req HeartbeatRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		now := time.Now()
+		c.mu.Lock()
+		c.noteWorker(req.Worker, now)
+		li, ok := c.leases[req.Lease]
+		if ok {
+			li.deadline = now.Add(c.cfg.LeaseTTL)
+			c.cfg.Metrics.Heartbeats.Inc()
+		}
+		c.mu.Unlock()
+		writeJSON(w, HeartbeatResponse{OK: ok})
+	})
+	mux.HandleFunc("/complete", func(w http.ResponseWriter, r *http.Request) {
+		var req CompleteRequest
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		resp, err := c.complete(req, time.Now())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("/drain", func(w http.ResponseWriter, r *http.Request) {
+		unresolved := c.Drain()
+		c.logf("fleet: draining (%d cells unresolved); no further leases will be granted", unresolved)
+		writeJSON(w, DrainResponse{OK: true, Unresolved: unresolved})
+	})
+	return mux
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return false
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(v); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_ = json.NewEncoder(w).Encode(v)
+}

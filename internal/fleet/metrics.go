@@ -1,0 +1,75 @@
+package fleet
+
+import "hlfi/internal/obs"
+
+// Metrics are the coordinator's fleet instruments, registered on an
+// internal/obs registry so the standard /metrics endpoint scrapes them
+// in Prometheus text format alongside nothing else — the coordinator
+// runs no campaigns itself, so fleet counters are its whole story.
+type Metrics struct {
+	reg *obs.Registry
+
+	// Leases counts granted leases; Expiries leases whose worker went
+	// silent past the deadline; Retries cells put back in the queue
+	// (after an expiry or a reported failure); Duplicates completions
+	// dropped because their cell was already resolved; Heartbeats
+	// accepted lease extensions.
+	Leases     *obs.Counter
+	Expiries   *obs.Counter
+	Retries    *obs.Counter
+	Duplicates *obs.Counter
+	Heartbeats *obs.Counter
+
+	// CellsDone / CellsSkipped / CellsDegraded partition resolved cells:
+	// completed results, worker-reported soft skips, and cells that ran
+	// out of retry budget (degraded to a fleet-failed skip record).
+	CellsDone     *obs.Counter
+	CellsSkipped  *obs.Counter
+	CellsDegraded *obs.Counter
+
+	// QueueDepth is the number of unleased, unresolved cells;
+	// ActiveLeases the leases currently live; WorkersLive the workers
+	// seen (lease, heartbeat, or completion) within the liveness
+	// window.
+	QueueDepth   *obs.Gauge
+	ActiveLeases *obs.Gauge
+	WorkersLive  *obs.Gauge
+
+	// StudyDone is 1 once every cell is resolved.
+	StudyDone *obs.Gauge
+}
+
+// NewMetrics builds the fleet instrument set on a fresh registry.
+func NewMetrics() *Metrics {
+	reg := obs.NewRegistry()
+	return &Metrics{
+		reg: reg,
+		Leases: reg.Counter("hlfi_fleet_leases_total",
+			"Cell leases granted to workers."),
+		Expiries: reg.Counter("hlfi_fleet_lease_expiries_total",
+			"Leases expired after their worker went silent past the deadline."),
+		Retries: reg.Counter("hlfi_fleet_retries_total",
+			"Cells requeued after a lease expiry or a reported worker failure."),
+		Duplicates: reg.Counter("hlfi_fleet_duplicate_completions_total",
+			"Completions dropped because the cell was already resolved (deterministic cells make duplicates benign)."),
+		Heartbeats: reg.Counter("hlfi_fleet_heartbeats_total",
+			"Accepted lease heartbeat extensions."),
+		CellsDone: reg.Counter("hlfi_fleet_cells_done_total",
+			"Cells resolved with a completed result."),
+		CellsSkipped: reg.Counter("hlfi_fleet_cells_skipped_total",
+			"Cells resolved with a worker-reported soft skip."),
+		CellsDegraded: reg.Counter("hlfi_fleet_cells_degraded_total",
+			"Cells degraded to a fleet-failed skip after exhausting their retry budget."),
+		QueueDepth: reg.Gauge("hlfi_fleet_queue_depth",
+			"Unresolved cells not currently leased."),
+		ActiveLeases: reg.Gauge("hlfi_fleet_active_leases",
+			"Leases currently live."),
+		WorkersLive: reg.Gauge("hlfi_fleet_workers_live",
+			"Workers seen within the liveness window."),
+		StudyDone: reg.Gauge("hlfi_fleet_study_done",
+			"1 once every cell of the study is resolved."),
+	}
+}
+
+// Registry exposes the underlying registry for the /metrics endpoint.
+func (m *Metrics) Registry() *obs.Registry { return m.reg }

@@ -1,0 +1,159 @@
+// Package fleet turns the shard-and-merge campaign machinery into a
+// long-running, fault-tolerant campaign service: an HTTP coordinator
+// that expands one study into its canonical cell list and hands cells
+// out as leases, plus a worker loop that executes leased cells and
+// streams their checkpoint records back.
+//
+// The protocol leans entirely on the determinism the core already
+// guarantees: every cell derives its seed via core.CellSeed from the
+// study seed and its own identity, never from scheduling, so a cell
+// produces identical records no matter which worker runs it, how often
+// it is retried after a lease expires, or how many duplicate
+// completions arrive. That is what makes the fault-tolerance cheap —
+// expiry, retry, and dedupe are pure bookkeeping, and the rendered
+// report stays byte-identical to the single-process run.
+//
+// Wire format: JSON request/response bodies over plain HTTP.
+//
+//	POST /lease      LeaseRequest     -> LeaseResponse
+//	POST /heartbeat  HeartbeatRequest -> HeartbeatResponse
+//	POST /complete   CompleteRequest  -> CompleteResponse
+//	POST /drain      (empty)          -> DrainResponse
+//	GET  /metrics, /statusz, /debug/pprof/   (internal/obs)
+package fleet
+
+// StatusLease, StatusWait, and StatusDone are the LeaseResponse states.
+const (
+	// StatusLease: a cell lease was granted; execute it and report back.
+	StatusLease = "lease"
+	// StatusWait: no cell is currently grantable (all leased, or backing
+	// off before a retry). Poll again after RetryAfterMS.
+	StatusWait = "wait"
+	// StatusDone: the study is complete or the coordinator is draining;
+	// the worker should exit.
+	StatusDone = "done"
+)
+
+// LeaseRequest asks the coordinator for one cell lease.
+type LeaseRequest struct {
+	// Worker is the worker's self-chosen stable name, used for the
+	// fleet dashboard and lease accounting.
+	Worker string `json:"worker"`
+}
+
+// Lease is one granted campaign cell: everything a worker needs to
+// reproduce the exact records the single-process study would have
+// produced for this cell.
+type Lease struct {
+	// ID is the lease identity. Heartbeats and completions quote it; a
+	// requeued cell gets a fresh lease with a fresh ID.
+	ID uint64 `json:"id"`
+
+	// Cell identity, in the same string forms the checkpoint schema
+	// uses.
+	Benchmark string `json:"benchmark"`
+	Level     string `json:"level"`
+	Category  string `json:"category"`
+
+	// N and Seed pin the cell's work: N activated injections, seeded
+	// with the position-independent per-cell seed (core.CellSeed), so
+	// the coordinator remains the single place seed derivation happens.
+	N    int   `json:"n"`
+	Seed int64 `json:"seed"`
+
+	// Campaign fault-tolerance knobs, inherited from the study.
+	SimFaultLimit  int   `json:"simFaultLimit,omitempty"`
+	CellDeadlineMS int64 `json:"cellDeadlineMs,omitempty"`
+
+	// TTLMS is the lease deadline interval: the worker must heartbeat
+	// (or complete) within this long or the coordinator expires the
+	// lease and requeues the cell.
+	TTLMS int64 `json:"ttlMs"`
+
+	// Grant counts how many times this cell has been leased (1 on the
+	// first grant), so workers can log retries distinctly.
+	Grant int `json:"grant"`
+}
+
+// LeaseResponse answers a lease request.
+type LeaseResponse struct {
+	Status string `json:"status"` // StatusLease | StatusWait | StatusDone
+	// RetryAfterMS accompanies StatusWait: how long to wait before
+	// polling again.
+	RetryAfterMS int64 `json:"retryAfterMs,omitempty"`
+	// Lease accompanies StatusLease.
+	Lease *Lease `json:"lease,omitempty"`
+}
+
+// HeartbeatRequest extends a lease's deadline while its cell runs.
+type HeartbeatRequest struct {
+	Worker string `json:"worker"`
+	Lease  uint64 `json:"lease"`
+}
+
+// HeartbeatResponse acknowledges a heartbeat. OK is false when the
+// lease is no longer live (expired and requeued, or already completed):
+// the worker's in-flight result is not wasted — a completion for a
+// still-unresolved cell is accepted from any lease, and a resolved
+// cell's duplicate is deduped — but the worker learns it lost the race.
+type HeartbeatResponse struct {
+	OK bool `json:"ok"`
+}
+
+// Result carries one completed cell's outcome counts — the same payload
+// a checkpoint cell record stores, so streaming a completion is
+// streaming a checkpoint line.
+type Result struct {
+	Benign        int    `json:"benign"`
+	SDC           int    `json:"sdc"`
+	Crash         int    `json:"crash"`
+	Hang          int    `json:"hang"`
+	NotActivated  int    `json:"notActivated"`
+	Attempts      int    `json:"attempts"`
+	SimFaults     int    `json:"simFaults,omitempty"`
+	DynCandidates uint64 `json:"dynCandidates"`
+}
+
+// Skip reports a cell soft-skipped for the same reasons the local study
+// path skips cells (no candidates, activation budget exhausted,
+// wall-clock deadline), classified worker-side with core.SkipKindOf.
+type Skip struct {
+	Kind string `json:"kind"`
+	Err  string `json:"err"`
+}
+
+// CompleteRequest reports the outcome of one leased cell. Exactly one
+// of Result, Skip, or Failure is set: Result and Skip resolve the cell,
+// Failure is a hard worker-side error that fails the lease so the
+// coordinator requeues the cell.
+type CompleteRequest struct {
+	Worker string `json:"worker"`
+	Lease  uint64 `json:"lease"`
+
+	// Cell identity, repeated so completions from expired leases (whose
+	// lease record the coordinator already dropped) can still resolve
+	// their cell.
+	Benchmark string `json:"benchmark"`
+	Level     string `json:"level"`
+	Category  string `json:"category"`
+
+	Result  *Result `json:"result,omitempty"`
+	Skip    *Skip   `json:"skip,omitempty"`
+	Failure string  `json:"failure,omitempty"`
+}
+
+// CompleteResponse acknowledges a completion. Duplicate marks a
+// completion for a cell that already had a result; determinism makes
+// the duplicate byte-identical, so it is dropped without error.
+type CompleteResponse struct {
+	OK        bool `json:"ok"`
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
+// DrainResponse acknowledges a drain request: the coordinator stops
+// granting leases (in-flight leases may still complete) and reports how
+// many cells were still unresolved when the drain began.
+type DrainResponse struct {
+	OK         bool `json:"ok"`
+	Unresolved int  `json:"unresolved"`
+}

@@ -1,0 +1,222 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"hlfi/internal/bench"
+	"hlfi/internal/core"
+	"hlfi/internal/fault"
+)
+
+// WorkerConfig configures one fleet worker loop.
+type WorkerConfig struct {
+	// Name identifies the worker to the coordinator (dashboard and
+	// lease accounting).
+	Name string
+	// Client talks to the coordinator.
+	Client *Client
+	// BuildProgram loads a benchmark by name; bench.Build when nil.
+	// Built programs are cached for the worker's lifetime, so a worker
+	// leasing ten cells of one benchmark compiles it once.
+	BuildProgram func(name string) (*core.Program, error)
+	// Logf, when non-nil, receives per-lease log lines.
+	Logf func(format string, args ...any)
+
+	// testAcquireHook, when non-nil, runs after a lease is acquired and
+	// before the cell executes; returning false abandons the lease
+	// silently (simulating a worker killed mid-cell) and ends the
+	// worker loop.
+	testAcquireHook func(*Lease) bool
+}
+
+// RunWorker runs the worker loop: lease, execute, heartbeat, complete,
+// repeat — until the coordinator reports the study done (or drains), or
+// ctx is cancelled. Cancellation is a graceful drain: the cell in
+// flight finishes and its completion is reported (with a short grace
+// context) before the loop exits, so a SIGTERM-ed worker wastes no
+// work; the coordinator's lease expiry covers the SIGKILL case.
+func RunWorker(ctx context.Context, cfg WorkerConfig) error {
+	if cfg.Name == "" {
+		cfg.Name = "worker"
+	}
+	if cfg.Client == nil {
+		return fmt.Errorf("fleet worker %s: no client", cfg.Name)
+	}
+	if cfg.BuildProgram == nil {
+		cfg.BuildProgram = bench.Build
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	w := &workerState{
+		progs: make(map[string]*core.Program),
+		// One compiled-engine config for the worker's lifetime, so its
+		// compiled-program cache spans leases (results are byte-identical
+		// with or without it).
+		compiled: &core.CompiledConfig{},
+	}
+
+	for {
+		if ctx.Err() != nil {
+			logf("fleet worker %s: drained, exiting", cfg.Name)
+			return nil
+		}
+		resp, err := cfg.Client.Lease(ctx, cfg.Name)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("fleet worker %s: %w", cfg.Name, err)
+		}
+		switch resp.Status {
+		case StatusDone:
+			logf("fleet worker %s: coordinator reports study done, exiting", cfg.Name)
+			return nil
+		case StatusWait:
+			wait := time.Duration(resp.RetryAfterMS) * time.Millisecond
+			if wait <= 0 {
+				wait = 200 * time.Millisecond
+			}
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+			}
+			continue
+		case StatusLease:
+			if resp.Lease == nil {
+				return fmt.Errorf("fleet worker %s: lease response without lease", cfg.Name)
+			}
+			if cfg.testAcquireHook != nil && !cfg.testAcquireHook(resp.Lease) {
+				return nil // simulated mid-cell death
+			}
+			if err := executeLease(ctx, cfg, w, resp.Lease, logf); err != nil {
+				return fmt.Errorf("fleet worker %s: %w", cfg.Name, err)
+			}
+		default:
+			return fmt.Errorf("fleet worker %s: unknown lease status %q", cfg.Name, resp.Status)
+		}
+	}
+}
+
+// workerState is the cross-lease cache of one worker: built programs
+// and the compiled-engine config (with its program cache).
+type workerState struct {
+	progs    map[string]*core.Program
+	compiled *core.CompiledConfig
+}
+
+// executeLease runs one leased cell and reports its outcome. Only
+// transport-level trouble (completion undeliverable after retries)
+// fails the worker; campaign errors travel inside the completion.
+func executeLease(ctx context.Context, cfg WorkerConfig, w *workerState, lease *Lease, logf func(string, ...any)) error {
+	retryNote := ""
+	if lease.Grant > 1 {
+		retryNote = fmt.Sprintf(" (grant %d: retry of an expired or failed lease)", lease.Grant)
+	}
+	logf("fleet worker %s: lease %d: %s/%s/%s n=%d seed=%d%s",
+		cfg.Name, lease.ID, lease.Benchmark, lease.Level, lease.Category, lease.N, lease.Seed, retryNote)
+
+	req := CompleteRequest{
+		Worker: cfg.Name, Lease: lease.ID,
+		Benchmark: lease.Benchmark, Level: lease.Level, Category: lease.Category,
+	}
+	res, runErr := runLeasedCell(ctx, cfg, w, lease)
+	switch {
+	case runErr == nil:
+		req.Result = &Result{
+			Benign: res.Benign, SDC: res.SDC, Crash: res.Crash, Hang: res.Hang,
+			NotActivated: res.NotActivated, Attempts: res.Attempts,
+			SimFaults: res.SimFaults, DynCandidates: res.DynCandidates,
+		}
+	case core.IsSoftSkip(runErr):
+		req.Skip = &Skip{Kind: core.SkipKindOf(runErr), Err: runErr.Error()}
+	default:
+		req.Failure = runErr.Error()
+	}
+
+	// Deliver the completion even when the worker is draining: the cell
+	// is done, losing the report would force a pointless retry. A short
+	// grace context covers the post-cancellation send.
+	sendCtx := ctx
+	if ctx.Err() != nil {
+		var cancel context.CancelFunc
+		sendCtx, cancel = context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+	}
+	cresp, err := cfg.Client.Complete(sendCtx, req)
+	if err != nil {
+		return err
+	}
+	if cresp.Duplicate {
+		logf("fleet worker %s: lease %d: completion was a duplicate (cell already resolved elsewhere)", cfg.Name, lease.ID)
+	}
+	return nil
+}
+
+// runLeasedCell executes the campaign behind one lease, heartbeating
+// while it runs. The campaign itself is uncancellable mid-cell (cells
+// are the atomic unit of work); heartbeats stop when it finishes.
+func runLeasedCell(ctx context.Context, cfg WorkerConfig, w *workerState, lease *Lease) (*core.CellResult, error) {
+	level, err := fault.ParseLevel(lease.Level)
+	if err != nil {
+		return nil, err
+	}
+	cat, err := fault.ParseCategory(lease.Category)
+	if err != nil {
+		return nil, err
+	}
+	prog, ok := w.progs[lease.Benchmark]
+	if !ok {
+		prog, err = cfg.BuildProgram(lease.Benchmark)
+		if err != nil {
+			return nil, err
+		}
+		w.progs[lease.Benchmark] = prog
+	}
+
+	// Heartbeat at a third of the lease TTL: two missed beats of slack
+	// before the coordinator declares the worker dead.
+	interval := time.Duration(lease.TTLMS) * time.Millisecond / 3
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	hbStop := make(chan struct{})
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				// Heartbeats are best-effort: delivery failures fall to the
+				// client's own retry, and a lost lease is discovered at
+				// completion time (the coordinator dedupes).
+				if ok, err := cfg.Client.Heartbeat(ctx, cfg.Name, lease.ID); err == nil && !ok {
+					if cfg.Logf != nil {
+						cfg.Logf("fleet worker %s: lease %d no longer live (expired or resolved elsewhere); finishing the cell anyway",
+							cfg.Name, lease.ID)
+					}
+				}
+			case <-hbStop:
+				return
+			}
+		}
+	}()
+	defer func() { close(hbStop); <-hbDone }()
+
+	c := &core.Campaign{
+		Prog:          prog,
+		Level:         level,
+		Category:      cat,
+		N:             lease.N,
+		Seed:          lease.Seed,
+		SimFaultLimit: lease.SimFaultLimit,
+		Deadline:      time.Duration(lease.CellDeadlineMS) * time.Millisecond,
+		Compiled:      w.compiled,
+	}
+	return c.Run()
+}

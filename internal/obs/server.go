@@ -34,6 +34,17 @@ func StartServer(addr string, reg *Registry, status func() any) (*Server, error)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: Mux(reg, status), ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Mux builds the observability handler StartServer serves, for callers
+// that run their own HTTP server and want /metrics, /statusz, and
+// /debug/pprof/ alongside their own routes (the fleet coordinator
+// mounts it under "/" next to its lease endpoints). status may be nil;
+// /statusz then serves an empty object.
+func Mux(reg *Registry, status func() any) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -61,9 +72,7 @@ func StartServer(addr string, reg *Registry, status func() any) (*Server, error)
 		}
 		fmt.Fprint(w, "hlfi campaign observability\n\n/metrics\n/statusz\n/debug/pprof/\n")
 	})
-	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
-	go func() { _ = s.srv.Serve(ln) }()
-	return s, nil
+	return mux
 }
 
 // Addr is the bound listen address (useful with port 0).

@@ -42,6 +42,20 @@ const (
 	// span skeleton (emitted before its cell's cell_done, in attempt
 	// order, when tracing is armed).
 	EventAttemptTrace = "attempt_trace"
+
+	// Fleet events, emitted by the campaign coordinator (never by
+	// studies) in coordinator decision order. fleet_lease records a cell
+	// handed to a worker; fleet_lease_expire a lease whose worker went
+	// silent past its deadline; fleet_requeue a failed or expired cell
+	// put back in the queue (Retries counts grants so far);
+	// fleet_duplicate a completion for a cell that already has a result
+	// (dropped — deterministic cells make duplicates benign). The
+	// Aggregator ignores all four: its summary describes study
+	// execution, and fleet churn by design never changes results.
+	EventFleetLease       = "fleet_lease"
+	EventFleetLeaseExpire = "fleet_lease_expire"
+	EventFleetRequeue     = "fleet_requeue"
+	EventFleetDuplicate   = "fleet_duplicate"
 )
 
 // TraceSpan is one edge of a traced attempt's propagation skeleton:
@@ -111,6 +125,12 @@ type Event struct {
 	Trigger uint64      `json:"trigger,omitempty"`
 	Outcome string      `json:"outcome,omitempty"`
 	Spans   []TraceSpan `json:"spans,omitempty"`
+
+	// Fleet fields (fleet_* events): the worker holding or losing the
+	// lease, the lease id, and how many times the cell has been granted.
+	Worker  string `json:"worker,omitempty"`
+	Lease   uint64 `json:"lease,omitempty"`
+	Retries int    `json:"retries,omitempty"`
 
 	// Snapshot-replay accounting (study_done, when replay was enabled).
 	ReplayHits         uint64 `json:"replayHits,omitempty"`
