@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test bench study calibration examples cover fmt race smoke resume-smoke fuzz-smoke replay-determinism compiled-smoke obs-smoke shard-smoke fleet-smoke ci
+.PHONY: test bench study calibration examples cover fmt race smoke resume-smoke fuzz-smoke replay-determinism compiled-smoke obs-smoke shard-smoke fleet-smoke adaptive-smoke ci
 
 test:
 	go build ./... && go vet ./... && go test ./...
@@ -8,7 +8,7 @@ test:
 # Race coverage for the concurrency-bearing packages (mirrors the CI
 # race job).
 race:
-	go test -race ./internal/core/... ./internal/sched/... ./internal/telemetry/... ./internal/fleet/... ./internal/cli/...
+	go test -race ./internal/core/... ./internal/sched/... ./internal/telemetry/... ./internal/fleet/... ./internal/cli/... ./internal/adaptive/...
 
 # Study-binary smoke + determinism gate: the cell scheduler must produce
 # byte-identical tables to the serial path (mirrors the CI smoke job).
@@ -153,12 +153,41 @@ fleet-smoke:
 	rm -f .fleet-ficompare .fleet-fiserve .fleet-golden.txt .fleet-parallel.txt \
 		.fleet-report.txt .fleet-ck.jsonl .fleet-metrics.txt .fleet-metrics.tmp
 
+# Adaptive-sampling smoke + determinism gate: an adaptive study must
+# render identically under the parallel scheduler and through a
+# three-shard merge (which adopts the adaptive signature from the shard
+# headers), and a fixed-n study must show no adaptive section at all
+# (mirrors the CI adaptive-smoke job).
+adaptive-smoke:
+	go build -o .adaptive-bin ./cmd/ficompare
+	./.adaptive-bin -experiment all -n 200 -benchmarks bzip2m,mcfm -q > .adaptive-off.txt
+	! grep -q 'Adaptive sampling' .adaptive-off.txt
+	./.adaptive-bin -experiment all -n 200 -benchmarks bzip2m,mcfm -q \
+		-adaptive eps=0.05,min=50,check=64 > .adaptive-seq.txt
+	grep -q 'Adaptive sampling' .adaptive-seq.txt
+	grep -q 'converged' .adaptive-seq.txt
+	./.adaptive-bin -experiment all -n 200 -benchmarks bzip2m,mcfm -q \
+		-adaptive eps=0.05,min=50,check=64 -parallel 4 > .adaptive-par.txt
+	cmp .adaptive-seq.txt .adaptive-par.txt
+	./.adaptive-bin -experiment all -n 200 -benchmarks bzip2m,mcfm -q \
+		-adaptive eps=0.05,min=50,check=64 -shard 0/3 -checkpoint .adaptive-0.jsonl > /dev/null
+	./.adaptive-bin -experiment all -n 200 -benchmarks bzip2m,mcfm -q \
+		-adaptive eps=0.05,min=50,check=64 -shard 1/3 -checkpoint .adaptive-1.jsonl > /dev/null
+	./.adaptive-bin -experiment all -n 200 -benchmarks bzip2m,mcfm -q \
+		-adaptive eps=0.05,min=50,check=64 -shard 2/3 -checkpoint .adaptive-2.jsonl > /dev/null
+	./.adaptive-bin -experiment all -n 200 -benchmarks bzip2m,mcfm -q \
+		-merge '.adaptive-[0-9].jsonl' > .adaptive-merged.txt
+	cmp .adaptive-seq.txt .adaptive-merged.txt
+	rm -f .adaptive-bin .adaptive-off.txt .adaptive-seq.txt .adaptive-par.txt \
+		.adaptive-merged.txt .adaptive-[0-9].jsonl
+
 # Fuzz smoke: each native fuzz target for 30s (mirrors the CI job).
 fuzz-smoke:
 	go test -run '^$$' -fuzz '^FuzzMiniCParse$$' -fuzztime 30s ./internal/minic
 	go test -run '^$$' -fuzz '^FuzzSnapshotRestore$$' -fuzztime 30s ./internal/interp
 	go test -run '^$$' -fuzz '^FuzzSnapshotRestore$$' -fuzztime 30s ./internal/machine
 	go test -run '^$$' -fuzz '^FuzzCompiledVsInterp$$' -fuzztime 30s ./internal/compile/irc
+	go test -run '^$$' -fuzz '^FuzzAdaptiveDecision$$' -fuzztime 30s ./internal/adaptive
 
 # The exact CI pipeline (.github/workflows/ci.yml), runnable locally.
 ci:
@@ -177,12 +206,14 @@ ci:
 	$(MAKE) obs-smoke
 	$(MAKE) shard-smoke
 	$(MAKE) fleet-smoke
+	$(MAKE) adaptive-smoke
 	$(MAKE) fuzz-smoke
 
 # All tables/figures + ablations. HLFI_N controls injections per cell.
 # Also times single injection attempts against snapshot replay
-# (BENCH_replay.json) and against the compiled execution engines
-# (BENCH_compiled.json). Each emitter writes to a temp file that is
+# (BENCH_replay.json), against the compiled execution engines
+# (BENCH_compiled.json), and fixed-n against adaptive early-stopping
+# campaigns (BENCH_adaptive.json). Each emitter writes to a temp file that is
 # moved into place only after its gate passes, so a failed run never
 # clobbers the previous good BENCH_*.json artifacts.
 bench:
@@ -191,7 +222,9 @@ bench:
 	mv BENCH_replay.json.tmp BENCH_replay.json
 	HLFI_BENCH_COMPILED=BENCH_compiled.json.tmp go test -run '^TestWriteCompiledBench$$' -count=1 .
 	mv BENCH_compiled.json.tmp BENCH_compiled.json
-	@cat BENCH_replay.json BENCH_compiled.json
+	HLFI_BENCH_ADAPTIVE=BENCH_adaptive.json.tmp go test -run '^TestWriteAdaptiveBench$$' -count=1 .
+	mv BENCH_adaptive.json.tmp BENCH_adaptive.json
+	@cat BENCH_replay.json BENCH_compiled.json BENCH_adaptive.json
 
 # Paper-scale reproduction (the committed study_n1000.txt).
 study:

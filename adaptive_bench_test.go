@@ -1,0 +1,153 @@
+// Benchmarks and the BENCH_adaptive.json emitter for the adaptive
+// early-stopping engine. BenchmarkCampaignAdaptive times a whole
+// campaign cell fixed-n vs adaptive; TestWriteAdaptiveBench runs the
+// same study both ways, writes the JSON artifact, and gates the
+// engine's cost contract: the adaptive study must not spend more
+// attempts than the fixed-n design on the same cells.
+//
+//	go test -bench=BenchmarkCampaignAdaptive -benchtime=5x
+//	HLFI_BENCH_ADAPTIVE=BENCH_adaptive.json go test -run '^TestWriteAdaptiveBench$'
+package hlfi_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"hlfi/internal/adaptive"
+	"hlfi/internal/bench"
+	"hlfi/internal/core"
+	"hlfi/internal/fault"
+)
+
+// adaptiveBenchConfig is the precision target the artifact measures:
+// the defaults a real adaptive campaign would start from, scaled to the
+// bench's per-cell budget.
+func adaptiveBenchConfig() *adaptive.Config {
+	return &adaptive.Config{Eps: 0.05, MinN: 50, Check: 64}
+}
+
+// BenchmarkCampaignAdaptive runs a whole campaign cell with the
+// stopping rule off ("fixed") and on ("adaptive"). The adaptive arm
+// uses a slightly looser eps than the study-level artifact so the
+// benched cell actually crosses the precision target early, and reports
+// how many of the fixed-n injections the rule left unspent via
+// attempts/op.
+func BenchmarkCampaignAdaptive(b *testing.B) {
+	p := replayBenchProgram(b)
+	n := injectionsPerCell()
+	arm := func(cfg *adaptive.Config) func(*testing.B) {
+		return func(b *testing.B) {
+			attempts := 0
+			for i := 0; i < b.N; i++ {
+				c := &core.Campaign{
+					Prog: p, Level: fault.LevelIR, Category: fault.CatAll,
+					N: n, Seed: int64(i) + 1, Adaptive: cfg,
+				}
+				res, err := c.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				attempts += res.Attempts
+			}
+			b.ReportMetric(float64(n), "injections/op")
+			b.ReportMetric(float64(attempts)/float64(b.N), "attempts/op")
+		}
+	}
+	b.Run("fixed", arm(nil))
+	b.Run("adaptive", arm(&adaptive.Config{Eps: 0.08, MinN: 50, Check: 64}))
+}
+
+// adaptiveBenchJSON is the BENCH_adaptive.json shape: the fixed-n
+// baseline versus the adaptive run of the identical study, in attempts,
+// activated injections, and wall-clock.
+type adaptiveBenchJSON struct {
+	Benchmark string  `json:"benchmark"`
+	N         int     `json:"n"`
+	Eps       float64 `json:"eps"`
+	MinN      int     `json:"min"`
+	Check     int     `json:"check"`
+
+	FixedAttempts    int     `json:"fixedAttempts"`
+	AdaptiveAttempts int     `json:"adaptiveAttempts"`
+	SavedAttemptsPct float64 `json:"savedAttemptsPct"`
+	ConvergedCells   int     `json:"convergedCells"`
+	ExtendedCells    int     `json:"extendedCells"`
+	Cells            int     `json:"cells"`
+
+	FixedSeconds    float64 `json:"fixedSeconds"`
+	AdaptiveSeconds float64 `json:"adaptiveSeconds"`
+}
+
+// TestWriteAdaptiveBench emits BENCH_adaptive.json: set
+// HLFI_BENCH_ADAPTIVE to the output path (as `make bench` does) or the
+// test skips. It gates the cost contract — with reallocation bounded by
+// the donated pool, the adaptive study can never spend more attempts
+// than the fixed-n design it replaces.
+func TestWriteAdaptiveBench(t *testing.T) {
+	path := os.Getenv("HLFI_BENCH_ADAPTIVE")
+	if path == "" {
+		t.Skip("set HLFI_BENCH_ADAPTIVE=<path> to write the adaptive benchmark JSON")
+	}
+	const benchmark = "quantumm"
+	p, err := bench.Build(benchmark)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := injectionsPerCell()
+	acfg := adaptiveBenchConfig()
+
+	run := func(cfg *adaptive.Config) (*core.Study, float64) {
+		t.Helper()
+		start := time.Now()
+		st, err := core.RunStudy(core.StudyConfig{
+			Programs: []*core.Program{p}, N: n, Seed: 1, Adaptive: cfg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, time.Since(start).Seconds()
+	}
+	fixedSt, fixedSec := run(nil)
+	adaptSt, adaptSec := run(acfg)
+
+	out := adaptiveBenchJSON{
+		Benchmark: benchmark, N: n,
+		Eps: acfg.Eps, MinN: acfg.MinN, Check: acfg.Check,
+		FixedSeconds: fixedSec, AdaptiveSeconds: adaptSec,
+		Cells: len(adaptSt.Cells),
+	}
+	for _, c := range fixedSt.Cells {
+		out.FixedAttempts += c.Attempts
+	}
+	for _, c := range adaptSt.Cells {
+		out.AdaptiveAttempts += c.Attempts
+		if c.Adaptive.Converged && !c.Adaptive.Extended {
+			out.ConvergedCells++
+		}
+		if c.Adaptive.Extended {
+			out.ExtendedCells++
+		}
+	}
+	if out.FixedAttempts > 0 {
+		out.SavedAttemptsPct = 100 * float64(out.FixedAttempts-out.AdaptiveAttempts) / float64(out.FixedAttempts)
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("adaptive bench: fixed %d attempts, adaptive %d attempts (%.1f%% saved), %d/%d cells converged, %d extended",
+		out.FixedAttempts, out.AdaptiveAttempts, out.SavedAttemptsPct, out.ConvergedCells, out.Cells, out.ExtendedCells)
+	if out.AdaptiveAttempts > out.FixedAttempts {
+		t.Errorf("adaptive study spent %d attempts, more than the fixed-n %d: the reallocation pool leaked",
+			out.AdaptiveAttempts, out.FixedAttempts)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"syscall"
 	"time"
 
+	"hlfi/internal/adaptive"
 	"hlfi/internal/bench"
 	"hlfi/internal/cli"
 	"hlfi/internal/core"
@@ -88,6 +89,7 @@ func runCtx(ctx context.Context, args []string) error {
 		mergeGlob   = fs.String("merge", "", "merge mode: glob of shard checkpoints to validate and reassemble into the byte-identical single-process report (study shape comes from the headers; no campaigns run)")
 		shardProcs  = fs.Int("shard-workers", 0, "local supervisor: spawn this many worker subprocesses (one per shard), then merge their checkpoints; re-running the same command resumes only incomplete shards")
 		shardDir    = fs.String("shard-dir", "", "directory for supervisor shard checkpoints (default: a temp dir, removed once merged; name one to keep checkpoints resumable across supervisor runs)")
+		adaptFlag   = fs.String("adaptive", "off", "adaptive sampling: off|on|eps=E,min=M,check=C — stop each cell once every outcome-rate Wilson 95% CI is narrower than eps, then reallocate the saved budget to the widest cells (off = the paper's fixed-n design)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,6 +98,10 @@ func runCtx(ctx context.Context, args []string) error {
 	case "fig3", "table4", "fig4", "table5", "table2", "calibration", "all":
 	default:
 		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+	adaptCfg, err := adaptive.Parse(*adaptFlag)
+	if err != nil {
+		return fmt.Errorf("-adaptive %q: %w", *adaptFlag, err)
 	}
 
 	// Scale-out modes are mutually exclusive and only make sense for the
@@ -210,6 +216,13 @@ func runCtx(ctx context.Context, args []string) error {
 			return err
 		}
 		*n, *seed = merged.Shape.N, merged.Shape.Seed
+		// The merged headers also pin the adaptive signature; adopt it so
+		// the reallocation round replans from the shard round-1 records
+		// exactly as the single-process run would.
+		adaptCfg, err = adaptive.ParseSignature(merged.Shape.Adaptive)
+		if err != nil {
+			return fmt.Errorf("merged checkpoint adaptive signature %q: %w", merged.Shape.Adaptive, err)
+		}
 		mergedState = merged.State
 		fmt.Fprintf(os.Stderr, "merged %d shard checkpoints: %d cells, %d skips (n=%d seed=%d)\n",
 			merged.Count, len(merged.State.Cells), len(merged.State.Skips), *n, *seed)
@@ -280,7 +293,8 @@ func runCtx(ctx context.Context, args []string) error {
 	// configs or shards; a -merge run resumes from the reassembled shard
 	// state instead.
 	shape := core.CheckpointShape{N: *n, Seed: *seed,
-		Replay: replay.Signature(), Compiled: compiledCfg.Signature()}
+		Replay: replay.Signature(), Compiled: compiledCfg.Signature(),
+		Adaptive: adaptCfg.Signature()}
 	if shardSpec != nil {
 		shape.Shard = shardSpec.String()
 	}
@@ -312,7 +326,8 @@ func runCtx(ctx context.Context, args []string) error {
 		Workers: *cellWorkers, Parallel: *parallel, Events: rec,
 		SimFaultLimit: *simFaults, CellDeadline: *deadline,
 		Checkpoint: ckpt, Resume: resumeState, Replay: replay,
-		Compiled: compiledCfg, Obs: om, TraceAttempts: *traceAtt, Shard: shardSpec}
+		Compiled: compiledCfg, Obs: om, TraceAttempts: *traceAtt,
+		Adaptive: adaptCfg, Shard: shardSpec}
 	if !*quiet {
 		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}

@@ -40,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"hlfi/internal/adaptive"
 	"hlfi/internal/cli"
 	"hlfi/internal/core"
 	"hlfi/internal/fleet"
@@ -90,9 +91,14 @@ func runCtx(ctx context.Context, args []string, onReady func(addr string)) error
 		once       = fs.Bool("once", false, "exit once the study converges, rendering the report to stdout (default: keep serving dashboards until interrupted)")
 		spawn      = fs.Int("spawn-workers", 0, "spawn this many local worker subprocesses joined to this coordinator")
 		drainGrace = fs.Duration("drain-grace", 30*time.Second, "on SIGTERM, wait this long for in-flight leases to complete before exiting")
+		adaptFlag  = fs.String("adaptive", "off", "adaptive sampling: off|on|eps=E,min=M,check=C — workers stop cells once every outcome-rate Wilson 95% CI is narrower than eps; the coordinator reallocates the saved budget as extension leases")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	adaptCfg, err := adaptive.Parse(*adaptFlag)
+	if err != nil {
+		return fmt.Errorf("-adaptive %q: %w", *adaptFlag, err)
 	}
 	if *worker {
 		return runWorker(ctx, *join, *name, *quiet)
@@ -125,7 +131,8 @@ func runCtx(ctx context.Context, args []string, onReady func(addr string)) error
 	// so an interrupted study is never left without its state. Workers
 	// always run the compiled engines without replay, which pins the
 	// checkpoint shape.
-	shape := core.CheckpointShape{N: *n, Seed: *seed, Replay: "off", Compiled: "on"}
+	shape := core.CheckpointShape{N: *n, Seed: *seed, Replay: "off", Compiled: "on",
+		Adaptive: adaptCfg.Signature()}
 	ckptPath := *checkpoint
 	var tmpCkptDir string
 	if ckptPath == "" {
@@ -177,6 +184,7 @@ func runCtx(ctx context.Context, args []string, onReady func(addr string)) error
 		BackoffCap:    *backoffCap,
 		RetryAfter:    *retryAfter,
 		JitterSeed:    *jitterSeed,
+		Adaptive:      adaptCfg,
 		Checkpoint:    writer,
 		Resume:        resumeState,
 		Events:        rec,
@@ -291,10 +299,14 @@ func runCtx(ctx context.Context, args []string, onReady func(addr string)) error
 	} else {
 		logf("fiserve: durable checkpoint was detached by a write failure; rendering from in-memory state")
 	}
+	// Adaptive fleets finish their extension leases before convergence,
+	// so every resumed record already carries its final target; the
+	// render study recomputes the same plan from the persisted round-1
+	// counts and re-runs nothing.
 	st, err := core.RunStudy(core.StudyConfig{
 		Programs: progs, N: *n, Seed: *seed,
 		SimFaultLimit: *simFaults, CellDeadline: *deadline,
-		Resume: state,
+		Adaptive: adaptCfg, Resume: state,
 	})
 	if err != nil {
 		return err

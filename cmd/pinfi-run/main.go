@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"hlfi/internal/adaptive"
 	"hlfi/internal/cli"
 	"hlfi/internal/fault"
 	"hlfi/internal/pinfi"
@@ -40,8 +41,13 @@ func run(args []string) error {
 		status    = fs.String("status", "", "serve live observability on this address (/metrics, /statusz, /debug/pprof/)")
 		traceAtt  = fs.Int("trace-attempts", 0, "record fault-propagation traces for the first N attempts as attempt_trace events")
 		noComp    = fs.Bool("no-compiled", false, "force every attempt onto the simulator instead of the pre-decoded engine (results are byte-identical)")
+		adaptFlag = fs.String("adaptive", "off", "adaptive early stopping: off|on|eps=E,min=M,check=C (stop once every outcome-rate Wilson CI is narrower than eps)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	adaptCfg, err := adaptive.Parse(*adaptFlag)
+	if err != nil {
 		return err
 	}
 	prog, err := cli.LoadProgram(*benchName, *srcPath)
@@ -71,5 +77,6 @@ func run(args []string) error {
 	}
 	return cli.RunCampaign(os.Stdout, prog, fault.LevelASM, cat,
 		cli.CampaignOptions{N: *n, Seed: *seed, Verbose: *verbose, EventsPath: *events,
-			StatusAddr: *status, TraceAttempts: *traceAtt, NoCompiled: *noComp})
+			StatusAddr: *status, TraceAttempts: *traceAtt, NoCompiled: *noComp,
+			Adaptive: adaptCfg})
 }

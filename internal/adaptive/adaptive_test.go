@@ -1,0 +1,254 @@
+package adaptive
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestParseOffForms(t *testing.T) {
+	for _, s := range []string{"", "off", "  off  "} {
+		cfg, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if cfg != nil {
+			t.Fatalf("Parse(%q) = %+v, want nil (disabled)", s, cfg)
+		}
+	}
+}
+
+func TestParseOnUsesDefaults(t *testing.T) {
+	cfg, err := Parse("on")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{Eps: DefaultEps, MinN: DefaultMinN, Check: DefaultCheck}
+	if *cfg != want {
+		t.Fatalf("Parse(\"on\") = %+v, want %+v", *cfg, want)
+	}
+}
+
+func TestParseKeyValues(t *testing.T) {
+	cfg, err := Parse("eps=0.05,min=50,check=32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{Eps: 0.05, MinN: 50, Check: 32}
+	if *cfg != want {
+		t.Fatalf("got %+v, want %+v", *cfg, want)
+	}
+	// Partial overrides keep the other defaults.
+	cfg, err = Parse("eps=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = Config{Eps: 0.1, MinN: DefaultMinN, Check: DefaultCheck}
+	if *cfg != want {
+		t.Fatalf("got %+v, want %+v", *cfg, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{
+		"eps",            // no =
+		"eps=notanum",    // bad float
+		"min=x",          // bad int
+		"check=x",        // bad int
+		"frobnicate=1",   // unknown key
+		"eps=0",          // out of range
+		"eps=1",          // out of range
+		"eps=-0.1",       // out of range
+		"min=0",          // out of range
+		"check=0",        // out of range
+		"eps=0.05,min=0", // valid then invalid
+	} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q): want error, got nil", s)
+		}
+	}
+}
+
+func TestSignatureRoundTrip(t *testing.T) {
+	var nilCfg *Config
+	if got := nilCfg.Signature(); got != "off" {
+		t.Fatalf("nil signature = %q, want \"off\"", got)
+	}
+	for _, s := range []string{"on", "eps=0.05,min=50,check=32", "eps=0.125"} {
+		cfg, err := Parse(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseSignature(cfg.Signature())
+		if err != nil {
+			t.Fatalf("ParseSignature(%q): %v", cfg.Signature(), err)
+		}
+		if *back != *cfg {
+			t.Fatalf("round trip of %q: %+v != %+v", s, *back, *cfg)
+		}
+	}
+	if cfg, err := ParseSignature("off"); err != nil || cfg != nil {
+		t.Fatalf("ParseSignature(\"off\") = %v, %v; want nil, nil", cfg, err)
+	}
+}
+
+func TestShouldStopRespectsCadenceAndFloor(t *testing.T) {
+	cfg := &Config{Eps: 0.5, MinN: 10, Check: 8}
+	// Very loose eps: the rule fires at the first check boundary past the
+	// floor, and at no attempt count that is not a multiple of Check.
+	var counts Counts
+	for i := 1; i <= 64; i++ {
+		counts.Note(OutcomeBenign)
+		stop := cfg.ShouldStop(counts)
+		atBoundary := i%cfg.Check == 0
+		pastFloor := counts.Activated() >= cfg.MinN
+		if stop != (atBoundary && pastFloor) {
+			t.Fatalf("attempt %d: ShouldStop = %v (boundary %v, floor %v)", i, stop, atBoundary, pastFloor)
+		}
+		if stop {
+			return
+		}
+	}
+	t.Fatal("rule never fired under a loose eps")
+}
+
+func TestTrackerMatchesStopAt(t *testing.T) {
+	cfg := &Config{Eps: 0.08, MinN: 20, Check: 16}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		seq := make([]Outcome, 600)
+		for i := range seq {
+			seq[i] = Outcome(rng.Intn(int(numOutcomes)))
+		}
+		tr := NewTracker(cfg)
+		firstStop := -1
+		for i, o := range seq {
+			stopped := tr.Note(o)
+			if stopped && firstStop == -1 {
+				firstStop = i + 1
+			}
+			if firstStop != -1 && !stopped {
+				t.Fatalf("trial %d: tracker un-stopped at attempt %d (not monotone)", trial, i+1)
+			}
+		}
+		if got := cfg.StopAt(seq); got != firstStop {
+			t.Fatalf("trial %d: StopAt = %d, tracker first stop = %d", trial, got, firstStop)
+		}
+		if firstStop != -1 {
+			if tr.StopN() != firstStop {
+				t.Fatalf("trial %d: StopN = %d, want %d", trial, tr.StopN(), firstStop)
+			}
+			if got := tr.Counts().Attempts(); got != firstStop {
+				t.Fatalf("trial %d: counted prefix %d attempts, want %d (post-stop records must be ignored)", trial, got, firstStop)
+			}
+			// Prefix purity: the decision at the stop depends only on the
+			// prefix, and no shorter prefix stops.
+			if got := cfg.StopAt(seq[:firstStop]); got != firstStop {
+				t.Fatalf("trial %d: StopAt(prefix) = %d, want %d", trial, got, firstStop)
+			}
+			if got := cfg.StopAt(seq[:firstStop-1]); got != -1 {
+				t.Fatalf("trial %d: StopAt(prefix-1) = %d, want -1", trial, got)
+			}
+		}
+	}
+}
+
+func TestReallocateIsPureAndConserves(t *testing.T) {
+	cfg := &Config{Eps: 0.05, MinN: 50, Check: 64}
+	rng := rand.New(rand.NewSource(11))
+	baseN := 200
+	for trial := 0; trial < 100; trial++ {
+		states := make([]CellState, 12)
+		for i := range states {
+			switch rng.Intn(4) {
+			case 0: // absent (skipped cell)
+			case 1: // converged early
+				act := cfg.MinN + rng.Intn(baseN-cfg.MinN)
+				states[i] = CellState{Present: true, Converged: true,
+					Counts: Counts{Benign: act}}
+			default: // ran to target, still wide
+				sdc := rng.Intn(baseN / 2)
+				states[i] = CellState{Present: true,
+					Counts: Counts{Benign: baseN - sdc, SDC: sdc}}
+			}
+		}
+		a := cfg.Reallocate(baseN, states)
+		b := cfg.Reallocate(baseN, states)
+		if len(a.Grants) != len(states) || len(b.Grants) != len(states) {
+			t.Fatalf("trial %d: grants length %d/%d, want %d", trial, len(a.Grants), len(b.Grants), len(states))
+		}
+		for i := range a.Grants {
+			if a.Grants[i] != b.Grants[i] {
+				t.Fatalf("trial %d: plan not deterministic at cell %d: %d != %d", trial, i, a.Grants[i], b.Grants[i])
+			}
+		}
+		sum := 0
+		for i, g := range a.Grants {
+			if g < 0 {
+				t.Fatalf("trial %d: negative grant %d at cell %d", trial, g, i)
+			}
+			if g > baseN {
+				t.Fatalf("trial %d: grant %d at cell %d exceeds the one-baseline cap", trial, g, i)
+			}
+			if g > 0 {
+				if !states[i].Present {
+					t.Fatalf("trial %d: absent cell %d granted %d", trial, i, g)
+				}
+				if states[i].Converged {
+					t.Fatalf("trial %d: converged cell %d granted %d", trial, i, g)
+				}
+			}
+			sum += g
+		}
+		if sum != a.Granted {
+			t.Fatalf("trial %d: Granted %d != sum of grants %d", trial, a.Granted, sum)
+		}
+		if a.Granted > a.Saved {
+			t.Fatalf("trial %d: granted %d exceeds saved pool %d", trial, a.Granted, a.Saved)
+		}
+		if a.Leftover != a.Saved-a.Granted {
+			t.Fatalf("trial %d: leftover %d != saved %d - granted %d", trial, a.Leftover, a.Saved, a.Granted)
+		}
+	}
+}
+
+func TestReallocateWidestFirst(t *testing.T) {
+	cfg := &Config{Eps: 0.01, MinN: 50, Check: 64}
+	baseN := 200
+	// One donor with a big pool, two needy cells: the wider one (rate
+	// near 0.5) must be served before the narrower one (rate near 0.02).
+	states := []CellState{
+		{Present: true, Converged: true, Counts: Counts{Benign: 64}}, // saves 136
+		{Present: true, Counts: Counts{Benign: 100, SDC: 100}},       // widest
+		{Present: true, Counts: Counts{Benign: 196, SDC: 4}},         // narrower
+	}
+	plan := cfg.Reallocate(baseN, states)
+	if plan.Saved != 136 {
+		t.Fatalf("Saved = %d, want 136", plan.Saved)
+	}
+	if plan.Grants[0] != 0 {
+		t.Fatalf("donor granted %d, want 0", plan.Grants[0])
+	}
+	if plan.Grants[1] == 0 {
+		t.Fatal("widest cell got nothing")
+	}
+	// eps=0.01 needs thousands of trials at rate 0.5: the widest cell's
+	// capped deficit swallows the whole pool before the narrow cell.
+	if plan.Grants[2] != 0 {
+		t.Fatalf("narrower cell granted %d before the widest was satisfied", plan.Grants[2])
+	}
+}
+
+func TestConvergedNeedsFloorAndWidth(t *testing.T) {
+	cfg := &Config{Eps: 0.05, MinN: 100, Check: 1}
+	if cfg.Converged(Counts{Benign: 50}) {
+		t.Fatal("converged below the MinN floor")
+	}
+	// 1000 benign trials: every rate is 0 or 1, intervals are tight.
+	if !cfg.Converged(Counts{Benign: 1000}) {
+		t.Fatal("not converged with 1000 one-sided trials")
+	}
+	// A 50/50 split over 200 trials has half-widths near 0.069 > 0.05.
+	if cfg.Converged(Counts{Benign: 100, SDC: 100}) {
+		t.Fatal("converged with a wide 50/50 interval")
+	}
+}

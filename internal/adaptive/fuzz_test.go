@@ -1,0 +1,65 @@
+package adaptive
+
+import "testing"
+
+// FuzzAdaptiveDecision throws arbitrary configs and attempt-record
+// prefixes at the stopping rule and checks its structural contract:
+// never panics, the incremental tracker agrees with the pure StopAt
+// replay, the decision is monotone (once stopped, stays stopped), and it
+// is prefix-pure — the decision at n depends only on records[0:n].
+func FuzzAdaptiveDecision(f *testing.F) {
+	f.Add(uint16(200), uint8(50), uint8(64), []byte{})
+	f.Add(uint16(50), uint8(10), uint8(8), []byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(uint16(500), uint8(20), uint8(16), []byte{0, 1, 2, 3, 4, 5, 0, 1, 2, 3})
+	f.Add(uint16(1), uint8(1), uint8(1), []byte{4, 4, 4, 0})
+	f.Fuzz(func(t *testing.T, epsMil uint16, minN, check uint8, records []byte) {
+		cfg := &Config{
+			// eps in (0, 1): map the raw value onto 0.001..0.999.
+			Eps:   float64(epsMil%999+1) / 1000,
+			MinN:  int(minN%200) + 1,
+			Check: int(check%128) + 1,
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("generated config invalid: %v", err)
+		}
+		if len(records) > 4096 {
+			records = records[:4096]
+		}
+		seq := make([]Outcome, len(records))
+		for i, b := range records {
+			seq[i] = Outcome(b % uint8(numOutcomes))
+		}
+
+		tr := NewTracker(cfg)
+		firstStop := -1
+		for i, o := range seq {
+			stopped := tr.Note(o)
+			if stopped && firstStop == -1 {
+				firstStop = i + 1
+			}
+			if firstStop != -1 && !stopped {
+				t.Fatalf("not monotone: un-stopped at attempt %d after stopping at %d", i+1, firstStop)
+			}
+		}
+		if got := cfg.StopAt(seq); got != firstStop {
+			t.Fatalf("tracker stopped at %d, StopAt replay says %d", firstStop, got)
+		}
+		if firstStop == -1 {
+			return
+		}
+		if tr.StopN() != firstStop {
+			t.Fatalf("StopN = %d, want %d", tr.StopN(), firstStop)
+		}
+		if got := tr.Counts().Attempts(); got != firstStop {
+			t.Fatalf("counted prefix has %d attempts, want %d (post-stop records must not count)", got, firstStop)
+		}
+		// Prefix purity: the stop at n is decided by records[0:n] alone,
+		// and no proper prefix of the stop fires.
+		if got := cfg.StopAt(seq[:firstStop]); got != firstStop {
+			t.Fatalf("StopAt(prefix) = %d, want %d", got, firstStop)
+		}
+		if got := cfg.StopAt(seq[:firstStop-1]); got != -1 {
+			t.Fatalf("StopAt(prefix-1) = %d, want -1", got)
+		}
+	})
+}

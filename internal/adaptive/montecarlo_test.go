@@ -1,0 +1,104 @@
+package adaptive
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// simCell draws one synthetic campaign cell: attempts are multinomial
+// over (benign, sdc, crash, hang, not-activated) at fixed true rates,
+// run through the stopping rule up to a fixed-n exit at baseN activated.
+// Returns the final counts and whether the rule fired.
+func simCell(cfg *Config, rng *rand.Rand, rates [4]float64, pActivate float64, baseN int) (Counts, bool) {
+	tr := NewTracker(cfg)
+	var counts Counts
+	for counts.Activated() < baseN {
+		var o Outcome
+		if rng.Float64() >= pActivate {
+			o = OutcomeNotActivated
+		} else {
+			u := rng.Float64()
+			switch {
+			case u < rates[0]:
+				o = OutcomeBenign
+			case u < rates[0]+rates[1]:
+				o = OutcomeSDC
+			case u < rates[0]+rates[1]+rates[2]:
+				o = OutcomeCrash
+			default:
+				o = OutcomeHang
+			}
+		}
+		counts.Note(o)
+		if tr.Note(o) {
+			return counts, true
+		}
+	}
+	return counts, false
+}
+
+// TestMonteCarloPrecisionAtStop drives ~1k simulated cells with random
+// true outcome rates through the stopping rule and asserts the
+// statistical contract: at every early stop the achieved Wilson
+// half-widths are within eps, and the Wilson intervals cover the true
+// conditional rates at roughly their nominal level (the group-sequential
+// cadence gives up a little coverage to peeking; we gate at >= 93%
+// empirically, against the 95% nominal).
+func TestMonteCarloPrecisionAtStop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo harness skipped in -short")
+	}
+	cfg := &Config{Eps: 0.05, MinN: 50, Check: 64}
+	rng := rand.New(rand.NewSource(20260808))
+	const cells = 1000
+	baseN := 400
+
+	stops := 0
+	covered, intervals := 0, 0
+	for i := 0; i < cells; i++ {
+		// Random true rates: a Dirichlet-ish draw via normalized uniforms,
+		// mixing concentrated and spread-out cells.
+		var raw [4]float64
+		sum := 0.0
+		for j := range raw {
+			raw[j] = rng.Float64()
+			if rng.Intn(3) == 0 {
+				raw[j] *= 0.05 // frequently push a rate toward 0
+			}
+			sum += raw[j]
+		}
+		for j := range raw {
+			raw[j] /= sum
+		}
+		pAct := 0.3 + 0.7*rng.Float64()
+
+		counts, stopped := simCell(cfg, rng, raw, pAct, baseN)
+		if stopped {
+			stops++
+			if counts.Activated() < cfg.MinN {
+				t.Fatalf("cell %d stopped below the MinN floor: %d < %d", i, counts.Activated(), cfg.MinN)
+			}
+			if hw := counts.MaxHalfWidth(); hw > cfg.Eps {
+				t.Fatalf("cell %d stopped with max half-width %.4f > eps %.4f", i, hw, cfg.Eps)
+			}
+		}
+		// Coverage of the true conditional outcome rates by the final
+		// Wilson intervals, early-stopped or not.
+		for j, p := range counts.proportions() {
+			lo, hi := p.WilsonCI()
+			if raw[j] >= lo && raw[j] <= hi {
+				covered++
+			}
+			intervals++
+			_ = j
+		}
+	}
+	if stops < cells/20 {
+		t.Fatalf("only %d/%d cells stopped early; the harness is not exercising the rule", stops, cells)
+	}
+	cov := float64(covered) / float64(intervals)
+	if cov < 0.93 {
+		t.Fatalf("empirical coverage %.4f < 0.93 (%d/%d intervals)", cov, covered, intervals)
+	}
+	t.Logf("early stops: %d/%d cells; empirical coverage %.4f over %d intervals", stops, cells, cov, intervals)
+}

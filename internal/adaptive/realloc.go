@@ -1,0 +1,171 @@
+package adaptive
+
+import (
+	"math"
+	"sort"
+
+	"hlfi/internal/stats"
+)
+
+// CellState is one cell's round-1 stop state as seen by the planner:
+// the final counts, whether the stopping rule fired, and whether the
+// cell produced a result at all (skipped cells are neither donors nor
+// recipients).
+type CellState struct {
+	Counts    Counts
+	Converged bool
+	Present   bool
+}
+
+// Plan is the stratified reallocation: per-cell activation grants in
+// the same canonical order as the input states.
+type Plan struct {
+	// BaseN is the fixed-n baseline every cell started from.
+	BaseN int
+	// Saved is the activation budget donated by cells the rule stopped
+	// early: sum of (BaseN - activated) over converged cells.
+	Saved int
+	// Grants[i] is the extra activated-injection target granted to cell
+	// i (0 for donors, skipped cells, and cells the pool ran dry for).
+	Grants []int
+	// Granted is the total handed out (<= Saved).
+	Granted int
+	// Leftover is the undistributed remainder (Saved - Granted).
+	Leftover int
+}
+
+// Reallocate computes the round-2 budget plan from the round-1 stop
+// states of all cells in canonical order. It is a pure function of
+// (baseN, states): every process that can see the complete round-1
+// state — the single-process study, a -merge over shard checkpoints,
+// the fleet coordinator, a resumed run — computes the identical plan.
+//
+// The pool is the activation budget converged cells did not use. It is
+// granted to unconverged cells in order of widest remaining Wilson
+// half-width (ties broken by canonical index), each receiving its
+// projected deficit: the smallest total activation that would bring
+// every outcome interval under Eps at the current rates, quantized up
+// to the check cadence and capped at one extra BaseN per cell.
+func (c *Config) Reallocate(baseN int, states []CellState) Plan {
+	plan := Plan{BaseN: baseN, Grants: make([]int, len(states))}
+	type need struct {
+		idx     int
+		width   float64
+		deficit int
+	}
+	var needs []need
+	for i, s := range states {
+		if !s.Present {
+			continue
+		}
+		if s.Converged {
+			if saved := baseN - s.Counts.Activated(); saved > 0 {
+				plan.Saved += saved
+			}
+			continue
+		}
+		// Unconverged cells whose final interval nonetheless meets the
+		// target (possible when convergence lands between check
+		// boundaries, or exactly at the fixed-n exit) need nothing.
+		if c.Converged(s.Counts) {
+			continue
+		}
+		d := c.deficit(s.Counts)
+		if d > baseN {
+			// Cap at one extra baseline per cell so a single pathological
+			// cell cannot absorb the whole pool.
+			d = baseN
+		}
+		if d <= 0 {
+			continue
+		}
+		needs = append(needs, need{idx: i, width: s.Counts.MaxHalfWidth(), deficit: d})
+	}
+	sort.SliceStable(needs, func(a, b int) bool {
+		if needs[a].width != needs[b].width {
+			return needs[a].width > needs[b].width
+		}
+		return needs[a].idx < needs[b].idx
+	})
+	remaining := plan.Saved
+	for _, n := range needs {
+		if remaining == 0 {
+			break
+		}
+		g := n.deficit
+		if g > remaining {
+			g = remaining
+		}
+		plan.Grants[n.idx] = g
+		plan.Granted += g
+		remaining -= g
+	}
+	plan.Leftover = plan.Saved - plan.Granted
+	return plan
+}
+
+// deficit is the extra activation a cell would need to meet the
+// precision target if its observed rates held: the smallest total m
+// with every projected Wilson half-width <= Eps (and m >= MinN), minus
+// the current activation, rounded up to a multiple of Check and capped
+// at BaseN worth of extra budget.
+func (c *Config) deficit(counts Counts) int {
+	cur := counts.Activated()
+	if cur == 0 {
+		// No rate estimate to project from; grant a full check block so
+		// the cell at least reaches the decision boundary.
+		return c.Check
+	}
+	m := c.MinN
+	if m < cur {
+		m = cur
+	}
+	for _, p := range counts.proportions() {
+		r := p.Rate()
+		if n := requiredTrials(r, c.Eps); n > m {
+			m = n
+		}
+	}
+	d := m - cur
+	if d <= 0 {
+		return 0
+	}
+	// Quantize up to the check cadence: the rule can only fire at check
+	// boundaries. (Reallocate caps the result at one baseline per cell.)
+	d = (d + c.Check - 1) / c.Check * c.Check
+	return d
+}
+
+// requiredTrials is the smallest trial count whose Wilson 95%
+// half-width at rate r is <= eps. The half-width is decreasing in n for
+// a fixed rate, so binary search applies.
+func requiredTrials(r, eps float64) int {
+	if wilsonHalfWidth(r, 1) <= eps {
+		return 1
+	}
+	lo, hi := 1, 1
+	for wilsonHalfWidth(r, hi) > eps {
+		hi *= 2
+		if hi >= 1<<30 {
+			break
+		}
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if wilsonHalfWidth(r, mid) <= eps {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// wilsonHalfWidth is the Wilson 95% half-width a proportion near r
+// would have over n trials, using the same stats.Proportion.WilsonCI
+// the stopping rule evaluates.
+func wilsonHalfWidth(r float64, n int) float64 {
+	p := stats.Proportion{Successes: int(math.Round(r * float64(n))), Trials: n}
+	lo, hi := p.WilsonCI()
+	return (hi - lo) / 2
+}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"hlfi/internal/adaptive"
 	"hlfi/internal/bench"
 	"hlfi/internal/core"
 	"hlfi/internal/fault"
@@ -89,6 +90,10 @@ type CampaignOptions struct {
 	// compiled execution engines (flag parity with ficompare's
 	// -no-compiled; results are byte-identical either way).
 	NoCompiled bool
+	// Adaptive, when non-nil, arms the early-stopping rule for the
+	// single cell (flag parity with ficompare's -adaptive; a lone cell
+	// has no reallocation round, it simply stops once converged).
+	Adaptive *adaptive.Config
 }
 
 // RunCampaign executes one campaign cell and prints the paper-style
@@ -137,7 +142,8 @@ func RunCampaign(w io.Writer, prog *core.Program, level fault.Level, cat fault.C
 	c := &core.Campaign{Prog: prog, Level: level, Category: cat,
 		N: opts.N, Seed: opts.Seed, Metrics: &metrics,
 		SimFaultLimit: opts.SimFaultLimit, Deadline: opts.Deadline,
-		Compiled: compiled, Obs: om, TraceAttempts: opts.TraceAttempts}
+		Compiled: compiled, Obs: om, TraceAttempts: opts.TraceAttempts,
+		Adaptive: opts.Adaptive}
 	res, err := c.Run()
 	emitCampaignEvents(rec, c, res, metrics, err)
 	if err != nil {
@@ -145,6 +151,9 @@ func RunCampaign(w io.Writer, prog *core.Program, level fault.Level, cat fault.C
 	}
 	if opts.Verbose {
 		fmt.Fprintf(w, "attempts=%d (non-activated redrawn: %d)\n", res.Attempts, res.NotActivated)
+		if res.Adaptive.Target > 0 && res.Adaptive.Converged {
+			fmt.Fprintf(w, "adaptive: converged at %d activated (target %d)\n", res.Activated(), res.Adaptive.Target)
+		}
 		if res.SimFaults > 0 {
 			fmt.Fprintf(w, "simulator panics contained: %d\n", res.SimFaults)
 		}
@@ -191,7 +200,8 @@ func emitCampaignEvents(rec telemetry.Recorder, c *core.Campaign, res *core.Cell
 			Workers:    m.Workers,
 			Attempts:   res.Attempts, Activated: res.Activated(), ActivationRate: rate,
 			Benign: res.Benign, SDC: res.SDC, Crash: res.Crash, Hang: res.Hang,
-			NotActivated: res.NotActivated, SimFaults: res.SimFaults})
+			NotActivated: res.NotActivated, SimFaults: res.SimFaults,
+			AdaptiveTarget: res.Adaptive.Target, AdaptiveConverged: res.Adaptive.Converged})
 		rec.Record(telemetry.Event{Type: telemetry.EventStudyDone, Cells: 1,
 			Attempts: res.Attempts, Activated: res.Activated(),
 			DurationMS: telemetry.Ms(m.ScanTime + m.RunTime)})

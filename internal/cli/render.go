@@ -29,5 +29,10 @@ func RenderExperiment(w io.Writer, st *core.Study, experiment string) {
 		fmt.Fprintln(w, st.RenderFigure4())
 		fmt.Fprintln(w, st.RenderTableV())
 		fmt.Fprintln(w, st.RenderSummary())
+		// Adaptive studies carry an extra accuracy-vs-cost section;
+		// fixed-n studies render "" here, keeping their output identical.
+		if s := st.RenderAdaptive(); s != "" {
+			fmt.Fprintln(w, s)
+		}
 	}
 }

@@ -1,0 +1,540 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"hlfi/internal/adaptive"
+	"hlfi/internal/fault"
+	"hlfi/internal/sched"
+	"hlfi/internal/telemetry"
+)
+
+// AdaptiveCounts is a value-type snapshot of a cell's outcome counts at
+// its round-1 boundary, persisted on extended records so any process
+// holding the checkpoint can recompute the identical reallocation plan.
+type AdaptiveCounts struct {
+	Benign       int
+	SDC          int
+	Crash        int
+	Hang         int
+	NotActivated int
+	Attempts     int
+	SimFaults    int
+}
+
+// AdaptiveCell records how the early-stopping engine treated one cell.
+// All fields are value types: CellResult must stay ==-comparable for
+// the differential oracles.
+type AdaptiveCell struct {
+	// Target is the activated-injection target the record ran under
+	// (0 marks a fixed-n record; the study base N for round-1 records;
+	// base+grant for round-2 extensions).
+	Target int
+	// Converged reports that the stopping rule fired before the target.
+	Converged bool
+	// Extended marks a round-2 record; Round1 then holds the counts at
+	// the round-1 boundary the reallocation plan was computed from.
+	Extended bool
+	Round1   AdaptiveCounts
+}
+
+// adaptiveCounts views the result's running tally as the stopping
+// rule's input.
+func (c *CellResult) adaptiveCounts() adaptive.Counts {
+	return adaptive.Counts{
+		Benign: c.Benign, SDC: c.SDC, Crash: c.Crash, Hang: c.Hang,
+		NotActivated: c.NotActivated, SimFaults: c.SimFaults,
+	}
+}
+
+// Round1State returns the cell's round-1 stop state — the pure input to
+// the reallocation plan. For an extended record it is the persisted
+// round-1 snapshot (which by construction had not converged); for a
+// round-1 record it is the record itself.
+func (c *CellResult) Round1State() (adaptive.Counts, bool) {
+	if c.Adaptive.Extended {
+		r := c.Adaptive.Round1
+		return adaptive.Counts{
+			Benign: r.Benign, SDC: r.SDC, Crash: r.Crash, Hang: r.Hang,
+			NotActivated: r.NotActivated, SimFaults: r.SimFaults,
+		}, false
+	}
+	return c.adaptiveCounts(), c.Adaptive.Converged
+}
+
+// campaignAdaptive is the per-run early-stopping state of one campaign
+// loop (nil when the engine is off: the zero-cost default).
+type campaignAdaptive struct {
+	cfg       *adaptive.Config
+	base      int // round-1 activation budget (== N for round-1 runs)
+	maxR1     int // round-1 attempt ceiling (base * MaxAttemptsFactor)
+	extension bool
+	captured  bool
+}
+
+// adaptiveState primes the early-stopping state for one campaign run
+// and stamps the result's adaptive target.
+func (c *Campaign) adaptiveState(res *CellResult, maxFactor int) *campaignAdaptive {
+	if c.Adaptive == nil {
+		return nil
+	}
+	base := c.AdaptiveBase
+	if base <= 0 || base > c.N {
+		base = c.N
+	}
+	res.Adaptive.Target = c.N
+	return &campaignAdaptive{
+		cfg:       c.Adaptive,
+		base:      base,
+		maxR1:     base * maxFactor,
+		extension: base < c.N,
+		captured:  base == c.N,
+	}
+}
+
+// note evaluates the stopping rule after one accounted attempt and
+// reports whether the cell is done. Both campaign loops call it after
+// every attempt — activated, non-activated, or contained sim fault —
+// so the decision sequence is exactly adaptive.Config.StopAt over the
+// cell's attempt records.
+//
+// For extension runs it first snapshots the round-1 counts the moment
+// the replayed prefix crosses the round-1 boundary (the activation
+// target or the round-1 attempt ceiling, whichever the original run hit
+// first). The prefix is identical to the round-1 run — seeded streams
+// are position-pure and the rule is prefix-pure, so a rule that did not
+// stop round 1 cannot stop inside the replayed prefix either.
+func (a *campaignAdaptive) note(res *CellResult) bool {
+	if a == nil {
+		return false
+	}
+	if !a.captured && (res.Activated() >= a.base || res.Attempts >= a.maxR1) {
+		a.captured = true
+		res.Adaptive.Extended = true
+		res.Adaptive.Round1 = AdaptiveCounts{
+			Benign: res.Benign, SDC: res.SDC, Crash: res.Crash, Hang: res.Hang,
+			NotActivated: res.NotActivated, Attempts: res.Attempts, SimFaults: res.SimFaults,
+		}
+	}
+	if a.cfg.ShouldStop(res.adaptiveCounts()) {
+		res.Adaptive.Converged = true
+		return true
+	}
+	return false
+}
+
+// adaptiveSuffix annotates a progress line with the cell's adaptive
+// outcome ("" for fixed-n records, so fixed-n lines are unchanged).
+func adaptiveSuffix(res *CellResult) string {
+	a := res.Adaptive
+	if a.Target == 0 {
+		return ""
+	}
+	switch {
+	case a.Extended && a.Converged:
+		return fmt.Sprintf(" [adaptive: extended to %d, converged at %d]", a.Target, res.Activated())
+	case a.Extended:
+		return fmt.Sprintf(" [adaptive: extended to %d]", a.Target)
+	case a.Converged:
+		return fmt.Sprintf(" [adaptive: converged at %d/%d]", res.Activated(), a.Target)
+	default:
+		return fmt.Sprintf(" [adaptive: ran to target %d]", a.Target)
+	}
+}
+
+// adaptiveStates builds the canonical-order round-1 stop states the
+// reallocation plan is computed from. Skipped cells (nil results) are
+// absent: neither donors nor recipients.
+func adaptiveStates(specs []cellSpec, results []*CellResult) []adaptive.CellState {
+	states := make([]adaptive.CellState, len(specs))
+	for i, res := range results {
+		if res == nil {
+			continue
+		}
+		counts, converged := res.Round1State()
+		states[i] = adaptive.CellState{Counts: counts, Converged: converged, Present: true}
+	}
+	return states
+}
+
+// runAdaptiveRound2 computes the stratified reallocation plan from the
+// round-1 states and re-runs every cell whose planned target exceeds
+// its current record. Extensions restart the cell's seeded streams from
+// scratch at the higher target, so the extended record equals the one a
+// fresh fixed-target run would produce — which is why a resumed, merged,
+// or fleet-run study reaches the identical final state.
+//
+// Returns (hard, abort): hard is a cell failure that fails the study
+// with the canonical first error; abort is the caller's context
+// cancellation, to be reported through the same study_abort path as
+// round 1.
+func runAdaptiveRound2(ctx context.Context, cfg StudyConfig, specs []cellSpec, results []*CellResult, parallel, perCell int) (hard, abort error) {
+	states := adaptiveStates(specs, results)
+	plan := cfg.Adaptive.Reallocate(cfg.N, states)
+	converged := 0
+	for _, s := range states {
+		if s.Present && s.Converged {
+			converged++
+		}
+	}
+	type ext struct {
+		idx    int
+		target int
+	}
+	var exts []ext
+	recipients := 0
+	for i, g := range plan.Grants {
+		if g <= 0 || results[i] == nil {
+			continue
+		}
+		recipients++
+		t := plan.BaseN + g
+		if results[i].Adaptive.Target == t {
+			continue // resumed extension record already at the planned target
+		}
+		exts = append(exts, ext{idx: i, target: t})
+	}
+	emit(cfg.Events, telemetry.Event{
+		Type:                   telemetry.EventAdaptivePlan,
+		AdaptiveSaved:          plan.Saved,
+		AdaptiveGranted:        plan.Granted,
+		AdaptiveLeftover:       plan.Leftover,
+		AdaptiveConvergedCells: converged,
+		AdaptiveExtendedCells:  recipients,
+	})
+	if cfg.Obs != nil {
+		cfg.Obs.AdaptiveConverged.Add(uint64(converged))
+		cfg.Obs.AdaptiveExtended.Add(uint64(recipients))
+		cfg.Obs.AdaptiveSaved.Add(uint64(plan.Saved))
+		cfg.Obs.AdaptiveGranted.Add(uint64(plan.Granted))
+	}
+	if len(exts) == 0 {
+		return nil, nil
+	}
+
+	prior := make([]*CellResult, len(exts))
+	extMetrics := make([]CellMetrics, len(exts))
+	extErrs := make([]error, len(exts))
+	var (
+		mu      sync.Mutex
+		done    = make([]bool, len(exts))
+		emitted int
+	)
+	finish := func(j int) {
+		mu.Lock()
+		defer mu.Unlock()
+		done[j] = true
+		for emitted < len(exts) && done[emitted] {
+			e := exts[emitted]
+			noteExtension(cfg, specs[e.idx], prior[emitted], results[e.idx],
+				extMetrics[emitted], extErrs[emitted])
+			emitted++
+		}
+	}
+
+	tasks := make([]sched.Task, len(exts))
+	for j := range exts {
+		j := j
+		e := exts[j]
+		s := specs[e.idx]
+		key := s.key()
+		prior[j] = results[e.idx]
+		tasks[j] = func(context.Context) error {
+			defer finish(j)
+			c := &Campaign{
+				Prog:          s.prog,
+				Level:         s.level,
+				Category:      s.cat,
+				N:             e.target,
+				Seed:          cellSeed(cfg.Seed, s.prog.Name, s.level, s.cat),
+				Metrics:       &extMetrics[j],
+				SimFaultLimit: cfg.SimFaultLimit,
+				Deadline:      cfg.CellDeadline,
+				Replay:        cfg.Replay,
+				Compiled:      cfg.Compiled,
+				Obs:           cfg.Obs,
+				Adaptive:      cfg.Adaptive,
+				AdaptiveBase:  plan.BaseN,
+				// Traced attempts were already released with the round-1
+				// record; re-tracing the replayed prefix would duplicate
+				// them (tracing never changes outcomes, so dropping it
+				// keeps the extension byte-identical).
+			}
+			if testCampaignHook != nil {
+				testCampaignHook(c)
+			}
+			var res *CellResult
+			var err error
+			if perCell > 1 {
+				res, err = c.RunParallel(perCell)
+			} else {
+				res, err = c.Run()
+			}
+			if cfg.Obs != nil {
+				cfg.Obs.CellSeconds.Observe((extMetrics[j].ScanTime + extMetrics[j].RunTime).Seconds())
+			}
+			if err != nil {
+				extErrs[j] = err
+				if isSoftSkip(err) {
+					// Degrade to the round-1 record (already checkpointed):
+					// an extension tripping the watchdog must not lose a
+					// cell the study has already measured once.
+					return nil
+				}
+				return err
+			}
+			results[e.idx] = res
+			// The extended record supersedes the round-1 one in the
+			// checkpoint; the loader is last-record-wins, and the higher
+			// target marks it as already-extended on resume.
+			if cerr := cfg.Checkpoint.Cell(key, res); cerr != nil {
+				extErrs[j] = cerr
+				return cerr
+			}
+			return nil
+		}
+	}
+	var observer sched.Observer
+	if cfg.Obs != nil {
+		observer = gaugeObserver{g: cfg.Obs.CellsInFlight}
+	}
+	if err := sched.RunObserved(ctx, parallel, tasks, observer); err != nil {
+		for j, cerr := range extErrs {
+			if cerr != nil && !isSoftSkip(cerr) {
+				return fmt.Errorf("cell %v: %w", specs[exts[j].idx].key(), cerr), nil
+			}
+		}
+		return nil, err
+	}
+	return nil, nil
+}
+
+// noteExtension releases one extension's progress line and telemetry
+// (through the round-2 reorder buffer, so order is deterministic).
+// The cell_extend event carries DELTA counts over the round-1 record:
+// cell_done totals plus cell_extend totals equal the final study
+// totals, keeping the telemetry aggregator additive.
+func noteExtension(cfg StudyConfig, s cellSpec, prior, res *CellResult, m CellMetrics, err error) {
+	switch {
+	case err != nil && isSoftSkip(err):
+		if cfg.Progress != nil {
+			cfg.Progress(fmt.Sprintf("%-10s %-5s %-10s adaptive extension abandoned (%v); keeping round-1 record",
+				s.prog.Name, s.level, s.cat, err))
+		}
+		emit(cfg.Events, telemetry.Event{
+			Type:      telemetry.EventCellExtend,
+			Benchmark: s.prog.Name, Level: s.level.String(), Category: s.cat.String(),
+			Err: err.Error(),
+		})
+	case err != nil:
+		// Hard error: the study is about to fail with the canonical
+		// first error; nothing to release.
+	case res != nil:
+		if cfg.Progress != nil {
+			cfg.Progress(fmt.Sprintf("%-10s %-5s %-10s activated=%d crash=%.1f%% sdc=%.1f%%%s",
+				s.prog.Name, s.level, s.cat, res.Activated(),
+				100*res.CrashRate().Rate(), 100*res.SDCRate().Rate(), adaptiveSuffix(res)))
+		}
+		// The replayed round-1 prefix re-contains the same panics the
+		// round-1 record already released; only the extension window's
+		// are new.
+		for _, sf := range m.SimFaults {
+			if sf.Attempt < prior.Attempts {
+				continue
+			}
+			emit(cfg.Events, telemetry.Event{
+				Type:      telemetry.EventSimFault,
+				Benchmark: sf.Prog, Level: sf.Level.String(), Category: sf.Category.String(),
+				Attempt: sf.Attempt, AttemptSeed: sf.Seed, Sequential: sf.Sequential,
+				Panic: sf.Panic,
+			})
+		}
+		emit(cfg.Events, telemetry.Event{
+			Type:      telemetry.EventCellExtend,
+			Benchmark: s.prog.Name, Level: s.level.String(), Category: s.cat.String(),
+			DurationMS: telemetry.Ms(m.ScanTime + m.RunTime),
+			ScanMS:     telemetry.Ms(m.ScanTime),
+			Workers:    m.Workers,
+			Attempts:   res.Attempts - prior.Attempts,
+			Activated:  res.Activated() - prior.Activated(),
+			Benign:     res.Benign - prior.Benign, SDC: res.SDC - prior.SDC,
+			Crash: res.Crash - prior.Crash, Hang: res.Hang - prior.Hang,
+			NotActivated:      res.NotActivated - prior.NotActivated,
+			SimFaults:         res.SimFaults - prior.SimFaults,
+			AdaptiveTarget:    res.Adaptive.Target,
+			AdaptiveConverged: res.Adaptive.Converged,
+		})
+	}
+}
+
+// adaptiveCellRow is one row of the accuracy-vs-cost section.
+type adaptiveCellRow struct {
+	key CellKey
+	res *CellResult
+}
+
+// adaptiveRows collects the study's adaptive records in canonical
+// report order (benchmark, level, category).
+func (st *Study) adaptiveRows() []adaptiveCellRow {
+	var rows []adaptiveCellRow
+	for _, p := range st.Programs {
+		for _, level := range []fault.Level{fault.LevelIR, fault.LevelASM} {
+			for _, cat := range fault.Categories {
+				key := CellKey{Prog: p.Name, Level: level, Category: cat}
+				if res := st.Cells[key]; res != nil && res.Adaptive.Target > 0 {
+					rows = append(rows, adaptiveCellRow{key: key, res: res})
+				}
+			}
+		}
+	}
+	return rows
+}
+
+// RenderAdaptive renders the accuracy-vs-cost section of an adaptive
+// study: per-cell targets, achieved half-widths, and the budget ledger
+// against the fixed-n baseline. Returns "" for fixed-n studies, so
+// every existing render is byte-identical with the engine off.
+func (st *Study) RenderAdaptive() string {
+	if st.Adaptive == nil {
+		return ""
+	}
+	rows := st.adaptiveRows()
+	var b strings.Builder
+	fmt.Fprintf(&b, "Adaptive sampling (%s; baseline n=%d per cell):\n", st.Adaptive.Signature(), st.N)
+	if len(rows) == 0 {
+		fmt.Fprintf(&b, "  (no adaptive cells recorded)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  %-10s %-5s %-10s %7s %10s %9s %11s  %s\n",
+		"benchmark", "tool", "category", "target", "activated", "attempts", "half-width", "status")
+	var (
+		spent, attempts, saved, granted int
+		convergedCells, extendedCells   int
+	)
+	for _, row := range rows {
+		res := row.res
+		a := res.Adaptive
+		status := "at-target"
+		switch {
+		case a.Extended && a.Converged:
+			status = "extended+converged"
+		case a.Extended:
+			status = "extended"
+		case a.Converged:
+			status = "converged"
+		case res.Activated() < a.Target:
+			status = "budget-exhausted"
+		}
+		if a.Converged && !a.Extended {
+			convergedCells++
+			saved += st.N - res.Activated()
+		}
+		if a.Extended {
+			extendedCells++
+			granted += a.Target - st.N
+		}
+		spent += res.Activated()
+		attempts += res.Attempts
+		fmt.Fprintf(&b, "  %-10s %-5s %-10s %7d %10d %9d %11s  %s\n",
+			row.key.Prog, row.key.Level, row.key.Category,
+			a.Target, res.Activated(), res.Attempts,
+			strconv.FormatFloat(res.adaptiveCounts().MaxHalfWidth(), 'f', 4, 64), status)
+	}
+	baseline := st.N * len(rows)
+	savingsPct := 0.0
+	if baseline > 0 {
+		savingsPct = 100 * float64(baseline-spent) / float64(baseline)
+	}
+	fmt.Fprintf(&b, "  budget: activated %d of %d baseline (%.1f%% saved), %d attempts total\n",
+		spent, baseline, savingsPct, attempts)
+	fmt.Fprintf(&b, "  cells : %d converged early (saved %d), %d extended (+%d granted)\n",
+		convergedCells, saved, extendedCells, granted)
+	return b.String()
+}
+
+// AdaptiveJSON is the accuracy-vs-cost section of the -json render.
+type AdaptiveJSON struct {
+	Eps               float64            `json:"eps"`
+	MinN              int                `json:"min"`
+	Check             int                `json:"check"`
+	BaselineActivated int                `json:"baselineActivated"`
+	SpentActivated    int                `json:"spentActivated"`
+	SavedActivated    int                `json:"savedActivated"`
+	GrantedActivated  int                `json:"grantedActivated"`
+	SavingsPct        float64            `json:"savingsPct"`
+	Cells             []AdaptiveCellJSON `json:"cells"`
+}
+
+// AdaptiveCellJSON is one cell of the adaptive JSON section.
+type AdaptiveCellJSON struct {
+	Benchmark    string  `json:"benchmark"`
+	Tool         string  `json:"tool"`
+	Category     string  `json:"category"`
+	Target       int     `json:"target"`
+	Activated    int     `json:"activated"`
+	Attempts     int     `json:"attempts"`
+	Converged    bool    `json:"converged"`
+	Extended     bool    `json:"extended"`
+	MaxHalfWidth float64 `json:"maxHalfWidth"`
+}
+
+// adaptiveJSON builds the JSON section (nil for fixed-n studies, which
+// keeps fixed-n -json output byte-identical), scoped to the same
+// category set as the surrounding experiment's cells — the budget
+// totals then describe exactly the cells the JSON shows.
+func (st *Study) adaptiveJSON(cats []fault.Category) *AdaptiveJSON {
+	if st.Adaptive == nil {
+		return nil
+	}
+	inScope := make(map[fault.Category]bool, len(cats))
+	for _, c := range cats {
+		inScope[c] = true
+	}
+	rows := st.adaptiveRows()
+	out := &AdaptiveJSON{
+		Eps:   st.Adaptive.Eps,
+		MinN:  st.Adaptive.MinN,
+		Check: st.Adaptive.Check,
+		Cells: make([]AdaptiveCellJSON, 0, len(rows)),
+	}
+	for _, row := range rows {
+		if !inScope[row.key.Category] {
+			continue
+		}
+		res := row.res
+		a := res.Adaptive
+		out.BaselineActivated += st.N
+		out.SpentActivated += res.Activated()
+		if a.Converged && !a.Extended {
+			out.SavedActivated += st.N - res.Activated()
+		}
+		if a.Extended {
+			out.GrantedActivated += a.Target - st.N
+		}
+		out.Cells = append(out.Cells, AdaptiveCellJSON{
+			Benchmark: row.key.Prog, Tool: row.key.Level.String(), Category: row.key.Category.String(),
+			Target: a.Target, Activated: res.Activated(), Attempts: res.Attempts,
+			Converged: a.Converged, Extended: a.Extended,
+			MaxHalfWidth: res.adaptiveCounts().MaxHalfWidth(),
+		})
+	}
+	sort.Slice(out.Cells, func(i, j int) bool {
+		a, b := out.Cells[i], out.Cells[j]
+		if a.Benchmark != b.Benchmark {
+			return a.Benchmark < b.Benchmark
+		}
+		if a.Tool != b.Tool {
+			return a.Tool < b.Tool
+		}
+		return a.Category < b.Category
+	})
+	if out.BaselineActivated > 0 {
+		out.SavingsPct = 100 * float64(out.BaselineActivated-out.SpentActivated) / float64(out.BaselineActivated)
+	}
+	return out
+}

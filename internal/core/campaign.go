@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"hlfi/internal/adaptive"
 	"hlfi/internal/fault"
 	"hlfi/internal/llfi"
 	"hlfi/internal/obs"
@@ -75,6 +76,21 @@ type Campaign struct {
 	// injectors) replay accounting. Purely observational — attempts,
 	// outcomes, and random streams are identical with or without it.
 	Obs *obs.Metrics
+	// Adaptive, when non-nil, arms the group-sequential early-stopping
+	// rule: the cell ends as soon as every outcome-rate Wilson 95%
+	// half-width is <= Eps (at the configured cadence and minimum-n
+	// floor), even if fewer than N faults have activated. The decision
+	// is a pure function of the attempt-record prefix, so adaptive cells
+	// stay deterministic and relocatable across shards and fleet leases.
+	Adaptive *adaptive.Config
+	// AdaptiveBase, when positive and smaller than N, marks this run as
+	// a round-2 extension: N is the reallocated target, AdaptiveBase the
+	// study's round-1 budget. The run replays the identical attempt
+	// prefix (seeded streams are position-pure) and snapshots the
+	// round-1 counts when it crosses the boundary, so a resumed or
+	// merged study can recompute the same reallocation plan from the
+	// extended record alone.
+	AdaptiveBase int
 	// TraceAttempts, when positive, arms fault-propagation tracing for
 	// the first TraceAttempts attempts of the cell. Traced attempts are
 	// byte-identical to untraced ones (the tracer consumes no
@@ -169,6 +185,11 @@ type CellResult struct {
 	// DynCandidates is the dynamic injection-opportunity count for the
 	// cell (the rows of Table IV).
 	DynCandidates uint64
+
+	// Adaptive records how the early-stopping engine treated the cell
+	// (zero value for fixed-n runs). Value types only: CellResult must
+	// stay ==-comparable for the differential oracles.
+	Adaptive AdaptiveCell
 }
 
 // Activated is the number of runs counted in the outcome percentages.
@@ -307,6 +328,7 @@ func (c *Campaign) Run() (*CellResult, error) {
 	maxAttempts := c.N * maxFactor
 	streams := sequentialStreams(c.Seed)
 	res := &CellResult{Prog: c.Prog.Name, Level: c.Level, Category: c.Category}
+	ad := c.adaptiveState(res, maxFactor)
 
 	scanStart := time.Now()
 	draw, dyn, err := c.injector()
@@ -338,6 +360,9 @@ func (c *Campaign) Run() (*CellResult, error) {
 				c.noteMetrics(scan, time.Since(loopStart), 1, faults, traces)
 				return nil, &SimFaultError{Fault: *sf, Limit: c.SimFaultLimit}
 			}
+			if ad.note(res) {
+				break
+			}
 			continue
 		}
 		if len(ar.spans) > 0 {
@@ -350,6 +375,9 @@ func (c *Campaign) Run() (*CellResult, error) {
 			}
 		}
 		res.add(ar.outcome)
+		if ad.note(res) {
+			break
+		}
 	}
 	c.noteMetrics(scan, time.Since(loopStart), 1, faults, traces)
 	if res.Activated() == 0 {

@@ -85,6 +85,13 @@ type checkpointLine struct {
 	Replay   string `json:"replay,omitempty"`
 	Compiled string `json:"compiled,omitempty"`
 	Shard    string `json:"shard,omitempty"`
+	// Adaptive records the early-stopping configuration the study ran
+	// under (adaptive.Config.Signature: "off" or "eps=…,min=…,check=…").
+	// Unlike replay/compiled it DOES change results — adaptive records
+	// carry per-cell stop points no fixed-n run produces — so mixing
+	// configs across resume or merge is refused like any other shape
+	// mismatch. Pre-adaptive files carry no field and load as "off".
+	Adaptive string `json:"adaptive,omitempty"`
 
 	// Cell identity (types "cell" and "skip").
 	Benchmark string `json:"benchmark,omitempty"`
@@ -110,6 +117,27 @@ type checkpointResult struct {
 	Attempts      int    `json:"attempts"`
 	SimFaults     int    `json:"simFaults,omitempty"`
 	DynCandidates uint64 `json:"dynCandidates"`
+
+	// Adaptive-sampling fields (absent on fixed-n records). Target is
+	// the activated target the record ran under; Round1 snapshots the
+	// counts at the round-1 boundary of an extended record, so any
+	// process resuming from the checkpoint recomputes the identical
+	// reallocation plan without re-running the cell.
+	Target    int               `json:"target,omitempty"`
+	Converged bool              `json:"converged,omitempty"`
+	Round1    *checkpointRound1 `json:"round1,omitempty"`
+}
+
+// checkpointRound1 is the persisted round-1 boundary snapshot of an
+// extended cell record.
+type checkpointRound1 struct {
+	Benign       int `json:"benign"`
+	SDC          int `json:"sdc"`
+	Crash        int `json:"crash"`
+	Hang         int `json:"hang"`
+	NotActivated int `json:"notActivated"`
+	Attempts     int `json:"attempts"`
+	SimFaults    int `json:"simFaults,omitempty"`
 }
 
 // CheckpointSkip records one cell skipped for a soft reason.
@@ -137,6 +165,7 @@ type CheckpointShape struct {
 	Seed     int64
 	Replay   string
 	Compiled string // CompiledConfig.Signature ("off" or "on")
+	Adaptive string // adaptive.Config.Signature ("off" or "eps=…,min=…,check=…")
 	Shard    string // "i/N", or "" for an unsharded study
 }
 
@@ -170,6 +199,10 @@ func LoadCheckpointShape(path string, shape CheckpointShape) (*CheckpointState, 
 	if got := normalizeCompiled(hdr.Compiled); got != normalizeCompiled(shape.Compiled) {
 		return nil, fmt.Errorf("checkpoint %s was written with compiled engines %q; refusing to resume with compiled engines %q (match the original -compiled/-no-compiled flag, or start a fresh checkpoint)",
 			path, got, normalizeCompiled(shape.Compiled))
+	}
+	if got := normalizeAdaptive(hdr.Adaptive); got != normalizeAdaptive(shape.Adaptive) {
+		return nil, fmt.Errorf("checkpoint %s was written with adaptive sampling %q; refusing to resume with adaptive sampling %q (adaptive stop points change results — match the original -adaptive flag, or start a fresh checkpoint)",
+			path, got, normalizeAdaptive(shape.Adaptive))
 	}
 	if hdr.Shard != shape.Shard {
 		switch {
@@ -229,7 +262,7 @@ func readCheckpoint(path string) (*CheckpointState, CheckpointShape, error) {
 					path, line.Version, checkpointVersion)
 			}
 			hdr = CheckpointShape{N: line.N, Seed: line.Seed, Replay: line.Replay,
-				Compiled: line.Compiled, Shard: line.Shard}
+				Compiled: line.Compiled, Adaptive: line.Adaptive, Shard: line.Shard}
 			st.N, st.Seed, st.Shard = line.N, line.Seed, line.Shard
 			sawHeader = true
 		case "cell":
@@ -241,12 +274,26 @@ func readCheckpoint(path string) (*CheckpointState, CheckpointShape, error) {
 				return nil, hdr, fmt.Errorf("checkpoint %s:%d: cell line without result", path, lineNo+1)
 			}
 			r := line.Result
-			st.Cells[key] = &CellResult{
+			res := &CellResult{
 				Prog: key.Prog, Level: key.Level, Category: key.Category,
 				Benign: r.Benign, SDC: r.SDC, Crash: r.Crash, Hang: r.Hang,
 				NotActivated: r.NotActivated, Attempts: r.Attempts,
 				SimFaults: r.SimFaults, DynCandidates: r.DynCandidates,
 			}
+			if r.Target > 0 {
+				res.Adaptive.Target = r.Target
+				res.Adaptive.Converged = r.Converged
+				if r.Round1 != nil {
+					res.Adaptive.Extended = true
+					res.Adaptive.Round1 = AdaptiveCounts{
+						Benign: r.Round1.Benign, SDC: r.Round1.SDC,
+						Crash: r.Round1.Crash, Hang: r.Round1.Hang,
+						NotActivated: r.Round1.NotActivated,
+						Attempts:     r.Round1.Attempts, SimFaults: r.Round1.SimFaults,
+					}
+				}
+			}
+			st.Cells[key] = res
 			delete(st.Skips, key)
 		case "skip":
 			key, err := line.key()
@@ -320,7 +367,8 @@ func NewCheckpointWriterShape(path string, shape CheckpointShape) (*CheckpointWr
 	w := &CheckpointWriter{path: path, f: f, enc: json.NewEncoder(f)}
 	if err := w.append(checkpointLine{Type: "study", Version: checkpointVersion,
 		N: shape.N, Seed: shape.Seed, Replay: normalizeReplay(shape.Replay),
-		Compiled: normalizeCompiled(shape.Compiled), Shard: shape.Shard}); err != nil {
+		Compiled: normalizeCompiled(shape.Compiled),
+		Adaptive: normalizeAdaptive(shape.Adaptive), Shard: shape.Shard}); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -340,6 +388,16 @@ func normalizeReplay(sig string) string {
 // headers written before the compiled engines existed carry no field and
 // load as "off".
 func normalizeCompiled(sig string) string {
+	if sig == "" {
+		return "off"
+	}
+	return sig
+}
+
+// normalizeAdaptive does the same for the adaptive-sampling signature:
+// headers written before the early-stopping engine existed carry no
+// field and load as "off".
+func normalizeAdaptive(sig string) string {
 	if sig == "" {
 		return "off"
 	}
@@ -381,16 +439,29 @@ func (w *CheckpointWriter) Cell(key CellKey, res *CellResult) error {
 	if w == nil {
 		return nil
 	}
+	cr := &checkpointResult{
+		Benign: res.Benign, SDC: res.SDC, Crash: res.Crash, Hang: res.Hang,
+		NotActivated: res.NotActivated, Attempts: res.Attempts,
+		SimFaults: res.SimFaults, DynCandidates: res.DynCandidates,
+	}
+	if a := res.Adaptive; a.Target > 0 {
+		cr.Target = a.Target
+		cr.Converged = a.Converged
+		if a.Extended {
+			cr.Round1 = &checkpointRound1{
+				Benign: a.Round1.Benign, SDC: a.Round1.SDC,
+				Crash: a.Round1.Crash, Hang: a.Round1.Hang,
+				NotActivated: a.Round1.NotActivated,
+				Attempts:     a.Round1.Attempts, SimFaults: a.Round1.SimFaults,
+			}
+		}
+	}
 	return w.append(checkpointLine{
 		Type:      "cell",
 		Benchmark: key.Prog,
 		Level:     key.Level.String(),
 		Category:  key.Category.String(),
-		Result: &checkpointResult{
-			Benign: res.Benign, SDC: res.SDC, Crash: res.Crash, Hang: res.Hang,
-			NotActivated: res.NotActivated, Attempts: res.Attempts,
-			SimFaults: res.SimFaults, DynCandidates: res.DynCandidates,
-		},
+		Result:    cr,
 	})
 }
 

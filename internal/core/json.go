@@ -18,6 +18,9 @@ type StudyJSON struct {
 	N          int        `json:"n"`
 	Seed       int64      `json:"seed"`
 	Cells      []CellJSON `json:"cells"`
+	// Adaptive is the accuracy-vs-cost section of an adaptive study
+	// (absent for fixed-n studies, keeping their JSON byte-identical).
+	Adaptive *AdaptiveJSON `json:"adaptive,omitempty"`
 }
 
 // CellJSON serializes one campaign cell.
@@ -59,7 +62,7 @@ func (st *Study) WriteExperimentJSON(w io.Writer, experiment string) error {
 	default:
 		return fmt.Errorf("experiment %q has no JSON form (want fig3|fig4|table5|all)", experiment)
 	}
-	out := StudyJSON{Experiment: experiment, N: st.N, Seed: st.Seed}
+	out := StudyJSON{Experiment: experiment, N: st.N, Seed: st.Seed, Adaptive: st.adaptiveJSON(cats)}
 	for _, p := range st.Programs {
 		for _, level := range []fault.Level{fault.LevelIR, fault.LevelASM} {
 			for _, cat := range cats {

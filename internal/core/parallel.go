@@ -37,6 +37,7 @@ func (c *Campaign) RunParallel(workers int) (*CellResult, error) {
 	scan := time.Since(scanStart)
 
 	res := &CellResult{Prog: c.Prog.Name, Level: c.Level, Category: c.Category, DynCandidates: dyn}
+	ad := c.adaptiveState(res, maxFactor)
 	// Each goroutine writes only its own index, so attempt results (and
 	// the traces riding inside them) need no locking; the counting loop
 	// reads them after wg.Wait.
@@ -59,7 +60,8 @@ func (c *Campaign) RunParallel(workers int) (*CellResult, error) {
 	loopStart := time.Now()
 	next := 0
 	counted := 0
-	for res.Activated() < c.N && counted < maxAttempts {
+	stopped := false
+	for !stopped && res.Activated() < c.N && counted < maxAttempts {
 		if c.deadlineExceeded(loopStart) {
 			c.noteMetrics(scan, time.Since(loopStart), workers, faults, traces)
 			return nil, c.deadlineError(res, time.Since(loopStart))
@@ -96,7 +98,11 @@ func (c *Campaign) RunParallel(workers int) (*CellResult, error) {
 		}
 		wg.Wait()
 		next = hi
-		for counted < next && res.Activated() < c.N {
+		// Attempts computed past an adaptive stop are discarded unseen,
+		// exactly like over-drawn attempts past the activation target: the
+		// counted prefix — and with it the stopping decision — is identical
+		// to the sequential per-attempt discipline's.
+		for !stopped && counted < next && res.Activated() < c.N {
 			k := counted
 			res.Attempts++
 			counted++
@@ -108,6 +114,7 @@ func (c *Campaign) RunParallel(workers int) (*CellResult, error) {
 					c.noteMetrics(scan, time.Since(loopStart), workers, faults, traces)
 					return nil, &SimFaultError{Fault: sf, Limit: c.SimFaultLimit}
 				}
+				stopped = ad.note(res)
 				continue
 			}
 			// Only counted attempts contribute traces, in attempt order, so
@@ -123,6 +130,7 @@ func (c *Campaign) RunParallel(workers int) (*CellResult, error) {
 				}
 			}
 			res.add(outcomes[k].outcome)
+			stopped = ad.note(res)
 		}
 	}
 	c.noteMetrics(scan, time.Since(loopStart), workers, faults, traces)

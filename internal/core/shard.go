@@ -199,7 +199,8 @@ func MergeShardCheckpoints(paths []string) (*MergedShards, error) {
 			reference = path
 			merged.Count = spec.Count
 			merged.Shape = CheckpointShape{N: hdr.N, Seed: hdr.Seed,
-				Replay: normalizeReplay(hdr.Replay), Compiled: normalizeCompiled(hdr.Compiled)}
+				Replay: normalizeReplay(hdr.Replay), Compiled: normalizeCompiled(hdr.Compiled),
+				Adaptive: normalizeAdaptive(hdr.Adaptive)}
 			merged.Files = make([]string, spec.Count)
 		}
 		if err := checkHeader(path, reference, hdr, spec, merged); err != nil {
@@ -245,6 +246,9 @@ func checkHeader(path, reference string, hdr CheckpointShape, spec ShardSpec, me
 	}
 	if got := normalizeCompiled(hdr.Compiled); got != merged.Shape.Compiled {
 		return mismatch("compiled", merged.Shape.Compiled, got)
+	}
+	if got := normalizeAdaptive(hdr.Adaptive); got != merged.Shape.Adaptive {
+		return mismatch("adaptive", merged.Shape.Adaptive, got)
 	}
 	if spec.Count != merged.Count {
 		return mismatch("shard-count", strconv.Itoa(merged.Count), strconv.Itoa(spec.Count))

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"hlfi/internal/adaptive"
 	"hlfi/internal/fault"
 	"hlfi/internal/llfi"
 	"hlfi/internal/obs"
@@ -29,6 +30,10 @@ type Study struct {
 	Programs []*Program
 	N        int
 	Seed     int64
+
+	// Adaptive is the early-stopping config the study ran under (nil for
+	// fixed-n studies); it gates the accuracy-vs-cost render sections.
+	Adaptive *adaptive.Config
 
 	Cells map[CellKey]*CellResult
 	// Dyn holds dynamic candidate counts (Table IV), including cells
@@ -102,6 +107,16 @@ type StudyConfig struct {
 	// attempt is released as an attempt_trace telemetry event. Tracing
 	// never changes outcomes or random streams.
 	TraceAttempts int
+	// Adaptive, when non-nil, arms the early-stopping engine: round 1
+	// runs every cell under the group-sequential stopping rule, then the
+	// activation budget saved by early-stopped cells is reallocated to
+	// the widest unconverged cells and those are extended in a round 2.
+	// Both rounds are pure functions of (seed, programs, N, adaptive
+	// config): resumed, sharded, merged, and fleet-run adaptive studies
+	// are byte-identical to the single-process run. Shard workers run
+	// round 1 only (a shard cannot see the full round-1 state); the
+	// -merge render computes the plan and runs the extensions.
+	Adaptive *adaptive.Config
 	// Shard, when non-nil, restricts the study to the canonical cells
 	// this shard owns (index%Count == Index), preserving canonical order
 	// within the subset. Because every cell derives its seed via
@@ -198,6 +213,7 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 		Programs: cfg.Programs,
 		N:        cfg.N,
 		Seed:     cfg.Seed,
+		Adaptive: cfg.Adaptive,
 		Cells:    make(map[CellKey]*CellResult),
 		Dyn:      make(map[CellKey]uint64),
 	}
@@ -318,6 +334,8 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 				Compiled:      cfg.Compiled,
 				Obs:           cfg.Obs,
 				TraceAttempts: cfg.TraceAttempts,
+				Adaptive:      cfg.Adaptive,
+				AdaptiveBase:  cfg.N,
 			}
 			if testCampaignHook != nil {
 				testCampaignHook(c)
@@ -400,6 +418,36 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 		return st, fmt.Errorf("%w: %v", ErrAborted, err)
 	}
 
+	// Round 2: stratified reallocation of the activation budget saved by
+	// early-stopped cells. Only a process that can see the complete
+	// round-1 state computes the plan — never a shard worker; the -merge
+	// render (or the fleet coordinator) does it over the full cell set.
+	if cfg.Adaptive != nil && cfg.Shard == nil {
+		if hard, aerr := runAdaptiveRound2(ctx, cfg, specs, results, parallel, perCell); hard != nil {
+			return nil, hard
+		} else if aerr != nil {
+			// Cancelled mid-extension: same flush-and-announce path as a
+			// round-1 abort; the partial study keeps every round-1 record
+			// plus any extensions that finished.
+			attempts, activated := harvest(st, specs, results)
+			_ = telemetry.Flush(cfg.Events)
+			ev := telemetry.Event{
+				Type:       telemetry.EventStudyAbort,
+				Cells:      len(st.Cells),
+				Attempts:   attempts,
+				Activated:  activated,
+				DurationMS: telemetry.Ms(time.Since(start)),
+				Err:        aerr.Error(),
+			}
+			if cfg.Replay != nil {
+				ev.ReplayFields(cfg.Replay.Stats)
+			}
+			emit(cfg.Events, ev)
+			_ = telemetry.Flush(cfg.Events)
+			return st, fmt.Errorf("%w: %v", ErrAborted, aerr)
+		}
+	}
+
 	attempts, activated := harvest(st, specs, results)
 	ev := telemetry.Event{
 		Type:       telemetry.EventStudyDone,
@@ -447,9 +495,9 @@ func noteCell(cfg StudyConfig, s cellSpec, res *CellResult, m CellMetrics, err e
 	switch {
 	case res != nil && resumed:
 		if cfg.Progress != nil {
-			cfg.Progress(fmt.Sprintf("%-10s %-5s %-10s activated=%d crash=%.1f%% sdc=%.1f%% (resumed from checkpoint)",
+			cfg.Progress(fmt.Sprintf("%-10s %-5s %-10s activated=%d crash=%.1f%% sdc=%.1f%% (resumed from checkpoint)%s",
 				s.prog.Name, s.level, s.cat, res.Activated(),
-				100*res.CrashRate().Rate(), 100*res.SDCRate().Rate()))
+				100*res.CrashRate().Rate(), 100*res.SDCRate().Rate(), adaptiveSuffix(res)))
 		}
 		emit(cfg.Events, telemetry.Event{
 			Type:      telemetry.EventCellResume,
@@ -460,9 +508,9 @@ func noteCell(cfg StudyConfig, s cellSpec, res *CellResult, m CellMetrics, err e
 		})
 	case res != nil:
 		if cfg.Progress != nil {
-			cfg.Progress(fmt.Sprintf("%-10s %-5s %-10s activated=%d crash=%.1f%% sdc=%.1f%%",
+			cfg.Progress(fmt.Sprintf("%-10s %-5s %-10s activated=%d crash=%.1f%% sdc=%.1f%%%s",
 				s.prog.Name, s.level, s.cat, res.Activated(),
-				100*res.CrashRate().Rate(), 100*res.SDCRate().Rate()))
+				100*res.CrashRate().Rate(), 100*res.SDCRate().Rate(), adaptiveSuffix(res)))
 		}
 		rate := 0.0
 		if res.Attempts > 0 {
@@ -496,6 +544,8 @@ func noteCell(cfg StudyConfig, s cellSpec, res *CellResult, m CellMetrics, err e
 			Attempts:   res.Attempts, Activated: res.Activated(), ActivationRate: rate,
 			Benign: res.Benign, SDC: res.SDC, Crash: res.Crash, Hang: res.Hang,
 			NotActivated: res.NotActivated, SimFaults: res.SimFaults,
+			AdaptiveTarget:    res.Adaptive.Target,
+			AdaptiveConverged: res.Adaptive.Converged,
 		})
 	case rskip != nil:
 		kind := rskip.Kind

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"hlfi/internal/adaptive"
 	"hlfi/internal/core"
 	"hlfi/internal/fault"
 	"hlfi/internal/telemetry"
@@ -55,6 +56,14 @@ type Config struct {
 	// scheduling only — determinism of results never depends on it.
 	JitterSeed int64
 
+	// Adaptive, when non-nil, arms adaptive sampling: workers stop cells
+	// early once converged, and when every cell has its round-1 record
+	// the coordinator computes the reallocation plan (a pure function of
+	// the round-1 records in canonical order — identical to the
+	// single-process plan) and reopens the widest cells as extension
+	// leases before declaring the study done.
+	Adaptive *adaptive.Config
+
 	// Checkpoint, when non-nil, receives every resolved cell as a
 	// durable checkpoint record, making the coordinator's assembled
 	// state a real checkpoint file: the render path loads it back
@@ -95,6 +104,13 @@ type cellState struct {
 	lease      uint64    // live lease ID while leased
 	result     *core.CellResult
 	skip       *core.CheckpointSkip
+	// target is the activation target the next lease carries (the study
+	// baseline, raised by the adaptive plan for extension leases).
+	target int
+	// prior keeps the round-1 result while an extension lease is in
+	// flight: an extension whose retry budget runs out degrades back to
+	// it instead of losing the cell.
+	prior *core.CellResult
 }
 
 // leaseInfo is one live lease.
@@ -121,6 +137,7 @@ type Coordinator struct {
 	workers   map[string]time.Time // last contact
 	rng       *rand.Rand
 	ckptLost  bool
+	planDone  bool // adaptive reallocation plan already applied
 
 	done      chan struct{} // closed once every cell is resolved
 	stop      chan struct{}
@@ -179,10 +196,15 @@ func New(cfg Config) (*Coordinator, error) {
 		stop:    make(chan struct{}),
 	}
 	for _, key := range keys {
-		cs := &cellState{key: key, seed: core.CellSeed(cfg.Seed, key)}
+		cs := &cellState{key: key, seed: core.CellSeed(cfg.Seed, key), target: cfg.N}
 		if cfg.Resume != nil {
 			if res, ok := cfg.Resume.Cells[key]; ok {
 				cs.status, cs.result = cellDone, res
+				if res.Adaptive.Target > 0 {
+					// An adaptive record pins the target it actually ran to
+					// (the baseline, or an extension target from the plan).
+					cs.target = res.Adaptive.Target
+				}
 				c.resolved++
 			} else if skip, ok := cfg.Resume.Skips[key]; ok {
 				skip := skip
@@ -198,10 +220,7 @@ func New(cfg Config) (*Coordinator, error) {
 		c.byKey[key] = cs
 	}
 	c.cfg.Metrics.QueueDepth.Set(int64(len(c.cells) - c.resolved))
-	if c.resolved == len(c.cells) {
-		c.cfg.Metrics.StudyDone.Set(1)
-		close(c.done)
-	}
+	c.maybeFinishLocked()
 	return c, nil
 }
 
@@ -280,18 +299,23 @@ func (c *Coordinator) grantLocked(worker string, now time.Time) *Lease {
 		c.emit(telemetry.Event{Type: telemetry.EventFleetLease,
 			Benchmark: cs.key.Prog, Level: cs.key.Level.String(), Category: cs.key.Category.String(),
 			Worker: worker, Lease: id, Retries: cs.grants - 1})
-		return &Lease{
+		lease := &Lease{
 			ID:             id,
 			Benchmark:      cs.key.Prog,
 			Level:          cs.key.Level.String(),
 			Category:       cs.key.Category.String(),
-			N:              c.cfg.N,
+			N:              cs.target,
 			Seed:           cs.seed,
 			SimFaultLimit:  c.cfg.SimFaultLimit,
 			CellDeadlineMS: c.cfg.CellDeadline.Milliseconds(),
 			TTLMS:          c.cfg.LeaseTTL.Milliseconds(),
 			Grant:          cs.grants,
 		}
+		if c.cfg.Adaptive != nil {
+			lease.Adaptive = c.cfg.Adaptive.Signature()
+			lease.AdaptiveBase = c.cfg.N
+		}
+		return lease
 	}
 	return nil
 }
@@ -314,6 +338,21 @@ func (c *Coordinator) updateQueueDepthLocked() {
 func (c *Coordinator) requeueLocked(cs *cellState, now time.Time, kind, reason string) {
 	cs.lease = 0
 	if cs.grants > c.cfg.MaxRetries {
+		if cs.prior != nil {
+			// A failed extension degrades back to its round-1 record (the
+			// checkpoint's last record for the key already is that record),
+			// mirroring the single-process soft-skip path: the study keeps
+			// the narrower cell instead of losing it.
+			cs.result, cs.status, cs.prior = cs.prior, cellDone, nil
+			c.cfg.Metrics.CellsDegraded.Inc()
+			c.logf("fleet: extension of cell %s/%s/%s abandoned after %d grants (%s: %s); keeping round-1 record",
+				cs.key.Prog, cs.key.Level, cs.key.Category, cs.grants, kind, reason)
+			c.emit(telemetry.Event{Type: telemetry.EventCellExtend,
+				Benchmark: cs.key.Prog, Level: cs.key.Level.String(), Category: cs.key.Category.String(),
+				Retries: cs.grants - 1, Err: reason})
+			c.resolveLocked()
+			return
+		}
 		// 1+MaxRetries grants all came to nothing: degrade the cell to a
 		// typed skip record, the fleet analogue of the cell_deadline
 		// path, so the study converges instead of retrying forever.
@@ -353,10 +392,76 @@ func (c *Coordinator) requeueLocked(cs *cellState, now time.Time, kind, reason s
 func (c *Coordinator) resolveLocked() {
 	c.resolved++
 	c.updateQueueDepthLocked()
-	if c.resolved == len(c.cells) {
-		c.cfg.Metrics.StudyDone.Set(1)
-		close(c.done)
+	c.maybeFinishLocked()
+}
+
+// maybeFinishLocked closes Done once every cell is resolved — unless an
+// adaptive study still owes its reallocation round, in which case the
+// plan is applied first and the study finishes only when the reopened
+// extension cells resolve too (mutex held).
+func (c *Coordinator) maybeFinishLocked() {
+	if c.resolved != len(c.cells) {
+		return
 	}
+	if c.cfg.Adaptive != nil && !c.planDone {
+		c.planDone = true
+		if c.applyAdaptivePlanLocked() {
+			return
+		}
+	}
+	c.cfg.Metrics.StudyDone.Set(1)
+	close(c.done)
+}
+
+// applyAdaptivePlanLocked computes the budget-reallocation plan from the
+// round-1 records — the identical pure function of the identical inputs
+// the single-process study evaluates, in the same canonical cell order —
+// and reopens each granted cell as a pending extension with its raised
+// target. Cells whose resumed record already carries the extension
+// target (a restarted coordinator replanning) stay resolved. Reports
+// whether any cell was reopened (mutex held).
+func (c *Coordinator) applyAdaptivePlanLocked() bool {
+	base := c.cfg.N
+	states := make([]adaptive.CellState, len(c.cells))
+	for i, cs := range c.cells {
+		if cs.result == nil {
+			continue // skipped or degraded: not part of the plan
+		}
+		counts, converged := cs.result.Round1State()
+		states[i] = adaptive.CellState{Counts: counts, Converged: converged, Present: true}
+	}
+	plan := c.cfg.Adaptive.Reallocate(base, states)
+	convergedCells := 0
+	for _, s := range states {
+		if s.Present && s.Converged {
+			convergedCells++
+		}
+	}
+	reopened := 0
+	for i, g := range plan.Grants {
+		cs := c.cells[i]
+		if g <= 0 || cs.result == nil {
+			continue
+		}
+		target := base + g
+		if cs.result.Adaptive.Target == target {
+			continue // resumed record already extended to this target
+		}
+		cs.target, cs.prior, cs.result = target, cs.result, nil
+		cs.status, cs.grants, cs.lease = cellPending, 0, 0
+		cs.eligibleAt = time.Time{}
+		c.resolved--
+		reopened++
+	}
+	c.cfg.Metrics.AdaptiveExtensions.Add(uint64(reopened))
+	c.updateQueueDepthLocked()
+	c.logf("fleet: adaptive plan: %d activations saved by early-stopped cells; %d cell(s) reopened as extensions (+%d granted, %d leftover)",
+		plan.Saved, reopened, plan.Granted, plan.Leftover)
+	c.emit(telemetry.Event{Type: telemetry.EventAdaptivePlan,
+		AdaptiveSaved: plan.Saved, AdaptiveGranted: plan.Granted,
+		AdaptiveLeftover: plan.Leftover, AdaptiveConvergedCells: convergedCells,
+		AdaptiveExtendedCells: reopened})
+	return reopened > 0
 }
 
 // appendCheckpointSkipLocked records a degraded-cell skip in the
@@ -476,13 +581,35 @@ func (c *Coordinator) complete(req CompleteRequest, now time.Time) (CompleteResp
 		c.requeueLocked(cs, now, "worker failure", fmt.Sprintf("worker %s: %s", req.Worker, req.Failure))
 		return CompleteResponse{OK: true}, nil
 	case req.Result != nil:
-		dropCellLease()
 		r := req.Result
+		if c.cfg.Adaptive != nil && r.Target != cs.target {
+			// A stale round-1 completion racing the reallocation plan: the
+			// cell was reopened with a raised target, so this result is for
+			// work the plan superseded. Drop it like any duplicate —
+			// determinism makes the extension's round-1 prefix identical.
+			c.cfg.Metrics.Duplicates.Inc()
+			c.emit(telemetry.Event{Type: telemetry.EventFleetDuplicate,
+				Benchmark: key.Prog, Level: req.Level, Category: req.Category,
+				Worker: req.Worker, Lease: req.Lease})
+			c.logf("fleet: completion for %s/%s/%s at superseded target %d dropped (cell now targets %d)",
+				key.Prog, req.Level, req.Category, r.Target, cs.target)
+			return CompleteResponse{OK: true, Duplicate: true}, nil
+		}
+		dropCellLease()
 		res := &core.CellResult{
 			Prog: key.Prog, Level: key.Level, Category: key.Category,
 			Benign: r.Benign, SDC: r.SDC, Crash: r.Crash, Hang: r.Hang,
 			NotActivated: r.NotActivated, Attempts: r.Attempts,
 			SimFaults: r.SimFaults, DynCandidates: r.DynCandidates,
+		}
+		res.Adaptive.Target, res.Adaptive.Converged = r.Target, r.Converged
+		if r.Round1 != nil {
+			res.Adaptive.Extended = true
+			res.Adaptive.Round1 = core.AdaptiveCounts{
+				Benign: r.Round1.Benign, SDC: r.Round1.SDC, Crash: r.Round1.Crash,
+				Hang: r.Round1.Hang, NotActivated: r.Round1.NotActivated,
+				Attempts: r.Round1.Attempts, SimFaults: r.Round1.SimFaults,
+			}
 		}
 		// Durability first: a failed checkpoint append fails the lease
 		// (satellite of the fail-stop writer), the sticky writer is
@@ -495,7 +622,7 @@ func (c *Coordinator) complete(req CompleteRequest, now time.Time) (CompleteResp
 				return CompleteResponse{OK: false}, nil
 			}
 		}
-		cs.result, cs.status, cs.lease = res, cellDone, 0
+		cs.result, cs.status, cs.lease, cs.prior = res, cellDone, 0, nil
 		c.cfg.Metrics.CellsDone.Inc()
 		c.resolveLocked()
 		return CompleteResponse{OK: true}, nil

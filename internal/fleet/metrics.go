@@ -27,6 +27,10 @@ type Metrics struct {
 	CellsSkipped  *obs.Counter
 	CellsDegraded *obs.Counter
 
+	// AdaptiveExtensions counts cells the adaptive reallocation plan
+	// reopened as extension leases.
+	AdaptiveExtensions *obs.Counter
+
 	// QueueDepth is the number of unleased, unresolved cells;
 	// ActiveLeases the leases currently live; WorkersLive the workers
 	// seen (lease, heartbeat, or completion) within the liveness
@@ -60,6 +64,8 @@ func NewMetrics() *Metrics {
 			"Cells resolved with a worker-reported soft skip."),
 		CellsDegraded: reg.Counter("hlfi_fleet_cells_degraded_total",
 			"Cells degraded to a fleet-failed skip after exhausting their retry budget."),
+		AdaptiveExtensions: reg.Counter("hlfi_fleet_adaptive_extensions_total",
+			"Cells the adaptive reallocation plan reopened as extension leases."),
 		QueueDepth: reg.Gauge("hlfi_fleet_queue_depth",
 			"Unresolved cells not currently leased."),
 		ActiveLeases: reg.Gauge("hlfi_fleet_active_leases",

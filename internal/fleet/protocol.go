@@ -65,6 +65,15 @@ type Lease struct {
 	SimFaultLimit  int   `json:"simFaultLimit,omitempty"`
 	CellDeadlineMS int64 `json:"cellDeadlineMs,omitempty"`
 
+	// Adaptive, when non-empty, is the study's adaptive-sampling
+	// signature (adaptive.Config.Signature); the worker arms the same
+	// early-stopping rule so its records match the single-process run.
+	// AdaptiveBase carries the round-1 baseline for extension leases
+	// (N > AdaptiveBase): the worker re-runs the cell to the extended
+	// target, capturing the round-1 snapshot at the baseline crossing.
+	Adaptive     string `json:"adaptive,omitempty"`
+	AdaptiveBase int    `json:"adaptiveBase,omitempty"`
+
 	// TTLMS is the lease deadline interval: the worker must heartbeat
 	// (or complete) within this long or the coordinator expires the
 	// lease and requeues the cell.
@@ -112,6 +121,26 @@ type Result struct {
 	Attempts      int    `json:"attempts"`
 	SimFaults     int    `json:"simFaults,omitempty"`
 	DynCandidates uint64 `json:"dynCandidates"`
+
+	// Adaptive-sampling payload, mirroring the checkpoint cell record:
+	// Target is the activation target the cell ran to, Converged marks
+	// an early stop, and Round1 carries the baseline-crossing snapshot
+	// of an extension (the coordinator replans from it after a restart).
+	Target    int           `json:"target,omitempty"`
+	Converged bool          `json:"converged,omitempty"`
+	Round1    *ResultRound1 `json:"round1,omitempty"`
+}
+
+// ResultRound1 is the round-1 snapshot of an extended cell (the counts
+// at the moment the attempt stream crossed the study baseline).
+type ResultRound1 struct {
+	Benign       int `json:"benign"`
+	SDC          int `json:"sdc"`
+	Crash        int `json:"crash"`
+	Hang         int `json:"hang"`
+	NotActivated int `json:"notActivated"`
+	Attempts     int `json:"attempts"`
+	SimFaults    int `json:"simFaults,omitempty"`
 }
 
 // Skip reports a cell soft-skipped for the same reasons the local study

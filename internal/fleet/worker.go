@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"hlfi/internal/adaptive"
 	"hlfi/internal/bench"
 	"hlfi/internal/core"
 	"hlfi/internal/fault"
@@ -130,6 +131,15 @@ func executeLease(ctx context.Context, cfg WorkerConfig, w *workerState, lease *
 			Benign: res.Benign, SDC: res.SDC, Crash: res.Crash, Hang: res.Hang,
 			NotActivated: res.NotActivated, Attempts: res.Attempts,
 			SimFaults: res.SimFaults, DynCandidates: res.DynCandidates,
+			Target: res.Adaptive.Target, Converged: res.Adaptive.Converged,
+		}
+		if res.Adaptive.Extended {
+			r1 := res.Adaptive.Round1
+			req.Result.Round1 = &ResultRound1{
+				Benign: r1.Benign, SDC: r1.SDC, Crash: r1.Crash, Hang: r1.Hang,
+				NotActivated: r1.NotActivated, Attempts: r1.Attempts,
+				SimFaults: r1.SimFaults,
+			}
 		}
 	case core.IsSoftSkip(runErr):
 		req.Skip = &Skip{Kind: core.SkipKindOf(runErr), Err: runErr.Error()}
@@ -208,6 +218,10 @@ func runLeasedCell(ctx context.Context, cfg WorkerConfig, w *workerState, lease 
 	}()
 	defer func() { close(hbStop); <-hbDone }()
 
+	adaptCfg, err := adaptive.ParseSignature(lease.Adaptive)
+	if err != nil {
+		return nil, fmt.Errorf("lease %d: bad adaptive signature %q: %w", lease.ID, lease.Adaptive, err)
+	}
 	c := &core.Campaign{
 		Prog:          prog,
 		Level:         level,
@@ -217,6 +231,8 @@ func runLeasedCell(ctx context.Context, cfg WorkerConfig, w *workerState, lease 
 		SimFaultLimit: lease.SimFaultLimit,
 		Deadline:      time.Duration(lease.CellDeadlineMS) * time.Millisecond,
 		Compiled:      w.compiled,
+		Adaptive:      adaptCfg,
+		AdaptiveBase:  lease.AdaptiveBase,
 	}
 	return c.Run()
 }

@@ -64,6 +64,13 @@ type Metrics struct {
 	TraceAttempts *Counter
 	TraceSpans    *Counter
 
+	// Adaptive-sampling accounting (updated when the round-2
+	// reallocation plan is computed).
+	AdaptiveConverged *Counter
+	AdaptiveExtended  *Counter
+	AdaptiveSaved     *Counter
+	AdaptiveGranted   *Counter
+
 	// Distributions.
 	AttemptSeconds *Histogram
 	RestoreInstrs  *Histogram
@@ -104,6 +111,11 @@ func New() *Metrics {
 
 		TraceAttempts: r.Counter("hlfi_trace_attempts_total", "Attempts that recorded a fault-propagation trace."),
 		TraceSpans:    r.Counter("hlfi_trace_spans_total", "Spans recorded across all attempt traces."),
+
+		AdaptiveConverged: r.Counter("hlfi_adaptive_cells_converged_total", "Cells the early-stopping rule ended before their activation target."),
+		AdaptiveExtended:  r.Counter("hlfi_adaptive_cells_extended_total", "Cells granted extra budget by the round-2 reallocation plan."),
+		AdaptiveSaved:     r.Counter("hlfi_adaptive_saved_activated_total", "Activated-injection budget donated by early-stopped cells."),
+		AdaptiveGranted:   r.Counter("hlfi_adaptive_granted_activated_total", "Activated-injection budget granted to extended cells."),
 
 		AttemptSeconds: r.Histogram("hlfi_attempt_seconds", "Injection attempt latency in seconds.", AttemptSecondsBuckets),
 		RestoreInstrs:  r.Histogram("hlfi_replay_restore_instrs", "Replay restore distance: dynamic instructions replayed after the snapshot restore of one attempt.", RestoreInstrsBuckets),

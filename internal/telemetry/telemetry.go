@@ -56,6 +56,14 @@ const (
 	EventFleetLeaseExpire = "fleet_lease_expire"
 	EventFleetRequeue     = "fleet_requeue"
 	EventFleetDuplicate   = "fleet_duplicate"
+
+	// Adaptive-sampling events. adaptive_plan records the stratified
+	// reallocation computed after round 1 (budget saved by early-stopped
+	// cells, budget granted to the widest unconverged cells);
+	// cell_extend records one cell's round-2 extension, carrying DELTA
+	// counts over its round-1 cell_done so totals stay additive.
+	EventAdaptivePlan = "adaptive_plan"
+	EventCellExtend   = "cell_extend"
 )
 
 // TraceSpan is one edge of a traced attempt's propagation skeleton:
@@ -131,6 +139,17 @@ type Event struct {
 	Worker  string `json:"worker,omitempty"`
 	Lease   uint64 `json:"lease,omitempty"`
 	Retries int    `json:"retries,omitempty"`
+
+	// Adaptive-sampling fields. AdaptiveTarget and AdaptiveConverged
+	// annotate cell_done/cell_extend records of adaptive cells; the
+	// plan-level budget ledger rides on adaptive_plan.
+	AdaptiveTarget         int  `json:"adaptiveTarget,omitempty"`
+	AdaptiveConverged      bool `json:"adaptiveConverged,omitempty"`
+	AdaptiveSaved          int  `json:"adaptiveSaved,omitempty"`
+	AdaptiveGranted        int  `json:"adaptiveGranted,omitempty"`
+	AdaptiveLeftover       int  `json:"adaptiveLeftover,omitempty"`
+	AdaptiveConvergedCells int  `json:"adaptiveConvergedCells,omitempty"`
+	AdaptiveExtendedCells  int  `json:"adaptiveExtendedCells,omitempty"`
 
 	// Snapshot-replay accounting (study_done, when replay was enabled).
 	ReplayHits         uint64 `json:"replayHits,omitempty"`
@@ -273,6 +292,8 @@ type Aggregator struct {
 	simFaults []Event
 	traces    int
 	abort     *Event
+	extends   []Event
+	plan      *Event
 	// ordered interleaves cell_done and cell_resume (and, in
 	// orderedSkips, cell_skip and cell_deadline) in arrival order. The
 	// study's reorder buffer releases events in canonical cell order, so
@@ -310,6 +331,13 @@ func (a *Aggregator) Record(e Event) {
 		// Traces are counted, not retained: a traced study can carry
 		// thousands of them and the JSONL sink is the archival path.
 		a.traces++
+	case EventCellExtend:
+		// Extensions carry delta counts, so adding them to the cell_done
+		// totals keeps Totals exact for adaptive studies.
+		a.extends = append(a.extends, e)
+	case EventAdaptivePlan:
+		p := e
+		a.plan = &p
 	case EventStudyDone:
 		a.done = e
 	case EventStudyAbort:
@@ -362,6 +390,10 @@ func (a *Aggregator) Totals() (attempts, activated int) {
 
 func (a *Aggregator) totalsLocked() (attempts, activated int) {
 	for _, c := range a.cells {
+		attempts += c.Attempts
+		activated += c.Activated
+	}
+	for _, c := range a.extends {
 		attempts += c.Attempts
 		activated += c.Activated
 	}
@@ -419,6 +451,11 @@ func (a *Aggregator) RenderTelemetry() string {
 	}
 	wall := a.done.DurationMS
 	parallel, workers := a.start.Parallel, a.start.Workers
+	var plan *Event
+	if a.plan != nil {
+		p := *a.plan
+		plan = &p
+	}
 	a.mu.Unlock()
 
 	var sb strings.Builder
@@ -435,6 +472,11 @@ func (a *Aggregator) RenderTelemetry() string {
 	}
 	if traces > 0 {
 		fmt.Fprintf(&sb, "  attempt traces recorded: %d (see attempt_trace events)\n", traces)
+	}
+	if plan != nil {
+		fmt.Fprintf(&sb, "  adaptive sampling     : %d cells converged early (saved %d activated); %d extended (+%d granted, %d leftover)\n",
+			plan.AdaptiveConvergedCells, plan.AdaptiveSaved,
+			plan.AdaptiveExtendedCells, plan.AdaptiveGranted, plan.AdaptiveLeftover)
 	}
 	if aborted {
 		fmt.Fprintf(&sb, "  STUDY ABORTED: results below cover the completed prefix only\n")
