@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test bench study calibration examples cover fmt race smoke resume-smoke fuzz-smoke replay-determinism compiled-smoke obs-smoke shard-smoke fleet-smoke adaptive-smoke ci
+.PHONY: test bench study calibration examples cover fmt race smoke resume-smoke fuzz-smoke replay-determinism compiled-smoke obs-smoke shard-smoke fleet-smoke adaptive-smoke trace-smoke ci
 
 test:
 	go build ./... && go vet ./... && go test ./...
@@ -181,6 +181,57 @@ adaptive-smoke:
 	rm -f .adaptive-bin .adaptive-off.txt .adaptive-seq.txt .adaptive-par.txt \
 		.adaptive-merged.txt .adaptive-[0-9].jsonl
 
+# Flight-recorder smoke + determinism gate: a single-process study with
+# -trace-out must render byte-identically to the untraced golden and
+# write a well-formed Chrome trace; then a traced fiserve fleet with one
+# worker SIGKILLed mid-lease must also match the golden, leave a durable
+# flight-recorder file, and serve a /tracez Chrome export whose timeline
+# shows the retry and the worker-attributed exec spans (mirrors the CI
+# trace-smoke job).
+trace-smoke:
+	go build -o .trace-ficompare ./cmd/ficompare
+	go build -o .trace-fiserve ./cmd/fiserve
+	./.trace-ficompare -experiment all -n 200 -benchmarks bzip2m,mcfm -q > .trace-golden.txt
+	./.trace-ficompare -experiment all -n 200 -benchmarks bzip2m,mcfm -q \
+		-trace-out .trace-solo.json > .trace-on.txt
+	cmp .trace-golden.txt .trace-on.txt
+	jq -e '.traceEvents | length > 0' .trace-solo.json > /dev/null
+	jq -e '[.traceEvents[] | select(.cat=="cell")] | length > 0' .trace-solo.json > /dev/null
+	./.trace-fiserve -listen 127.0.0.1:8793 -once -q -experiment all -n 200 \
+		-benchmarks bzip2m,mcfm -lease-ttl 2s -retry-after 50ms -backoff 100ms \
+		-trace -flight-recorder .trace-flight.jsonl > .trace-fleet.txt & \
+	cpid=$$!; \
+	for i in $$(seq 1 150); do \
+		curl -fs http://127.0.0.1:8793/statusz > /dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	./.trace-fiserve -worker -join http://127.0.0.1:8793 -name w1 -q & w1=$$!; \
+	./.trace-fiserve -worker -join http://127.0.0.1:8793 -name w2 -q & w2=$$!; \
+	./.trace-fiserve -worker -join http://127.0.0.1:8793 -name w3 -q & w3=$$!; \
+	for i in $$(seq 1 300); do \
+		curl -fs http://127.0.0.1:8793/statusz 2>/dev/null | grep -q '"worker": "w3"' && break; sleep 0.1; \
+	done; \
+	kill -9 $$w3 2>/dev/null; \
+	i=0; while kill -0 $$cpid 2>/dev/null && [ $$i -lt 900 ]; do \
+		curl -fs 'http://127.0.0.1:8793/tracez?format=chrome' > .trace-chrome.tmp 2>/dev/null \
+			&& mv .trace-chrome.tmp .trace-chrome.json; \
+		i=$$((i+1)); sleep 0.2; \
+	done; \
+	if kill -0 $$cpid 2>/dev/null; then \
+		echo "trace-smoke: coordinator did not converge"; kill $$cpid $$w1 $$w2 2>/dev/null; exit 1; \
+	fi; \
+	wait $$cpid; rc=$$?; wait $$w1 2>/dev/null; wait $$w2 2>/dev/null; exit $$rc
+	cmp .trace-golden.txt .trace-fleet.txt
+	test -s .trace-flight.jsonl
+	head -1 .trace-flight.jsonl | jq -e '.type == "flight-recorder"' > /dev/null
+	grep -q '"kind":"retry"' .trace-flight.jsonl
+	grep -q '"kind":"exec"' .trace-flight.jsonl
+	jq -e '.traceEvents | length > 0' .trace-chrome.json > /dev/null
+	jq -e '[.traceEvents[] | select(.cat=="retry")] | length >= 1' .trace-chrome.json > /dev/null
+	jq -e '[.traceEvents[] | select(.cat=="exec") | .args.worker] | length >= 1 and all(. != null and . != "")' \
+		.trace-chrome.json > /dev/null
+	rm -f .trace-ficompare .trace-fiserve .trace-golden.txt .trace-on.txt .trace-fleet.txt \
+		.trace-solo.json .trace-flight.jsonl .trace-chrome.json .trace-chrome.tmp
+
 # Fuzz smoke: each native fuzz target for 30s (mirrors the CI job).
 fuzz-smoke:
 	go test -run '^$$' -fuzz '^FuzzMiniCParse$$' -fuzztime 30s ./internal/minic
@@ -207,6 +258,7 @@ ci:
 	$(MAKE) shard-smoke
 	$(MAKE) fleet-smoke
 	$(MAKE) adaptive-smoke
+	$(MAKE) trace-smoke
 	$(MAKE) fuzz-smoke
 
 # All tables/figures + ablations. HLFI_N controls injections per cell.

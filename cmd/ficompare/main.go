@@ -35,6 +35,7 @@ import (
 	"os/exec"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -44,6 +45,7 @@ import (
 	"hlfi/internal/core"
 	"hlfi/internal/fault"
 	"hlfi/internal/obs"
+	"hlfi/internal/obs/trace"
 	"hlfi/internal/telemetry"
 )
 
@@ -82,7 +84,7 @@ func runCtx(ctx context.Context, args []string) error {
 		noSnapshots = fs.Bool("no-snapshots", false, "disable snapshot fast-forward replay and re-execute every attempt from instruction zero")
 		compiled    = fs.Bool("compiled", true, "run untraced injection attempts on the compiled execution engines (results are byte-identical to the interpreters)")
 		noCompiled  = fs.Bool("no-compiled", false, "force every attempt onto the interpreters (escape hatch; overrides -compiled)")
-		status      = fs.String("status", "", "serve live observability on this address (/metrics, /statusz, /debug/pprof/); results are byte-identical with or without it")
+		status      = fs.String("status", "", "serve live observability on this address (/metrics, /statusz, /tracez, /debug/pprof/); results are byte-identical with or without it")
 		linger      = fs.Duration("status-linger", 0, "keep the status endpoint serving this long after the study finishes (useful for scraping short runs)")
 		traceAtt    = fs.Int("trace-attempts", 0, "record fault-propagation traces for the first N attempts of every cell as attempt_trace events (results stay byte-identical)")
 		shard       = fs.String("shard", "", "run one shard of the study: \"i/N\" owns the canonical cells with index%N == i; pair with -checkpoint (fresh) or -resume (restart), then reassemble with -merge")
@@ -90,6 +92,7 @@ func runCtx(ctx context.Context, args []string) error {
 		shardProcs  = fs.Int("shard-workers", 0, "local supervisor: spawn this many worker subprocesses (one per shard), then merge their checkpoints; re-running the same command resumes only incomplete shards")
 		shardDir    = fs.String("shard-dir", "", "directory for supervisor shard checkpoints (default: a temp dir, removed once merged; name one to keep checkpoints resumable across supervisor runs)")
 		adaptFlag   = fs.String("adaptive", "off", "adaptive sampling: off|on|eps=E,min=M,check=C — stop each cell once every outcome-rate Wilson 95% CI is narrower than eps, then reallocate the saved budget to the widest cells (off = the paper's fixed-n design)")
+		traceOut    = fs.String("trace-out", "", "record the study timeline and write it to this file as a Chrome trace-event export (open in Perfetto); results are byte-identical with or without it")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -247,25 +250,6 @@ func runCtx(ctx context.Context, args []string) error {
 		rec = telemetry.Multi(agg, telemetry.NewJSONLSink(f))
 	}
 
-	// Live observability: a metrics registry plus the HTTP endpoint, both
-	// off the stdout path. Everything rendered and checkpointed stays
-	// byte-identical with or without -status.
-	var om *obs.Metrics
-	if *status != "" {
-		om = obs.New()
-		srv, serr := obs.StartServer(*status, om.Registry(), func() any { return agg.Status() })
-		if serr != nil {
-			return serr
-		}
-		fmt.Fprintf(os.Stderr, "status endpoint listening on %s (/metrics /statusz /debug/pprof/)\n", srv.Addr())
-		// LIFO defers: the linger sleep runs before the server closes, so
-		// a short study remains scrapeable for a moment after finishing.
-		defer srv.Close()
-		if *linger > 0 {
-			defer time.Sleep(*linger)
-		}
-	}
-
 	// Snapshot fast-forward replay: on by default, disarmed by
 	// -no-snapshots. Results are byte-identical either way; only speed
 	// and the replay telemetry differ.
@@ -283,6 +267,48 @@ func runCtx(ctx context.Context, args []string) error {
 	var compiledCfg *core.CompiledConfig
 	if *compiled && !*noCompiled {
 		compiledCfg = &core.CompiledConfig{}
+	}
+
+	// Campaign flight recorder: -trace-out arms an in-memory span
+	// recorder over the study (campaign, cell, scan/run phases, adaptive
+	// extensions) and writes the timeline as a Chrome trace-event file
+	// when the run ends. Entirely off the stdout path: reports and
+	// checkpoints are byte-identical with or without it.
+	var tracer *trace.Recorder
+	if *traceOut != "" {
+		tracer, err = trace.New(trace.Options{
+			Capacity: 1 << 16,
+			Head: trace.Header{
+				Go:       runtime.Version(),
+				Engine:   compiledCfg.Signature(),
+				Adaptive: adaptCfg.Signature(),
+				N:        *n,
+				Seed:     *seed,
+			},
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	// Live observability: a metrics registry plus the HTTP endpoint, both
+	// off the stdout path. Everything rendered and checkpointed stays
+	// byte-identical with or without -status.
+	var om *obs.Metrics
+	if *status != "" {
+		om = obs.New()
+		obs.RegisterBuildInfo(om.Registry(), compiledCfg.Signature(), adaptCfg.Signature())
+		srv, serr := obs.StartServerTrace(*status, om.Registry(), func() any { return agg.Status() }, tracer)
+		if serr != nil {
+			return serr
+		}
+		fmt.Fprintf(os.Stderr, "status endpoint listening on %s (/metrics /statusz /tracez /debug/pprof/)\n", srv.Addr())
+		// LIFO defers: the linger sleep runs before the server closes, so
+		// a short study remains scrapeable for a moment after finishing.
+		defer srv.Close()
+		if *linger > 0 {
+			defer time.Sleep(*linger)
+		}
 	}
 
 	// Fault tolerance: an optional resume state (cells already completed
@@ -327,7 +353,7 @@ func runCtx(ctx context.Context, args []string) error {
 		SimFaultLimit: *simFaults, CellDeadline: *deadline,
 		Checkpoint: ckpt, Resume: resumeState, Replay: replay,
 		Compiled: compiledCfg, Obs: om, TraceAttempts: *traceAtt,
-		Adaptive: adaptCfg, Shard: shardSpec}
+		Adaptive: adaptCfg, Shard: shardSpec, Trace: tracer}
 	if !*quiet {
 		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
@@ -347,6 +373,23 @@ func runCtx(ctx context.Context, args []string) error {
 	}
 	if !*quiet {
 		fmt.Fprintln(os.Stderr, agg.RenderTelemetry())
+	}
+
+	// Write the flight-recorder export once the study (and all its spans)
+	// has settled. A partial (aborted) timeline is still worth keeping.
+	if *traceOut != "" {
+		f, werr := os.Create(*traceOut)
+		if werr != nil {
+			return werr
+		}
+		werr = tracer.WriteChrome(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("-trace-out %s: %w", *traceOut, werr)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (open in Perfetto or chrome://tracing)\n", *traceOut)
 	}
 
 	if *jsonOut {
@@ -389,7 +432,8 @@ func superviseShards(ctx context.Context, workers int, dir string, args []string
 		"shard-workers": true, "shard-dir": true, "shard": true, "merge": true,
 		"checkpoint": true, "resume": true,
 		"status": true, "status-linger": true, "events": true,
-		"q": false,
+		"trace-out": true,
+		"q":         false,
 	})
 
 	cmds := make([]*exec.Cmd, workers)

@@ -36,6 +36,7 @@ import (
 	"os/exec"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -45,6 +46,7 @@ import (
 	"hlfi/internal/core"
 	"hlfi/internal/fleet"
 	"hlfi/internal/obs"
+	"hlfi/internal/obs/trace"
 	"hlfi/internal/telemetry"
 )
 
@@ -92,6 +94,8 @@ func runCtx(ctx context.Context, args []string, onReady func(addr string)) error
 		spawn      = fs.Int("spawn-workers", 0, "spawn this many local worker subprocesses joined to this coordinator")
 		drainGrace = fs.Duration("drain-grace", 30*time.Second, "on SIGTERM, wait this long for in-flight leases to complete before exiting")
 		adaptFlag  = fs.String("adaptive", "off", "adaptive sampling: off|on|eps=E,min=M,check=C — workers stop cells once every outcome-rate Wilson 95% CI is narrower than eps; the coordinator reallocates the saved budget as extension leases")
+		traceOn    = fs.Bool("trace", false, "arm fleet-wide distributed tracing: lease grants propagate trace context to workers, worker spans merge back over heartbeats and completions, and /tracez serves the live timeline (results are byte-identical with or without it)")
+		flightRec  = fs.String("flight-recorder", "", "also append every finished span to this durable JSONL flight-recorder file (implies -trace; fail-stop: a write failure detaches the file and the in-memory timeline continues)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -171,7 +175,39 @@ func runCtx(ctx context.Context, args []string, onReady func(addr string)) error
 		rec = telemetry.NewJSONLSink(f)
 	}
 
+	// Fleet tracing: one recorder on the coordinator owns the merged
+	// timeline (its trace ID rides every lease grant; worker span batches
+	// merge back through /heartbeat and /complete). -flight-recorder adds
+	// the durable JSONL file under fail-stop discipline. Scheduling-only:
+	// the report and checkpoint are byte-identical with or without it.
+	var tracer *trace.Recorder
+	if *traceOn || *flightRec != "" {
+		tracer, err = trace.New(trace.Options{
+			Capacity: 1 << 16,
+			File:     *flightRec,
+			Head: trace.Header{
+				Go:       runtime.Version(),
+				Engine:   "on",
+				Adaptive: adaptCfg.Signature(),
+				N:        *n,
+				Seed:     *seed,
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := tracer.Close(); cerr != nil {
+				logf("fiserve: flight recorder: %v", cerr)
+			}
+		}()
+		if *flightRec != "" {
+			logf("fiserve: flight recorder appending to %s", *flightRec)
+		}
+	}
+
 	metrics := fleet.NewMetrics()
+	obs.RegisterBuildInfo(metrics.Registry(), "on", adaptCfg.Signature())
 	c, err := fleet.New(fleet.Config{
 		Programs:      progs,
 		N:             *n,
@@ -189,6 +225,7 @@ func runCtx(ctx context.Context, args []string, onReady func(addr string)) error
 		Resume:        resumeState,
 		Events:        rec,
 		Metrics:       metrics,
+		Trace:         tracer,
 		Logf:          logf,
 	})
 	if err != nil {
@@ -202,7 +239,7 @@ func runCtx(ctx context.Context, args []string, onReady func(addr string)) error
 	// /statusz, /debug/pprof/) falls through to the obs mux with the
 	// coordinator's Status as the /statusz payload.
 	mux := c.Handler()
-	mux.Handle("/", obs.Mux(metrics.Registry(), c.Status))
+	mux.Handle("/", obs.MuxTrace(metrics.Registry(), c.Status, tracer))
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
@@ -211,7 +248,7 @@ func runCtx(ctx context.Context, args []string, onReady func(addr string)) error
 	go func() { _ = srv.Serve(ln) }()
 	defer srv.Close()
 	addr := ln.Addr().String()
-	logf("fiserve: coordinating on http://%s (POST /lease /heartbeat /complete /drain; GET /metrics /statusz)", addr)
+	logf("fiserve: coordinating on http://%s (POST /lease /heartbeat /complete /drain; GET /metrics /statusz /tracez)", addr)
 	if onReady != nil {
 		onReady(addr)
 	}

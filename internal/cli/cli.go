@@ -116,10 +116,16 @@ func RunCampaign(w io.Writer, prog *core.Program, level fault.Level, cat fault.C
 		rec = telemetry.NewJSONLSink(f)
 	}
 
+	var compiled *core.CompiledConfig
+	if !opts.NoCompiled {
+		compiled = &core.CompiledConfig{}
+	}
+
 	var om *obs.Metrics
 	if opts.StatusAddr != "" {
 		om = obs.New()
 		om.CellsPlanned.Set(1)
+		obs.RegisterBuildInfo(om.Registry(), compiled.Signature(), opts.Adaptive.Signature())
 		srv, err := obs.StartServer(opts.StatusAddr, om.Registry(), nil)
 		if err != nil {
 			return err
@@ -132,10 +138,8 @@ func RunCampaign(w io.Writer, prog *core.Program, level fault.Level, cat fault.C
 			defer time.Sleep(opts.StatusLinger)
 		}
 	}
-
-	var compiled *core.CompiledConfig
-	if !opts.NoCompiled {
-		compiled = &core.CompiledConfig{Obs: om}
+	if compiled != nil {
+		compiled.Obs = om
 	}
 
 	var metrics core.CellMetrics

@@ -10,6 +10,7 @@ import (
 
 	"hlfi/internal/adaptive"
 	"hlfi/internal/fault"
+	"hlfi/internal/obs/trace"
 	"hlfi/internal/sched"
 	"hlfi/internal/telemetry"
 )
@@ -173,7 +174,7 @@ func adaptiveStates(specs []cellSpec, results []*CellResult) []adaptive.CellStat
 // with the canonical first error; abort is the caller's context
 // cancellation, to be reported through the same study_abort path as
 // round 1.
-func runAdaptiveRound2(ctx context.Context, cfg StudyConfig, specs []cellSpec, results []*CellResult, parallel, perCell int) (hard, abort error) {
+func runAdaptiveRound2(ctx context.Context, cfg StudyConfig, specs []cellSpec, results []*CellResult, parallel, perCell int, root trace.Span) (hard, abort error) {
 	states := adaptiveStates(specs, results)
 	plan := cfg.Adaptive.Reallocate(cfg.N, states)
 	converged := 0
@@ -246,6 +247,11 @@ func runAdaptiveRound2(ctx context.Context, cfg StudyConfig, specs []cellSpec, r
 		prior[j] = results[e.idx]
 		tasks[j] = func(context.Context) error {
 			defer finish(j)
+			var espan trace.Span
+			if cfg.Trace != nil {
+				espan = cfg.Trace.StartChild(trace.KindExtension, s.lane(), root)
+				espan.Grant = e.target
+			}
 			c := &Campaign{
 				Prog:          s.prog,
 				Level:         s.level,
@@ -277,6 +283,18 @@ func runAdaptiveRound2(ctx context.Context, cfg StudyConfig, specs []cellSpec, r
 			}
 			if cfg.Obs != nil {
 				cfg.Obs.CellSeconds.Observe((extMetrics[j].ScanTime + extMetrics[j].RunTime).Seconds())
+			}
+			if cfg.Trace != nil {
+				emitPhaseSpans(cfg.Trace, espan, s.lane(), extMetrics[j])
+				switch {
+				case err == nil:
+					espan.Outcome = "done"
+				case isSoftSkip(err):
+					espan.Outcome, espan.Err = "abandoned", err.Error()
+				default:
+					espan.Outcome, espan.Err = "failure", err.Error()
+				}
+				espan.Finish()
 			}
 			if err != nil {
 				extErrs[j] = err

@@ -11,6 +11,7 @@ import (
 	"hlfi/internal/fault"
 	"hlfi/internal/llfi"
 	"hlfi/internal/obs"
+	"hlfi/internal/obs/trace"
 	"hlfi/internal/pinfi"
 	"hlfi/internal/sched"
 	"hlfi/internal/telemetry"
@@ -102,6 +103,13 @@ type StudyConfig struct {
 	// Purely observational: results, progress lines, telemetry events,
 	// and checkpoints are byte-identical with or without it.
 	Obs *obs.Metrics
+	// Trace, when non-nil, records the study timeline: a campaign root
+	// span, one cell span per executed cell with reconstructed scan/run
+	// child spans, and extension spans for the adaptive round 2. Spans
+	// consume no randomness and the attempt hot path is untouched, so
+	// results, checkpoints, and reports are byte-identical with tracing
+	// on or off; nil is the zero-cost disabled path.
+	Trace *trace.Recorder
 	// TraceAttempts, when positive, arms fault-propagation tracing for
 	// the first TraceAttempts attempts of every cell; each traced
 	// attempt is released as an attempt_trace telemetry event. Tracing
@@ -166,6 +174,11 @@ type cellSpec struct {
 
 func (s cellSpec) key() CellKey {
 	return CellKey{Prog: s.prog.Name, Level: s.level, Category: s.cat}
+}
+
+// lane is the cell's span (timeline lane) name.
+func (s cellSpec) lane() string {
+	return s.prog.Name + "/" + s.level.String() + "/" + s.cat.String()
 }
 
 // studySpecs builds the canonical cell list: programs in the given
@@ -260,6 +273,11 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 		}
 	}
 	start := time.Now()
+	root := cfg.Trace.Start(trace.KindCampaign, "study")
+	finishRoot := func(outcome string) {
+		root.Outcome = outcome
+		root.Finish()
+	}
 
 	results := make([]*CellResult, len(specs))
 	metrics := make([]CellMetrics, len(specs))
@@ -321,6 +339,10 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 		}
 		tasks[i] = func(context.Context) error {
 			defer finish(i)
+			var cspan trace.Span
+			if cfg.Trace != nil {
+				cspan = cfg.Trace.StartChild(trace.KindCell, s.lane(), root)
+			}
 			c := &Campaign{
 				Prog:          s.prog,
 				Level:         s.level,
@@ -349,6 +371,18 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 			}
 			if cfg.Obs != nil {
 				cfg.Obs.CellSeconds.Observe((metrics[i].ScanTime + metrics[i].RunTime).Seconds())
+			}
+			if cfg.Trace != nil {
+				emitPhaseSpans(cfg.Trace, cspan, s.lane(), metrics[i])
+				switch {
+				case err == nil:
+					cspan.Outcome = "done"
+				case isSoftSkip(err):
+					cspan.Outcome, cspan.Err = "skipped", err.Error()
+				default:
+					cspan.Outcome, cspan.Err = "failure", err.Error()
+				}
+				cspan.Finish()
 			}
 			if err != nil {
 				cellErrs[i] = err
@@ -390,6 +424,7 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 		// Report the first hard error in canonical cell order.
 		for i, cerr := range cellErrs {
 			if cerr != nil && !isSoftSkip(cerr) {
+				finishRoot("failure")
 				return nil, fmt.Errorf("cell %v: %w", specs[i].key(), cerr)
 			}
 		}
@@ -415,6 +450,7 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 		}
 		emit(cfg.Events, ev)
 		_ = telemetry.Flush(cfg.Events)
+		finishRoot("aborted")
 		return st, fmt.Errorf("%w: %v", ErrAborted, err)
 	}
 
@@ -423,7 +459,8 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 	// round-1 state computes the plan — never a shard worker; the -merge
 	// render (or the fleet coordinator) does it over the full cell set.
 	if cfg.Adaptive != nil && cfg.Shard == nil {
-		if hard, aerr := runAdaptiveRound2(ctx, cfg, specs, results, parallel, perCell); hard != nil {
+		if hard, aerr := runAdaptiveRound2(ctx, cfg, specs, results, parallel, perCell, root); hard != nil {
+			finishRoot("failure")
 			return nil, hard
 		} else if aerr != nil {
 			// Cancelled mid-extension: same flush-and-announce path as a
@@ -444,6 +481,7 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 			}
 			emit(cfg.Events, ev)
 			_ = telemetry.Flush(cfg.Events)
+			finishRoot("aborted")
 			return st, fmt.Errorf("%w: %v", ErrAborted, aerr)
 		}
 	}
@@ -460,7 +498,21 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 		ev.ReplayFields(cfg.Replay.Stats)
 	}
 	emit(cfg.Events, ev)
+	finishRoot("done")
 	return st, nil
+}
+
+// emitPhaseSpans reconstructs one cell's scan and run child spans from
+// its timing metrics, so the timeline separates injector construction
+// from the injection loop without instrumenting the attempt hot path.
+func emitPhaseSpans(r *trace.Recorder, parent trace.Span, lane string, m CellMetrics) {
+	end := time.Now().UnixNano()
+	runStart := end - int64(m.RunTime)
+	scanStart := runStart - int64(m.ScanTime)
+	r.Emit(trace.Record{Trace: parent.TraceID(), Parent: parent.ID(),
+		Kind: trace.KindScan, Name: lane, Start: scanStart, End: runStart})
+	r.Emit(trace.Record{Trace: parent.TraceID(), Parent: parent.ID(),
+		Kind: trace.KindRun, Name: lane, Start: runStart, End: end})
 }
 
 // harvest moves completed cell results into the study and totals them.

@@ -1,0 +1,31 @@
+package core
+
+import (
+	"testing"
+
+	"hlfi/internal/obs/trace"
+)
+
+// TestTraceOffHotPathZeroAlloc is the benchmark guard for the zero-cost
+// promise: with tracing off (a nil recorder), the entire instrumentation
+// seam a cell passes through — root span, cell span, phase emission,
+// annotation, finish — must allocate nothing. The attempt loop itself
+// carries no trace code at all; this pins the per-cell seam so a future
+// change cannot quietly put allocations on the campaign path.
+func TestTraceOffHotPathZeroAlloc(t *testing.T) {
+	var r *trace.Recorder
+	root := r.Start(trace.KindCampaign, "study")
+	m := CellMetrics{ScanTime: 1, RunTime: 2}
+	allocs := testing.AllocsPerRun(200, func() {
+		cspan := r.StartChild(trace.KindCell, "quantumm/LLFI/all", root)
+		emitPhaseSpans(r, cspan, "quantumm/LLFI/all", m)
+		cspan.Outcome = "done"
+		cspan.Finish()
+		espan := r.StartChild(trace.KindExtension, "quantumm/LLFI/all", root)
+		espan.Grant = 16
+		espan.Finish()
+	})
+	if allocs != 0 {
+		t.Fatalf("trace-off cell seam allocates %.0f objects per cell, want 0", allocs)
+	}
+}

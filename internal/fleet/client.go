@@ -166,11 +166,11 @@ func (c *Client) Lease(ctx context.Context, worker string) (*LeaseResponse, erro
 	return &resp, nil
 }
 
-// Heartbeat extends a lease; ok=false means the lease is no longer
-// live.
-func (c *Client) Heartbeat(ctx context.Context, worker string, lease uint64) (bool, error) {
+// Heartbeat extends a lease (the request may piggyback span batches
+// and a metrics snapshot); ok=false means the lease is no longer live.
+func (c *Client) Heartbeat(ctx context.Context, req HeartbeatRequest) (bool, error) {
 	var resp HeartbeatResponse
-	if err := c.post(ctx, "/heartbeat", HeartbeatRequest{Worker: worker, Lease: lease}, &resp); err != nil {
+	if err := c.post(ctx, "/heartbeat", req, &resp); err != nil {
 		return false, err
 	}
 	return resp.OK, nil

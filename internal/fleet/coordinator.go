@@ -12,6 +12,7 @@ import (
 	"hlfi/internal/adaptive"
 	"hlfi/internal/core"
 	"hlfi/internal/fault"
+	"hlfi/internal/obs/trace"
 	"hlfi/internal/telemetry"
 )
 
@@ -81,6 +82,13 @@ type Config struct {
 	// Metrics receives fleet instruments (a fresh set is created when
 	// nil).
 	Metrics *Metrics
+	// Trace, when non-nil, records the study timeline: a campaign root
+	// span, per-cell cell/wait/lease/retry/extension spans, and the
+	// worker exec spans ingested from heartbeat and completion
+	// piggybacks. Spans consume no randomness and touch no campaign
+	// state, so results are byte-identical with tracing on or off; nil
+	// is the zero-cost disabled path.
+	Trace *trace.Recorder
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -111,6 +119,14 @@ type cellState struct {
 	// flight: an extension whose retry budget runs out degrades back to
 	// it instead of losing the cell.
 	prior *core.CellResult
+
+	// Trace spans (all zero-value no-ops when tracing is off): cellSpan
+	// covers the cell's whole life (re-pointed at an extension span when
+	// the adaptive plan reopens it), gapSpan the current queue wait or
+	// retry backoff, leaseSpan the live grant.
+	cellSpan  trace.Span
+	gapSpan   trace.Span
+	leaseSpan trace.Span
 }
 
 // leaseInfo is one live lease.
@@ -139,9 +155,16 @@ type Coordinator struct {
 	ckptLost  bool
 	planDone  bool // adaptive reallocation plan already applied
 
+	root trace.Span // study root span (no-op when tracing is off)
+
 	done      chan struct{} // closed once every cell is resolved
 	stop      chan struct{}
 	sweeperWG sync.WaitGroup
+}
+
+// cellName is the span (and timeline lane) name of one cell.
+func cellName(key core.CellKey) string {
+	return key.Prog + "/" + key.Level.String() + "/" + key.Category.String()
 }
 
 // New builds a coordinator for one study: the canonical cell list
@@ -195,6 +218,7 @@ func New(cfg Config) (*Coordinator, error) {
 		done:    make(chan struct{}),
 		stop:    make(chan struct{}),
 	}
+	c.root = cfg.Trace.Start(trace.KindCampaign, "study")
 	for _, key := range keys {
 		cs := &cellState{key: key, seed: core.CellSeed(cfg.Seed, key), target: cfg.N}
 		if cfg.Resume != nil {
@@ -215,6 +239,10 @@ func New(cfg Config) (*Coordinator, error) {
 				}
 				c.resolved++
 			}
+		}
+		if cs.status == cellPending {
+			cs.cellSpan = cfg.Trace.StartChild(trace.KindCell, cellName(key), c.root)
+			cs.gapSpan = cfg.Trace.StartChild(trace.KindWait, cellName(key), cs.cellSpan)
 		}
 		c.cells = append(c.cells, cs)
 		c.byKey[key] = cs
@@ -292,6 +320,12 @@ func (c *Coordinator) grantLocked(worker string, now time.Time) *Lease {
 		id := c.nextLease
 		cs.status, cs.lease = cellLeased, id
 		cs.grants++
+		if cs.gapSpan.Open() {
+			cs.gapSpan.Outcome = "granted"
+			cs.gapSpan.Finish()
+		}
+		cs.leaseSpan = c.cfg.Trace.StartChild(trace.KindLease, cellName(cs.key), cs.cellSpan)
+		cs.leaseSpan.Worker, cs.leaseSpan.Grant = worker, cs.grants
 		c.leases[id] = &leaseInfo{cell: cs, worker: worker, deadline: now.Add(c.cfg.LeaseTTL)}
 		c.cfg.Metrics.Leases.Inc()
 		c.cfg.Metrics.ActiveLeases.Set(int64(len(c.leases)))
@@ -310,6 +344,8 @@ func (c *Coordinator) grantLocked(worker string, now time.Time) *Lease {
 			CellDeadlineMS: c.cfg.CellDeadline.Milliseconds(),
 			TTLMS:          c.cfg.LeaseTTL.Milliseconds(),
 			Grant:          cs.grants,
+			Trace:          cs.leaseSpan.TraceID(),
+			Span:           cs.leaseSpan.ID(),
 		}
 		if c.cfg.Adaptive != nil {
 			lease.Adaptive = c.cfg.Adaptive.Signature()
@@ -337,6 +373,10 @@ func (c *Coordinator) updateQueueDepthLocked() {
 // "failure" for the log line.
 func (c *Coordinator) requeueLocked(cs *cellState, now time.Time, kind, reason string) {
 	cs.lease = 0
+	if cs.leaseSpan.Open() {
+		cs.leaseSpan.Outcome, cs.leaseSpan.Err = kind, reason
+		cs.leaseSpan.Finish()
+	}
 	if cs.grants > c.cfg.MaxRetries {
 		if cs.prior != nil {
 			// A failed extension degrades back to its round-1 record (the
@@ -344,6 +384,7 @@ func (c *Coordinator) requeueLocked(cs *cellState, now time.Time, kind, reason s
 			// mirroring the single-process soft-skip path: the study keeps
 			// the narrower cell instead of losing it.
 			cs.result, cs.status, cs.prior = cs.prior, cellDone, nil
+			c.finishCellSpanLocked(cs, "degraded")
 			c.cfg.Metrics.CellsDegraded.Inc()
 			c.logf("fleet: extension of cell %s/%s/%s abandoned after %d grants (%s: %s); keeping round-1 record",
 				cs.key.Prog, cs.key.Level, cs.key.Category, cs.grants, kind, reason)
@@ -359,6 +400,7 @@ func (c *Coordinator) requeueLocked(cs *cellState, now time.Time, kind, reason s
 		skip := core.CheckpointSkip{Kind: core.SkipFleet,
 			Err: fmt.Sprintf("fleet: cell failed %d lease(s), retry budget exhausted; last: %s", cs.grants, reason)}
 		cs.skip, cs.status = &skip, cellDegraded
+		c.finishCellSpanLocked(cs, "degraded")
 		c.cfg.Metrics.CellsDegraded.Inc()
 		c.appendCheckpointSkipLocked(cs.key, skip)
 		c.logf("fleet: cell %s/%s/%s degraded after %d grants (%s: %s)",
@@ -378,6 +420,8 @@ func (c *Coordinator) requeueLocked(cs *cellState, now time.Time, kind, reason s
 		delay = delay/2 + time.Duration(c.rng.Int63n(int64(delay/2)))
 	}
 	cs.status, cs.eligibleAt = cellPending, now.Add(delay)
+	cs.gapSpan = c.cfg.Trace.StartChild(trace.KindRetry, cellName(cs.key), cs.cellSpan)
+	cs.gapSpan.Retry, cs.gapSpan.Err = retry, reason
 	c.cfg.Metrics.Retries.Inc()
 	c.updateQueueDepthLocked()
 	c.logf("fleet: cell %s/%s/%s requeued after %s (%s); retry %d/%d in %v",
@@ -385,6 +429,22 @@ func (c *Coordinator) requeueLocked(cs *cellState, now time.Time, kind, reason s
 	c.emit(telemetry.Event{Type: telemetry.EventFleetRequeue,
 		Benchmark: cs.key.Prog, Level: cs.key.Level.String(), Category: cs.key.Category.String(),
 		Retries: retry, Err: reason})
+}
+
+// finishCellSpanLocked closes a resolved cell's open spans with the
+// final outcome — the live lease or gap span first, then the cell span
+// itself (mutex held; every span op is a no-op when tracing is off).
+func (c *Coordinator) finishCellSpanLocked(cs *cellState, outcome string) {
+	if cs.leaseSpan.Open() {
+		cs.leaseSpan.Outcome = outcome
+		cs.leaseSpan.Finish()
+	}
+	if cs.gapSpan.Open() {
+		cs.gapSpan.Outcome = outcome
+		cs.gapSpan.Finish()
+	}
+	cs.cellSpan.Outcome = outcome
+	cs.cellSpan.Finish()
 }
 
 // resolveLocked accounts one newly resolved cell and closes Done when
@@ -410,6 +470,8 @@ func (c *Coordinator) maybeFinishLocked() {
 		}
 	}
 	c.cfg.Metrics.StudyDone.Set(1)
+	c.root.Outcome = "done"
+	c.root.Finish()
 	close(c.done)
 }
 
@@ -450,6 +512,12 @@ func (c *Coordinator) applyAdaptivePlanLocked() bool {
 		cs.target, cs.prior, cs.result = target, cs.result, nil
 		cs.status, cs.grants, cs.lease = cellPending, 0, 0
 		cs.eligibleAt = time.Time{}
+		// The reopened cell's life continues under an extension span,
+		// parented on the (finished) round-1 cell span so the timeline
+		// shows the plan's lineage.
+		cs.cellSpan = c.cfg.Trace.StartChild(trace.KindExtension, cellName(cs.key), cs.cellSpan)
+		cs.cellSpan.Grant = target
+		cs.gapSpan = c.cfg.Trace.StartChild(trace.KindWait, cellName(cs.key), cs.cellSpan)
 		c.resolved--
 		reopened++
 	}
@@ -623,6 +691,7 @@ func (c *Coordinator) complete(req CompleteRequest, now time.Time) (CompleteResp
 			}
 		}
 		cs.result, cs.status, cs.lease, cs.prior = res, cellDone, 0, nil
+		c.finishCellSpanLocked(cs, "done")
 		c.cfg.Metrics.CellsDone.Inc()
 		c.resolveLocked()
 		return CompleteResponse{OK: true}, nil
@@ -637,6 +706,7 @@ func (c *Coordinator) complete(req CompleteRequest, now time.Time) (CompleteResp
 			}
 		}
 		cs.skip, cs.status, cs.lease = &skip, cellSkipped, 0
+		c.finishCellSpanLocked(cs, "skipped")
 		c.cfg.Metrics.CellsSkipped.Inc()
 		c.resolveLocked()
 		return CompleteResponse{OK: true}, nil
@@ -797,6 +867,9 @@ func (c *Coordinator) Handler() *http.ServeMux {
 			}
 		}
 		c.mu.Unlock()
+		if resp.Status == StatusLease {
+			c.cfg.Metrics.LeaseFor(req.Worker).Inc()
+		}
 		writeJSON(w, resp)
 	})
 	mux.HandleFunc("/heartbeat", func(w http.ResponseWriter, r *http.Request) {
@@ -813,6 +886,13 @@ func (c *Coordinator) Handler() *http.ServeMux {
 			c.cfg.Metrics.Heartbeats.Inc()
 		}
 		c.mu.Unlock()
+		// Observability piggybacks land outside the lease mutex: span
+		// batches and metrics snapshots touch only their own locks.
+		c.cfg.Trace.Ingest(req.Spans)
+		c.cfg.Metrics.ApplySnapshot(req.Worker, req.Metrics)
+		if ok {
+			c.cfg.Metrics.HeartbeatFor(req.Worker).Inc()
+		}
 		writeJSON(w, HeartbeatResponse{OK: ok})
 	})
 	mux.HandleFunc("/complete", func(w http.ResponseWriter, r *http.Request) {
@@ -820,6 +900,8 @@ func (c *Coordinator) Handler() *http.ServeMux {
 		if !decodeJSON(w, r, &req) {
 			return
 		}
+		c.cfg.Trace.Ingest(req.Spans)
+		c.cfg.Metrics.ApplySnapshot(req.Worker, req.Metrics)
 		resp, err := c.complete(req, time.Now())
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)

@@ -79,3 +79,50 @@ func NewMetrics() *Metrics {
 
 // Registry exposes the underlying registry for the /metrics endpoint.
 func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// LeaseFor returns the per-worker grant counter — the labeled
+// companion of Leases (hlfi_fleet_leases_total{worker="w1"}), created
+// on first grant. Label values are escaped by obs.Label, so hostile
+// worker names cannot corrupt the exposition. The unlabeled aggregate
+// series keeps its exact name: '{' sorts after every identifier byte,
+// so labeled children render directly below it in the same family.
+func (m *Metrics) LeaseFor(worker string) *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.reg.Counter(obs.Label("hlfi_fleet_leases_total", "worker", worker),
+		"Cell leases granted to workers.")
+}
+
+// HeartbeatFor returns the per-worker heartbeat counter, the labeled
+// companion of Heartbeats.
+func (m *Metrics) HeartbeatFor(worker string) *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.reg.Counter(obs.Label("hlfi_fleet_heartbeats_total", "worker", worker),
+		"Accepted lease heartbeat extensions.")
+}
+
+// ApplySnapshot republishes one worker's cumulative metrics snapshot as
+// the federated hlfi_fleet_worker_* series. Snapshots carry absolute
+// totals, so each value is stored, not added — a dropped heartbeat
+// costs staleness, never drift.
+func (m *Metrics) ApplySnapshot(worker string, s *WorkerSnapshot) {
+	if m == nil || s == nil {
+		return
+	}
+	store := func(name, help string, v uint64) {
+		m.reg.Counter(obs.Label(name, "worker", worker), help).Store(v)
+	}
+	store("hlfi_fleet_worker_cells_total",
+		"Cells executed, as last reported by each worker.", s.Cells)
+	store("hlfi_fleet_worker_attempts_total",
+		"Injection attempts drawn, as last reported by each worker.", s.Attempts)
+	store("hlfi_fleet_worker_activated_total",
+		"Activated injections, as last reported by each worker.", s.Activated)
+	store("hlfi_fleet_worker_sim_faults_total",
+		"Contained simulator panics, as last reported by each worker.", s.SimFaults)
+	store("hlfi_fleet_worker_builds_total",
+		"Benchmark program builds, as last reported by each worker.", s.Builds)
+}

@@ -19,8 +19,10 @@
 //	POST /heartbeat  HeartbeatRequest -> HeartbeatResponse
 //	POST /complete   CompleteRequest  -> CompleteResponse
 //	POST /drain      (empty)          -> DrainResponse
-//	GET  /metrics, /statusz, /debug/pprof/   (internal/obs)
+//	GET  /metrics, /statusz, /tracez, /debug/pprof/   (internal/obs)
 package fleet
+
+import "hlfi/internal/obs/trace"
 
 // StatusLease, StatusWait, and StatusDone are the LeaseResponse states.
 const (
@@ -82,6 +84,14 @@ type Lease struct {
 	// Grant counts how many times this cell has been leased (1 on the
 	// first grant), so workers can log retries distinctly.
 	Grant int `json:"grant"`
+
+	// Trace and Span propagate the coordinator's trace context: Trace is
+	// the study's trace ID, Span the coordinator-side lease span this
+	// grant opened. The worker parents its execution spans under them so
+	// the merged timeline connects grants to the work they caused. Both
+	// are zero when tracing is off.
+	Trace uint64 `json:"trace,omitempty"`
+	Span  uint64 `json:"span,omitempty"`
 }
 
 // LeaseResponse answers a lease request.
@@ -95,9 +105,27 @@ type LeaseResponse struct {
 }
 
 // HeartbeatRequest extends a lease's deadline while its cell runs.
+// Observability piggybacks on it: Spans carries the worker's finished
+// span batch since the last report, Metrics its cumulative counter
+// snapshot. Both are optional and never influence lease bookkeeping.
 type HeartbeatRequest struct {
 	Worker string `json:"worker"`
 	Lease  uint64 `json:"lease"`
+
+	Spans   []trace.Record  `json:"spans,omitempty"`
+	Metrics *WorkerSnapshot `json:"metrics,omitempty"`
+}
+
+// WorkerSnapshot is a worker's compact cumulative metrics snapshot,
+// piggybacked on heartbeats and completions. Values are totals since
+// the worker started, so the coordinator republishes them absolutely
+// (obs.Counter.Store) — lost or reordered snapshots cannot double-count.
+type WorkerSnapshot struct {
+	Cells     uint64 `json:"cells,omitempty"`
+	Attempts  uint64 `json:"attempts,omitempty"`
+	Activated uint64 `json:"activated,omitempty"`
+	SimFaults uint64 `json:"simFaults,omitempty"`
+	Builds    uint64 `json:"builds,omitempty"`
 }
 
 // HeartbeatResponse acknowledges a heartbeat. OK is false when the
@@ -169,6 +197,10 @@ type CompleteRequest struct {
 	Result  *Result `json:"result,omitempty"`
 	Skip    *Skip   `json:"skip,omitempty"`
 	Failure string  `json:"failure,omitempty"`
+
+	// Observability piggyback, same contract as HeartbeatRequest.
+	Spans   []trace.Record  `json:"spans,omitempty"`
+	Metrics *WorkerSnapshot `json:"metrics,omitempty"`
 }
 
 // CompleteResponse acknowledges a completion. Duplicate marks a

@@ -3,12 +3,14 @@ package fleet
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"hlfi/internal/adaptive"
 	"hlfi/internal/bench"
 	"hlfi/internal/core"
 	"hlfi/internal/fault"
+	"hlfi/internal/obs/trace"
 )
 
 // WorkerConfig configures one fleet worker loop.
@@ -102,11 +104,34 @@ func RunWorker(ctx context.Context, cfg WorkerConfig) error {
 	}
 }
 
-// workerState is the cross-lease cache of one worker: built programs
-// and the compiled-engine config (with its program cache).
+// workerState is the cross-lease cache of one worker: built programs,
+// the compiled-engine config (with its program cache), and the
+// observability side — a lazily armed trace recorder (first traced
+// lease arms it) plus cumulative counters piggybacked to the
+// coordinator on every heartbeat and completion.
 type workerState struct {
 	progs    map[string]*core.Program
 	compiled *core.CompiledConfig
+	tracer   *trace.Recorder
+
+	// Cumulative since worker start; atomics because the heartbeat
+	// goroutine snapshots them while the lease loop updates them.
+	cells     atomic.Uint64
+	attempts  atomic.Uint64
+	activated atomic.Uint64
+	simFaults atomic.Uint64
+	builds    atomic.Uint64
+}
+
+// snapshot is the worker's current cumulative metrics payload.
+func (w *workerState) snapshot() *WorkerSnapshot {
+	return &WorkerSnapshot{
+		Cells:     w.cells.Load(),
+		Attempts:  w.attempts.Load(),
+		Activated: w.activated.Load(),
+		SimFaults: w.simFaults.Load(),
+		Builds:    w.builds.Load(),
+	}
 }
 
 // executeLease runs one leased cell and reports its outcome. Only
@@ -120,11 +145,22 @@ func executeLease(ctx context.Context, cfg WorkerConfig, w *workerState, lease *
 	logf("fleet worker %s: lease %d: %s/%s/%s n=%d seed=%d%s",
 		cfg.Name, lease.ID, lease.Benchmark, lease.Level, lease.Category, lease.N, lease.Seed, retryNote)
 
+	// A traced lease (Trace set in the grant) arms the worker's recorder
+	// once; the exec span parents under the coordinator's lease span via
+	// the propagated context, so the merged timeline connects grant to
+	// execution.
+	if lease.Trace != 0 && w.tracer == nil {
+		w.tracer, _ = trace.New(trace.Options{Worker: cfg.Name})
+	}
+	span := w.tracer.StartRemote(trace.KindExec,
+		lease.Benchmark+"/"+lease.Level+"/"+lease.Category, lease.Trace, lease.Span)
+	span.Worker, span.Grant = cfg.Name, lease.Grant
+
 	req := CompleteRequest{
 		Worker: cfg.Name, Lease: lease.ID,
 		Benchmark: lease.Benchmark, Level: lease.Level, Category: lease.Category,
 	}
-	res, runErr := runLeasedCell(ctx, cfg, w, lease)
+	res, runErr := runLeasedCell(ctx, cfg, w, lease, span)
 	switch {
 	case runErr == nil:
 		req.Result = &Result{
@@ -146,6 +182,22 @@ func executeLease(ctx context.Context, cfg WorkerConfig, w *workerState, lease *
 	default:
 		req.Failure = runErr.Error()
 	}
+	switch {
+	case runErr == nil:
+		span.Outcome = "done"
+		w.cells.Add(1)
+		w.attempts.Add(uint64(res.Attempts))
+		w.activated.Add(uint64(res.Benign + res.SDC + res.Crash + res.Hang))
+		w.simFaults.Add(uint64(res.SimFaults))
+	case core.IsSoftSkip(runErr):
+		span.Outcome, span.Err = "skipped", runErr.Error()
+		w.cells.Add(1)
+	default:
+		span.Outcome, span.Err = "failure", runErr.Error()
+	}
+	span.Finish()
+	req.Spans = w.tracer.TakeBatch()
+	req.Metrics = w.snapshot()
 
 	// Deliver the completion even when the worker is draining: the cell
 	// is done, losing the report would force a pointless retry. A short
@@ -169,7 +221,7 @@ func executeLease(ctx context.Context, cfg WorkerConfig, w *workerState, lease *
 // runLeasedCell executes the campaign behind one lease, heartbeating
 // while it runs. The campaign itself is uncancellable mid-cell (cells
 // are the atomic unit of work); heartbeats stop when it finishes.
-func runLeasedCell(ctx context.Context, cfg WorkerConfig, w *workerState, lease *Lease) (*core.CellResult, error) {
+func runLeasedCell(ctx context.Context, cfg WorkerConfig, w *workerState, lease *Lease, parent trace.Span) (*core.CellResult, error) {
 	level, err := fault.ParseLevel(lease.Level)
 	if err != nil {
 		return nil, err
@@ -180,10 +232,17 @@ func runLeasedCell(ctx context.Context, cfg WorkerConfig, w *workerState, lease 
 	}
 	prog, ok := w.progs[lease.Benchmark]
 	if !ok {
+		bs := w.tracer.StartChild(trace.KindBuild, lease.Benchmark, parent)
+		bs.Worker = cfg.Name
 		prog, err = cfg.BuildProgram(lease.Benchmark)
 		if err != nil {
+			bs.Outcome, bs.Err = "failure", err.Error()
+			bs.Finish()
 			return nil, err
 		}
+		bs.Outcome = "done"
+		bs.Finish()
+		w.builds.Add(1)
 		w.progs[lease.Benchmark] = prog
 	}
 
@@ -204,8 +263,11 @@ func runLeasedCell(ctx context.Context, cfg WorkerConfig, w *workerState, lease 
 			case <-t.C:
 				// Heartbeats are best-effort: delivery failures fall to the
 				// client's own retry, and a lost lease is discovered at
-				// completion time (the coordinator dedupes).
-				if ok, err := cfg.Client.Heartbeat(ctx, cfg.Name, lease.ID); err == nil && !ok {
+				// completion time (the coordinator dedupes). Finished spans
+				// and the cumulative metrics snapshot ride along.
+				hb := HeartbeatRequest{Worker: cfg.Name, Lease: lease.ID,
+					Spans: w.tracer.TakeBatch(), Metrics: w.snapshot()}
+				if ok, err := cfg.Client.Heartbeat(ctx, hb); err == nil && !ok {
 					if cfg.Logf != nil {
 						cfg.Logf("fleet worker %s: lease %d no longer live (expired or resolved elsewhere); finishing the cell anyway",
 							cfg.Name, lease.ID)

@@ -1,0 +1,17 @@
+package obs
+
+import "runtime"
+
+// RegisterBuildInfo publishes the producing build as an info-style
+// gauge — hlfi_build_info{go="go1.22.x",engine="...",adaptive="..."} 1
+// — so every scrape (and, via the flight-recorder header, every trace
+// artifact) identifies the go toolchain, compiled-engine signature, and
+// adaptive-sampling signature that produced it. Nil-safe; re-registering
+// the same labels is idempotent.
+func RegisterBuildInfo(r *Registry, engine, adaptive string) {
+	if r == nil {
+		return
+	}
+	r.Gauge(Label("hlfi_build_info", "go", runtime.Version(), "engine", engine, "adaptive", adaptive),
+		"Build identity of this process (info metric; value is always 1).").Set(1)
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLabelEscaping(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"plain", `m{k="plain"}`},
+		{`back\slash`, `m{k="back\\slash"}`},
+		{`quo"te`, `m{k="quo\"te"}`},
+		{"line\nfeed", `m{k="line\nfeed"}`},
+		{"all\\\"\nthree", `m{k="all\\\"\nthree"}`},
+	} {
+		if got := Label("m", "k", tc.in); got != tc.want {
+			t.Errorf("Label(%q) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+	if got := Label("m", "a", "1", "b", "2"); got != `m{a="1",b="2"}` {
+		t.Errorf("multi-pair Label = %s", got)
+	}
+}
+
+// TestHostileLabelValuesRenderClean is the regression test for the
+// exposition-format escaping fix: a benchmark/worker name carrying
+// backslashes, quotes, and newlines must render as one well-formed
+// series line, not corrupt the scrape.
+func TestHostileLabelValuesRenderClean(t *testing.T) {
+	r := NewRegistry()
+	hostile := "w\"1\\x\ny"
+	r.Counter(Label("hlfi_fleet_worker_cells_total", "worker", hostile), "help").Add(3)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := `hlfi_fleet_worker_cells_total{worker="w\"1\\x\ny"} 3` + "\n"
+	if !strings.Contains(out, want) {
+		t.Fatalf("exposition missing escaped series line %q:\n%s", want, out)
+	}
+	// Every line must be a comment or a single series sample — a raw
+	// newline inside a label value would produce an orphan line.
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !strings.HasPrefix(line, "hlfi_fleet_worker_cells_total{") {
+			t.Fatalf("orphan exposition line %q — label value leaked a newline", line)
+		}
+	}
+}
+
+func TestCounterStore(t *testing.T) {
+	var c Counter
+	c.Add(5)
+	c.Store(3)
+	if c.Value() != 3 {
+		t.Fatalf("Store(3) left %d", c.Value())
+	}
+	var nilc *Counter
+	nilc.Store(9) // must not panic
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	RegisterBuildInfo(r, "sig-e", "sig-a")
+	RegisterBuildInfo(r, "sig-e", "sig-a") // idempotent
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "# TYPE hlfi_build_info gauge") {
+		t.Fatalf("build info family missing:\n%s", out)
+	}
+	if !strings.Contains(out, `engine="sig-e"`) || !strings.Contains(out, `adaptive="sig-a"`) ||
+		!strings.Contains(out, `go="go1.`) {
+		t.Fatalf("build info labels missing:\n%s", out)
+	}
+	if strings.Count(out, "hlfi_build_info{") != 1 {
+		t.Fatalf("build info registered more than once:\n%s", out)
+	}
+	RegisterBuildInfo(nil, "e", "a") // nil-safe
+}

@@ -1,7 +1,5 @@
 package obs
 
-import "fmt"
-
 // Bucket layouts. Attempt latencies run from tens of microseconds (a
 // snapshot-replayed attempt on a small workload) to seconds (a
 // hang-budget exhaustion); restore distance is the residual tail
@@ -131,7 +129,7 @@ func (m *Metrics) SetShard(spec string) {
 	if m == nil {
 		return
 	}
-	m.reg.Gauge(fmt.Sprintf("hlfi_shard_info{shard=%q}", spec),
+	m.reg.Gauge(Label("hlfi_shard_info", "shard", spec),
 		"Shard spec of this worker (info metric; value is always 1).").Set(1)
 }
 

@@ -44,6 +44,15 @@ func (c *Counter) Add(n uint64) {
 	}
 }
 
+// Store replaces the count with an absolute value. It exists for
+// federation: a coordinator mirroring a worker's cumulative snapshot
+// re-publishes the remote total rather than accumulating deltas.
+func (c *Counter) Store(n uint64) {
+	if c != nil {
+		c.v.Store(n)
+	}
+}
+
 // Value returns the current count (0 on nil).
 func (c *Counter) Value() uint64 {
 	if c == nil {
@@ -293,4 +302,51 @@ func typeName(k metricKind) string {
 
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Label builds a full series name with a label set — name{k="v",...} —
+// escaping each value per the text exposition format 0.0.4: backslash,
+// double quote, and line feed become \\, \", and \n. Every labeled
+// series name in the registry must come through here, or a hostile
+// benchmark/worker name ("bench\"x\n") would corrupt the exposition.
+// Pairs are key1, value1, key2, value2, ...; an odd trailing key is a
+// programming error.
+func Label(name string, pairs ...string) string {
+	if len(pairs)%2 != 0 {
+		panic("obs: Label requires key/value pairs")
+	}
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i := 0; i < len(pairs); i += 2 {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(pairs[i])
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(pairs[i+1]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
 }

@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"time"
+
+	"hlfi/internal/obs/trace"
 )
 
 // Server is the live observability endpoint of a running campaign:
@@ -30,11 +32,17 @@ type Server struct {
 // nil: /statusz then serves an empty object). The pprof handlers are
 // wired onto the server's own mux, never the default one.
 func StartServer(addr string, reg *Registry, status func() any) (*Server, error) {
+	return StartServerTrace(addr, reg, status, nil)
+}
+
+// StartServerTrace is StartServer with a trace recorder mounted at
+// /tracez (nil recorder: /tracez reports tracing off).
+func StartServerTrace(addr string, reg *Registry, status func() any, rec *trace.Recorder) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
-	s := &Server{ln: ln, srv: &http.Server{Handler: Mux(reg, status), ReadHeaderTimeout: 5 * time.Second}}
+	s := &Server{ln: ln, srv: &http.Server{Handler: MuxTrace(reg, status, rec), ReadHeaderTimeout: 5 * time.Second}}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }
@@ -45,7 +53,16 @@ func StartServer(addr string, reg *Registry, status func() any) (*Server, error)
 // mounts it under "/" next to its lease endpoints). status may be nil;
 // /statusz then serves an empty object.
 func Mux(reg *Registry, status func() any) *http.ServeMux {
+	return MuxTrace(reg, status, nil)
+}
+
+// MuxTrace is Mux plus the /tracez timeline endpoint (HTML by default,
+// ?format=json, ?format=chrome for the Perfetto-compatible export). A
+// nil recorder serves a "tracing off" hint rather than omitting the
+// route, so scripts can probe a fleet for tracing support.
+func MuxTrace(reg *Registry, status func() any, rec *trace.Recorder) *http.ServeMux {
 	mux := http.NewServeMux()
+	mux.Handle("/tracez", trace.Handler(rec))
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)
@@ -70,7 +87,7 @@ func Mux(reg *Registry, status func() any) *http.ServeMux {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprint(w, "hlfi campaign observability\n\n/metrics\n/statusz\n/debug/pprof/\n")
+		fmt.Fprint(w, "hlfi campaign observability\n\n/metrics\n/statusz\n/tracez\n/debug/pprof/\n")
 	})
 	return mux
 }

@@ -1,0 +1,252 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// export is the /tracez?format=json payload.
+type export struct {
+	Trace   uint64   `json:"trace"`
+	Header  Header   `json:"header"`
+	Dropped uint64   `json:"dropped"`
+	Spans   []Record `json:"spans"`
+}
+
+// timeline sorts a snapshot by start time (ties broken by ID so the
+// order is stable) and returns it with the earliest start as epoch.
+func timeline(recs []Record) ([]Record, int64) {
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].Start != recs[j].Start {
+			return recs[i].Start < recs[j].Start
+		}
+		return recs[i].ID < recs[j].ID
+	})
+	var epoch int64
+	if len(recs) > 0 {
+		epoch = recs[0].Start
+	}
+	return recs, epoch
+}
+
+// WriteJSON renders the timeline as one JSON object.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	recs, _ := timeline(r.Snapshot())
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(export{Trace: r.TraceID(), Header: r.Head(),
+		Dropped: r.Dropped(), Spans: recs})
+}
+
+// chromeEvent is one Chrome trace-event ("X" complete slice or "M"
+// metadata), the format Perfetto and chrome://tracing load directly.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the export envelope.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// laneOf maps a span to its timeline lane: the campaign span gets lane
+// 0, every other span shares the lane of its cell (span names are the
+// cell identity "prog/level/category" across all cell-scoped kinds).
+func laneOf(rec Record, lanes map[string]int, order *[]string) int {
+	if rec.Kind == KindCampaign {
+		return 0
+	}
+	if id, ok := lanes[rec.Name]; ok {
+		return id
+	}
+	id := len(lanes) + 1
+	lanes[rec.Name] = id
+	*order = append(*order, rec.Name)
+	return id
+}
+
+// chromeName labels one slice the way the timeline reads best: the
+// kind, qualified by worker, grant, or retry number where that is the
+// interesting part.
+func chromeName(rec Record) string {
+	switch rec.Kind {
+	case KindLease, KindExec:
+		if rec.Worker != "" {
+			return fmt.Sprintf("%s %s#%d", rec.Kind, rec.Worker, rec.Grant)
+		}
+	case KindRetry:
+		return fmt.Sprintf("retry #%d", rec.Retry)
+	case KindBuild:
+		return "build " + rec.Name
+	}
+	return rec.Kind
+}
+
+// WriteChrome renders the timeline in the Chrome trace-event format
+// (load the file in Perfetto, chrome://tracing, or `perfetto
+// trace_processor`). Timestamps are microseconds from the earliest
+// span.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	recs, epoch := timeline(r.Snapshot())
+	lanes := make(map[string]int)
+	var order []string
+	events := make([]chromeEvent, 0, len(recs)+len(recs)/4+2)
+	for _, rec := range recs {
+		tid := laneOf(rec, lanes, &order)
+		args := map[string]any{"trace": rec.Trace, "span": rec.ID}
+		if rec.Worker != "" {
+			args["worker"] = rec.Worker
+		}
+		if rec.Outcome != "" {
+			args["outcome"] = rec.Outcome
+		}
+		if rec.Grant > 0 {
+			args["grant"] = rec.Grant
+		}
+		if rec.Retry > 0 {
+			args["retry"] = rec.Retry
+		}
+		if rec.Err != "" {
+			args["err"] = rec.Err
+		}
+		dur := float64(rec.End-rec.Start) / 1e3
+		if dur < 0.001 {
+			dur = 0.001 // Perfetto drops zero-width slices
+		}
+		events = append(events, chromeEvent{
+			Name: chromeName(rec), Cat: rec.Kind, Ph: "X",
+			TS: float64(rec.Start-epoch) / 1e3, Dur: dur,
+			PID: 1, TID: tid, Args: args,
+		})
+	}
+	meta := []chromeEvent{{Name: "process_name", Ph: "M", PID: 1,
+		Args: map[string]any{"name": "hlfi campaign"}}}
+	meta = append(meta, chromeEvent{Name: "thread_name", Ph: "M", PID: 1, TID: 0,
+		Args: map[string]any{"name": "campaign"}})
+	for _, name := range order {
+		meta = append(meta, chromeEvent{Name: "thread_name", Ph: "M", PID: 1,
+			TID: lanes[name], Args: map[string]any{"name": name}})
+	}
+	return json.NewEncoder(w).Encode(chromeTrace{
+		TraceEvents: append(meta, events...), DisplayTimeUnit: "ms"})
+}
+
+// spanColors maps kinds to the HTML timeline's bar colors.
+var spanColors = map[string]string{
+	KindCampaign:  "#546e7a",
+	KindCell:      "#90a4ae",
+	KindWait:      "#cfd8dc",
+	KindLease:     "#42a5f5",
+	KindExec:      "#66bb6a",
+	KindBuild:     "#ab47bc",
+	KindScan:      "#26c6da",
+	KindRun:       "#9ccc65",
+	KindRetry:     "#ef5350",
+	KindExtension: "#ffa726",
+}
+
+// WriteHTML renders a minimal server-side timeline: one lane per cell,
+// bars positioned by pure CSS percentages — no scripts, so it works in
+// anything that renders HTML.
+func (r *Recorder) WriteHTML(w io.Writer) error {
+	recs, epoch := timeline(r.Snapshot())
+	var end int64
+	for _, rec := range recs {
+		if rec.End > end {
+			end = rec.End
+		}
+	}
+	total := end - epoch
+	if total <= 0 {
+		total = 1
+	}
+	byLane := make(map[string][]Record)
+	var order []string
+	for _, rec := range recs {
+		lane := "campaign"
+		if rec.Kind != KindCampaign {
+			lane = rec.Name
+		}
+		if _, ok := byLane[lane]; !ok {
+			order = append(order, lane)
+		}
+		byLane[lane] = append(byLane[lane], rec)
+	}
+
+	var sb strings.Builder
+	sb.WriteString("<!doctype html><html><head><meta charset=\"utf-8\"><title>hlfi /tracez</title><style>\n")
+	sb.WriteString("body{font:13px monospace;margin:16px;background:#fafafa}\n")
+	sb.WriteString(".lane{display:flex;align-items:center;margin:2px 0}\n")
+	sb.WriteString(".label{width:220px;flex:none;overflow:hidden;text-overflow:ellipsis;white-space:nowrap}\n")
+	sb.WriteString(".track{position:relative;height:18px;flex:1;background:#eceff1}\n")
+	sb.WriteString(".span{position:absolute;top:1px;height:16px;min-width:2px;opacity:.9}\n")
+	sb.WriteString("</style></head><body>\n")
+	fmt.Fprintf(&sb, "<h3>hlfi campaign trace %d</h3>\n", r.TraceID())
+	head := r.Head()
+	fmt.Fprintf(&sb, "<p>%d spans (%d dropped) over %.3fs · go=%s engine=%s adaptive=%s · <a href=\"/tracez?format=json\">json</a> · <a href=\"/tracez?format=chrome\">chrome trace (open in Perfetto)</a></p>\n",
+		len(recs), r.Dropped(), float64(total)/1e9,
+		html.EscapeString(head.Go), html.EscapeString(head.Engine), html.EscapeString(head.Adaptive))
+	for _, lane := range order {
+		fmt.Fprintf(&sb, "<div class=\"lane\"><div class=\"label\" title=\"%s\">%s</div><div class=\"track\">\n",
+			html.EscapeString(lane), html.EscapeString(lane))
+		for _, rec := range byLane[lane] {
+			left := 100 * float64(rec.Start-epoch) / float64(total)
+			width := 100 * float64(rec.End-rec.Start) / float64(total)
+			color, ok := spanColors[rec.Kind]
+			if !ok {
+				color = "#78909c"
+			}
+			title := fmt.Sprintf("%s %s %.3fms", rec.Kind, chromeName(rec), float64(rec.End-rec.Start)/1e6)
+			if rec.Outcome != "" {
+				title += " outcome=" + rec.Outcome
+			}
+			if rec.Err != "" {
+				title += " err=" + rec.Err
+			}
+			fmt.Fprintf(&sb, "<div class=\"span\" style=\"left:%.3f%%;width:%.3f%%;background:%s\" title=\"%s\"></div>\n",
+				left, width, color, html.EscapeString(title))
+		}
+		sb.WriteString("</div></div>\n")
+	}
+	sb.WriteString("</body></html>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Handler serves the /tracez endpoint: an HTML timeline by default,
+// ?format=json for the raw timeline, ?format=chrome for the Chrome
+// trace-event / Perfetto export. A nil recorder serves a hint that
+// tracing is off.
+func Handler(r *Recorder) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if r == nil {
+			http.Error(w, "tracing is not armed on this process", http.StatusNotFound)
+			return
+		}
+		switch req.URL.Query().Get("format") {
+		case "json":
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			_ = r.WriteJSON(w)
+		case "chrome":
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			w.Header().Set("Content-Disposition", "attachment; filename=\"hlfi-trace.json\"")
+			_ = r.WriteChrome(w)
+		default:
+			w.Header().Set("Content-Type", "text/html; charset=utf-8")
+			_ = r.WriteHTML(w)
+		}
+	})
+}
