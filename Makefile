@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: test bench study calibration examples cover fmt race smoke resume-smoke fuzz-smoke replay-determinism compiled-smoke obs-smoke shard-smoke fleet-smoke adaptive-smoke trace-smoke ci
+.PHONY: test bench study calibration examples cover fmt race smoke resume-smoke fuzz-smoke replay-determinism compiled-smoke obs-smoke shard-smoke fleet-smoke adaptive-smoke trace-smoke warehouse-smoke ci
 
 test:
 	go build ./... && go vet ./... && go test ./...
@@ -8,7 +8,7 @@ test:
 # Race coverage for the concurrency-bearing packages (mirrors the CI
 # race job).
 race:
-	go test -race ./internal/core/... ./internal/sched/... ./internal/telemetry/... ./internal/fleet/... ./internal/cli/... ./internal/adaptive/...
+	go test -race ./internal/core/... ./internal/sched/... ./internal/telemetry/... ./internal/fleet/... ./internal/cli/... ./internal/adaptive/... ./internal/warehouse/...
 
 # Study-binary smoke + determinism gate: the cell scheduler must produce
 # byte-identical tables to the serial path (mirrors the CI smoke job).
@@ -232,6 +232,38 @@ trace-smoke:
 	rm -f .trace-ficompare .trace-fiserve .trace-golden.txt .trace-on.txt .trace-fleet.txt \
 		.trace-solo.json .trace-flight.jsonl .trace-chrome.json .trace-chrome.tmp
 
+# Result-warehouse smoke + determinism gate: a cold run with -warehouse
+# must render byte-identically to an uncached run while populating the
+# store, the warm replay must hit every cell (zero misses in the query,
+# warehouse_hit events and no cell_done events in the stream) and still
+# render byte-identically — sequentially and under -parallel — and
+# corrupting a stored record must degrade to a silent re-execution, not
+# a wrong report (mirrors the CI warehouse-smoke job).
+warehouse-smoke:
+	go build -o .wh-bin ./cmd/ficompare
+	./.wh-bin -experiment all -n 200 -benchmarks bzip2m,mcfm -q > .wh-golden.txt
+	./.wh-bin -experiment all -n 200 -benchmarks bzip2m,mcfm -q \
+		-warehouse .wh-store > .wh-cold.txt
+	cmp .wh-golden.txt .wh-cold.txt
+	./.wh-bin -experiment all -n 200 -benchmarks bzip2m,mcfm -q \
+		-warehouse .wh-store -warehouse-query > .wh-query.txt
+	grep -q ' 0 miss of ' .wh-query.txt
+	./.wh-bin -experiment all -n 200 -benchmarks bzip2m,mcfm -q \
+		-warehouse .wh-store -events .wh-events.jsonl > .wh-warm.txt
+	cmp .wh-golden.txt .wh-warm.txt
+	grep -q '"type":"warehouse_hit"' .wh-events.jsonl
+	! grep -q '"type":"cell_done"' .wh-events.jsonl
+	./.wh-bin -experiment all -n 200 -benchmarks bzip2m,mcfm -q \
+		-warehouse .wh-store -parallel 4 > .wh-warm-par.txt
+	cmp .wh-golden.txt .wh-warm-par.txt
+	f="$$(find .wh-store/objects -name '*.json' | head -1)"; \
+	test -n "$$f" && printf 'corrupted' > "$$f"
+	./.wh-bin -experiment all -n 200 -benchmarks bzip2m,mcfm -q \
+		-warehouse .wh-store > .wh-corrupt.txt
+	cmp .wh-golden.txt .wh-corrupt.txt
+	rm -rf .wh-bin .wh-golden.txt .wh-cold.txt .wh-query.txt .wh-warm.txt \
+		.wh-warm-par.txt .wh-corrupt.txt .wh-events.jsonl .wh-store
+
 # Fuzz smoke: each native fuzz target for 30s (mirrors the CI job).
 fuzz-smoke:
 	go test -run '^$$' -fuzz '^FuzzMiniCParse$$' -fuzztime 30s ./internal/minic
@@ -259,6 +291,7 @@ ci:
 	$(MAKE) fleet-smoke
 	$(MAKE) adaptive-smoke
 	$(MAKE) trace-smoke
+	$(MAKE) warehouse-smoke
 	$(MAKE) fuzz-smoke
 
 # All tables/figures + ablations. HLFI_N controls injections per cell.

@@ -31,11 +31,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -47,6 +49,7 @@ import (
 	"hlfi/internal/obs"
 	"hlfi/internal/obs/trace"
 	"hlfi/internal/telemetry"
+	"hlfi/internal/warehouse"
 )
 
 func main() {
@@ -93,6 +96,8 @@ func runCtx(ctx context.Context, args []string) error {
 		shardDir    = fs.String("shard-dir", "", "directory for supervisor shard checkpoints (default: a temp dir, removed once merged; name one to keep checkpoints resumable across supervisor runs)")
 		adaptFlag   = fs.String("adaptive", "off", "adaptive sampling: off|on|eps=E,min=M,check=C — stop each cell once every outcome-rate Wilson 95% CI is narrower than eps, then reallocate the saved budget to the widest cells (off = the paper's fixed-n design)")
 		traceOut    = fs.String("trace-out", "", "record the study timeline and write it to this file as a Chrome trace-event export (open in Perfetto); results are byte-identical with or without it")
+		warehouseD  = fs.String("warehouse", "", "content-addressed result warehouse directory: completed cells are stored under the hash of everything that determines their outcome (program bytes, fault model, n, seed, engine and adaptive signatures) and later runs resolve matching cells from the store without executing a single injection; output stays byte-identical to a cold run")
+		warehouseQ  = fs.Bool("warehouse-query", false, "query mode: print the warehouse hit/skip/miss status of every study cell under the current flags and exit without running campaigns (answers \"which cells changed since this store was populated\")")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -131,6 +136,19 @@ func runCtx(ctx context.Context, args []string) error {
 	}
 	if *mergeGlob != "" && (*checkpoint != "" || *resume != "") {
 		return fmt.Errorf("-merge reassembles existing shard checkpoints; it cannot be combined with -checkpoint or -resume")
+	}
+	if *warehouseQ {
+		if *warehouseD == "" {
+			return fmt.Errorf("-warehouse-query needs -warehouse to name the store")
+		}
+		if sharded != 0 {
+			return fmt.Errorf("-warehouse-query inspects the store for this process's study shape; it cannot be combined with -shard, -merge, or -shard-workers")
+		}
+		switch *experiment {
+		case "fig3", "fig4", "table5", "all":
+		default:
+			return fmt.Errorf("-warehouse-query requires a campaign experiment (fig3|fig4|table5|all), not %q", *experiment)
+		}
 	}
 
 	// Supervisor: spawn the shard workers, then fall through into merge
@@ -204,9 +222,21 @@ func runCtx(ctx context.Context, args []string) error {
 	// single-process run.
 	var mergedState *core.CheckpointState
 	if *mergeGlob != "" {
-		paths, err := filepath.Glob(*mergeGlob)
-		if err != nil {
-			return fmt.Errorf("-merge %q: %w", *mergeGlob, err)
+		// Comma-separated patterns concatenate; overlapping patterns (or
+		// symlinked paths) that name the same shard file twice are caught
+		// by the merge's same-file duplicate check and reported, never
+		// silently deduplicated.
+		var paths []string
+		for _, pat := range strings.Split(*mergeGlob, ",") {
+			pat = strings.TrimSpace(pat)
+			if pat == "" {
+				continue
+			}
+			matched, err := filepath.Glob(pat)
+			if err != nil {
+				return fmt.Errorf("-merge %q: %w", pat, err)
+			}
+			paths = append(paths, matched...)
 		}
 		if len(paths) == 0 {
 			return fmt.Errorf("-merge %q matched no shard checkpoints", *mergeGlob)
@@ -324,6 +354,32 @@ func runCtx(ctx context.Context, args []string) error {
 	if shardSpec != nil {
 		shape.Shard = shardSpec.String()
 	}
+
+	// Result warehouse: cells whose content-addressed record already
+	// exists resolve from the store without executing an injection, and
+	// every freshly completed cell is stored back. The key covers the
+	// program bytes and the whole study shape, so a hit can only replay
+	// the byte-identical outcome; shard workers share one store safely
+	// (atomic per-record files, idempotent writes).
+	var wcache *warehouse.StudyCache
+	if *warehouseD != "" {
+		wstore, werr := warehouse.Open(*warehouseD)
+		if werr != nil {
+			return werr
+		}
+		if om != nil {
+			wstore.Hits, wstore.Misses, wstore.Stores = om.WarehouseHits, om.WarehouseMisses, om.WarehouseStores
+		}
+		wcache = wstore.ForStudy(shape, progs)
+		if *cellWorkers > 1 {
+			// Per-attempt seeding draws a different (deterministic) sample
+			// than the sequential stream; the key space must not mix them.
+			wcache.SetPerAttemptSeeding()
+		}
+		if *warehouseQ {
+			return queryWarehouse(os.Stdout, wcache, progs, *n)
+		}
+	}
 	resumeState := mergedState
 	if *resume != "" {
 		resumeState, err = core.LoadCheckpointShape(*resume, shape)
@@ -354,6 +410,11 @@ func runCtx(ctx context.Context, args []string) error {
 		Checkpoint: ckpt, Resume: resumeState, Replay: replay,
 		Compiled: compiledCfg, Obs: om, TraceAttempts: *traceAtt,
 		Adaptive: adaptCfg, Shard: shardSpec, Trace: tracer}
+	if wcache != nil {
+		// Assign only when armed: StudyConfig.Warehouse is an interface and
+		// a typed-nil *StudyCache would defeat its nil check.
+		cfg.Warehouse = wcache
+	}
 	if !*quiet {
 		cfg.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
@@ -463,6 +524,32 @@ func superviseShards(ctx context.Context, workers int, dir string, args []string
 			len(failures), workers)
 	}
 	return dir, filepath.Join(dir, fmt.Sprintf("shard-*-of-%d.jsonl", workers)), isTmp, nil
+}
+
+// queryWarehouse prints the warehouse status of every study cell at its
+// base identity — hit (a completed record), skip (a cached deterministic
+// skip), or miss (the cell would execute). Adaptive extension records
+// live under raised targets the reallocation plan derives at run time,
+// so the base-identity answer is the conservative one: a listed hit is
+// guaranteed to resolve without execution.
+func queryWarehouse(w io.Writer, cache *warehouse.StudyCache, progs []*core.Program, n int) error {
+	counts := map[string]int{}
+	keys := core.CanonicalCells(progs, nil)
+	fmt.Fprintf(w, "%-10s %-5s %-10s %-6s %s\n", "BENCHMARK", "LEVEL", "CATEGORY", "STATUS", "KEY")
+	for _, key := range keys {
+		status := cache.Probe(key, n, n)
+		kh, ok := cache.KeyHex(key, n, n)
+		if !ok {
+			kh = "-"
+		}
+		fmt.Fprintf(w, "%-10s %-5s %-10s %-6s %s\n",
+			key.Prog, key.Level, key.Category, status, kh)
+		counts[status]++
+	}
+	fmt.Fprintf(w, "\n%d hit, %d skip, %d miss of %d cells in %s\n",
+		counts[warehouse.StatusHit], counts[warehouse.StatusSkip], counts[warehouse.StatusMiss],
+		len(keys), cache.Store().Dir())
+	return nil
 }
 
 func printTable2() {

@@ -48,6 +48,7 @@ import (
 	"hlfi/internal/obs"
 	"hlfi/internal/obs/trace"
 	"hlfi/internal/telemetry"
+	"hlfi/internal/warehouse"
 )
 
 func main() {
@@ -96,6 +97,7 @@ func runCtx(ctx context.Context, args []string, onReady func(addr string)) error
 		adaptFlag  = fs.String("adaptive", "off", "adaptive sampling: off|on|eps=E,min=M,check=C — workers stop cells once every outcome-rate Wilson 95% CI is narrower than eps; the coordinator reallocates the saved budget as extension leases")
 		traceOn    = fs.Bool("trace", false, "arm fleet-wide distributed tracing: lease grants propagate trace context to workers, worker spans merge back over heartbeats and completions, and /tracez serves the live timeline (results are byte-identical with or without it)")
 		flightRec  = fs.String("flight-recorder", "", "also append every finished span to this durable JSONL flight-recorder file (implies -trace; fail-stop: a write failure detaches the file and the in-memory timeline continues)")
+		warehouseD = fs.String("warehouse", "", "content-addressed result warehouse directory: warehoused cells resolve at submission without ever granting a lease, every leased resolution is stored back, and GET /warehouse reports per-cell hit/miss status")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -208,6 +210,24 @@ func runCtx(ctx context.Context, args []string, onReady func(addr string)) error
 
 	metrics := fleet.NewMetrics()
 	obs.RegisterBuildInfo(metrics.Registry(), "on", adaptCfg.Signature())
+
+	// Result warehouse: warehoused cells resolve at submission without a
+	// lease, leased resolutions are stored back, and GET /warehouse
+	// reports per-cell status. The cache key covers the same shape the
+	// checkpoint header pins, so fleet and local ficompare runs share one
+	// store.
+	var wcache *warehouse.StudyCache
+	if *warehouseD != "" {
+		wstore, werr := warehouse.Open(*warehouseD)
+		if werr != nil {
+			return werr
+		}
+		wstore.Hits, wstore.Misses, wstore.Stores =
+			metrics.WarehouseHits, metrics.WarehouseMisses, metrics.WarehouseStores
+		wcache = wstore.ForStudy(shape, progs)
+		logf("fiserve: result warehouse at %s", wstore.Dir())
+	}
+
 	c, err := fleet.New(fleet.Config{
 		Programs:      progs,
 		N:             *n,
@@ -223,6 +243,7 @@ func runCtx(ctx context.Context, args []string, onReady func(addr string)) error
 		Adaptive:      adaptCfg,
 		Checkpoint:    writer,
 		Resume:        resumeState,
+		Warehouse:     wcache,
 		Events:        rec,
 		Metrics:       metrics,
 		Trace:         tracer,

@@ -41,6 +41,7 @@ func run(args []string) error {
 		traceAtt  = fs.Int("trace-attempts", 0, "record fault-propagation traces for the first N attempts as attempt_trace events")
 		noComp    = fs.Bool("no-compiled", false, "force every attempt onto the interpreter instead of the compiled engine (results are byte-identical)")
 		adaptFlag = fs.String("adaptive", "off", "adaptive early stopping: off|on|eps=E,min=M,check=C (stop once every outcome-rate Wilson CI is narrower than eps)")
+		warehouse = fs.String("warehouse", "", "content-addressed result warehouse directory: a cached record for this exact cell replays the summary without executing an injection, and a fresh result is stored back (records are keyed by the effective campaign seed, so they interoperate with ficompare/fleet stores exactly when the samples match)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,5 +65,5 @@ func run(args []string) error {
 	return cli.RunCampaign(os.Stdout, prog, fault.LevelIR, cat,
 		cli.CampaignOptions{N: *n, Seed: *seed, Verbose: *verbose, EventsPath: *events,
 			StatusAddr: *status, TraceAttempts: *traceAtt, NoCompiled: *noComp,
-			Adaptive: adaptCfg})
+			Adaptive: adaptCfg, Warehouse: *warehouse})
 }

@@ -15,6 +15,7 @@ import (
 	"hlfi/internal/fault"
 	"hlfi/internal/obs"
 	"hlfi/internal/telemetry"
+	"hlfi/internal/warehouse"
 )
 
 // LoadProgram builds a Program from a registered benchmark name or a
@@ -94,6 +95,12 @@ type CampaignOptions struct {
 	// single cell (flag parity with ficompare's -adaptive; a lone cell
 	// has no reallocation round, it simply stops once converged).
 	Adaptive *adaptive.Config
+	// Warehouse, when non-empty, is the content-addressed result store
+	// directory: a cached record for this exact cell (program bytes,
+	// fault model, n, seed, engine and adaptive signatures) replays its
+	// summary without executing an injection, and a fresh result is
+	// stored back. The key space is shared with ficompare and the fleet.
+	Warehouse string
 }
 
 // RunCampaign executes one campaign cell and prints the paper-style
@@ -142,6 +149,54 @@ func RunCampaign(w io.Writer, prog *core.Program, level fault.Level, cat fault.C
 		compiled.Obs = om
 	}
 
+	// Result warehouse: a cached record for this exact cell replays the
+	// summary without executing an injection; a fresh result (or a
+	// deterministic skip) is stored back. The summary lines come from the
+	// same renderer either way, so stdout is byte-identical to a cold run.
+	var wcache *warehouse.StudyCache
+	key := core.CellKey{Prog: prog.Name, Level: level, Category: cat}
+	if opts.Warehouse != "" {
+		wstore, werr := warehouse.Open(opts.Warehouse)
+		if werr != nil {
+			return werr
+		}
+		if om != nil {
+			wstore.Hits, wstore.Misses, wstore.Stores = om.WarehouseHits, om.WarehouseMisses, om.WarehouseStores
+		}
+		wcache = wstore.ForStudy(core.CheckpointShape{N: opts.N, Seed: opts.Seed,
+			Compiled: compiled.Signature(), Adaptive: opts.Adaptive.Signature()},
+			[]*core.Program{prog})
+		// The campaign below streams directly from opts.Seed, not from the
+		// study scheduler's per-cell derivation — key on that.
+		wcache.SetRawCampaignSeed()
+		if res, skip, ok := wcache.Lookup(key, opts.N, opts.N); ok {
+			switch {
+			case res != nil:
+				fmt.Fprintln(os.Stderr, "cell resolved from the result warehouse (no injections executed)")
+				if rec != nil {
+					rec.Record(telemetry.Event{Type: telemetry.EventStudyStart,
+						N: opts.N, Seed: opts.Seed, Cells: 1, Parallel: 1})
+					rec.Record(telemetry.Event{Type: telemetry.EventWarehouseHit,
+						Benchmark: prog.Name, Level: level.String(), Category: cat.String(),
+						Attempts: res.Attempts, Activated: res.Activated(),
+						Benign: res.Benign, SDC: res.SDC, Crash: res.Crash, Hang: res.Hang,
+						NotActivated: res.NotActivated, SimFaults: res.SimFaults,
+						AdaptiveTarget: res.Adaptive.Target, AdaptiveConverged: res.Adaptive.Converged})
+					rec.Record(telemetry.Event{Type: telemetry.EventStudyDone, Cells: 1})
+				}
+				printCampaignSummary(w, res, opts.Verbose)
+				return nil
+			case skip != nil:
+				if rec != nil {
+					rec.Record(telemetry.Event{Type: telemetry.EventCellSkip,
+						Benchmark: prog.Name, Level: level.String(), Category: cat.String(),
+						Err: skip.Err})
+				}
+				return fmt.Errorf("%s", skip.Err)
+			}
+		}
+	}
+
 	var metrics core.CellMetrics
 	c := &core.Campaign{Prog: prog, Level: level, Category: cat,
 		N: opts.N, Seed: opts.Seed, Metrics: &metrics,
@@ -150,10 +205,29 @@ func RunCampaign(w io.Writer, prog *core.Program, level fault.Level, cat fault.C
 		Adaptive: opts.Adaptive}
 	res, err := c.Run()
 	emitCampaignEvents(rec, c, res, metrics, err)
+	if wcache != nil {
+		switch {
+		case res != nil && err == nil:
+			wcache.StoreCell(key, opts.N, opts.N, res)
+		case err != nil:
+			// StoreSkip keeps only deterministic kinds; deadline and other
+			// execution accidents are dropped there.
+			wcache.StoreSkip(key, opts.N, opts.N,
+				core.CheckpointSkip{Kind: core.SkipKindOf(err), Err: err.Error()})
+		}
+	}
 	if err != nil {
 		return err
 	}
-	if opts.Verbose {
+	printCampaignSummary(w, res, opts.Verbose)
+	return nil
+}
+
+// printCampaignSummary renders the paper-style cell summary — shared by
+// the executed and warehouse-replayed paths so their stdout is
+// byte-identical.
+func printCampaignSummary(w io.Writer, res *core.CellResult, verbose bool) {
+	if verbose {
 		fmt.Fprintf(w, "attempts=%d (non-activated redrawn: %d)\n", res.Attempts, res.NotActivated)
 		if res.Adaptive.Target > 0 && res.Adaptive.Converged {
 			fmt.Fprintf(w, "adaptive: converged at %d activated (target %d)\n", res.Activated(), res.Adaptive.Target)
@@ -167,7 +241,6 @@ func RunCampaign(w io.Writer, prog *core.Program, level fault.Level, cat fault.C
 	fmt.Fprintf(w, "  sdc    : %4d  (%5.1f%% ±%.1f%%)\n", res.SDC, 100*res.SDCRate().Rate(), 100*res.SDCRate().WaldCI())
 	fmt.Fprintf(w, "  hang   : %4d  (%5.1f%%)\n", res.Hang, 100*res.HangRate().Rate())
 	fmt.Fprintf(w, "  benign : %4d  (%5.1f%%)\n", res.Benign, 100*res.BenignRate().Rate())
-	return nil
 }
 
 // emitCampaignEvents mirrors the study event stream for a single-cell

@@ -221,6 +221,7 @@ func runAdaptiveRound2(ctx context.Context, cfg StudyConfig, specs []cellSpec, r
 	prior := make([]*CellResult, len(exts))
 	extMetrics := make([]CellMetrics, len(exts))
 	extErrs := make([]error, len(exts))
+	warehoused := make([]bool, len(exts))
 	var (
 		mu      sync.Mutex
 		done    = make([]bool, len(exts))
@@ -233,7 +234,7 @@ func runAdaptiveRound2(ctx context.Context, cfg StudyConfig, specs []cellSpec, r
 		for emitted < len(exts) && done[emitted] {
 			e := exts[emitted]
 			noteExtension(cfg, specs[e.idx], prior[emitted], results[e.idx],
-				extMetrics[emitted], extErrs[emitted])
+				extMetrics[emitted], extErrs[emitted], warehoused[emitted])
 			emitted++
 		}
 	}
@@ -245,6 +246,26 @@ func runAdaptiveRound2(ctx context.Context, cfg StudyConfig, specs []cellSpec, r
 		s := specs[e.idx]
 		key := s.key()
 		prior[j] = results[e.idx]
+		// Warehouse resolution at the extension identity (target,
+		// BaseN): the plan is a pure function of the round-1 states, so
+		// a warm run recomputes the identical targets and every
+		// extension record is a lookup away. Hits are checkpointed like
+		// executed extensions (last-record-wins supersede).
+		if cfg.Warehouse != nil {
+			if wres, _, ok := cfg.Warehouse.Lookup(key, e.target, plan.BaseN); ok && wres != nil {
+				warehoused[j] = true
+				tasks[j] = func(context.Context) error {
+					defer finish(j)
+					results[e.idx] = wres
+					if cerr := cfg.Checkpoint.Cell(key, wres); cerr != nil {
+						extErrs[j] = cerr
+						return cerr
+					}
+					return nil
+				}
+				continue
+			}
+		}
 		tasks[j] = func(context.Context) error {
 			defer finish(j)
 			var espan trace.Span
@@ -314,6 +335,9 @@ func runAdaptiveRound2(ctx context.Context, cfg StudyConfig, specs []cellSpec, r
 				extErrs[j] = cerr
 				return cerr
 			}
+			if cfg.Warehouse != nil {
+				cfg.Warehouse.StoreCell(key, e.target, plan.BaseN, res)
+			}
 			return nil
 		}
 	}
@@ -337,8 +361,23 @@ func runAdaptiveRound2(ctx context.Context, cfg StudyConfig, specs []cellSpec, r
 // The cell_extend event carries DELTA counts over the round-1 record:
 // cell_done totals plus cell_extend totals equal the final study
 // totals, keeping the telemetry aggregator additive.
-func noteExtension(cfg StudyConfig, s cellSpec, prior, res *CellResult, m CellMetrics, err error) {
+func noteExtension(cfg StudyConfig, s cellSpec, prior, res *CellResult, m CellMetrics, err error, warehoused bool) {
 	switch {
+	case res != nil && warehoused && err == nil:
+		if cfg.Progress != nil {
+			cfg.Progress(fmt.Sprintf("%-10s %-5s %-10s activated=%d crash=%.1f%% sdc=%.1f%% (warehouse)%s",
+				s.prog.Name, s.level, s.cat, res.Activated(),
+				100*res.CrashRate().Rate(), 100*res.SDCRate().Rate(), adaptiveSuffix(res)))
+		}
+		emit(cfg.Events, telemetry.Event{
+			Type:      telemetry.EventWarehouseHit,
+			Benchmark: s.prog.Name, Level: s.level.String(), Category: s.cat.String(),
+			Attempts: res.Attempts, Activated: res.Activated(),
+			Benign: res.Benign, SDC: res.SDC, Crash: res.Crash, Hang: res.Hang,
+			NotActivated: res.NotActivated, SimFaults: res.SimFaults,
+			AdaptiveTarget:    res.Adaptive.Target,
+			AdaptiveConverged: res.Adaptive.Converged,
+		})
 	case err != nil && isSoftSkip(err):
 		if cfg.Progress != nil {
 			cfg.Progress(fmt.Sprintf("%-10s %-5s %-10s adaptive extension abandoned (%v); keeping round-1 record",

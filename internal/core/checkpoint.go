@@ -66,6 +66,23 @@ func (e *CheckpointWriteError) Error() string {
 
 func (e *CheckpointWriteError) Unwrap() error { return e.Err }
 
+// CheckpointTruncatedError is the typed failure of loading a checkpoint
+// that was cut off before its study header reached stable storage: a
+// zero-byte file (crash between create and the first fsynced line) or a
+// file whose only content is the torn header line itself. Both are the
+// benign debris of a killed writer, not corruption — but they carry no
+// study shape, so neither -resume nor -merge can use them. Callers can
+// errors.As on this type to offer "delete it and start fresh" instead
+// of surfacing a bare io.EOF or JSON parse error.
+type CheckpointTruncatedError struct {
+	Path string
+	Size int64
+}
+
+func (e *CheckpointTruncatedError) Error() string {
+	return fmt.Sprintf("checkpoint %s: truncated before the study header was written (%d bytes, no complete record): the writer was killed before its first fsync; delete the file and start a fresh run", e.Path, e.Size)
+}
+
 type checkpointLine struct {
 	Type string `json:"type"` // "study" | "cell" | "skip"
 
@@ -145,6 +162,35 @@ type CheckpointSkip struct {
 	Kind string
 	Err  string
 }
+
+// skipError reconstructs the skip's error so replaying the record
+// through CheckpointWriter.Skip (and SkipKindOf) yields the identical
+// kind and message — a warehouse-resolved skip must checkpoint exactly
+// like the original run's.
+func (s CheckpointSkip) skipError() error {
+	var sentinel error
+	switch s.Kind {
+	case SkipNoCandidates:
+		sentinel = ErrNoCandidates
+	case SkipNotActivated:
+		sentinel = ErrNotActivated
+	case SkipDeadline:
+		sentinel = ErrDeadline
+	default:
+		return errors.New(s.Err)
+	}
+	return &replayedSkipError{msg: s.Err, sentinel: sentinel}
+}
+
+// replayedSkipError carries a recorded skip message while unwrapping to
+// the sentinel its kind maps back to.
+type replayedSkipError struct {
+	msg      string
+	sentinel error
+}
+
+func (e *replayedSkipError) Error() string { return e.msg }
+func (e *replayedSkipError) Unwrap() error { return e.sentinel }
 
 // CheckpointState is the loaded content of a checkpoint file: completed
 // cells to restore and soft-skipped cells to skip again without
@@ -307,7 +353,17 @@ func readCheckpoint(path string) (*CheckpointState, CheckpointShape, error) {
 		}
 	}
 	if !sawHeader {
-		return nil, hdr, fmt.Errorf("checkpoint %s: missing study header line", path)
+		// A file with complete records but no header is real corruption
+		// (or not a checkpoint at all); an empty file or one holding
+		// only the torn header line is the debris of a writer killed
+		// before its first fsync, reported as a typed truncation.
+		for lineNo, raw := range lines {
+			if len(raw) == 0 || (tornTail && lineNo == len(lines)-1) {
+				continue
+			}
+			return nil, hdr, fmt.Errorf("checkpoint %s: missing study header line", path)
+		}
+		return nil, hdr, &CheckpointTruncatedError{Path: path, Size: int64(len(data))}
 	}
 	return st, hdr, nil
 }

@@ -12,6 +12,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -92,14 +93,24 @@ func (e *HeaderMismatchError) Error() string {
 }
 
 // DuplicateShardError reports two checkpoints claiming the same shard
-// index.
+// index — either two distinct files that both carry it, or one physical
+// file reaching the merge twice (overlapping glob patterns, a symlink,
+// or a hard link), flagged by SameFile. The same-file case is reported
+// rather than silently deduplicated: a merge list that aliases one file
+// usually means the operator's pattern set is not covering the shard
+// space they think it is.
 type DuplicateShardError struct {
-	File  string
-	Prior string
-	Index int
+	File     string
+	Prior    string
+	Index    int
+	SameFile bool
 }
 
 func (e *DuplicateShardError) Error() string {
+	if e.SameFile {
+		return fmt.Sprintf("merge path %s is the same file as %s (overlapping patterns, a symlink, or a hard link supply shard index %d twice); fix the -merge pattern set so each shard checkpoint is named once",
+			e.File, e.Prior, e.Index)
+	}
 	return fmt.Sprintf("shard checkpoint %s claims shard index %d, already supplied by %s",
 		e.File, e.Index, e.Prior)
 }
@@ -182,8 +193,29 @@ func MergeShardCheckpoints(paths []string) (*MergedShards, error) {
 		Cells: make(map[CellKey]*CellResult),
 		Skips: make(map[CellKey]CheckpointSkip),
 	}}
+	// Same-file detection by inode identity, not path string: two merge
+	// patterns can reach one checkpoint under different names (symlink,
+	// hard link, ./-prefixed duplicate), which would otherwise read as
+	// a doubly-claimed shard index with a confusing pair of "different"
+	// paths — or worse, as two well-formed shards of a study that is in
+	// fact missing one.
+	type mergeSource struct {
+		info  os.FileInfo
+		path  string
+		index int
+	}
+	var sources []mergeSource
 	reference := ""
 	for _, path := range paths {
+		fi, err := os.Stat(path)
+		if err != nil {
+			return nil, err
+		}
+		for _, src := range sources {
+			if os.SameFile(src.info, fi) {
+				return nil, &DuplicateShardError{File: path, Prior: src.path, Index: src.index, SameFile: true}
+			}
+		}
 		st, hdr, err := readCheckpoint(path)
 		if err != nil {
 			return nil, err
@@ -210,6 +242,7 @@ func MergeShardCheckpoints(paths []string) (*MergedShards, error) {
 			return nil, &DuplicateShardError{File: path, Prior: prior, Index: spec.Index}
 		}
 		merged.Files[spec.Index] = path
+		sources = append(sources, mergeSource{info: fi, path: path, index: spec.Index})
 		for key, res := range st.Cells {
 			merged.State.Cells[key] = res
 		}

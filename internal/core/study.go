@@ -134,6 +134,34 @@ type StudyConfig struct {
 	// covers every program — it is one golden run per (program, level),
 	// cheap next to any shard's campaigns.
 	Shard *ShardSpec
+	// Warehouse, when non-nil, is the content-addressed result cache:
+	// every cell is looked up before execution (a hit resolves the cell
+	// without running a single injection, byte-identical to a cold run
+	// by the warehouse differential oracle) and stored after. Unlike
+	// Checkpoint, the warehouse is an accelerator, not the durability
+	// path: its failures degrade to misses or dropped stores and never
+	// abort the study. Warehouse-resolved cells are still appended to
+	// the checkpoint, so -resume and the fleet render see them.
+	Warehouse CellStore
+}
+
+// CellStore is the content-addressed result warehouse seen from the
+// study scheduler (implemented by warehouse.StudyCache; an interface
+// here so core does not depend on the storage layer). target and base
+// are the cell record's (activated-target, adaptive-base) identity:
+// (N, N) for fixed-n and adaptive round-1 records, (BaseN+grant, BaseN)
+// for round-2 extensions. Implementations must be safe for concurrent
+// use and fail-stop: a storage problem surfaces as a miss or a dropped
+// store, never as a wrong or stale result.
+type CellStore interface {
+	// Lookup resolves one cell: a cached result, a cached deterministic
+	// skip, or ok=false (miss).
+	Lookup(key CellKey, target, base int) (res *CellResult, skip *CheckpointSkip, ok bool)
+	// StoreCell persists one completed cell.
+	StoreCell(key CellKey, target, base int, res *CellResult)
+	// StoreSkip persists one soft-skipped cell; implementations only
+	// persist kinds that are pure functions of the cell's inputs.
+	StoreSkip(key CellKey, target, base int, skip CheckpointSkip)
 }
 
 // ErrAborted is returned (wrapping the context error) by RunStudyContext
@@ -284,6 +312,7 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 	cellErrs := make([]error, len(specs))
 	resumed := make([]bool, len(specs))
 	resumedSkips := make([]*CheckpointSkip, len(specs))
+	warehoused := make([]bool, len(specs))
 
 	// Reorder buffer: progress lines and telemetry events are released
 	// only for the completed prefix, so their order matches the serial
@@ -302,7 +331,7 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 		done[i] = true
 		for emitted < len(specs) && done[emitted] {
 			noteCell(cfg, specs[emitted], results[emitted], metrics[emitted],
-				cellErrs[emitted], resumed[emitted], resumedSkips[emitted])
+				cellErrs[emitted], resumed[emitted], resumedSkips[emitted], warehoused[emitted])
 			emitted++
 		}
 	}
@@ -333,6 +362,45 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 					}
 					finish(i)
 					return nil
+				}
+				continue
+			}
+		}
+		// Warehouse resolution: a content-addressed hit replaces the
+		// cell's execution entirely. Unlike resume, the hit is appended
+		// to this study's checkpoint — the warehouse record belongs to a
+		// different file, and -resume (and the fleet render) must find
+		// the cell in this one.
+		if cfg.Warehouse != nil {
+			if res, skip, ok := cfg.Warehouse.Lookup(key, cfg.N, cfg.N); ok {
+				warehoused[i] = true
+				if res != nil {
+					results[i] = res
+					tasks[i] = func(context.Context) error {
+						defer finish(i)
+						if cfg.Obs != nil {
+							cfg.Obs.CellsDone.Inc()
+						}
+						if cerr := cfg.Checkpoint.Cell(key, res); cerr != nil {
+							cellErrs[i] = cerr
+							return cerr
+						}
+						return nil
+					}
+				} else {
+					resumedSkips[i] = skip
+					skipErr := skip.skipError()
+					tasks[i] = func(context.Context) error {
+						defer finish(i)
+						if cfg.Obs != nil {
+							cfg.Obs.CellsSkipped.Inc()
+						}
+						if cerr := cfg.Checkpoint.Skip(key, skipErr); cerr != nil {
+							cellErrs[i] = cerr
+							return cerr
+						}
+						return nil
+					}
 				}
 				continue
 			}
@@ -396,6 +464,10 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 						cellErrs[i] = cerr
 						return cerr
 					}
+					if cfg.Warehouse != nil {
+						cfg.Warehouse.StoreSkip(key, cfg.N, cfg.N,
+							CheckpointSkip{Kind: SkipKindOf(err), Err: err.Error()})
+					}
 					return nil // soft skip: the study keeps going
 				}
 				return err // hard error: cancels the pool
@@ -412,6 +484,9 @@ func RunStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 			if cerr := cfg.Checkpoint.Cell(key, res); cerr != nil {
 				cellErrs[i] = cerr
 				return cerr
+			}
+			if cfg.Warehouse != nil {
+				cfg.Warehouse.StoreCell(key, cfg.N, cfg.N, res)
 			}
 			return nil
 		}
@@ -543,8 +618,33 @@ func IsSoftSkip(err error) bool {
 func isSoftSkip(err error) bool { return IsSoftSkip(err) }
 
 // noteCell releases one cell's progress line and telemetry events.
-func noteCell(cfg StudyConfig, s cellSpec, res *CellResult, m CellMetrics, err error, resumed bool, rskip *CheckpointSkip) {
+func noteCell(cfg StudyConfig, s cellSpec, res *CellResult, m CellMetrics, err error, resumed bool, rskip *CheckpointSkip, warehoused bool) {
 	switch {
+	case res != nil && warehoused:
+		if cfg.Progress != nil {
+			cfg.Progress(fmt.Sprintf("%-10s %-5s %-10s activated=%d crash=%.1f%% sdc=%.1f%% (warehouse)%s",
+				s.prog.Name, s.level, s.cat, res.Activated(),
+				100*res.CrashRate().Rate(), 100*res.SDCRate().Rate(), adaptiveSuffix(res)))
+		}
+		emit(cfg.Events, telemetry.Event{
+			Type:      telemetry.EventWarehouseHit,
+			Benchmark: s.prog.Name, Level: s.level.String(), Category: s.cat.String(),
+			Attempts: res.Attempts, Activated: res.Activated(),
+			Benign: res.Benign, SDC: res.SDC, Crash: res.Crash, Hang: res.Hang,
+			NotActivated: res.NotActivated, SimFaults: res.SimFaults,
+			AdaptiveTarget:    res.Adaptive.Target,
+			AdaptiveConverged: res.Adaptive.Converged,
+		})
+	case rskip != nil && warehoused:
+		if cfg.Progress != nil {
+			cfg.Progress(fmt.Sprintf("%-10s %-5s %-10s skipped (%s, warehouse)",
+				s.prog.Name, s.level, s.cat, rskip.Kind))
+		}
+		emit(cfg.Events, telemetry.Event{
+			Type:      telemetry.EventCellSkip,
+			Benchmark: s.prog.Name, Level: s.level.String(), Category: s.cat.String(),
+			Err: rskip.Err,
+		})
 	case res != nil && resumed:
 		if cfg.Progress != nil {
 			cfg.Progress(fmt.Sprintf("%-10s %-5s %-10s activated=%d crash=%.1f%% sdc=%.1f%% (resumed from checkpoint)%s",

@@ -14,6 +14,7 @@ import (
 	"hlfi/internal/fault"
 	"hlfi/internal/obs/trace"
 	"hlfi/internal/telemetry"
+	"hlfi/internal/warehouse"
 )
 
 // Config configures a Coordinator for one study submission.
@@ -75,6 +76,14 @@ type Config struct {
 	// Resume, when non-nil, pre-resolves the recorded cells so a
 	// restarted coordinator re-leases only the remainder.
 	Resume *core.CheckpointState
+	// Warehouse, when non-nil, is the content-addressed result cache:
+	// warehoused cells are resolved at construction (and at plan time,
+	// for adaptive extensions) without ever granting a lease, announced
+	// by a warehouse_hit telemetry event, and every leased resolution is
+	// stored back. Hits are appended to the checkpoint like any other
+	// resolution — the render path loads the coordinator's own
+	// checkpoint, so a warehouse-resolved cell must be in it.
+	Warehouse *warehouse.StudyCache
 
 	// Events, when non-nil, receives fleet_* telemetry events in
 	// coordinator decision order.
@@ -240,6 +249,41 @@ func New(cfg Config) (*Coordinator, error) {
 				c.resolved++
 			}
 		}
+		// Warehouse pre-resolution: a cell whose record is already in the
+		// content-addressed store never enters the queue — its result is
+		// checkpoint-appended (the render path loads this coordinator's own
+		// checkpoint) and the cell resolves without a lease. A corrupt or
+		// absent record is just a miss; the cell is leased normally.
+		if cs.status == cellPending && cfg.Warehouse != nil {
+			if res, skip, ok := cfg.Warehouse.Lookup(key, cfg.N, cfg.N); ok {
+				if res != nil {
+					if c.cfg.Checkpoint != nil {
+						if err := c.cfg.Checkpoint.Cell(key, res); err != nil {
+							c.detachCheckpointLocked(err)
+						}
+					}
+					cs.status, cs.result = cellDone, res
+					if res.Adaptive.Target > 0 {
+						cs.target = res.Adaptive.Target
+					}
+					c.cfg.Metrics.CellsDone.Inc()
+					c.resolved++
+					c.emitWarehouseHit(cs)
+				} else if skip != nil {
+					if c.cfg.Checkpoint != nil {
+						if err := c.appendSkipLocked(key, *skip); err != nil {
+							c.detachCheckpointLocked(err)
+						}
+					}
+					cs.skip, cs.status = skip, cellSkipped
+					c.cfg.Metrics.CellsSkipped.Inc()
+					c.resolved++
+					c.emit(telemetry.Event{Type: telemetry.EventWarehouseHit,
+						Benchmark: key.Prog, Level: key.Level.String(), Category: key.Category.String(),
+						Err: skip.Err})
+				}
+			}
+		}
 		if cs.status == cellPending {
 			cs.cellSpan = cfg.Trace.StartChild(trace.KindCell, cellName(key), c.root)
 			cs.gapSpan = cfg.Trace.StartChild(trace.KindWait, cellName(key), cs.cellSpan)
@@ -300,6 +344,18 @@ func (c *Coordinator) emit(e telemetry.Event) {
 	if c.cfg.Events != nil {
 		c.cfg.Events.Record(e)
 	}
+}
+
+// emitWarehouseHit announces a cell resolved from the result warehouse,
+// carrying the cached counts so dashboards render it like any completed
+// cell while the aggregator keeps it out of this run's attempt totals.
+func (c *Coordinator) emitWarehouseHit(cs *cellState) {
+	res := cs.result
+	c.emit(telemetry.Event{Type: telemetry.EventWarehouseHit,
+		Benchmark: cs.key.Prog, Level: cs.key.Level.String(), Category: cs.key.Category.String(),
+		Benign: int(res.Benign), SDC: int(res.SDC), Crash: int(res.Crash), Hang: int(res.Hang),
+		NotActivated: int(res.NotActivated), Attempts: int(res.Attempts), SimFaults: int(res.SimFaults),
+		AdaptiveTarget: res.Adaptive.Target, AdaptiveConverged: res.Adaptive.Converged})
 }
 
 // noteWorker records worker contact (mutex held).
@@ -499,7 +555,7 @@ func (c *Coordinator) applyAdaptivePlanLocked() bool {
 			convergedCells++
 		}
 	}
-	reopened := 0
+	reopened, warehoused := 0, 0
 	for i, g := range plan.Grants {
 		cs := c.cells[i]
 		if g <= 0 || cs.result == nil {
@@ -508,6 +564,23 @@ func (c *Coordinator) applyAdaptivePlanLocked() bool {
 		target := base + g
 		if cs.result.Adaptive.Target == target {
 			continue // resumed record already extended to this target
+		}
+		// The warehouse may already hold the extended record from an
+		// earlier campaign — the grant is a pure function of the round-1
+		// records, so the (target, base) identity matches exactly. A hit
+		// resolves the extension in place: no reopening, no lease.
+		if c.cfg.Warehouse != nil {
+			if wres, _, ok := c.cfg.Warehouse.Lookup(cs.key, target, base); ok && wres != nil {
+				if c.cfg.Checkpoint != nil {
+					if err := c.cfg.Checkpoint.Cell(cs.key, wres); err != nil {
+						c.detachCheckpointLocked(err)
+					}
+				}
+				cs.result, cs.target = wres, target
+				warehoused++
+				c.emitWarehouseHit(cs)
+				continue
+			}
 		}
 		cs.target, cs.prior, cs.result = target, cs.result, nil
 		cs.status, cs.grants, cs.lease = cellPending, 0, 0
@@ -523,12 +596,12 @@ func (c *Coordinator) applyAdaptivePlanLocked() bool {
 	}
 	c.cfg.Metrics.AdaptiveExtensions.Add(uint64(reopened))
 	c.updateQueueDepthLocked()
-	c.logf("fleet: adaptive plan: %d activations saved by early-stopped cells; %d cell(s) reopened as extensions (+%d granted, %d leftover)",
-		plan.Saved, reopened, plan.Granted, plan.Leftover)
+	c.logf("fleet: adaptive plan: %d activations saved by early-stopped cells; %d cell(s) reopened as extensions, %d resolved from the warehouse (+%d granted, %d leftover)",
+		plan.Saved, reopened, warehoused, plan.Granted, plan.Leftover)
 	c.emit(telemetry.Event{Type: telemetry.EventAdaptivePlan,
 		AdaptiveSaved: plan.Saved, AdaptiveGranted: plan.Granted,
 		AdaptiveLeftover: plan.Leftover, AdaptiveConvergedCells: convergedCells,
-		AdaptiveExtendedCells: reopened})
+		AdaptiveExtendedCells: reopened + warehoused})
 	return reopened > 0
 }
 
@@ -691,6 +764,12 @@ func (c *Coordinator) complete(req CompleteRequest, now time.Time) (CompleteResp
 			}
 		}
 		cs.result, cs.status, cs.lease, cs.prior = res, cellDone, 0, nil
+		if c.cfg.Warehouse != nil {
+			// Store back at this resolution's exact identity: (target, base)
+			// for an extension, (N, N) otherwise — the same key the local
+			// study path derives, so caches interoperate across both modes.
+			c.cfg.Warehouse.StoreCell(key, cs.target, c.cfg.N, res)
+		}
 		c.finishCellSpanLocked(cs, "done")
 		c.cfg.Metrics.CellsDone.Inc()
 		c.resolveLocked()
@@ -706,6 +785,12 @@ func (c *Coordinator) complete(req CompleteRequest, now time.Time) (CompleteResp
 			}
 		}
 		cs.skip, cs.status, cs.lease = &skip, cellSkipped, 0
+		if c.cfg.Warehouse != nil {
+			// StoreSkip keeps only deterministic kinds (no-candidates,
+			// not-activated); deadline and fleet-failed skips are run
+			// conditions, not properties of the cell, and are never cached.
+			c.cfg.Warehouse.StoreSkip(key, cs.target, c.cfg.N, skip)
+		}
 		c.finishCellSpanLocked(cs, "skipped")
 		c.cfg.Metrics.CellsSkipped.Inc()
 		c.resolveLocked()
@@ -913,6 +998,52 @@ func (c *Coordinator) Handler() *http.ServeMux {
 		unresolved := c.Drain()
 		c.logf("fleet: draining (%d cells unresolved); no further leases will be granted", unresolved)
 		writeJSON(w, DrainResponse{OK: true, Unresolved: unresolved})
+	})
+	mux.HandleFunc("/warehouse", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		if c.cfg.Warehouse == nil {
+			http.Error(w, "no warehouse configured (start the coordinator with -warehouse)", http.StatusNotFound)
+			return
+		}
+		// Snapshot the cell identities under the mutex, probe the store
+		// outside it — probes touch the disk and must not stall the lease
+		// protocol.
+		type probeSpec struct {
+			key    core.CellKey
+			target int
+		}
+		c.mu.Lock()
+		specs := make([]probeSpec, 0, len(c.cells))
+		for _, cs := range c.cells {
+			specs = append(specs, probeSpec{key: cs.key, target: cs.target})
+		}
+		c.mu.Unlock()
+		type cellView struct {
+			Benchmark string `json:"benchmark"`
+			Level     string `json:"level"`
+			Category  string `json:"category"`
+			Target    int    `json:"target"`
+			Key       string `json:"key,omitempty"`
+			Status    string `json:"status"`
+		}
+		out := struct {
+			Dir    string         `json:"dir"`
+			Cells  []cellView     `json:"cells"`
+			Counts map[string]int `json:"counts"`
+		}{Dir: c.cfg.Warehouse.Store().Dir(), Counts: map[string]int{}}
+		for _, s := range specs {
+			kh, _ := c.cfg.Warehouse.KeyHex(s.key, s.target, c.cfg.N)
+			status := c.cfg.Warehouse.Probe(s.key, s.target, c.cfg.N)
+			out.Cells = append(out.Cells, cellView{
+				Benchmark: s.key.Prog, Level: s.key.Level.String(), Category: s.key.Category.String(),
+				Target: s.target, Key: kh, Status: status,
+			})
+			out.Counts[status]++
+		}
+		writeJSON(w, out)
 	})
 	return mux
 }

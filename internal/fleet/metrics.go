@@ -31,6 +31,15 @@ type Metrics struct {
 	// reopened as extension leases.
 	AdaptiveExtensions *obs.Counter
 
+	// Warehouse accounting: cells resolved from the content-addressed
+	// result warehouse without granting a lease (hits), lookups that
+	// missed (the cell was leased and executed), and records persisted
+	// after resolution. Wired into the warehouse store by the serving
+	// CLI.
+	WarehouseHits   *obs.Counter
+	WarehouseMisses *obs.Counter
+	WarehouseStores *obs.Counter
+
 	// QueueDepth is the number of unleased, unresolved cells;
 	// ActiveLeases the leases currently live; WorkersLive the workers
 	// seen (lease, heartbeat, or completion) within the liveness
@@ -66,6 +75,12 @@ func NewMetrics() *Metrics {
 			"Cells degraded to a fleet-failed skip after exhausting their retry budget."),
 		AdaptiveExtensions: reg.Counter("hlfi_fleet_adaptive_extensions_total",
 			"Cells the adaptive reallocation plan reopened as extension leases."),
+		WarehouseHits: reg.Counter("hlfi_warehouse_hits_total",
+			"Cells resolved from the content-addressed result warehouse without a lease."),
+		WarehouseMisses: reg.Counter("hlfi_warehouse_misses_total",
+			"Warehouse lookups that missed (cell leased and executed)."),
+		WarehouseStores: reg.Counter("hlfi_warehouse_stores_total",
+			"Cell records persisted to the result warehouse."),
 		QueueDepth: reg.Gauge("hlfi_fleet_queue_depth",
 			"Unresolved cells not currently leased."),
 		ActiveLeases: reg.Gauge("hlfi_fleet_active_leases",

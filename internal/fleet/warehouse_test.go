@@ -1,0 +1,196 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"hlfi/internal/core"
+	"hlfi/internal/telemetry"
+	"hlfi/internal/warehouse"
+)
+
+// whCapture counts fleet telemetry events by type.
+type whCapture struct {
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+func (c *whCapture) Record(e telemetry.Event) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.counts == nil {
+		c.counts = make(map[string]int)
+	}
+	c.counts[e.Type]++
+}
+
+func (c *whCapture) count(typ string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[typ]
+}
+
+// TestFleetWarehousePreResolution is the fleet half of the warehouse
+// differential oracle: a cold fleet populates the store through its
+// workers' completions, and a second coordinator over the same store
+// resolves every cell at construction — done before any worker exists,
+// zero leases granted, and the rendered report byte-identical to the
+// single-process golden.
+func TestFleetWarehousePreResolution(t *testing.T) {
+	prog := testProgram(t)
+	goldenSt, err := core.RunStudy(core.StudyConfig{Programs: []*core.Program{prog}, N: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := renderAll(goldenSt)
+
+	store, err := warehouse.Open(filepath.Join(t.TempDir(), "wh"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shape := core.CheckpointShape{N: 8, Seed: 1, Replay: "off", Compiled: "on"}
+	cache := store.ForStudy(shape, []*core.Program{prog})
+
+	// Cold fleet: one worker executes everything; completions store back.
+	ckptCold := filepath.Join(t.TempDir(), "cold.jsonl")
+	writerCold, err := core.NewCheckpointWriterShape(ckptCold, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := churnyConfig(t, prog)
+	cfg.Checkpoint = writerCold
+	cfg.Warehouse = cache
+	store.Hits, store.Misses, store.Stores = cfg.Metrics.WarehouseHits, cfg.Metrics.WarehouseMisses, cfg.Metrics.WarehouseStores
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	if err := RunWorker(context.Background(), WorkerConfig{
+		Name: "w1", Client: &Client{Base: srv.URL, JitterSeed: 1, Logf: t.Logf}, Logf: t.Logf,
+		BuildProgram: func(string) (*core.Program, error) { return prog, nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-c.Done():
+	case <-time.After(120 * time.Second):
+		t.Fatalf("cold fleet did not converge; status: %+v", c.Status())
+	}
+	if err := writerCold.Close(); err != nil {
+		t.Fatal(err)
+	}
+	totalCells := len(c.State().Cells) + len(c.State().Skips)
+	if got := cfg.Metrics.WarehouseMisses.Value(); got != uint64(totalCells) {
+		t.Errorf("cold fleet: %d warehouse misses, want %d (every cell)", got, totalCells)
+	}
+	if got := cfg.Metrics.WarehouseStores.Value(); got == 0 {
+		t.Error("cold fleet stored nothing back")
+	}
+
+	// Warm fleet: a fresh coordinator over the populated store must be
+	// done at construction, with no worker and no lease.
+	ckptWarm := filepath.Join(t.TempDir(), "warm.jsonl")
+	writerWarm, err := core.NewCheckpointWriterShape(ckptWarm, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := churnyConfig(t, prog)
+	cfg2.Checkpoint = writerWarm
+	cfg2.Warehouse = cache
+	var cap whCapture
+	cfg2.Events = &cap
+	store.Hits, store.Misses, store.Stores = cfg2.Metrics.WarehouseHits, cfg2.Metrics.WarehouseMisses, cfg2.Metrics.WarehouseStores
+	c2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-c2.Done():
+	default:
+		t.Fatalf("warm coordinator is not done at construction; status: %+v", c2.Status())
+	}
+	if got := cfg2.Metrics.WarehouseHits.Value(); got != uint64(totalCells) {
+		t.Errorf("warm fleet: %d warehouse hits, want %d", got, totalCells)
+	}
+	if got := cfg2.Metrics.WarehouseMisses.Value(); got != 0 {
+		t.Errorf("warm fleet: %d warehouse misses, want 0", got)
+	}
+	if got := cap.count(telemetry.EventWarehouseHit); got != totalCells {
+		t.Errorf("warm fleet emitted %d warehouse_hit events, want %d", got, totalCells)
+	}
+	if !reflect.DeepEqual(c2.State().Cells, c.State().Cells) {
+		t.Error("warm coordinator state differs from the cold fleet's")
+	}
+	if err := writerWarm.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The warm checkpoint renders byte-identical to the single-process
+	// golden without re-running anything.
+	loaded, err := core.LoadCheckpointShape(ckptWarm, shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmSt, err := core.RunStudy(core.StudyConfig{
+		Programs: []*core.Program{prog}, N: 8, Seed: 1, Resume: loaded,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderAll(warmSt); got != golden {
+		t.Errorf("warehouse-resolved fleet report differs from golden:\n--- golden ---\n%s\n--- warm ---\n%s", golden, got)
+	}
+
+	// GET /warehouse on the warm coordinator classifies every cell as
+	// cached; a coordinator without a warehouse answers 404.
+	srv2 := httptest.NewServer(c2.Handler())
+	defer srv2.Close()
+	resp, err := http.Get(srv2.URL + "/warehouse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /warehouse = %d, want 200", resp.StatusCode)
+	}
+	var report struct {
+		Dir    string         `json:"dir"`
+		Counts map[string]int `json:"counts"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Dir != store.Dir() {
+		t.Errorf("/warehouse dir = %q, want %q", report.Dir, store.Dir())
+	}
+	if cached := report.Counts[warehouse.StatusHit] + report.Counts[warehouse.StatusSkip]; cached != totalCells {
+		t.Errorf("/warehouse classifies %d cells as cached (%+v), want %d", cached, report.Counts, totalCells)
+	}
+
+	cfg3 := churnyConfig(t, prog)
+	c3, err := New(cfg3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv3 := httptest.NewServer(c3.Handler())
+	defer srv3.Close()
+	resp3, err := http.Get(srv3.URL + "/warehouse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Errorf("GET /warehouse without a store = %d, want 404", resp3.StatusCode)
+	}
+}

@@ -69,6 +69,12 @@ type Metrics struct {
 	AdaptiveSaved     *Counter
 	AdaptiveGranted   *Counter
 
+	// Result-warehouse accounting (updated by the warehouse store the
+	// CLI wires these into: lookup hits/misses and completed stores).
+	WarehouseHits   *Counter
+	WarehouseMisses *Counter
+	WarehouseStores *Counter
+
 	// Distributions.
 	AttemptSeconds *Histogram
 	RestoreInstrs  *Histogram
@@ -114,6 +120,10 @@ func New() *Metrics {
 		AdaptiveExtended:  r.Counter("hlfi_adaptive_cells_extended_total", "Cells granted extra budget by the round-2 reallocation plan."),
 		AdaptiveSaved:     r.Counter("hlfi_adaptive_saved_activated_total", "Activated-injection budget donated by early-stopped cells."),
 		AdaptiveGranted:   r.Counter("hlfi_adaptive_granted_activated_total", "Activated-injection budget granted to extended cells."),
+
+		WarehouseHits:   r.Counter("hlfi_warehouse_hits_total", "Cells resolved from the content-addressed result warehouse."),
+		WarehouseMisses: r.Counter("hlfi_warehouse_misses_total", "Warehouse lookups that missed (cell executed)."),
+		WarehouseStores: r.Counter("hlfi_warehouse_stores_total", "Cell records persisted to the result warehouse."),
 
 		AttemptSeconds: r.Histogram("hlfi_attempt_seconds", "Injection attempt latency in seconds.", AttemptSecondsBuckets),
 		RestoreInstrs:  r.Histogram("hlfi_replay_restore_instrs", "Replay restore distance: dynamic instructions replayed after the snapshot restore of one attempt.", RestoreInstrsBuckets),

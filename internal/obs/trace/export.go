@@ -158,6 +158,16 @@ var spanColors = map[string]string{
 	KindExtension: "#ffa726",
 }
 
+// htmlEscape is the single escaping chokepoint for every dynamic string
+// the /tracez HTML timeline interpolates. Worker names, outcomes, and
+// error strings arrive over the network (heartbeat and completion span
+// batches), so they are hostile input here: obs.Label escaped them for
+// the Prometheus exposition, but that escaping is not HTML escaping.
+// html.EscapeString covers both element text and double-quoted
+// attribute values (it escapes &, <, >, ', and "); every fmt verb that
+// renders a string in WriteHTML must go through this function.
+func htmlEscape(s string) string { return html.EscapeString(s) }
+
 // WriteHTML renders a minimal server-side timeline: one lane per cell,
 // bars positioned by pure CSS percentages — no scripts, so it works in
 // anything that renders HTML.
@@ -198,10 +208,10 @@ func (r *Recorder) WriteHTML(w io.Writer) error {
 	head := r.Head()
 	fmt.Fprintf(&sb, "<p>%d spans (%d dropped) over %.3fs · go=%s engine=%s adaptive=%s · <a href=\"/tracez?format=json\">json</a> · <a href=\"/tracez?format=chrome\">chrome trace (open in Perfetto)</a></p>\n",
 		len(recs), r.Dropped(), float64(total)/1e9,
-		html.EscapeString(head.Go), html.EscapeString(head.Engine), html.EscapeString(head.Adaptive))
+		htmlEscape(head.Go), htmlEscape(head.Engine), htmlEscape(head.Adaptive))
 	for _, lane := range order {
 		fmt.Fprintf(&sb, "<div class=\"lane\"><div class=\"label\" title=\"%s\">%s</div><div class=\"track\">\n",
-			html.EscapeString(lane), html.EscapeString(lane))
+			htmlEscape(lane), htmlEscape(lane))
 		for _, rec := range byLane[lane] {
 			left := 100 * float64(rec.Start-epoch) / float64(total)
 			width := 100 * float64(rec.End-rec.Start) / float64(total)
@@ -217,7 +227,7 @@ func (r *Recorder) WriteHTML(w io.Writer) error {
 				title += " err=" + rec.Err
 			}
 			fmt.Fprintf(&sb, "<div class=\"span\" style=\"left:%.3f%%;width:%.3f%%;background:%s\" title=\"%s\"></div>\n",
-				left, width, color, html.EscapeString(title))
+				left, width, color, htmlEscape(title))
 		}
 		sb.WriteString("</div></div>\n")
 	}

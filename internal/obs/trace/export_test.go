@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// The /tracez HTML timeline interpolates strings a remote worker
+// controls: worker names, outcomes, error messages, and span names all
+// arrive over the network in heartbeat and completion span batches, and
+// the trace header is caller-supplied. obs.Label hardened these for the
+// Prometheus exposition, but label escaping is not HTML escaping — this
+// is the regression test (companion to internal/obs/label_test.go) that
+// every dynamic string goes through the htmlEscape chokepoint.
+func TestWriteHTMLEscapesHostileStrings(t *testing.T) {
+	r, err := New(Options{
+		Capacity: 64,
+		Head: Header{
+			Go:       "go<b>1.bold</b>",
+			Engine:   `on"><script>alert(1)</script>`,
+			Adaptive: `eps='0.05'`,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const worker = `w1"><script>alert("w")</script>`
+	r.Emit(Record{Kind: KindCampaign, Name: "study", Start: 0, End: 5e6, Outcome: "done"})
+	r.Emit(Record{
+		Kind:    KindLease,
+		Name:    `quantumm/llfi/instr"><img src=x onerror=alert(2)>`,
+		Worker:  worker,
+		Grant:   1,
+		Start:   1e6,
+		End:     2e6,
+		Outcome: `done"><svg onload=alert(3)>`,
+		Err:     `lease "lost" & <dropped>`,
+	})
+	// A kind outside spanColors exercises the fallback color path and
+	// flows into the slice title like any other dynamic string.
+	r.Emit(Record{Kind: "<hostile-kind>", Name: "quantumm/llfi/instr",
+		Start: 2e6, End: 3e6})
+
+	var sb strings.Builder
+	if err := r.WriteHTML(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	// Without a raw '<' no element can form, so event-handler text like
+	// "onerror=" is inert once its surrounding tag is escaped; the
+	// element openers are what must never survive.
+	for _, raw := range []string{
+		"<script", "</script", "<img", "<svg",
+		"<b>1.bold", "<hostile-kind>", "<dropped>", worker,
+	} {
+		if strings.Contains(out, raw) {
+			t.Errorf("WriteHTML leaked hostile input unescaped: %q", raw)
+		}
+	}
+	// The escaped forms must still be there — escaping, not dropping.
+	for _, escaped := range []string{
+		"&lt;script&gt;", "&lt;img src=x onerror=alert(2)&gt;",
+		"&lt;hostile-kind&gt;", "&#34;lost&#34; &amp; &lt;dropped&gt;",
+	} {
+		if !strings.Contains(out, escaped) {
+			t.Errorf("WriteHTML is missing the escaped form %q", escaped)
+		}
+	}
+	// Attribute context: a hostile string must never close its
+	// double-quoted attribute. Every literal '"' in the document has to
+	// be markup the template wrote, so no escaped-input fragment may
+	// contain one; html.EscapeString renders '"' as &#34;.
+	if strings.Contains(out, `alert("w")`) {
+		t.Error("hostile worker name broke out of its attribute")
+	}
+}

@@ -16,15 +16,16 @@ type StudyStatus struct {
 	// of a sharded campaign ("" for an unsharded study).
 	Shard string `json:"shard,omitempty"`
 
-	CellsPlanned  int  `json:"cellsPlanned"`
-	CellsDone     int  `json:"cellsDone"`
-	CellsSkipped  int  `json:"cellsSkipped"`
-	CellsResumed  int  `json:"cellsResumed"`
-	CellsDeadline int  `json:"cellsDeadline"`
-	SimFaults     int  `json:"simFaults"`
-	Traces        int  `json:"traces"`
-	Done          bool `json:"done"`
-	Aborted       bool `json:"aborted"`
+	CellsPlanned    int  `json:"cellsPlanned"`
+	CellsDone       int  `json:"cellsDone"`
+	CellsSkipped    int  `json:"cellsSkipped"`
+	CellsResumed    int  `json:"cellsResumed"`
+	CellsWarehoused int  `json:"cellsWarehoused,omitempty"`
+	CellsDeadline   int  `json:"cellsDeadline"`
+	SimFaults       int  `json:"simFaults"`
+	Traces          int  `json:"traces"`
+	Done            bool `json:"done"`
+	Aborted         bool `json:"aborted"`
 
 	Attempts         int     `json:"attempts"`
 	Activated        int     `json:"activated"`
@@ -40,6 +41,9 @@ type CellStatus struct {
 	Level     string `json:"level"`
 	Category  string `json:"category"`
 	Resumed   bool   `json:"resumed,omitempty"`
+	// Warehoused marks a cell resolved from the content-addressed result
+	// warehouse (cached counts, zero injections executed by this run).
+	Warehoused bool `json:"warehoused,omitempty"`
 
 	Attempts   int     `json:"attempts,omitempty"`
 	Activated  int     `json:"activated,omitempty"`
@@ -69,11 +73,12 @@ func rateCI(successes, trials int) *RateCI {
 	return &RateCI{Count: successes, Rate: p.Rate(), WilsonLo: lo, WilsonHi: hi}
 }
 
-func cellStatus(e Event, resumed bool) CellStatus {
+func cellStatus(e Event, resumed, warehoused bool) CellStatus {
 	activated := e.Benign + e.SDC + e.Crash + e.Hang
 	return CellStatus{
 		Benchmark: e.Benchmark, Level: e.Level, Category: e.Category,
 		Resumed:    resumed,
+		Warehoused: warehoused,
 		Attempts:   e.Attempts,
 		Activated:  activated,
 		SimFaults:  e.SimFaults,
@@ -93,18 +98,19 @@ func (a *Aggregator) Status() StudyStatus {
 	defer a.mu.Unlock()
 
 	st := StudyStatus{
-		N:             a.start.N,
-		Seed:          a.start.Seed,
-		Shard:         a.start.Shard,
-		CellsPlanned:  a.start.Cells,
-		CellsDone:     len(a.cells),
-		CellsSkipped:  len(a.skips),
-		CellsResumed:  len(a.resumes),
-		CellsDeadline: len(a.deadlines),
-		SimFaults:     len(a.simFaults),
-		Traces:        a.traces,
-		Done:          a.done.Type == EventStudyDone,
-		Aborted:       a.abort != nil,
+		N:               a.start.N,
+		Seed:            a.start.Seed,
+		Shard:           a.start.Shard,
+		CellsPlanned:    a.start.Cells,
+		CellsDone:       len(a.cells),
+		CellsSkipped:    len(a.skips),
+		CellsResumed:    len(a.resumes),
+		CellsWarehoused: len(a.warehouses),
+		CellsDeadline:   len(a.deadlines),
+		SimFaults:       len(a.simFaults),
+		Traces:          a.traces,
+		Done:            a.done.Type == EventStudyDone,
+		Aborted:         a.abort != nil,
 	}
 	st.Attempts, st.Activated = a.totalsLocked()
 	if a.done.DurationMS > 0 {
@@ -117,7 +123,7 @@ func (a *Aggregator) Status() StudyStatus {
 	// fresh one, breaking the documented ordering on -resume and merged
 	// runs.
 	for _, r := range a.ordered {
-		st.Cells = append(st.Cells, cellStatus(r.e, r.resumed))
+		st.Cells = append(st.Cells, cellStatus(r.e, r.resumed, r.warehoused))
 	}
 	for _, e := range a.orderedSkips {
 		st.Skips = append(st.Skips, CellStatus{

@@ -64,6 +64,13 @@ const (
 	// counts over its round-1 cell_done so totals stay additive.
 	EventAdaptivePlan = "adaptive_plan"
 	EventCellExtend   = "cell_extend"
+
+	// EventWarehouseHit replaces cell_done (or cell_extend) for a cell
+	// resolved from the content-addressed result warehouse: the record
+	// carries the cached counts but represents zero executed injections,
+	// so the Aggregator counts hits separately and excludes them from
+	// the attempt totals (mirroring cell_resume).
+	EventWarehouseHit = "warehouse_hit"
 )
 
 // TraceSpan is one edge of a traced attempt's propagation skeleton:
@@ -275,25 +282,27 @@ func (s *JSONLSink) Flush() error {
 // behind Status: freshly completed (cell_done) or restored from a
 // checkpoint (cell_resume).
 type cellRecord struct {
-	e       Event
-	resumed bool
+	e          Event
+	resumed    bool
+	warehoused bool
 }
 
 // Aggregator accumulates the event stream in memory and renders the
 // campaign summary.
 type Aggregator struct {
-	mu        sync.Mutex
-	start     Event
-	done      Event
-	cells     []Event
-	skips     []Event
-	resumes   []Event
-	deadlines []Event
-	simFaults []Event
-	traces    int
-	abort     *Event
-	extends   []Event
-	plan      *Event
+	mu         sync.Mutex
+	start      Event
+	done       Event
+	cells      []Event
+	skips      []Event
+	resumes    []Event
+	warehouses []Event
+	deadlines  []Event
+	simFaults  []Event
+	traces     int
+	abort      *Event
+	extends    []Event
+	plan       *Event
 	// ordered interleaves cell_done and cell_resume (and, in
 	// orderedSkips, cell_skip and cell_deadline) in arrival order. The
 	// study's reorder buffer releases events in canonical cell order, so
@@ -322,6 +331,11 @@ func (a *Aggregator) Record(e Event) {
 	case EventCellResume:
 		a.resumes = append(a.resumes, e)
 		a.ordered = append(a.ordered, cellRecord{e: e, resumed: true})
+	case EventWarehouseHit:
+		// Warehouse hits carry cached counts but zero executed
+		// injections; like resumes they are listed, not totalled.
+		a.warehouses = append(a.warehouses, e)
+		a.ordered = append(a.ordered, cellRecord{e: e, warehoused: true})
 	case EventCellDeadline:
 		a.deadlines = append(a.deadlines, e)
 		a.orderedSkips = append(a.orderedSkips, e)
@@ -358,6 +372,14 @@ func (a *Aggregator) Resumed() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return len(a.resumes)
+}
+
+// Warehoused returns the number of cells resolved from the result
+// warehouse (zero injections executed).
+func (a *Aggregator) Warehoused() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.warehouses)
 }
 
 // Traces returns the number of attempt_trace events recorded.
@@ -439,6 +461,7 @@ func (a *Aggregator) RenderTelemetry() string {
 	cells := len(a.cells)
 	skips := len(a.skips)
 	resumes := len(a.resumes)
+	warehouses := len(a.warehouses)
 	deadlines := len(a.deadlines)
 	simFaults := len(a.simFaults)
 	traces := a.traces
@@ -463,6 +486,9 @@ func (a *Aggregator) RenderTelemetry() string {
 		cells, skips, parallel, workers)
 	if resumes > 0 {
 		fmt.Fprintf(&sb, "  resumed from checkpoint: %d cells (not recomputed)\n", resumes)
+	}
+	if warehouses > 0 {
+		fmt.Fprintf(&sb, "  warehouse hits        : %d cells (not recomputed)\n", warehouses)
 	}
 	if simFaults > 0 {
 		fmt.Fprintf(&sb, "  simulator panics contained: %d (see sim_fault events for seeds)\n", simFaults)

@@ -1,0 +1,505 @@
+// Package warehouse implements the content-addressed result store of
+// ROADMAP item 5: a durable cache of campaign cell results keyed by the
+// canonical hash of everything that determines a cell's outcome — the
+// program's IR and machine code, the fault model coordinates (level,
+// category), the study shape a checkpoint header already pins (n, seed,
+// compiled/adaptive signatures), the attempt-seeding discipline, and
+// the cell's derived seed and activated-injection target. Two campaigns
+// that would provably produce the same record share one warehouse
+// entry; any input change produces a different key, so a lookup can
+// never return a result the current configuration would not recompute.
+//
+// The key derivation deliberately reuses core.CheckpointShape instead of
+// inventing a second study identity. The shard spec is excluded: cells
+// are relocatable (CellSeed is a pure function of cell identity), so
+// shard layout is scheduling, not identity. The replay signature is
+// excluded too: snapshot fast-forward is proven byte-identical by its
+// differential oracle and its signature encodes cache-sizing knobs, so
+// it is pure execution policy. Other policies that cannot change a
+// successfully completed record — deadlines, the sim-fault containment
+// limit, attempt tracing — are likewise excluded; records that exist
+// only under a particular policy (deadline skips, hard failures) are
+// never stored. Per-attempt seeding (cell workers > 1) draws a
+// deterministic but different sample than the sequential stream, so the
+// discipline is part of the key.
+//
+// Storage is fail-stop in the house style: one fsynced JSON record per
+// cell under a two-level hash-prefix directory, written to a temp file
+// and renamed into place, carrying a checksum over its payload bytes.
+// Every corruption mode — truncation, bit flips, a wrong-key collision,
+// a reader racing a writer — is detected and degrades to a miss (the
+// cell re-executes); a store-side write error disables further stores
+// (sticky, like CheckpointWriter) but never aborts the study: the
+// warehouse is an accelerator, not the durability path.
+package warehouse
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"hlfi/internal/core"
+	"hlfi/internal/obs"
+)
+
+// recordVersion guards both the key derivation and the on-disk record
+// schema: bumping it invalidates every existing entry.
+const recordVersion = 1
+
+// Store is an open warehouse directory. Safe for concurrent use; safe
+// to share between unrelated studies (keys are self-describing).
+type Store struct {
+	dir string
+
+	mu   sync.Mutex
+	werr error // sticky first store failure: later stores are dropped
+
+	// Optional metric hooks (nil-safe): lookup hits and misses, and
+	// completed stores. Wired by the CLIs to the hlfi_warehouse_*_total
+	// counters.
+	Hits   *obs.Counter
+	Misses *obs.Counter
+	Stores *obs.Counter
+}
+
+// Open opens (creating if needed) a warehouse directory.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("warehouse %s: %w", dir, err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the warehouse root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Err returns the sticky store-side failure, if any: the first write
+// error after which the warehouse stopped persisting new records (reads
+// continue). Callers surface it as a warning, never a study failure.
+func (s *Store) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.werr
+}
+
+func (s *Store) disable(err error) {
+	s.mu.Lock()
+	if s.werr == nil {
+		s.werr = err
+	}
+	s.mu.Unlock()
+}
+
+func (s *Store) disabled() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.werr != nil
+}
+
+// objectPath maps a key hash to its record file: a two-level hash-prefix
+// fan-out keeps directory sizes bounded on large stores.
+func (s *Store) objectPath(kh string) string {
+	return filepath.Join(s.dir, "objects", kh[:2], kh[2:4], kh+".json")
+}
+
+// envelope is the on-disk record frame: the payload's bytes, verbatim,
+// plus a SHA-256 over exactly those bytes. Keeping the payload as raw
+// JSON makes the checksum byte-exact (no re-marshal ambiguity).
+type envelope struct {
+	Sum     string          `json:"sum"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// payload is one cell record. It restates the full key hash and the
+// cell identity so a collision (a record filed under a key it was not
+// written for — bug, tamper, or copy mistake) is detected and treated
+// as a miss instead of served as an answer.
+type payload struct {
+	V         int    `json:"v"`
+	Key       string `json:"key"`
+	Type      string `json:"type"` // "cell" | "skip"
+	Benchmark string `json:"benchmark"`
+	Level     string `json:"level"`
+	Category  string `json:"category"`
+	Target    int    `json:"target"`
+	Base      int    `json:"base"`
+
+	Result *resultRecord `json:"result,omitempty"` // type "cell"
+
+	Kind string `json:"kind,omitempty"` // type "skip"
+	Err  string `json:"err,omitempty"`
+}
+
+// resultRecord mirrors the checkpoint's cell payload (stable lower-case
+// JSON, adaptive fields only when present).
+type resultRecord struct {
+	Benign        int    `json:"benign"`
+	SDC           int    `json:"sdc"`
+	Crash         int    `json:"crash"`
+	Hang          int    `json:"hang"`
+	NotActivated  int    `json:"notActivated"`
+	Attempts      int    `json:"attempts"`
+	SimFaults     int    `json:"simFaults,omitempty"`
+	DynCandidates uint64 `json:"dynCandidates"`
+
+	AdaptiveTarget int           `json:"target,omitempty"`
+	Converged      bool          `json:"converged,omitempty"`
+	Round1         *round1Record `json:"round1,omitempty"`
+}
+
+type round1Record struct {
+	Benign       int `json:"benign"`
+	SDC          int `json:"sdc"`
+	Crash        int `json:"crash"`
+	Hang         int `json:"hang"`
+	NotActivated int `json:"notActivated"`
+	Attempts     int `json:"attempts"`
+	SimFaults    int `json:"simFaults,omitempty"`
+}
+
+// read loads and fully validates one record. Any failure — missing
+// file, torn or truncated JSON, checksum mismatch, version or key
+// mismatch — returns ok=false: a miss, never an error.
+func (s *Store) read(kh string) (*payload, bool) {
+	data, err := os.ReadFile(s.objectPath(kh))
+	if err != nil {
+		return nil, false
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, false
+	}
+	sum := sha256.Sum256(env.Payload)
+	if env.Sum != hex.EncodeToString(sum[:]) {
+		return nil, false
+	}
+	var p payload
+	if err := json.Unmarshal(env.Payload, &p); err != nil {
+		return nil, false
+	}
+	if p.V != recordVersion || p.Key != kh {
+		return nil, false
+	}
+	return &p, true
+}
+
+// write persists one record with temp-file+rename atomicity and a fsync
+// before the rename, so a concurrent reader only ever observes either
+// no file or a complete record, and a crash mid-store leaves at most an
+// orphaned temp file (never a torn record under the final name). The
+// first failure goes sticky: the warehouse stops storing, keeps
+// serving lookups, and the study proceeds unharmed.
+func (s *Store) write(kh string, p *payload) {
+	if s.disabled() {
+		return
+	}
+	pb, err := json.Marshal(p)
+	if err != nil {
+		s.disable(err)
+		return
+	}
+	sum := sha256.Sum256(pb)
+	data, err := json.Marshal(envelope{Sum: hex.EncodeToString(sum[:]), Payload: pb})
+	if err != nil {
+		s.disable(err)
+		return
+	}
+	data = append(data, '\n')
+	if err := writeAtomic(s.objectPath(kh), data); err != nil {
+		s.disable(err)
+		return
+	}
+	s.Stores.Inc()
+}
+
+func writeAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	// Sync the directory so the rename itself survives a crash.
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// deterministicSkip reports whether a skip kind is a pure function of
+// the cell's inputs and therefore cacheable. Deadline and fleet skips
+// are execution accidents — a faster machine would have completed the
+// cell — so they are neither stored nor served.
+func deterministicSkip(kind string) bool {
+	return kind == core.SkipNoCandidates || kind == core.SkipNotActivated
+}
+
+// StudyCache binds a Store to one study's shape and program set,
+// implementing core.CellStore. Program content digests are computed
+// once here, so per-cell key derivation on the hot path is a short
+// hash over precomputed material.
+type StudyCache struct {
+	store   *Store
+	shape   core.CheckpointShape
+	seeding string
+	rawSeed bool
+	progs   map[string]string // program name -> content digest
+}
+
+// ForStudy derives the per-study key context. The shard spec and the
+// replay signature are dropped from the shape (cells are relocatable
+// across shard layouts; replay is pure execution policy) and the
+// compiled/adaptive signatures are normalized exactly like checkpoint
+// headers, so a warehouse shared by sharded, fleet, and single-process
+// runs of the same study resolves to the same keys.
+func (s *Store) ForStudy(shape core.CheckpointShape, programs []*core.Program) *StudyCache {
+	shape.Shard = ""
+	shape.Replay = ""
+	shape.Compiled = normalizeSig(shape.Compiled)
+	shape.Adaptive = normalizeSig(shape.Adaptive)
+	progs := make(map[string]string, len(programs))
+	for _, p := range programs {
+		progs[p.Name] = programDigest(p)
+	}
+	return &StudyCache{store: s, shape: shape, seeding: "sequential", progs: progs}
+}
+
+// SetPerAttemptSeeding marks the study as using per-attempt seeding
+// (cell workers > 1), which draws a deterministic but different sample
+// than the sequential single-worker stream — a different outcome, so a
+// different key space.
+func (c *StudyCache) SetPerAttemptSeeding() { c.seeding = "per-attempt" }
+
+// SetRawCampaignSeed marks the cache as keying on shape.Seed directly
+// as the campaign seed. The study scheduler derives each cell's seed
+// via core.CellSeed(studySeed, key); the single-cell CLIs (llfi-run,
+// pinfi-run) run their one campaign straight on the -seed flag. The key
+// hashes the effective campaign seed, so the two entry points share a
+// record exactly when they truly ran the same sample — and never serve
+// each other a different one.
+func (c *StudyCache) SetRawCampaignSeed() { c.rawSeed = true }
+
+// Store returns the underlying warehouse store.
+func (c *StudyCache) Store() *Store { return c.store }
+
+func normalizeSig(sig string) string {
+	if sig == "" {
+		return "off"
+	}
+	return sig
+}
+
+// programDigest hashes everything about a built program that can reach
+// a campaign outcome: the IR module text, the disassembled machine
+// code with its entry point and constant pool, and the golden output
+// the outcome classifier compares against. Length-prefixed sections
+// keep the encoding unambiguous.
+func programDigest(p *core.Program) string {
+	h := sha256.New()
+	sec := func(tag string, data []byte) {
+		fmt.Fprintf(h, "%s %d\n", tag, len(data))
+		h.Write(data)
+	}
+	fmt.Fprintf(h, "hlfi-program-v%d\n", recordVersion)
+	sec("name", []byte(p.Name))
+	sec("ir", []byte(p.Prep.Mod.String()))
+	sec("asm", []byte(p.Asm.Disassemble()))
+	fmt.Fprintf(h, "entry %d\n", p.Asm.Entry)
+	sec("rodata", p.Asm.Rodata)
+	sec("golden", p.GoldenOutput)
+	fmt.Fprintf(h, "exit %d\n", p.GoldenExit)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// KeyHex derives the content-addressed key of one cell record at the
+// given (activated-target, adaptive-base) identity. ok=false means the
+// program is not part of this study (no key exists).
+//
+// The seed component is the cell's EFFECTIVE campaign seed — the value
+// the injection RNG actually streams from — not the study-level seed it
+// was derived from. Study cells run on core.CellSeed(studySeed, key)
+// (which is what makes them relocatable across shards and fleets); the
+// single-cell CLIs run straight on their -seed flag. Keying on the
+// effective seed means any two runs share a record exactly when their
+// samples are byte-identical, whatever entry point produced them.
+func (c *StudyCache) KeyHex(key core.CellKey, target, base int) (string, bool) {
+	pd, ok := c.progs[key.Prog]
+	if !ok {
+		return "", false
+	}
+	seed := core.CellSeed(c.shape.Seed, key)
+	if c.rawSeed {
+		seed = c.shape.Seed
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "hlfi-warehouse-v%d\n", recordVersion)
+	fmt.Fprintf(h, "program %s\n", pd)
+	fmt.Fprintf(h, "level %s\ncategory %s\n", key.Level, key.Category)
+	fmt.Fprintf(h, "n %d\ncellseed %d\n", c.shape.N, seed)
+	fmt.Fprintf(h, "target %d\nbase %d\n", target, base)
+	fmt.Fprintf(h, "compiled %s\nadaptive %s\nseeding %s\n",
+		c.shape.Compiled, c.shape.Adaptive, c.seeding)
+	return hex.EncodeToString(h.Sum(nil)), true
+}
+
+// lookup is the shared validated read behind Lookup and Probe.
+func (c *StudyCache) lookup(key core.CellKey, target, base int) (*payload, bool) {
+	kh, ok := c.KeyHex(key, target, base)
+	if !ok {
+		return nil, false
+	}
+	p, ok := c.store.read(kh)
+	if !ok {
+		return nil, false
+	}
+	// The record restates its identity; a mismatch is a filed-wrong
+	// record and must read as a miss, never as an answer.
+	if p.Benchmark != key.Prog || p.Level != key.Level.String() ||
+		p.Category != key.Category.String() || p.Target != target || p.Base != base {
+		return nil, false
+	}
+	switch p.Type {
+	case "cell":
+		if p.Result == nil {
+			return nil, false
+		}
+	case "skip":
+		if !deterministicSkip(p.Kind) {
+			return nil, false
+		}
+	default:
+		return nil, false
+	}
+	return p, true
+}
+
+// Lookup resolves one cell from the warehouse: a cached result, a
+// cached deterministic skip, or a miss. Implements core.CellStore.
+func (c *StudyCache) Lookup(key core.CellKey, target, base int) (*core.CellResult, *core.CheckpointSkip, bool) {
+	p, ok := c.lookup(key, target, base)
+	if !ok {
+		c.store.Misses.Inc()
+		return nil, nil, false
+	}
+	c.store.Hits.Inc()
+	if p.Type == "skip" {
+		return nil, &core.CheckpointSkip{Kind: p.Kind, Err: p.Err}, true
+	}
+	r := p.Result
+	res := &core.CellResult{
+		Prog: key.Prog, Level: key.Level, Category: key.Category,
+		Benign: r.Benign, SDC: r.SDC, Crash: r.Crash, Hang: r.Hang,
+		NotActivated: r.NotActivated, Attempts: r.Attempts,
+		SimFaults: r.SimFaults, DynCandidates: r.DynCandidates,
+	}
+	if r.AdaptiveTarget > 0 {
+		res.Adaptive.Target = r.AdaptiveTarget
+		res.Adaptive.Converged = r.Converged
+		if r.Round1 != nil {
+			res.Adaptive.Extended = true
+			res.Adaptive.Round1 = core.AdaptiveCounts{
+				Benign: r.Round1.Benign, SDC: r.Round1.SDC,
+				Crash: r.Round1.Crash, Hang: r.Round1.Hang,
+				NotActivated: r.Round1.NotActivated,
+				Attempts:     r.Round1.Attempts, SimFaults: r.Round1.SimFaults,
+			}
+		}
+	}
+	return res, nil, true
+}
+
+// CellStatus classifies one cell's warehouse state for the query
+// surfaces (-warehouse-query, the coordinator's /warehouse endpoint).
+const (
+	StatusHit  = "hit"
+	StatusSkip = "skip"
+	StatusMiss = "miss"
+)
+
+// Probe reports one cell's warehouse status without touching the
+// hit/miss counters (queries are observational, not resolutions).
+func (c *StudyCache) Probe(key core.CellKey, target, base int) string {
+	p, ok := c.lookup(key, target, base)
+	if !ok {
+		return StatusMiss
+	}
+	if p.Type == "skip" {
+		return StatusSkip
+	}
+	return StatusHit
+}
+
+// StoreCell persists one completed cell. Implements core.CellStore
+// (method name Store is taken by the accessor, so the interface method
+// is StoreCell/StoreSkip).
+func (c *StudyCache) StoreCell(key core.CellKey, target, base int, res *core.CellResult) {
+	kh, ok := c.KeyHex(key, target, base)
+	if !ok {
+		return
+	}
+	r := &resultRecord{
+		Benign: res.Benign, SDC: res.SDC, Crash: res.Crash, Hang: res.Hang,
+		NotActivated: res.NotActivated, Attempts: res.Attempts,
+		SimFaults: res.SimFaults, DynCandidates: res.DynCandidates,
+	}
+	if a := res.Adaptive; a.Target > 0 {
+		r.AdaptiveTarget = a.Target
+		r.Converged = a.Converged
+		if a.Extended {
+			r.Round1 = &round1Record{
+				Benign: a.Round1.Benign, SDC: a.Round1.SDC,
+				Crash: a.Round1.Crash, Hang: a.Round1.Hang,
+				NotActivated: a.Round1.NotActivated,
+				Attempts:     a.Round1.Attempts, SimFaults: a.Round1.SimFaults,
+			}
+		}
+	}
+	c.store.write(kh, &payload{
+		V: recordVersion, Key: kh, Type: "cell",
+		Benchmark: key.Prog, Level: key.Level.String(), Category: key.Category.String(),
+		Target: target, Base: base, Result: r,
+	})
+}
+
+// StoreSkip persists one soft-skipped cell. Only deterministic kinds
+// (no-candidates, not-activated) are stored: a deadline or fleet skip
+// describes this run's scheduling, not the cell.
+func (c *StudyCache) StoreSkip(key core.CellKey, target, base int, skip core.CheckpointSkip) {
+	if !deterministicSkip(skip.Kind) {
+		return
+	}
+	kh, ok := c.KeyHex(key, target, base)
+	if !ok {
+		return
+	}
+	c.store.write(kh, &payload{
+		V: recordVersion, Key: kh, Type: "skip",
+		Benchmark: key.Prog, Level: key.Level.String(), Category: key.Category.String(),
+		Target: target, Base: base, Kind: skip.Kind, Err: skip.Err,
+	})
+}
